@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation: CRB design variants beyond the paper's base configuration
+ * (its §6 future-work directions).
+ *
+ *  1. Associativity: the base CRB is direct-mapped; 2/4-way variants
+ *     measure how much entry conflicts cost.
+ *  2. Nonuniform capacity: half the entries keep only 2 CIs, halving
+ *     CI storage.
+ *  3. Memory-capable partition: only a fraction of entries may hold
+ *     memory-dependent computations (suggested by the Figure 9(b)
+ *     observation that MD reuse is a minority).
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace ccr;
+    using namespace ccr::bench;
+
+    setVerbose(false);
+    figureHeader("Ablation", "CRB design variants (128 entries, 8 CIs "
+                             "baseline)");
+
+    struct Variant
+    {
+        std::string name;
+        uarch::CrbParams crb;
+    };
+    std::vector<Variant> variants;
+    {
+        uarch::CrbParams base;
+        base.entries = 128;
+        base.instances = 8;
+        variants.push_back({"base dm", base});
+
+        auto v = base;
+        v.assoc = 2;
+        variants.push_back({"2-way", v});
+        v = base;
+        v.assoc = 4;
+        variants.push_back({"4-way", v});
+
+        v = base;
+        v.nonuniformSplit = 0.5;
+        v.nonuniformSmallInstances = 2;
+        variants.push_back({"nonuni 8/2", v});
+
+        v = base;
+        v.memCapableFraction = 0.25;
+        variants.push_back({"mem 25%", v});
+        v = base;
+        v.memCapableFraction = 0.0;
+        variants.push_back({"mem 0%", v});
+    }
+
+    Table t("speedup by CRB variant");
+    std::vector<std::string> header{"benchmark"};
+    for (const auto &v : variants)
+        header.push_back(v.name);
+    t.setHeader(header);
+
+    std::map<std::string, std::vector<double>> speedups;
+    for (const auto &name : benchmarks()) {
+        std::vector<std::string> row{name};
+        for (const auto &v : variants) {
+            workloads::RunConfig config;
+            config.crb = v.crb;
+            const auto r = workloads::runCcrExperiment(name, config);
+            if (!r.outputsMatch)
+                ccr_fatal("output mismatch for ", name);
+            speedups[v.name].push_back(r.speedup());
+            row.push_back(Table::fmt(r.speedup(), 3));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> avg{"average"};
+    for (const auto &v : variants)
+        avg.push_back(Table::fmt(mean(speedups[v.name]), 3));
+    t.addRow(avg);
+    t.print(std::cout);
+
+    std::cout
+        << "\nexpected: associativity helps little (compiler id "
+           "assignment already avoids\nhot conflicts at 128 entries); "
+           "nonuniform capacity retains the benefit.\nmem 0% turns "
+           "every load-bearing region unrecordable while still paying\n"
+           "reuse-miss penalties - the compiler-side switch "
+           "(enableMemoryDependent)\nis the right lever, this row "
+           "shows why the hardware-only one is not\n";
+    return 0;
+}

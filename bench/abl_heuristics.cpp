@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation: the compiler-side heuristic knobs of §4.4 — the R/Rm
+ * invariance thresholds (paper default 0.65), instruction reordering,
+ * and cyclic/acyclic formation in isolation. "Lower values tend to
+ * admit too many instructions in the region that are not successfully
+ * reused in reasonably sized CRBs" — the R sweep makes that visible.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace ccr;
+    using namespace ccr::bench;
+
+    setVerbose(false);
+    figureHeader("Ablation", "region formation heuristics");
+
+    struct Variant
+    {
+        std::string name;
+        core::ReusePolicy policy;
+    };
+    std::vector<Variant> variants;
+    {
+        core::ReusePolicy base;
+        variants.push_back({"R=.65", base});
+
+        auto p = base;
+        p.instReuseThreshold = p.memReuseThreshold = 0.35;
+        variants.push_back({"R=.35", p});
+        p = base;
+        p.instReuseThreshold = p.memReuseThreshold = 0.90;
+        variants.push_back({"R=.90", p});
+
+        p = base;
+        p.allowReorder = false;
+        variants.push_back({"no reorder", p});
+
+        p = base;
+        p.enableCyclic = false;
+        variants.push_back({"acyclic only", p});
+        p = base;
+        p.enableAcyclic = false;
+        variants.push_back({"cyclic only", p});
+    }
+
+    Table t("speedup by policy (128e/4ci)");
+    std::vector<std::string> header{"benchmark"};
+    for (const auto &v : variants)
+        header.push_back(v.name);
+    t.setHeader(header);
+
+    std::map<std::string, std::vector<double>> speedups;
+    std::map<std::string, int> region_counts;
+    for (const auto &name : benchmarks()) {
+        std::vector<std::string> row{name};
+        for (const auto &v : variants) {
+            workloads::RunConfig config;
+            config.policy = v.policy;
+            config.crb.entries = 128;
+            // A modest CI count makes over-admission visible, as the
+            // paper's "reasonably sized CRBs" remark predicts.
+            config.crb.instances = 4;
+            const auto r = workloads::runCcrExperiment(name, config);
+            if (!r.outputsMatch)
+                ccr_fatal("output mismatch for ", name);
+            speedups[v.name].push_back(r.speedup());
+            region_counts[v.name] +=
+                static_cast<int>(r.regions.size());
+            row.push_back(Table::fmt(r.speedup(), 3));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> avg{"average"};
+    for (const auto &v : variants)
+        avg.push_back(Table::fmt(mean(speedups[v.name]), 3));
+    t.addRow(avg);
+    t.print(std::cout);
+
+    std::cout << "\ntotal regions formed across the suite:\n";
+    for (const auto &v : variants) {
+        std::cout << "  " << v.name << ": " << region_counts[v.name]
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction harnesses. Each bench
+ * binary regenerates one figure of the paper: same benchmarks on the
+ * rows, same series in the columns, with our measured values.
+ */
+
+#ifndef CCR_BENCH_COMMON_HH
+#define CCR_BENCH_COMMON_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "workloads/harness.hh"
+
+namespace ccr::bench
+{
+
+/** The benchmark list in the paper's presentation order. */
+inline std::vector<std::string>
+benchmarks()
+{
+    return workloads::workloadNames();
+}
+
+/** Dynamic reuse execution attributed to one region: CRB hits times
+ *  the static size of the skipped computation. */
+inline std::uint64_t
+reuseExecution(const core::ReuseRegion &region, std::uint64_t hits)
+{
+    return hits * static_cast<std::uint64_t>(region.staticInsts);
+}
+
+/** Print a standard header line for a figure harness. */
+inline void
+figureHeader(const std::string &id, const std::string &description)
+{
+    std::cout << "\n=== " << id << ": " << description << " ===\n"
+              << "(shape reproduction on the synthetic suite; see "
+                 "EXPERIMENTS.md)\n\n";
+}
+
+/** Geometric mean helper (the paper reports arithmetic-mean speedups;
+ *  both are printed where relevant). */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+} // namespace ccr::bench
+
+#endif // CCR_BENCH_COMMON_HH

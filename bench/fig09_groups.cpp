@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Figure 9 reproduction: static (a) and dynamic (b) distribution of
+ * the computation groups SL_4 / SL_6 / SL_8 / MD_3_1 / MD_6_1 /
+ * MD_2_2 / MD_2_3. The paper reports ~90% of static computations in
+ * these seven groups, ~65% of static and ~60% of dynamic computation
+ * stateless, plus ~10 instructions replaced per acyclic region.
+ */
+
+#include <algorithm>
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace ccr;
+    using namespace ccr::bench;
+
+    setVerbose(false);
+    figureHeader("Figure 9",
+                 "computation group distribution (static + dynamic)");
+
+    const std::vector<std::string> groups{
+        "SL_4", "SL_6", "SL_8", "MD_3_1", "MD_6_1", "MD_2_2", "MD_2_3"};
+
+    Table ts("(a) static distribution");
+    Table td("(b) dynamic reuse distribution");
+    std::vector<std::string> header{"benchmark"};
+    for (const auto &g : groups)
+        header.push_back(g);
+    header.push_back("OTHER");
+    ts.setHeader(header);
+    td.setHeader(header);
+
+    double sl_static_sum = 0.0, sl_dynamic_sum = 0.0;
+    double coverage_sum = 0.0;
+    std::vector<double> acyclic_sizes;
+    int rows = 0;
+
+    for (const auto &name : benchmarks()) {
+        workloads::RunConfig config;
+        config.crb.entries = 128;
+        config.crb.instances = 8;
+        const auto r = workloads::runCcrExperiment(name, config);
+        if (r.regions.empty())
+            continue;
+
+        std::map<std::string, double> stat, dyn;
+        double stat_total = 0.0, dyn_total = 0.0;
+        double sl_static = 0.0, sl_dyn = 0.0;
+        for (const auto &region : r.regions.regions()) {
+            const auto g = region.group();
+            stat[g] += 1.0;
+            stat_total += 1.0;
+            const auto it = r.hitsByRegion.find(region.id);
+            const double exec =
+                it == r.hitsByRegion.end()
+                    ? 0.0
+                    : static_cast<double>(
+                          reuseExecution(region, it->second));
+            dyn[g] += exec;
+            dyn_total += exec;
+            if (region.regionClass() == core::RegionClass::Stateless) {
+                sl_static += 1.0;
+                sl_dyn += exec;
+            }
+            if (!region.cyclic)
+                acyclic_sizes.push_back(region.staticInsts);
+        }
+        if (dyn_total == 0.0)
+            dyn_total = 1.0;
+
+        std::vector<std::string> srow{name}, drow{name};
+        double covered = 0.0;
+        for (const auto &g : groups) {
+            srow.push_back(Table::pct(stat[g] / stat_total, 0));
+            drow.push_back(Table::pct(dyn[g] / dyn_total, 0));
+            covered += stat[g];
+        }
+        srow.push_back(
+            Table::pct((stat_total - covered) / stat_total, 0));
+        double dyn_covered = 0.0;
+        for (const auto &g : groups)
+            dyn_covered += dyn[g];
+        drow.push_back(
+            Table::pct((dyn_total - dyn_covered) / dyn_total, 0));
+        ts.addRow(srow);
+        td.addRow(drow);
+
+        sl_static_sum += sl_static / stat_total;
+        sl_dynamic_sum += sl_dyn / dyn_total;
+        coverage_sum += covered / stat_total;
+        ++rows;
+    }
+
+    ts.print(std::cout);
+    std::cout << "\n";
+    td.print(std::cout);
+
+    double avg_acyclic = 0.0;
+    for (const auto s : acyclic_sizes)
+        avg_acyclic += s;
+    if (!acyclic_sizes.empty())
+        avg_acyclic /= static_cast<double>(acyclic_sizes.size());
+
+    std::cout << "\nseven-group coverage (static avg): "
+              << Table::pct(coverage_sum / rows)
+              << "  (paper: ~90%)\n"
+              << "stateless share, static avg:       "
+              << Table::pct(sl_static_sum / rows)
+              << "  (paper: ~65%)\n"
+              << "stateless share, dynamic avg:      "
+              << Table::pct(sl_dynamic_sum / rows)
+              << "  (paper: ~60%)\n"
+              << "avg static insts per acyclic RCR:  "
+              << Table::fmt(avg_acyclic, 1) << "  (paper: ~10)\n";
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the CRB and emulator hot
+ * paths: query hit/miss throughput, memoization recording, and
+ * emulator stepping rate. These guard the simulator's own performance
+ * rather than reproducing a paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "emu/machine.hh"
+#include "ir/builder.hh"
+#include "uarch/crb.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ccr;
+using namespace ccr::ir;
+
+/** Minimal module whose main frame provides registers for queries. */
+std::unique_ptr<Module>
+tinyModule()
+{
+    auto m = std::make_unique<Module>("bench");
+    Function &f = m->addFunction("main", 0);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    for (int i = 0; i < 16; ++i)
+        b.movI(i);
+    b.halt();
+    return m;
+}
+
+void
+BM_CrbQueryHit(benchmark::State &state)
+{
+    auto mod = tinyModule();
+    emu::Machine machine(*mod);
+    uarch::Crb crb{uarch::CrbParams{}};
+
+    // Prime one CI for region 0 by simulating a memoization.
+    crb.onReuse(0, machine); // miss -> memo begins
+    Inst fake;
+    fake.op = Opcode::Jump;
+    fake.target = 0;
+    fake.ext.regionEnd = true;
+    emu::ExecInfo info;
+    info.inst = &fake;
+    crb.observe(info); // commit an empty (always-matching) CI
+
+    for (auto _ : state) {
+        const auto outcome = crb.onReuse(0, machine);
+        benchmark::DoNotOptimize(outcome.hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CrbQueryHit);
+
+void
+BM_CrbQueryMissAndAbort(benchmark::State &state)
+{
+    auto mod = tinyModule();
+    emu::Machine machine(*mod);
+    uarch::Crb crb{uarch::CrbParams{}};
+    for (auto _ : state) {
+        // Every query misses (no commit happens), and the next query
+        // aborts the previous recording.
+        const auto outcome = crb.onReuse(1, machine);
+        benchmark::DoNotOptimize(outcome.hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CrbQueryMissAndAbort);
+
+void
+BM_CrbInvalidate(benchmark::State &state)
+{
+    uarch::Crb crb{uarch::CrbParams{}};
+    for (auto _ : state)
+        crb.onInvalidate(3);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CrbInvalidate);
+
+void
+BM_EmulatorStepRate(benchmark::State &state)
+{
+    const auto w = workloads::buildWorkload("espresso");
+    emu::Machine machine(*w.module);
+    w.prepare(machine, workloads::InputSet::Train);
+    emu::ExecInfo info;
+    std::uint64_t executed = 0;
+    for (auto _ : state) {
+        if (machine.halted()) {
+            state.PauseTiming();
+            machine.restart();
+            w.prepare(machine, workloads::InputSet::Train);
+            state.ResumeTiming();
+        }
+        machine.step(info);
+        ++executed;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+}
+BENCHMARK(BM_EmulatorStepRate);
+
+void
+BM_WorkloadBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const auto w = workloads::buildWorkload("gcc");
+        benchmark::DoNotOptimize(w.module->numInsts());
+    }
+}
+BENCHMARK(BM_WorkloadBuild);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,252 @@
+#include "analysis/alias.hh"
+
+#include "support/logging.hh"
+
+namespace ccr::analysis
+{
+
+bool
+PtSet::mergeFrom(const PtSet &other)
+{
+    bool changed = false;
+    for (const auto g : other.globals)
+        changed |= globals.insert(g).second;
+    if (other.heap && !heap) {
+        heap = true;
+        changed = true;
+    }
+    if (other.unknown && !unknown) {
+        unknown = true;
+        changed = true;
+    }
+    return changed;
+}
+
+bool
+PtSet::intersects(const PtSet &other) const
+{
+    // Unknown intersects everything non-empty; heap intersects heap and
+    // unknown.
+    if (empty() || other.empty())
+        return false;
+    if (unknown || other.unknown)
+        return true;
+    if (heap && other.heap)
+        return true;
+    for (const auto g : globals) {
+        if (other.globals.count(g))
+            return true;
+    }
+    return false;
+}
+
+AliasAnalysis::AliasAnalysis(const ir::Module &mod) : mod_(mod)
+{
+    const std::size_t nfuncs = mod.numFunctions();
+    regPts_.resize(nfuncs);
+    funcRet_.resize(nfuncs);
+    funcWrites_.resize(nfuncs);
+    funcReads_.resize(nfuncs);
+    funcPure_.assign(nfuncs, false);
+    for (std::size_t f = 0; f < nfuncs; ++f) {
+        regPts_[f].resize(static_cast<std::size_t>(
+            mod.function(static_cast<ir::FuncId>(f)).numRegs()));
+    }
+
+    // Whole-module fixpoint: function transfer until nothing changes.
+    bool changed = true;
+    int rounds = 0;
+    while (changed) {
+        changed = false;
+        for (std::size_t f = 0; f < nfuncs; ++f) {
+            changed |= transferFunction(
+                mod.function(static_cast<ir::FuncId>(f)));
+        }
+        ccr_assert(++rounds < 1000, "points-to did not converge");
+    }
+    summarizePurity();
+}
+
+void
+AliasAnalysis::summarizePurity()
+{
+    const std::size_t nfuncs = mod_.numFunctions();
+
+    // Per-function local facts.
+    std::vector<bool> local_pure(nfuncs, true);
+    for (std::size_t f = 0; f < nfuncs; ++f) {
+        const auto fid = static_cast<ir::FuncId>(f);
+        const auto &func = mod_.function(fid);
+        for (const auto &bb : func.blocks()) {
+            for (const auto &inst : bb.insts()) {
+                switch (inst.op) {
+                  case ir::Opcode::Store:
+                  case ir::Opcode::Alloc:
+                  case ir::Opcode::Halt:
+                  case ir::Opcode::Reuse:
+                  case ir::Opcode::Invalidate:
+                    local_pure[f] = false;
+                    break;
+                  case ir::Opcode::Load:
+                    if (!loadDeterminable(fid, inst))
+                        local_pure[f] = false;
+                    else
+                        funcReads_[f].mergeFrom(memAccess(fid, inst));
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+
+    // Propagate callee facts to callers to fixpoint.
+    funcPure_ = local_pure;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t f = 0; f < nfuncs; ++f) {
+            const auto &func = mod_.function(static_cast<ir::FuncId>(f));
+            for (const auto &bb : func.blocks()) {
+                for (const auto &inst : bb.insts()) {
+                    if (inst.op != ir::Opcode::Call)
+                        continue;
+                    if (!funcPure_[inst.callee] && funcPure_[f]) {
+                        funcPure_[f] = false;
+                        changed = true;
+                    }
+                    changed |= funcReads_[f].mergeFrom(
+                        funcReads_[inst.callee]);
+                }
+            }
+        }
+    }
+}
+
+bool
+AliasAnalysis::transferFunction(const ir::Function &func)
+{
+    const auto fid = func.id();
+    auto &pts = regPts_[fid];
+    bool changed = false;
+
+    auto mergeReg = [&](ir::Reg dst, const PtSet &src) {
+        if (dst != ir::kNoReg && dst < pts.size())
+            changed |= pts[dst].mergeFrom(src);
+    };
+
+    for (const auto &bb : func.blocks()) {
+        for (const auto &inst : bb.insts()) {
+            switch (inst.op) {
+              case ir::Opcode::MovGA: {
+                PtSet s;
+                s.globals.insert(inst.globalId);
+                mergeReg(inst.dst, s);
+                break;
+              }
+              case ir::Opcode::Mov:
+                mergeReg(inst.dst, pts[inst.src1]);
+                break;
+              case ir::Opcode::Alloc: {
+                PtSet s;
+                s.heap = true;
+                mergeReg(inst.dst, s);
+                break;
+              }
+              case ir::Opcode::Add:
+              case ir::Opcode::Sub:
+                // Pointer arithmetic: the result may point wherever
+                // either operand points.
+                mergeReg(inst.dst, pts[inst.src1]);
+                if (!inst.srcImm)
+                    mergeReg(inst.dst, pts[inst.src2]);
+                break;
+              case ir::Opcode::Load:
+                // Pointers loaded from memory are anonymous: the
+                // analysis does not model heap/global contents
+                // (paper: anonymous structures are future work), so a
+                // dereference of a loaded value yields an empty set and
+                // the consuming load is simply not determinable.
+                break;
+              case ir::Opcode::Store: {
+                // Record the write target in the function summary.
+                const PtSet &target = pts[inst.src1];
+                if (target.empty()) {
+                    // Store through a non-analyzable base: may write
+                    // anything.
+                    PtSet any;
+                    any.unknown = true;
+                    changed |= funcWrites_[fid].mergeFrom(any);
+                } else {
+                    changed |= funcWrites_[fid].mergeFrom(target);
+                }
+                break;
+              }
+              case ir::Opcode::Call: {
+                const auto callee = inst.callee;
+                const ir::Function &cf = mod_.function(callee);
+                // Arguments flow into callee parameter registers.
+                for (int i = 0; i < inst.numArgs; ++i) {
+                    if (i < cf.numParams()) {
+                        changed |= regPts_[callee][static_cast<std::size_t>(i)]
+                                       .mergeFrom(pts[inst.args[i]]);
+                    }
+                }
+                // Return value flows back to dst.
+                if (inst.dst != ir::kNoReg)
+                    mergeReg(inst.dst, funcRet_[callee]);
+                // Callee writes become our writes.
+                changed |= funcWrites_[fid].mergeFrom(funcWrites_[callee]);
+                break;
+              }
+              case ir::Opcode::Ret:
+                if (inst.src1 != ir::kNoReg)
+                    changed |= funcRet_[fid].mergeFrom(pts[inst.src1]);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return changed;
+}
+
+const PtSet &
+AliasAnalysis::regPoints(ir::FuncId f, ir::Reg reg) const
+{
+    return regPts_[f][reg];
+}
+
+const PtSet &
+AliasAnalysis::memAccess(ir::FuncId f, const ir::Inst &inst) const
+{
+    ccr_assert(inst.isLoad() || inst.isStore(),
+               "memAccess on non-memory instruction");
+    return regPts_[f][inst.src1];
+}
+
+bool
+AliasAnalysis::loadDeterminable(ir::FuncId f, const ir::Inst &load) const
+{
+    ccr_assert(load.isLoad(), "not a load");
+    return memAccess(f, load).onlyNamedGlobals();
+}
+
+void
+AliasAnalysis::annotateDeterminableLoads(ir::Module &mod) const
+{
+    ccr_assert(&mod == &mod_, "annotating a different module");
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
+        auto &func = mod.function(static_cast<ir::FuncId>(f));
+        for (auto &bb : func.blocks()) {
+            for (auto &inst : bb.insts()) {
+                if (inst.isLoad()) {
+                    inst.ext.determinable = loadDeterminable(
+                        static_cast<ir::FuncId>(f), inst);
+                }
+            }
+        }
+    }
+}
+
+} // namespace ccr::analysis

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Flow-insensitive, context-insensitive points-to analysis over module
+ * globals, in the spirit of the interprocedural analysis the paper
+ * relies on (§2.2, §4.1, citing Emami et al.).
+ *
+ * Each register is mapped to the set of memory structures it may point
+ * into: named globals, the (single, blended) heap, or unknown. Loads
+ * whose base can only reference named globals are annotated
+ * *determinable*; anonymous (heap/unknown) structures are excluded,
+ * matching the paper's stated limitation.
+ */
+
+#ifndef CCR_ANALYSIS_ALIAS_HH
+#define CCR_ANALYSIS_ALIAS_HH
+
+#include <set>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace ccr::analysis
+{
+
+/** A points-to set: named globals plus heap/unknown escape bits. */
+struct PtSet
+{
+    std::set<ir::GlobalId> globals;
+    bool heap = false;
+    bool unknown = false;
+
+    bool empty() const { return globals.empty() && !heap && !unknown; }
+
+    /** Merge @p other in; returns true when this changed. */
+    bool mergeFrom(const PtSet &other);
+
+    /** True when the set names only compile-time-known globals. */
+    bool
+    onlyNamedGlobals() const
+    {
+        return !globals.empty() && !heap && !unknown;
+    }
+
+    bool intersects(const PtSet &other) const;
+};
+
+/** Module-wide points-to and memory side-effect summary. */
+class AliasAnalysis
+{
+  public:
+    explicit AliasAnalysis(const ir::Module &mod);
+
+    /** What @p reg of function @p f may point to. */
+    const PtSet &regPoints(ir::FuncId f, ir::Reg reg) const;
+
+    /** Memory a load/store instruction may access through its base. */
+    const PtSet &memAccess(ir::FuncId f, const ir::Inst &inst) const;
+
+    /**
+     * True when @p load (a Load in function @p f) accesses only named
+     * globals — the compile-time condition for the `determinable`
+     * annotation (paper §4.1).
+     */
+    bool loadDeterminable(ir::FuncId f, const ir::Inst &load) const;
+
+    /** Globals function @p f may write, including through callees. */
+    const PtSet &funcWrites(ir::FuncId f) const
+    {
+        return funcWrites_[f];
+    }
+
+    /** Memory function @p f may read, including through callees. */
+    const PtSet &funcReads(ir::FuncId f) const { return funcReads_[f]; }
+
+    /** True when every load in @p f (and its callees) is determinable
+     *  and the function performs no stores or heap allocation — the
+     *  condition for memoizing a whole call (paper §6 future work). */
+    bool funcPure(ir::FuncId f) const { return funcPure_[f]; }
+
+    /** True when @p f (transitively) may store to memory at all. */
+    bool
+    funcWritesMemory(ir::FuncId f) const
+    {
+        return !funcWrites_[f].empty();
+    }
+
+    /** Set ext.determinable on every qualifying load of @p mod.
+     *  @p mod must be the module this analysis was built from. */
+    void annotateDeterminableLoads(ir::Module &mod) const;
+
+  private:
+    const ir::Module &mod_;
+    std::vector<std::vector<PtSet>> regPts_; // [func][reg]
+    std::vector<PtSet> funcRet_;             // return-value pointees
+    std::vector<PtSet> funcWrites_;          // written memory summary
+    std::vector<PtSet> funcReads_;           // read memory summary
+    std::vector<bool> funcPure_;             // see funcPure()
+
+    bool transferFunction(const ir::Function &func);
+    void summarizePurity();
+};
+
+} // namespace ccr::analysis
+
+#endif // CCR_ANALYSIS_ALIAS_HH

@@ -1,0 +1,47 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+namespace ccr::analysis
+{
+
+Cfg::Cfg(const ir::Function &func) : func_(func)
+{
+    const std::size_t n = func.numBlocks();
+    succs_.resize(n);
+    preds_.resize(n);
+    rpoIndex_.assign(n, kUnreachable);
+
+    for (const auto &bb : func.blocks()) {
+        succs_[bb.id()] = bb.successors();
+        for (const auto s : succs_[bb.id()])
+            preds_[s].push_back(bb.id());
+    }
+
+    // Iterative post-order DFS from the entry.
+    std::vector<ir::BlockId> post;
+    std::vector<std::uint8_t> state(n, 0); // 0 unseen, 1 open, 2 done
+    std::vector<std::pair<ir::BlockId, std::size_t>> stack;
+    stack.emplace_back(func.entry(), 0);
+    state[func.entry()] = 1;
+    while (!stack.empty()) {
+        auto &[bb, next] = stack.back();
+        if (next < succs_[bb].size()) {
+            const ir::BlockId s = succs_[bb][next++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            state[bb] = 2;
+            post.push_back(bb);
+            stack.pop_back();
+        }
+    }
+
+    rpo_.assign(post.rbegin(), post.rend());
+    for (std::size_t i = 0; i < rpo_.size(); ++i)
+        rpoIndex_[rpo_[i]] = i;
+}
+
+} // namespace ccr::analysis

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Control-flow-graph utilities: predecessor lists, reverse post-order,
+ * and reachability over a Function's blocks.
+ */
+
+#ifndef CCR_ANALYSIS_CFG_HH
+#define CCR_ANALYSIS_CFG_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace ccr::analysis
+{
+
+/** Precomputed CFG adjacency for one function. */
+class Cfg
+{
+  public:
+    explicit Cfg(const ir::Function &func);
+
+    const ir::Function &function() const { return func_; }
+
+    const std::vector<ir::BlockId> &succs(ir::BlockId b) const
+    {
+        return succs_[b];
+    }
+
+    const std::vector<ir::BlockId> &preds(ir::BlockId b) const
+    {
+        return preds_[b];
+    }
+
+    /** Blocks in reverse post-order from the entry (unreachable blocks
+     *  are absent). */
+    const std::vector<ir::BlockId> &rpo() const { return rpo_; }
+
+    /** Position of @p b in the RPO sequence; SIZE_MAX if unreachable. */
+    std::size_t rpoIndex(ir::BlockId b) const { return rpoIndex_[b]; }
+
+    bool reachable(ir::BlockId b) const
+    {
+        return rpoIndex_[b] != kUnreachable;
+    }
+
+    std::size_t numBlocks() const { return succs_.size(); }
+
+    static constexpr std::size_t kUnreachable = SIZE_MAX;
+
+  private:
+    const ir::Function &func_;
+    std::vector<std::vector<ir::BlockId>> succs_;
+    std::vector<std::vector<ir::BlockId>> preds_;
+    std::vector<ir::BlockId> rpo_;
+    std::vector<std::size_t> rpoIndex_;
+};
+
+} // namespace ccr::analysis
+
+#endif // CCR_ANALYSIS_CFG_HH

@@ -1,0 +1,66 @@
+#include "analysis/dominators.hh"
+
+#include "support/logging.hh"
+
+namespace ccr::analysis
+{
+
+Dominators::Dominators(const Cfg &cfg) : cfg_(cfg)
+{
+    idom_.assign(cfg.numBlocks(), ir::kNoBlock);
+    const auto &rpo = cfg.rpo();
+    if (rpo.empty())
+        return;
+
+    const ir::BlockId entry = rpo.front();
+    idom_[entry] = entry;
+
+    auto intersect = [&](ir::BlockId a, ir::BlockId b) {
+        while (a != b) {
+            while (cfg_.rpoIndex(a) > cfg_.rpoIndex(b))
+                a = idom_[a];
+            while (cfg_.rpoIndex(b) > cfg_.rpoIndex(a))
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto b : rpo) {
+            if (b == entry)
+                continue;
+            ir::BlockId new_idom = ir::kNoBlock;
+            for (const auto p : cfg.preds(b)) {
+                if (!cfg.reachable(p) || idom_[p] == ir::kNoBlock)
+                    continue;
+                new_idom = new_idom == ir::kNoBlock
+                               ? p
+                               : intersect(p, new_idom);
+            }
+            if (new_idom != ir::kNoBlock && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+Dominators::dominates(ir::BlockId a, ir::BlockId b) const
+{
+    if (!cfg_.reachable(a) || !cfg_.reachable(b))
+        return false;
+    ir::BlockId cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        const ir::BlockId up = idom_[cur];
+        if (up == cur || up == ir::kNoBlock)
+            return false;
+        cur = up;
+    }
+}
+
+} // namespace ccr::analysis

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm.
+ */
+
+#ifndef CCR_ANALYSIS_DOMINATORS_HH
+#define CCR_ANALYSIS_DOMINATORS_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace ccr::analysis
+{
+
+/** Immediate-dominator tree over a Cfg. */
+class Dominators
+{
+  public:
+    explicit Dominators(const Cfg &cfg);
+
+    /** Immediate dominator of @p b; the entry's idom is itself.
+     *  kNoBlock for unreachable blocks. */
+    ir::BlockId idom(ir::BlockId b) const { return idom_[b]; }
+
+    /** True when @p a dominates @p b (reflexive). */
+    bool dominates(ir::BlockId a, ir::BlockId b) const;
+
+  private:
+    const Cfg &cfg_;
+    std::vector<ir::BlockId> idom_;
+};
+
+} // namespace ccr::analysis
+
+#endif // CCR_ANALYSIS_DOMINATORS_HH

@@ -1,0 +1,116 @@
+#include "analysis/liveness.hh"
+
+#include "support/bits.hh"
+
+namespace ccr::analysis
+{
+
+bool
+RegSet::unionWith(const RegSet &other)
+{
+    bool changed = false;
+    const std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto before = words_[i];
+        words_[i] |= other.words_[i];
+        changed |= words_[i] != before;
+    }
+    return changed;
+}
+
+void
+RegSet::subtract(const RegSet &other)
+{
+    const std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < n; ++i)
+        words_[i] &= ~other.words_[i];
+}
+
+std::size_t
+RegSet::count() const
+{
+    std::size_t n = 0;
+    for (const auto w : words_)
+        n += static_cast<std::size_t>(popCount(w));
+    return n;
+}
+
+std::vector<ir::Reg>
+RegSet::toVector() const
+{
+    std::vector<ir::Reg> result;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        std::uint64_t bitsLeft = words_[w];
+        while (bitsLeft) {
+            const int b = std::countr_zero(bitsLeft);
+            result.push_back(static_cast<ir::Reg>(w * 64 + b));
+            bitsLeft &= bitsLeft - 1;
+        }
+    }
+    return result;
+}
+
+void
+Liveness::addUses(const ir::Inst &inst, RegSet &set)
+{
+    const int nsrc = inst.numRegSources();
+    for (int i = 0; i < nsrc; ++i)
+        set.set(inst.regSource(i));
+    if (inst.op == ir::Opcode::Call) {
+        for (int i = 0; i < inst.numArgs; ++i)
+            set.set(inst.args[i]);
+    }
+}
+
+Liveness::Liveness(const Cfg &cfg)
+{
+    const auto &func = cfg.function();
+    const std::size_t nblocks = func.numBlocks();
+    const auto nregs = static_cast<std::size_t>(func.numRegs());
+
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    std::vector<RegSet> gen(nblocks, RegSet(nregs));
+    std::vector<RegSet> kill(nblocks, RegSet(nregs));
+    liveIn_.assign(nblocks, RegSet(nregs));
+    liveOut_.assign(nblocks, RegSet(nregs));
+
+    for (const auto &bb : func.blocks()) {
+        RegSet defined(nregs);
+        for (const auto &inst : bb.insts()) {
+            RegSet uses(nregs);
+            addUses(inst, uses);
+            uses.subtract(defined);
+            gen[bb.id()].unionWith(uses);
+            if (inst.hasDst()) {
+                defined.set(inst.dst);
+                kill[bb.id()].set(inst.dst);
+            }
+        }
+    }
+
+    // Backward iteration to fixpoint, visiting in reverse RPO.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        const auto &rpo = cfg.rpo();
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            const ir::BlockId b = *it;
+            RegSet out(nregs);
+            for (const auto s : cfg.succs(b))
+                out.unionWith(liveIn_[s]);
+            if (!(out == liveOut_[b])) {
+                liveOut_[b] = out;
+                changed = true;
+            }
+            RegSet in = liveOut_[b];
+            in.subtract(kill[b]);
+            in.unionWith(gen[b]);
+            if (!(in == liveIn_[b])) {
+                liveIn_[b] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+}
+
+} // namespace ccr::analysis

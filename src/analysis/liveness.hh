@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-block register liveness (backward dataflow). The CCR compiler uses
+ * it to find a region's live-out set — the registers whose values the
+ * CRB must record in the output bank (paper §3.2).
+ */
+
+#ifndef CCR_ANALYSIS_LIVENESS_HH
+#define CCR_ANALYSIS_LIVENESS_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace ccr::analysis
+{
+
+/** A dense bitset over a function's virtual registers. */
+class RegSet
+{
+  public:
+    RegSet() = default;
+    explicit RegSet(std::size_t num_regs)
+        : words_((num_regs + 63) / 64, 0)
+    {}
+
+    void set(ir::Reg r) { words_[r >> 6] |= 1ULL << (r & 63); }
+    void clear(ir::Reg r) { words_[r >> 6] &= ~(1ULL << (r & 63)); }
+    bool test(ir::Reg r) const
+    {
+        return (words_[r >> 6] >> (r & 63)) & 1;
+    }
+
+    /** this |= other; returns true when this changed. */
+    bool unionWith(const RegSet &other);
+
+    /** this &= ~other. */
+    void subtract(const RegSet &other);
+
+    std::size_t count() const;
+    std::vector<ir::Reg> toVector() const;
+
+    bool operator==(const RegSet &) const = default;
+
+  private:
+    std::vector<std::uint64_t> words_;
+};
+
+/** Live-in/live-out register sets per basic block. */
+class Liveness
+{
+  public:
+    explicit Liveness(const Cfg &cfg);
+
+    const RegSet &liveIn(ir::BlockId b) const { return liveIn_[b]; }
+    const RegSet &liveOut(ir::BlockId b) const { return liveOut_[b]; }
+
+    /** Registers read by @p inst (including call arguments). */
+    static void addUses(const ir::Inst &inst, RegSet &set);
+
+  private:
+    std::vector<RegSet> liveIn_;
+    std::vector<RegSet> liveOut_;
+};
+
+} // namespace ccr::analysis
+
+#endif // CCR_ANALYSIS_LIVENESS_HH

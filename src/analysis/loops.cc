@@ -1,0 +1,116 @@
+#include "analysis/loops.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ccr::analysis
+{
+
+bool
+Loop::contains(ir::BlockId b) const
+{
+    return std::find(blocks.begin(), blocks.end(), b) != blocks.end();
+}
+
+LoopInfo::LoopInfo(const Cfg &cfg, const Dominators &dom)
+{
+    // A back edge t -> h exists when h dominates t. The natural loop of
+    // (t, h) is h plus all blocks that reach t without passing h.
+    // Multiple back edges to one header merge into one loop.
+    std::map<ir::BlockId, std::set<ir::BlockId>> bodies;
+
+    for (const auto t : cfg.rpo()) {
+        for (const auto h : cfg.succs(t)) {
+            if (!dom.dominates(h, t))
+                continue;
+            auto &body = bodies[h];
+            body.insert(h);
+            std::vector<ir::BlockId> work;
+            if (body.insert(t).second)
+                work.push_back(t);
+            while (!work.empty()) {
+                const ir::BlockId b = work.back();
+                work.pop_back();
+                if (b == h)
+                    continue;
+                for (const auto p : cfg.preds(b)) {
+                    if (cfg.reachable(p) && body.insert(p).second)
+                        work.push_back(p);
+                }
+            }
+        }
+    }
+
+    for (const auto &[header, body] : bodies) {
+        Loop loop;
+        loop.header = header;
+        loop.blocks.assign(body.begin(), body.end());
+        for (const auto b : loop.blocks) {
+            for (const auto s : cfg.succs(b)) {
+                if (!body.count(s)) {
+                    loop.exitingBlocks.push_back(b);
+                    break;
+                }
+            }
+        }
+        loops_.push_back(std::move(loop));
+    }
+
+    // Nesting: loop A contains loop B when A's body is a strict superset
+    // of B's body (headers differ) or bodies equal is impossible since
+    // headers are map keys.
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+        for (std::size_t j = 0; j < loops_.size(); ++j) {
+            if (i == j)
+                continue;
+            const auto &outer = loops_[i];
+            const auto &inner = loops_[j];
+            if (inner.blocks.size() < outer.blocks.size()
+                && outer.contains(inner.header)) {
+                const bool subset = std::all_of(
+                    inner.blocks.begin(), inner.blocks.end(),
+                    [&](ir::BlockId b) { return outer.contains(b); });
+                if (subset) {
+                    loops_[i].innermost = false;
+                    loops_[j].depth =
+                        std::max(loops_[j].depth, loops_[i].depth + 1);
+                }
+            }
+        }
+    }
+
+    loopIndex_.assign(cfg.numBlocks(), -1);
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+        for (const auto b : loops_[i].blocks) {
+            const int cur = loopIndex_[b];
+            if (cur < 0
+                || loops_[i].blocks.size()
+                       < loops_[static_cast<std::size_t>(cur)]
+                             .blocks.size()) {
+                loopIndex_[b] = static_cast<int>(i);
+            }
+        }
+    }
+}
+
+std::vector<const Loop *>
+LoopInfo::innermostLoops() const
+{
+    std::vector<const Loop *> result;
+    for (const auto &loop : loops_) {
+        if (loop.innermost)
+            result.push_back(&loop);
+    }
+    return result;
+}
+
+const Loop *
+LoopInfo::loopFor(ir::BlockId b) const
+{
+    if (b >= loopIndex_.size() || loopIndex_[b] < 0)
+        return nullptr;
+    return &loops_[static_cast<std::size_t>(loopIndex_[b])];
+}
+
+} // namespace ccr::analysis

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Natural-loop detection from back edges. Cyclic RCR formation (paper
+ * §4.4) operates on the innermost loops found here.
+ */
+
+#ifndef CCR_ANALYSIS_LOOPS_HH
+#define CCR_ANALYSIS_LOOPS_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+
+namespace ccr::analysis
+{
+
+/** One natural loop: header plus member blocks. */
+struct Loop
+{
+    ir::BlockId header = ir::kNoBlock;
+
+    /** All blocks in the loop body, including the header. */
+    std::vector<ir::BlockId> blocks;
+
+    /** Blocks inside the loop with an edge leaving the loop. */
+    std::vector<ir::BlockId> exitingBlocks;
+
+    /** Loop nesting depth (1 = outermost). */
+    int depth = 1;
+
+    /** True when no other detected loop is nested inside this one. */
+    bool innermost = true;
+
+    bool contains(ir::BlockId b) const;
+};
+
+/** Find all natural loops of a function. */
+class LoopInfo
+{
+  public:
+    LoopInfo(const Cfg &cfg, const Dominators &dom);
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** Innermost loops only. */
+    std::vector<const Loop *> innermostLoops() const;
+
+    /** The innermost loop containing @p b, or nullptr. */
+    const Loop *loopFor(ir::BlockId b) const;
+
+  private:
+    std::vector<Loop> loops_;
+    std::vector<int> loopIndex_; // innermost loop per block, -1 if none
+};
+
+} // namespace ccr::analysis
+
+#endif // CCR_ANALYSIS_LOOPS_HH

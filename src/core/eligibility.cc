@@ -1,0 +1,109 @@
+#include "core/eligibility.hh"
+
+namespace ccr::core
+{
+
+namespace
+{
+
+/** Opcodes that may never appear inside a reuse region. */
+bool
+opcodeAllowed(ir::Opcode op)
+{
+    switch (op) {
+      case ir::Opcode::Store:
+      case ir::Opcode::Call:
+      case ir::Opcode::Alloc:
+      case ir::Opcode::Ret:
+      case ir::Opcode::Halt:
+      case ir::Opcode::Reuse:
+      case ir::Opcode::Invalidate:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** Glue instructions are always value-invariant. */
+bool
+isGlue(const ir::Inst &inst)
+{
+    return inst.op == ir::Opcode::MovI || inst.op == ir::Opcode::MovGA
+           || inst.op == ir::Opcode::Nop;
+}
+
+} // namespace
+
+Ineligible
+Eligibility::classify(ir::FuncId f, const ir::Inst &inst) const
+{
+    if (!opcodeAllowed(inst.op))
+        return Ineligible::BadOpcode;
+    if (isGlue(inst))
+        return Ineligible::Eligible;
+
+    if (inst.isLoad()) {
+        if (!alias_.loadDeterminable(f, inst))
+            return Ineligible::NotDeterminable;
+    }
+
+    const auto *p = prof_.instProfile(f, inst.uid);
+    if (p == nullptr || p->exec == 0) {
+        // Never executed during training: including it costs nothing
+        // and lets cold side paths stay inside regions.
+        return Ineligible::Eligible;
+    }
+
+    // Eq. (1): top-k input tuples must cover fraction R of executions.
+    if (p->invarianceTopK(policy_.invariantValues)
+        < policy_.instReuseThreshold) {
+        return Ineligible::LowInvariance;
+    }
+
+    // Eq. (2) for loads: the loaded locations must be mostly unmodified
+    // between accesses.
+    if (inst.isLoad()
+        && p->memReuseFraction() < policy_.memReuseThreshold) {
+        return Ineligible::LowMemReuse;
+    }
+
+    return Ineligible::Eligible;
+}
+
+double
+Eligibility::seedScore(ir::FuncId f, const ir::Inst &inst) const
+{
+    const auto *p = prof_.instProfile(f, inst.uid);
+    if (p == nullptr || p->exec == 0)
+        return 0.0;
+    return static_cast<double>(p->exec)
+           * p->invarianceTopK(policy_.invariantValues);
+}
+
+std::uint64_t
+Eligibility::execWeight(ir::FuncId f, const ir::Inst &inst) const
+{
+    const auto *p = prof_.instProfile(f, inst.uid);
+    return p == nullptr ? 0 : p->exec;
+}
+
+bool
+Eligibility::likelyDirection(ir::FuncId f, const ir::Inst &inst,
+                             bool &taken_out) const
+{
+    const auto *p = prof_.instProfile(f, inst.uid);
+    if (p == nullptr || p->exec == 0)
+        return false;
+    const double taken = p->takenFraction();
+    if (taken >= policy_.likelyEdgeMin) {
+        taken_out = true;
+        return true;
+    }
+    if (1.0 - taken >= policy_.likelyEdgeMin) {
+        taken_out = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace ccr::core

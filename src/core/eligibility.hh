@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-instruction reuse eligibility: the Reuse(i) / MemReuse(i)
+ * heuristic functions of paper §4.4 (eqs. 1 and 2), evaluated from RPS
+ * profiles against a ReusePolicy.
+ */
+
+#ifndef CCR_CORE_ELIGIBILITY_HH
+#define CCR_CORE_ELIGIBILITY_HH
+
+#include "analysis/alias.hh"
+#include "core/policy.hh"
+#include "ir/module.hh"
+#include "profile/profiles.hh"
+
+namespace ccr::core
+{
+
+/** Why an instruction is not eligible (for diagnostics). */
+enum class Ineligible : std::uint8_t
+{
+    Eligible,
+    BadOpcode,        ///< store/call/alloc/ret/halt/reuse/invalidate
+    LowInvariance,    ///< fails eq. (1)
+    LowMemReuse,      ///< load fails eq. (2)
+    NotDeterminable,  ///< load from anonymous memory
+};
+
+/** Evaluates instruction-level reuse heuristics. */
+class Eligibility
+{
+  public:
+    Eligibility(const ir::Module &mod,
+                const profile::ProfileData &prof,
+                const analysis::AliasAnalysis &alias,
+                const ReusePolicy &policy)
+        : mod_(mod), prof_(prof), alias_(alias), policy_(policy)
+    {}
+
+    /**
+     * Full eligibility check for including @p inst of function @p f in
+     * an acyclic region. Control instructions are judged by their
+     * operand invariance only; the likely-edge criterion is applied by
+     * the path extender.
+     */
+    Ineligible classify(ir::FuncId f, const ir::Inst &inst) const;
+
+    bool
+    eligible(ir::FuncId f, const ir::Inst &inst) const
+    {
+        return classify(f, inst) == Ineligible::Eligible;
+    }
+
+    /** Reuse potential score used for seed ordering: invariance
+     *  fraction weighted by execution count. */
+    double seedScore(ir::FuncId f, const ir::Inst &inst) const;
+
+    /** Exec(i) from the profile (0 when never executed). */
+    std::uint64_t execWeight(ir::FuncId f, const ir::Inst &inst) const;
+
+    /** True when the likelier direction of branch @p inst satisfies the
+     *  60% edge criterion; @p taken_out receives that direction. */
+    bool likelyDirection(ir::FuncId f, const ir::Inst &inst,
+                         bool &taken_out) const;
+
+    const ReusePolicy &policy() const { return policy_; }
+    const analysis::AliasAnalysis &alias() const { return alias_; }
+
+  private:
+    const ir::Module &mod_;
+    const profile::ProfileData &prof_;
+    const analysis::AliasAnalysis &alias_;
+    const ReusePolicy &policy_;
+};
+
+} // namespace ccr::core
+
+#endif // CCR_CORE_ELIGIBILITY_HH

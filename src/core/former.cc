@@ -1,0 +1,490 @@
+#include "core/former.hh"
+
+#include <algorithm>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/liveness.hh"
+#include "analysis/loops.hh"
+#include "core/transform.hh"
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+namespace ccr::core
+{
+
+RegionFormer::RegionFormer(ir::Module &mod,
+                           const profile::ProfileData &prof,
+                           const analysis::AliasAnalysis &alias,
+                           ReusePolicy policy)
+    : mod_(mod), prof_(prof), alias_(alias), policy_(policy),
+      elig_(mod, prof, alias, policy_)
+{
+    claimed_.resize(mod.numFunctions());
+    rejected_.resize(mod.numFunctions());
+}
+
+bool
+RegionFormer::isClaimed(ir::FuncId f, ir::InstUid uid) const
+{
+    return claimed_[f].count(uid) != 0;
+}
+
+void
+RegionFormer::claim(ir::FuncId f, ir::InstUid uid)
+{
+    claimed_[f].insert(uid);
+}
+
+RegionTable
+RegionFormer::formAll()
+{
+    // Function-level regions claim whole callee trees, so they form
+    // first; cyclic and acyclic formation then work on what remains.
+    if (policy_.enableFunctionLevel) {
+        for (std::size_t f = 0; f < mod_.numFunctions(); ++f) {
+            auto &func = mod_.function(static_cast<ir::FuncId>(f));
+            formFunctionLevelRegions(func);
+        }
+    }
+    for (std::size_t f = 0; f < mod_.numFunctions(); ++f) {
+        auto &func = mod_.function(static_cast<ir::FuncId>(f));
+        if (policy_.enableCyclic)
+            formCyclicRegions(func);
+    }
+    for (std::size_t f = 0; f < mod_.numFunctions(); ++f) {
+        auto &func = mod_.function(static_cast<ir::FuncId>(f));
+        if (policy_.enableAcyclic)
+            formAcyclicRegions(func);
+    }
+    renumberByWeight();
+    placeInvalidations();
+    ir::verifyOrDie(mod_);
+    return std::move(table_);
+}
+
+void
+RegionFormer::renumberByWeight()
+{
+    // The reuse instruction's identifier indexes the CRB directly, and
+    // the compiler chooses it (paper §3.1: "indexed by an identifier
+    // number which is specified by the proposed ISA extensions").
+    // Assigning identifiers in descending profile weight keeps the
+    // hottest regions free of index conflicts in small CRBs; only cold
+    // regions share entries.
+    std::vector<std::size_t> order(table_.regions().size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return table_.regions()[a].profileWeight
+                         > table_.regions()[b].profileWeight;
+              });
+
+    std::unordered_map<ir::RegionId, ir::RegionId> remap;
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        remap[table_.regions()[order[rank]].id] =
+            static_cast<ir::RegionId>(rank);
+    }
+
+    for (std::size_t f = 0; f < mod_.numFunctions(); ++f) {
+        auto &func = mod_.function(static_cast<ir::FuncId>(f));
+        for (auto &bb : func.blocks()) {
+            for (auto &inst : bb.insts()) {
+                if ((inst.op == ir::Opcode::Reuse
+                     || inst.op == ir::Opcode::Invalidate)
+                    && inst.regionId != ir::kNoRegion) {
+                    inst.regionId = remap.at(inst.regionId);
+                }
+            }
+        }
+    }
+    table_.remapIds(remap);
+}
+
+namespace
+{
+
+/** Opcodes permitted inside any region body. */
+bool
+regionOpcodeAllowed(ir::Opcode op)
+{
+    switch (op) {
+      case ir::Opcode::Store:
+      case ir::Opcode::Call:
+      case ir::Opcode::Alloc:
+      case ir::Opcode::Ret:
+      case ir::Opcode::Halt:
+      case ir::Opcode::Reuse:
+      case ir::Opcode::Invalidate:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+void
+RegionFormer::formCyclicRegions(ir::Function &func)
+{
+    const ir::FuncId fid = func.id();
+
+    bool formed = true;
+    while (formed) {
+        formed = false;
+
+        const analysis::Cfg cfg(func);
+        const analysis::Dominators dom(cfg);
+        const analysis::LoopInfo loops(cfg, dom);
+        const analysis::Liveness live(cfg);
+
+        for (const auto *loop : loops.innermostLoops()) {
+            // -- Static determinism checks (paper §4.1, §4.4) --------
+            bool ok = true;
+            bool uses_memory = false;
+            std::vector<ir::GlobalId> structs;
+            int static_insts = 0;
+
+            for (const auto b : loop->blocks) {
+                for (const auto &inst : func.block(b).insts()) {
+                    ++static_insts;
+                    if (isClaimed(fid, inst.uid)
+                        || !regionOpcodeAllowed(inst.op)) {
+                        ok = false;
+                        break;
+                    }
+                    if (inst.isLoad()) {
+                        uses_memory = true;
+                        if (!alias_.loadDeterminable(fid, inst)) {
+                            ok = false;
+                            break;
+                        }
+                        for (const auto g :
+                             alias_.memAccess(fid, inst).globals) {
+                            if (mod_.global(g).isConst)
+                                continue;
+                            if (std::find(structs.begin(), structs.end(),
+                                          g)
+                                == structs.end()) {
+                                structs.push_back(g);
+                            }
+                        }
+                    }
+                }
+                if (!ok)
+                    break;
+            }
+            if (!ok)
+                continue;
+            if (!structs.empty() && !policy_.enableMemoryDependent)
+                continue;
+            if (static_cast<int>(structs.size())
+                > policy_.maxMemStructs) {
+                continue;
+            }
+
+            // -- Profile thresholds (paper §4.4) ----------------------
+            const auto *lp = prof_.loopProfile(fid, loop->header);
+            if (lp == nullptr || lp->invocations == 0)
+                continue;
+            if (lp->reuseFraction() < policy_.cyclicReuseMin)
+                continue;
+            if (lp->multiIterFraction() < policy_.cyclicMultiIterMin)
+                continue;
+
+            // -- Live-in limit ---------------------------------------
+            analysis::RegSet used(
+                static_cast<std::size_t>(func.numRegs()));
+            analysis::RegSet defs(
+                static_cast<std::size_t>(func.numRegs()));
+            for (const auto b : loop->blocks) {
+                for (const auto &inst : func.block(b).insts()) {
+                    analysis::Liveness::addUses(inst, used);
+                    if (inst.hasDst())
+                        defs.set(inst.dst);
+                }
+            }
+            std::vector<ir::Reg> live_ins;
+            for (const auto r : live.liveIn(loop->header).toVector()) {
+                if (used.test(r))
+                    live_ins.push_back(r);
+            }
+            if (static_cast<int>(live_ins.size()) > policy_.maxLiveIns)
+                continue;
+
+            // -- Exit edges and the join ------------------------------
+            std::vector<bool> member(func.numBlocks(), false);
+            for (const auto b : loop->blocks)
+                member[b] = true;
+
+            // (exit block, outside target) edges with estimated weight.
+            struct ExitEdge
+            {
+                ir::BlockId from;
+                ir::BlockId to;
+                double weight;
+            };
+            std::vector<ExitEdge> exits;
+            for (const auto b : loop->blocks) {
+                const auto &term = func.block(b).terminator();
+                const auto *p = prof_.instProfile(fid, term.uid);
+                const double exec =
+                    p ? static_cast<double>(p->exec) : 0.0;
+                const double taken = p ? p->takenFraction() : 0.5;
+                auto addExit = [&](ir::BlockId t, double w) {
+                    if (t != ir::kNoBlock && !member[t])
+                        exits.push_back({b, t, w});
+                };
+                if (term.op == ir::Opcode::Br) {
+                    addExit(term.target, exec * taken);
+                    addExit(term.target2, exec * (1.0 - taken));
+                } else if (term.op == ir::Opcode::Jump) {
+                    addExit(term.target, exec);
+                }
+            }
+            if (exits.empty())
+                continue;
+
+            // Join = heaviest exit destination.
+            ir::BlockId join = ir::kNoBlock;
+            double best_weight = -1.0;
+            for (const auto &e : exits) {
+                double w = 0.0;
+                for (const auto &e2 : exits) {
+                    if (e2.to == e.to)
+                        w += e2.weight;
+                }
+                if (w > best_weight) {
+                    best_weight = w;
+                    join = e.to;
+                }
+            }
+
+            // -- Live-out limit (values live into the join) -----------
+            std::vector<ir::Reg> live_outs;
+            for (const auto r : live.liveIn(join).toVector()) {
+                if (defs.test(r))
+                    live_outs.push_back(r);
+            }
+            if (static_cast<int>(live_outs.size())
+                > policy_.maxLiveOuts) {
+                continue;
+            }
+
+            // -- Transform --------------------------------------------
+            const ir::RegionId rid = mod_.newRegionId();
+            const ir::BlockId header = loop->header;
+
+            // Inception block: created first so the redirect can skip
+            // it, filled after the redirect runs.
+            const ir::BlockId inception = func.newBlock();
+            std::vector<bool> exclude = member;
+            exclude.resize(func.numBlocks(), false);
+            exclude[inception] = true;
+            redirectTarget(func, header, inception, &exclude);
+
+            {
+                ir::Inst r;
+                r.op = ir::Opcode::Reuse;
+                r.regionId = rid;
+                r.target = join;
+                r.target2 = header;
+                r.uid = func.newUid();
+                claim(fid, r.uid);
+                func.block(inception).insts().push_back(r);
+            }
+
+            // Exit trampolines: edges to the join commit the CI; all
+            // other loop exits abort memoization.
+            std::unordered_map<ir::BlockId, ir::BlockId> tramp;
+            for (const auto &e : exits) {
+                auto it = tramp.find(e.to);
+                if (it == tramp.end()) {
+                    const ir::BlockId t = makeTrampoline(
+                        func, e.to, e.to == join, e.to != join);
+                    claim(fid, func.block(t).terminator().uid);
+                    it = tramp.emplace(e.to, t).first;
+                }
+                retargetInst(func.block(e.from).terminator(), e.to,
+                             it->second);
+            }
+
+            // Live-out markers and claims.
+            analysis::RegSet lo_set(
+                static_cast<std::size_t>(func.numRegs()));
+            for (const auto r : live_outs)
+                lo_set.set(r);
+            for (const auto b : loop->blocks) {
+                for (auto &inst : func.block(b).insts()) {
+                    if (inst.hasDst() && lo_set.test(inst.dst))
+                        inst.ext.liveOut = true;
+                    claim(fid, inst.uid);
+                }
+            }
+
+            ReuseRegion region;
+            region.id = rid;
+            region.func = fid;
+            region.cyclic = true;
+            region.inception = inception;
+            region.bodyEntry = header;
+            region.join = join;
+            region.liveIns = live_ins;
+            region.liveOuts = live_outs;
+            region.memStructs = structs;
+            region.usesMemory = uses_memory;
+            region.staticInsts = static_insts;
+            region.profileWeight = lp->invocations;
+            table_.add(std::move(region));
+            ++stats_.cyclicFormed;
+
+            formed = true;
+            break; // analyses are stale; restart the scan
+        }
+    }
+}
+
+std::vector<ir::Reg>
+RegionFormer::planLiveIns(const ir::Function &func,
+                          const std::vector<Segment> &segs) const
+{
+    analysis::RegSet defined(static_cast<std::size_t>(func.numRegs()));
+    std::vector<ir::Reg> inputs;
+    analysis::RegSet seen(static_cast<std::size_t>(func.numRegs()));
+    for (const auto &seg : segs) {
+        const auto &bb = func.block(seg.block);
+        for (std::size_t i = seg.begin; i < seg.end; ++i) {
+            const auto &inst = bb.inst(i);
+            const int nsrc = inst.numRegSources();
+            for (int s = 0; s < nsrc; ++s) {
+                const ir::Reg r = inst.regSource(s);
+                if (!defined.test(r) && !seen.test(r)) {
+                    seen.set(r);
+                    inputs.push_back(r);
+                }
+            }
+            if (inst.hasDst())
+                defined.set(inst.dst);
+        }
+    }
+    return inputs;
+}
+
+std::vector<ir::GlobalId>
+RegionFormer::planMemStructs(const ir::Function &func,
+                             const std::vector<Segment> &segs) const
+{
+    std::vector<ir::GlobalId> structs;
+    for (const auto &seg : segs) {
+        const auto &bb = func.block(seg.block);
+        for (std::size_t i = seg.begin; i < seg.end; ++i) {
+            const auto &inst = bb.inst(i);
+            if (!inst.isLoad())
+                continue;
+            for (const auto g :
+                 alias_.memAccess(func.id(), inst).globals) {
+                if (mod_.global(g).isConst)
+                    continue;
+                if (std::find(structs.begin(), structs.end(), g)
+                    == structs.end()) {
+                    structs.push_back(g);
+                }
+            }
+        }
+    }
+    return structs;
+}
+
+std::vector<ir::Reg>
+RegionFormer::planLiveOuts(const ir::Function &func,
+                           const std::vector<Segment> &segs) const
+{
+    const analysis::Cfg cfg(func);
+    const analysis::Liveness live(cfg);
+
+    const Segment &last = segs.back();
+    const auto &lb = func.block(last.block);
+    ccr_assert(last.end <= lb.size(), "segment overruns block");
+
+    // Live registers at the finish point: start from the block's
+    // live-out and walk backward over the instructions after the
+    // region's last instruction.
+    analysis::RegSet at_finish = live.liveOut(last.block);
+    for (std::size_t i = lb.size(); i > last.end; --i) {
+        const auto &inst = lb.inst(i - 1);
+        if (inst.hasDst())
+            at_finish.clear(inst.dst);
+        analysis::Liveness::addUses(inst, at_finish);
+    }
+
+    analysis::RegSet defs(static_cast<std::size_t>(func.numRegs()));
+    for (const auto &seg : segs) {
+        const auto &bb = func.block(seg.block);
+        for (std::size_t i = seg.begin; i < seg.end; ++i) {
+            if (bb.inst(i).hasDst())
+                defs.set(bb.inst(i).dst);
+        }
+    }
+
+    std::vector<ir::Reg> outs;
+    for (const auto r : at_finish.toVector()) {
+        if (defs.test(r))
+            outs.push_back(r);
+    }
+    return outs;
+}
+
+void
+RegionFormer::placeInvalidations()
+{
+    std::vector<const ReuseRegion *> md;
+    for (const auto &r : table_.regions()) {
+        if (!r.memStructs.empty())
+            md.push_back(&r);
+    }
+    if (md.empty())
+        return;
+
+    for (std::size_t f = 0; f < mod_.numFunctions(); ++f) {
+        const auto fid = static_cast<ir::FuncId>(f);
+        auto &func = mod_.function(fid);
+        for (auto &bb : func.blocks()) {
+            auto &insts = bb.insts();
+            for (std::size_t i = 0; i < insts.size(); ++i) {
+                if (!insts[i].isStore())
+                    continue;
+                const analysis::PtSet &t =
+                    alias_.memAccess(fid, insts[i]);
+                std::vector<ir::RegionId> affected;
+                for (const auto *r : md) {
+                    bool hit = t.unknown;
+                    if (!hit) {
+                        for (const auto g : r->memStructs) {
+                            if (t.globals.count(g)) {
+                                hit = true;
+                                break;
+                            }
+                        }
+                    }
+                    if (hit)
+                        affected.push_back(r->id);
+                }
+                for (const auto rid : affected) {
+                    ir::Inst inv;
+                    inv.op = ir::Opcode::Invalidate;
+                    inv.regionId = rid;
+                    inv.uid = func.newUid();
+                    claim(fid, inv.uid);
+                    ++i;
+                    insts.insert(insts.begin()
+                                     + static_cast<std::ptrdiff_t>(i),
+                                 inv);
+                    ++stats_.invalidationsPlaced;
+                }
+            }
+        }
+    }
+}
+
+} // namespace ccr::core

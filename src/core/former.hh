@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Reusable Computation Region formation (paper §4.3-4.4).
+ *
+ * The RegionFormer consumes RPS profiles, alias information, and a
+ * ReusePolicy, selects cyclic (inner-loop) and acyclic (path) regions,
+ * and rewrites the module in place: it inserts `reuse` instructions at
+ * inception points, region-end/exit trampolines, live-out markers, and
+ * `invalidate` instructions after aliasing stores. The returned
+ * RegionTable describes every formed region for the hardware model and
+ * the evaluation harnesses.
+ */
+
+#ifndef CCR_CORE_FORMER_HH
+#define CCR_CORE_FORMER_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/alias.hh"
+#include "core/eligibility.hh"
+#include "core/policy.hh"
+#include "core/region.hh"
+#include "ir/module.hh"
+#include "profile/profiles.hh"
+
+namespace ccr::core
+{
+
+/** Aggregate statistics about one formation run. */
+struct FormationStats
+{
+    int cyclicFormed = 0;
+    int acyclicFormed = 0;
+    int functionLevelFormed = 0;
+    int seedsRejected = 0;
+    int invalidationsPlaced = 0;
+    int blocksReordered = 0;
+};
+
+/** Forms RCRs over a module. One-shot: construct, call formAll(). */
+class RegionFormer
+{
+  public:
+    RegionFormer(ir::Module &mod, const profile::ProfileData &prof,
+                 const analysis::AliasAnalysis &alias,
+                 ReusePolicy policy = {});
+
+    /** Run cyclic + acyclic formation and invalidation placement.
+     *  Mutates the module; returns the region table. */
+    RegionTable formAll();
+
+    const FormationStats &stats() const { return stats_; }
+
+  private:
+    /** One contiguous piece of a planned acyclic region. */
+    struct Segment
+    {
+        ir::BlockId block = ir::kNoBlock;
+        std::size_t begin = 0;
+        std::size_t end = 0; // exclusive
+    };
+
+    ir::Module &mod_;
+    const profile::ProfileData &prof_;
+    const analysis::AliasAnalysis &alias_;
+    ReusePolicy policy_;
+    Eligibility elig_;
+    RegionTable table_;
+    FormationStats stats_;
+
+    /** Instructions already inside a region (or inserted by one). */
+    std::vector<std::unordered_set<ir::InstUid>> claimed_;
+    /** Seeds that failed to grow into a profitable region. */
+    std::vector<std::unordered_set<ir::InstUid>> rejected_;
+
+    bool isClaimed(ir::FuncId f, ir::InstUid uid) const;
+    void claim(ir::FuncId f, ir::InstUid uid);
+
+    void formCyclicRegions(ir::Function &func);
+    void formAcyclicRegions(ir::Function &func);
+    void formFunctionLevelRegions(ir::Function &func);
+    void renumberByWeight();
+    void placeInvalidations();
+
+    /** Try to grow and apply one acyclic region in @p func.
+     *  Returns true when a region was formed. */
+    bool formOneAcyclic(ir::Function &func);
+
+    /** Grow the segment plan from a seed; empty result = rejected. */
+    std::vector<Segment> growFromSeed(const ir::Function &func,
+                                      ir::BlockId seed_block,
+                                      std::size_t seed_idx);
+
+    /** Gather distinct external-read registers of a segment plan. */
+    std::vector<ir::Reg> planLiveIns(const ir::Function &func,
+                                     const std::vector<Segment> &segs)
+        const;
+
+    /** Distinct non-const memory structures read by the plan. */
+    std::vector<ir::GlobalId> planMemStructs(
+        const ir::Function &func,
+        const std::vector<Segment> &segs) const;
+
+    /** Live-out registers of the plan on the current CFG. */
+    std::vector<ir::Reg> planLiveOuts(const ir::Function &func,
+                                      const std::vector<Segment> &segs)
+        const;
+
+    /** Apply the transformation for an acyclic plan. */
+    void applyAcyclic(ir::Function &func, std::vector<Segment> segs);
+};
+
+} // namespace ccr::core
+
+#endif // CCR_CORE_FORMER_HH

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Acyclic RCR formation: seed selection, successor/predecessor path
+ * growth, constraint trimming, and the code transformation (paper
+ * §4.4, steps 1-5).
+ */
+
+#include <algorithm>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/liveness.hh"
+#include "analysis/loops.hh"
+#include "core/former.hh"
+#include "core/reorder.hh"
+#include "core/transform.hh"
+#include "support/logging.hh"
+
+namespace ccr::core
+{
+
+void
+RegionFormer::formAcyclicRegions(ir::Function &func)
+{
+    const ir::FuncId fid = func.id();
+
+    // Cluster reusable instructions within each block once, so runs of
+    // eligible instructions are as long as dependences permit.
+    if (policy_.allowReorder) {
+        for (auto &bb : func.blocks()) {
+            bool any_claimed = false;
+            for (const auto &inst : bb.insts()) {
+                if (isClaimed(fid, inst.uid)) {
+                    any_claimed = true;
+                    break;
+                }
+            }
+            if (any_claimed)
+                continue;
+            const bool moved = clusterReorder(
+                func, bb.id(), [&](const ir::Inst &inst) {
+                    return elig_.eligible(fid, inst);
+                });
+            if (moved)
+                ++stats_.blocksReordered;
+        }
+    }
+
+    while (formOneAcyclic(func)) {
+        // Each formed region restructures the function; repeat until no
+        // further profitable seed exists.
+    }
+}
+
+bool
+RegionFormer::formOneAcyclic(ir::Function &func)
+{
+    const ir::FuncId fid = func.id();
+
+    struct Candidate
+    {
+        ir::BlockId block;
+        std::size_t idx;
+        ir::InstUid uid;
+        double score;
+    };
+    std::vector<Candidate> seeds;
+
+    // Blocks inside natural loops consume loop-carried values; unless
+    // the policy says otherwise, leave them to cyclic formation.
+    std::vector<bool> in_loop(func.numBlocks(), false);
+    if (!policy_.seedInsideLoops) {
+        const analysis::Cfg cfg(func);
+        const analysis::Dominators dom(cfg);
+        const analysis::LoopInfo loops(cfg, dom);
+        for (const auto &loop : loops.loops()) {
+            for (const auto b : loop.blocks)
+                in_loop[b] = true;
+        }
+    }
+
+    for (const auto &bb : func.blocks()) {
+        if (bb.id() < in_loop.size() && in_loop[bb.id()])
+            continue;
+        for (std::size_t i = 0; i < bb.size(); ++i) {
+            const auto &inst = bb.inst(i);
+            if (inst.isControlInst())
+                continue;
+            // Seeds must do real computation; moves and constants only
+            // join regions as glue.
+            if (inst.op == ir::Opcode::MovI
+                || inst.op == ir::Opcode::MovGA
+                || inst.op == ir::Opcode::Mov
+                || inst.op == ir::Opcode::Nop) {
+                continue;
+            }
+            if (isClaimed(fid, inst.uid)
+                || rejected_[fid].count(inst.uid)) {
+                continue;
+            }
+            if (elig_.execWeight(fid, inst) < policy_.minSeedWeight)
+                continue;
+            if (!elig_.eligible(fid, inst))
+                continue;
+            const double score = elig_.seedScore(fid, inst);
+            if (score <= 0.0)
+                continue;
+            seeds.push_back({bb.id(), i, inst.uid, score});
+        }
+    }
+    std::sort(seeds.begin(), seeds.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.score > b.score;
+              });
+
+    for (const auto &seed : seeds) {
+        auto segs = growFromSeed(func, seed.block, seed.idx);
+        if (segs.empty()) {
+            rejected_[fid].insert(seed.uid);
+            ++stats_.seedsRejected;
+            continue;
+        }
+        applyAcyclic(func, std::move(segs));
+        return true;
+    }
+    return false;
+}
+
+std::vector<RegionFormer::Segment>
+RegionFormer::growFromSeed(const ir::Function &func,
+                           ir::BlockId seed_block, std::size_t seed_idx)
+{
+    const ir::FuncId fid = func.id();
+    const analysis::Cfg cfg(func);
+
+    auto usable = [&](const ir::Inst &inst) {
+        return !isClaimed(fid, inst.uid) && elig_.eligible(fid, inst);
+    };
+
+    const auto &b0 = func.block(seed_block);
+    ccr_assert(seed_idx < b0.size(), "bad seed index");
+
+    // Successor/predecessor growth within the seed block.
+    std::size_t start = seed_idx;
+    while (start > 0 && usable(b0.inst(start - 1))
+           && !b0.inst(start - 1).isControlInst()) {
+        --start;
+    }
+    std::size_t end = seed_idx + 1;
+    while (end < b0.size() - 1 && usable(b0.inst(end)))
+        ++end;
+
+    std::vector<Segment> segs{{seed_block, start, end}};
+    auto inRegion = [&](ir::BlockId b) {
+        return std::any_of(segs.begin(), segs.end(),
+                           [b](const Segment &s) { return s.block == b; });
+    };
+
+    // Successor path formation across likely edges.
+    while (true) {
+        const Segment &cur = segs.back();
+        const auto &cb = func.block(cur.block);
+        if (cur.end != cb.size() - 1)
+            break; // region ended before the terminator
+        const auto &term = cb.terminator();
+        if (!usable(term))
+            break;
+
+        ir::BlockId next = ir::kNoBlock;
+        if (term.op == ir::Opcode::Jump) {
+            next = term.target;
+        } else if (term.op == ir::Opcode::Br) {
+            bool taken = false;
+            if (!elig_.likelyDirection(fid, term, taken))
+                break;
+            next = taken ? term.target : term.target2;
+        } else {
+            break;
+        }
+        if (inRegion(next) || cfg.preds(next).size() != 1)
+            break;
+
+        const auto &nb = func.block(next);
+        std::size_t k = 0;
+        while (k < nb.size() - 1 && usable(nb.inst(k)))
+            ++k;
+        if (k == 0)
+            break;
+
+        segs.back().end = cb.size(); // absorb the terminator
+        segs.push_back({next, 0, k});
+    }
+
+    // Predecessor path formation.
+    while (segs.front().begin == 0) {
+        const ir::BlockId fb = segs.front().block;
+        const auto &preds = cfg.preds(fb);
+        if (preds.size() != 1)
+            break;
+        const ir::BlockId p = preds.front();
+        if (inRegion(p))
+            break;
+        const auto &pb = func.block(p);
+        const auto &pterm = pb.terminator();
+        if (!usable(pterm))
+            break;
+        if (pterm.op == ir::Opcode::Br) {
+            bool taken = false;
+            if (!elig_.likelyDirection(fid, pterm, taken))
+                break;
+            const ir::BlockId likely =
+                taken ? pterm.target : pterm.target2;
+            if (likely != fb)
+                break;
+        } else if (pterm.op != ir::Opcode::Jump) {
+            break;
+        }
+        std::size_t lo = pb.size() - 1;
+        while (lo > 0 && usable(pb.inst(lo - 1))
+               && !pb.inst(lo - 1).isControlInst()) {
+            --lo;
+        }
+        segs.insert(segs.begin(), {p, lo, pb.size()});
+    }
+
+    auto totalInsts = [&]() {
+        std::size_t n = 0;
+        for (const auto &s : segs)
+            n += s.end - s.begin;
+        return n;
+    };
+
+    // Trim the region tail until every capacity constraint holds.
+    auto shrinkTail = [&]() -> bool {
+        while (!segs.empty()) {
+            Segment &last = segs.back();
+            if (last.end > last.begin) {
+                --last.end;
+                const auto &lb = func.block(last.block);
+                // Never end a multi-block region on a terminator: if
+                // the shrink exposed one, drop it too.
+                if (last.end > last.begin && last.end == lb.size()
+                    && lb.inst(last.end - 1).isControlInst()) {
+                    --last.end;
+                }
+            }
+            if (last.end == last.begin)
+                segs.pop_back();
+            else
+                return true;
+        }
+        return false;
+    };
+
+    while (true) {
+        if (segs.empty()
+            || totalInsts()
+                   < static_cast<std::size_t>(policy_.minRegionInsts)) {
+            return {};
+        }
+        const auto live_ins = planLiveIns(func, segs);
+        const auto structs = planMemStructs(func, segs);
+        const auto live_outs = planLiveOuts(func, segs);
+        const bool ok =
+            static_cast<int>(live_ins.size()) <= policy_.maxLiveIns
+            && static_cast<int>(live_outs.size()) <= policy_.maxLiveOuts
+            && static_cast<int>(structs.size()) <= policy_.maxMemStructs
+            && (structs.empty() || policy_.enableMemoryDependent)
+            && totalInsts()
+                   <= static_cast<std::size_t>(policy_.maxRegionInsts);
+        if (ok)
+            break;
+        if (!shrinkTail())
+            return {};
+    }
+
+    return segs;
+}
+
+void
+RegionFormer::applyAcyclic(ir::Function &func, std::vector<Segment> segs)
+{
+    const ir::FuncId fid = func.id();
+    const ir::RegionId rid = mod_.newRegionId();
+
+    const auto live_ins = planLiveIns(func, segs);
+    const auto structs = planMemStructs(func, segs);
+
+    bool uses_memory = false;
+    std::uint64_t weight = 0;
+    for (const auto &seg : segs) {
+        const auto &bb = func.block(seg.block);
+        for (std::size_t i = seg.begin; i < seg.end; ++i) {
+            if (bb.inst(i).isLoad())
+                uses_memory = true;
+            weight = std::max(weight,
+                              elig_.execWeight(fid, bb.inst(i)));
+        }
+    }
+
+    // Phase A: isolate the body entry.
+    const ir::BlockId inception = func.newBlock();
+    ir::BlockId body_entry;
+    if (segs.front().begin > 0) {
+        const ir::BlockId prefix = segs.front().block;
+        const std::size_t cut = segs.front().begin;
+        body_entry = splitBlock(func, prefix, cut);
+        ir::Inst j;
+        j.op = ir::Opcode::Jump;
+        j.target = inception;
+        j.uid = func.newUid();
+        func.block(prefix).insts().push_back(j);
+        // Rebase the (single) leading segment onto the new block.
+        segs.front().block = body_entry;
+        segs.front().begin = 0;
+        segs.front().end -= cut;
+    } else {
+        body_entry = segs.front().block;
+        redirectTarget(func, body_entry, inception);
+    }
+
+    // Phase B: isolate the join after the finish instruction.
+    const Segment last_before_split = segs.back();
+    const ir::BlockId join =
+        splitBlock(func, last_before_split.block, last_before_split.end);
+    {
+        ir::Inst j;
+        j.op = ir::Opcode::Jump;
+        j.target = join;
+        j.ext.regionEnd = true;
+        j.uid = func.newUid();
+        claim(fid, j.uid);
+        func.block(last_before_split.block).insts().push_back(j);
+    }
+
+    // Phase C: the reuse instruction at the inception point.
+    {
+        ir::Inst r;
+        r.op = ir::Opcode::Reuse;
+        r.regionId = rid;
+        r.target = join;
+        r.target2 = body_entry;
+        r.uid = func.newUid();
+        claim(fid, r.uid);
+        func.block(inception).insts().push_back(r);
+    }
+
+    // Phase D: side-exit trampolines for in-region branches whose other
+    // direction leaves the region.
+    std::vector<bool> in_region(func.numBlocks(), false);
+    for (const auto &seg : segs)
+        in_region[seg.block] = true;
+    for (std::size_t s = 0; s + 1 < segs.size(); ++s) {
+        const ir::BlockId sb = segs[s].block;
+        ir::BlockId t1 = ir::kNoBlock;
+        ir::BlockId t2 = ir::kNoBlock;
+        {
+            const auto &term = func.block(sb).terminator();
+            if (term.op != ir::Opcode::Br)
+                continue;
+            t1 = term.target;
+            t2 = term.target2;
+        }
+        for (const ir::BlockId t : {t1, t2}) {
+            if (t == ir::kNoBlock)
+                continue;
+            const bool outside =
+                t >= in_region.size() || !in_region[t];
+            if (outside) {
+                // makeTrampoline may reallocate the block vector, so
+                // re-fetch the terminator for the retarget.
+                const ir::BlockId tramp =
+                    makeTrampoline(func, t, false, true);
+                claim(fid, func.block(tramp).terminator().uid);
+                retargetInst(func.block(sb).terminator(), t, tramp);
+            }
+            if (t1 == t2)
+                break;
+        }
+    }
+
+    // Phase E: live-out markers, computed on the final structure.
+    {
+        const analysis::Cfg cfg(func);
+        const analysis::Liveness live(cfg);
+        analysis::RegSet defs(static_cast<std::size_t>(func.numRegs()));
+        for (const auto &seg : segs) {
+            const auto &bb = func.block(seg.block);
+            for (std::size_t i = seg.begin; i < seg.end; ++i) {
+                if (bb.inst(i).hasDst())
+                    defs.set(bb.inst(i).dst);
+            }
+        }
+        std::vector<ir::Reg> live_outs;
+        analysis::RegSet lo_set(
+            static_cast<std::size_t>(func.numRegs()));
+        for (const auto r : live.liveIn(join).toVector()) {
+            if (defs.test(r)) {
+                live_outs.push_back(r);
+                lo_set.set(r);
+            }
+        }
+        ccr_assert(static_cast<int>(live_outs.size())
+                       <= policy_.maxLiveOuts,
+                   "live-out overflow after transform in ", func.name());
+
+        int static_insts = 1; // the region-end jump
+        for (auto &seg : segs) {
+            auto &bb = func.block(seg.block);
+            for (std::size_t i = seg.begin; i < seg.end; ++i) {
+                auto &inst = bb.inst(i);
+                if (inst.hasDst() && lo_set.test(inst.dst))
+                    inst.ext.liveOut = true;
+                claim(fid, inst.uid);
+                ++static_insts;
+            }
+        }
+
+        ReuseRegion region;
+        region.id = rid;
+        region.func = fid;
+        region.cyclic = false;
+        region.inception = inception;
+        region.bodyEntry = body_entry;
+        region.join = join;
+        region.liveIns = live_ins;
+        region.liveOuts = live_outs;
+        region.memStructs = structs;
+        region.usesMemory = uses_memory;
+        region.staticInsts = static_insts;
+        region.profileWeight = weight;
+        table_.add(std::move(region));
+        ++stats_.acyclicFormed;
+    }
+}
+
+} // namespace ccr::core

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Function-level RCR formation — the paper's §6 compiler-domain future
+ * work: "directing the CCR architecture at the function level could
+ * potentially reduce a significant amount of time spent executing
+ * calling convention and spill codes."
+ *
+ * A call site qualifies when the callee is pure (no stores, no
+ * allocation, only determinable loads, transitively), the argument
+ * tuple recurs per the instruction-level invariance heuristic, and the
+ * callee reads at most the policy's number of memory structures. The
+ * transformation wraps the *call instruction itself* in a region: the
+ * `reuse` instruction guards a block holding only the call, the call
+ * carries the region-end marker, and the hardware commits the CI when
+ * the matching return retires — skipping the call, the callee body,
+ * and the return on every hit.
+ */
+
+#include <unordered_set>
+
+#include "core/former.hh"
+#include "core/transform.hh"
+#include "support/logging.hh"
+
+namespace ccr::core
+{
+
+namespace
+{
+
+/** All functions reachable through calls from @p root, including it. */
+void
+collectCallTree(const ir::Module &mod, ir::FuncId root,
+                std::unordered_set<ir::FuncId> &out)
+{
+    if (!out.insert(root).second)
+        return;
+    const auto &func = mod.function(root);
+    for (const auto &bb : func.blocks()) {
+        for (const auto &inst : bb.insts()) {
+            if (inst.op == ir::Opcode::Call)
+                collectCallTree(mod, inst.callee, out);
+        }
+    }
+}
+
+} // namespace
+
+void
+RegionFormer::formFunctionLevelRegions(ir::Function &func)
+{
+    const ir::FuncId fid = func.id();
+
+    // Block count grows as we transform; only scan the original span.
+    const std::size_t original_blocks = func.numBlocks();
+    for (std::size_t b = 0; b < original_blocks; ++b) {
+        const auto block_id = static_cast<ir::BlockId>(b);
+        ir::Inst call = func.block(block_id).terminator();
+        if (call.op != ir::Opcode::Call || isClaimed(fid, call.uid))
+            continue;
+        const ir::FuncId callee = call.callee;
+
+        // -- Callee-side conditions -----------------------------------
+        if (!alias_.funcPure(callee))
+            continue;
+        const auto &reads = alias_.funcReads(callee);
+        if (!reads.empty() && !reads.onlyNamedGlobals())
+            continue;
+        std::vector<ir::GlobalId> structs;
+        for (const auto g : reads.globals) {
+            if (!mod_.global(g).isConst)
+                structs.push_back(g);
+        }
+        if (static_cast<int>(structs.size()) > policy_.maxMemStructs)
+            continue;
+        if (!structs.empty() && !policy_.enableMemoryDependent)
+            continue;
+        const auto &cf = mod_.function(callee);
+        if (cf.numInsts()
+            < static_cast<std::size_t>(policy_.minRegionInsts)) {
+            continue;
+        }
+
+        // -- Call-site conditions -------------------------------------
+        const auto *p = prof_.instProfile(fid, call.uid);
+        if (p == nullptr || p->exec < policy_.minSeedWeight)
+            continue;
+        if (p->invarianceTopK(policy_.invariantValues)
+            < policy_.instReuseThreshold) {
+            continue;
+        }
+
+        // -- Transform -------------------------------------------------
+        const ir::RegionId rid = mod_.newRegionId();
+        const ir::BlockId cont = call.target;
+
+        const ir::BlockId inception = func.newBlock();
+        ir::BlockId body_entry;
+        if (func.block(block_id).size() > 1) {
+            body_entry = splitBlock(func, block_id,
+                                    func.block(block_id).size() - 1);
+            ir::Inst j;
+            j.op = ir::Opcode::Jump;
+            j.target = inception;
+            j.uid = func.newUid();
+            func.block(block_id).insts().push_back(j);
+        } else {
+            body_entry = block_id;
+            redirectTarget(func, body_entry, inception);
+        }
+
+        {
+            ir::Inst r;
+            r.op = ir::Opcode::Reuse;
+            r.regionId = rid;
+            r.target = cont;
+            r.target2 = body_entry;
+            r.uid = func.newUid();
+            claim(fid, r.uid);
+            func.block(inception).insts().push_back(r);
+        }
+
+        // Mark the call as the region end: the CRB controller commits
+        // the CI when the matching return retires.
+        {
+            ir::Inst &marked = func.block(body_entry).terminator();
+            ccr_assert(marked.op == ir::Opcode::Call,
+                       "function-level body is not a call");
+            marked.ext.regionEnd = true;
+            claim(fid, marked.uid);
+        }
+
+        // The callee tree belongs to this region now: no inner regions.
+        std::unordered_set<ir::FuncId> tree;
+        collectCallTree(mod_, callee, tree);
+        std::size_t callee_insts = 0;
+        for (const auto cfid : tree) {
+            const auto &tf = mod_.function(cfid);
+            callee_insts += tf.numInsts();
+            for (const auto &bb2 : tf.blocks()) {
+                for (const auto &inst : bb2.insts())
+                    claim(cfid, inst.uid);
+            }
+        }
+
+        ReuseRegion region;
+        region.id = rid;
+        region.func = fid;
+        region.cyclic = false;
+        region.functionLevel = true;
+        region.inception = inception;
+        region.bodyEntry = body_entry;
+        region.join = cont;
+        for (int i = 0; i < call.numArgs; ++i)
+            region.liveIns.push_back(call.args[i]);
+        if (call.dst != ir::kNoReg)
+            region.liveOuts.push_back(call.dst);
+        region.memStructs = structs;
+        region.usesMemory = !reads.empty();
+        // The skipped execution includes call, body, and return.
+        region.staticInsts = static_cast<int>(callee_insts) + 1;
+        region.profileWeight = p->exec;
+        table_.add(std::move(region));
+        ++stats_.functionLevelFormed;
+    }
+}
+
+} // namespace ccr::core

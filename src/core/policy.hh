@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reuse selection policy: the heuristic thresholds of paper §4.4. The
+ * defaults are the published values; benches ablate them.
+ */
+
+#ifndef CCR_CORE_POLICY_HH
+#define CCR_CORE_POLICY_HH
+
+#include <cstdint>
+
+namespace ccr::core
+{
+
+/** Knobs of the RCR formation heuristics. */
+struct ReusePolicy
+{
+    /** R in eq. (1): minimum fraction of an instruction's executions
+     *  covered by its top-k input tuples ("empirical evaluation found
+     *  setting R and Rm to .65 ... produces good instances"). */
+    double instReuseThreshold = 0.65;
+
+    /** Rm in eq. (2): minimum memory-reuse fraction for loads. */
+    double memReuseThreshold = 0.65;
+
+    /** k: "the number of invariant values to five". */
+    int invariantValues = 5;
+
+    /** "the total number of live-in and live-out registers within a
+     *  computation region are limited to eight" — also the CI register
+     *  bank capacity (paper §5.1). */
+    int maxLiveIns = 8;
+    int maxLiveOuts = 8;
+
+    /** Accordance heuristic: "limits the number of distinguishable
+     *  memory elements to four". */
+    int maxMemStructs = 4;
+
+    /** Cyclic thresholds: "greater than 40% opportunity to reuse
+     *  results" and "greater than 60% of the loop invocations have
+     *  multiple loop iterations". */
+    double cyclicReuseMin = 0.40;
+    double cyclicMultiIterMin = 0.60;
+
+    /** Control-flow edge considered likely when its weight is >= 60%
+     *  of Exec(i). */
+    double likelyEdgeMin = 0.60;
+
+    /** Minimum profile weight for a seed instruction (ignore cold
+     *  code; not in the paper, standard profile-guided practice). */
+    std::uint64_t minSeedWeight = 64;
+
+    /** Minimum static instructions for an acyclic region to be worth a
+     *  reuse instruction (the paper reports ~10 replaced on average). */
+    int minRegionInsts = 4;
+
+    /** Practical upper bound on region size. */
+    int maxRegionInsts = 128;
+
+    /** Enable the instruction-reordering step that clusters reusable
+     *  instructions ("the selection process attempts to reorder
+     *  instructions to create larger reuse sequences"). */
+    bool allowReorder = true;
+
+    /** Enable cyclic (inner-loop) region formation. */
+    bool enableCyclic = true;
+
+    /** Enable acyclic region formation. */
+    bool enableAcyclic = true;
+
+    /**
+     * Permit acyclic seeds inside natural loops. Loop bodies tend to
+     * consume loop-carried registers (induction variables,
+     * accumulators) whose values never recur, producing regions that
+     * thrash the CRB; cyclic formation owns loops instead. Off by
+     * default; the heuristics ablation flips it.
+     */
+    bool seedInsideLoops = false;
+
+    /** Enable memory-dependent regions (ablation: SL-only). */
+    bool enableMemoryDependent = true;
+
+    /**
+     * Enable function-level regions (paper §6 future work): memoize
+     * whole calls to pure functions whose argument tuples recur,
+     * skipping calling convention and body alike on a hit. Off by
+     * default to match the paper's evaluated configuration.
+     */
+    bool enableFunctionLevel = false;
+};
+
+} // namespace ccr::core
+
+#endif // CCR_CORE_POLICY_HH

@@ -1,0 +1,65 @@
+#include "core/region.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ccr::core
+{
+
+std::string
+ReuseRegion::group() const
+{
+    const auto inputs = static_cast<int>(liveIns.size());
+    const auto mem = static_cast<int>(memStructs.size());
+
+    if (memStructs.empty()) {
+        // Paper buckets are cumulative-with-exclusion: SL_8 includes
+        // SL_7 but not SL_6 when SL_6 is also reported.
+        if (inputs <= 4)
+            return "SL_4";
+        if (inputs <= 6)
+            return "SL_6";
+        if (inputs <= 8)
+            return "SL_8";
+        return "OTHER";
+    }
+    if (mem == 1) {
+        if (inputs <= 3)
+            return "MD_3_1";
+        if (inputs <= 6)
+            return "MD_6_1";
+        return "OTHER";
+    }
+    if (mem == 2 && inputs <= 2)
+        return "MD_2_2";
+    if (mem == 3 && inputs <= 2)
+        return "MD_2_3";
+    return "OTHER";
+}
+
+void
+RegionTable::add(ReuseRegion region)
+{
+    ccr_assert(region.id != ir::kNoRegion, "region without id");
+    regions_.push_back(std::move(region));
+}
+
+void
+RegionTable::remapIds(
+    const std::unordered_map<ir::RegionId, ir::RegionId> &remap)
+{
+    for (auto &r : regions_)
+        r.id = remap.at(r.id);
+}
+
+const ReuseRegion *
+RegionTable::find(ir::RegionId id) const
+{
+    const auto it = std::find_if(
+        regions_.begin(), regions_.end(),
+        [id](const ReuseRegion &r) { return r.id == id; });
+    return it == regions_.end() ? nullptr : &*it;
+}
+
+} // namespace ccr::core

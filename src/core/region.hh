@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reusable Computation Region metadata: what the compiler communicates
+ * to the hardware (scope + live-out information) plus bookkeeping used
+ * by the evaluation harnesses.
+ */
+
+#ifndef CCR_CORE_REGION_HH
+#define CCR_CORE_REGION_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/types.hh"
+
+namespace ccr::core
+{
+
+/** Classification of a region's inputs (paper §5.2). */
+enum class RegionClass : std::uint8_t
+{
+    Stateless,       ///< SL: register inputs only (const-table loads OK)
+    MemoryDependent  ///< MD: reads compile-time-determinable memory
+};
+
+/** One formed reusable computation region. */
+struct ReuseRegion
+{
+    ir::RegionId id = ir::kNoRegion;
+    ir::FuncId func = ir::kNoFunc;
+    bool cyclic = false;
+
+    /** Region wraps a whole call (paper §6 function-level reuse). */
+    bool functionLevel = false;
+
+    /** Block holding the `reuse` instruction (inception point). */
+    ir::BlockId inception = ir::kNoBlock;
+
+    /** First block of the region body (reuse-miss target). */
+    ir::BlockId bodyEntry = ir::kNoBlock;
+
+    /** Join block (reuse-hit target / finish continuation). */
+    ir::BlockId join = ir::kNoBlock;
+
+    /** Region live-in registers (static external reads, <= 8). */
+    std::vector<ir::Reg> liveIns;
+
+    /** Region live-out registers (recorded by the CI output bank). */
+    std::vector<ir::Reg> liveOuts;
+
+    /** Non-const memory structures the region reads; empty => SL. */
+    std::vector<ir::GlobalId> memStructs;
+
+    /** True when the region contains any load (including const). */
+    bool usesMemory = false;
+
+    /** Static instruction count inside the region body. */
+    int staticInsts = 0;
+
+    /** Profile-estimated dynamic weight (executions of the region). */
+    std::uint64_t profileWeight = 0;
+
+    RegionClass
+    regionClass() const
+    {
+        return memStructs.empty() ? RegionClass::Stateless
+                                  : RegionClass::MemoryDependent;
+    }
+
+    /**
+     * Computation-group label per the paper's Figure 9 convention:
+     * SL_{inputs} for stateless, MD_{inputs}_{structs} for memory
+     * dependent, with the paper's bucket boundaries (SL_4, SL_6, SL_8,
+     * MD_3_1, MD_6_1, MD_2_2, MD_2_3, OTHER).
+     */
+    std::string group() const;
+};
+
+/** Table of all regions formed for a module, indexed by RegionId. */
+class RegionTable
+{
+  public:
+    void add(ReuseRegion region);
+
+    const ReuseRegion *find(ir::RegionId id) const;
+
+    const std::vector<ReuseRegion> &regions() const { return regions_; }
+    std::size_t size() const { return regions_.size(); }
+    bool empty() const { return regions_.empty(); }
+
+    /** Rewrite region ids per @p remap (compiler id reassignment). */
+    void remapIds(
+        const std::unordered_map<ir::RegionId, ir::RegionId> &remap);
+
+  private:
+    std::vector<ReuseRegion> regions_;
+};
+
+} // namespace ccr::core
+
+#endif // CCR_CORE_REGION_HH

@@ -1,0 +1,141 @@
+#include "core/reorder.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ccr::core
+{
+
+bool
+clusterReorder(ir::Function &func, ir::BlockId block,
+               const std::function<bool(const ir::Inst &)> &eligible)
+{
+    auto &insts = func.block(block).insts();
+    if (insts.size() < 3)
+        return false;
+
+    // The terminator always stays last.
+    const std::size_t n = insts.size() - 1;
+
+    // Build the block-local dependence relation: flow (read after
+    // write), anti (write after read), output (write after write), and
+    // conservative memory ordering (stores are barriers against all
+    // memory operations; loads may pass loads).
+    std::vector<std::vector<std::size_t>> deps(n);
+    {
+        const auto nregs = static_cast<std::size_t>(func.numRegs());
+        std::vector<int> last_writer(nregs, -1);
+        std::vector<std::vector<std::size_t>> readers_since(nregs);
+        int last_store = -1;
+        std::vector<std::size_t> mem_since_store;
+
+        for (std::size_t i = 0; i < n; ++i) {
+            const ir::Inst &inst = insts[i];
+            const int nsrc = inst.numRegSources();
+            for (int s = 0; s < nsrc; ++s) {
+                const ir::Reg r = inst.regSource(s);
+                if (last_writer[r] >= 0) {
+                    deps[i].push_back(
+                        static_cast<std::size_t>(last_writer[r]));
+                }
+                readers_since[r].push_back(i);
+            }
+            if (inst.hasDst()) {
+                const ir::Reg d = inst.dst;
+                if (last_writer[d] >= 0) {
+                    deps[i].push_back(
+                        static_cast<std::size_t>(last_writer[d]));
+                }
+                for (const auto rd : readers_since[d]) {
+                    if (rd != i)
+                        deps[i].push_back(rd);
+                }
+                readers_since[d].clear();
+                last_writer[d] = static_cast<int>(i);
+            }
+            if (inst.isLoad()) {
+                if (last_store >= 0) {
+                    deps[i].push_back(
+                        static_cast<std::size_t>(last_store));
+                }
+                mem_since_store.push_back(i);
+            } else if (inst.isStore() || inst.op == ir::Opcode::Alloc) {
+                for (const auto m : mem_since_store)
+                    deps[i].push_back(m);
+                if (last_store >= 0) {
+                    deps[i].push_back(
+                        static_cast<std::size_t>(last_store));
+                }
+                mem_since_store.clear();
+                last_store = static_cast<int>(i);
+            }
+        }
+    }
+
+    std::vector<bool> elig(n);
+    for (std::size_t i = 0; i < n; ++i)
+        elig[i] = eligible(insts[i]);
+
+    // tainted[i]: i transitively depends on an eligible instruction.
+    std::vector<bool> tainted(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const auto d : deps[i]) {
+            if (elig[d] || tainted[d]) {
+                tainted[i] = true;
+                break;
+            }
+        }
+    }
+
+    // Group 1: non-eligible, untainted (safe to hoist above the
+    // cluster). Group 2: eligible instructions whose deps are all in
+    // groups 1/2. Group 3: the rest.
+    std::vector<std::uint8_t> group(n, 3);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!elig[i] && !tainted[i])
+            group[i] = 1;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!elig[i])
+            continue;
+        bool ok = true;
+        for (const auto d : deps[i]) {
+            if (group[d] != 1 && group[d] != 2) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            group[i] = 2;
+    }
+
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    for (std::uint8_t g = 1; g <= 3; ++g) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (group[i] == g)
+                order.push_back(i);
+        }
+    }
+
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (order[i] != i) {
+            changed = true;
+            break;
+        }
+    }
+    if (!changed)
+        return false;
+
+    std::vector<ir::Inst> reordered;
+    reordered.reserve(insts.size());
+    for (const auto i : order)
+        reordered.push_back(std::move(insts[i]));
+    reordered.push_back(std::move(insts[n])); // terminator
+    insts = std::move(reordered);
+    return true;
+}
+
+} // namespace ccr::core

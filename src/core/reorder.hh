@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Dependence-safe instruction clustering within a basic block. The
+ * selection process "attempts to reorder instructions to create larger
+ * reuse sequences" (paper §4.4); this pass moves reuse-eligible
+ * instructions into one contiguous run when dependences allow.
+ */
+
+#ifndef CCR_CORE_REORDER_HH
+#define CCR_CORE_REORDER_HH
+
+#include <functional>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace ccr::core
+{
+
+/**
+ * Reorder the non-terminator instructions of @p block so that the
+ * instructions for which @p eligible returns true form one contiguous
+ * cluster, preceded by their non-eligible dependence sources and
+ * followed by everything else. All register (flow, anti, output) and
+ * memory dependences are preserved; relative order within each group
+ * is the original program order. Returns true when the order changed.
+ */
+bool clusterReorder(
+    ir::Function &func, ir::BlockId block,
+    const std::function<bool(const ir::Inst &)> &eligible);
+
+} // namespace ccr::core
+
+#endif // CCR_CORE_REORDER_HH

@@ -1,0 +1,74 @@
+#include "core/transform.hh"
+
+#include "support/logging.hh"
+
+namespace ccr::core
+{
+
+ir::BlockId
+splitBlock(ir::Function &func, ir::BlockId block, std::size_t idx)
+{
+    const ir::BlockId fresh = func.newBlock();
+    auto &src = func.block(block).insts();
+    ccr_assert(idx <= src.size(), "split index out of range");
+    auto &dst = func.block(fresh).insts();
+    dst.assign(std::make_move_iterator(src.begin()
+                                       + static_cast<std::ptrdiff_t>(idx)),
+               std::make_move_iterator(src.end()));
+    src.erase(src.begin() + static_cast<std::ptrdiff_t>(idx), src.end());
+    return fresh;
+}
+
+void
+retargetInst(ir::Inst &term, ir::BlockId from, ir::BlockId to)
+{
+    switch (term.op) {
+      case ir::Opcode::Br:
+      case ir::Opcode::Reuse:
+        if (term.target == from)
+            term.target = to;
+        if (term.target2 == from)
+            term.target2 = to;
+        break;
+      case ir::Opcode::Jump:
+      case ir::Opcode::Call:
+        if (term.target == from)
+            term.target = to;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+redirectTarget(ir::Function &func, ir::BlockId from, ir::BlockId to,
+               const std::vector<bool> *exclude)
+{
+    for (auto &bb : func.blocks()) {
+        if (bb.id() == to)
+            continue;
+        if (exclude && bb.id() < exclude->size() && (*exclude)[bb.id()])
+            continue;
+        if (!bb.empty())
+            retargetInst(bb.terminator(), from, to);
+    }
+    if (func.entry() == from)
+        func.setEntry(to);
+}
+
+ir::BlockId
+makeTrampoline(ir::Function &func, ir::BlockId dest, bool region_end,
+               bool region_exit)
+{
+    const ir::BlockId tramp = func.newBlock();
+    ir::Inst jump;
+    jump.op = ir::Opcode::Jump;
+    jump.target = dest;
+    jump.ext.regionEnd = region_end;
+    jump.ext.regionExit = region_exit;
+    jump.uid = func.newUid();
+    func.block(tramp).insts().push_back(jump);
+    return tramp;
+}
+
+} // namespace ccr::core

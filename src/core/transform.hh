@@ -1,0 +1,45 @@
+/**
+ * @file
+ * CFG surgery primitives used by region formation: block splitting,
+ * target redirection, and exit/end trampolines.
+ */
+
+#ifndef CCR_CORE_TRANSFORM_HH
+#define CCR_CORE_TRANSFORM_HH
+
+#include "ir/function.hh"
+
+namespace ccr::core
+{
+
+/**
+ * Move instructions [idx, end) of @p block into a fresh block and
+ * return its id. The original block is left *unterminated*; the caller
+ * must append a terminator. Existing branches to @p block still enter
+ * the retained prefix.
+ */
+ir::BlockId splitBlock(ir::Function &func, ir::BlockId block,
+                       std::size_t idx);
+
+/**
+ * Rewrite every control-flow reference to @p from (branch targets,
+ * call continuations, reuse targets, and the function entry) so it
+ * points to @p to. Blocks for which @p exclude is true are skipped
+ * (used to preserve loop back edges).
+ */
+void redirectTarget(ir::Function &func, ir::BlockId from, ir::BlockId to,
+                    const std::vector<bool> *exclude = nullptr);
+
+/**
+ * Create a block containing a single `jump @p dest` carrying the given
+ * region end/exit markers, and return its id.
+ */
+ir::BlockId makeTrampoline(ir::Function &func, ir::BlockId dest,
+                           bool region_end, bool region_exit);
+
+/** Replace occurrences of target @p from with @p to in @p term only. */
+void retargetInst(ir::Inst &term, ir::BlockId from, ir::BlockId to);
+
+} // namespace ccr::core
+
+#endif // CCR_CORE_TRANSFORM_HH

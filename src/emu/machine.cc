@@ -1,0 +1,372 @@
+#include "emu/machine.hh"
+
+#include <cstring>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace ccr::emu
+{
+
+namespace
+{
+
+double
+asDouble(ir::Value v)
+{
+    double d;
+    std::memcpy(&d, &v, sizeof(d));
+    return d;
+}
+
+ir::Value
+asValue(double d)
+{
+    ir::Value v;
+    std::memcpy(&v, &d, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+CodeLayout::CodeLayout(const ir::Module &mod)
+{
+    Addr next = kCodeBase;
+    funcBase_.resize(mod.numFunctions());
+    blockBase_.resize(mod.numFunctions());
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
+        const auto &func = mod.function(static_cast<ir::FuncId>(f));
+        funcBase_[f] = next;
+        blockBase_[f].resize(func.numBlocks());
+        for (const auto &bb : func.blocks()) {
+            blockBase_[f][bb.id()] = next;
+            next += 4 * bb.size();
+        }
+        next = alignUp(next, 16);
+    }
+}
+
+Addr
+CodeLayout::blockBase(ir::FuncId f, ir::BlockId b) const
+{
+    return blockBase_[f][b];
+}
+
+Machine::Machine(const ir::Module &mod) : mod_(mod), layout_(mod)
+{
+    layoutGlobals();
+    restart();
+}
+
+void
+Machine::layoutGlobals()
+{
+    globalAddr_.resize(mod_.numGlobals());
+    Addr next = kGlobalBase;
+    for (std::size_t g = 0; g < mod_.numGlobals(); ++g) {
+        const auto &gl = mod_.global(static_cast<ir::GlobalId>(g));
+        next = alignUp(next, 16);
+        globalAddr_[g] = next;
+        if (!gl.init.empty())
+            mem_.writeBytes(next, gl.init.data(), gl.init.size());
+        next += gl.sizeBytes;
+    }
+}
+
+void
+Machine::restart()
+{
+    frames_.clear();
+    halted_ = false;
+    instCount_ = 0;
+    heapNext_ = kHeapBase;
+
+    const auto entry = mod_.entryFunction();
+    ccr_assert(entry != ir::kNoFunc, "module has no entry function");
+    const auto &func = mod_.function(entry);
+    ccr_assert(func.numParams() == 0, "entry function takes parameters");
+
+    Frame frame;
+    frame.func = entry;
+    frame.block = func.entry();
+    frame.idx = 0;
+    frame.regs.assign(static_cast<std::size_t>(func.numRegs()), 0);
+    frames_.push_back(std::move(frame));
+}
+
+void
+Machine::reset()
+{
+    mem_ = Memory();
+    layoutGlobals();
+    restart();
+    stats_.reset();
+}
+
+ir::Value
+Machine::readReg(ir::Reg r) const
+{
+    return top().regs[r];
+}
+
+void
+Machine::writeReg(ir::Reg r, ir::Value v)
+{
+    top().regs[r] = v;
+}
+
+ir::Value
+Machine::aluOp(const ir::Inst &inst, ir::Value a, ir::Value b) const
+{
+    using ir::Opcode;
+    const auto ua = static_cast<std::uint64_t>(a);
+    const auto ub = static_cast<std::uint64_t>(b);
+    switch (inst.op) {
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::Mul: return a * b;
+      case Opcode::Div:
+        // Deterministic semantics for pathological inputs.
+        if (b == 0)
+            return 0;
+        if (a == INT64_MIN && b == -1)
+            return INT64_MIN;
+        return a / b;
+      case Opcode::Rem:
+        if (b == 0)
+            return 0;
+        if (a == INT64_MIN && b == -1)
+            return 0;
+        return a % b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Shl:
+        return static_cast<ir::Value>(ua << (ub & 63));
+      case Opcode::Shr:
+        return static_cast<ir::Value>(ua >> (ub & 63));
+      case Opcode::Sra: return a >> (ub & 63);
+      case Opcode::CmpEq: return a == b;
+      case Opcode::CmpNe: return a != b;
+      case Opcode::CmpLt: return a < b;
+      case Opcode::CmpLe: return a <= b;
+      case Opcode::CmpGt: return a > b;
+      case Opcode::CmpGe: return a >= b;
+      case Opcode::CmpLtU: return ua < ub;
+      case Opcode::CmpGeU: return ua >= ub;
+      case Opcode::FAdd: return asValue(asDouble(a) + asDouble(b));
+      case Opcode::FSub: return asValue(asDouble(a) - asDouble(b));
+      case Opcode::FMul: return asValue(asDouble(a) * asDouble(b));
+      case Opcode::FDiv: return asValue(asDouble(a) / asDouble(b));
+      case Opcode::FCmpLt: return asDouble(a) < asDouble(b);
+      default:
+        ccr_panic("aluOp on non-ALU opcode ", ir::opcodeName(inst.op));
+    }
+}
+
+StepKind
+Machine::step(ExecInfo &info)
+{
+    using ir::Opcode;
+
+    if (halted_)
+        return StepKind::Halted;
+
+    Frame &frame = top();
+    const ir::Function &func = mod_.function(frame.func);
+    const ir::BasicBlock &bb = func.block(frame.block);
+    ccr_assert(frame.idx < bb.size(), "ran off block end");
+    const ir::Inst &inst = bb.inst(frame.idx);
+
+    info = ExecInfo{};
+    info.inst = &inst;
+    info.func = frame.func;
+    info.block = frame.block;
+    info.pc = layout_.instAddr(frame.func, frame.block, frame.idx);
+
+    const int nsrc = inst.numRegSources();
+    for (int i = 0; i < nsrc && i < 2; ++i)
+        info.srcVals[static_cast<std::size_t>(i)] =
+            frame.regs[inst.regSource(i)];
+
+    StepKind kind = StepKind::Inst;
+    bool advance = true; // move to next instruction in the same block
+
+    switch (inst.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::MovI:
+        info.result = inst.imm;
+        frame.regs[inst.dst] = inst.imm;
+        break;
+      case Opcode::Mov:
+        info.result = info.srcVals[0];
+        frame.regs[inst.dst] = info.result;
+        break;
+      case Opcode::MovGA:
+        info.result = static_cast<ir::Value>(globalAddr_[inst.globalId]);
+        frame.regs[inst.dst] = info.result;
+        break;
+      case Opcode::I2F:
+        info.result = asValue(static_cast<double>(info.srcVals[0]));
+        frame.regs[inst.dst] = info.result;
+        break;
+      case Opcode::F2I:
+        info.result =
+            static_cast<ir::Value>(asDouble(info.srcVals[0]));
+        frame.regs[inst.dst] = info.result;
+        break;
+      case Opcode::Load: {
+        info.memAddr = static_cast<Addr>(info.srcVals[0])
+                       + static_cast<Addr>(inst.imm);
+        info.result = mem_.read(info.memAddr, inst.size,
+                                inst.unsignedLoad);
+        frame.regs[inst.dst] = info.result;
+        ++stats_.counter("loads");
+        break;
+      }
+      case Opcode::Store: {
+        info.memAddr = static_cast<Addr>(info.srcVals[0])
+                       + static_cast<Addr>(inst.imm);
+        mem_.write(info.memAddr, inst.size, info.srcVals[1]);
+        ++stats_.counter("stores");
+        break;
+      }
+      case Opcode::Alloc: {
+        const auto bytes = static_cast<Addr>(
+            inst.srcImm ? inst.imm : info.srcVals[0]);
+        heapNext_ = alignUp(heapNext_, 16);
+        info.result = static_cast<ir::Value>(heapNext_);
+        frame.regs[inst.dst] = info.result;
+        heapNext_ += bytes;
+        break;
+      }
+      case Opcode::Br: {
+        info.taken = info.srcVals[0] != 0;
+        frame.block = info.taken ? inst.target : inst.target2;
+        frame.idx = 0;
+        advance = false;
+        ++stats_.counter("branches");
+        break;
+      }
+      case Opcode::Jump:
+        frame.block = inst.target;
+        frame.idx = 0;
+        advance = false;
+        break;
+      case Opcode::Call: {
+        const ir::Function &callee = mod_.function(inst.callee);
+        for (int i = 0; i < inst.numArgs; ++i)
+            info.argVals[static_cast<std::size_t>(i)] =
+                frame.regs[inst.args[i]];
+        Frame next;
+        next.func = inst.callee;
+        next.block = callee.entry();
+        next.idx = 0;
+        next.retDst = inst.dst;
+        next.retBlock = inst.target;
+        next.regs.assign(static_cast<std::size_t>(callee.numRegs()), 0);
+        for (int i = 0; i < inst.numArgs; ++i)
+            next.regs[static_cast<std::size_t>(i)] =
+                frame.regs[inst.args[i]];
+        frames_.push_back(std::move(next));
+        advance = false;
+        ++stats_.counter("calls");
+        break;
+      }
+      case Opcode::Ret: {
+        const ir::Value result =
+            inst.src1 == ir::kNoReg ? 0 : info.srcVals[0];
+        info.result = result;
+        const ir::Reg ret_dst = frame.retDst;
+        const ir::BlockId ret_block = frame.retBlock;
+        frames_.pop_back();
+        if (frames_.empty()) {
+            halted_ = true;
+        } else {
+            Frame &caller = top();
+            if (ret_dst != ir::kNoReg)
+                caller.regs[ret_dst] = result;
+            caller.block = ret_block;
+            caller.idx = 0;
+        }
+        advance = false;
+        break;
+      }
+      case Opcode::Halt:
+        halted_ = true;
+        advance = false;
+        break;
+      case Opcode::Reuse: {
+        ReuseOutcome outcome;
+        if (reuse_)
+            outcome = reuse_->onReuse(inst.regionId, *this);
+        if (outcome.hit) {
+            frame.block = inst.target;
+            kind = StepKind::ReuseHit;
+            ++stats_.counter("reuseHits");
+        } else {
+            frame.block = inst.target2;
+            kind = StepKind::ReuseMiss;
+            ++stats_.counter("reuseMisses");
+        }
+        frame.idx = 0;
+        advance = false;
+        break;
+      }
+      case Opcode::Invalidate:
+        if (reuse_)
+            reuse_->onInvalidate(inst.regionId);
+        ++stats_.counter("invalidates");
+        break;
+      default:
+        // Binary ALU / compare.
+        {
+            const ir::Value b =
+                inst.srcImm ? inst.imm : info.srcVals[1];
+            if (inst.srcImm)
+                info.srcVals[1] = inst.imm;
+            info.result = aluOp(inst, info.srcVals[0], b);
+            frame.regs[inst.dst] = info.result;
+        }
+        break;
+    }
+
+    if (advance)
+        ++frame.idx;
+
+    ++instCount_;
+    ++stats_.counter("insts");
+
+    // Next-PC for the timing model's fetch redirect logic.
+    if (halted_) {
+        info.nextPc = 0;
+    } else {
+        const Frame &now = top();
+        info.nextPc = layout_.instAddr(now.func, now.block, now.idx);
+    }
+
+    // Route to the CCR handler while it is recording a region, and to
+    // passive observers always.
+    if (reuse_ && kind == StepKind::Inst && reuse_->memoActive())
+        reuse_->observe(info);
+    for (auto *obs : observers_)
+        obs->onInst(info);
+
+    // Note: the final instruction (Halt / last Ret) still reports its
+    // own kind; step() only returns Halted when called after the
+    // machine has already stopped.
+    return kind;
+}
+
+std::uint64_t
+Machine::run(std::uint64_t max_insts)
+{
+    ExecInfo info;
+    const std::uint64_t start = instCount_;
+    while (!halted_ && instCount_ - start < max_insts)
+        step(info);
+    return instCount_ - start;
+}
+
+} // namespace ccr::emu

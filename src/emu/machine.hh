@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The functional IR emulator ("Machine"). Executes a Module instruction
+ * by instruction; the timing model and the profilers attach through the
+ * Observer and ReuseHandler hooks, mirroring IMPACT's emulation-driven
+ * simulation style.
+ */
+
+#ifndef CCR_EMU_MACHINE_HH
+#define CCR_EMU_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "emu/memory.hh"
+#include "ir/module.hh"
+#include "support/stats.hh"
+
+namespace ccr::emu
+{
+
+/** Everything an observer may want to know about one executed inst. */
+struct ExecInfo
+{
+    const ir::Inst *inst = nullptr;
+    ir::FuncId func = ir::kNoFunc;
+    ir::BlockId block = ir::kNoBlock;
+
+    /** Values of regSource(0) / regSource(1) before execution. */
+    std::array<ir::Value, 2> srcVals{};
+
+    /** Call only: the argument values passed to the callee. */
+    std::array<ir::Value, ir::kMaxCallArgs> argVals{};
+
+    /** Value written to dst (when the instruction has one). */
+    ir::Value result = 0;
+
+    /** Effective address for Load/Store. */
+    Addr memAddr = 0;
+
+    /** Branch outcome for Br. */
+    bool taken = false;
+
+    /** Code address of this instruction (see CodeLayout). */
+    Addr pc = 0;
+
+    /** Code address of the next instruction to execute. */
+    Addr nextPc = 0;
+};
+
+/** Kinds of step outcomes the timing model distinguishes. */
+enum class StepKind : std::uint8_t
+{
+    Inst,       ///< ordinary instruction committed
+    ReuseHit,   ///< reuse instruction found a valid CI and skipped code
+    ReuseMiss,  ///< reuse instruction missed; memoization mode begins
+    Halted      ///< program finished
+};
+
+/** Outcome of a CRB query, including what timing needs. */
+struct ReuseOutcome
+{
+    bool hit = false;
+
+    /** Number of distinct input registers the validation step read
+     *  (summary set size, paper §3.3). */
+    int numInputsRead = 0;
+
+    /** Number of live-out registers written on a hit. */
+    int numOutputsWritten = 0;
+
+    /** The summary-set registers read (for interlock modeling). */
+    std::array<ir::Reg, 8> inputRegs{};
+
+    /** The live-out registers written on a hit (for wakeup modeling). */
+    std::array<ir::Reg, 8> outputRegs{};
+};
+
+class Machine;
+
+/**
+ * Hardware-side handler for the CCR ISA extension. The uarch layer's
+ * CRB controller implements this; the machine routes `reuse`,
+ * `invalidate`, and (while a region executes) every instruction to it.
+ */
+class ReuseHandler
+{
+  public:
+    virtual ~ReuseHandler() = default;
+
+    /** A `reuse` instruction executed. On a hit the handler must write
+     *  the live-out registers through machine.writeReg(). */
+    virtual ReuseOutcome onReuse(ir::RegionId region, Machine &machine)
+        = 0;
+
+    /** Every instruction executed while the handler is interested
+     *  (memoization mode); the handler watches ext.regionEnd /
+     *  ext.regionExit bits to finish recording. */
+    virtual void observe(const ExecInfo &info) = 0;
+
+    /** An `invalidate` instruction executed. */
+    virtual void onInvalidate(ir::RegionId region) = 0;
+
+    /** True while memoization mode is active (machine forwards every
+     *  instruction through observe() only in that case). */
+    virtual bool memoActive() const = 0;
+};
+
+/** Passive profiling observer (value profiling, limit studies). */
+class Observer
+{
+  public:
+    virtual ~Observer() = default;
+    virtual void onInst(const ExecInfo &info) = 0;
+};
+
+/**
+ * Code-address layout: assigns a synthetic address to every static
+ * instruction (functions laid out in id order, 4 bytes per
+ * instruction). The timing model's I-cache and BTB key on these.
+ */
+class CodeLayout
+{
+  public:
+    explicit CodeLayout(const ir::Module &mod);
+
+    Addr funcBase(ir::FuncId f) const { return funcBase_[f]; }
+    Addr blockBase(ir::FuncId f, ir::BlockId b) const;
+
+    Addr
+    instAddr(ir::FuncId f, ir::BlockId b, std::size_t idx) const
+    {
+        return blockBase(f, b) + 4 * idx;
+    }
+
+    static constexpr Addr kCodeBase = 0x1000;
+
+  private:
+    std::vector<Addr> funcBase_;
+    std::vector<std::vector<Addr>> blockBase_; // [func][block]
+};
+
+/**
+ * The machine: register frames, memory, and the fetch-execute loop.
+ *
+ * Globals are laid out at construction; input generators may then write
+ * into them through global(Addr)/memory(). run() executes until Halt or
+ * the instruction budget is exhausted.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const ir::Module &mod);
+
+    /** Reset control state and registers (memory is preserved). */
+    void restart();
+
+    /** Reset everything including memory and re-lay-out globals. */
+    void reset();
+
+    /** Execute one instruction. @p info_out receives the details. */
+    StepKind step(ExecInfo &info_out);
+
+    /** Run to Halt or until @p max_insts committed. Returns committed
+     *  instruction count. */
+    std::uint64_t run(std::uint64_t max_insts = UINT64_MAX);
+
+    bool halted() const { return halted_; }
+
+    /** Dynamic instructions committed so far (reuse hit counts as 1). */
+    std::uint64_t instCount() const { return instCount_; }
+
+    // -- Hook installation -------------------------------------------
+
+    void setReuseHandler(ReuseHandler *handler) { reuse_ = handler; }
+    void addObserver(Observer *obs) { observers_.push_back(obs); }
+    void clearObservers() { observers_.clear(); }
+
+    // -- State access -------------------------------------------------
+
+    /** Register of the current (innermost) frame. */
+    ir::Value readReg(ir::Reg r) const;
+    void writeReg(ir::Reg r, ir::Value v);
+
+    Memory &memory() { return mem_; }
+    const Memory &memory() const { return mem_; }
+
+    /** Base address assigned to global @p g. */
+    Addr globalAddr(ir::GlobalId g) const { return globalAddr_[g]; }
+
+    const ir::Module &module() const { return mod_; }
+    const CodeLayout &layout() const { return layout_; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Frame
+    {
+        ir::FuncId func = ir::kNoFunc;
+        ir::BlockId block = ir::kNoBlock;
+        std::size_t idx = 0;
+        ir::Reg retDst = ir::kNoReg;      // caller register for result
+        ir::BlockId retBlock = ir::kNoBlock; // caller continuation
+        std::vector<ir::Value> regs;
+    };
+
+    const ir::Module &mod_;
+    CodeLayout layout_;
+    Memory mem_;
+    std::vector<Addr> globalAddr_;
+    Addr heapNext_ = kHeapBase;
+
+    std::vector<Frame> frames_;
+    bool halted_ = false;
+    std::uint64_t instCount_ = 0;
+
+    ReuseHandler *reuse_ = nullptr;
+    std::vector<Observer *> observers_;
+
+    StatGroup stats_{"machine"};
+
+    static constexpr Addr kGlobalBase = 0x10000;
+    static constexpr Addr kHeapBase = 0x10000000;
+
+    void layoutGlobals();
+    Frame &top() { return frames_.back(); }
+    const Frame &top() const { return frames_.back(); }
+
+    ir::Value aluOp(const ir::Inst &inst, ir::Value a, ir::Value b) const;
+};
+
+} // namespace ccr::emu
+
+#endif // CCR_EMU_MACHINE_HH

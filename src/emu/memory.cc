@@ -1,0 +1,95 @@
+#include "emu/memory.hh"
+
+#include <cstring>
+
+#include "support/bits.hh"
+
+namespace ccr::emu
+{
+
+Memory::Page &
+Memory::pageFor(Addr addr)
+{
+    const Addr key = addr >> kPageBits;
+    auto &slot = pages_[key];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const Memory::Page *
+Memory::pageForRead(Addr addr) const
+{
+    const auto it = pages_.find(addr >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+ir::Value
+Memory::read(Addr addr, ir::MemSize size, bool unsigned_load) const
+{
+    const int n = ir::memSizeBytes(size);
+    std::uint64_t raw = 0;
+    // Fast path: access within one page.
+    const Addr off = addr & (kPageSize - 1);
+    if (off + static_cast<Addr>(n) <= kPageSize) {
+        if (const Page *p = pageForRead(addr)) {
+            for (int i = 0; i < n; ++i)
+                raw |= static_cast<std::uint64_t>((*p)[off + i]) << (8 * i);
+        }
+    } else {
+        for (int i = 0; i < n; ++i) {
+            std::uint8_t b = 0;
+            if (const Page *p = pageForRead(addr + i))
+                b = (*p)[(addr + i) & (kPageSize - 1)];
+            raw |= static_cast<std::uint64_t>(b) << (8 * i);
+        }
+    }
+    if (unsigned_load || n == 8)
+        return static_cast<ir::Value>(raw);
+    return signExtend(raw, n * 8);
+}
+
+void
+Memory::write(Addr addr, ir::MemSize size, ir::Value value)
+{
+    const int n = ir::memSizeBytes(size);
+    const auto raw = static_cast<std::uint64_t>(value);
+    const Addr off = addr & (kPageSize - 1);
+    if (off + static_cast<Addr>(n) <= kPageSize) {
+        Page &p = pageFor(addr);
+        for (int i = 0; i < n; ++i)
+            p[off + i] = static_cast<std::uint8_t>(raw >> (8 * i));
+    } else {
+        for (int i = 0; i < n; ++i) {
+            pageFor(addr + i)[(addr + i) & (kPageSize - 1)] =
+                static_cast<std::uint8_t>(raw >> (8 * i));
+        }
+    }
+}
+
+void
+Memory::writeBytes(Addr addr, const std::uint8_t *data, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        pageFor(addr + i)[(addr + i) & (kPageSize - 1)] = data[i];
+}
+
+void
+Memory::readBytes(Addr addr, std::uint8_t *data, std::size_t len) const
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        const Page *p = pageForRead(addr + i);
+        data[i] = p ? (*p)[(addr + i) & (kPageSize - 1)] : 0;
+    }
+}
+
+void
+Memory::zero(Addr addr, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        pageFor(addr + i)[(addr + i) & (kPageSize - 1)] = 0;
+}
+
+} // namespace ccr::emu

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sparse flat byte-addressed memory for the emulator. Pages are
+ * allocated on first touch; all memory reads as zero until written.
+ */
+
+#ifndef CCR_EMU_MEMORY_HH
+#define CCR_EMU_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "ir/types.hh"
+
+namespace ccr::emu
+{
+
+/** Address type within the emulated machine. */
+using Addr = std::uint64_t;
+
+/** Sparse paged memory. */
+class Memory
+{
+  public:
+    static constexpr std::size_t kPageBits = 12;
+    static constexpr std::size_t kPageSize = 1ULL << kPageBits;
+
+    /** Read @p size bytes at @p addr; sign- or zero-extend. */
+    ir::Value read(Addr addr, ir::MemSize size, bool unsigned_load) const;
+
+    /** Write the low @p size bytes of @p value at @p addr. */
+    void write(Addr addr, ir::MemSize size, ir::Value value);
+
+    /** Bulk copy-in (loader / input generators). */
+    void writeBytes(Addr addr, const std::uint8_t *data, std::size_t len);
+
+    /** Bulk copy-out (harness output checks). */
+    void readBytes(Addr addr, std::uint8_t *data, std::size_t len) const;
+
+    /** Zero a byte range. */
+    void zero(Addr addr, std::size_t len);
+
+    /** Number of pages currently allocated. */
+    std::size_t numPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, kPageSize>;
+
+    Page &pageFor(Addr addr);
+    const Page *pageForRead(Addr addr) const;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace ccr::emu
+
+#endif // CCR_EMU_MEMORY_HH

@@ -1,0 +1,250 @@
+#include "ir/builder.hh"
+
+#include "support/logging.hh"
+
+namespace ccr::ir
+{
+
+Inst &
+IRBuilder::emit(Inst inst)
+{
+    ccr_assert(cur_ != kNoBlock, "no insert point set");
+    BasicBlock &bb = func_.block(cur_);
+    ccr_assert(!bb.isTerminated(),
+               "emitting into terminated block B", bb.id(), " of ",
+               func_.name());
+    if (inst.uid == kNoUid)
+        inst.uid = func_.newUid();
+    bb.insts().push_back(inst);
+    return bb.insts().back();
+}
+
+Reg
+IRBuilder::movI(std::int64_t imm)
+{
+    const Reg dst = func_.newReg();
+    movITo(dst, imm);
+    return dst;
+}
+
+void
+IRBuilder::movITo(Reg dst, std::int64_t imm)
+{
+    Inst i;
+    i.op = Opcode::MovI;
+    i.dst = dst;
+    i.imm = imm;
+    emit(i);
+}
+
+Reg
+IRBuilder::mov(Reg src)
+{
+    const Reg dst = func_.newReg();
+    movTo(dst, src);
+    return dst;
+}
+
+void
+IRBuilder::movTo(Reg dst, Reg src)
+{
+    Inst i;
+    i.op = Opcode::Mov;
+    i.dst = dst;
+    i.src1 = src;
+    emit(i);
+}
+
+Reg
+IRBuilder::movGA(GlobalId g)
+{
+    Inst i;
+    i.op = Opcode::MovGA;
+    i.dst = func_.newReg();
+    i.globalId = g;
+    emit(i);
+    return i.dst;
+}
+
+Reg
+IRBuilder::binOp(Opcode op, Reg a, Reg b)
+{
+    const Reg dst = func_.newReg();
+    binOpTo(dst, op, a, b);
+    return dst;
+}
+
+Reg
+IRBuilder::binOpI(Opcode op, Reg a, std::int64_t imm)
+{
+    const Reg dst = func_.newReg();
+    binOpITo(dst, op, a, imm);
+    return dst;
+}
+
+void
+IRBuilder::binOpTo(Reg dst, Opcode op, Reg a, Reg b)
+{
+    ccr_assert(isBinaryAlu(op), "not a binary op: ", opcodeName(op));
+    Inst i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = a;
+    i.src2 = b;
+    emit(i);
+}
+
+void
+IRBuilder::binOpITo(Reg dst, Opcode op, Reg a, std::int64_t imm)
+{
+    ccr_assert(isBinaryAlu(op), "not a binary op: ", opcodeName(op));
+    Inst i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = a;
+    i.srcImm = true;
+    i.imm = imm;
+    emit(i);
+}
+
+Reg
+IRBuilder::load(Reg base, std::int64_t off, MemSize size,
+                bool unsigned_load)
+{
+    const Reg dst = func_.newReg();
+    loadTo(dst, base, off, size, unsigned_load);
+    return dst;
+}
+
+void
+IRBuilder::loadTo(Reg dst, Reg base, std::int64_t off, MemSize size,
+                  bool unsigned_load)
+{
+    Inst i;
+    i.op = Opcode::Load;
+    i.dst = dst;
+    i.src1 = base;
+    i.imm = off;
+    i.size = size;
+    i.unsignedLoad = unsigned_load;
+    emit(i);
+}
+
+void
+IRBuilder::store(Reg base, std::int64_t off, Reg value, MemSize size)
+{
+    Inst i;
+    i.op = Opcode::Store;
+    i.src1 = base;
+    i.src2 = value;
+    i.imm = off;
+    i.size = size;
+    emit(i);
+}
+
+Reg
+IRBuilder::allocI(std::int64_t bytes)
+{
+    Inst i;
+    i.op = Opcode::Alloc;
+    i.dst = func_.newReg();
+    i.srcImm = true;
+    i.imm = bytes;
+    emit(i);
+    return i.dst;
+}
+
+void
+IRBuilder::br(Reg cond, BlockId taken, BlockId not_taken)
+{
+    Inst i;
+    i.op = Opcode::Br;
+    i.src1 = cond;
+    i.target = taken;
+    i.target2 = not_taken;
+    emit(i);
+}
+
+void
+IRBuilder::jump(BlockId target)
+{
+    Inst i;
+    i.op = Opcode::Jump;
+    i.target = target;
+    emit(i);
+}
+
+Reg
+IRBuilder::call(FuncId callee, std::initializer_list<Reg> args,
+                BlockId cont)
+{
+    ccr_assert(args.size() <= kMaxCallArgs, "too many call args");
+    Inst i;
+    i.op = Opcode::Call;
+    i.dst = func_.newReg();
+    i.callee = callee;
+    i.target = cont;
+    i.numArgs = static_cast<std::uint8_t>(args.size());
+    int n = 0;
+    for (const Reg a : args)
+        i.args[n++] = a;
+    const Reg dst = i.dst;
+    emit(i);
+    return dst;
+}
+
+void
+IRBuilder::callVoid(FuncId callee, std::initializer_list<Reg> args,
+                    BlockId cont)
+{
+    ccr_assert(args.size() <= kMaxCallArgs, "too many call args");
+    Inst i;
+    i.op = Opcode::Call;
+    i.dst = kNoReg;
+    i.callee = callee;
+    i.target = cont;
+    i.numArgs = static_cast<std::uint8_t>(args.size());
+    int n = 0;
+    for (const Reg a : args)
+        i.args[n++] = a;
+    emit(i);
+}
+
+void
+IRBuilder::ret(Reg value)
+{
+    Inst i;
+    i.op = Opcode::Ret;
+    i.src1 = value;
+    emit(i);
+}
+
+void
+IRBuilder::halt()
+{
+    Inst i;
+    i.op = Opcode::Halt;
+    emit(i);
+}
+
+void
+IRBuilder::reuse(RegionId region, BlockId hit, BlockId body)
+{
+    Inst i;
+    i.op = Opcode::Reuse;
+    i.regionId = region;
+    i.target = hit;
+    i.target2 = body;
+    emit(i);
+}
+
+void
+IRBuilder::invalidate(RegionId region)
+{
+    Inst i;
+    i.op = Opcode::Invalidate;
+    i.regionId = region;
+    emit(i);
+}
+
+} // namespace ccr::ir

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * IRBuilder: the ergonomic construction API for IR functions. Workload
+ * programs and tests build code through this interface.
+ *
+ * Usage:
+ * @code
+ *   Module m("demo");
+ *   Function &f = m.addFunction("main", 0);
+ *   IRBuilder b(f);
+ *   BlockId entry = b.newBlock();
+ *   b.setInsertPoint(entry);
+ *   Reg x = b.movI(42);
+ *   Reg y = b.add(x, b.movI(1));
+ *   b.halt();
+ * @endcode
+ */
+
+#ifndef CCR_IR_BUILDER_HH
+#define CCR_IR_BUILDER_HH
+
+#include <initializer_list>
+
+#include "ir/function.hh"
+#include "ir/module.hh"
+
+namespace ccr::ir
+{
+
+/** Builds instructions into a function one block at a time. */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Function &func) : func_(func) {}
+
+    Function &function() { return func_; }
+
+    /** Create a new block (does not move the insert point). */
+    BlockId newBlock() { return func_.newBlock(); }
+
+    /** Direct subsequent emissions into @p block. */
+    void setInsertPoint(BlockId block) { cur_ = block; }
+
+    BlockId insertPoint() const { return cur_; }
+
+    /** Allocate a fresh virtual register. */
+    Reg reg() { return func_.newReg(); }
+
+    // -- Data movement -----------------------------------------------
+
+    /** dst = immediate. */
+    Reg movI(std::int64_t imm);
+    void movITo(Reg dst, std::int64_t imm);
+
+    /** dst = src. */
+    Reg mov(Reg src);
+    void movTo(Reg dst, Reg src);
+
+    /** dst = &global. */
+    Reg movGA(GlobalId g);
+
+    // -- ALU: register-register and register-immediate forms ---------
+
+    Reg binOp(Opcode op, Reg a, Reg b);
+    Reg binOpI(Opcode op, Reg a, std::int64_t imm);
+    void binOpTo(Reg dst, Opcode op, Reg a, Reg b);
+    void binOpITo(Reg dst, Opcode op, Reg a, std::int64_t imm);
+
+    Reg add(Reg a, Reg b) { return binOp(Opcode::Add, a, b); }
+    Reg addI(Reg a, std::int64_t i) { return binOpI(Opcode::Add, a, i); }
+    Reg sub(Reg a, Reg b) { return binOp(Opcode::Sub, a, b); }
+    Reg subI(Reg a, std::int64_t i) { return binOpI(Opcode::Sub, a, i); }
+    Reg mul(Reg a, Reg b) { return binOp(Opcode::Mul, a, b); }
+    Reg mulI(Reg a, std::int64_t i) { return binOpI(Opcode::Mul, a, i); }
+    Reg div(Reg a, Reg b) { return binOp(Opcode::Div, a, b); }
+    Reg rem(Reg a, Reg b) { return binOp(Opcode::Rem, a, b); }
+    Reg remI(Reg a, std::int64_t i) { return binOpI(Opcode::Rem, a, i); }
+    Reg andR(Reg a, Reg b) { return binOp(Opcode::And, a, b); }
+    Reg andI(Reg a, std::int64_t i) { return binOpI(Opcode::And, a, i); }
+    Reg orR(Reg a, Reg b) { return binOp(Opcode::Or, a, b); }
+    Reg orI(Reg a, std::int64_t i) { return binOpI(Opcode::Or, a, i); }
+    Reg xorR(Reg a, Reg b) { return binOp(Opcode::Xor, a, b); }
+    Reg xorI(Reg a, std::int64_t i) { return binOpI(Opcode::Xor, a, i); }
+    Reg shlI(Reg a, std::int64_t i) { return binOpI(Opcode::Shl, a, i); }
+    Reg shrI(Reg a, std::int64_t i) { return binOpI(Opcode::Shr, a, i); }
+    Reg sraI(Reg a, std::int64_t i) { return binOpI(Opcode::Sra, a, i); }
+
+    Reg cmpEq(Reg a, Reg b) { return binOp(Opcode::CmpEq, a, b); }
+    Reg cmpEqI(Reg a, std::int64_t i)
+    {
+        return binOpI(Opcode::CmpEq, a, i);
+    }
+    Reg cmpNe(Reg a, Reg b) { return binOp(Opcode::CmpNe, a, b); }
+    Reg cmpNeI(Reg a, std::int64_t i)
+    {
+        return binOpI(Opcode::CmpNe, a, i);
+    }
+    Reg cmpLt(Reg a, Reg b) { return binOp(Opcode::CmpLt, a, b); }
+    Reg cmpLtI(Reg a, std::int64_t i)
+    {
+        return binOpI(Opcode::CmpLt, a, i);
+    }
+    Reg cmpLe(Reg a, Reg b) { return binOp(Opcode::CmpLe, a, b); }
+    Reg cmpLeI(Reg a, std::int64_t i)
+    {
+        return binOpI(Opcode::CmpLe, a, i);
+    }
+    Reg cmpGt(Reg a, Reg b) { return binOp(Opcode::CmpGt, a, b); }
+    Reg cmpGtI(Reg a, std::int64_t i)
+    {
+        return binOpI(Opcode::CmpGt, a, i);
+    }
+    Reg cmpGe(Reg a, Reg b) { return binOp(Opcode::CmpGe, a, b); }
+    Reg cmpGeI(Reg a, std::int64_t i)
+    {
+        return binOpI(Opcode::CmpGe, a, i);
+    }
+
+    /** Int -> double bit-carried conversion. */
+    Reg
+    i2f(Reg a)
+    {
+        Inst i;
+        i.op = Opcode::I2F;
+        i.dst = function().newReg();
+        i.src1 = a;
+        emit(i);
+        return i.dst;
+    }
+
+    /** Double -> int truncation. */
+    Reg
+    f2i(Reg a)
+    {
+        Inst i;
+        i.op = Opcode::F2I;
+        i.dst = function().newReg();
+        i.src1 = a;
+        emit(i);
+        return i.dst;
+    }
+
+    // -- Memory -------------------------------------------------------
+
+    /** dst = mem[base + off]. */
+    Reg load(Reg base, std::int64_t off, MemSize size = MemSize::Dword,
+             bool unsigned_load = false);
+    void loadTo(Reg dst, Reg base, std::int64_t off,
+                MemSize size = MemSize::Dword, bool unsigned_load = false);
+
+    /** mem[base + off] = value. */
+    void store(Reg base, std::int64_t off, Reg value,
+               MemSize size = MemSize::Dword);
+
+    /** dst = pointer to @p bytes fresh zeroed heap bytes. */
+    Reg allocI(std::int64_t bytes);
+
+    // -- Control ------------------------------------------------------
+
+    /** if cond != 0 goto taken else goto not_taken; ends the block. */
+    void br(Reg cond, BlockId taken, BlockId not_taken);
+
+    /** goto target; ends the block. */
+    void jump(BlockId target);
+
+    /** dst = callee(args...); continues in @p cont. Ends the block. */
+    Reg call(FuncId callee, std::initializer_list<Reg> args,
+             BlockId cont);
+    void callVoid(FuncId callee, std::initializer_list<Reg> args,
+                  BlockId cont);
+
+    void ret(Reg value = kNoReg);
+    void halt();
+
+    // -- CCR extension instructions ----------------------------------
+
+    /** reuse #region, hit -> @p hit, miss -> @p body. Ends the block. */
+    void reuse(RegionId region, BlockId hit, BlockId body);
+
+    /** invalidate #region. */
+    void invalidate(RegionId region);
+
+    /** Append an arbitrary pre-built instruction (uid is assigned). */
+    Inst &emit(Inst inst);
+
+  private:
+    Function &func_;
+    BlockId cur_ = kNoBlock;
+};
+
+} // namespace ccr::ir
+
+#endif // CCR_IR_BUILDER_HH

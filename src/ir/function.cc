@@ -1,0 +1,74 @@
+#include "ir/function.hh"
+
+#include "support/logging.hh"
+
+namespace ccr::ir
+{
+
+std::vector<BlockId>
+BasicBlock::successors() const
+{
+    if (insts_.empty())
+        return {};
+    const Inst &term = insts_.back();
+    switch (term.op) {
+      case Opcode::Br:
+        if (term.target == term.target2)
+            return {term.target};
+        return {term.target, term.target2};
+      case Opcode::Jump:
+      case Opcode::Call:
+        return {term.target};
+      case Opcode::Reuse:
+        return {term.target, term.target2};
+      case Opcode::Ret:
+      case Opcode::Halt:
+        return {};
+      default:
+        return {};
+    }
+}
+
+Reg
+Function::newReg()
+{
+    ccr_assert(nextReg_ < kNoReg - 1, "register space exhausted in ",
+               name_);
+    return nextReg_++;
+}
+
+BlockId
+Function::newBlock()
+{
+    const auto id = static_cast<BlockId>(blocks_.size());
+    blocks_.emplace_back(id);
+    if (entry_ == kNoBlock)
+        entry_ = id;
+    return id;
+}
+
+std::size_t
+Function::numInsts() const
+{
+    std::size_t n = 0;
+    for (const auto &bb : blocks_)
+        n += bb.size();
+    return n;
+}
+
+bool
+Function::findInst(InstUid uid, BlockId &bb, std::size_t &idx) const
+{
+    for (const auto &blk : blocks_) {
+        for (std::size_t i = 0; i < blk.size(); ++i) {
+            if (blk.inst(i).uid == uid) {
+                bb = blk.id();
+                idx = i;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace ccr::ir

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Basic blocks and functions.
+ */
+
+#ifndef CCR_IR_FUNCTION_HH
+#define CCR_IR_FUNCTION_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/inst.hh"
+#include "ir/types.hh"
+
+namespace ccr::ir
+{
+
+/**
+ * A basic block: a straight-line instruction sequence whose last
+ * instruction is the block's only control transfer. There is no implicit
+ * fall-through; conditional branches name both targets.
+ */
+class BasicBlock
+{
+  public:
+    explicit BasicBlock(BlockId id) : id_(id) {}
+
+    BlockId id() const { return id_; }
+
+    std::vector<Inst> &insts() { return insts_; }
+    const std::vector<Inst> &insts() const { return insts_; }
+
+    bool empty() const { return insts_.empty(); }
+    std::size_t size() const { return insts_.size(); }
+
+    Inst &inst(std::size_t i) { return insts_[i]; }
+    const Inst &inst(std::size_t i) const { return insts_[i]; }
+
+    /** The control instruction ending the block (last instruction). */
+    const Inst &terminator() const { return insts_.back(); }
+    Inst &terminator() { return insts_.back(); }
+
+    /** True once the block ends in a control instruction. */
+    bool
+    isTerminated() const
+    {
+        return !insts_.empty() && insts_.back().isControlInst();
+    }
+
+    /** Successor block ids implied by the terminator. */
+    std::vector<BlockId> successors() const;
+
+  private:
+    BlockId id_;
+    std::vector<Inst> insts_;
+};
+
+/**
+ * A function: an entry block, a vector of blocks, and a flat virtual
+ * register space. Parameters arrive in registers 0 .. numParams-1.
+ */
+class Function
+{
+  public:
+    Function(FuncId id, std::string name, int num_params)
+        : id_(id), name_(std::move(name)), numParams_(num_params),
+          nextReg_(static_cast<Reg>(num_params))
+    {}
+
+    FuncId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    int numParams() const { return numParams_; }
+
+    /** Allocate a fresh virtual register. */
+    Reg newReg();
+
+    /** Number of virtual registers allocated so far. */
+    int numRegs() const { return nextReg_; }
+
+    /** Create a new empty basic block and return its id. */
+    BlockId newBlock();
+
+    BasicBlock &block(BlockId id) { return blocks_[id]; }
+    const BasicBlock &block(BlockId id) const { return blocks_[id]; }
+
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+    std::vector<BasicBlock> &blocks() { return blocks_; }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    BlockId entry() const { return entry_; }
+    void setEntry(BlockId b) { entry_ = b; }
+
+    /** Allocate a function-unique static instruction id. */
+    InstUid newUid() { return nextUid_++; }
+
+    /** Highest uid allocated so far (exclusive upper bound). */
+    InstUid uidBound() const { return nextUid_; }
+
+    /** Total static instruction count across all blocks. */
+    std::size_t numInsts() const;
+
+    /** Find the (block, index) of the instruction with @p uid.
+     *  Returns false when no such instruction exists. */
+    bool findInst(InstUid uid, BlockId &bb, std::size_t &idx) const;
+
+  private:
+    FuncId id_;
+    std::string name_;
+    int numParams_;
+    Reg nextReg_;
+    InstUid nextUid_ = 0;
+    BlockId entry_ = kNoBlock;
+    std::vector<BasicBlock> blocks_;
+};
+
+} // namespace ccr::ir
+
+#endif // CCR_IR_FUNCTION_HH

@@ -1,0 +1,111 @@
+#include "ir/inst.hh"
+
+#include <sstream>
+
+namespace ccr::ir
+{
+
+namespace
+{
+
+std::string
+regName(Reg r)
+{
+    if (r == kNoReg)
+        return "_";
+    return "r" + std::to_string(r);
+}
+
+std::string
+blockName(BlockId b)
+{
+    if (b == kNoBlock)
+        return "B?";
+    return "B" + std::to_string(b);
+}
+
+} // namespace
+
+std::string
+Inst::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+
+    switch (op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::MovI:
+        os << " " << regName(dst) << ", " << imm;
+        break;
+      case Opcode::Mov:
+      case Opcode::I2F:
+      case Opcode::F2I:
+        os << " " << regName(dst) << ", " << regName(src1);
+        break;
+      case Opcode::MovGA:
+        os << " " << regName(dst) << ", @g" << globalId;
+        break;
+      case Opcode::Load:
+        os << (unsignedLoad ? "u" : "") << memSizeBytes(size) << " "
+           << regName(dst) << ", [" << regName(src1) << " + " << imm << "]";
+        break;
+      case Opcode::Store:
+        os << memSizeBytes(size) << " [" << regName(src1) << " + " << imm
+           << "], " << regName(src2);
+        break;
+      case Opcode::Alloc:
+        os << " " << regName(dst) << ", ";
+        if (srcImm)
+            os << imm;
+        else
+            os << regName(src1);
+        break;
+      case Opcode::Br:
+        os << " " << regName(src1) << ", " << blockName(target) << ", "
+           << blockName(target2);
+        break;
+      case Opcode::Jump:
+        os << " " << blockName(target);
+        break;
+      case Opcode::Call:
+        os << " " << regName(dst) << ", @f" << callee << "(";
+        for (int i = 0; i < numArgs; ++i)
+            os << (i ? ", " : "") << regName(args[i]);
+        os << ") -> " << blockName(target);
+        break;
+      case Opcode::Ret:
+        if (src1 != kNoReg)
+            os << " " << regName(src1);
+        break;
+      case Opcode::Halt:
+        break;
+      case Opcode::Reuse:
+        os << " #" << regionId << ", hit=" << blockName(target)
+           << ", miss=" << blockName(target2);
+        break;
+      case Opcode::Invalidate:
+        os << " #" << regionId;
+        break;
+      default:
+        // Binary ALU / compare forms.
+        os << " " << regName(dst) << ", " << regName(src1) << ", ";
+        if (srcImm)
+            os << imm;
+        else
+            os << regName(src2);
+        break;
+    }
+
+    if (ext.liveOut)
+        os << " <live-out>";
+    if (ext.regionEnd)
+        os << " <region-end>";
+    if (ext.regionExit)
+        os << " <region-exit>";
+    if (ext.determinable)
+        os << " <det>";
+    return os.str();
+}
+
+} // namespace ccr::ir

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The Inst structure: one three-address instruction, including the CCR
+ * instruction-extension bits (paper §3.2).
+ */
+
+#ifndef CCR_IR_INST_HH
+#define CCR_IR_INST_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "ir/opcode.hh"
+#include "ir/types.hh"
+
+namespace ccr::ir
+{
+
+/** Maximum register arguments a Call may pass. */
+constexpr int kMaxCallArgs = 8;
+
+/**
+ * CCR instruction-set extension bits. The paper adds per-instruction
+ * extensions rather than new opcodes for these: a live-out marker on
+ * value-producing instructions inside a region, and region-end /
+ * region-exit markers on control instructions.
+ */
+struct InstExt
+{
+    /** Destination is live-out of the enclosing reuse region; record it
+     *  in the output bank during memoization mode. */
+    bool liveOut = false;
+
+    /** Control instruction terminates the region: commits the CI. */
+    bool regionEnd = false;
+
+    /** Control instruction is a side exit: aborts memoization. */
+    bool regionExit = false;
+
+    /** Load whose underlying memory structure is fully determinable at
+     *  compile time (alias analysis annotation, paper §4.1). */
+    bool determinable = false;
+
+    bool operator==(const InstExt &) const = default;
+};
+
+/**
+ * One IR instruction. Field use depends on the opcode:
+ *
+ *  - binary ALU / compare: dst, src1, and either src2 (srcImm == false)
+ *    or imm (srcImm == true);
+ *  - MovI: dst, imm; Mov: dst, src1; MovGA: dst, globalId;
+ *  - Load: dst = mem[src1 + imm]; Store: mem[src1 + imm] = src2;
+ *  - Br: src1 condition, target (taken), target2 (not taken);
+ *  - Jump: target; Ret: src1 (or kNoReg);
+ *  - Call: callee, args[0..numArgs), dst (or kNoReg), target
+ *    (continuation block);
+ *  - Reuse: regionId, target (hit/join), target2 (miss/region body);
+ *  - Invalidate: regionId.
+ */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+
+    Reg dst = kNoReg;
+    Reg src1 = kNoReg;
+    Reg src2 = kNoReg;
+
+    /** When true, the second ALU operand is `imm`, not `src2`. */
+    bool srcImm = false;
+
+    /** When true, Load zero-extends instead of sign-extending. */
+    bool unsignedLoad = false;
+
+    std::int64_t imm = 0;
+
+    MemSize size = MemSize::Dword;
+
+    BlockId target = kNoBlock;
+    BlockId target2 = kNoBlock;
+
+    FuncId callee = kNoFunc;
+    GlobalId globalId = kNoGlobal;
+    RegionId regionId = kNoRegion;
+
+    std::uint8_t numArgs = 0;
+    std::array<Reg, kMaxCallArgs> args{};
+
+    /** CCR extension bits. */
+    InstExt ext;
+
+    /** Function-unique static id; stable across CCR transformation so
+     *  profile data keyed on it survives region formation. */
+    InstUid uid = kNoUid;
+
+    /** True when this instruction writes its dst register. */
+    bool
+    hasDst() const
+    {
+        return writesDst(op) && dst != kNoReg;
+    }
+
+    /** Number of register sources actually read (excluding call args). */
+    int
+    numRegSources() const
+    {
+        if (op == Opcode::Store)
+            return 2;
+        if (isBinaryAlu(op))
+            return srcImm ? 1 : 2;
+        switch (op) {
+          case Opcode::Mov: case Opcode::Load: case Opcode::Br:
+          case Opcode::I2F: case Opcode::F2I:
+            return 1;
+          case Opcode::Alloc:
+            return srcImm ? 0 : 1;
+          case Opcode::Ret:
+            return src1 == kNoReg ? 0 : 1;
+          default:
+            return 0;
+        }
+    }
+
+    /** The @p i-th register source (0-based); see numRegSources(). */
+    Reg
+    regSource(int i) const
+    {
+        if (op == Opcode::Store)
+            return i == 0 ? src1 : src2;
+        if (i == 0)
+            return src1;
+        return src2;
+    }
+
+    bool isControlInst() const { return isControl(op); }
+    bool isLoad() const { return op == Opcode::Load; }
+    bool isStore() const { return op == Opcode::Store; }
+
+    /** Render as text, e.g. "add r3, r1, r2" or "br r5, B2, B3". */
+    std::string toString() const;
+};
+
+} // namespace ccr::ir
+
+#endif // CCR_IR_INST_HH

@@ -1,0 +1,72 @@
+#include "ir/module.hh"
+
+#include "support/logging.hh"
+
+namespace ccr::ir
+{
+
+Function &
+Module::addFunction(const std::string &name, int num_params)
+{
+    ccr_assert(findFunction(name) == nullptr, "duplicate function ", name);
+    const auto id = static_cast<FuncId>(functions_.size());
+    functions_.push_back(std::make_unique<Function>(id, name, num_params));
+    if (entry_ == kNoFunc)
+        entry_ = id;
+    return *functions_.back();
+}
+
+Global &
+Module::addGlobal(const std::string &name, std::uint64_t size_bytes,
+                  bool is_const)
+{
+    ccr_assert(findGlobal(name) == nullptr, "duplicate global ", name);
+    Global g;
+    g.id = static_cast<GlobalId>(globals_.size());
+    g.name = name;
+    g.sizeBytes = size_bytes;
+    g.isConst = is_const;
+    globals_.push_back(std::move(g));
+    return globals_.back();
+}
+
+Function *
+Module::findFunction(const std::string &name)
+{
+    for (auto &f : functions_) {
+        if (f->name() == name)
+            return f.get();
+    }
+    return nullptr;
+}
+
+const Function *
+Module::findFunction(const std::string &name) const
+{
+    for (const auto &f : functions_) {
+        if (f->name() == name)
+            return f.get();
+    }
+    return nullptr;
+}
+
+Global *
+Module::findGlobal(const std::string &name)
+{
+    for (auto &g : globals_) {
+        if (g.name == name)
+            return &g;
+    }
+    return nullptr;
+}
+
+std::size_t
+Module::numInsts() const
+{
+    std::size_t n = 0;
+    for (const auto &f : functions_)
+        n += f->numInsts();
+    return n;
+}
+
+} // namespace ccr::ir

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Module: the compilation unit — functions plus global data.
+ */
+
+#ifndef CCR_IR_MODULE_HH
+#define CCR_IR_MODULE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+#include "ir/types.hh"
+
+namespace ccr::ir
+{
+
+/**
+ * A named global data object. The emulator lays globals out in the data
+ * segment at load time; MovGA materializes a global's base address.
+ *
+ * `isConst` marks read-only data (e.g. lookup tables); alias analysis
+ * uses it to classify loads as determinable with no invalidation sites.
+ */
+struct Global
+{
+    GlobalId id = kNoGlobal;
+    std::string name;
+    std::uint64_t sizeBytes = 0;
+    bool isConst = false;
+
+    /** Optional initial contents (little-endian), may be shorter than
+     *  sizeBytes; the rest is zero. */
+    std::vector<std::uint8_t> init;
+};
+
+/**
+ * A module owns its functions and globals. Function and global ids are
+ * their vector indices.
+ */
+class Module
+{
+  public:
+    explicit Module(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Create a function; parameters arrive in registers 0..n-1. */
+    Function &addFunction(const std::string &name, int num_params);
+
+    /** Create a zero-initialized global of @p size_bytes bytes. */
+    Global &addGlobal(const std::string &name, std::uint64_t size_bytes,
+                      bool is_const = false);
+
+    Function &function(FuncId id) { return *functions_[id]; }
+    const Function &function(FuncId id) const { return *functions_[id]; }
+
+    /** Look up a function by name; nullptr when absent. */
+    Function *findFunction(const std::string &name);
+    const Function *findFunction(const std::string &name) const;
+
+    Global &global(GlobalId id) { return globals_[id]; }
+    const Global &global(GlobalId id) const { return globals_[id]; }
+
+    /** Look up a global by name; nullptr when absent. */
+    Global *findGlobal(const std::string &name);
+
+    std::size_t numFunctions() const { return functions_.size(); }
+    std::size_t numGlobals() const { return globals_.size(); }
+
+    FuncId entryFunction() const { return entry_; }
+    void setEntryFunction(FuncId f) { entry_ = f; }
+
+    /** Allocate a module-unique reuse-region id. */
+    RegionId newRegionId() { return nextRegion_++; }
+    RegionId regionIdBound() const { return nextRegion_; }
+
+    /** Total static instructions across all functions. */
+    std::size_t numInsts() const;
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Function>> functions_;
+    std::vector<Global> globals_;
+    FuncId entry_ = kNoFunc;
+    RegionId nextRegion_ = 0;
+};
+
+} // namespace ccr::ir
+
+#endif // CCR_IR_MODULE_HH

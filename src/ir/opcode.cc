@@ -1,0 +1,185 @@
+#include "ir/opcode.hh"
+
+#include "support/logging.hh"
+
+namespace ccr::ir
+{
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::MovI: return "movi";
+      case Opcode::Mov: return "mov";
+      case Opcode::MovGA: return "movga";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Sra: return "sra";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpNe: return "cmpne";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpLe: return "cmple";
+      case Opcode::CmpGt: return "cmpgt";
+      case Opcode::CmpGe: return "cmpge";
+      case Opcode::CmpLtU: return "cmpltu";
+      case Opcode::CmpGeU: return "cmpgeu";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::FCmpLt: return "fcmplt";
+      case Opcode::I2F: return "i2f";
+      case Opcode::F2I: return "f2i";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Alloc: return "alloc";
+      case Opcode::Br: return "br";
+      case Opcode::Jump: return "jump";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Halt: return "halt";
+      case Opcode::Reuse: return "reuse";
+      case Opcode::Invalidate: return "invalidate";
+      default: return "<bad-op>";
+    }
+}
+
+bool
+isControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::Br:
+      case Opcode::Jump:
+      case Opcode::Call:
+      case Opcode::Ret:
+      case Opcode::Halt:
+      case Opcode::Reuse:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMemory(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::Store;
+}
+
+bool
+writesDst(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Store:
+      case Opcode::Br:
+      case Opcode::Jump:
+      case Opcode::Ret:
+      case Opcode::Halt:
+      case Opcode::Reuse:
+      case Opcode::Invalidate:
+        return false;
+      case Opcode::Call:
+        // Call writes dst only when the call site names one; the
+        // instruction-level check is in Inst.
+        return true;
+      default:
+        return true;
+    }
+}
+
+bool
+isBinaryAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+      case Opcode::Shl: case Opcode::Shr: case Opcode::Sra:
+      case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+      case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
+      case Opcode::CmpLtU: case Opcode::CmpGeU:
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv: case Opcode::FCmpLt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCompare(Opcode op)
+{
+    switch (op) {
+      case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+      case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
+      case Opcode::CmpLtU: case Opcode::CmpGeU: case Opcode::FCmpLt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isFloat(Opcode op)
+{
+    switch (op) {
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv: case Opcode::FCmpLt:
+      case Opcode::I2F: case Opcode::F2I:
+        return true;
+      default:
+        return false;
+    }
+}
+
+FuClass
+fuClass(Opcode op)
+{
+    if (op == Opcode::Nop)
+        return FuClass::None;
+    if (isMemory(op) || op == Opcode::Alloc)
+        return FuClass::Mem;
+    if (isFloat(op))
+        return FuClass::FpAlu;
+    if (isControl(op) || op == Opcode::Invalidate)
+        return FuClass::Branch;
+    return FuClass::IntAlu;
+}
+
+int
+opLatency(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+        return 2;       // PA-7100 load-use latency (paper §5.1).
+      case Opcode::Mul:
+        return 3;
+      case Opcode::Div:
+      case Opcode::Rem:
+        return 10;
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FCmpLt:
+      case Opcode::I2F:
+      case Opcode::F2I:
+        return 2;
+      case Opcode::FMul:
+        return 3;
+      case Opcode::FDiv:
+        return 12;
+      default:
+        return 1;
+    }
+}
+
+} // namespace ccr::ir

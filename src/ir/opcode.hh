@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Opcode definitions and static opcode properties.
+ */
+
+#ifndef CCR_IR_OPCODE_HH
+#define CCR_IR_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace ccr::ir
+{
+
+/**
+ * Instruction opcodes. Binary ALU ops take either two register sources
+ * or a register and an immediate (Inst::srcImm selects the form).
+ *
+ * Reuse and Invalidate are the two new instructions of the CCR ISA
+ * extension (paper §3.2); the per-instruction extension bits live in
+ * InstExt.
+ */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+
+    // Data movement.
+    MovI,   ///< dst = imm
+    Mov,    ///< dst = src1
+    MovGA,  ///< dst = base address of global #globalId
+
+    // Integer arithmetic / logical.
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor,
+    Shl, Shr, Sra,
+
+    // Comparisons producing 0/1.
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe, CmpLtU, CmpGeU,
+
+    // Floating point (values bit-cast in 64-bit registers).
+    FAdd, FSub, FMul, FDiv, FCmpLt, I2F, F2I,
+
+    // Memory.
+    Load,   ///< dst = mem[src1 + imm]
+    Store,  ///< mem[src1 + imm] = src2
+    Alloc,  ///< dst = pointer to fresh heap block of src1-or-imm bytes
+
+    // Control transfer (every block ends with exactly one of these).
+    Br,     ///< if src1 != 0 goto target else goto target2
+    Jump,   ///< goto target
+    Call,   ///< dst = callee(args...); continues at target
+    Ret,    ///< return src1 (or nothing when src1 == kNoReg)
+    Halt,   ///< stop the machine
+
+    // CCR ISA extension instructions.
+    Reuse,      ///< CRB hit: write outputs, goto target; miss: goto target2
+    Invalidate, ///< invalidate memory-valid flags of region #regionId
+
+    NumOpcodes
+};
+
+/** Functional-unit class an opcode issues to (paper §5.1 machine). */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,  ///< 4 units, 1-cycle latency
+    Mem,     ///< 2 ports, 2-cycle load latency
+    FpAlu,   ///< 2 units
+    Branch,  ///< 1 unit
+    None     ///< consumes no functional unit (Nop)
+};
+
+/** Human-readable mnemonic. */
+std::string_view opcodeName(Opcode op);
+
+/** True for Br, Jump, Call, Ret, Halt, Reuse. */
+bool isControl(Opcode op);
+
+/** True for Load / Store. */
+bool isMemory(Opcode op);
+
+/** True when the opcode writes Inst::dst. */
+bool writesDst(Opcode op);
+
+/** True for two-source register/immediate ALU or compare ops. */
+bool isBinaryAlu(Opcode op);
+
+/** True for comparison opcodes (CmpEq..CmpGeU, FCmpLt). */
+bool isCompare(Opcode op);
+
+/** True for FAdd..F2I. */
+bool isFloat(Opcode op);
+
+/** Functional unit the opcode needs. */
+FuClass fuClass(Opcode op);
+
+/** Execution latency in cycles (HP PA-7100-style; paper §5.1). */
+int opLatency(Opcode op);
+
+} // namespace ccr::ir
+
+#endif // CCR_IR_OPCODE_HH

@@ -1,0 +1,43 @@
+#include "ir/printer.hh"
+
+#include <sstream>
+
+namespace ccr::ir
+{
+
+void
+printFunction(const Function &func, std::ostream &os)
+{
+    os << "func @" << func.name() << "(" << func.numParams()
+       << " params, " << func.numRegs() << " regs) entry=B"
+       << func.entry() << "\n";
+    for (const auto &bb : func.blocks()) {
+        os << "  B" << bb.id() << ":\n";
+        for (const auto &inst : bb.insts())
+            os << "    " << inst.toString() << "\n";
+    }
+}
+
+void
+printModule(const Module &mod, std::ostream &os)
+{
+    os << "module " << mod.name() << "\n";
+    for (std::size_t g = 0; g < mod.numGlobals(); ++g) {
+        const Global &gl = mod.global(static_cast<GlobalId>(g));
+        os << "global @g" << gl.id << " " << gl.name << " ["
+           << gl.sizeBytes << " bytes]" << (gl.isConst ? " const" : "")
+           << "\n";
+    }
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f)
+        printFunction(mod.function(static_cast<FuncId>(f)), os);
+}
+
+std::string
+moduleToString(const Module &mod)
+{
+    std::ostringstream os;
+    printModule(mod, os);
+    return os.str();
+}
+
+} // namespace ccr::ir

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Text rendering of functions and modules, for debugging and tests.
+ */
+
+#ifndef CCR_IR_PRINTER_HH
+#define CCR_IR_PRINTER_HH
+
+#include <ostream>
+#include <string>
+
+#include "ir/module.hh"
+
+namespace ccr::ir
+{
+
+/** Print one function as annotated text. */
+void printFunction(const Function &func, std::ostream &os);
+
+/** Print the whole module (globals then functions). */
+void printModule(const Module &mod, std::ostream &os);
+
+/** Convenience: module text as a string. */
+std::string moduleToString(const Module &mod);
+
+} // namespace ccr::ir
+
+#endif // CCR_IR_PRINTER_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fundamental identifier and value types for the CCR intermediate
+ * representation.
+ *
+ * The IR is a load/store register machine in the style of IMPACT Lcode:
+ * functions own a flat space of virtual registers, basic blocks hold
+ * three-address instructions, and every block ends in exactly one
+ * explicit control-transfer instruction (no fall-through).
+ */
+
+#ifndef CCR_IR_TYPES_HH
+#define CCR_IR_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ccr::ir
+{
+
+/** Runtime value: the machine is a 64-bit integer machine. Floating
+ *  point values are carried bit-cast inside a Value. */
+using Value = std::int64_t;
+
+/** Virtual register index, local to a function. */
+using Reg = std::uint16_t;
+
+/** Sentinel meaning "no register operand". */
+constexpr Reg kNoReg = std::numeric_limits<Reg>::max();
+
+/** Basic-block index, local to a function. */
+using BlockId = std::uint32_t;
+
+constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+
+/** Function index, local to a module. */
+using FuncId = std::uint32_t;
+
+constexpr FuncId kNoFunc = std::numeric_limits<FuncId>::max();
+
+/** Global-variable index, local to a module. */
+using GlobalId = std::uint32_t;
+
+constexpr GlobalId kNoGlobal = std::numeric_limits<GlobalId>::max();
+
+/** Reusable-computation-region identifier, global to a module. The
+ *  compiler assigns these; the CRB is indexed by them. */
+using RegionId = std::uint32_t;
+
+constexpr RegionId kNoRegion = std::numeric_limits<RegionId>::max();
+
+/** Static-instruction unique id within a function (profile key). */
+using InstUid = std::uint32_t;
+
+constexpr InstUid kNoUid = std::numeric_limits<InstUid>::max();
+
+/** Memory access width in bytes. */
+enum class MemSize : std::uint8_t { Byte = 1, Half = 2, Word = 4, Dword = 8 };
+
+constexpr int
+memSizeBytes(MemSize size)
+{
+    return static_cast<int>(size);
+}
+
+} // namespace ccr::ir
+
+#endif // CCR_IR_TYPES_HH

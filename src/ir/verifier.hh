@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Structural IR verifier. Run after construction and after every
+ * transformation pass; returns a list of human-readable problems.
+ */
+
+#ifndef CCR_IR_VERIFIER_HH
+#define CCR_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace ccr::ir
+{
+
+/** Verify one function; appends messages to @p errors. */
+void verifyFunction(const Module &mod, const Function &func,
+                    std::vector<std::string> &errors);
+
+/** Verify the whole module. Returns the list of problems (empty = OK). */
+std::vector<std::string> verify(const Module &mod);
+
+/** Verify and ccr_fatal() with the first message on failure. */
+void verifyOrDie(const Module &mod);
+
+} // namespace ccr::ir
+
+#endif // CCR_IR_VERIFIER_HH

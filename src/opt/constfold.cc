@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Local constant propagation and folding.
+ */
+
+#include <unordered_map>
+
+#include "opt/passes.hh"
+#include "support/logging.hh"
+
+namespace ccr::opt
+{
+
+namespace
+{
+
+/** Fold one ALU op over two constants (mirrors Machine::aluOp). */
+bool
+foldAlu(ir::Opcode op, std::int64_t a, std::int64_t b,
+        std::int64_t &out)
+{
+    using ir::Opcode;
+    const auto ua = static_cast<std::uint64_t>(a);
+    const auto ub = static_cast<std::uint64_t>(b);
+    switch (op) {
+      case Opcode::Add: out = a + b; return true;
+      case Opcode::Sub: out = a - b; return true;
+      case Opcode::Mul: out = a * b; return true;
+      case Opcode::Div:
+        out = b == 0 ? 0
+                     : (a == INT64_MIN && b == -1 ? INT64_MIN : a / b);
+        return true;
+      case Opcode::Rem:
+        out = b == 0 ? 0 : (a == INT64_MIN && b == -1 ? 0 : a % b);
+        return true;
+      case Opcode::And: out = a & b; return true;
+      case Opcode::Or: out = a | b; return true;
+      case Opcode::Xor: out = a ^ b; return true;
+      case Opcode::Shl:
+        out = static_cast<std::int64_t>(ua << (ub & 63));
+        return true;
+      case Opcode::Shr:
+        out = static_cast<std::int64_t>(ua >> (ub & 63));
+        return true;
+      case Opcode::Sra: out = a >> (ub & 63); return true;
+      case Opcode::CmpEq: out = a == b; return true;
+      case Opcode::CmpNe: out = a != b; return true;
+      case Opcode::CmpLt: out = a < b; return true;
+      case Opcode::CmpLe: out = a <= b; return true;
+      case Opcode::CmpGt: out = a > b; return true;
+      case Opcode::CmpGe: out = a >= b; return true;
+      case Opcode::CmpLtU: out = ua < ub; return true;
+      case Opcode::CmpGeU: out = ua >= ub; return true;
+      default: return false;
+    }
+}
+
+} // namespace
+
+int
+foldConstants(ir::Function &func)
+{
+    int changed = 0;
+
+    for (auto &bb : func.blocks()) {
+        std::unordered_map<ir::Reg, std::int64_t> constants;
+
+        for (auto &inst : bb.insts()) {
+            using ir::Opcode;
+
+            // Substitute known-constant register operands.
+            if (ir::isBinaryAlu(inst.op) && !inst.srcImm
+                && !ir::isFloat(inst.op)) {
+                const auto it = constants.find(inst.src2);
+                if (it != constants.end()) {
+                    inst.srcImm = true;
+                    inst.imm = it->second;
+                    inst.src2 = ir::kNoReg;
+                    ++changed;
+                }
+            }
+
+            // Fold fully-constant operations.
+            if (ir::isBinaryAlu(inst.op) && inst.srcImm
+                && !ir::isFloat(inst.op)) {
+                const auto it = constants.find(inst.src1);
+                std::int64_t result;
+                if (it != constants.end()
+                    && foldAlu(inst.op, it->second, inst.imm, result)) {
+                    inst.op = Opcode::MovI;
+                    inst.src1 = ir::kNoReg;
+                    inst.srcImm = false;
+                    inst.imm = result;
+                    ++changed;
+                }
+            }
+
+            // Copy of a known constant becomes MovI.
+            if (inst.op == Opcode::Mov) {
+                const auto it = constants.find(inst.src1);
+                if (it != constants.end()) {
+                    inst.op = Opcode::MovI;
+                    inst.imm = it->second;
+                    inst.src1 = ir::kNoReg;
+                    ++changed;
+                }
+            }
+
+            // Update the constant map.
+            if (inst.hasDst()) {
+                if (inst.op == Opcode::MovI)
+                    constants[inst.dst] = inst.imm;
+                else
+                    constants.erase(inst.dst);
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace ccr::opt

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Local common-subexpression elimination and global dead-code
+ * elimination.
+ */
+
+#include <unordered_map>
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "opt/passes.hh"
+#include "support/bits.hh"
+
+namespace ccr::opt
+{
+
+namespace
+{
+
+/** Hashable key of a pure expression. */
+std::uint64_t
+exprKey(const ir::Inst &inst)
+{
+    std::uint64_t h = static_cast<std::uint64_t>(inst.op);
+    h = hashCombine(h, inst.src1);
+    h = hashCombine(h, inst.srcImm ? 0xFFFFFFull : inst.src2);
+    h = hashCombine(h, static_cast<std::uint64_t>(inst.imm));
+    h = hashCombine(h, inst.globalId);
+    h = hashCombine(h, static_cast<std::uint64_t>(inst.size));
+    h = hashCombine(h, inst.unsignedLoad ? 1 : 0);
+    return h;
+}
+
+bool
+cseCandidate(const ir::Inst &inst)
+{
+    if (inst.ext.liveOut)
+        return false; // keep CCR annotations untouched
+    switch (inst.op) {
+      case ir::Opcode::MovGA:
+      case ir::Opcode::Load:
+        return true;
+      default:
+        return ir::isBinaryAlu(inst.op);
+    }
+}
+
+} // namespace
+
+int
+eliminateCommonSubexpressions(ir::Function &func)
+{
+    int changed = 0;
+
+    for (auto &bb : func.blocks()) {
+        // expression key -> defining instruction index
+        std::unordered_map<std::uint64_t, std::size_t> available;
+
+        for (std::size_t i = 0; i < bb.size(); ++i) {
+            ir::Inst &inst = bb.inst(i);
+
+            // Stores, calls, and allocation kill available loads.
+            if (inst.isStore() || inst.op == ir::Opcode::Call
+                || inst.op == ir::Opcode::Alloc) {
+                for (auto it = available.begin();
+                     it != available.end();) {
+                    if (bb.inst(it->second).isLoad())
+                        it = available.erase(it);
+                    else
+                        ++it;
+                }
+            }
+
+            if (cseCandidate(inst)) {
+                const auto key = exprKey(inst);
+                const auto it = available.find(key);
+                bool replaced = false;
+                if (it != available.end()) {
+                    const ir::Inst &prev = bb.inst(it->second);
+                    // Equality of key plus structural equality guards
+                    // against hash collisions; operand registers must
+                    // not have been redefined in between.
+                    bool operands_stable =
+                        prev.op == inst.op && prev.src1 == inst.src1
+                        && prev.src2 == inst.src2
+                        && prev.imm == inst.imm
+                        && prev.srcImm == inst.srcImm
+                        && prev.globalId == inst.globalId;
+                    if (operands_stable) {
+                        for (std::size_t k = it->second + 1;
+                             operands_stable && k < i; ++k) {
+                            const ir::Inst &mid = bb.inst(k);
+                            if (!mid.hasDst())
+                                continue;
+                            const int nsrc = inst.numRegSources();
+                            for (int s = 0; s < nsrc; ++s) {
+                                if (mid.dst == inst.regSource(s))
+                                    operands_stable = false;
+                            }
+                            if (mid.dst == prev.dst)
+                                operands_stable = false;
+                        }
+                    }
+                    if (operands_stable) {
+                        const ir::Reg src = prev.dst;
+                        const ir::Reg dst = inst.dst;
+                        inst = ir::Inst{};
+                        inst.op = ir::Opcode::Mov;
+                        inst.dst = dst;
+                        inst.src1 = src;
+                        inst.uid = func.newUid();
+                        ++changed;
+                        replaced = true;
+                    }
+                }
+                if (!replaced)
+                    available[key] = i;
+            }
+        }
+    }
+    return changed;
+}
+
+int
+eliminateDeadCode(ir::Function &func)
+{
+    int removed = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        const analysis::Cfg cfg(func);
+        const analysis::Liveness live(cfg);
+
+        for (auto &bb : func.blocks()) {
+            // Walk backwards tracking liveness within the block.
+            analysis::RegSet live_now = live.liveOut(bb.id());
+            std::vector<bool> dead(bb.size(), false);
+            for (std::size_t i = bb.size(); i-- > 0;) {
+                const ir::Inst &inst = bb.inst(i);
+                const bool side_effect =
+                    inst.isStore() || inst.op == ir::Opcode::Call
+                    || inst.op == ir::Opcode::Alloc
+                    || inst.op == ir::Opcode::Invalidate
+                    || inst.isControlInst();
+                if (!side_effect && inst.hasDst()
+                    && !live_now.test(inst.dst) && !inst.ext.liveOut) {
+                    dead[i] = true;
+                    continue;
+                }
+                if (inst.hasDst())
+                    live_now.clear(inst.dst);
+                analysis::Liveness::addUses(inst, live_now);
+            }
+            auto &insts = bb.insts();
+            for (std::size_t i = insts.size(); i-- > 0;) {
+                if (dead[i]) {
+                    insts.erase(insts.begin()
+                                + static_cast<std::ptrdiff_t>(i));
+                    ++removed;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return removed;
+}
+
+} // namespace ccr::opt

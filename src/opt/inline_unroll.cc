@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Function inlining and loop unrolling — the "best base code"
+ * transformations of the paper's §5.1 baseline.
+ */
+
+#include <unordered_map>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/loops.hh"
+#include "opt/passes.hh"
+#include "support/logging.hh"
+
+namespace ccr::opt
+{
+
+namespace
+{
+
+/** True when @p func contains no calls and no CCR instructions. */
+bool
+isLeafAndPlain(const ir::Function &func)
+{
+    for (const auto &bb : func.blocks()) {
+        for (const auto &inst : bb.insts()) {
+            switch (inst.op) {
+              case ir::Opcode::Call:
+              case ir::Opcode::Reuse:
+              case ir::Opcode::Invalidate:
+              case ir::Opcode::Halt:
+                return false;
+              default:
+                break;
+            }
+            if (inst.ext.liveOut || inst.ext.regionEnd
+                || inst.ext.regionExit) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+/** Remap the register operands of @p inst through @p reg_map. */
+void
+remapRegs(ir::Inst &inst,
+          const std::unordered_map<ir::Reg, ir::Reg> &reg_map)
+{
+    auto remap = [&](ir::Reg r) {
+        if (r == ir::kNoReg)
+            return r;
+        const auto it = reg_map.find(r);
+        return it == reg_map.end() ? r : it->second;
+    };
+    inst.dst = remap(inst.dst);
+    inst.src1 = remap(inst.src1);
+    inst.src2 = remap(inst.src2);
+    for (int i = 0; i < inst.numArgs; ++i)
+        inst.args[i] = remap(inst.args[i]);
+}
+
+/** Inline one call site. @p call_block's terminator must be a Call to
+ *  @p callee. */
+void
+inlineOneCall(ir::Function &caller, const ir::Function &callee,
+              ir::BlockId call_block)
+{
+    const ir::Inst call_snapshot =
+        caller.block(call_block).terminator();
+
+    // Parameters the callee never writes can bind directly to the
+    // caller's argument registers (no copy); the rest get fresh
+    // registers plus an entry move.
+    std::vector<bool> param_written(
+        static_cast<std::size_t>(callee.numParams()), false);
+    for (const auto &bb : callee.blocks()) {
+        for (const auto &inst : bb.insts()) {
+            if (inst.hasDst() && inst.dst < callee.numParams())
+                param_written[inst.dst] = true;
+        }
+    }
+
+    std::unordered_map<ir::Reg, ir::Reg> reg_map;
+    for (int r = 0; r < callee.numRegs(); ++r) {
+        const auto reg = static_cast<ir::Reg>(r);
+        if (r < callee.numParams() && !param_written[r])
+            reg_map[reg] = call_snapshot.args[r];
+        else
+            reg_map[reg] = caller.newReg();
+    }
+
+    // Fresh blocks mirroring the callee's.
+    std::unordered_map<ir::BlockId, ir::BlockId> block_map;
+    for (const auto &bb : callee.blocks())
+        block_map[bb.id()] = caller.newBlock();
+
+    const ir::Inst call = caller.block(call_block).terminator();
+    ccr_assert(call.op == ir::Opcode::Call, "not a call site");
+    const ir::BlockId cont = call.target;
+    const ir::Reg ret_dst = call.dst;
+
+    // Clone the body.
+    for (const auto &bb : callee.blocks()) {
+        auto &out = caller.block(block_map[bb.id()]).insts();
+        for (const auto &src : bb.insts()) {
+            ir::Inst inst = src;
+            remapRegs(inst, reg_map);
+            inst.uid = caller.newUid();
+            if (inst.op == ir::Opcode::Ret) {
+                // return v  =>  ret_dst = v; jump cont
+                if (ret_dst != ir::kNoReg) {
+                    ir::Inst mv;
+                    mv.op = inst.src1 == ir::kNoReg ? ir::Opcode::MovI
+                                                    : ir::Opcode::Mov;
+                    mv.dst = ret_dst;
+                    mv.src1 = inst.src1;
+                    mv.uid = caller.newUid();
+                    out.push_back(mv);
+                }
+                ir::Inst j;
+                j.op = ir::Opcode::Jump;
+                j.target = cont;
+                j.uid = caller.newUid();
+                out.push_back(j);
+            } else {
+                if (inst.isControlInst() || inst.op == ir::Opcode::Br) {
+                    if (inst.target != ir::kNoBlock
+                        && block_map.count(inst.target)) {
+                        inst.target = block_map[inst.target];
+                    }
+                    if (inst.target2 != ir::kNoBlock
+                        && block_map.count(inst.target2)) {
+                        inst.target2 = block_map[inst.target2];
+                    }
+                }
+                out.push_back(inst);
+            }
+        }
+    }
+
+    // Replace the call with parameter moves (written params only) +
+    // a jump into the body.
+    auto &insts = caller.block(call_block).insts();
+    insts.pop_back();
+    for (int i = 0; i < call.numArgs; ++i) {
+        if (i < callee.numParams() && !param_written[i]) {
+            continue; // bound directly to the argument register
+        }
+        ir::Inst mv;
+        mv.op = ir::Opcode::Mov;
+        mv.dst = reg_map[static_cast<ir::Reg>(i)];
+        mv.src1 = call.args[i];
+        mv.uid = caller.newUid();
+        insts.push_back(mv);
+    }
+    ir::Inst j;
+    j.op = ir::Opcode::Jump;
+    j.target = block_map[callee.entry()];
+    j.uid = caller.newUid();
+    insts.push_back(j);
+}
+
+} // namespace
+
+int
+inlineFunctions(ir::Module &mod, int max_insts)
+{
+    int inlined = 0;
+
+    std::vector<bool> candidate(mod.numFunctions(), false);
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
+        const auto &func = mod.function(static_cast<ir::FuncId>(f));
+        candidate[f] =
+            f != mod.entryFunction()
+            && func.numInsts() <= static_cast<std::size_t>(max_insts)
+            && isLeafAndPlain(func);
+    }
+
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
+        auto &caller = mod.function(static_cast<ir::FuncId>(f));
+        // One inlining sweep per caller; block ids are stable because
+        // inlineOneCall only appends blocks.
+        const std::size_t original_blocks = caller.numBlocks();
+        for (std::size_t b = 0; b < original_blocks; ++b) {
+            const auto &bb = caller.block(static_cast<ir::BlockId>(b));
+            if (bb.empty())
+                continue;
+            const ir::Inst &term = bb.terminator();
+            if (term.op != ir::Opcode::Call || !candidate[term.callee])
+                continue;
+            inlineOneCall(caller, mod.function(term.callee),
+                          static_cast<ir::BlockId>(b));
+            ++inlined;
+        }
+    }
+    return inlined;
+}
+
+int
+unrollLoops(ir::Function &func, int max_body_insts)
+{
+    const analysis::Cfg cfg(func);
+    const analysis::Dominators dom(cfg);
+    const analysis::LoopInfo info(cfg, dom);
+
+    int unrolled = 0;
+    for (const auto *loop : info.innermostLoops()) {
+        // Shape requirements: modest size, single latch ending in an
+        // unconditional back edge, and no CCR annotations.
+        std::size_t body_insts = 0;
+        bool plain = true;
+        ir::BlockId latch = ir::kNoBlock;
+        for (const auto b : loop->blocks) {
+            const auto &bb = func.block(b);
+            body_insts += bb.size();
+            for (const auto &inst : bb.insts()) {
+                if (inst.op == ir::Opcode::Reuse
+                    || inst.op == ir::Opcode::Invalidate
+                    || inst.ext.liveOut || inst.ext.regionEnd
+                    || inst.ext.regionExit || inst.op == ir::Opcode::Ret
+                    || inst.op == ir::Opcode::Call) {
+                    plain = false;
+                }
+            }
+            const auto &term = bb.terminator();
+            if (term.op == ir::Opcode::Jump
+                && term.target == loop->header) {
+                if (latch != ir::kNoBlock)
+                    plain = false; // multiple back edges
+                latch = b;
+            } else if (term.op == ir::Opcode::Br
+                       && (term.target == loop->header
+                           || term.target2 == loop->header)) {
+                plain = false; // conditional back edge
+            }
+        }
+        if (!plain || latch == ir::kNoBlock
+            || body_insts > static_cast<std::size_t>(max_body_insts)) {
+            continue;
+        }
+
+        // Clone every loop block; intra-loop edges point at clones,
+        // except the clone of the latch, which closes the cycle back
+        // to the original header.
+        std::unordered_map<ir::BlockId, ir::BlockId> clone;
+        for (const auto b : loop->blocks)
+            clone[b] = func.newBlock();
+        for (const auto b : loop->blocks) {
+            auto &out = func.block(clone[b]).insts();
+            const auto src = func.block(b).insts(); // copy: iterators
+            for (ir::Inst inst : src) {
+                inst.uid = func.newUid();
+                if (inst.isControlInst()) {
+                    if (clone.count(inst.target))
+                        inst.target = clone[inst.target];
+                    if (inst.target2 != ir::kNoBlock
+                        && clone.count(inst.target2)) {
+                        inst.target2 = clone[inst.target2];
+                    }
+                }
+                out.push_back(inst);
+            }
+        }
+        // Second iteration's back edge returns to the original header.
+        func.block(clone[latch]).terminator().target = loop->header;
+        // First iteration's latch continues into the cloned header.
+        func.block(latch).terminator().target = clone[loop->header];
+
+        ++unrolled;
+    }
+    return unrolled;
+}
+
+OptStats
+runStandardPipeline(ir::Module &mod, bool enable_unroll,
+                    bool enable_inline)
+{
+    OptStats stats;
+    if (enable_inline)
+        stats.callsInlined = inlineFunctions(mod);
+
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
+        auto &func = mod.function(static_cast<ir::FuncId>(f));
+        for (int round = 0; round < 8; ++round) {
+            int changed = 0;
+            const int folded = foldConstants(func);
+            const int cse = eliminateCommonSubexpressions(func);
+            const int branches = simplifyBranches(func);
+            const int dead = eliminateDeadCode(func);
+            stats.constantsFolded += folded;
+            stats.cseRemoved += cse;
+            stats.branchesSimplified += branches;
+            stats.deadRemoved += dead;
+            changed = folded + cse + branches + dead;
+            if (changed == 0)
+                break;
+        }
+        if (enable_unroll)
+            stats.loopsUnrolled += unrollLoops(func);
+    }
+    return stats;
+}
+
+} // namespace ccr::opt

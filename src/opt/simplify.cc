@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Branch simplification and jump threading.
+ */
+
+#include <unordered_map>
+
+#include "analysis/cfg.hh"
+#include "opt/passes.hh"
+
+namespace ccr::opt
+{
+
+int
+simplifyBranches(ir::Function &func)
+{
+    int changed = 0;
+
+    // Pass 1: degenerate conditional branches.
+    for (auto &bb : func.blocks()) {
+        if (bb.empty())
+            continue;
+        ir::Inst &term = bb.terminator();
+        if (term.op != ir::Opcode::Br)
+            continue;
+
+        if (term.target == term.target2) {
+            term.op = ir::Opcode::Jump;
+            term.src1 = ir::kNoReg;
+            term.target2 = ir::kNoBlock;
+            ++changed;
+            continue;
+        }
+
+        // Block-local constant condition.
+        std::int64_t cond = 0;
+        bool known = false;
+        for (std::size_t i = 0; i + 1 < bb.size(); ++i) {
+            const ir::Inst &inst = bb.inst(i);
+            if (!inst.hasDst() || inst.dst != term.src1)
+                continue;
+            if (inst.op == ir::Opcode::MovI) {
+                cond = inst.imm;
+                known = true;
+            } else {
+                known = false;
+            }
+        }
+        if (known) {
+            term.op = ir::Opcode::Jump;
+            term.target = cond != 0 ? term.target : term.target2;
+            term.src1 = ir::kNoReg;
+            term.target2 = ir::kNoBlock;
+            ++changed;
+        }
+    }
+
+    // Pass 2: thread jumps through pure forwarding blocks. A forwarder
+    // is a block holding exactly one unannotated `jump`; CCR
+    // trampolines carry region end/exit marks and must survive.
+    std::unordered_map<ir::BlockId, ir::BlockId> forward;
+    for (const auto &bb : func.blocks()) {
+        if (bb.size() != 1)
+            continue;
+        const ir::Inst &only = bb.inst(0);
+        if (only.op == ir::Opcode::Jump && !only.ext.regionEnd
+            && !only.ext.regionExit && only.target != bb.id()) {
+            forward[bb.id()] = only.target;
+        }
+    }
+    auto resolve = [&](ir::BlockId b) {
+        int hops = 0;
+        while (hops++ < 8) {
+            const auto it = forward.find(b);
+            if (it == forward.end())
+                break;
+            b = it->second;
+        }
+        return b;
+    };
+    for (auto &bb : func.blocks()) {
+        if (bb.empty())
+            continue;
+        ir::Inst &term = bb.terminator();
+        switch (term.op) {
+          case ir::Opcode::Br:
+          case ir::Opcode::Reuse: {
+            const auto t1 = resolve(term.target);
+            const auto t2 = resolve(term.target2);
+            if (t1 != term.target || t2 != term.target2) {
+                term.target = t1;
+                term.target2 = t2;
+                ++changed;
+            }
+            break;
+          }
+          case ir::Opcode::Jump:
+          case ir::Opcode::Call: {
+            const auto t = resolve(term.target);
+            if (t != term.target) {
+                term.target = t;
+                ++changed;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    if (func.entry() < func.numBlocks()) {
+        const auto e = resolve(func.entry());
+        if (e != func.entry()) {
+            func.setEntry(e);
+            ++changed;
+        }
+    }
+
+    // Pass 3: merge straight-line block pairs. A ends in a plain jump
+    // to B and B has no other predecessor: fold B into A.
+    bool merged = true;
+    while (merged) {
+        merged = false;
+        const analysis::Cfg cfg(func);
+        for (auto &bb : func.blocks()) {
+            if (bb.empty() || !cfg.reachable(bb.id()))
+                continue;
+            const ir::Inst &term = bb.terminator();
+            if (term.op != ir::Opcode::Jump || term.ext.regionEnd
+                || term.ext.regionExit) {
+                continue;
+            }
+            const ir::BlockId succ = term.target;
+            if (succ == bb.id() || succ == func.entry())
+                continue;
+            if (cfg.preds(succ).size() != 1)
+                continue;
+            auto &dst = bb.insts();
+            auto &src = func.block(succ).insts();
+            if (src.empty())
+                continue;
+            dst.pop_back(); // drop the jump
+            dst.insert(dst.end(),
+                       std::make_move_iterator(src.begin()),
+                       std::make_move_iterator(src.end()));
+            // Leave the emptied block with a self-consistent
+            // terminator; it is unreachable now.
+            src.clear();
+            ir::Inst dead;
+            dead.op = ir::Opcode::Halt;
+            dead.uid = func.newUid();
+            src.push_back(dead);
+            ++changed;
+            merged = true;
+            break; // CFG changed; recompute predecessors
+        }
+    }
+
+    return changed;
+}
+
+} // namespace ccr::opt

@@ -1,0 +1,43 @@
+#include "profile/addrmap.hh"
+
+#include <algorithm>
+
+namespace ccr::profile
+{
+
+AddrMap::AddrMap(const emu::Machine &machine)
+{
+    const auto &mod = machine.module();
+    ranges_.reserve(mod.numGlobals());
+    for (std::size_t g = 0; g < mod.numGlobals(); ++g) {
+        const auto gid = static_cast<ir::GlobalId>(g);
+        const auto &gl = mod.global(gid);
+        Range r;
+        r.base = machine.globalAddr(gid);
+        r.limit = r.base + gl.sizeBytes;
+        r.global = gid;
+        ranges_.push_back(r);
+    }
+    std::sort(ranges_.begin(), ranges_.end(),
+              [](const Range &a, const Range &b) {
+                  return a.base < b.base;
+              });
+    globalEpoch_.assign(mod.numGlobals(), 0);
+}
+
+MemStruct
+AddrMap::structOf(emu::Addr addr) const
+{
+    // Binary search for the last range with base <= addr.
+    const auto it = std::upper_bound(
+        ranges_.begin(), ranges_.end(), addr,
+        [](emu::Addr a, const Range &r) { return a < r.base; });
+    if (it != ranges_.begin()) {
+        const Range &r = *(it - 1);
+        if (addr >= r.base && addr < r.limit)
+            return MemStruct{r.global};
+    }
+    return MemStruct{}; // heap / unknown bucket
+}
+
+} // namespace ccr::profile

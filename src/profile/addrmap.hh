@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Runtime address -> memory-structure mapping, and per-structure store
+ * epochs. The profilers use epochs to decide whether memory read by a
+ * computation changed between two points of the execution.
+ */
+
+#ifndef CCR_PROFILE_ADDRMAP_HH
+#define CCR_PROFILE_ADDRMAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/machine.hh"
+#include "ir/module.hh"
+
+namespace ccr::profile
+{
+
+/** Identifier for a memory structure: a global id, or the blended
+ *  heap/unknown bucket. */
+struct MemStruct
+{
+    static constexpr std::uint32_t kHeap = 0xffffffffu;
+
+    std::uint32_t id = kHeap;
+
+    bool isGlobal() const { return id != kHeap; }
+    bool operator==(const MemStruct &) const = default;
+};
+
+/**
+ * Maps runtime addresses back to the module global containing them
+ * (binary search over the load-time layout), and tracks a store epoch
+ * per structure: the epoch bumps every time the structure is written,
+ * so "epoch unchanged" proves "contents unchanged".
+ */
+class AddrMap
+{
+  public:
+    explicit AddrMap(const emu::Machine &machine);
+
+    /** Structure containing @p addr (heap bucket when no global). */
+    MemStruct structOf(emu::Addr addr) const;
+
+    /** Note a store to @p addr. */
+    void
+    recordStore(emu::Addr addr)
+    {
+        bumpEpoch(structOf(addr));
+    }
+
+    void
+    bumpEpoch(MemStruct s)
+    {
+        if (s.isGlobal())
+            ++globalEpoch_[s.id];
+        else
+            ++heapEpoch_;
+    }
+
+    std::uint64_t
+    epoch(MemStruct s) const
+    {
+        return s.isGlobal() ? globalEpoch_[s.id] : heapEpoch_;
+    }
+
+  private:
+    struct Range
+    {
+        emu::Addr base;
+        emu::Addr limit;
+        std::uint32_t global;
+    };
+
+    std::vector<Range> ranges_; // sorted by base
+    std::vector<std::uint64_t> globalEpoch_;
+    std::uint64_t heapEpoch_ = 0;
+};
+
+} // namespace ccr::profile
+
+#endif // CCR_PROFILE_ADDRMAP_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Profile data produced by the Reuse Profiling System (RPS, paper §4.2)
+ * and consumed by the RCR formation heuristics (paper §4.4).
+ */
+
+#ifndef CCR_PROFILE_PROFILES_HH
+#define CCR_PROFILE_PROFILES_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/types.hh"
+
+namespace ccr::profile
+{
+
+/**
+ * Per-static-instruction profile: execution weight, input-tuple value
+ * distribution (for Invariance_R[k]), branch direction weight, and the
+ * memory-reuse fraction for loads.
+ */
+struct InstProfile
+{
+    /** Dynamic executions, Exec(i). */
+    std::uint64_t exec = 0;
+
+    /** Executions where the branch was taken (Br only). */
+    std::uint64_t taken = 0;
+
+    /** Input-tuple hash -> occurrence count (capped; excess counted in
+     *  tupleOverflow). */
+    std::unordered_map<std::uint64_t, std::uint64_t> tuples;
+    std::uint64_t tupleOverflow = 0;
+
+    /** Load executions whose address had not been stored to since the
+     *  previous load of the same address by this instruction. */
+    std::uint64_t memClean = 0;
+
+    /** Executions whose input tuple appeared within the last
+     *  `historyDepth` distinct tuples (recent-recurrence measure). */
+    std::uint64_t recentHits = 0;
+
+    /** Fraction of executions covered by the top @p k input tuples:
+     *  Invariance_R[k](i) in the paper's heuristic (eq. 1). */
+    double invarianceTopK(int k) const;
+
+    /** Distinct input tuples observed (capped count). */
+    std::size_t distinctTuples() const { return tuples.size(); }
+
+    /** MemReuse fraction: memClean / exec (loads; eq. 2). */
+    double
+    memReuseFraction() const
+    {
+        return exec == 0 ? 0.0
+                         : static_cast<double>(memClean)
+                               / static_cast<double>(exec);
+    }
+
+    double
+    takenFraction() const
+    {
+        return exec == 0 ? 0.0
+                         : static_cast<double>(taken)
+                               / static_cast<double>(exec);
+    }
+};
+
+/**
+ * Per-loop (cyclic region candidate) profile: invocation counts,
+ * iteration structure, and the fraction of invocations whose whole
+ * computation was observed to be reusable.
+ */
+struct LoopProfile
+{
+    std::uint64_t invocations = 0;
+
+    /** Invocations executing more than one iteration. */
+    std::uint64_t multiIter = 0;
+
+    /** Invocations whose (inputs, memory state) matched one of the
+     *  last `historyDepth` records. */
+    std::uint64_t reusable = 0;
+
+    std::uint64_t totalIterations = 0;
+
+    /** Invocations containing a store, call, or non-determinable load
+     *  (disqualifying for cyclic RCR formation). */
+    std::uint64_t impure = 0;
+
+    double
+    reuseFraction() const
+    {
+        return invocations == 0
+                   ? 0.0
+                   : static_cast<double>(reusable)
+                         / static_cast<double>(invocations);
+    }
+
+    double
+    multiIterFraction() const
+    {
+        return invocations == 0
+                   ? 0.0
+                   : static_cast<double>(multiIter)
+                         / static_cast<double>(invocations);
+    }
+};
+
+/** Key for a loop: (function, header block). */
+struct LoopKey
+{
+    ir::FuncId func = ir::kNoFunc;
+    ir::BlockId header = ir::kNoBlock;
+
+    bool operator==(const LoopKey &) const = default;
+};
+
+struct LoopKeyHash
+{
+    std::size_t
+    operator()(const LoopKey &k) const
+    {
+        return (static_cast<std::size_t>(k.func) << 32) ^ k.header;
+    }
+};
+
+/** All RPS output for one training run. */
+struct ProfileData
+{
+    /** Per function, indexed by InstUid. */
+    std::vector<std::vector<InstProfile>> insts;
+
+    std::unordered_map<LoopKey, LoopProfile, LoopKeyHash> loops;
+
+    /** Total dynamic instructions in the profiled run. */
+    std::uint64_t totalDynamicInsts = 0;
+
+    const InstProfile *
+    instProfile(ir::FuncId f, ir::InstUid uid) const
+    {
+        if (f >= insts.size() || uid >= insts[f].size())
+            return nullptr;
+        return &insts[f][uid];
+    }
+
+    const LoopProfile *
+    loopProfile(ir::FuncId f, ir::BlockId header) const
+    {
+        const auto it = loops.find(LoopKey{f, header});
+        return it == loops.end() ? nullptr : &it->second;
+    }
+};
+
+} // namespace ccr::profile
+
+#endif // CCR_PROFILE_PROFILES_HH

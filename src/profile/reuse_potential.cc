@@ -1,0 +1,421 @@
+#include "profile/reuse_potential.hh"
+
+#include "analysis/dominators.hh"
+#include "analysis/liveness.hh"
+#include "analysis/loops.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace ccr::profile
+{
+
+namespace
+{
+
+std::uint64_t
+segKey(ir::FuncId func, ir::BlockId block)
+{
+    return (static_cast<std::uint64_t>(func) << 32) | block;
+}
+
+constexpr std::uint64_t kSigSeed = 0x51ed'270b'9f5d'3c17ULL;
+
+/** True when the loop contains no instruction that disqualifies it as
+ *  a cyclic reuse candidate (stores, calls, allocation, returns). */
+bool
+loopIsCandidate(const ir::Function &func, const analysis::Loop &loop)
+{
+    for (const auto b : loop.blocks) {
+        for (const auto &inst : func.block(b).insts()) {
+            switch (inst.op) {
+              case ir::Opcode::Store:
+              case ir::Opcode::Call:
+              case ir::Opcode::Alloc:
+              case ir::Opcode::Ret:
+              case ir::Opcode::Halt:
+                return false;
+              default:
+                break;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+ReusePotentialStudy::ReusePotentialStudy(const emu::Machine &machine,
+                                         PotentialParams params)
+    : machine_(machine), params_(params)
+{
+    funcLoops_.resize(machine.module().numFunctions());
+    frames_.push_back(makeFrame(machine.module().entryFunction()));
+}
+
+ReusePotentialStudy::FrameState
+ReusePotentialStudy::makeFrame(ir::FuncId func)
+{
+    FrameState fs;
+    fs.func = func;
+    const auto &f = machine_.module().function(func);
+    fs.definedStampBlock.assign(static_cast<std::size_t>(f.numRegs()),
+                                0);
+    fs.definedStampSeg.assign(static_cast<std::size_t>(f.numRegs()), 0);
+    fs.loops = &loopsFor(func);
+    return fs;
+}
+
+const ReusePotentialStudy::FuncLoops &
+ReusePotentialStudy::loopsFor(ir::FuncId func)
+{
+    if (funcLoops_[func])
+        return *funcLoops_[func];
+
+    const auto &f = machine_.module().function(func);
+    auto fl = std::make_unique<FuncLoops>();
+    fl->headerToLoop.assign(f.numBlocks(), -1);
+
+    const analysis::Cfg cfg(f);
+    const analysis::Dominators dom(cfg);
+    const analysis::LoopInfo info(cfg, dom);
+    const analysis::Liveness live(cfg);
+
+    for (const auto *loop : info.innermostLoops()) {
+        if (!loopIsCandidate(f, *loop))
+            continue;
+        LoopData data;
+        data.header = loop->header;
+        data.member.assign(f.numBlocks(), false);
+        for (const auto b : loop->blocks)
+            data.member[b] = true;
+
+        analysis::RegSet used(static_cast<std::size_t>(f.numRegs()));
+        for (const auto b : loop->blocks) {
+            for (const auto &inst : f.block(b).insts())
+                analysis::Liveness::addUses(inst, used);
+        }
+        for (const auto r : live.liveIn(loop->header).toVector()) {
+            if (used.test(r))
+                data.liveIns.push_back(r);
+        }
+        fl->headerToLoop[loop->header] =
+            static_cast<int>(fl->loops.size());
+        fl->loops.push_back(std::move(data));
+    }
+
+    funcLoops_[func] = std::move(fl);
+    return *funcLoops_[func];
+}
+
+bool
+ReusePotentialStudy::checkHistory(
+    std::unordered_map<std::uint64_t, History, SegKeyHash> &hist,
+    std::uint64_t key, std::uint64_t sig)
+{
+    auto &h = hist[key];
+    bool found = false;
+    for (const auto s : h.sigs) {
+        if (s == sig) {
+            found = true;
+            break;
+        }
+    }
+    h.sigs.push_back(sig);
+    if (h.sigs.size() > static_cast<std::size_t>(params_.historyDepth))
+        h.sigs.pop_front();
+    return found;
+}
+
+void
+ReusePotentialStudy::startBlockRun(FrameState &fs, ir::BlockId block)
+{
+    fs.blockRun = Run{};
+    fs.blockRun.start = block;
+    fs.blockRun.sig = hashCombine(kSigSeed, block);
+    fs.blockRun.open = true;
+    fs.runInSegment = fs.segment.open;
+    ++fs.blockStamp;
+}
+
+void
+ReusePotentialStudy::flushBlockRun(FrameState &fs)
+{
+    if (!fs.blockRun.open)
+        return;
+    Run &run = fs.blockRun;
+    run.open = false;
+    if (run.insts == 0)
+        return;
+
+    const bool match = checkHistory(
+        blockHist_, segKey(fs.func, run.start), run.sig);
+    const bool reusable = match && !run.poisoned;
+    if (reusable)
+        result_.blockReusableInsts += run.insts;
+
+    // Region-level attribution happens at the coarsest granularity
+    // that matches: block run, enclosing path segment, or enclosing
+    // loop invocation. Records resolve when the segment flushes.
+    RunRecord rec;
+    rec.insts = run.insts;
+    rec.blockMatched = reusable;
+    if (fs.runInSegment && (fs.segment.open || fs.segment.sealed)) {
+        fs.segRecords.push_back(rec);
+    } else if (reusable) {
+        result_.regionReusableInsts += rec.insts;
+    } else if (fs.invActive) {
+        fs.inv.unmatched += rec.insts;
+    }
+}
+
+void
+ReusePotentialStudy::startSegment(FrameState &fs, ir::BlockId block)
+{
+    fs.segment = Run{};
+    fs.segment.start = block;
+    fs.segment.sig = hashCombine(kSigSeed ^ 0xffff, block);
+    fs.segment.open = true;
+    fs.segmentBlocks.clear();
+    fs.segmentBlocks.push_back(block);
+    fs.segRecords.clear();
+    ++fs.segStamp;
+}
+
+void
+ReusePotentialStudy::sealSegment(FrameState &fs)
+{
+    if (fs.segment.open) {
+        fs.segment.open = false;
+        fs.segment.sealed = true;
+    }
+}
+
+void
+ReusePotentialStudy::flushSegment(FrameState &fs)
+{
+    sealSegment(fs);
+    if (!fs.segment.sealed)
+        return;
+    Run &run = fs.segment;
+    run.sealed = false;
+    const bool match =
+        run.insts == 0
+            ? false
+            : checkHistory(regionHist_, segKey(fs.func, run.start),
+                           run.sig)
+                  && !run.poisoned;
+
+    for (const auto &rec : fs.segRecords) {
+        if (match || rec.blockMatched)
+            result_.regionReusableInsts += rec.insts;
+        else if (fs.invActive)
+            fs.inv.unmatched += rec.insts;
+    }
+    fs.segRecords.clear();
+}
+
+void
+ReusePotentialStudy::accumulate(const emu::ExecInfo &info,
+                                FrameState &fs)
+{
+    const ir::Inst &inst = *info.inst;
+
+    auto feed = [&](Run &run, std::vector<std::uint64_t> &stamp,
+                    std::uint64_t cur) {
+        if (!run.open)
+            return;
+        // Values consumed from outside the run are its inputs.
+        const int nsrc = inst.numRegSources();
+        for (int i = 0; i < nsrc && i < 2; ++i) {
+            const ir::Reg r = inst.regSource(i);
+            if (stamp[r] != cur) {
+                run.sig = hashCombine(
+                    run.sig,
+                    static_cast<std::uint64_t>(
+                        info.srcVals[static_cast<std::size_t>(i)]));
+            }
+        }
+        if (inst.isLoad()) {
+            // Key loads on (address, last store time to that address):
+            // equal means the location was not stored to in between.
+            const auto it = lastStore_.find(info.memAddr);
+            const std::uint64_t st =
+                it == lastStore_.end() ? 0 : it->second;
+            run.sig = hashCombine(run.sig,
+                                  hashCombine(info.memAddr, st));
+        }
+        if (inst.hasDst())
+            stamp[inst.dst] = cur;
+        ++run.insts;
+    };
+
+    feed(fs.blockRun, fs.definedStampBlock, fs.blockStamp);
+    feed(fs.segment, fs.definedStampSeg, fs.segStamp);
+}
+
+void
+ReusePotentialStudy::beginInvocation(FrameState &fs, int loop_idx)
+{
+    fs.invActive = true;
+    fs.inv = ActiveInv{};
+    fs.inv.loopIdx = loop_idx;
+
+    const LoopData &loop =
+        fs.loops->loops[static_cast<std::size_t>(loop_idx)];
+    std::uint64_t h = hashCombine(kSigSeed ^ 0xabcd, loop.header);
+    for (const auto r : loop.liveIns) {
+        h = hashCombine(
+            h, static_cast<std::uint64_t>(machine_.readReg(r)));
+    }
+    fs.inv.sig = h;
+}
+
+void
+ReusePotentialStudy::finalizeInvocation(FrameState &fs)
+{
+    fs.invActive = false;
+    const ActiveInv &inv = fs.inv;
+    const LoopData &loop =
+        fs.loops->loops[static_cast<std::size_t>(inv.loopIdx)];
+    const bool match = checkHistory(
+        cyclicHist_, segKey(fs.func, loop.header), inv.sig);
+    if (match)
+        result_.regionReusableInsts += inv.unmatched;
+    fs.inv = ActiveInv{};
+}
+
+void
+ReusePotentialStudy::onInst(const emu::ExecInfo &info)
+{
+    ++time_;
+    ++result_.totalInsts;
+
+    FrameState &fs = frames_.back();
+    const ir::Inst &inst = *info.inst;
+
+    // Detect entry into a new block execution. Block-run records must
+    // be appended to the (possibly sealed) segment before the segment
+    // itself resolves, and a sealed segment resolves before a new one
+    // starts.
+    if (fs.lastWasControl || info.block != fs.curBlock) {
+        flushBlockRun(fs);
+        if (fs.segment.sealed)
+            flushSegment(fs);
+        if (fs.invEndPending && fs.invActive) {
+            finalizeInvocation(fs);
+            fs.invEndPending = false;
+        }
+        startBlockRun(fs, info.block);
+        fs.curBlock = info.block;
+        if (!fs.segment.open)
+            startSegment(fs, info.block);
+    }
+    fs.lastWasControl = inst.isControlInst();
+
+    // Cyclic invocation signature: loads fold (address, last-store)
+    // keys so memory mutation between invocations breaks matching.
+    if (fs.invActive && inst.isLoad()) {
+        const auto it = lastStore_.find(info.memAddr);
+        const std::uint64_t st =
+            it == lastStore_.end() ? 0 : it->second;
+        fs.inv.sig =
+            hashCombine(fs.inv.sig, hashCombine(info.memAddr, st));
+    }
+
+    // Stores, calls, and allocation are non-reusable content: they
+    // seal the current segment and poison the enclosing block run.
+    // Ret/Halt merely end the frame.
+    const bool boundary = inst.isStore() || inst.op == ir::Opcode::Call
+                          || inst.op == ir::Opcode::Alloc;
+    const bool frame_end = inst.op == ir::Opcode::Ret
+                           || inst.op == ir::Opcode::Halt;
+
+    if (boundary) {
+        sealSegment(fs);
+        fs.blockRun.poisoned = true;
+    } else if (!frame_end) {
+        accumulate(info, fs);
+        if (fs.segment.open
+            && fs.segment.insts >= params_.maxSegmentInsts) {
+            sealSegment(fs);
+        }
+    }
+
+    if (inst.isStore())
+        lastStore_[info.memAddr] = time_;
+
+    // Control transfers: cyclic invocation begin/end detection and
+    // back-edge segment sealing.
+    if (inst.op == ir::Opcode::Br || inst.op == ir::Opcode::Jump
+        || inst.op == ir::Opcode::Reuse) {
+        ir::BlockId target;
+        if (inst.op == ir::Opcode::Br)
+            target = info.taken ? inst.target : inst.target2;
+        else if (inst.op == ir::Opcode::Jump)
+            target = inst.target;
+        else
+            target = inst.target2;
+
+        if (fs.invActive) {
+            const LoopData &loop = fs.loops->loops[
+                static_cast<std::size_t>(fs.inv.loopIdx)];
+            if (!loop.member[target] && target != loop.header) {
+                // Finalize after the pending block/segment records of
+                // the exiting iteration resolve (next block entry).
+                fs.invEndPending = true;
+            }
+        } else {
+            const int idx = fs.loops->headerToLoop[target];
+            if (idx >= 0
+                && !fs.loops->loops[static_cast<std::size_t>(idx)]
+                        .member[info.block]) {
+                beginInvocation(fs, idx);
+            }
+        }
+        if (fs.segment.open) {
+            // Path segments never span a revisit of one of their own
+            // blocks: back edges delimit paths.
+            for (const auto b : fs.segmentBlocks) {
+                if (b == target) {
+                    sealSegment(fs);
+                    break;
+                }
+            }
+            if (fs.segment.open)
+                fs.segmentBlocks.push_back(target);
+        }
+    }
+
+    // Frame transitions.
+    if (inst.op == ir::Opcode::Call) {
+        frames_.push_back(makeFrame(inst.callee));
+    } else if (frame_end) {
+        flushBlockRun(fs);
+        flushSegment(fs);
+        if (fs.invActive)
+            finalizeInvocation(fs);
+        if (inst.op == ir::Opcode::Ret) {
+            frames_.pop_back();
+            if (frames_.empty()) {
+                frames_.push_back(
+                    makeFrame(machine_.module().entryFunction()));
+            } else {
+                frames_.back().lastWasControl = true;
+            }
+        }
+    }
+}
+
+PotentialResult
+ReusePotentialStudy::result()
+{
+    for (auto &fs : frames_) {
+        flushBlockRun(fs);
+        flushSegment(fs);
+        if (fs.invActive)
+            finalizeInvocation(fs);
+    }
+    return result_;
+}
+
+} // namespace ccr::profile

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Dynamic reuse-potential limit study (paper §2.3, Figure 4).
+ *
+ * Measures what fraction of a program's dynamic execution is redundant
+ * at two granularities, each checked against the 8 most recent records
+ * of the corresponding code segment:
+ *
+ *  - block level: one basic-block execution is reusable when the values
+ *    it consumes from outside the block (and, for each load, the
+ *    last-store time of the loaded location) match a recent previous
+ *    execution of the same block;
+ *  - region level: the same test applied to multi-block acyclic path
+ *    segments (delimited by stores, calls, allocation, function
+ *    boundaries, and back edges), plus whole invocations of
+ *    deterministic inner loops matched on their live-in values and the
+ *    last-store times of the locations they read ("monitoring
+ *    additional program state at the invocation of the respective
+ *    region headers", §2.3).
+ *
+ * Store instructions are never considered reusable, and loads key on
+ * "location unmodified since the recorded execution", both per the
+ * paper's stated evaluation guidelines.
+ */
+
+#ifndef CCR_PROFILE_REUSE_POTENTIAL_HH
+#define CCR_PROFILE_REUSE_POTENTIAL_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "emu/machine.hh"
+
+namespace ccr::profile
+{
+
+/** Parameters of the limit study. */
+struct PotentialParams
+{
+    /** Records kept per code segment (paper: eight). */
+    int historyDepth = 8;
+
+    /** Dynamic-length cap for one region segment. */
+    std::uint64_t maxSegmentInsts = 512;
+};
+
+/** Results: fractions of dynamic execution that could be reused. */
+struct PotentialResult
+{
+    std::uint64_t totalInsts = 0;
+    std::uint64_t blockReusableInsts = 0;
+    std::uint64_t regionReusableInsts = 0;
+
+    double
+    blockFraction() const
+    {
+        return totalInsts == 0
+                   ? 0.0
+                   : static_cast<double>(blockReusableInsts)
+                         / static_cast<double>(totalInsts);
+    }
+
+    double
+    regionFraction() const
+    {
+        return totalInsts == 0
+                   ? 0.0
+                   : static_cast<double>(regionReusableInsts)
+                         / static_cast<double>(totalInsts);
+    }
+};
+
+/** The limit-study observer. Attach, run the machine, read result(). */
+class ReusePotentialStudy : public emu::Observer
+{
+  public:
+    explicit ReusePotentialStudy(const emu::Machine &machine,
+                                 PotentialParams params = {});
+
+    void onInst(const emu::ExecInfo &info) override;
+
+    /** Flushes open segments and returns the tallies. */
+    PotentialResult result();
+
+  private:
+    struct SegKeyHash
+    {
+        std::size_t
+        operator()(const std::uint64_t &k) const
+        {
+            return k;
+        }
+    };
+
+    struct History
+    {
+        std::deque<std::uint64_t> sigs;
+    };
+
+    /** Running accumulation over one block execution or one acyclic
+     *  region segment. */
+    struct Run
+    {
+        ir::BlockId start = ir::kNoBlock;
+        std::uint64_t sig = 0;
+        std::uint64_t insts = 0;
+        bool poisoned = false; // contains store/call: never reusable
+        bool open = false;
+
+        /** Segment only: closed for feeding, awaiting attribution. */
+        bool sealed = false;
+    };
+
+    /** One finished block run awaiting region-level attribution. */
+    struct RunRecord
+    {
+        std::uint64_t insts = 0;
+        bool blockMatched = false;
+    };
+
+    /** Candidate inner loop (no stores/calls) for cyclic matching. */
+    struct LoopData
+    {
+        ir::BlockId header = ir::kNoBlock;
+        std::vector<bool> member;
+        std::vector<ir::Reg> liveIns;
+    };
+
+    struct FuncLoops
+    {
+        std::vector<LoopData> loops;
+        std::vector<int> headerToLoop; // -1 when not a candidate header
+    };
+
+    /** One in-flight cyclic invocation. */
+    struct ActiveInv
+    {
+        int loopIdx = -1;
+        std::uint64_t sig = 0;
+
+        /** Instructions inside this invocation not already credited
+         *  at block or path-segment granularity. */
+        std::uint64_t unmatched = 0;
+    };
+
+    struct FrameState
+    {
+        ir::FuncId func = ir::kNoFunc;
+        const FuncLoops *loops = nullptr;
+        Run blockRun;
+        Run segment;
+        std::vector<ir::BlockId> segmentBlocks;
+        std::vector<RunRecord> segRecords;
+        ActiveInv inv;
+        bool invActive = false;
+        bool invEndPending = false;
+        bool runInSegment = false;
+        ir::BlockId curBlock = ir::kNoBlock;
+        bool lastWasControl = true;
+        std::vector<std::uint64_t> definedStampBlock;
+        std::vector<std::uint64_t> definedStampSeg;
+        std::uint64_t blockStamp = 0;
+        std::uint64_t segStamp = 0;
+    };
+
+    const emu::Machine &machine_;
+    PotentialParams params_;
+    PotentialResult result_;
+
+    std::unordered_map<std::uint64_t, History, SegKeyHash> blockHist_;
+    std::unordered_map<std::uint64_t, History, SegKeyHash> regionHist_;
+    std::unordered_map<std::uint64_t, History, SegKeyHash> cyclicHist_;
+
+    std::unordered_map<emu::Addr, std::uint64_t> lastStore_;
+    std::uint64_t time_ = 0;
+
+    std::vector<std::unique_ptr<FuncLoops>> funcLoops_;
+    std::vector<FrameState> frames_;
+
+    FrameState makeFrame(ir::FuncId func);
+    const FuncLoops &loopsFor(ir::FuncId func);
+
+    void startBlockRun(FrameState &fs, ir::BlockId block);
+    void flushBlockRun(FrameState &fs);
+    void startSegment(FrameState &fs, ir::BlockId block);
+    void sealSegment(FrameState &fs);
+    void flushSegment(FrameState &fs);
+    void beginInvocation(FrameState &fs, int loop_idx);
+    void finalizeInvocation(FrameState &fs);
+    void accumulate(const emu::ExecInfo &info, FrameState &fs);
+    bool checkHistory(
+        std::unordered_map<std::uint64_t, History, SegKeyHash> &hist,
+        std::uint64_t key, std::uint64_t sig);
+};
+
+} // namespace ccr::profile
+
+#endif // CCR_PROFILE_REUSE_POTENTIAL_HH

@@ -1,0 +1,355 @@
+#include "profile/value_profiler.hh"
+
+#include <algorithm>
+
+#include "analysis/liveness.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace ccr::profile
+{
+
+double
+InstProfile::invarianceTopK(int k) const
+{
+    if (exec == 0 || tuples.empty())
+        return 0.0;
+    std::vector<std::uint64_t> counts;
+    counts.reserve(tuples.size());
+    for (const auto &[key, count] : tuples)
+        counts.push_back(count);
+    const auto kk = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                          counts.size());
+    std::partial_sort(counts.begin(), counts.begin() + kk, counts.end(),
+                      std::greater<>());
+    std::uint64_t top = 0;
+    for (std::size_t i = 0; i < kk; ++i)
+        top += counts[i];
+    return static_cast<double>(top) / static_cast<double>(exec);
+}
+
+ValueProfiler::ValueProfiler(emu::Machine &machine, RpsParams params)
+    : machine_(machine), params_(params), addrMap_(machine)
+{
+    const auto &mod = machine.module();
+    const std::size_t nfuncs = mod.numFunctions();
+    data_.insts.resize(nfuncs);
+    recent_.resize(nfuncs);
+    lastLoadEpoch_.resize(nfuncs);
+    funcLoops_.resize(nfuncs);
+    for (std::size_t f = 0; f < nfuncs; ++f)
+        ensureFunc(static_cast<ir::FuncId>(f));
+
+    FrameState fs;
+    fs.func = mod.entryFunction();
+    fs.loops = &loopsFor(fs.func);
+    frames_.push_back(fs);
+}
+
+ValueProfiler::~ValueProfiler() = default;
+
+void
+ValueProfiler::ensureFunc(ir::FuncId f)
+{
+    const auto &func = machine_.module().function(f);
+    const std::size_t n = func.uidBound();
+    data_.insts[f].resize(n);
+    recent_[f].resize(n);
+    lastLoadEpoch_[f].resize(n);
+}
+
+const ValueProfiler::FuncLoops &
+ValueProfiler::loopsFor(ir::FuncId f)
+{
+    if (funcLoops_[f])
+        return *funcLoops_[f];
+
+    const auto &func = machine_.module().function(f);
+    auto fl = std::make_unique<FuncLoops>();
+    fl->headerToLoop.assign(func.numBlocks(), -1);
+    fl->inAnyLoop.assign(func.numBlocks(), false);
+
+    const analysis::Cfg cfg(func);
+    const analysis::Dominators dom(cfg);
+    const analysis::LoopInfo info(cfg, dom);
+    const analysis::Liveness live(cfg);
+
+    for (const auto *loop : info.innermostLoops()) {
+        LoopData data;
+        data.header = loop->header;
+        data.member.assign(func.numBlocks(), false);
+        for (const auto b : loop->blocks) {
+            data.member[b] = true;
+            fl->inAnyLoop[b] = true;
+        }
+
+        // Loop live-ins: registers live into the header that the loop
+        // body actually reads. These are the values that must recur for
+        // the whole invocation to be reusable.
+        analysis::RegSet used(static_cast<std::size_t>(func.numRegs()));
+        for (const auto b : loop->blocks) {
+            for (const auto &inst : func.block(b).insts())
+                analysis::Liveness::addUses(inst, used);
+        }
+        for (const auto r : live.liveIn(loop->header).toVector()) {
+            if (used.test(r))
+                data.liveIns.push_back(r);
+        }
+
+        fl->headerToLoop[loop->header] =
+            static_cast<int>(fl->loops.size());
+        fl->loops.push_back(std::move(data));
+    }
+
+    funcLoops_[f] = std::move(fl);
+    return *funcLoops_[f];
+}
+
+void
+ValueProfiler::profileInstLevel(const emu::ExecInfo &info)
+{
+    const ir::Inst &inst = *info.inst;
+    auto &prof = data_.insts[info.func][inst.uid];
+    ++prof.exec;
+    ++data_.totalDynamicInsts;
+
+    if (inst.op == ir::Opcode::Br && info.taken)
+        ++prof.taken;
+
+    // Input tuple: the consumed register values (loads also fold in the
+    // effective address so that distinct array elements count as
+    // distinct inputs).
+    std::uint64_t key = 0xabcd'ef01'2345'6789ULL;
+    const int nsrc = inst.numRegSources();
+    for (int i = 0; i < nsrc && i < 2; ++i) {
+        key = hashCombine(
+            key, static_cast<std::uint64_t>(
+                     info.srcVals[static_cast<std::size_t>(i)]));
+    }
+    if (inst.srcImm)
+        key = hashCombine(key, static_cast<std::uint64_t>(inst.imm));
+    if (inst.isLoad())
+        key = hashCombine(key, info.memAddr);
+    if (inst.op == ir::Opcode::Call) {
+        for (int i = 0; i < inst.numArgs; ++i) {
+            key = hashCombine(
+                key, static_cast<std::uint64_t>(
+                         info.argVals[static_cast<std::size_t>(i)]));
+        }
+    }
+
+    const auto it = prof.tuples.find(key);
+    if (it != prof.tuples.end()) {
+        ++it->second;
+    } else if (prof.tuples.size() < params_.maxTuplesPerInst) {
+        prof.tuples.emplace(key, 1);
+    } else {
+        ++prof.tupleOverflow;
+    }
+
+    // Recent-recurrence window over distinct tuples.
+    auto &window = recent_[info.func][inst.uid];
+    const auto wit = std::find(window.tuples.begin(), window.tuples.end(),
+                               key);
+    if (wit != window.tuples.end()) {
+        ++prof.recentHits;
+    } else {
+        window.tuples.push_back(key);
+        if (window.tuples.size()
+            > static_cast<std::size_t>(params_.historyDepth)) {
+            window.tuples.pop_front();
+        }
+    }
+
+    // Memory reusability for loads: has the address's structure been
+    // stored to since this instruction last loaded this address?
+    if (inst.isLoad()) {
+        const MemStruct ms = addrMap_.structOf(info.memAddr);
+        const std::uint64_t now = addrMap_.epoch(ms);
+        auto &last = lastLoadEpoch_[info.func][inst.uid];
+        const auto lit = last.find(info.memAddr);
+        if (lit != last.end() && lit->second == now)
+            ++prof.memClean;
+        last[info.memAddr] = now;
+    }
+
+    if (inst.isStore())
+        addrMap_.recordStore(info.memAddr);
+}
+
+void
+ValueProfiler::beginInvocation(FrameState &fs, int loop_idx)
+{
+    fs.invActive = true;
+    fs.inv = ActiveInv{};
+    fs.inv.loopIdx = loop_idx;
+
+    const LoopData &loop = fs.loops->loops[static_cast<std::size_t>(
+        loop_idx)];
+    std::uint64_t h = 0x9e37'79b9'7f4a'7c15ULL;
+    h = hashCombine(h, loop.header);
+    for (const auto r : loop.liveIns) {
+        h = hashCombine(
+            h, static_cast<std::uint64_t>(machine_.readReg(r)));
+    }
+    fs.inv.inputHash = h;
+}
+
+void
+ValueProfiler::finalizeInvocation(FrameState &fs)
+{
+    fs.invActive = false;
+    const ActiveInv &inv = fs.inv;
+    const LoopData &loop =
+        fs.loops->loops[static_cast<std::size_t>(inv.loopIdx)];
+
+    const LoopKey key{fs.func, loop.header};
+    auto &prof = data_.loops[key];
+    ++prof.invocations;
+    prof.totalIterations += inv.iterations;
+    if (inv.iterations > 1)
+        ++prof.multiIter;
+    if (inv.impure)
+        ++prof.impure;
+
+    auto &hist = loopHist_[key];
+
+    bool matched = false;
+    if (!inv.impure) {
+        for (const auto &rec : hist.records) {
+            if (rec.inputHash != inv.inputHash)
+                continue;
+            bool clean = true;
+            for (const auto &[sid, epoch] : rec.touched) {
+                if (addrMap_.epoch(MemStruct{sid}) != epoch) {
+                    clean = false;
+                    break;
+                }
+            }
+            if (clean) {
+                matched = true;
+                break;
+            }
+        }
+    }
+    if (matched)
+        ++prof.reusable;
+
+    // Record this invocation for future matching.
+    InvRecord rec;
+    rec.inputHash = inv.inputHash;
+    for (const auto sid : inv.touched)
+        rec.touched.emplace_back(sid, addrMap_.epoch(MemStruct{sid}));
+    hist.records.push_back(std::move(rec));
+    if (hist.records.size()
+        > static_cast<std::size_t>(params_.loopHistoryDepth)) {
+        hist.records.pop_front();
+    }
+}
+
+void
+ValueProfiler::handleLoops(const emu::ExecInfo &info)
+{
+    const ir::Inst &inst = *info.inst;
+    FrameState &fs = frames_.back();
+
+    // Record loads / impurity inside an active invocation.
+    if (fs.invActive) {
+        if (inst.isLoad()) {
+            const MemStruct ms = addrMap_.structOf(info.memAddr);
+            if (!ms.isGlobal()) {
+                fs.inv.impure = true; // anonymous memory
+            } else if (std::find(fs.inv.touched.begin(),
+                                 fs.inv.touched.end(), ms.id)
+                       == fs.inv.touched.end()) {
+                fs.inv.touched.push_back(ms.id);
+            }
+        } else if (inst.isStore() || inst.op == ir::Opcode::Alloc) {
+            fs.inv.impure = true;
+        }
+    }
+
+    switch (inst.op) {
+      case ir::Opcode::Br:
+      case ir::Opcode::Jump:
+      case ir::Opcode::Reuse: {
+        ir::BlockId target;
+        if (inst.op == ir::Opcode::Br)
+            target = info.taken ? inst.target : inst.target2;
+        else if (inst.op == ir::Opcode::Jump)
+            target = inst.target;
+        else
+            target = inst.target2; // profiling runs take the miss path
+
+        if (fs.invActive) {
+            const LoopData &loop = fs.loops->loops[
+                static_cast<std::size_t>(fs.inv.loopIdx)];
+            if (target == loop.header) {
+                ++fs.inv.iterations; // back edge
+                break;
+            }
+            if (!loop.member[target])
+                finalizeInvocation(fs);
+        }
+        if (!fs.invActive) {
+            const int idx = fs.loops->headerToLoop[target];
+            if (idx >= 0 && !fs.loops->loops[
+                    static_cast<std::size_t>(idx)].member[info.block]) {
+                beginInvocation(fs, idx);
+            }
+        }
+        break;
+      }
+      case ir::Opcode::Call: {
+        if (fs.invActive)
+            fs.inv.impure = true;
+        FrameState next;
+        next.func = inst.callee;
+        next.loops = &loopsFor(inst.callee);
+        frames_.push_back(next);
+        // Function entry may itself be a loop header.
+        FrameState &nfs = frames_.back();
+        const auto entry =
+            machine_.module().function(inst.callee).entry();
+        const int idx = nfs.loops->headerToLoop[entry];
+        if (idx >= 0)
+            beginInvocation(nfs, idx);
+        break;
+      }
+      case ir::Opcode::Ret: {
+        if (fs.invActive)
+            finalizeInvocation(fs);
+        frames_.pop_back();
+        if (frames_.empty()) {
+            // Program finished (entry returned): restore a root frame
+            // so late observations stay safe.
+            FrameState root;
+            root.func = machine_.module().entryFunction();
+            root.loops = &loopsFor(root.func);
+            frames_.push_back(root);
+        }
+        break;
+      }
+      case ir::Opcode::Halt:
+        if (fs.invActive)
+            finalizeInvocation(fs);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+ValueProfiler::onInst(const emu::ExecInfo &info)
+{
+    profileInstLevel(info);
+    handleLoops(info);
+}
+
+ProfileData
+ValueProfiler::takeProfile()
+{
+    return std::move(data_);
+}
+
+} // namespace ccr::profile

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The Reuse Profiling System (RPS) observer — paper §4.2. Gathers, in
+ * one emulation pass:
+ *
+ *  1. instruction-level repetition: per-instruction input-tuple value
+ *     distributions and recent-recurrence counts;
+ *  2. memory reusability: per-load frequency of the loaded location
+ *     being unmodified between consecutive accesses;
+ *  3. cyclic computation recurrence: per inner loop, the fraction of
+ *     invocations whose live-in register values and read memory
+ *     structures match a recent previous invocation.
+ */
+
+#ifndef CCR_PROFILE_VALUE_PROFILER_HH
+#define CCR_PROFILE_VALUE_PROFILER_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/loops.hh"
+#include "emu/machine.hh"
+#include "profile/addrmap.hh"
+#include "profile/profiles.hh"
+
+namespace ccr::profile
+{
+
+/** Tunables for the RPS. */
+struct RpsParams
+{
+    /** Distinct-tuple history window for recent-recurrence counting
+     *  ("the ten most recent instruction executions", paper §4.4). */
+    int historyDepth = 10;
+
+    /** Invocation-record history per loop (paper §2.3 uses 8 records
+     *  per code segment). */
+    int loopHistoryDepth = 8;
+
+    /** Cap on distinct tuples tracked per instruction. */
+    std::size_t maxTuplesPerInst = 4096;
+};
+
+/** One-pass RPS profiler; install with machine.addObserver(). */
+class ValueProfiler : public emu::Observer
+{
+  public:
+    ValueProfiler(emu::Machine &machine, RpsParams params = {});
+    ~ValueProfiler() override;
+
+    void onInst(const emu::ExecInfo &info) override;
+
+    /** Snapshot the collected profiles. */
+    ProfileData takeProfile();
+
+    const AddrMap &addrMap() const { return addrMap_; }
+
+  private:
+    struct LoopData
+    {
+        ir::BlockId header = ir::kNoBlock;
+        std::vector<bool> member;      // block membership
+        std::vector<ir::Reg> liveIns;  // sampled at invocation start
+    };
+
+    struct FuncLoops
+    {
+        std::vector<LoopData> loops;
+        std::vector<int> headerToLoop; // per block, -1 when not a header
+        std::vector<bool> inAnyLoop;
+    };
+
+    struct InvRecord
+    {
+        std::uint64_t inputHash = 0;
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> touched;
+    };
+
+    struct ActiveInv
+    {
+        int loopIdx = -1;
+        std::uint64_t inputHash = 0;
+        std::uint64_t iterations = 1;
+        bool impure = false;
+        std::vector<std::uint32_t> touched; // struct ids (kHeap incl.)
+    };
+
+    struct FrameState
+    {
+        ir::FuncId func = ir::kNoFunc;
+        const FuncLoops *loops = nullptr;
+        ActiveInv inv;
+        bool invActive = false;
+    };
+
+    struct LoopHistory
+    {
+        std::deque<InvRecord> records;
+    };
+
+    struct RecentWindow
+    {
+        std::deque<std::uint64_t> tuples;
+    };
+
+    emu::Machine &machine_;
+    RpsParams params_;
+    AddrMap addrMap_;
+
+    ProfileData data_;
+
+    // Per-inst side state (not part of the exported profile).
+    std::vector<std::vector<RecentWindow>> recent_;       // [func][uid]
+    std::vector<std::vector<
+        std::unordered_map<emu::Addr, std::uint64_t>>> lastLoadEpoch_;
+
+    std::vector<std::unique_ptr<FuncLoops>> funcLoops_;
+    std::unordered_map<LoopKey, LoopHistory, LoopKeyHash> loopHist_;
+
+    std::vector<FrameState> frames_;
+
+    const FuncLoops &loopsFor(ir::FuncId f);
+    void ensureFunc(ir::FuncId f);
+    void profileInstLevel(const emu::ExecInfo &info);
+    void handleLoops(const emu::ExecInfo &info);
+    void beginInvocation(FrameState &fs, int loop_idx);
+    void finalizeInvocation(FrameState &fs);
+};
+
+} // namespace ccr::profile
+
+#endif // CCR_PROFILE_VALUE_PROFILER_HH

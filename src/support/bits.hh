@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the simulator.
+ */
+
+#ifndef CCR_SUPPORT_BITS_HH
+#define CCR_SUPPORT_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace ccr
+{
+
+/** Number of set bits in @p v. */
+constexpr int
+popCount(std::uint64_t v)
+{
+    return std::popcount(v);
+}
+
+/** True when @p v is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(@p v); @p v must be nonzero. */
+constexpr int
+floorLog2(std::uint64_t v)
+{
+    return 63 - std::countl_zero(v | 1);
+}
+
+/** Ceiling of log2(@p v); @p v must be nonzero. */
+constexpr int
+ceilLog2(std::uint64_t v)
+{
+    return floorLog2(v) + (isPowerOf2(v) ? 0 : 1);
+}
+
+/** Align @p addr down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [lo, hi] (inclusive) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, int hi, int lo)
+{
+    const std::uint64_t mask =
+        hi - lo >= 63 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << (hi - lo + 1)) - 1);
+    return (v >> lo) & mask;
+}
+
+/** Sign-extend the low @p nbits of @p v to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t v, int nbits)
+{
+    const int shift = 64 - nbits;
+    return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+/**
+ * Mix a 64-bit value into a well-distributed hash (splitmix64 finalizer).
+ * Used for CRB indexing and value-profile hashing.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t v)
+{
+    v ^= v >> 30;
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 27;
+    v *= 0x94d049bb133111ebULL;
+    v ^= v >> 31;
+    return v;
+}
+
+/** Combine two hashes. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+} // namespace ccr
+
+#endif // CCR_SUPPORT_BITS_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Error reporting and status message helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (simulator bugs), fatal() for user-caused conditions the simulation
+ * cannot continue from, warn()/inform() for status messages.
+ */
+
+#ifndef CCR_SUPPORT_LOGGING_HH
+#define CCR_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ccr
+{
+
+namespace detail
+{
+
+/** Stream a pack of arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Whether warn()/inform() output is emitted (tests silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace ccr
+
+/** Abort: an internal invariant was violated (a bug in this library). */
+#define ccr_panic(...) \
+    ::ccr::detail::panicImpl(__FILE__, __LINE__, \
+                             ::ccr::detail::concat(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to a user-level condition. */
+#define ccr_fatal(...) \
+    ::ccr::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::ccr::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning about questionable but survivable conditions. */
+#define ccr_warn(...) \
+    ::ccr::detail::warnImpl(::ccr::detail::concat(__VA_ARGS__))
+
+/** Informative status message. */
+#define ccr_inform(...) \
+    ::ccr::detail::informImpl(::ccr::detail::concat(__VA_ARGS__))
+
+/** Panic unless a condition holds. */
+#define ccr_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ccr_panic("assertion '" #cond "' failed: ", \
+                      ::ccr::detail::concat("" __VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // CCR_SUPPORT_LOGGING_HH

@@ -1,0 +1,96 @@
+#include "support/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace ccr
+{
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Seed with splitmix64 so that nearby seeds give unrelated streams.
+    std::uint64_t s = seed;
+    for (auto &word : state_) {
+        s += 0x9e3779b97f4a7c15ULL;
+        word = mix64(s);
+    }
+}
+
+static inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    ccr_assert(bound != 0, "nextBelow(0)");
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // negligible for the bounds workload generators use (<< 2^32).
+    return next() % bound;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    ccr_assert(lo <= hi, "bad range");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta)
+{
+    ccr_assert(n > 0, "empty zipf domain");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        cdf_[i] = sum;
+    }
+    for (auto &c : cdf_)
+        c /= sum;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+} // namespace ccr

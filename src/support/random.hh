@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload input
+ * generators. All simulator randomness flows through Rng so that runs are
+ * exactly reproducible from a seed.
+ */
+
+#ifndef CCR_SUPPORT_RANDOM_HH
+#define CCR_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ccr
+{
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough for workload
+ * synthesis; not for cryptography.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x1234abcdULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipf-distributed integer sampler over [0, n). Used to synthesize the
+ * skewed value-locality distributions that make computation reuse
+ * profitable (a few hot input sets dominate).
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     Number of distinct items.
+     * @param theta Skew parameter; 0 = uniform, ~0.99 = heavily skewed.
+     */
+    ZipfSampler(std::size_t n, double theta);
+
+    /** Draw one item index in [0, n). Rank 0 is the most popular. */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace ccr
+
+#endif // CCR_SUPPORT_RANDOM_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ASCII table and CSV output for benchmark harnesses. Each figure
+ * reproduction prints one Table whose rows mirror the paper's series.
+ */
+
+#ifndef CCR_SUPPORT_TABLE_HH
+#define CCR_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccr
+{
+
+/** A simple column-aligned text table with an optional title. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row; cell count should match the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values (header first). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string fmt(double v, int digits = 3);
+
+    /** Format a ratio as a percentage string ("12.3%"). */
+    static std::string pct(double v, int digits = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ccr
+
+#endif // CCR_SUPPORT_TABLE_HH

@@ -1,0 +1,86 @@
+#include "uarch/branch_pred.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace ccr::uarch
+{
+
+BranchPredictor::BranchPredictor(BranchPredParams params)
+    : params_(params)
+{
+    ccr_assert(isPowerOf2(params_.btbEntries), "BTB size not pow2");
+    entries_.assign(params_.btbEntries, Entry{});
+}
+
+BranchPredictor::Entry &
+BranchPredictor::entryFor(emu::Addr pc)
+{
+    // Instructions are 4 bytes; drop the low bits before indexing.
+    return entries_[(pc >> 2) & (params_.btbEntries - 1)];
+}
+
+bool
+BranchPredictor::predictAndUpdate(emu::Addr pc, bool taken,
+                                  emu::Addr target)
+{
+    ++lookups_;
+    Entry &e = entryFor(pc);
+    const std::uint64_t tag = pc >> 2;
+
+    bool predicted_taken = false;
+    emu::Addr predicted_target = 0;
+    if (e.valid && e.tag == tag) {
+        predicted_taken = e.counter >= 2;
+        predicted_target = e.target;
+    }
+
+    const bool correct =
+        predicted_taken == taken && (!taken || predicted_target == target);
+
+    // Update direction counter and target.
+    if (!e.valid || e.tag != tag) {
+        e.valid = true;
+        e.tag = tag;
+        e.counter = taken ? 2 : 1;
+        e.target = target;
+    } else {
+        if (taken) {
+            if (e.counter < 3)
+                ++e.counter;
+            e.target = target;
+        } else if (e.counter > 0) {
+            --e.counter;
+        }
+    }
+
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+bool
+BranchPredictor::lookupUnconditional(emu::Addr pc, emu::Addr target)
+{
+    ++lookups_;
+    Entry &e = entryFor(pc);
+    const std::uint64_t tag = pc >> 2;
+    const bool correct = e.valid && e.tag == tag && e.target == target;
+    e.valid = true;
+    e.tag = tag;
+    e.target = target;
+    e.counter = 3;
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+void
+BranchPredictor::reset()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+    lookups_ = mispredicts_ = 0;
+}
+
+} // namespace ccr::uarch

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Branch predictor: 4K-entry BTB with 2-bit saturating counters and an
+ * 8-cycle misprediction penalty (paper §5.1).
+ */
+
+#ifndef CCR_UARCH_BRANCH_PRED_HH
+#define CCR_UARCH_BRANCH_PRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/memory.hh"
+
+namespace ccr::uarch
+{
+
+struct BranchPredParams
+{
+    std::size_t btbEntries = 4096;
+    int mispredictPenalty = 8;
+};
+
+/** Direction predictor + BTB. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(BranchPredParams params = {});
+
+    /**
+     * Predict and update for one conditional branch at @p pc with
+     * actual direction @p taken and actual target @p target.
+     * @return true when the prediction was correct (direction and, for
+     * taken branches, BTB target).
+     */
+    bool predictAndUpdate(emu::Addr pc, bool taken, emu::Addr target);
+
+    /** Unconditional transfer (jump/call/return): correct when the BTB
+     *  knows the target. */
+    bool lookupUnconditional(emu::Addr pc, emu::Addr target);
+
+    void reset();
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+    const BranchPredParams &params() const { return params_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        emu::Addr target = 0;
+        std::uint8_t counter = 1; // weakly not-taken
+    };
+
+    BranchPredParams params_;
+    std::vector<Entry> entries_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+
+    Entry &entryFor(emu::Addr pc);
+};
+
+} // namespace ccr::uarch
+
+#endif // CCR_UARCH_BRANCH_PRED_HH

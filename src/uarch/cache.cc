@@ -1,0 +1,80 @@
+#include "uarch/cache.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace ccr::uarch
+{
+
+Cache::Cache(CacheParams params, std::string name)
+    : params_(params), name_(std::move(name))
+{
+    ccr_assert(isPowerOf2(params_.lineBytes), "line size not pow2");
+    const std::uint64_t num_lines =
+        params_.sizeBytes / params_.lineBytes;
+    ccr_assert(params_.assoc >= 1 && num_lines % params_.assoc == 0,
+               "bad cache geometry");
+    numSets_ = num_lines / params_.assoc;
+    ccr_assert(isPowerOf2(numSets_), "set count not pow2");
+    lines_.assign(num_lines, Line{});
+}
+
+std::size_t
+Cache::setIndex(emu::Addr addr) const
+{
+    return (addr / params_.lineBytes) & (numSets_ - 1);
+}
+
+std::uint64_t
+Cache::tagOf(emu::Addr addr) const
+{
+    return (addr / params_.lineBytes) / numSets_;
+}
+
+int
+Cache::access(emu::Addr addr)
+{
+    const std::size_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++stamp_;
+            ++hits_;
+            return 0;
+        }
+        if (victim == nullptr || !line.valid
+            || (victim->valid && line.lruStamp < victim->lruStamp)) {
+            victim = &line;
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lruStamp = ++stamp_;
+    return params_.missPenalty;
+}
+
+bool
+Cache::probe(emu::Addr addr) const
+{
+    const std::size_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        const Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    stamp_ = hits_ = misses_ = 0;
+}
+
+} // namespace ccr::uarch

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Simple set-associative cache timing model (tag state only — the
+ * emulator holds the data). Defaults model the paper's 32 KB
+ * direct-mapped split caches with 32-byte lines and a 12-cycle miss
+ * penalty (§5.1).
+ */
+
+#ifndef CCR_UARCH_CACHE_HH
+#define CCR_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/memory.hh"
+#include "support/stats.hh"
+
+namespace ccr::uarch
+{
+
+/** Cache geometry and timing. */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t lineBytes = 32;
+    std::uint32_t assoc = 1;
+    int missPenalty = 12;
+};
+
+/** Tag-array cache model with LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(CacheParams params = {}, std::string name = "cache");
+
+    /** Access @p addr; returns the added latency (0 on hit,
+     *  missPenalty on miss) and updates tag state. */
+    int access(emu::Addr addr);
+
+    /** True when the line holding @p addr is present (no side
+     *  effects). */
+    bool probe(emu::Addr addr) const;
+
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    const CacheParams &params() const { return params_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    CacheParams params_;
+    std::string name_;
+    std::size_t numSets_;
+    std::vector<Line> lines_; // sets * assoc
+    std::uint64_t stamp_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+
+    std::size_t setIndex(emu::Addr addr) const;
+    std::uint64_t tagOf(emu::Addr addr) const;
+};
+
+} // namespace ccr::uarch
+
+#endif // CCR_UARCH_CACHE_HH

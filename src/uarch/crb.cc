@@ -1,0 +1,386 @@
+#include "uarch/crb.hh"
+
+#include "support/logging.hh"
+
+namespace ccr::uarch
+{
+
+Crb::Crb(CrbParams params) : params_(params)
+{
+    ccr_assert(params_.entries >= 1 && params_.assoc >= 1
+                   && params_.entries % params_.assoc == 0,
+               "bad CRB geometry");
+    ccr_assert(params_.bankSize >= 1 && params_.bankSize <= 16,
+               "bank size out of range");
+    numSets_ = static_cast<std::size_t>(params_.entries / params_.assoc);
+    entries_.resize(static_cast<std::size_t>(params_.entries));
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        entries_[i].instances.resize(
+            static_cast<std::size_t>(instancesFor(i)));
+    }
+}
+
+int
+Crb::instancesFor(std::size_t entry_index) const
+{
+    if (params_.nonuniformSplit > 0.0) {
+        const auto cut = static_cast<std::size_t>(
+            params_.nonuniformSplit
+            * static_cast<double>(params_.entries));
+        if (entry_index >= cut)
+            return params_.nonuniformSmallInstances;
+    }
+    return params_.instances;
+}
+
+bool
+Crb::memCapable(std::size_t entry_index) const
+{
+    const auto cut = static_cast<std::size_t>(
+        params_.memCapableFraction
+        * static_cast<double>(params_.entries));
+    return entry_index < cut;
+}
+
+std::size_t
+Crb::entryFor(ir::RegionId region)
+{
+    const std::size_t set = region % numSets_;
+    const std::size_t base = set * static_cast<std::size_t>(params_.assoc);
+
+    std::size_t victim = base;
+    std::uint64_t victim_stamp = UINT64_MAX;
+    for (int w = 0; w < params_.assoc; ++w) {
+        CompEntry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (e.valid && e.tag == region)
+            return base + static_cast<std::size_t>(w);
+        // Track the LRU way (invalid ways are free).
+        std::uint64_t newest = 0;
+        for (const auto &ci : e.instances)
+            newest = std::max(newest, ci.lruStamp);
+        if (!e.valid) {
+            victim = base + static_cast<std::size_t>(w);
+            victim_stamp = 0;
+        } else if (newest < victim_stamp) {
+            victim = base + static_cast<std::size_t>(w);
+            victim_stamp = newest;
+        }
+    }
+
+    // Allocate / replace.
+    CompEntry &e = entries_[victim];
+    if (e.valid && e.tag != region)
+        ++stats_.counter("conflictEvictions");
+    e.valid = true;
+    e.tag = region;
+    for (auto &ci : e.instances)
+        ci = CompInstance{};
+    return victim;
+}
+
+emu::ReuseOutcome
+Crb::onReuse(ir::RegionId region, emu::Machine &machine)
+{
+    if (memo_.active) {
+        // Reaching another reuse point while recording means the
+        // region was left without a marked end (should not happen with
+        // well-formed compilation); drop the recording.
+        abortMemo("nested reuse");
+    }
+
+    ++stats_.counter("queries");
+    emu::ReuseOutcome outcome;
+
+    const std::size_t idx = entryFor(region);
+    CompEntry &entry = entries_[idx];
+
+    // Build the summary set: the distinct input registers across all
+    // valid CIs (the architectural state that must be read to
+    // validate, paper §3.3).
+    std::vector<ir::Reg> summary;
+    for (const auto &ci : entry.instances) {
+        if (!ci.valid)
+            continue;
+        for (int i = 0; i < ci.numInputs; ++i) {
+            const ir::Reg r = ci.inputs[static_cast<std::size_t>(i)].reg;
+            bool dup = false;
+            for (const auto s : summary) {
+                if (s == r) {
+                    dup = true;
+                    break;
+                }
+            }
+            if (!dup)
+                summary.push_back(r);
+        }
+    }
+    outcome.numInputsRead = static_cast<int>(summary.size());
+    for (std::size_t i = 0; i < summary.size() && i < 8; ++i)
+        outcome.inputRegs[i] = summary[i];
+
+    // Validate the CIs against live register state.
+    for (auto &ci : entry.instances) {
+        if (!ci.valid)
+            continue;
+        if (ci.accessesMemory && !ci.memValid)
+            continue;
+        bool match = true;
+        for (int i = 0; i < ci.numInputs; ++i) {
+            const BankEntry &be = ci.inputs[static_cast<std::size_t>(i)];
+            if (machine.readReg(be.reg) != be.value) {
+                match = false;
+                break;
+            }
+        }
+        if (!match)
+            continue;
+
+        // Hit: commit the recorded outputs to architectural state.
+        for (int i = 0; i < ci.numOutputs; ++i) {
+            const BankEntry &be =
+                ci.outputs[static_cast<std::size_t>(i)];
+            machine.writeReg(be.reg, be.value);
+            if (i < 8)
+                outcome.outputRegs[static_cast<std::size_t>(i)] = be.reg;
+        }
+        outcome.numOutputsWritten = ci.numOutputs;
+        outcome.hit = true;
+        ci.lruStamp = ++stamp_;
+        ++stats_.counter("hits");
+        ++hitsByRegion_[region];
+        lastOutcome_ = outcome;
+        return outcome;
+    }
+
+    // Miss: select the LRU instance and begin memoization mode.
+    ++stats_.counter("misses");
+    std::size_t lru = 0;
+    std::uint64_t lru_stamp = UINT64_MAX;
+    for (std::size_t i = 0; i < entry.instances.size(); ++i) {
+        const auto &ci = entry.instances[i];
+        const std::uint64_t s = ci.valid ? ci.lruStamp : 0;
+        if (s < lru_stamp) {
+            lru_stamp = s;
+            lru = i;
+        }
+    }
+
+    memo_.active = true;
+    memo_.region = region;
+    memo_.entryIndex = idx;
+    memo_.instanceIndex = lru;
+    memo_.scratch = CompInstance{};
+    memo_.defined.clear();
+    ++stats_.counter("memoStarts");
+
+    lastOutcome_ = outcome;
+    return outcome;
+}
+
+void
+Crb::observe(const emu::ExecInfo &info)
+{
+    if (!memo_.active)
+        return;
+
+    const ir::Inst &inst = *info.inst;
+    CompInstance &ci = memo_.scratch;
+
+    // Inside a memoized call (function-level region): only memory and
+    // call-depth bookkeeping — callee-frame registers are not
+    // architecturally visible to the region's inputs or outputs.
+    if (memo_.callDepth > 0) {
+        if (inst.isLoad())
+            ci.accessesMemory = true;
+        if (inst.op == ir::Opcode::Call) {
+            ++memo_.callDepth;
+        } else if (inst.op == ir::Opcode::Ret) {
+            if (--memo_.callDepth == 0) {
+                // The memoized call returned: its result is the
+                // region's only live-out.
+                if (memo_.fnRetDst != ir::kNoReg) {
+                    auto &be = ci.outputs[0];
+                    be.reg = memo_.fnRetDst;
+                    be.value = info.result;
+                    be.valid = true;
+                    ci.numOutputs = 1;
+                }
+                commitMemo();
+            }
+        }
+        return;
+    }
+
+    // A region-end-marked call begins a function-level recording: the
+    // arguments are the inputs, the return value the output.
+    if (inst.op == ir::Opcode::Call) {
+        if (!inst.ext.regionEnd) {
+            abortMemo("call inside region");
+            return;
+        }
+        for (int i = 0; i < inst.numArgs; ++i) {
+            const ir::Reg r = inst.args[i];
+            if (memo_.defined.count(r))
+                continue;
+            bool present = false;
+            for (int k = 0; k < ci.numInputs; ++k) {
+                if (ci.inputs[static_cast<std::size_t>(k)].reg == r) {
+                    present = true;
+                    break;
+                }
+            }
+            if (present)
+                continue;
+            if (ci.numInputs >= params_.bankSize) {
+                abortMemo("input bank overflow");
+                return;
+            }
+            auto &slot =
+                ci.inputs[static_cast<std::size_t>(ci.numInputs++)];
+            slot.reg = r;
+            slot.value = info.argVals[static_cast<std::size_t>(i)];
+            slot.valid = true;
+        }
+        memo_.functionLevel = true;
+        memo_.fnRetDst = inst.dst;
+        memo_.callDepth = 1;
+        return;
+    }
+
+    // Use-before-def registers join the input bank with the value they
+    // held at first read.
+    const int nsrc = inst.numRegSources();
+    for (int s = 0; s < nsrc && s < 2; ++s) {
+        const ir::Reg r = inst.regSource(s);
+        if (memo_.defined.count(r))
+            continue;
+        bool present = false;
+        for (int i = 0; i < ci.numInputs; ++i) {
+            if (ci.inputs[static_cast<std::size_t>(i)].reg == r) {
+                present = true;
+                break;
+            }
+        }
+        if (present)
+            continue;
+        if (ci.numInputs >= params_.bankSize) {
+            abortMemo("input bank overflow");
+            return;
+        }
+        auto &slot = ci.inputs[static_cast<std::size_t>(ci.numInputs++)];
+        slot.reg = r;
+        slot.value = info.srcVals[static_cast<std::size_t>(s)];
+        slot.valid = true;
+    }
+
+    if (inst.isLoad())
+        ci.accessesMemory = true;
+
+    if (inst.hasDst()) {
+        memo_.defined.insert(inst.dst);
+        if (inst.ext.liveOut) {
+            // Record (or update) the output bank slot for this register
+            // with the latest defined value.
+            int slot = -1;
+            for (int i = 0; i < ci.numOutputs; ++i) {
+                if (ci.outputs[static_cast<std::size_t>(i)].reg
+                    == inst.dst) {
+                    slot = i;
+                    break;
+                }
+            }
+            if (slot < 0) {
+                if (ci.numOutputs >= params_.bankSize) {
+                    abortMemo("output bank overflow");
+                    return;
+                }
+                slot = ci.numOutputs++;
+            }
+            auto &be = ci.outputs[static_cast<std::size_t>(slot)];
+            be.reg = inst.dst;
+            be.value = info.result;
+            be.valid = true;
+        }
+    }
+
+    if (inst.isControlInst()) {
+        if (inst.ext.regionEnd)
+            commitMemo();
+        else if (inst.ext.regionExit)
+            abortMemo("region exit");
+    }
+}
+
+void
+Crb::commitMemo()
+{
+    CompEntry &entry = entries_[memo_.entryIndex];
+    // The entry may have been re-tagged by a conflicting region while
+    // this recording was in flight (possible only with reentrant use;
+    // kept as a guard).
+    if (entry.valid && entry.tag == memo_.region) {
+        const bool mem_ok =
+            !memo_.scratch.accessesMemory
+            || memCapable(memo_.entryIndex);
+        if (mem_ok) {
+            memo_.scratch.valid = true;
+            memo_.scratch.memValid = true;
+            memo_.scratch.lruStamp = ++stamp_;
+            entry.instances[memo_.instanceIndex] = memo_.scratch;
+            ++stats_.counter("memoCommits");
+        } else {
+            ++stats_.counter("memoDroppedNotMemCapable");
+        }
+    } else {
+        ++stats_.counter("memoLostEntry");
+    }
+    memo_ = MemoState{};
+}
+
+void
+Crb::abortMemo(const char *reason)
+{
+    (void)reason;
+    ++stats_.counter("memoAborts");
+    memo_ = MemoState{};
+}
+
+void
+Crb::onInvalidate(ir::RegionId region)
+{
+    ++stats_.counter("invalidates");
+    const std::size_t set = region % numSets_;
+    const std::size_t base =
+        set * static_cast<std::size_t>(params_.assoc);
+    for (int w = 0; w < params_.assoc; ++w) {
+        CompEntry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (!e.valid || e.tag != region)
+            continue;
+        for (auto &ci : e.instances) {
+            if (ci.valid && ci.accessesMemory)
+                ci.memValid = false;
+        }
+    }
+    // An in-flight recording of the same region keeps running: its
+    // loads happened before this invalidate only if the store preceded
+    // them; the conservative choice is to drop the recording.
+    if (memo_.active && memo_.region == region)
+        abortMemo("invalidated during memo");
+}
+
+void
+Crb::reset()
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        entries_[i] = CompEntry{};
+        entries_[i].instances.resize(
+            static_cast<std::size_t>(instancesFor(i)));
+    }
+    stamp_ = 0;
+    memo_ = MemoState{};
+    lastOutcome_ = emu::ReuseOutcome{};
+    hitsByRegion_.clear();
+    stats_.reset();
+}
+
+} // namespace ccr::uarch

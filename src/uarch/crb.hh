@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The Computation Reuse Buffer (CRB) and its memoization controller —
+ * the hardware half of the CCR approach (paper §3).
+ *
+ * The CRB is a set-associative structure indexed by the compiler-
+ * assigned region identifier. Each computation entry holds a tag, a
+ * valid bit, and an array of computation instances (CIs); each CI
+ * holds an input register bank, an output register bank, a memory
+ * valid flag, and LRU state. A `reuse` instruction queries the entry:
+ * if some CI's input bank matches the live register values (and its
+ * memory state has not been invalidated), the CI's output bank is
+ * written to the register file and the region is skipped. Otherwise
+ * the controller enters memoization mode and records a new CI while
+ * the region executes: registers used before being defined go to the
+ * input bank, live-out-marked definitions to the output bank, loads
+ * set the memory flag, and a region-end (region-exit) control
+ * instruction commits (aborts) the recording.
+ */
+
+#ifndef CCR_UARCH_CRB_HH
+#define CCR_UARCH_CRB_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "emu/machine.hh"
+#include "support/stats.hh"
+
+namespace ccr::uarch
+{
+
+/** CRB geometry. Paper §5.1 evaluates 32/64/128 entries x 4/8/16 CIs
+ *  with 8-entry register banks, direct-mapped. */
+struct CrbParams
+{
+    int entries = 128;
+    int instances = 8;
+    int assoc = 1;
+
+    /** Register-bank capacity per CI (inputs and outputs each). */
+    int bankSize = 8;
+
+    /**
+     * Fraction of computation entries capable of holding
+     * memory-dependent CIs (paper §5.2 suggests "only a portion of the
+     * computation entries with memory reuse capabilities"; 1.0 =
+     * uniform base design).
+     */
+    double memCapableFraction = 1.0;
+
+    /**
+     * Nonuniform-capacity extension (paper §6 future work): when > 0,
+     * entries at index >= entries * nonuniformSplit keep only
+     * nonuniformSmallInstances CIs.
+     */
+    double nonuniformSplit = 0.0;
+    int nonuniformSmallInstances = 2;
+};
+
+/** One (register, value) slot of a CI bank. */
+struct BankEntry
+{
+    ir::Reg reg = ir::kNoReg;
+    ir::Value value = 0;
+    bool valid = false;
+};
+
+/** A computation instance: one recorded execution of a region. */
+struct CompInstance
+{
+    bool valid = false;
+    bool accessesMemory = false;
+    bool memValid = true;
+    std::uint64_t lruStamp = 0;
+    int numInputs = 0;
+    int numOutputs = 0;
+    std::array<BankEntry, 16> inputs{};
+    std::array<BankEntry, 16> outputs{};
+};
+
+/** A computation entry: tag + CI array. */
+struct CompEntry
+{
+    bool valid = false;
+    ir::RegionId tag = ir::kNoRegion;
+    std::vector<CompInstance> instances;
+};
+
+/** The CRB, acting as the machine's ReuseHandler. */
+class Crb : public emu::ReuseHandler
+{
+  public:
+    explicit Crb(CrbParams params = {});
+
+    // -- emu::ReuseHandler --------------------------------------------
+    emu::ReuseOutcome onReuse(ir::RegionId region,
+                              emu::Machine &machine) override;
+    void observe(const emu::ExecInfo &info) override;
+    void onInvalidate(ir::RegionId region) override;
+    bool memoActive() const override { return memo_.active; }
+
+    /** Outcome of the most recent onReuse (for the timing model). */
+    const emu::ReuseOutcome &lastOutcome() const { return lastOutcome_; }
+
+    /** Per-region hit counts (Figure 10 attribution). */
+    const std::unordered_map<ir::RegionId, std::uint64_t> &
+    hitsByRegion() const
+    {
+        return hitsByRegion_;
+    }
+
+    void reset();
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    const CrbParams &params() const { return params_; }
+
+  private:
+    /** Memoization-mode controller state. */
+    struct MemoState
+    {
+        bool active = false;
+        ir::RegionId region = ir::kNoRegion;
+        std::size_t entryIndex = 0;
+        std::size_t instanceIndex = 0;
+        CompInstance scratch;
+        std::unordered_set<ir::Reg> defined;
+
+        /** Function-level recording: >0 while inside the memoized
+         *  call; the matching return commits the CI. */
+        int callDepth = 0;
+        bool functionLevel = false;
+        ir::Reg fnRetDst = ir::kNoReg;
+    };
+
+    CrbParams params_;
+    std::size_t numSets_;
+    std::vector<CompEntry> entries_; // sets * assoc
+    std::uint64_t stamp_ = 0;
+    MemoState memo_;
+    emu::ReuseOutcome lastOutcome_;
+    std::unordered_map<ir::RegionId, std::uint64_t> hitsByRegion_;
+    StatGroup stats_{"crb"};
+
+    int instancesFor(std::size_t entry_index) const;
+    bool memCapable(std::size_t entry_index) const;
+
+    /** Locate (possibly allocating/replacing) the entry for a region.
+     *  Returns the index into entries_. */
+    std::size_t entryFor(ir::RegionId region);
+
+    void commitMemo();
+    void abortMemo(const char *reason);
+};
+
+} // namespace ccr::uarch
+
+#endif // CCR_UARCH_CRB_HH

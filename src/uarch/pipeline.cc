@@ -1,0 +1,269 @@
+#include "uarch/pipeline.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ccr::uarch
+{
+
+Pipeline::Pipeline(PipelineParams params)
+    : params_(params), icache_(params.icache, "icache"),
+      dcache_(params.dcache, "dcache"), bpred_(params.bpred)
+{}
+
+int
+Pipeline::fuLimit(ir::FuClass cls) const
+{
+    switch (cls) {
+      case ir::FuClass::IntAlu: return params_.intAlus;
+      case ir::FuClass::Mem: return params_.memPorts;
+      case ir::FuClass::FpAlu: return params_.fpAlus;
+      case ir::FuClass::Branch: return params_.branchUnits;
+      default: return params_.issueWidth;
+    }
+}
+
+void
+Pipeline::advanceTo(std::uint64_t target)
+{
+    if (target > cycle_) {
+        cycle_ = target;
+        issuedThisCycle_ = 0;
+        fuUsed_[0] = fuUsed_[1] = fuUsed_[2] = fuUsed_[3] = 0;
+    }
+}
+
+std::uint64_t
+Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
+                   const emu::Machine &machine, TimingResult &result)
+{
+    const ir::Inst &inst = *info.inst;
+    auto &regs = regReady_.back();
+
+    // -- Fetch: one I-cache access per new line ------------------------
+    const emu::Addr line = info.pc / params_.icache.lineBytes;
+    if (line != lastFetchLine_) {
+        lastFetchLine_ = line;
+        const int lat = icache_.access(info.pc);
+        if (lat > 0) {
+            fetchReady_ =
+                std::max(fetchReady_, cycle_) + static_cast<std::uint64_t>(lat);
+            ++result.icacheMisses;
+        }
+    }
+
+    // -- Operand readiness ---------------------------------------------
+    std::uint64_t earliest = std::max(fetchReady_, cycle_);
+    const int nsrc = inst.numRegSources();
+    for (int s = 0; s < nsrc; ++s)
+        earliest = std::max(earliest, regs[inst.regSource(s)]);
+    if (inst.op == ir::Opcode::Call) {
+        for (int a = 0; a < inst.numArgs; ++a)
+            earliest = std::max(earliest, regs[inst.args[a]]);
+    }
+    bool speculated_hit = false;
+    if (inst.op == ir::Opcode::Reuse && crb_ != nullptr) {
+        if (params_.speculativeValidation) {
+            // Value speculation (paper §6): a confident hit prediction
+            // lets dependents consume the recorded outputs before
+            // validation finishes, removing the input interlock.
+            const auto it = reuseConfidence_.find(inst.regionId);
+            speculated_hit =
+                it != reuseConfidence_.end() && it->second >= 2;
+        }
+        if (!speculated_hit) {
+            // Validation interlocks with in-flight producers of the
+            // summary-set registers (paper §3.3).
+            const auto &outcome = crb_->lastOutcome();
+            const int n = std::min(outcome.numInputsRead, 8);
+            for (int i = 0; i < n; ++i) {
+                earliest = std::max(
+                    earliest,
+                    regs[outcome.inputRegs[static_cast<std::size_t>(i)]]);
+            }
+        }
+    }
+
+    // -- Find the issue slot (in-order, width + FU limits) -------------
+    const auto cls = ir::fuClass(inst.op);
+    const int cls_idx = static_cast<int>(cls);
+    advanceTo(earliest);
+    while (true) {
+        const bool fu_ok =
+            cls == ir::FuClass::None || fuUsed_[cls_idx] < fuLimit(cls);
+        if (issuedThisCycle_ < params_.issueWidth && fu_ok)
+            break;
+        advanceTo(cycle_ + 1);
+    }
+    const std::uint64_t c = cycle_;
+    ++issuedThisCycle_;
+    if (cls != ir::FuClass::None)
+        ++fuUsed_[cls_idx];
+
+    // -- Execute / complete --------------------------------------------
+    std::uint64_t done = c + static_cast<std::uint64_t>(
+                                 ir::opLatency(inst.op));
+
+    switch (inst.op) {
+      case ir::Opcode::Load: {
+        const int lat = dcache_.access(info.memAddr);
+        if (lat > 0) {
+            done += static_cast<std::uint64_t>(lat);
+            ++result.dcacheMisses;
+        }
+        break;
+      }
+      case ir::Opcode::Store: {
+        // Stores retire through a store buffer; track cache state and
+        // miss counts but do not stall the pipeline.
+        if (dcache_.access(info.memAddr) > 0)
+            ++result.dcacheMisses;
+        break;
+      }
+      case ir::Opcode::Br: {
+        const std::uint64_t resolve = c + 1;
+        const bool correct =
+            bpred_.predictAndUpdate(info.pc, info.taken, info.nextPc);
+        if (!correct) {
+            fetchReady_ = resolve
+                          + static_cast<std::uint64_t>(
+                              params_.bpred.mispredictPenalty);
+            ++result.branchMispredicts;
+        }
+        break;
+      }
+      case ir::Opcode::Jump:
+      case ir::Opcode::Call:
+      case ir::Opcode::Ret: {
+        // Unconditional transfers: a BTB miss costs a short fetch
+        // bubble.
+        const bool known = bpred_.lookupUnconditional(info.pc,
+                                                      info.nextPc);
+        if (!known)
+            fetchReady_ = c + 2;
+        break;
+      }
+      case ir::Opcode::Reuse: {
+        // Train the hit-confidence counter.
+        if (params_.speculativeValidation) {
+            auto &conf = reuseConfidence_[inst.regionId];
+            if (kind == emu::StepKind::ReuseHit)
+                conf = static_cast<std::uint8_t>(std::min(3, conf + 1));
+            else
+                conf = static_cast<std::uint8_t>(
+                    conf > 0 ? conf - 1 : 0);
+        }
+        if (kind == emu::StepKind::ReuseHit) {
+            ++result.reuseHits;
+            const auto &outcome =
+                crb_ ? crb_->lastOutcome() : emu::ReuseOutcome{};
+            // A correctly speculated hit hides the validation latency.
+            const std::uint64_t validate =
+                speculated_hit
+                    ? c
+                    : c + static_cast<std::uint64_t>(
+                          params_.reuseValidateLatency);
+            // Live-out updates retire several per cycle; they are the
+            // only dataflow the skipped region leaves behind.
+            const int outs = std::min(outcome.numOutputsWritten, 8);
+            for (int i = 0; i < outs; ++i) {
+                const std::uint64_t ready =
+                    validate + 1
+                    + static_cast<std::uint64_t>(
+                        i / params_.reuseOutputWritesPerCycle);
+                regs[outcome.outputRegs[static_cast<std::size_t>(i)]] =
+                    ready;
+                done = std::max(done, ready);
+            }
+            done = std::max(done, validate);
+        } else {
+            ++result.reuseMisses;
+            // Miss: flush and redirect fetch into the region body.
+            fetchReady_ = c + static_cast<std::uint64_t>(
+                                  params_.reuseFailPenalty);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (inst.hasDst() && inst.op != ir::Opcode::Call)
+        regs[inst.dst] = done;
+
+    // -- Frame mirroring -----------------------------------------------
+    if (inst.op == ir::Opcode::Call) {
+        const auto &callee = machine.module().function(inst.callee);
+        std::vector<std::uint64_t> fresh(
+            static_cast<std::size_t>(callee.numRegs()), c + 1);
+        for (int a = 0; a < inst.numArgs
+                        && a < callee.numParams(); ++a) {
+            fresh[static_cast<std::size_t>(a)] =
+                std::max(c + 1, regs[inst.args[a]]);
+        }
+        callRetDst_.push_back(inst.dst);
+        regReady_.push_back(std::move(fresh));
+    } else if (inst.op == ir::Opcode::Ret) {
+        const std::uint64_t val_ready =
+            inst.src1 == ir::kNoReg ? c + 1
+                                    : std::max(c + 1, regs[inst.src1]);
+        regReady_.pop_back();
+        const ir::Reg dst =
+            callRetDst_.empty() ? ir::kNoReg : callRetDst_.back();
+        if (!callRetDst_.empty())
+            callRetDst_.pop_back();
+        if (!regReady_.empty() && dst != ir::kNoReg)
+            regReady_.back()[dst] = val_ready;
+        if (regReady_.empty())
+            regReady_.emplace_back(1, std::uint64_t{0});
+    }
+
+    lastRetire_ = std::max(lastRetire_, done);
+    return c;
+}
+
+TimingResult
+Pipeline::run(emu::Machine &machine, std::uint64_t max_insts)
+{
+    TimingResult result;
+
+    cycle_ = 0;
+    fetchReady_ = 0;
+    issuedThisCycle_ = 0;
+    fuUsed_[0] = fuUsed_[1] = fuUsed_[2] = fuUsed_[3] = 0;
+    lastFetchLine_ = ~0ULL;
+    lastRetire_ = 0;
+    icache_.reset();
+    dcache_.reset();
+    bpred_.reset();
+    regReady_.clear();
+    callRetDst_.clear();
+    reuseConfidence_.clear();
+    {
+        const auto &entry =
+            machine.module().function(machine.module().entryFunction());
+        regReady_.emplace_back(
+            static_cast<std::size_t>(entry.numRegs()), 0);
+    }
+
+    machine.setReuseHandler(crb_);
+
+    emu::ExecInfo info;
+    std::uint64_t executed = 0;
+    while (!machine.halted() && executed < max_insts) {
+        const emu::StepKind kind = machine.step(info);
+        if (kind == emu::StepKind::Halted)
+            break;
+        issueOne(info, kind, machine, result);
+        ++executed;
+    }
+
+    machine.setReuseHandler(nullptr);
+
+    result.insts = executed;
+    result.cycles = std::max(cycle_, lastRetire_) + 1;
+    return result;
+}
+
+} // namespace ccr::uarch

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cycle-level timing model of the paper's base machine (§5.1): 6-issue
+ * in-order, 4 integer ALUs / 2 memory ports / 2 FP ALUs / 1 branch
+ * unit, PA-7100 latencies, 32 KB direct-mapped split I/D caches
+ * (32-byte lines, 12-cycle miss), a 4K-entry BTB with 2-bit counters
+ * and an 8-cycle misprediction penalty. Reuse failure costs the same
+ * 8-cycle flush; reuse hits pay a validation latency interlocked with
+ * in-flight producers of the summary-set registers, then retire the
+ * live-out writes several per cycle.
+ *
+ * The model is an in-order issue scoreboard driven by the committed
+ * instruction stream from the emulator (emulation-driven timing, as in
+ * IMPACT): each instruction issues at the earliest cycle satisfying
+ * fetch availability, operand readiness, program order, issue width,
+ * and functional-unit capacity.
+ */
+
+#ifndef CCR_UARCH_PIPELINE_HH
+#define CCR_UARCH_PIPELINE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "emu/machine.hh"
+#include "uarch/branch_pred.hh"
+#include "uarch/cache.hh"
+#include "uarch/crb.hh"
+
+namespace ccr::uarch
+{
+
+/** Machine configuration (defaults = paper §5.1). */
+struct PipelineParams
+{
+    int issueWidth = 6;
+    int intAlus = 4;
+    int memPorts = 2;
+    int fpAlus = 2;
+    int branchUnits = 1;
+
+    CacheParams icache{32 * 1024, 32, 1, 12};
+    CacheParams dcache{32 * 1024, 32, 1, 12};
+    BranchPredParams bpred{4096, 8};
+
+    /** Flush penalty when a reuse query misses ("a delay similar to
+     *  the branch misprediction penalty"). */
+    int reuseFailPenalty = 8;
+
+    /** Cycles to validate CIs once the summary-set registers are
+     *  ready. */
+    int reuseValidateLatency = 1;
+
+    /** Live-out register writes retired per cycle on a hit. */
+    int reuseOutputWritesPerCycle = 6;
+
+    /**
+     * Value speculation on reuse validation (paper §6 future work):
+     * when a per-region confidence predictor expects a hit, dependents
+     * consume the recorded outputs immediately and validation
+     * completes in the background; a wrong guess costs the normal
+     * flush. Off by default (the paper's evaluated configuration).
+     */
+    bool speculativeValidation = false;
+};
+
+/** Results of one timed run. */
+struct TimingResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheMisses = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t reuseHits = 0;
+    std::uint64_t reuseMisses = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(insts)
+                                 / static_cast<double>(cycles);
+    }
+};
+
+/** The timing model. Construct, optionally attach a CRB, run. */
+class Pipeline
+{
+  public:
+    explicit Pipeline(PipelineParams params = {});
+
+    /** Attach a CRB: it is installed as the machine's reuse handler
+     *  for the duration of run(). May be nullptr (base machine). */
+    void setCrb(Crb *crb) { crb_ = crb; }
+
+    /**
+     * Run @p machine to completion (or @p max_insts) under this
+     * timing model. The machine should be freshly restarted.
+     */
+    TimingResult run(emu::Machine &machine,
+                     std::uint64_t max_insts = UINT64_MAX);
+
+    Cache &icache() { return icache_; }
+    Cache &dcache() { return dcache_; }
+    BranchPredictor &bpred() { return bpred_; }
+
+    const PipelineParams &params() const { return params_; }
+
+  private:
+    PipelineParams params_;
+    Cache icache_;
+    Cache dcache_;
+    BranchPredictor bpred_;
+    Crb *crb_ = nullptr;
+
+    // -- per-run scoreboard state -------------------------------------
+    std::uint64_t cycle_ = 0;       ///< current issue cycle frontier
+    std::uint64_t fetchReady_ = 0;  ///< earliest issue due to fetch
+    int issuedThisCycle_ = 0;
+    int fuUsed_[4] = {0, 0, 0, 0};  ///< per FuClass (IntAlu..Branch)
+    emu::Addr lastFetchLine_ = ~0ULL;
+
+    /** Per-frame register ready times. */
+    std::vector<std::vector<std::uint64_t>> regReady_;
+
+    /** Call-site destination registers, for return-value wiring. */
+    std::vector<ir::Reg> callRetDst_;
+
+    /** 2-bit hit-confidence counters per region (value speculation). */
+    std::unordered_map<ir::RegionId, std::uint8_t> reuseConfidence_;
+
+    std::uint64_t lastRetire_ = 0;
+
+    void advanceTo(std::uint64_t target);
+    int fuLimit(ir::FuClass cls) const;
+    std::uint64_t issueOne(const emu::ExecInfo &info,
+                           emu::StepKind kind,
+                           const emu::Machine &machine,
+                           TimingResult &result);
+};
+
+} // namespace ccr::uarch
+
+#endif // CCR_UARCH_PIPELINE_HH

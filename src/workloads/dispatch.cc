@@ -1,0 +1,76 @@
+#include "workloads/dispatch.hh"
+
+#include <functional>
+
+#include "ir/builder.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace ccr::workloads
+{
+
+using namespace ccr::ir;
+
+void
+addDispatchKernel(ir::Module &mod, const std::string &name, int bits,
+                  int shift, std::uint64_t seed)
+{
+    ccr_assert(bits >= 1 && bits <= 8, "dispatch tree depth 1..8");
+
+    Function &f = mod.addFunction(name, 2);
+    IRBuilder b(f);
+    Rng rng(seed);
+
+    const BlockId entry = b.newBlock();
+    const BlockId join = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg x = 1;
+    const Reg result = b.reg();
+    Reg sel = kNoReg;
+
+    b.setInsertPoint(entry);
+    sel = b.andI(b.shrI(0, shift), (1 << bits) - 1);
+
+    // Build one leaf: a distinct short fold of x.
+    auto buildLeaf = [&](int leaf_index) {
+        const BlockId leaf = b.newBlock();
+        b.setInsertPoint(leaf);
+        const auto c1 = static_cast<std::int64_t>(
+            (rng.next() | 1) & 0xffffffff);
+        const auto c2 = static_cast<std::int64_t>(
+            rng.nextBelow(1 << 20));
+        const int s = 5 + leaf_index % 9;
+        const Reg t1 = b.mulI(x, c1);
+        const Reg t2 = b.xorR(t1, b.shrI(t1, s));
+        const Reg t3 = b.addI(t2, c2);
+        const Reg t4 = b.xorR(t3, b.shlI(b.andI(x, 15), leaf_index % 5));
+        b.movTo(result, b.andI(t4, 0xffffff));
+        b.jump(join);
+        return leaf;
+    };
+
+    // Build the decision tree bottom-up: level 0 tests the lowest
+    // selector bit.
+    std::function<BlockId(int, int)> buildNode =
+        [&](int level, int prefix) -> BlockId {
+        if (level == bits)
+            return buildLeaf(prefix);
+        const BlockId on = buildNode(level + 1, prefix | (1 << level));
+        const BlockId off = buildNode(level + 1, prefix);
+        const BlockId node = b.newBlock();
+        b.setInsertPoint(node);
+        const Reg bit = b.andI(b.shrI(sel, level), 1);
+        b.br(bit, on, off);
+        return node;
+    };
+
+    const BlockId root = buildNode(0, 0);
+    b.setInsertPoint(entry);
+    b.jump(root);
+
+    b.setInsertPoint(join);
+    b.ret(result);
+}
+
+} // namespace ccr::workloads

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Generated dispatch-tree kernels. Real programs in the paper's suite
+ * (gcc's insn patterns, yacc's productions, compress's probe variants)
+ * contain dozens of distinct small computations, which is what makes
+ * the number of CRB computation *entries* matter (Figure 8(b)) and
+ * gives the static-computation distribution its long tail (Figure 10).
+ *
+ * addDispatchKernel() builds `name(sel, x)`: a binary decision tree
+ * over `bits` bits of `sel` whose 2^bits leaves each perform a
+ * distinct short fold of `x`. Every hot leaf becomes its own acyclic
+ * reuse region.
+ */
+
+#ifndef CCR_WORKLOADS_DISPATCH_HH
+#define CCR_WORKLOADS_DISPATCH_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ir/module.hh"
+
+namespace ccr::workloads
+{
+
+/**
+ * Add the two-argument dispatch function `name` to @p mod.
+ * @param bits  Tree depth (2^bits leaves), 1..8.
+ * @param shift Selector = (arg0 >> shift) & (2^bits - 1).
+ * @param seed  Varies the per-leaf constants.
+ */
+void addDispatchKernel(ir::Module &mod, const std::string &name,
+                       int bits, int shift, std::uint64_t seed);
+
+} // namespace ccr::workloads
+
+#endif // CCR_WORKLOADS_DISPATCH_HH

@@ -1,0 +1,110 @@
+#include "workloads/harness.hh"
+
+#include "analysis/alias.hh"
+#include "ir/verifier.hh"
+#include "opt/passes.hh"
+#include "profile/value_profiler.hh"
+#include "support/logging.hh"
+
+namespace ccr::workloads
+{
+
+profile::ProfileData
+profileWorkload(const Workload &workload, InputSet set,
+                std::uint64_t max_insts)
+{
+    emu::Machine machine(*workload.module);
+    workload.prepare(machine, set);
+    profile::ValueProfiler profiler(machine);
+    machine.addObserver(&profiler);
+    machine.run(max_insts);
+    ccr_assert(machine.halted(),
+               "workload did not halt within the instruction budget");
+    return profiler.takeProfile();
+}
+
+profile::PotentialResult
+measurePotential(const std::string &name, InputSet set,
+                 profile::PotentialParams params)
+{
+    const Workload w = buildWorkload(name);
+    emu::Machine machine(*w.module);
+    w.prepare(machine, set);
+    profile::ReusePotentialStudy study(machine, params);
+    machine.addObserver(&study);
+    machine.run();
+    return study.result();
+}
+
+RunResult
+runCcrExperiment(const std::string &workload_name,
+                 const RunConfig &config)
+{
+    RunResult result;
+
+    // -- Base machine: untransformed code, no CRB ----------------------
+    std::vector<ir::Value> base_outputs;
+    {
+        const Workload base = buildWorkload(workload_name);
+        if (config.optimizeBase) {
+            opt::runStandardPipeline(*base.module);
+        }
+        ir::verifyOrDie(*base.module);
+        emu::Machine machine(*base.module);
+        base.prepare(machine, config.measureInput);
+        uarch::Pipeline pipe(config.pipe);
+        result.base = pipe.run(machine, config.maxInsts);
+        ccr_assert(machine.halted(), "base run did not complete");
+        base_outputs = readOutputs(machine, base);
+    }
+
+    // -- CCR machine: profile, form regions, run with the CRB ----------
+    {
+        Workload ccr = buildWorkload(workload_name);
+        if (config.optimizeBase) {
+            opt::runStandardPipeline(*ccr.module);
+            ir::verifyOrDie(*ccr.module);
+        }
+
+        // Training pass (RPS).
+        profile::ProfileData prof;
+        {
+            emu::Machine machine(*ccr.module);
+            ccr.prepare(machine, config.profileInput);
+            profile::ValueProfiler profiler(machine);
+            machine.addObserver(&profiler);
+            machine.run(config.maxInsts);
+            ccr_assert(machine.halted(), "profile run did not complete");
+            prof = profiler.takeProfile();
+        }
+
+        // Compilation: alias analysis + region formation.
+        analysis::AliasAnalysis alias(*ccr.module);
+        alias.annotateDeterminableLoads(*ccr.module);
+        core::RegionFormer former(*ccr.module, prof, alias,
+                                  config.policy);
+        result.regions = former.formAll();
+        result.formation = former.stats();
+
+        // Timed CCR run.
+        emu::Machine machine(*ccr.module);
+        ccr.prepare(machine, config.measureInput);
+        uarch::Crb crb(config.crb);
+        uarch::Pipeline pipe(config.pipe);
+        pipe.setCrb(&crb);
+        result.ccr = pipe.run(machine, config.maxInsts);
+        ccr_assert(machine.halted(), "CCR run did not complete");
+
+        result.crbQueries = crb.stats().get("queries");
+        result.crbHits = crb.stats().get("hits");
+        result.crbInvalidates = crb.stats().get("invalidates");
+        result.hitsByRegion = crb.hitsByRegion();
+
+        const auto ccr_outputs = readOutputs(machine, ccr);
+        result.outputsMatch = ccr_outputs == base_outputs;
+    }
+
+    return result;
+}
+
+} // namespace ccr::workloads

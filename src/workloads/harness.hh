@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Experiment harness: the canonical CCR evaluation flow used by the
+ * examples, tests, and figure-reproduction benches.
+ *
+ * Flow (matching paper §5.1): build the workload, train-profile it
+ * with the RPS, run region formation with the given policy, then
+ * measure base and CCR cycle counts with the timing model and check
+ * that both runs produced identical program output.
+ */
+
+#ifndef CCR_WORKLOADS_HARNESS_HH
+#define CCR_WORKLOADS_HARNESS_HH
+
+#include <unordered_map>
+
+#include "core/former.hh"
+#include "profile/reuse_potential.hh"
+#include "uarch/crb.hh"
+#include "uarch/pipeline.hh"
+#include "workloads/workload.hh"
+
+namespace ccr::workloads
+{
+
+/** Everything configurable about one experiment run. */
+struct RunConfig
+{
+    core::ReusePolicy policy;
+    uarch::CrbParams crb;
+    uarch::PipelineParams pipe;
+
+    /** Input set used for the training/profiling pass. */
+    InputSet profileInput = InputSet::Train;
+
+    /** Input set used for the timed base and CCR runs. */
+    InputSet measureInput = InputSet::Train;
+
+    /** Run the classic optimizer (inlining, unrolling, folding, CSE,
+     *  DCE) on both the base and the CCR module before measuring —
+     *  the paper's "best base code" baseline. */
+    bool optimizeBase = false;
+
+    /** Safety cap on emulated instructions per run. */
+    std::uint64_t maxInsts = 200'000'000ULL;
+};
+
+/** Results of one experiment run. */
+struct RunResult
+{
+    uarch::TimingResult base;
+    uarch::TimingResult ccr;
+    core::RegionTable regions;
+    core::FormationStats formation;
+
+    std::uint64_t crbQueries = 0;
+    std::uint64_t crbHits = 0;
+    std::uint64_t crbInvalidates = 0;
+    std::unordered_map<ir::RegionId, std::uint64_t> hitsByRegion;
+
+    bool outputsMatch = false;
+
+    double
+    speedup() const
+    {
+        return ccr.cycles == 0
+                   ? 0.0
+                   : static_cast<double>(base.cycles)
+                         / static_cast<double>(ccr.cycles);
+    }
+
+    /** Fraction of base dynamic instructions eliminated by reuse. */
+    double
+    instsEliminated() const
+    {
+        if (base.insts == 0)
+            return 0.0;
+        const double removed =
+            static_cast<double>(base.insts)
+            - static_cast<double>(ccr.insts);
+        return removed <= 0.0
+                   ? 0.0
+                   : removed / static_cast<double>(base.insts);
+    }
+};
+
+/** Run the full CCR experiment for one workload. */
+RunResult runCcrExperiment(const std::string &workload_name,
+                           const RunConfig &config);
+
+/** Profile-only helper: the RPS profile of a training run. */
+profile::ProfileData profileWorkload(const Workload &workload,
+                                     InputSet set,
+                                     std::uint64_t max_insts
+                                     = 200'000'000ULL);
+
+/** Figure 4 helper: the block/region reuse-potential limit study. */
+profile::PotentialResult measurePotential(const std::string &name,
+                                          InputSet set,
+                                          profile::PotentialParams params
+                                          = {});
+
+} // namespace ccr::workloads
+
+#endif // CCR_WORKLOADS_HARNESS_HH

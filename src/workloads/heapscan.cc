@@ -1,0 +1,104 @@
+#include "workloads/heapscan.hh"
+
+#include "ir/builder.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace ccr::workloads
+{
+
+using namespace ccr::ir;
+
+void
+addHeapScan(ir::Module &mod, const std::string &prefix, int words,
+            int iters, std::uint64_t seed)
+{
+    ccr_assert(isPowerOf2(static_cast<std::uint64_t>(words)),
+               "heap scan size must be a power of two");
+    const GlobalId ptr_global =
+        mod.addGlobal(prefix + "_ptr", 8).id;
+
+    // <prefix>_init(): allocate and fill the anonymous table.
+    {
+        Function &f = mod.addFunction(prefix + "_init", 0);
+        IRBuilder b(f);
+        const BlockId entry = b.newBlock();
+        const BlockId header = b.newBlock();
+        const BlockId body = b.newBlock();
+        const BlockId done = b.newBlock();
+        const Reg j = b.reg();
+        const Reg p = b.reg();
+
+        b.setInsertPoint(entry);
+        {
+            Inst a;
+            a.op = Opcode::Alloc;
+            a.dst = p;
+            a.srcImm = true;
+            a.imm = words * 8;
+            b.emit(a);
+        }
+        b.movITo(j, 0);
+        b.jump(header);
+
+        b.setInsertPoint(header);
+        const Reg more = b.cmpLtI(j, words);
+        b.br(more, body, done);
+
+        b.setInsertPoint(body);
+        // Deterministic pseudo-random fill derived from the seed.
+        const Reg s0 = b.addI(j, static_cast<std::int64_t>(seed));
+        const Reg s1 = b.mulI(s0, 0x9E3779B1);
+        const Reg s2 = b.xorR(s1, b.shrI(s1, 11));
+        const Reg addr = b.add(p, b.shlI(j, 3));
+        b.store(addr, 0, s2);
+        b.binOpITo(j, Opcode::Add, j, 1);
+        b.jump(header);
+
+        b.setInsertPoint(done);
+        const Reg g = b.movGA(ptr_global);
+        b.store(g, 0, p);
+        b.ret();
+    }
+
+    // <prefix>_scan(x): fold a slice of the anonymous table.
+    {
+        Function &f = mod.addFunction(prefix + "_scan", 1);
+        IRBuilder b(f);
+        const BlockId entry = b.newBlock();
+        const BlockId header = b.newBlock();
+        const BlockId body = b.newBlock();
+        const BlockId done = b.newBlock();
+        const Reg x = 0;
+        const Reg j = b.reg();
+        const Reg s = b.reg();
+        const Reg p = b.reg();
+
+        b.setInsertPoint(entry);
+        const Reg g = b.movGA(ptr_global);
+        // Loading the pointer makes everything reached through it
+        // anonymous to the points-to analysis.
+        b.loadTo(p, g, 0);
+        b.movITo(j, 0);
+        b.movITo(s, 0);
+        b.jump(header);
+
+        b.setInsertPoint(header);
+        const Reg more = b.cmpLtI(j, iters);
+        b.br(more, body, done);
+
+        b.setInsertPoint(body);
+        const Reg idx = b.andI(b.add(x, j), words - 1);
+        const Reg v = b.load(b.add(p, b.shlI(idx, 3)), 0);
+        const Reg s3 = b.mulI(s, 3);
+        b.binOpTo(s, Opcode::Add, s3, v);
+        b.binOpITo(j, Opcode::Add, j, 1);
+        b.jump(header);
+
+        b.setInsertPoint(done);
+        const Reg folded = b.andI(s, 0xffffff);
+        b.ret(folded);
+    }
+}
+
+} // namespace ccr::workloads

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Anonymous-memory scan kernels shared by the workloads.
+ *
+ * Every real program in the paper's suite spends much of its time in
+ * computation the CCR compiler cannot capture: loads from heap-
+ * allocated ("anonymous") structures are not determinable at compile
+ * time, so regions containing them are rejected (§4.1: "anonymous data
+ * structures are the subject of ongoing research"). The reuse
+ * *potential* of such code is still visible to the Figure 4 limit
+ * study, which is exactly the gap between potential (~55%) and
+ * realized speedup (~25%) in the paper.
+ *
+ * addHeapScan() gives each workload such a component: an init function
+ * that heap-allocates and fills a table, and a scan kernel that loops
+ * over a slice of it selected by a (recurring) input value.
+ */
+
+#ifndef CCR_WORKLOADS_HEAPSCAN_HH
+#define CCR_WORKLOADS_HEAPSCAN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ir/module.hh"
+
+namespace ccr::workloads
+{
+
+/**
+ * Add `<prefix>_init()` and `<prefix>_scan(x)` to @p mod, backed by a
+ * heap allocation of @p words 64-bit words (must be a power of two)
+ * reachable only through the pointer global `<prefix>_ptr`.
+ * The scan walks @p iters consecutive words starting at an offset
+ * derived from x and folds them; its inner loop is pure (a cyclic
+ * reuse candidate for the limit study) but its loads are anonymous, so
+ * region formation must reject it.
+ */
+void addHeapScan(ir::Module &mod, const std::string &prefix, int words,
+                 int iters, std::uint64_t seed);
+
+} // namespace ccr::workloads
+
+#endif // CCR_WORKLOADS_HEAPSCAN_HH

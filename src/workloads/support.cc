@@ -1,0 +1,103 @@
+#include "workloads/support.hh"
+
+#include <functional>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace ccr::workloads
+{
+
+ir::Global &
+addConstTable64(ir::Module &mod, const std::string &name,
+                const std::vector<std::int64_t> &values)
+{
+    ir::Global &g = mod.addGlobal(name, values.size() * 8, true);
+    g.init.resize(values.size() * 8);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const auto raw = static_cast<std::uint64_t>(values[i]);
+        for (int b = 0; b < 8; ++b)
+            g.init[i * 8 + static_cast<std::size_t>(b)] =
+                static_cast<std::uint8_t>(raw >> (8 * b));
+    }
+    return g;
+}
+
+ir::Global &
+addConstTable8(ir::Module &mod, const std::string &name,
+               const std::vector<std::uint8_t> &bytes)
+{
+    ir::Global &g = mod.addGlobal(name, bytes.size(), true);
+    g.init = bytes;
+    return g;
+}
+
+std::vector<std::uint8_t>
+bitCountTable()
+{
+    std::vector<std::uint8_t> t(256);
+    for (int i = 0; i < 256; ++i) {
+        t[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+            popCount(static_cast<std::uint64_t>(i)));
+    }
+    return t;
+}
+
+void
+fillGlobal64(emu::Machine &machine, const std::string &name,
+             const std::vector<std::int64_t> &values)
+{
+    const auto &mod = machine.module();
+    const ir::Global *g = nullptr;
+    for (std::size_t i = 0; i < mod.numGlobals(); ++i) {
+        if (mod.global(static_cast<ir::GlobalId>(i)).name == name) {
+            g = &mod.global(static_cast<ir::GlobalId>(i));
+            break;
+        }
+    }
+    ccr_assert(g != nullptr, "no global named ", name);
+    ccr_assert(g->sizeBytes >= values.size() * 8, "global ", name,
+               " too small");
+    const emu::Addr base = machine.globalAddr(g->id);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        machine.memory().write(base + i * 8, ir::MemSize::Dword,
+                               values[i]);
+    }
+}
+
+void
+setGlobal64(emu::Machine &machine, const std::string &name,
+            std::int64_t value)
+{
+    fillGlobal64(machine, name, {value});
+}
+
+std::int64_t
+getGlobal64(const emu::Machine &machine, const std::string &name)
+{
+    const auto &mod = machine.module();
+    for (std::size_t i = 0; i < mod.numGlobals(); ++i) {
+        const auto &g = mod.global(static_cast<ir::GlobalId>(i));
+        if (g.name == name) {
+            return machine.memory().read(machine.globalAddr(g.id),
+                                         ir::MemSize::Dword, false);
+        }
+    }
+    ccr_fatal("no global named ", name);
+}
+
+std::vector<std::int64_t>
+zipfRequests(Rng &rng, std::size_t n, std::size_t distinct, double theta,
+             const std::function<std::int64_t(Rng &)> &gen)
+{
+    std::vector<std::int64_t> pool(distinct);
+    for (auto &v : pool)
+        v = gen(rng);
+    const ZipfSampler zipf(distinct, theta);
+    std::vector<std::int64_t> out(n);
+    for (auto &v : out)
+        v = pool[zipf.sample(rng)];
+    return out;
+}
+
+} // namespace ccr::workloads

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * `compress` — models SPEC95 129.compress. LZW-style compression is a
+ * collection of small, similarly-hot kernels: the code hash, prefix
+ * probing arithmetic, output bit packing, and the ratio check. Each
+ * kernel sees a moderately skewed symbol stream, so many regions
+ * contribute comparable amounts of reuse — the paper singles compress
+ * out in Figure 10 for exactly this flat distribution.
+ */
+
+#include "workloads/dispatch.hh"
+#include "workloads/heapscan.hh"
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+
+using namespace ccr::ir;
+
+/** Build one small straight-line mixing kernel; `variant` perturbs the
+ *  constants so each kernel is a distinct static region. */
+void
+buildMixKernel(Module &mod, const std::string &name, int variant)
+{
+    Function &f = mod.addFunction(name, 2);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg code = 0;
+    const Reg prefix = 1;
+    const Reg k1 = b.shlI(code, (variant % 5) + 1);
+    const Reg h0 = b.xorR(k1, prefix);
+    const Reg h1 = b.mulI(h0, 0x9E3779B1 + 2 * variant);
+    const Reg h2 = b.xorR(h1, b.shrI(h1, 15));
+    const Reg h3 = b.andI(h2, (1 << 16) - 1);
+    b.ret(h3);
+}
+
+/** Output bit-packer: branchy accumulation (region with control). */
+void
+buildPackBits(Module &mod)
+{
+    Function &f = mod.addFunction("pack_bits", 2);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId spill = b.newBlock();
+    const BlockId keep = b.newBlock();
+    const BlockId join = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg val = 0;
+    const Reg nbits = 1;
+    const Reg outv = b.reg();
+
+    b.setInsertPoint(entry);
+    const Reg w = b.andI(nbits, 31);
+    const Reg shifted = b.shlI(val, 3);
+    const Reg merged = b.orR(shifted, w);
+    const Reg big = b.cmpGtI(merged, 1 << 20);
+    b.br(big, spill, keep);
+
+    b.setInsertPoint(spill);
+    b.binOpITo(outv, Opcode::And, merged, (1 << 20) - 1);
+    b.jump(join);
+
+    b.setInsertPoint(keep);
+    b.movTo(outv, merged);
+    b.jump(join);
+
+    b.setInsertPoint(join);
+    const Reg folded = b.xorR(outv, b.shrI(outv, 9));
+    b.ret(folded);
+}
+
+void
+buildMain(Module &mod, GlobalId syms, GlobalId nreq, GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId setup = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    std::vector<BlockId> conts;
+    for (int k = 0; k < 8; ++k)
+        conts.push_back(b.newBlock());
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+    const Reg sym = b.reg();
+    const Reg prefix = b.reg();
+
+    b.setInsertPoint(entry);
+    b.callVoid(mod.findFunction("dict_init")->id(), {}, setup);
+
+    b.setInsertPoint(setup);
+    const Reg n = b.load(b.movGA(nreq), 0);
+    const Reg sbase = b.movGA(syms);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    // The LZW prefix context is stable for a whole (re)compression
+    // pass; it is set up by the input generator.
+    b.loadTo(prefix, b.movGA(mod.findGlobal("prefix_init")->id), 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLt(i, n);
+    b.br(more, body, exit);
+
+    // Five hash variants plus the packer, invoked evenly so reuse is
+    // spread across many regions.
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    b.loadTo(sym, b.add(sbase, off), 0);
+    const Reg r0 = b.call(mod.findFunction("hash_probe0")->id(),
+                          {sym, prefix}, conts[0]);
+    b.setInsertPoint(conts[0]);
+    const Reg r1 = b.call(mod.findFunction("hash_probe1")->id(),
+                          {sym, prefix}, conts[1]);
+    b.setInsertPoint(conts[1]);
+    const Reg r2 = b.call(mod.findFunction("hash_probe2")->id(),
+                          {sym, prefix}, conts[2]);
+    b.setInsertPoint(conts[2]);
+    const Reg r3 = b.call(mod.findFunction("hash_probe3")->id(),
+                          {sym, prefix}, conts[3]);
+    b.setInsertPoint(conts[3]);
+    const Reg r4 = b.call(mod.findFunction("hash_probe4")->id(),
+                          {sym, prefix}, conts[4]);
+    b.setInsertPoint(conts[4]);
+    const Reg packed = b.call(mod.findFunction("pack_bits")->id(),
+                              {sym, r0}, conts[5]);
+
+    // The dictionary chain walk itself is a heap traversal: the
+    // compiler cannot capture it.
+    b.setInsertPoint(conts[5]);
+    const Reg chain = b.call(mod.findFunction("dict_scan")->id(),
+                             {sym}, conts[6]);
+
+    // Per-symbol code-table maintenance: one of 32 distinct paths.
+    b.setInsertPoint(conts[6]);
+    const Reg tbl = b.call(mod.findFunction("code_update")->id(),
+                           {sym, prefix}, conts[7]);
+
+    b.setInsertPoint(conts[7]);
+    Reg t = b.add(r0, r1);
+    t = b.add(t, tbl);
+    t = b.add(t, r2);
+    t = b.add(t, r3);
+    t = b.add(t, r4);
+    t = b.add(t, packed);
+    t = b.add(t, chain);
+    b.binOpTo(acc, Opcode::Add, acc, t);
+    const Reg d0 = b.mulI(i, 0x45D9F3B);
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(d0, 0x3f));
+    b.jump(latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildCompress()
+{
+    auto mod = std::make_shared<ir::Module>("compress");
+
+    mod->addGlobal("prefix_init", 8);
+    const GlobalId syms =
+        mod->addGlobal("symbol_stream", kMaxRequests * 8).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    for (int k = 0; k < 5; ++k)
+        buildMixKernel(*mod, "hash_probe" + std::to_string(k), k);
+    buildPackBits(*mod);
+    addHeapScan(*mod, "dict", 512, 12, 0xC0DE5ULL);
+    addDispatchKernel(*mod, "code_update", 5, 1, 0xC0DE9ULL);
+    buildMain(*mod, syms, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "compress";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0xC0'0001 : 0xC0'0002);
+        const std::size_t n = train ? 5500 : 7000;
+        // Text-like symbol stream: strong recurrence of common bytes.
+        const auto syms = zipfRequests(
+            rng, n, train ? 24 : 30, train ? 1.5 : 1.4, [](Rng &r) {
+                return static_cast<std::int64_t>(r.nextBelow(256));
+            });
+        fillGlobal64(machine, "symbol_stream", syms);
+        setGlobal64(machine, "prefix_init",
+                    train ? 0x1234 : 0x2461);
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * `espresso` — models SPEC92 008.espresso. The hot computation is the
+ * paper's own motivating example (Figure 2): the `count_ones` macro
+ * over cube words using the static 256-entry `bit_count` table, plus a
+ * signature fold. Cube words recur heavily (logic-minimization cubes
+ * are drawn from a small working set), so the straight-line kernels
+ * are prime stateless (const-table) acyclic reuse regions.
+ */
+
+#include "workloads/heapscan.hh"
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+
+using namespace ccr::ir;
+
+void
+buildCountOnes(Module &mod, GlobalId bit_count)
+{
+    Function &f = mod.addFunction("count_ones", 1);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    b.setInsertPoint(entry);
+
+    const Reg v = 0;
+    const Reg tab = b.movGA(bit_count);
+
+    // bit_count[v & 255] + bit_count[(v >> 8) & 255]
+    //   + bit_count[(v >> 16) & 255] + bit_count[(v >> 24) & 255]
+    Reg sum = kNoReg;
+    for (int byte = 0; byte < 4; ++byte) {
+        Reg part = v;
+        if (byte > 0)
+            part = b.shrI(v, 8 * byte);
+        const Reg idx = b.andI(part, 255);
+        const Reg addr = b.add(tab, idx);
+        const Reg bits = b.load(addr, 0, MemSize::Byte, true);
+        sum = byte == 0 ? bits : b.add(sum, bits);
+    }
+    b.ret(sum);
+}
+
+void
+buildCubeSig(Module &mod)
+{
+    Function &f = mod.addFunction("cube_sig", 1);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    b.setInsertPoint(entry);
+
+    // A register-only mixing kernel: xor-shift fold down to 16 bits.
+    const Reg v = 0;
+    const Reg s1 = b.shrI(v, 17);
+    const Reg x1 = b.xorR(v, s1);
+    const Reg m1 = b.mulI(x1, 0x2545F491);
+    const Reg s2 = b.shrI(m1, 13);
+    const Reg x2 = b.xorR(m1, s2);
+    const Reg lo = b.andI(x2, 0xffff);
+    const Reg hi = b.andI(b.shrI(x2, 16), 0xffff);
+    const Reg out = b.xorR(lo, hi);
+    b.ret(out);
+}
+
+void
+buildMain(Module &mod, GlobalId words, GlobalId nreq, GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId setup = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId cont1 = b.newBlock();
+    const BlockId cont2 = b.newBlock();
+    const BlockId cont3 = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+    const Reg v = b.reg();
+
+    b.setInsertPoint(entry);
+    b.callVoid(mod.findFunction("cubelist_init")->id(), {}, setup);
+
+    b.setInsertPoint(setup);
+    const Reg nbase = b.movGA(nreq);
+    const Reg n = b.load(nbase, 0);
+    const Reg wbase = b.movGA(words);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg cond = b.cmpLt(i, n);
+    b.br(cond, body, exit);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    const Reg addr = b.add(wbase, off);
+    b.loadTo(v, addr, 0);
+    const FuncId co = mod.findFunction("count_ones")->id();
+    const Reg ones = b.call(co, {v}, cont1);
+
+    b.setInsertPoint(cont1);
+    const FuncId cs = mod.findFunction("cube_sig")->id();
+    const Reg sig = b.call(cs, {v}, cont2);
+
+    // Cube containment check against the heap-resident cube list —
+    // reusable in principle but anonymous to the compiler.
+    b.setInsertPoint(cont2);
+    const FuncId sc = mod.findFunction("cubelist_scan")->id();
+    const Reg contain = b.call(sc, {v}, cont3);
+
+    b.setInsertPoint(cont3);
+    const Reg w = b.mulI(ones, 37);
+    const Reg mix = b.add(w, sig);
+    b.binOpTo(acc, Opcode::Add, acc, mix);
+    b.binOpTo(acc, Opcode::Add, acc, contain);
+    // Per-request bookkeeping keyed on the request index: never
+    // reusable (the index is unique).
+    const Reg d0 = b.mulI(i, 0x5851F42D);
+    const Reg d1 = b.xorR(d0, b.shrI(d0, 9));
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(d1, 0xff));
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    const Reg obase = b.movGA(out);
+    b.store(obase, 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildEspresso()
+{
+    auto mod = std::make_shared<ir::Module>("espresso");
+
+    const GlobalId bit_count =
+        addConstTable8(*mod, "bit_count", bitCountTable()).id;
+    const GlobalId words =
+        mod->addGlobal("cube_words", kMaxRequests * 8).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    buildCountOnes(*mod, bit_count);
+    buildCubeSig(*mod);
+    addHeapScan(*mod, "cubelist", 256, 12, 0xE5901ULL);
+    buildMain(*mod, words, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "espresso";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0xE59'0001 : 0xE59'0002);
+        const std::size_t n = train ? 6000 : 8000;
+        // Cube words come from a small, heavily recurring pool.
+        const auto reqs = zipfRequests(
+            rng, n, train ? 20 : 26, train ? 1.7 : 1.6,
+            [](Rng &r) {
+                return static_cast<std::int64_t>(
+                    r.nextBelow(1ULL << 32));
+            });
+        fillGlobal64(machine, "cube_words", reqs);
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

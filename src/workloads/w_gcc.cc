@@ -1,0 +1,353 @@
+/**
+ * @file
+ * `gcc` — models SPEC95 126.gcc. A compiler's hot paths are dominated
+ * by small table-driven classification kernels over a skewed stream of
+ * rtx/token codes: rtx_class lookups (const tables), mode-size
+ * arithmetic, and a register-note scan over a small mutable table
+ * (memory-dependent). Many distinct lukewarm kernels => many static
+ * regions with moderate individual reuse, keeping gcc's speedup at the
+ * low end, as in the paper.
+ */
+
+#include "workloads/dispatch.hh"
+#include "workloads/heapscan.hh"
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+constexpr int kRegNotes = 12;
+
+using namespace ccr::ir;
+
+/**
+ * insn_cost(code): consults the three small mutable tuning tables
+ * (cost, length, delay) — a memory-dependent region over three
+ * distinguishable structures (the paper's MD_2_3 group).
+ */
+void
+buildInsnCost(Module &mod, GlobalId cost_tab, GlobalId len_tab,
+              GlobalId delay_tab)
+{
+    Function &f = mod.addFunction("insn_cost", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg code = 0;
+    const Reg idx = b.shlI(b.andI(code, 15), 3);
+    const Reg c = b.load(b.add(b.movGA(cost_tab), idx), 0);
+    const Reg l = b.load(b.add(b.movGA(len_tab), idx), 0);
+    const Reg d = b.load(b.add(b.movGA(delay_tab), idx), 0);
+    const Reg t = b.add(b.mulI(c, 4), b.add(l, b.shlI(d, 1)));
+    b.ret(b.andI(t, 0xffff));
+}
+
+/** rtx_class(code): two chained const-table lookups plus a fixup. */
+void
+buildRtxClass(Module &mod, GlobalId class_tab, GlobalId fmt_tab)
+{
+    Function &f = mod.addFunction("rtx_class", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg code = 0;
+    const Reg idx = b.andI(code, 127);
+    const Reg ct = b.movGA(class_tab);
+    const Reg cls = b.load(b.add(ct, idx), 0, MemSize::Byte, true);
+    const Reg ft = b.movGA(fmt_tab);
+    const Reg fmt_off = b.shlI(cls, 0);
+    const Reg fmt = b.load(b.add(ft, fmt_off), 0, MemSize::Byte, true);
+    const Reg mix = b.add(b.shlI(cls, 4), fmt);
+    b.ret(mix);
+}
+
+/** mode_bits(mode): branchy arithmetic (acyclic region w/ control). */
+void
+buildModeBits(Module &mod)
+{
+    Function &f = mod.addFunction("mode_bits", 1);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId wide = b.newBlock();
+    const BlockId narrow = b.newBlock();
+    const BlockId join = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg mode = 0;
+    const Reg bits = b.reg();
+
+    b.setInsertPoint(entry);
+    const Reg m = b.andI(mode, 15);
+    const Reg isw = b.cmpGeI(m, 8);
+    b.br(isw, wide, narrow);
+
+    b.setInsertPoint(wide);
+    const Reg w = b.shlI(m, 3);
+    b.binOpITo(bits, Opcode::Add, w, 64);
+    b.jump(join);
+
+    b.setInsertPoint(narrow);
+    const Reg nv = b.shlI(m, 2);
+    b.binOpITo(bits, Opcode::Add, nv, 8);
+    b.jump(join);
+
+    b.setInsertPoint(join);
+    const Reg capped = b.andI(bits, 255);
+    b.ret(capped);
+}
+
+/**
+ * find_reg_note(reg): scans the small mutable reg_notes table — an
+ * MD cyclic region invalidated by note updates.
+ */
+void
+buildFindRegNote(Module &mod, GlobalId notes_ptr)
+{
+    Function &f = mod.addFunction("find_reg_note", 1);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId out = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg reg = 0;
+    const Reg i = b.reg();
+    const Reg found = b.reg();
+
+    b.setInsertPoint(entry);
+    // The note list hangs off an insn object: the compiler only sees a
+    // loaded pointer, so this scan stays anonymous (not formable).
+    const Reg base = b.load(b.movGA(notes_ptr), 0);
+    b.movITo(i, 0);
+    b.movITo(found, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLtI(i, kRegNotes);
+    b.br(more, body, out);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    const Reg note = b.load(b.add(base, off), 0);
+    const Reg match = b.cmpEq(note, reg);
+    b.binOpTo(found, Opcode::Or, found,
+              b.andR(match, b.addI(i, 1)));
+    b.jump(latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(out);
+    b.ret(found);
+}
+
+/** set_reg_note(slot, reg): mutates the notes table. */
+void
+buildSetRegNote(Module &mod, GlobalId notes_ptr)
+{
+    Function &f = mod.addFunction("set_reg_note", 2);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg slot = 0;
+    const Reg reg = 1;
+    const Reg base = b.load(b.movGA(notes_ptr), 0);
+    const Reg idx = b.andI(slot, kRegNotes - 1);
+    const Reg off = b.shlI(idx, 3);
+    b.store(b.add(base, off), 0, reg);
+    b.ret();
+}
+
+void
+buildMain(Module &mod, GlobalId codes, GlobalId regs, GlobalId nreq,
+          GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId setup = b.newBlock();
+    const BlockId setup2 = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId c1 = b.newBlock();
+    const BlockId c2 = b.newBlock();
+    const BlockId c3 = b.newBlock();
+    const BlockId c4 = b.newBlock();
+    const BlockId c5 = b.newBlock();
+    const BlockId c6 = b.newBlock();
+    const BlockId c7 = b.newBlock();
+    const BlockId mutate = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+    const Reg code = b.reg();
+    const Reg reg = b.reg();
+
+    b.setInsertPoint(entry);
+    b.callVoid(mod.findFunction("notes_init")->id(), {}, setup);
+
+    b.setInsertPoint(setup);
+    b.callVoid(mod.findFunction("rtlpool_init")->id(), {}, setup2);
+
+    b.setInsertPoint(setup2);
+    const Reg n = b.load(b.movGA(nreq), 0);
+    const Reg cbase = b.movGA(codes);
+    const Reg rbase = b.movGA(regs);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLt(i, n);
+    b.br(more, body, exit);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    b.loadTo(code, b.add(cbase, off), 0);
+    b.loadTo(reg, b.add(rbase, off), 0);
+    const Reg cls = b.call(mod.findFunction("rtx_class")->id(), {code},
+                           c1);
+
+    b.setInsertPoint(c1);
+    const Reg bits = b.call(mod.findFunction("mode_bits")->id(), {code},
+                            c2);
+
+    b.setInsertPoint(c2);
+    const Reg note = b.call(mod.findFunction("find_reg_note")->id(),
+                            {reg}, c3);
+
+    b.setInsertPoint(c3);
+    const Reg pool = b.call(mod.findFunction("rtlpool_scan")->id(),
+                            {code}, c4);
+
+    // One of 64 insn patterns and one of 32 addressing modes per
+    // request: gcc's long tail of small distinct computations.
+    b.setInsertPoint(c4);
+    const Reg im = b.call(mod.findFunction("insn_match")->id(),
+                          {code, reg}, c5);
+
+    b.setInsertPoint(c5);
+    const Reg am = b.call(mod.findFunction("addr_mode")->id(),
+                          {reg, code}, c6);
+
+    b.setInsertPoint(c6);
+    const Reg ic = b.call(mod.findFunction("insn_cost")->id(), {code},
+                          c7);
+
+    b.setInsertPoint(c7);
+    b.binOpTo(acc, Opcode::Add, acc, b.add(im, b.add(am, ic)));
+    b.binOpTo(acc, Opcode::Add, acc, pool);
+    const Reg d0 = b.mulI(i, 0x9E3779B1);
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(b.shrI(d0, 5), 0x7f));
+    const Reg t = b.add(b.mulI(cls, 7), b.add(bits, note));
+    b.binOpTo(acc, Opcode::Add, acc, t);
+    // ~3% of requests rewrite a register note.
+    const Reg mutp = b.cmpEqI(b.andI(code, 31), 7);
+    b.br(mutp, mutate, latch);
+
+    b.setInsertPoint(mutate);
+    b.callVoid(mod.findFunction("set_reg_note")->id(), {i, reg}, latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildGcc()
+{
+    auto mod = std::make_shared<ir::Module>("gcc");
+
+    std::vector<std::uint8_t> class_tab(128);
+    std::vector<std::uint8_t> fmt_tab(256);
+    for (std::size_t i = 0; i < class_tab.size(); ++i)
+        class_tab[i] = static_cast<std::uint8_t>((i * 37 + 11) & 15);
+    for (std::size_t i = 0; i < fmt_tab.size(); ++i)
+        fmt_tab[i] = static_cast<std::uint8_t>((i * 13 + 5) & 7);
+
+    const GlobalId class_g =
+        addConstTable8(*mod, "rtx_class_tab", class_tab).id;
+    const GlobalId fmt_g = addConstTable8(*mod, "rtx_fmt_tab", fmt_tab).id;
+    mod->addGlobal("reg_notes", kRegNotes * 8);
+    mod->addGlobal("cost_tab", 16 * 8);
+    mod->addGlobal("len_tab", 16 * 8);
+    mod->addGlobal("delay_tab", 16 * 8);
+    const GlobalId codes =
+        mod->addGlobal("code_stream", kMaxRequests * 8).id;
+    const GlobalId regs =
+        mod->addGlobal("reg_stream", kMaxRequests * 8).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    buildRtxClass(*mod, class_g, fmt_g);
+    buildModeBits(*mod);
+    addHeapScan(*mod, "notes", 16, 2, 0x6CCF1ULL);
+    // find/set_reg_note reuse the anonymous notes table through its
+    // pointer global.
+    buildFindRegNote(*mod, mod->findGlobal("notes_ptr")->id);
+    buildSetRegNote(*mod, mod->findGlobal("notes_ptr")->id);
+    addHeapScan(*mod, "rtlpool", 256, 12, 0x6CC77ULL);
+    addDispatchKernel(*mod, "insn_match", 6, 0, 0x6CC01ULL);
+    addDispatchKernel(*mod, "addr_mode", 5, 0, 0x6CC02ULL);
+    buildInsnCost(*mod, mod->findGlobal("cost_tab")->id,
+                  mod->findGlobal("len_tab")->id,
+                  mod->findGlobal("delay_tab")->id);
+    buildMain(*mod, codes, regs, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "gcc";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0x6CC'0001 : 0x6CC'0002);
+        const std::size_t n = train ? 9500 : 11500;
+        // A compiler sees a moderately wide distribution of codes.
+        const auto codes = zipfRequests(
+            rng, n, train ? 64 : 72, train ? 1.2 : 1.15, [](Rng &r) {
+                return static_cast<std::int64_t>(r.nextBelow(1 << 14));
+            });
+        const auto regs = zipfRequests(
+            rng, n, 28, 1.25, [](Rng &r) {
+                return static_cast<std::int64_t>(r.nextBelow(64));
+            });
+        fillGlobal64(machine, "code_stream", codes);
+        fillGlobal64(machine, "reg_stream", regs);
+        // Tuning tables: fixed for a compilation, so reads stay valid.
+        std::vector<std::int64_t> cost(16), len(16), delay(16);
+        for (int k = 0; k < 16; ++k) {
+            cost[static_cast<std::size_t>(k)] =
+                static_cast<std::int64_t>(1 + rng.nextBelow(12));
+            len[static_cast<std::size_t>(k)] =
+                static_cast<std::int64_t>(1 + rng.nextBelow(6));
+            delay[static_cast<std::size_t>(k)] =
+                static_cast<std::int64_t>(rng.nextBelow(4));
+        }
+        fillGlobal64(machine, "cost_tab", cost);
+        fillGlobal64(machine, "len_tab", len);
+        fillGlobal64(machine, "delay_tab", delay);
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

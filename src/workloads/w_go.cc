@@ -1,0 +1,302 @@
+/**
+ * @file
+ * `go` — models SPEC95 099.go. Position evaluation recomputes local
+ * pattern scores at board points; the board mutates every move, so
+ * memory-dependent reuse is frequently invalidated and overall benefit
+ * is modest (go sits at the low end of the paper's Figure 8, as here).
+ * Kernels: neighbor pattern score over the mutable board, a stateless
+ * influence function, and a liberty-scan loop.
+ */
+
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+constexpr int kBoard = 361; // 19x19
+
+using namespace ccr::ir;
+
+/** pattern_score(pos): loads the 4 neighbors from the board and folds
+ *  them with const pattern weights. The board is reached through a
+ *  pointer (go's board lives inside a dynamically allocated game
+ *  state), so the scan is anonymous to the region former. */
+void
+buildPatternScore(Module &mod, GlobalId board_ptr, GlobalId weights)
+{
+    Function &f = mod.addFunction("pattern_score", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg pos = 0;
+    const Reg base = b.load(b.movGA(board_ptr), 0);
+    const Reg wt = b.movGA(weights);
+    const Reg p = b.andI(pos, 511);
+
+    Reg score = kNoReg;
+    const int offs[4] = {-19, -1, 1, 19};
+    for (int k = 0; k < 4; ++k) {
+        const Reg np = b.addI(p, offs[k] + 32); // bias keeps it positive
+        const Reg idx = b.andI(np, 511);
+        const Reg stone = b.load(b.add(base, b.shlI(idx, 3)), 0);
+        const Reg wsel =
+            b.load(b.add(wt, b.shlI(b.andI(stone, 3), 3)), 0);
+        const Reg part = b.mulI(wsel, k + 3);
+        score = k == 0 ? part : b.add(score, part);
+    }
+    const Reg folded = b.andI(score, 0xffff);
+    b.ret(folded);
+}
+
+/** influence(dist): stateless decay curve via shifts and adds. */
+void
+buildInfluence(Module &mod)
+{
+    Function &f = mod.addFunction("influence", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg dist = 0;
+    const Reg d = b.andI(dist, 31);
+    const Reg inv = b.subI(b.movI(32), d);
+    const Reg sq = b.mul(inv, inv);
+    const Reg damp = b.shrI(sq, 2);
+    const Reg mixed = b.add(damp, b.mulI(d, 5));
+    b.ret(mixed);
+}
+
+/** liberty_scan(pos): bounded scan over a board row. Reached through
+ *  the board pointer, so it is anonymous to the region former — its
+ *  recurrence shows up in the Figure 4 limit study only. */
+void
+buildLibertyScan(Module &mod, GlobalId board_ptr)
+{
+    Function &f = mod.addFunction("liberty_scan", 1);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId out = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg pos = 0;
+    const Reg j = b.reg();
+    const Reg libs = b.reg();
+    const Reg row = b.reg();
+
+    b.setInsertPoint(entry);
+    const Reg base = b.load(b.movGA(board_ptr), 0);
+    const Reg r = b.mulI(b.andI(pos, 15), 19);
+    b.movTo(row, r);
+    b.movITo(j, 0);
+    b.movITo(libs, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLtI(j, 19);
+    b.br(more, body, out);
+
+    b.setInsertPoint(body);
+    const Reg idx = b.add(row, j);
+    const Reg stone = b.load(b.add(base, b.shlI(idx, 3)), 0);
+    const Reg empty = b.cmpEqI(stone, 0);
+    b.binOpTo(libs, Opcode::Add, libs, empty);
+    b.jump(latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(j, Opcode::Add, j, 1);
+    b.jump(header);
+
+    b.setInsertPoint(out);
+    b.ret(libs);
+}
+
+/** play(pos, color): board mutation. */
+void
+buildPlay(Module &mod, GlobalId board_ptr)
+{
+    Function &f = mod.addFunction("play", 2);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg pos = 0;
+    const Reg color = 1;
+    const Reg base = b.load(b.movGA(board_ptr), 0);
+    const Reg idx = b.andI(pos, 511);
+    b.store(b.add(base, b.shlI(idx, 3)), 0, color);
+    b.ret();
+}
+
+/** board_init(): heap-allocate the board and copy the initial
+ *  position from the (named) setup array. */
+void
+buildBoardInit(Module &mod, GlobalId board_setup, GlobalId board_ptr)
+{
+    Function &f = mod.addFunction("board_init", 0);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId done = b.newBlock();
+    const Reg j = b.reg();
+    const Reg p = b.reg();
+
+    b.setInsertPoint(entry);
+    {
+        Inst a;
+        a.op = Opcode::Alloc;
+        a.dst = p;
+        a.srcImm = true;
+        a.imm = 512 * 8;
+        b.emit(a);
+    }
+    b.movITo(j, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLtI(j, 512);
+    b.br(more, body, done);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(j, 3);
+    const Reg v = b.load(b.add(b.movGA(board_setup), off), 0);
+    b.store(b.add(p, off), 0, v);
+    b.binOpITo(j, Opcode::Add, j, 1);
+    b.jump(header);
+
+    b.setInsertPoint(done);
+    b.store(b.movGA(board_ptr), 0, p);
+    b.ret();
+}
+
+void
+buildMain(Module &mod, GlobalId moves, GlobalId nreq, GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId setup = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId c1 = b.newBlock();
+    const BlockId c2 = b.newBlock();
+    const BlockId c3 = b.newBlock();
+    const BlockId do_play = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+
+    b.setInsertPoint(entry);
+    b.callVoid(mod.findFunction("board_init")->id(), {}, setup);
+
+    b.setInsertPoint(setup);
+    const Reg n = b.load(b.movGA(nreq), 0);
+    const Reg mbase = b.movGA(moves);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLt(i, n);
+    b.br(more, body, exit);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    const Reg mv = b.load(b.add(mbase, off), 0);
+    const Reg pos = b.andI(mv, 0x1ff);
+    const Reg sc = b.call(mod.findFunction("pattern_score")->id(),
+                          {pos}, c1);
+
+    b.setInsertPoint(c1);
+    const Reg infl = b.call(mod.findFunction("influence")->id(), {pos},
+                            c2);
+
+    b.setInsertPoint(c2);
+    const Reg libs = b.call(mod.findFunction("liberty_scan")->id(),
+                            {pos}, c3);
+
+    b.setInsertPoint(c3);
+    const Reg d0 = b.mulI(i, 0x85EBCA77);
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(b.shrI(d0, 3), 0x3f));
+    b.binOpTo(acc, Opcode::Add, acc,
+              b.add(sc, b.add(infl, libs)));
+    // ~8% of evaluated positions result in an actual play.
+    const Reg playp = b.cmpEqI(b.andI(mv, 0xf000), 0x3000);
+    b.br(playp, do_play, latch);
+
+    b.setInsertPoint(do_play);
+    const Reg color = b.addI(b.andI(mv, 1), 1);
+    b.callVoid(mod.findFunction("play")->id(), {pos, color}, latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildGo()
+{
+    auto mod = std::make_shared<ir::Module>("go");
+
+    std::vector<std::int64_t> weights{0, 17, -9, 4};
+    const GlobalId wt =
+        addConstTable64(*mod, "pattern_weights", weights).id;
+    const GlobalId board = mod->addGlobal("board", 512 * 8).id;
+    const GlobalId board_ptr = mod->addGlobal("board_ptr", 8).id;
+    const GlobalId moves =
+        mod->addGlobal("move_stream", kMaxRequests * 8).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    buildPatternScore(*mod, board_ptr, wt);
+    buildInfluence(*mod);
+    buildLibertyScan(*mod, board_ptr);
+    buildPlay(*mod, board_ptr);
+    buildBoardInit(*mod, board, board_ptr);
+    buildMain(*mod, moves, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "go";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0x60'0001 : 0x60'0002);
+        const std::size_t n = train ? 4000 : 5200;
+        // Go evaluates a fairly wide set of candidate points, and the
+        // board changes under it: weaker value locality overall.
+        const auto moves = zipfRequests(
+            rng, n, train ? 48 : 56, train ? 1.05 : 1.0, [](Rng &r) {
+                return static_cast<std::int64_t>(r.nextBelow(1 << 16));
+            });
+        std::vector<std::int64_t> init(512, 0);
+        for (int k = 0; k < kBoard; ++k) {
+            if (rng.nextBool(0.3))
+                init[static_cast<std::size_t>(k)] =
+                    static_cast<std::int64_t>(1 + rng.nextBelow(2));
+        }
+        fillGlobal64(machine, "board", init);
+        fillGlobal64(machine, "move_stream", moves);
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * `ijpeg` — models SPEC95 132.ijpeg. JPEG quantization and descaling
+ * operate on DCT coefficients that are mostly zero or drawn from a few
+ * small magnitudes, a textbook value-locality source. Kernels:
+ * quantize (const reciprocal table + saturating clamp with control),
+ * descale (stateless rounding arithmetic), and a range-limit lookup
+ * through the classic const sample table.
+ */
+
+#include "workloads/heapscan.hh"
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+
+using namespace ccr::ir;
+
+/** quantize(coef, q): (coef * recip[q]) >> 16, clamped to +-255. */
+void
+buildQuantize(Module &mod, GlobalId recip)
+{
+    Function &f = mod.addFunction("quantize", 2);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId clamp_hi = b.newBlock();
+    const BlockId check_lo = b.newBlock();
+    const BlockId clamp_lo = b.newBlock();
+    const BlockId tail = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg coef = 0;
+    const Reg q = 1;
+    const Reg v = b.reg();
+
+    b.setInsertPoint(entry);
+    const Reg rbase = b.movGA(recip);
+    const Reg rq = b.load(b.add(rbase, b.shlI(b.andI(q, 63), 3)), 0);
+    const Reg prod = b.mul(coef, rq);
+    b.binOpTo(v, Opcode::Sra, prod, b.movI(16));
+    const Reg hi = b.cmpGtI(v, 255);
+    b.br(hi, clamp_hi, check_lo);
+
+    b.setInsertPoint(clamp_hi);
+    b.movITo(v, 255);
+    b.jump(tail);
+
+    b.setInsertPoint(check_lo);
+    const Reg lo = b.cmpLtI(v, -255);
+    b.br(lo, clamp_lo, tail);
+
+    b.setInsertPoint(clamp_lo);
+    b.movITo(v, -255);
+    b.jump(tail);
+
+    b.setInsertPoint(tail);
+    const Reg biased = b.addI(v, 256);
+    b.ret(biased);
+}
+
+/** descale(x): x' = (x + 2^(s-1)) >> s with fixed s, then re-center —
+ *  pure register arithmetic. */
+void
+buildDescale(Module &mod)
+{
+    Function &f = mod.addFunction("descale", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg x = 0;
+    const Reg rounded = b.addI(x, 1 << 12);
+    const Reg scaled = b.sraI(rounded, 13);
+    const Reg sq = b.mul(scaled, scaled);
+    const Reg centered = b.sub(sq, b.shlI(scaled, 2));
+    const Reg lim = b.andI(centered, 0x3ff);
+    b.ret(lim);
+}
+
+/** range_limit(s): the const 1KB sample range-limit table lookup. */
+void
+buildRangeLimit(Module &mod, GlobalId table)
+{
+    Function &f = mod.addFunction("range_limit", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg s = 0;
+    const Reg idx = b.andI(s, 1023);
+    const Reg t = b.movGA(table);
+    const Reg r = b.load(b.add(t, idx), 0, MemSize::Byte, true);
+    const Reg widened = b.add(b.shlI(r, 2), idx);
+    b.ret(widened);
+}
+
+void
+buildMain(Module &mod, GlobalId coefs, GlobalId quals, GlobalId nreq,
+          GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId setup = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId c1 = b.newBlock();
+    const BlockId c2 = b.newBlock();
+    const BlockId c3 = b.newBlock();
+    const BlockId c4 = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+
+    b.setInsertPoint(entry);
+    b.callVoid(mod.findFunction("mcu_init")->id(), {}, setup);
+
+    b.setInsertPoint(setup);
+    const Reg n = b.load(b.movGA(nreq), 0);
+    const Reg cbase = b.movGA(coefs);
+    const Reg qbase = b.movGA(quals);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLt(i, n);
+    b.br(more, body, exit);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    const Reg coef = b.load(b.add(cbase, off), 0);
+    const Reg qv = b.load(b.add(qbase, off), 0);
+    const Reg quant = b.call(mod.findFunction("quantize")->id(),
+                             {coef, qv}, c1);
+
+    b.setInsertPoint(c1);
+    const Reg desc = b.call(mod.findFunction("descale")->id(), {coef},
+                            c2);
+
+    b.setInsertPoint(c2);
+    const Reg rl = b.call(mod.findFunction("range_limit")->id(),
+                          {quant}, c3);
+
+    // Sample rows live in malloc'd MCU buffers — anonymous memory.
+    b.setInsertPoint(c3);
+    const Reg mcu = b.call(mod.findFunction("mcu_scan")->id(), {quant},
+                           c4);
+
+    b.setInsertPoint(c4);
+    b.binOpTo(acc, Opcode::Add, acc, mcu);
+    const Reg d0 = b.mulI(i, 0x7FEB352D);
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(d0, 0x3f));
+    b.binOpTo(acc, Opcode::Add, acc, b.add(desc, rl));
+    b.jump(latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildIjpeg()
+{
+    auto mod = std::make_shared<ir::Module>("ijpeg");
+
+    std::vector<std::int64_t> recip(64);
+    for (std::size_t i = 0; i < recip.size(); ++i)
+        recip[i] = static_cast<std::int64_t>(65536 / (i + 1));
+    const GlobalId rg = addConstTable64(*mod, "quant_recip", recip).id;
+
+    std::vector<std::uint8_t> range(1024);
+    for (std::size_t i = 0; i < range.size(); ++i) {
+        const int centered = static_cast<int>(i) - 512;
+        range[i] = static_cast<std::uint8_t>(
+            centered < 0 ? 0 : (centered > 255 ? 255 : centered));
+    }
+    const GlobalId rl = addConstTable8(*mod, "range_limit_tab",
+                                       range).id;
+
+    const GlobalId coefs =
+        mod->addGlobal("coef_stream", kMaxRequests * 8).id;
+    const GlobalId quals =
+        mod->addGlobal("qual_stream", kMaxRequests * 8).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    buildQuantize(*mod, rg);
+    buildDescale(*mod);
+    buildRangeLimit(*mod, rl);
+    addHeapScan(*mod, "mcu", 128, 8, 0x193A7ULL);
+    buildMain(*mod, coefs, quals, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "ijpeg";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0x19'0001 : 0x19'0002);
+        const std::size_t n = train ? 5600 : 7200;
+        // DCT coefficients: dominated by zero and small magnitudes.
+        std::vector<std::int64_t> coefs(n);
+        for (auto &c : coefs) {
+            if (rng.nextBool(0.55)) {
+                c = 0;
+            } else if (rng.nextBool(0.8)) {
+                c = rng.nextRange(-7, 7);
+            } else {
+                c = rng.nextRange(-160, 160);
+            }
+        }
+        // Few distinct quantizer steps per image.
+        const auto quals = zipfRequests(
+            rng, n, 6, 1.2, [](Rng &r) {
+                return static_cast<std::int64_t>(r.nextBelow(32) + 1);
+            });
+        fillGlobal64(machine, "coef_stream", coefs);
+        fillGlobal64(machine, "qual_stream", quals);
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

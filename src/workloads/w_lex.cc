@@ -1,0 +1,271 @@
+/**
+ * @file
+ * `lex` — models UNIX lex. Lexing is a table-driven DFA: classify the
+ * character through a const class table, step the state through the
+ * const transition table, and fold accept information. (state, char)
+ * pairs recur heavily in real source text, making the per-character
+ * step a dense stateless (const-table) region.
+ */
+
+#include "workloads/heapscan.hh"
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+constexpr int kStates = 24;
+constexpr int kClasses = 12;
+
+using namespace ccr::ir;
+
+/**
+ * dfa_step(state, cls): transition + accept fold keyed on the
+ * character *class*. Keying the memoizable kernel on the class rather
+ * than the raw character keeps its input working set small — exactly
+ * what makes table-driven lexers such strong reuse targets.
+ */
+void
+buildDfaStep(Module &mod, GlobalId delta, GlobalId accept)
+{
+    Function &f = mod.addFunction("dfa_step", 2);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg state = 0;
+    const Reg cls = 1;
+    const Reg db = b.movGA(delta);
+    const Reg row = b.mulI(b.andI(state, kStates - 1), kClasses);
+    const Reg cell = b.add(row, b.andI(cls, kClasses - 1));
+    const Reg next = b.load(b.add(db, cell), 0, MemSize::Byte, true);
+    const Reg ab = b.movGA(accept);
+    const Reg acc = b.load(b.add(ab, next), 0, MemSize::Byte, true);
+    const Reg packed = b.orR(b.shlI(acc, 8), next);
+    b.ret(packed);
+}
+
+/** token_fold(tok, len): stateless token-value summary. */
+void
+buildTokenFold(Module &mod)
+{
+    Function &f = mod.addFunction("token_fold", 2);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg tok = 0;
+    const Reg len = 1;
+    const Reg l = b.andI(len, 63);
+    const Reg t1 = b.mulI(tok, 131);
+    const Reg t2 = b.add(t1, l);
+    const Reg t3 = b.xorR(t2, b.shrI(t2, 7));
+    b.ret(b.andI(t3, 0xffff));
+}
+
+void
+buildMain(Module &mod, GlobalId classes, GlobalId text, GlobalId nreq,
+          GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId setup = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId c1 = b.newBlock();
+    const BlockId tok_end = b.newBlock();
+    const BlockId c2 = b.newBlock();
+    const BlockId c3 = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+    const Reg state = b.reg();
+    const Reg toklen = b.reg();
+
+    b.setInsertPoint(entry);
+    b.callVoid(mod.findFunction("yybuf_init")->id(), {}, setup);
+
+    b.setInsertPoint(setup);
+    const Reg n = b.load(b.movGA(nreq), 0);
+    const Reg tbase = b.movGA(text);
+    const Reg cbase = b.movGA(classes);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.movITo(state, 0);
+    b.movITo(toklen, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLt(i, n);
+    b.br(more, body, exit);
+
+    b.setInsertPoint(body);
+    const Reg ch = b.load(b.add(tbase, i), 0, MemSize::Byte, true);
+    const Reg cls = b.load(b.add(cbase, ch), 0, MemSize::Byte, true);
+    const Reg packed = b.call(mod.findFunction("dfa_step")->id(),
+                              {state, cls}, c1);
+
+    b.setInsertPoint(c1);
+    b.binOpITo(state, Opcode::And, packed, 0xff);
+    b.binOpITo(toklen, Opcode::Add, toklen, 1);
+    const Reg accflag = b.andI(b.shrI(packed, 8), 0xff);
+    b.br(accflag, tok_end, latch);
+
+    b.setInsertPoint(tok_end);
+    const Reg tv = b.call(mod.findFunction("token_fold")->id(),
+                          {accflag, toklen}, c2);
+
+    // Copy-out into the malloc'd yytext buffer region: anonymous.
+    b.setInsertPoint(c2);
+    const Reg buf = b.call(mod.findFunction("yybuf_scan")->id(),
+                           {accflag}, c3);
+
+    b.setInsertPoint(c3);
+    b.binOpTo(acc, Opcode::Add, acc, buf);
+    const Reg d0 = b.mulI(i, 0x6C62272E);
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(d0, 0x1f));
+    b.binOpTo(acc, Opcode::Add, acc, tv);
+    b.movITo(state, 0);
+    b.movITo(toklen, 0);
+    b.jump(latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildLex()
+{
+    auto mod = std::make_shared<ir::Module>("lex");
+
+    // Character classes: letters, digits, whitespace, operators, ...
+    std::vector<std::uint8_t> classes(256);
+    for (int c = 0; c < 256; ++c) {
+        std::uint8_t cls = 11;
+        if (c >= 'a' && c <= 'z')
+            cls = 0;
+        else if (c >= 'A' && c <= 'Z')
+            cls = 1;
+        else if (c >= '0' && c <= '9')
+            cls = 2;
+        else if (c == ' ' || c == '\t')
+            cls = 3;
+        else if (c == '\n')
+            cls = 4;
+        else if (c == '_')
+            cls = 5;
+        else if (c == '+' || c == '-' || c == '*' || c == '/')
+            cls = 6;
+        else if (c == '(' || c == ')' || c == '{' || c == '}')
+            cls = 7;
+        else if (c == '"')
+            cls = 8;
+        else if (c == ';' || c == ',')
+            cls = 9;
+        else if (c == '=' || c == '<' || c == '>')
+            cls = 10;
+        classes[static_cast<std::size_t>(c)] = cls;
+    }
+
+    // A plausible identifier/number/operator DFA.
+    std::vector<std::uint8_t> delta(
+        static_cast<std::size_t>(kStates * kClasses), 0);
+    auto set = [&](int s, int c, int t) {
+        delta[static_cast<std::size_t>(s * kClasses + c)] =
+            static_cast<std::uint8_t>(t);
+    };
+    for (int c = 0; c < kClasses; ++c) {
+        set(0, c, 0);
+        set(1, c, 12); // ident end
+        set(2, c, 13); // number end
+    }
+    set(0, 0, 1);
+    set(0, 1, 1);
+    set(0, 5, 1); // start ident
+    set(1, 0, 1);
+    set(1, 1, 1);
+    set(1, 2, 1);
+    set(1, 5, 1); // continue ident
+    set(0, 2, 2);
+    set(2, 2, 2); // number
+    set(0, 6, 14);
+    set(0, 10, 15);
+    set(0, 9, 16);
+    set(0, 7, 17);
+
+    // Accept flags: states 12+ emit a token code.
+    std::vector<std::uint8_t> accept(256, 0);
+    for (int s = 12; s < kStates; ++s)
+        accept[static_cast<std::size_t>(s)] =
+            static_cast<std::uint8_t>(s - 11);
+
+    const GlobalId cg = addConstTable8(*mod, "char_classes",
+                                       classes).id;
+    const GlobalId dg = addConstTable8(*mod, "dfa_delta", delta).id;
+    const GlobalId ag = addConstTable8(*mod, "dfa_accept", accept).id;
+    const GlobalId text = mod->addGlobal("text", kMaxRequests).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    buildDfaStep(*mod, dg, ag);
+    buildTokenFold(*mod);
+    addHeapScan(*mod, "yybuf", 64, 6, 0x1EAF1ULL);
+    buildMain(*mod, cg, text, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "lex";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0x1E'0001 : 0x1E'0002);
+        const std::size_t n = train ? 9000 : 12000;
+        // Source-code-like text: words from a small vocabulary.
+        static const char *const words_train[] = {
+            "int ",  "x = ", "sum;\n", "for(", "i++)", "a + b",
+            "ret ",  "val,", "if(",    "){\n", "tmp ", "0;\n"};
+        static const char *const words_ref[] = {
+            "long ", "y = ", "acc;\n", "while(", "j--)", "c * d",
+            "out ",  "arg,", "else",   "}\n",    "buf ", "1;\n",
+            "ptr ",  "idx("};
+        const std::size_t nw = train ? 12 : 14;
+        const ZipfSampler zipf(nw, train ? 1.65 : 1.55);
+        std::string text;
+        while (text.size() < n) {
+            text += train ? words_train[zipf.sample(rng)]
+                          : words_ref[zipf.sample(rng)];
+        }
+        text.resize(n);
+        // Write the text bytes directly.
+        const auto &mod2 = machine.module();
+        for (std::size_t g = 0; g < mod2.numGlobals(); ++g) {
+            if (mod2.global(static_cast<ir::GlobalId>(g)).name
+                == "text") {
+                machine.memory().writeBytes(
+                    machine.globalAddr(static_cast<ir::GlobalId>(g)),
+                    reinterpret_cast<const std::uint8_t *>(text.data()),
+                    text.size());
+            }
+        }
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * `li` — models SPEC95 130.li (xlisp). An interpreter's hot loop
+ * dispatches on a small set of operator tags and evaluates recurring
+ * expression shapes. The eval kernel is a multi-block acyclic region:
+ * control decisions (the dispatch) sit inside the reusable path, and
+ * the (op, a, b) triples recur heavily because programs evaluate the
+ * same expressions over and over.
+ */
+
+#include "workloads/heapscan.hh"
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+
+using namespace ccr::ir;
+
+/**
+ * eval_node(op, a, b): dispatch on op (0..3 common, others rare) with
+ * a short computation per arm, then a shared normalization tail.
+ */
+void
+buildEvalNode(Module &mod, GlobalId small_ints)
+{
+    Function &f = mod.addFunction("eval_node", 3);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId not_add = b.newBlock();
+    const BlockId not_sub = b.newBlock();
+    const BlockId arm_add = b.newBlock();
+    const BlockId arm_sub = b.newBlock();
+    const BlockId arm_mul = b.newBlock();
+    const BlockId arm_rare = b.newBlock();
+    const BlockId tail = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg op = 0;
+    const Reg a = 1;
+    const Reg bb = 2;
+    const Reg v = b.reg();
+
+    b.setInsertPoint(entry);
+    const Reg is_add = b.cmpEqI(op, 0);
+    b.br(is_add, arm_add, not_add);
+
+    b.setInsertPoint(not_add);
+    const Reg is_sub = b.cmpEqI(op, 1);
+    b.br(is_sub, arm_sub, not_sub);
+
+    b.setInsertPoint(not_sub);
+    const Reg is_mul = b.cmpEqI(op, 2);
+    b.br(is_mul, arm_mul, arm_rare);
+
+    b.setInsertPoint(arm_add);
+    b.binOpTo(v, Opcode::Add, a, bb);
+    b.jump(tail);
+
+    b.setInsertPoint(arm_sub);
+    b.binOpTo(v, Opcode::Sub, a, bb);
+    b.jump(tail);
+
+    b.setInsertPoint(arm_mul);
+    b.binOpTo(v, Opcode::Mul, a, bb);
+    b.jump(tail);
+
+    b.setInsertPoint(arm_rare);
+    const Reg q = b.div(a, b.orI(bb, 1));
+    b.binOpTo(v, Opcode::Xor, q, op);
+    b.jump(tail);
+
+    // Shared tail: xlisp-style fixnum boxing via the small-int cache.
+    b.setInsertPoint(tail);
+    const Reg clampidx = b.andI(v, 127);
+    const Reg si = b.movGA(small_ints);
+    const Reg boxed = b.load(b.add(si, b.shlI(clampidx, 3)), 0);
+    const Reg tagged = b.orR(b.shlI(boxed, 2), b.andI(v, 3));
+    b.ret(tagged);
+}
+
+/** symbol_hash(name): stateless string-hash-like fold. */
+void
+buildSymbolHash(Module &mod)
+{
+    Function &f = mod.addFunction("symbol_hash", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg name = 0;
+    const Reg b0 = b.andI(name, 0xff);
+    const Reg b1 = b.andI(b.shrI(name, 8), 0xff);
+    const Reg b2 = b.andI(b.shrI(name, 16), 0xff);
+    const Reg h0 = b.addI(b.mulI(b0, 31), 7);
+    const Reg h1 = b.add(b.mulI(h0, 31), b1);
+    const Reg h2 = b.add(b.mulI(h1, 31), b2);
+    const Reg h = b.andI(h2, 1023);
+    b.ret(h);
+}
+
+void
+buildMain(Module &mod, GlobalId ops, GlobalId lhs, GlobalId rhs,
+          GlobalId nreq, GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId setup = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId c1 = b.newBlock();
+    const BlockId c2 = b.newBlock();
+    const BlockId c3 = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+
+    b.setInsertPoint(entry);
+    b.callVoid(mod.findFunction("env_init")->id(), {}, setup);
+
+    b.setInsertPoint(setup);
+    const Reg n = b.load(b.movGA(nreq), 0);
+    const Reg obase = b.movGA(ops);
+    const Reg lbase = b.movGA(lhs);
+    const Reg rbase = b.movGA(rhs);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLt(i, n);
+    b.br(more, body, exit);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    const Reg op = b.load(b.add(obase, off), 0);
+    const Reg a = b.load(b.add(lbase, off), 0);
+    const Reg c = b.load(b.add(rbase, off), 0);
+    const Reg val = b.call(mod.findFunction("eval_node")->id(),
+                           {op, a, c}, c1);
+
+    b.setInsertPoint(c1);
+    const Reg sym = b.call(mod.findFunction("symbol_hash")->id(), {a},
+                           c2);
+
+    // Environment (association-list) lookup on the heap: an xlisp
+    // staple the compiler cannot form a region over.
+    b.setInsertPoint(c2);
+    const Reg env = b.call(mod.findFunction("env_scan")->id(), {a},
+                           c3);
+
+    b.setInsertPoint(c3);
+    b.binOpTo(acc, Opcode::Add, acc, b.add(val, sym));
+    b.binOpTo(acc, Opcode::Add, acc, env);
+    const Reg d0 = b.mulI(i, 0x27220A95);
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(d0, 0x3f));
+    b.jump(latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildLi()
+{
+    auto mod = std::make_shared<ir::Module>("li");
+
+    std::vector<std::int64_t> small_ints(128);
+    for (std::size_t i = 0; i < small_ints.size(); ++i)
+        small_ints[i] = static_cast<std::int64_t>(i) * 2 + 1;
+    const GlobalId si = addConstTable64(*mod, "small_ints",
+                                        small_ints).id;
+    const GlobalId ops = mod->addGlobal("op_stream",
+                                        kMaxRequests * 8).id;
+    const GlobalId lhs = mod->addGlobal("lhs_stream",
+                                        kMaxRequests * 8).id;
+    const GlobalId rhs = mod->addGlobal("rhs_stream",
+                                        kMaxRequests * 8).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    buildEvalNode(*mod, si);
+    buildSymbolHash(*mod);
+    addHeapScan(*mod, "env", 128, 8, 0x71AB3ULL);
+    buildMain(*mod, ops, lhs, rhs, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "li";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0x71'0001 : 0x71'0002);
+        const std::size_t n = train ? 5200 : 6800;
+        // Interpreted programs re-evaluate the same expression shapes:
+        // whole (op, a, b) triples recur. Draw a small pool of triples
+        // and replay them with Zipf weighting.
+        const std::size_t distinct = train ? 20 : 26;
+        std::vector<std::int64_t> pop(distinct), pa(distinct),
+            pb(distinct);
+        for (std::size_t k = 0; k < distinct; ++k) {
+            const auto r = rng.next();
+            pop[k] = static_cast<std::int64_t>(
+                (r & 7) < 5 ? (r & 3) : (r & 7)); // ops 0-2 common
+            pa[k] = static_cast<std::int64_t>((r >> 8) & 0xffff);
+            pb[k] = static_cast<std::int64_t>((r >> 24) & 0xffff) + 1;
+        }
+        const ZipfSampler zipf(distinct, train ? 1.5 : 1.35);
+        std::vector<std::int64_t> ops(n), lhs(n), rhs(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t pick = zipf.sample(rng);
+            ops[k] = pop[pick];
+            lhs[k] = pa[pick];
+            rhs[k] = pb[pick];
+        }
+        fillGlobal64(machine, "op_stream", ops);
+        fillGlobal64(machine, "lhs_stream", lhs);
+        fillGlobal64(machine, "rhs_stream", rhs);
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

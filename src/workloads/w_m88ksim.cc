@@ -1,0 +1,285 @@
+/**
+ * @file
+ * `m88ksim` — models SPEC95 124.m88ksim. The hot computation is the
+ * paper's Figure 3 example: ckbrkpts() scans the 16-entry breakpoint
+ * table, whose contents change only when one of four update routines
+ * runs. The scan loop is a memory-dependent *cyclic* reuse region: its
+ * live-in (the probed address) recurs heavily and the table is stored
+ * to rarely, so whole loop invocations (~100 dynamic instructions)
+ * are skipped on a CRB hit. Updates run through settmpbrk()/
+ * rsttmpbrk(), whose stores trigger compiler-placed invalidations.
+ */
+
+#include "workloads/heapscan.hh"
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+constexpr int kBrkEntries = 16;
+
+using namespace ccr::ir;
+
+/**
+ * ckbrkpts(addr): for (cnt = 0; cnt < 16; cnt++) {
+ *     if (brktable[cnt].code && ((brktable[cnt].adr & ~3) == addr))
+ *         break;
+ * } return cnt;
+ * Layout: brktable[i] = { code: dword, adr: dword } => stride 16.
+ */
+void
+buildCkbrkpts(Module &mod, GlobalId brktable)
+{
+    Function &f = mod.addFunction("ckbrkpts", 1);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId check_adr = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId found = b.newBlock();
+    const BlockId out = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg addr = 0;
+    const Reg cnt = b.reg();
+    const Reg result = b.reg();
+
+    b.setInsertPoint(entry);
+    const Reg base = b.movGA(brktable);
+    b.movITo(cnt, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLtI(cnt, kBrkEntries);
+    b.br(more, check_adr, out);
+
+    b.setInsertPoint(check_adr);
+    const Reg off = b.shlI(cnt, 4);
+    const Reg ep = b.add(base, off);
+    const Reg code = b.load(ep, 0);
+    const Reg adr = b.load(ep, 8);
+    const Reg masked = b.andI(adr, ~3LL);
+    const Reg same = b.cmpEq(masked, addr);
+    const Reg codeNz = b.cmpNeI(code, 0);
+    const Reg hit = b.andR(codeNz, same);
+    b.br(hit, found, latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(cnt, Opcode::Add, cnt, 1);
+    b.jump(header);
+
+    b.setInsertPoint(found);
+    b.jump(out);
+
+    b.setInsertPoint(out);
+    b.movTo(result, cnt);
+    b.ret(result);
+}
+
+/** settmpbrk(slot, addr): store into brktable (mutator). */
+void
+buildSettmpbrk(Module &mod, GlobalId brktable)
+{
+    Function &f = mod.addFunction("settmpbrk", 2);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    b.setInsertPoint(entry);
+    const Reg slot = 0;
+    const Reg addr = 1;
+    const Reg base = b.movGA(brktable);
+    const Reg off = b.shlI(slot, 4);
+    const Reg ep = b.add(base, off);
+    const Reg one = b.movI(1);
+    b.store(ep, 0, one);
+    b.store(ep, 8, addr);
+    b.ret();
+}
+
+/** rsttmpbrk(slot): clear a breakpoint slot (mutator). */
+void
+buildRsttmpbrk(Module &mod, GlobalId brktable)
+{
+    Function &f = mod.addFunction("rsttmpbrk", 1);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    b.setInsertPoint(entry);
+    const Reg slot = 0;
+    const Reg base = b.movGA(brktable);
+    const Reg off = b.shlI(slot, 4);
+    const Reg ep = b.add(base, off);
+    const Reg zero = b.movI(0);
+    b.store(ep, 0, zero);
+    b.ret();
+}
+
+/** alignfault(addr): small stateless decode helper (extra SL region). */
+void
+buildAlignfault(Module &mod)
+{
+    Function &f = mod.addFunction("alignfault", 1);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    b.setInsertPoint(entry);
+    const Reg addr = 0;
+    const Reg lo = b.andI(addr, 7);
+    const Reg sz = b.andI(b.shrI(addr, 3), 3);
+    const Reg bad = b.andR(lo, sz);
+    const Reg word = b.shrI(addr, 2);
+    const Reg tagv = b.xorR(word, bad);
+    const Reg folded = b.andI(tagv, 0xff);
+    b.ret(folded);
+}
+
+void
+buildMain(Module &mod, GlobalId addrs, GlobalId muts, GlobalId nreq,
+          GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId setup = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId cont1 = b.newBlock();
+    const BlockId cont2 = b.newBlock();
+    const BlockId cont3 = b.newBlock();
+    const BlockId maybe_mut = b.newBlock();
+    const BlockId do_set = b.newBlock();
+    const BlockId after_set = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+    const Reg addr = b.reg();
+
+    b.setInsertPoint(entry);
+    b.callVoid(mod.findFunction("memimage_init")->id(), {}, setup);
+
+    b.setInsertPoint(setup);
+    const Reg nbase = b.movGA(nreq);
+    const Reg n = b.load(nbase, 0);
+    const Reg abase = b.movGA(addrs);
+    const Reg mbase = b.movGA(muts);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLt(i, n);
+    b.br(more, body, exit);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    b.loadTo(addr, b.add(abase, off), 0);
+    const FuncId ck = mod.findFunction("ckbrkpts")->id();
+    const Reg cnt = b.call(ck, {addr}, cont1);
+
+    b.setInsertPoint(cont1);
+    const FuncId af = mod.findFunction("alignfault")->id();
+    const Reg fault = b.call(af, {addr}, cont2);
+
+    // Simulated-memory image walk: heap-resident, so the compiler
+    // cannot capture it even though the addresses recur.
+    b.setInsertPoint(cont2);
+    const FuncId mi = mod.findFunction("memimage_scan")->id();
+    const Reg img = b.call(mi, {addr}, cont3);
+
+    b.setInsertPoint(cont3);
+    b.binOpTo(acc, Opcode::Add, acc, img);
+    const Reg d0 = b.mulI(i, 0x2545F491);
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(b.shrI(d0, 7), 0x7f));
+    const Reg t1 = b.mulI(cnt, 251);
+    const Reg t2 = b.add(t1, fault);
+    b.binOpTo(acc, Opcode::Add, acc, t2);
+    const Reg moff = b.shlI(i, 3);
+    const Reg mut = b.load(b.add(mbase, moff), 0);
+    b.br(mut, maybe_mut, latch);
+
+    b.setInsertPoint(maybe_mut);
+    // mut encodes: 1 => set a breakpoint, 2 => reset one.
+    const Reg slot = b.andI(addr, kBrkEntries - 1);
+    const Reg is_set = b.cmpEqI(mut, 1);
+    b.br(is_set, do_set, after_set);
+
+    b.setInsertPoint(do_set);
+    const FuncId st = mod.findFunction("settmpbrk")->id();
+    b.callVoid(st, {slot, addr}, latch);
+
+    b.setInsertPoint(after_set);
+    const FuncId rs = mod.findFunction("rsttmpbrk")->id();
+    b.callVoid(rs, {slot}, latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    const Reg obase = b.movGA(out);
+    b.store(obase, 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildM88ksim()
+{
+    auto mod = std::make_shared<ir::Module>("m88ksim");
+
+    const GlobalId brktable =
+        mod->addGlobal("brktable", kBrkEntries * 16).id;
+    const GlobalId addrs =
+        mod->addGlobal("addr_stream", kMaxRequests * 8).id;
+    const GlobalId muts =
+        mod->addGlobal("mut_stream", kMaxRequests * 8).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    buildCkbrkpts(*mod, brktable);
+    buildSettmpbrk(*mod, brktable);
+    buildRsttmpbrk(*mod, brktable);
+    buildAlignfault(*mod);
+    addHeapScan(*mod, "memimage", 512, 10, 0x88551ULL);
+    buildMain(*mod, addrs, muts, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "m88ksim";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0x88'0001 : 0x88'0002);
+        const std::size_t n = train ? 4500 : 6000;
+        // Probed addresses recur heavily: the simulated program keeps
+        // touching the same few code addresses.
+        const auto addrs = zipfRequests(
+            rng, n, train ? 10 : 14, train ? 1.6 : 1.5, [](Rng &r) {
+                return static_cast<std::int64_t>(
+                    (r.nextBelow(1 << 20) << 2) | 0x40000000);
+            });
+        // Breakpoint updates are rare (~1.5% of requests).
+        std::vector<std::int64_t> muts(n, 0);
+        for (auto &m : muts) {
+            if (rng.nextBool(0.015))
+                m = rng.nextBool(0.5) ? 1 : 2;
+        }
+        fillGlobal64(machine, "addr_stream", addrs);
+        fillGlobal64(machine, "mut_stream", muts);
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

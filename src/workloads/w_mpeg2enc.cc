@@ -1,0 +1,360 @@
+/**
+ * @file
+ * `mpeg2enc` — models the MediaBench MPEG-2 encoder. In low-motion
+ * video the motion estimator keeps evaluating the same small vectors
+ * and the quantizer keeps seeing the same coefficient magnitudes.
+ * Kernels: motion-vector cost (const rate table over (dx,dy)),
+ * coefficient quantize/clip through the const clip table, a 5-input
+ * prediction select, and an 8-pixel SAD row loop over the malloc'd
+ * frame buffer — the SAD walk is anonymous memory, so the compiler
+ * cannot capture it (only the limit study sees its recurrence).
+ */
+
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+constexpr int kFramePixels = 1024;
+
+using namespace ccr::ir;
+
+/** mv_cost(dx, dy): rate-table lookup + quadratic penalty. */
+void
+buildMvCost(Module &mod, GlobalId rate)
+{
+    Function &f = mod.addFunction("mv_cost", 2);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg dx = 0;
+    const Reg dy = 1;
+    const Reg ax = b.andI(dx, 31);
+    const Reg ay = b.andI(dy, 31);
+    const Reg rb = b.movGA(rate);
+    const Reg rx = b.load(b.add(rb, ax), 0, MemSize::Byte, true);
+    const Reg ry = b.load(b.add(rb, ay), 0, MemSize::Byte, true);
+    const Reg lin = b.add(rx, ry);
+    const Reg quad = b.mul(ax, ay);
+    const Reg cost = b.add(b.shlI(lin, 2), b.shrI(quad, 1));
+    b.ret(cost);
+}
+
+/**
+ * predict(dx, dy, cx, cy, mode): motion-compensated prediction
+ * select — five correlated register inputs, stateless (SL_6 group).
+ */
+void
+buildPredict(Module &mod)
+{
+    Function &f = mod.addFunction("predict", 5);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg dx = 0;
+    const Reg dy = 1;
+    const Reg cx = 2;
+    const Reg cy = 3;
+    const Reg mode = 4;
+    const Reg vx = b.add(b.shlI(dx, 1), cx);
+    const Reg vy = b.add(b.shlI(dy, 1), cy);
+    const Reg mag = b.add(b.mul(vx, vx), b.mul(vy, vy));
+    const Reg sel = b.mulI(mode, 13);
+    const Reg t = b.xorR(mag, sel);
+    const Reg folded = b.xorR(t, b.shrI(t, 7));
+    b.ret(b.andI(folded, 0x3fff));
+}
+
+/** coef_quant(c, q): quantize + clip through the const clip table. */
+void
+buildCoefQuant(Module &mod, GlobalId clip)
+{
+    Function &f = mod.addFunction("coef_quant", 2);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg c = 0;
+    const Reg q = 1;
+    const Reg qq = b.orI(b.andI(q, 30), 2);
+    const Reg scaled = b.div(b.mulI(c, 16), qq);
+    const Reg biased = b.addI(scaled, 512);
+    const Reg idx = b.andI(biased, 1023);
+    const Reg cb = b.movGA(clip);
+    const Reg clipped = b.load(b.add(cb, idx), 0, MemSize::Byte, true);
+    const Reg packed = b.add(b.shlI(clipped, 1), b.andI(c, 1));
+    b.ret(packed);
+}
+
+/** sad_row(off_a, off_b): 8-pixel SAD over the frame buffer. */
+void
+buildSadRow(Module &mod, GlobalId frame_ptr)
+{
+    Function &f = mod.addFunction("sad_row", 2);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId neg = b.newBlock();
+    const BlockId acc_bb = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId out = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg off_a = 0;
+    const Reg off_b = 1;
+    const Reg k = b.reg();
+    const Reg sad = b.reg();
+    const Reg diff = b.reg();
+
+    b.setInsertPoint(entry);
+    // Frame buffers are malloc'd: the SAD walk stays anonymous and the
+    // compiler cannot form a region over it, exactly like real video
+    // data.
+    const Reg base = b.load(b.movGA(frame_ptr), 0);
+    const Reg pa = b.add(base, b.andI(off_a, kFramePixels - 8));
+    const Reg pb = b.add(base, b.andI(off_b, kFramePixels - 8));
+    b.movITo(k, 0);
+    b.movITo(sad, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLtI(k, 8);
+    b.br(more, body, out);
+
+    b.setInsertPoint(body);
+    const Reg va = b.load(b.add(pa, k), 0, MemSize::Byte, true);
+    const Reg vb = b.load(b.add(pb, k), 0, MemSize::Byte, true);
+    b.binOpTo(diff, Opcode::Sub, va, vb);
+    const Reg isneg = b.cmpLtI(diff, 0);
+    b.br(isneg, neg, acc_bb);
+
+    b.setInsertPoint(neg);
+    b.binOpTo(diff, Opcode::Sub, b.movI(0), diff);
+    b.jump(acc_bb);
+
+    b.setInsertPoint(acc_bb);
+    b.binOpTo(sad, Opcode::Add, sad, diff);
+    b.jump(latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(k, Opcode::Add, k, 1);
+    b.jump(header);
+
+    b.setInsertPoint(out);
+    b.ret(sad);
+}
+
+/** touch_frame(off, v): frame update between pictures (mutator). */
+void
+buildTouchFrame(Module &mod, GlobalId frame_ptr)
+{
+    Function &f = mod.addFunction("touch_frame", 2);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg off = 0;
+    const Reg v = 1;
+    const Reg base = b.load(b.movGA(frame_ptr), 0);
+    const Reg p = b.add(base, b.andI(off, kFramePixels - 1));
+    b.store(p, 0, v, MemSize::Byte);
+    b.ret();
+}
+
+/** frame_init(): heap-allocate the frame and copy the initial image
+ *  from the setup global. */
+void
+buildFrameInit(Module &mod, GlobalId frame_setup, GlobalId frame_ptr)
+{
+    Function &f = mod.addFunction("frame_init", 0);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId done = b.newBlock();
+    const Reg j = b.reg();
+    const Reg p = b.reg();
+
+    b.setInsertPoint(entry);
+    {
+        Inst a;
+        a.op = Opcode::Alloc;
+        a.dst = p;
+        a.srcImm = true;
+        a.imm = kFramePixels;
+        b.emit(a);
+    }
+    b.movITo(j, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLtI(j, kFramePixels / 8);
+    b.br(more, body, done);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(j, 3);
+    const Reg v = b.load(b.add(b.movGA(frame_setup), off), 0);
+    b.store(b.add(p, off), 0, v);
+    b.binOpITo(j, Opcode::Add, j, 1);
+    b.jump(header);
+
+    b.setInsertPoint(done);
+    b.store(b.movGA(frame_ptr), 0, p);
+    b.ret();
+}
+
+void
+buildMain(Module &mod, GlobalId reqs, GlobalId nreq, GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId setup = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId c1 = b.newBlock();
+    const BlockId c2 = b.newBlock();
+    const BlockId c3 = b.newBlock();
+    const BlockId c3b = b.newBlock();
+    const BlockId do_touch = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+
+    b.setInsertPoint(entry);
+    b.callVoid(mod.findFunction("frame_init")->id(), {}, setup);
+
+    b.setInsertPoint(setup);
+    const Reg n = b.load(b.movGA(nreq), 0);
+    const Reg rbase = b.movGA(reqs);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLt(i, n);
+    b.br(more, body, exit);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    const Reg req = b.load(b.add(rbase, off), 0);
+    // req: [dx:5][dy:5][coef:10][q:5][blk:10]
+    const Reg dx = b.andI(req, 31);
+    const Reg dy = b.andI(b.shrI(req, 5), 31);
+    const Reg cost = b.call(mod.findFunction("mv_cost")->id(),
+                            {dx, dy}, c1);
+
+    b.setInsertPoint(c1);
+    const Reg coef = b.subI(b.andI(b.shrI(req, 10), 1023), 512);
+    const Reg q = b.andI(b.shrI(req, 20), 31);
+    const Reg cq = b.call(mod.findFunction("coef_quant")->id(),
+                          {coef, q}, c2);
+
+    b.setInsertPoint(c2);
+    const Reg blk = b.andI(b.shrI(req, 25), 1023);
+    const Reg blk2 = b.addI(blk, 128);
+    const Reg sad = b.call(mod.findFunction("sad_row")->id(),
+                           {blk, blk2}, c3);
+
+    b.setInsertPoint(c3);
+    const Reg cx = b.andI(b.shrI(req, 2), 15);
+    const Reg cy = b.andI(b.shrI(req, 7), 15);
+    const Reg mode = b.andI(b.shrI(req, 30), 3);
+    const Reg pred = b.call(mod.findFunction("predict")->id(),
+                            {dx, dy, cx, cy, mode}, c3b);
+
+    b.setInsertPoint(c3b);
+    b.binOpTo(acc, Opcode::Add, acc, pred);
+    const Reg d0 = b.mulI(i, 0xCC9E2D51);
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(d0, 0x3f));
+    b.binOpTo(acc, Opcode::Add, acc,
+              b.add(cost, b.add(cq, sad)));
+    // Frame updates at picture boundaries (~1% of requests).
+    const Reg touchp = b.cmpEqI(b.andI(i, 127), 127);
+    b.br(touchp, do_touch, latch);
+
+    b.setInsertPoint(do_touch);
+    b.callVoid(mod.findFunction("touch_frame")->id(), {req, i}, latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildMpeg2enc()
+{
+    auto mod = std::make_shared<ir::Module>("mpeg2enc");
+
+    std::vector<std::uint8_t> rate(32);
+    for (std::size_t i = 0; i < rate.size(); ++i)
+        rate[i] = static_cast<std::uint8_t>(2 * i + 1);
+    const GlobalId rg = addConstTable8(*mod, "mv_rate_tab", rate).id;
+
+    std::vector<std::uint8_t> clip(1024);
+    for (std::size_t i = 0; i < clip.size(); ++i) {
+        const int c = static_cast<int>(i) - 512;
+        clip[i] = static_cast<std::uint8_t>(
+            c < -128 ? 0 : (c > 127 ? 255 : c + 128));
+    }
+    const GlobalId cg = addConstTable8(*mod, "clip_tab", clip).id;
+    const GlobalId frame = mod->addGlobal("frame", kFramePixels).id;
+    const GlobalId frame_ptr = mod->addGlobal("frame_ptr", 8).id;
+    const GlobalId reqs =
+        mod->addGlobal("req_stream", kMaxRequests * 8).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    buildMvCost(*mod, rg);
+    buildPredict(*mod);
+    buildCoefQuant(*mod, cg);
+    buildSadRow(*mod, frame_ptr);
+    buildTouchFrame(*mod, frame_ptr);
+    buildFrameInit(*mod, frame, frame_ptr);
+    buildMain(*mod, reqs, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "mpeg2enc";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0x3E6'0001 : 0x3E6'0002);
+        const std::size_t n = train ? 4200 : 5400;
+        // Low-motion video: small vectors and coefficients recur.
+        const auto reqs = zipfRequests(
+            rng, n, train ? 24 : 30, train ? 1.45 : 1.35, [](Rng &r) {
+                const std::uint64_t dx = r.nextBelow(8);
+                const std::uint64_t dy = r.nextBelow(8);
+                const std::uint64_t coef = 512 + r.nextBelow(64) - 32;
+                const std::uint64_t q = 2 + r.nextBelow(8);
+                const std::uint64_t blk = r.nextBelow(32) * 8;
+                return static_cast<std::int64_t>(
+                    dx | (dy << 5) | (coef << 10) | (q << 20)
+                    | (blk << 25));
+            });
+        std::vector<std::int64_t> frame_words(kFramePixels / 8);
+        for (auto &wd : frame_words)
+            wd = static_cast<std::int64_t>(rng.next());
+        fillGlobal64(machine, "frame", frame_words);
+        fillGlobal64(machine, "req_stream", reqs);
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

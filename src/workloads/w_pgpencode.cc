@@ -1,0 +1,219 @@
+/**
+ * @file
+ * `pgpencode` — models MediaBench PGP encryption. The byte-folding /
+ * CRC-style kernels are long straight-line stateless regions whose
+ * inputs recur, but with *considerable dynamic variation*: the input
+ * pool is wide and only mildly skewed, so a computation entry needs
+ * many computation instances to capture the working set. This is the
+ * benchmark the paper calls out as most sensitive to the CI count in
+ * Figure 8(a); the input distribution here is tuned to reproduce that
+ * sensitivity.
+ */
+
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+
+using namespace ccr::ir;
+
+/** crc_fold(v): 4-step table-driven CRC over the word's bytes. */
+void
+buildCrcFold(Module &mod, GlobalId crc_tab)
+{
+    Function &f = mod.addFunction("crc_fold", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg v = 0;
+    const Reg tb = b.movGA(crc_tab);
+
+    Reg crc = b.movI(0xffff);
+    for (int step = 0; step < 6; ++step) {
+        const Reg byte = b.andI(b.shrI(v, 8 * step), 255);
+        const Reg mixed = b.xorR(crc, byte);
+        const Reg idx = b.andI(mixed, 255);
+        const Reg te = b.load(b.add(tb, b.shlI(idx, 3)), 0);
+        crc = b.xorR(b.shrI(crc, 8), te);
+    }
+    b.ret(crc);
+}
+
+/**
+ * cipher_round(a..f, key): one block-cipher round over seven
+ * correlated register inputs — a wide stateless region (SL_8 group).
+ */
+void
+buildCipherRound(Module &mod)
+{
+    Function &f = mod.addFunction("cipher_round", 7);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    // Consume all seven inputs up front so the whole round stays in
+    // one region with the full live-in set.
+    const Reg p0 = b.xorR(0, 6); // a ^ key
+    const Reg p1 = b.add(1, 2);
+    const Reg p2 = b.xorR(3, 4);
+    const Reg p3 = b.mulI(5, 43);
+    Reg st = b.add(b.mulI(p0, 17), p1);
+    st = b.xorR(st, b.shlI(p2, 3));
+    st = b.add(st, p3);
+    const Reg spread = b.xorR(st, b.shrI(st, 13));
+    b.ret(b.andI(spread, 0xffffff));
+}
+
+/** mix_block(v, key): one round of a toy Feistel-ish mixer. */
+void
+buildMixBlock(Module &mod)
+{
+    Function &f = mod.addFunction("mix_block", 2);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg v = 0;
+    const Reg key = 1;
+    const Reg lo = b.andI(v, 0xffffffffLL);
+    const Reg hi = b.shrI(v, 32);
+    const Reg r1 = b.xorR(lo, key);
+    const Reg r2 = b.mulI(r1, 0x85EBCA6B);
+    const Reg r3 = b.xorR(r2, b.shrI(r2, 13));
+    const Reg r4 = b.add(hi, r3);
+    const Reg r5 = b.mulI(r4, 0xC2B2AE35);
+    const Reg r6 = b.xorR(r5, b.shrI(r5, 16));
+    const Reg joined = b.orR(b.shlI(b.andI(r6, 0xffff), 16),
+                             b.andI(r3, 0xffff));
+    b.ret(joined);
+}
+
+void
+buildMain(Module &mod, GlobalId words, GlobalId keys, GlobalId nreq,
+          GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId c1 = b.newBlock();
+    const BlockId c2 = b.newBlock();
+    const BlockId c2b = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+
+    b.setInsertPoint(entry);
+    const Reg n = b.load(b.movGA(nreq), 0);
+    const Reg wbase = b.movGA(words);
+    const Reg kbase = b.movGA(keys);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLt(i, n);
+    b.br(more, body, exit);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    const Reg v = b.load(b.add(wbase, off), 0);
+    const Reg crc = b.call(mod.findFunction("crc_fold")->id(), {v},
+                           c1);
+
+    b.setInsertPoint(c1);
+    const Reg key = b.load(b.add(kbase, off), 0);
+    const Reg mixed = b.call(mod.findFunction("mix_block")->id(),
+                             {v, key}, c2);
+
+    b.setInsertPoint(c2);
+    const Reg ba = b.andI(v, 0xff);
+    const Reg bb2 = b.andI(b.shrI(v, 8), 0xff);
+    const Reg bc = b.andI(b.shrI(v, 16), 0xff);
+    const Reg bd = b.andI(b.shrI(v, 24), 0xff);
+    const Reg be = b.andI(b.shrI(v, 32), 0xff);
+    const Reg bf = b.andI(b.shrI(v, 40), 0xff);
+    const Reg round = b.call(mod.findFunction("cipher_round")->id(),
+                             {ba, bb2, bc, bd, be, bf, key}, c2b);
+
+    b.setInsertPoint(c2b);
+    b.binOpTo(acc, Opcode::Add, acc, round);
+    const Reg d0 = b.mulI(i, 0x165667B1);
+    const Reg d1 = b.xorR(d0, b.shrI(d0, 11));
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(d1, 0xff));
+    b.binOpTo(acc, Opcode::Add, acc, b.add(crc, mixed));
+    b.jump(latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildPgpencode()
+{
+    auto mod = std::make_shared<ir::Module>("pgpencode");
+
+    std::vector<std::int64_t> crc_tab(256);
+    for (std::size_t i = 0; i < crc_tab.size(); ++i) {
+        std::uint64_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c >> 1) ^ ((c & 1) ? 0xEDB88320ULL : 0);
+        crc_tab[i] = static_cast<std::int64_t>(c);
+    }
+    const GlobalId ct = addConstTable64(*mod, "crc_tab", crc_tab).id;
+    const GlobalId words =
+        mod->addGlobal("word_stream", kMaxRequests * 8).id;
+    const GlobalId keys =
+        mod->addGlobal("key_stream", kMaxRequests * 8).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    buildCrcFold(*mod, ct);
+    buildMixBlock(*mod);
+    buildCipherRound(*mod);
+    buildMain(*mod, words, keys, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "pgpencode";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0x969'0001 : 0x969'0002);
+        const std::size_t n = train ? 5000 : 6500;
+        // Mild skew over a wide pool: per-instruction invariance just
+        // clears the formation threshold, but capturing the working
+        // set takes many CIs (the CI-count-sensitivity driver).
+        const auto words = zipfRequests(
+            rng, n, 16, train ? 1.05 : 1.0, [](Rng &r) {
+                return static_cast<std::int64_t>(r.next() >> 16);
+            });
+        // One session key per encryption run.
+        const auto session_key =
+            static_cast<std::int64_t>(rng.next() & 0xffffffff);
+        std::vector<std::int64_t> keys(n, session_key);
+        fillGlobal64(machine, "word_stream", words);
+        fillGlobal64(machine, "key_stream", keys);
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

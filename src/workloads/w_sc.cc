@@ -1,0 +1,234 @@
+/**
+ * @file
+ * `sc` — models SPEC92 072.sc (spreadsheet). Recalculation repeatedly
+ * re-evaluates cell formulas whose operand cells rarely change between
+ * recalcs: an eval kernel loads two operand cells from the mutable
+ * cell table (memory-dependent region) and combines them; cell edits
+ * are sparse stores that invalidate recorded computations. Address
+ * arithmetic (row/col encoding) provides stateless regions.
+ */
+
+#include "workloads/heapscan.hh"
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+constexpr int kCells = 64;
+
+using namespace ccr::ir;
+
+/** cell_addr(row, col): stateless coordinate encoding. */
+void
+buildCellAddr(Module &mod)
+{
+    Function &f = mod.addFunction("cell_addr", 2);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg row = 0;
+    const Reg col = 1;
+    const Reg r = b.andI(row, 7);
+    const Reg c = b.andI(col, 7);
+    const Reg idx = b.orR(b.shlI(r, 3), c);
+    const Reg tag = b.add(b.mulI(r, 13), b.mulI(c, 7));
+    const Reg enc = b.orR(b.shlI(tag, 8), idx);
+    b.ret(enc);
+}
+
+/**
+ * eval_formula(ia, ib, kind): v = cells[ia] (op kind) cells[ib],
+ * clamped — a memory-dependent acyclic region over the cell table.
+ */
+void
+buildEvalFormula(Module &mod, GlobalId cells)
+{
+    Function &f = mod.addFunction("eval_formula", 3);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId arm_sum = b.newBlock();
+    const BlockId arm_prod = b.newBlock();
+    const BlockId tail = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg ia = 0;
+    const Reg ib = 1;
+    const Reg kind = 2;
+    const Reg v = b.reg();
+
+    b.setInsertPoint(entry);
+    const Reg base = b.movGA(cells);
+    const Reg va = b.load(b.add(base, b.shlI(b.andI(ia, kCells - 1),
+                                             3)), 0);
+    const Reg vb = b.load(b.add(base, b.shlI(b.andI(ib, kCells - 1),
+                                             3)), 0);
+    const Reg is_sum = b.cmpEqI(kind, 0);
+    b.br(is_sum, arm_sum, arm_prod);
+
+    b.setInsertPoint(arm_sum);
+    b.binOpTo(v, Opcode::Add, va, vb);
+    b.jump(tail);
+
+    b.setInsertPoint(arm_prod);
+    const Reg p = b.mul(va, vb);
+    b.binOpTo(v, Opcode::Sra, p, b.movI(4));
+    b.jump(tail);
+
+    b.setInsertPoint(tail);
+    const Reg clamped = b.andI(v, (1 << 24) - 1);
+    b.ret(clamped);
+}
+
+/** set_cell(idx, value): spreadsheet edit (mutator). */
+void
+buildSetCell(Module &mod, GlobalId cells)
+{
+    Function &f = mod.addFunction("set_cell", 2);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg idx = 0;
+    const Reg value = 1;
+    const Reg base = b.movGA(cells);
+    const Reg off = b.shlI(b.andI(idx, kCells - 1), 3);
+    b.store(b.add(base, off), 0, value);
+    b.ret();
+}
+
+void
+buildMain(Module &mod, GlobalId formulas, GlobalId edits, GlobalId nreq,
+          GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId setup = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId c1 = b.newBlock();
+    const BlockId c2 = b.newBlock();
+    const BlockId c3 = b.newBlock();
+    const BlockId do_edit = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+
+    b.setInsertPoint(entry);
+    b.callVoid(mod.findFunction("deptree_init")->id(), {}, setup);
+
+    b.setInsertPoint(setup);
+    const Reg n = b.load(b.movGA(nreq), 0);
+    const Reg fbase = b.movGA(formulas);
+    const Reg ebase = b.movGA(edits);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLt(i, n);
+    b.br(more, body, exit);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    const Reg fm = b.load(b.add(fbase, off), 0);
+    // Formula encoding: [ia:8][ib:8][kind:1].
+    const Reg ia = b.andI(b.shrI(fm, 9), 0xff);
+    const Reg ib = b.andI(b.shrI(fm, 1), 0xff);
+    const Reg kind = b.andI(fm, 1);
+    const Reg val = b.call(mod.findFunction("eval_formula")->id(),
+                           {ia, ib, kind}, c1);
+
+    b.setInsertPoint(c1);
+    const Reg enc = b.call(mod.findFunction("cell_addr")->id(),
+                           {ia, ib}, c2);
+
+    // Dependency-tree walk over the heap-resident expression graph.
+    b.setInsertPoint(c2);
+    const Reg dep = b.call(mod.findFunction("deptree_scan")->id(),
+                           {ia}, c3);
+
+    b.setInsertPoint(c3);
+    b.binOpTo(acc, Opcode::Add, acc, dep);
+    const Reg d0 = b.mulI(i, 0x1B873593);
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(d0, 0x3f));
+    b.binOpTo(acc, Opcode::Add, acc, b.add(val, enc));
+    const Reg ed = b.load(b.add(ebase, off), 0);
+    b.br(ed, do_edit, latch);
+
+    b.setInsertPoint(do_edit);
+    b.callVoid(mod.findFunction("set_cell")->id(), {ed, acc}, latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildSc()
+{
+    auto mod = std::make_shared<ir::Module>("sc");
+
+    const GlobalId cells = mod->addGlobal("cells", kCells * 8).id;
+    const GlobalId formulas =
+        mod->addGlobal("formula_stream", kMaxRequests * 8).id;
+    const GlobalId edits =
+        mod->addGlobal("edit_stream", kMaxRequests * 8).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    buildCellAddr(*mod);
+    buildEvalFormula(*mod, cells);
+    buildSetCell(*mod, cells);
+    addHeapScan(*mod, "deptree", 128, 8, 0x5CDE1ULL);
+    buildMain(*mod, formulas, edits, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "sc";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0x5C'0001 : 0x5C'0002);
+        const std::size_t n = train ? 5200 : 6800;
+        // A recalc revisits the same formulas; edits touch ~2% of
+        // requests.
+        const auto formulas = zipfRequests(
+            rng, n, train ? 22 : 28, train ? 1.5 : 1.4, [](Rng &r) {
+                return static_cast<std::int64_t>(r.nextBelow(1 << 17));
+            });
+        std::vector<std::int64_t> edits(n, 0);
+        for (auto &e : edits) {
+            if (rng.nextBool(0.02))
+                e = static_cast<std::int64_t>(1
+                                              + rng.nextBelow(kCells - 1));
+        }
+        // Initial cell contents.
+        std::vector<std::int64_t> init(kCells);
+        for (auto &v : init)
+            v = static_cast<std::int64_t>(rng.nextBelow(1 << 16));
+        fillGlobal64(machine, "cells", init);
+        fillGlobal64(machine, "formula_stream", formulas);
+        fillGlobal64(machine, "edit_stream", edits);
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * `vortex` — models SPEC95 147.vortex (object-oriented database).
+ * Transactions repeatedly validate the same objects: a validation
+ * kernel chases type and bounds fields through two mutable tables
+ * (an MD region over two distinguishable structures), while inserts
+ * and updates are sparse. A stateless key-encode kernel rounds out the
+ * mix.
+ */
+
+#include "workloads/heapscan.hh"
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+constexpr int kObjects = 48;
+
+using namespace ccr::ir;
+
+/**
+ * validate(obj): t = types[obj]; lim = limits[t & 7];
+ * ok-chain with branches; returns a validation code.
+ * Reads two distinguishable memory structures (MD_x_2 group).
+ */
+void
+buildValidate(Module &mod, GlobalId types, GlobalId limits)
+{
+    Function &f = mod.addFunction("validate", 1);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId has_type = b.newBlock();
+    const BlockId bad = b.newBlock();
+    const BlockId tail = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg obj = 0;
+    const Reg code = b.reg();
+
+    b.setInsertPoint(entry);
+    const Reg tb = b.movGA(types);
+    const Reg idx = b.andI(obj, kObjects - 1);
+    const Reg t = b.load(b.add(tb, b.shlI(idx, 3)), 0);
+    const Reg has = b.cmpNeI(t, 0);
+    b.br(has, has_type, bad);
+
+    b.setInsertPoint(has_type);
+    const Reg lb = b.movGA(limits);
+    const Reg lim = b.load(b.add(lb, b.shlI(b.andI(t, 7), 3)), 0);
+    const Reg within = b.cmpLt(idx, lim);
+    const Reg t9 = b.mulI(t, 9);
+    b.binOpTo(code, Opcode::Add, t9, within);
+    b.jump(tail);
+
+    b.setInsertPoint(bad);
+    b.movITo(code, -1);
+    b.jump(tail);
+
+    b.setInsertPoint(tail);
+    const Reg folded = b.andI(code, 0xff);
+    b.ret(folded);
+}
+
+/**
+ * audit(obj, txn, flags, depth): transaction audit consulting the
+ * object type table — a memory-dependent region with four register
+ * inputs over one structure (the paper's MD_6_1 group).
+ */
+void
+buildAudit(Module &mod, GlobalId types)
+{
+    Function &f = mod.addFunction("audit", 4);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg obj = 0;
+    const Reg txn = 1;
+    const Reg flags = 2;
+    const Reg depth = 3;
+    const Reg tb = b.movGA(types);
+    const Reg t = b.load(
+        b.add(tb, b.shlI(b.andI(obj, kObjects - 1), 3)), 0);
+    const Reg m1 = b.mulI(t, 41);
+    const Reg m2 = b.add(m1, b.mul(txn, depth));
+    const Reg m3 = b.xorR(m2, b.shlI(flags, 3));
+    const Reg m4 = b.xorR(m3, b.shrI(m3, 9));
+    b.ret(b.andI(m4, 0xffff));
+}
+
+/** key_encode(key): stateless key hashing (Vortex's Chunk keys). */
+void
+buildKeyEncode(Module &mod)
+{
+    Function &f = mod.addFunction("key_encode", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg key = 0;
+    const Reg k1 = b.xorR(key, b.shrI(key, 11));
+    const Reg k2 = b.mulI(k1, 0x45D9F3B);
+    const Reg k3 = b.xorR(k2, b.shrI(k2, 9));
+    const Reg k4 = b.andI(k3, 0xfffff);
+    const Reg k5 = b.orR(k4, b.shlI(b.andI(key, 7), 20));
+    b.ret(k5);
+}
+
+/** update_object(obj, t): re-types an object (mutator). */
+void
+buildUpdateObject(Module &mod, GlobalId types)
+{
+    Function &f = mod.addFunction("update_object", 2);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg obj = 0;
+    const Reg t = 1;
+    const Reg tb = b.movGA(types);
+    const Reg idx = b.andI(obj, kObjects - 1);
+    b.store(b.add(tb, b.shlI(idx, 3)), 0, t);
+    b.ret();
+}
+
+void
+buildMain(Module &mod, GlobalId objs, GlobalId nreq, GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId setup = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId c1 = b.newBlock();
+    const BlockId c2 = b.newBlock();
+    const BlockId c3 = b.newBlock();
+    const BlockId c3b = b.newBlock();
+    const BlockId do_upd = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+
+    b.setInsertPoint(entry);
+    b.callVoid(mod.findFunction("chunk_init")->id(), {}, setup);
+
+    b.setInsertPoint(setup);
+    const Reg n = b.load(b.movGA(nreq), 0);
+    const Reg obase = b.movGA(objs);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLt(i, n);
+    b.br(more, body, exit);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    const Reg req = b.load(b.add(obase, off), 0);
+    const Reg obj = b.andI(req, 0xffff);
+    const Reg code = b.call(mod.findFunction("validate")->id(), {obj},
+                            c1);
+
+    b.setInsertPoint(c1);
+    const Reg enc = b.call(mod.findFunction("key_encode")->id(), {req},
+                           c2);
+
+    // Chunk-memory traversal: Vortex's object store lives on the
+    // heap, invisible to the region former.
+    b.setInsertPoint(c2);
+    const Reg chunk = b.call(mod.findFunction("chunk_scan")->id(),
+                             {obj}, c3);
+
+    b.setInsertPoint(c3);
+    const Reg txn = b.andI(b.shrI(req, 16), 3);
+    const Reg flags = b.andI(b.shrI(req, 18), 7);
+    const Reg depth = b.addI(b.andI(b.shrI(req, 21), 3), 1);
+    const Reg au = b.call(mod.findFunction("audit")->id(),
+                          {obj, txn, flags, depth}, c3b);
+
+    b.setInsertPoint(c3b);
+    b.binOpTo(acc, Opcode::Add, acc, au);
+    b.binOpTo(acc, Opcode::Add, acc, chunk);
+    const Reg d0 = b.mulI(i, 0x61C88647);
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(d0, 0x1f));
+    b.binOpTo(acc, Opcode::Add, acc,
+              b.add(code, b.andI(enc, 0xfff)));
+    // ~2.5% of transactions mutate an object's type.
+    const Reg updp = b.cmpEqI(b.andI(req, 0x7f0000), 0x130000);
+    b.br(updp, do_upd, latch);
+
+    b.setInsertPoint(do_upd);
+    const Reg t = b.addI(b.andI(req, 7), 1);
+    b.callVoid(mod.findFunction("update_object")->id(), {obj, t},
+               latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildVortex()
+{
+    auto mod = std::make_shared<ir::Module>("vortex");
+
+    const GlobalId types = mod->addGlobal("obj_types", kObjects * 8).id;
+    const GlobalId limits = mod->addGlobal("type_limits", 8 * 8).id;
+    const GlobalId objs =
+        mod->addGlobal("txn_stream", kMaxRequests * 8).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    buildValidate(*mod, types, limits);
+    buildAudit(*mod, types);
+    buildKeyEncode(*mod);
+    buildUpdateObject(*mod, types);
+    addHeapScan(*mod, "chunk", 256, 10, 0xF0AC1ULL);
+    buildMain(*mod, objs, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "vortex";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0xF0'0001 : 0xF0'0002);
+        const std::size_t n = train ? 5200 : 6800;
+        // Transactions revisit a small hot set of objects.
+        const auto txns = zipfRequests(
+            rng, n, train ? 16 : 22, train ? 1.5 : 1.4, [](Rng &r) {
+                return static_cast<std::int64_t>(r.nextBelow(1 << 23));
+            });
+        std::vector<std::int64_t> types(kObjects);
+        for (auto &t : types)
+            t = static_cast<std::int64_t>(rng.nextBelow(8));
+        std::vector<std::int64_t> limits(8);
+        for (auto &l : limits)
+            l = static_cast<std::int64_t>(8 + rng.nextBelow(40));
+        fillGlobal64(machine, "obj_types", types);
+        fillGlobal64(machine, "type_limits", limits);
+        fillGlobal64(machine, "txn_stream", txns);
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

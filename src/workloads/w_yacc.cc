@@ -1,0 +1,241 @@
+/**
+ * @file
+ * `yacc` — models UNIX yacc. LALR parsing walks const action and goto
+ * tables over (state, token) pairs; grammars hit the same few
+ * productions constantly. The action-resolution kernel includes the
+ * default-reduction fallback branch, so regions span control, and a
+ * production-length kernel adds a second const-table region.
+ */
+
+#include "workloads/dispatch.hh"
+#include "workloads/heapscan.hh"
+#include "workloads/support.hh"
+#include "workloads/workload.hh"
+
+#include "ir/builder.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequests = 16384;
+constexpr int kStates = 32;
+constexpr int kTokens = 16;
+
+using namespace ccr::ir;
+
+/**
+ * parse_action(state, tok): a = action[state*kTokens + tok]; if a == 0
+ * use defred[state]; fold shift/reduce decision.
+ */
+void
+buildParseAction(Module &mod, GlobalId action, GlobalId defred)
+{
+    Function &f = mod.addFunction("parse_action", 2);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId use_def = b.newBlock();
+    const BlockId tail = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg state = 0;
+    const Reg tok = 1;
+    const Reg act = b.reg();
+
+    b.setInsertPoint(entry);
+    const Reg ab = b.movGA(action);
+    const Reg row = b.mulI(b.andI(state, kStates - 1), kTokens);
+    const Reg cell = b.add(row, b.andI(tok, kTokens - 1));
+    const Reg raw = b.load(b.add(ab, cell), 0, MemSize::Byte, true);
+    b.movTo(act, raw);
+    const Reg none = b.cmpEqI(raw, 0);
+    b.br(none, use_def, tail);
+
+    b.setInsertPoint(use_def);
+    const Reg db = b.movGA(defred);
+    const Reg def = b.load(b.add(db, b.andI(state, kStates - 1)), 0,
+                           MemSize::Byte, true);
+    b.movTo(act, def);
+    b.jump(tail);
+
+    b.setInsertPoint(tail);
+    const Reg kindbit = b.andI(act, 0x80);
+    const Reg packed = b.orR(b.shlI(kindbit, 1), b.andI(act, 0x7f));
+    b.ret(packed);
+}
+
+/** rule_info(rule): const lhs/len tables + stack-delta arithmetic. */
+void
+buildRuleInfo(Module &mod, GlobalId lhs, GlobalId len)
+{
+    Function &f = mod.addFunction("rule_info", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg rule = 0;
+    const Reg r = b.andI(rule, 63);
+    const Reg lb = b.movGA(lhs);
+    const Reg l = b.load(b.add(lb, r), 0, MemSize::Byte, true);
+    const Reg nb = b.movGA(len);
+    const Reg ln = b.load(b.add(nb, r), 0, MemSize::Byte, true);
+    const Reg delta = b.sub(b.movI(1), ln);
+    const Reg packed = b.add(b.shlI(l, 8), b.andI(delta, 0xff));
+    b.ret(packed);
+}
+
+void
+buildMain(Module &mod, GlobalId toks, GlobalId nreq, GlobalId out)
+{
+    Function &f = mod.addFunction("main", 0);
+    IRBuilder b(f);
+
+    const BlockId entry = b.newBlock();
+    const BlockId setup = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId c1 = b.newBlock();
+    const BlockId c1b = b.newBlock();
+    const BlockId reduce = b.newBlock();
+    const BlockId c2 = b.newBlock();
+    const BlockId c2b = b.newBlock();
+    const BlockId shift = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    f.setEntry(entry);
+
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+    const Reg state = b.reg();
+
+    b.setInsertPoint(entry);
+    b.callVoid(mod.findFunction("valstack_init")->id(), {}, setup);
+
+    b.setInsertPoint(setup);
+    const Reg n = b.load(b.movGA(nreq), 0);
+    const Reg tbase = b.movGA(toks);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.movITo(state, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    const Reg more = b.cmpLt(i, n);
+    b.br(more, body, exit);
+
+    b.setInsertPoint(body);
+    const Reg off = b.shlI(i, 3);
+    const Reg tok = b.load(b.add(tbase, off), 0);
+    const Reg act = b.call(mod.findFunction("parse_action")->id(),
+                           {state, tok}, c1);
+
+    // Semantic value stack manipulation on the heap: anonymous.
+    b.setInsertPoint(c1);
+    const Reg vs = b.call(mod.findFunction("valstack_scan")->id(),
+                          {tok}, c1b);
+
+    b.setInsertPoint(c1b);
+    b.binOpTo(acc, Opcode::Add, acc, vs);
+    const Reg d0 = b.mulI(i, 0x2D51E995);
+    b.binOpTo(acc, Opcode::Add, acc, b.andI(d0, 0x1f));
+    const Reg is_reduce = b.andI(act, 0x100);
+    b.br(is_reduce, reduce, shift);
+
+    b.setInsertPoint(reduce);
+    const Reg rule = b.andI(act, 0x7f);
+    const Reg info = b.call(mod.findFunction("rule_info")->id(),
+                            {rule}, c2);
+
+    // Each production has its own semantic action.
+    b.setInsertPoint(c2);
+    const Reg action = b.call(mod.findFunction("rule_action")->id(),
+                              {rule, tok}, c2b);
+
+    b.setInsertPoint(c2b);
+    b.binOpTo(acc, Opcode::Add, acc, action);
+    b.binOpTo(acc, Opcode::Add, acc, info);
+    // Real parsers revisit a handful of hot states.
+    b.binOpITo(state, Opcode::And, b.shrI(info, 8), 7);
+    b.jump(latch);
+
+    b.setInsertPoint(shift);
+    b.binOpTo(acc, Opcode::Add, acc, act);
+    b.binOpITo(state, Opcode::And, act, 7);
+    b.jump(latch);
+
+    b.setInsertPoint(latch);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+}
+
+} // namespace
+
+Workload
+buildYacc()
+{
+    auto mod = std::make_shared<ir::Module>("yacc");
+
+    Rng tab_rng(0xA11CE);
+    std::vector<std::uint8_t> action(
+        static_cast<std::size_t>(kStates * kTokens));
+    for (auto &a : action) {
+        // ~40% explicit entries; bit 7 marks reductions.
+        if (tab_rng.nextBool(0.4)) {
+            a = static_cast<std::uint8_t>(
+                (tab_rng.nextBool(0.5) ? 0x80 : 0)
+                | (1 + tab_rng.nextBelow(60)));
+        } else {
+            a = 0;
+        }
+    }
+    std::vector<std::uint8_t> defred(kStates);
+    for (auto &d : defred)
+        d = static_cast<std::uint8_t>(0x80 | (1 + tab_rng.nextBelow(60)));
+    std::vector<std::uint8_t> lhs(64), len(64);
+    for (std::size_t r = 0; r < 64; ++r) {
+        lhs[r] = static_cast<std::uint8_t>(tab_rng.nextBelow(kStates));
+        len[r] = static_cast<std::uint8_t>(1 + tab_rng.nextBelow(5));
+    }
+
+    const GlobalId ag = addConstTable8(*mod, "yy_action", action).id;
+    const GlobalId dg = addConstTable8(*mod, "yy_defred", defred).id;
+    const GlobalId lg = addConstTable8(*mod, "yy_lhs", lhs).id;
+    const GlobalId ng = addConstTable8(*mod, "yy_len", len).id;
+    const GlobalId toks =
+        mod->addGlobal("token_stream", kMaxRequests * 8).id;
+    const GlobalId nreq = mod->addGlobal("n_requests", 8).id;
+    const GlobalId out = mod->addGlobal("out_sum", 8).id;
+
+    buildParseAction(*mod, ag, dg);
+    buildRuleInfo(*mod, lg, ng);
+    addHeapScan(*mod, "valstack", 64, 10, 0xACC01ULL);
+    addDispatchKernel(*mod, "rule_action", 5, 0, 0xACC77ULL);
+    buildMain(*mod, toks, nreq, out);
+    mod->setEntryFunction(mod->findFunction("main")->id());
+
+    Workload w;
+    w.name = "yacc";
+    w.module = mod;
+    w.outputGlobals = {"out_sum"};
+    w.prepare = [](emu::Machine &machine, InputSet set) {
+        const bool train = set == InputSet::Train;
+        Rng rng(train ? 0xAC'0001 : 0xAC'0002);
+        const std::size_t n = train ? 7000 : 9000;
+        // Grammar token streams are extremely skewed: identifiers
+        // and a few operators dominate real source text.
+        const auto toks = zipfRequests(
+            rng, n, train ? 8 : 10, train ? 2.0 : 1.9, [](Rng &r) {
+                return static_cast<std::int64_t>(r.nextBelow(kTokens));
+            });
+        fillGlobal64(machine, "token_stream", toks);
+        setGlobal64(machine, "n_requests",
+                    static_cast<std::int64_t>(n));
+    };
+    return w;
+}
+
+} // namespace ccr::workloads

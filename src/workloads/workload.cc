@@ -1,0 +1,69 @@
+#include "workloads/workload.hh"
+
+#include "support/logging.hh"
+
+namespace ccr::workloads
+{
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"espresso", "sc",     "go",     "m88ksim",  "gcc",
+            "compress", "li",     "ijpeg",  "vortex",   "lex",
+            "yacc",     "mpeg2enc", "pgpencode"};
+}
+
+Workload
+buildWorkload(const std::string &name)
+{
+    if (name == "espresso")
+        return buildEspresso();
+    if (name == "sc")
+        return buildSc();
+    if (name == "go")
+        return buildGo();
+    if (name == "m88ksim")
+        return buildM88ksim();
+    if (name == "gcc")
+        return buildGcc();
+    if (name == "compress")
+        return buildCompress();
+    if (name == "li")
+        return buildLi();
+    if (name == "ijpeg")
+        return buildIjpeg();
+    if (name == "vortex")
+        return buildVortex();
+    if (name == "lex")
+        return buildLex();
+    if (name == "yacc")
+        return buildYacc();
+    if (name == "mpeg2enc")
+        return buildMpeg2enc();
+    if (name == "pgpencode")
+        return buildPgpencode();
+    ccr_fatal("unknown workload '", name, "'");
+}
+
+std::vector<ir::Value>
+readOutputs(const emu::Machine &machine, const Workload &workload)
+{
+    std::vector<ir::Value> values;
+    const auto &mod = machine.module();
+    for (const auto &name : workload.outputGlobals) {
+        for (std::size_t i = 0; i < mod.numGlobals(); ++i) {
+            const auto &g = mod.global(static_cast<ir::GlobalId>(i));
+            if (g.name != name)
+                continue;
+            const emu::Addr base = machine.globalAddr(g.id);
+            for (std::uint64_t off = 0; off + 8 <= g.sizeBytes;
+                 off += 8) {
+                values.push_back(machine.memory().read(
+                    base + off, ir::MemSize::Dword, false));
+            }
+        }
+    }
+    return values;
+}
+
+} // namespace ccr::workloads

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The synthetic benchmark suite. Each workload is an IR module built
+ * against the public IRBuilder API plus an input generator, mirroring
+ * the structure and value-locality behaviour of the paper's SPECINT92,
+ * SPECINT95, UNIX, and MediaBench programs (DESIGN.md §4 documents the
+ * correspondence).
+ *
+ * The same builder is called once for the base run and once for the
+ * CCR run (modules are transformed in place), and the prepare()
+ * callback fills the module's input globals for the selected input
+ * set. Train and Ref sets differ in seed and in distribution shape so
+ * that profile-guided decisions generalize imperfectly, as in the
+ * paper's Figure 11 experiment.
+ */
+
+#ifndef CCR_WORKLOADS_WORKLOAD_HH
+#define CCR_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "emu/machine.hh"
+#include "ir/module.hh"
+
+namespace ccr::workloads
+{
+
+/** Which input data set to run. */
+enum class InputSet
+{
+    Train,
+    Ref
+};
+
+/** A buildable benchmark. */
+struct Workload
+{
+    std::string name;
+    std::shared_ptr<ir::Module> module;
+
+    /** Write the input data for @p set into the machine's memory. */
+    std::function<void(emu::Machine &, InputSet)> prepare;
+
+    /** Globals whose final contents define program output (used for
+     *  base-vs-CCR equivalence checking). */
+    std::vector<std::string> outputGlobals;
+};
+
+/** All benchmark names, in the paper's presentation order. */
+std::vector<std::string> workloadNames();
+
+/** Build a fresh instance of the named workload. Fatal on unknown
+ *  names. */
+Workload buildWorkload(const std::string &name);
+
+/** Read the output globals of @p workload from @p machine (for
+ *  correctness comparison between runs). */
+std::vector<ir::Value> readOutputs(const emu::Machine &machine,
+                                   const Workload &workload);
+
+// -- individual builders (one per benchmark) --------------------------
+
+Workload buildEspresso();
+Workload buildSc();
+Workload buildGo();
+Workload buildM88ksim();
+Workload buildGcc();
+Workload buildCompress();
+Workload buildLi();
+Workload buildIjpeg();
+Workload buildVortex();
+Workload buildLex();
+Workload buildYacc();
+Workload buildMpeg2enc();
+Workload buildPgpencode();
+
+} // namespace ccr::workloads
+
+#endif // CCR_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Unit tests for the analysis library: CFG, dominators, natural loops,
+ * liveness / RegSet, and points-to / alias classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/alias.hh"
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/liveness.hh"
+#include "analysis/loops.hh"
+#include "ir/builder.hh"
+
+namespace
+{
+
+using namespace ccr;
+using namespace ccr::ir;
+
+/** Diamond: b0 -> {b1, b2} -> b3. */
+struct DiamondFixture
+{
+    Module m{"t"};
+    Function *f = nullptr;
+    BlockId b0, b1, b2, b3;
+    Reg cond, x;
+
+    DiamondFixture()
+    {
+        f = &m.addFunction("main", 0);
+        IRBuilder b(*f);
+        b0 = b.newBlock();
+        b1 = b.newBlock();
+        b2 = b.newBlock();
+        b3 = b.newBlock();
+        b.setInsertPoint(b0);
+        cond = b.movI(1);
+        x = b.reg();
+        b.br(cond, b1, b2);
+        b.setInsertPoint(b1);
+        b.movITo(x, 10);
+        b.jump(b3);
+        b.setInsertPoint(b2);
+        b.movITo(x, 20);
+        b.jump(b3);
+        b.setInsertPoint(b3);
+        b.addI(x, 1);
+        b.halt();
+    }
+};
+
+/** Simple counted loop: entry -> header <-> body, header -> exit. */
+struct LoopFixture
+{
+    Module m{"t"};
+    Function *f = nullptr;
+    BlockId entry, header, body, exit;
+    Reg i, n;
+
+    LoopFixture()
+    {
+        f = &m.addFunction("main", 0);
+        IRBuilder b(*f);
+        entry = b.newBlock();
+        header = b.newBlock();
+        body = b.newBlock();
+        exit = b.newBlock();
+        b.setInsertPoint(entry);
+        i = b.reg();
+        b.movITo(i, 0);
+        n = b.movI(10);
+        b.jump(header);
+        b.setInsertPoint(header);
+        const Reg c = b.cmpLt(i, n);
+        b.br(c, body, exit);
+        b.setInsertPoint(body);
+        b.binOpITo(i, Opcode::Add, i, 1);
+        b.jump(header);
+        b.setInsertPoint(exit);
+        b.halt();
+    }
+};
+
+TEST(Cfg, DiamondEdges)
+{
+    DiamondFixture fx;
+    analysis::Cfg cfg(*fx.f);
+    EXPECT_EQ(cfg.succs(fx.b0).size(), 2u);
+    EXPECT_EQ(cfg.preds(fx.b3).size(), 2u);
+    EXPECT_EQ(cfg.preds(fx.b0).size(), 0u);
+    EXPECT_EQ(cfg.succs(fx.b3).size(), 0u);
+}
+
+TEST(Cfg, RpoStartsAtEntryAndCoversAll)
+{
+    DiamondFixture fx;
+    analysis::Cfg cfg(*fx.f);
+    const auto &rpo = cfg.rpo();
+    ASSERT_EQ(rpo.size(), 4u);
+    EXPECT_EQ(rpo.front(), fx.b0);
+    EXPECT_EQ(rpo.back(), fx.b3);
+}
+
+TEST(Cfg, UnreachableBlockExcluded)
+{
+    Module m("t");
+    Function &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    const BlockId b0 = b.newBlock();
+    const BlockId dead = b.newBlock();
+    b.setInsertPoint(b0);
+    b.halt();
+    b.setInsertPoint(dead);
+    b.halt();
+    analysis::Cfg cfg(f);
+    EXPECT_TRUE(cfg.reachable(b0));
+    EXPECT_FALSE(cfg.reachable(dead));
+    EXPECT_EQ(cfg.rpo().size(), 1u);
+}
+
+TEST(Dominators, Diamond)
+{
+    DiamondFixture fx;
+    analysis::Cfg cfg(*fx.f);
+    analysis::Dominators dom(cfg);
+    EXPECT_EQ(dom.idom(fx.b1), fx.b0);
+    EXPECT_EQ(dom.idom(fx.b2), fx.b0);
+    EXPECT_EQ(dom.idom(fx.b3), fx.b0);
+    EXPECT_TRUE(dom.dominates(fx.b0, fx.b3));
+    EXPECT_FALSE(dom.dominates(fx.b1, fx.b3));
+    EXPECT_TRUE(dom.dominates(fx.b1, fx.b1));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody)
+{
+    LoopFixture fx;
+    analysis::Cfg cfg(*fx.f);
+    analysis::Dominators dom(cfg);
+    EXPECT_TRUE(dom.dominates(fx.header, fx.body));
+    EXPECT_TRUE(dom.dominates(fx.entry, fx.exit));
+    EXPECT_FALSE(dom.dominates(fx.body, fx.exit));
+}
+
+TEST(Loops, DetectsNaturalLoop)
+{
+    LoopFixture fx;
+    analysis::Cfg cfg(*fx.f);
+    analysis::Dominators dom(cfg);
+    analysis::LoopInfo info(cfg, dom);
+    ASSERT_EQ(info.loops().size(), 1u);
+    const auto &loop = info.loops().front();
+    EXPECT_EQ(loop.header, fx.header);
+    EXPECT_TRUE(loop.contains(fx.body));
+    EXPECT_FALSE(loop.contains(fx.entry));
+    EXPECT_FALSE(loop.contains(fx.exit));
+    EXPECT_TRUE(loop.innermost);
+    ASSERT_EQ(loop.exitingBlocks.size(), 1u);
+    EXPECT_EQ(loop.exitingBlocks.front(), fx.header);
+}
+
+TEST(Loops, AcyclicHasNone)
+{
+    DiamondFixture fx;
+    analysis::Cfg cfg(*fx.f);
+    analysis::Dominators dom(cfg);
+    analysis::LoopInfo info(cfg, dom);
+    EXPECT_TRUE(info.loops().empty());
+    EXPECT_EQ(info.loopFor(fx.b0), nullptr);
+}
+
+TEST(Loops, NestedLoopsDepthAndInnermost)
+{
+    Module m("t");
+    Function &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId oh = b.newBlock(); // outer header
+    const BlockId ih = b.newBlock(); // inner header
+    const BlockId ib = b.newBlock(); // inner body
+    const BlockId ol = b.newBlock(); // outer latch
+    const BlockId ex = b.newBlock();
+    b.setInsertPoint(entry);
+    const Reg c = b.movI(1);
+    b.jump(oh);
+    b.setInsertPoint(oh);
+    b.br(c, ih, ex);
+    b.setInsertPoint(ih);
+    b.br(c, ib, ol);
+    b.setInsertPoint(ib);
+    b.jump(ih);
+    b.setInsertPoint(ol);
+    b.jump(oh);
+    b.setInsertPoint(ex);
+    b.halt();
+
+    analysis::Cfg cfg(f);
+    analysis::Dominators dom(cfg);
+    analysis::LoopInfo info(cfg, dom);
+    ASSERT_EQ(info.loops().size(), 2u);
+    const auto inner = info.innermostLoops();
+    ASSERT_EQ(inner.size(), 1u);
+    EXPECT_EQ(inner.front()->header, ih);
+    // The innermost-loop query for a shared block returns the inner.
+    EXPECT_EQ(info.loopFor(ib)->header, ih);
+    EXPECT_EQ(info.loopFor(ol)->header, oh);
+}
+
+TEST(RegSet, BasicOps)
+{
+    analysis::RegSet s(100);
+    EXPECT_FALSE(s.test(5));
+    s.set(5);
+    s.set(64);
+    EXPECT_TRUE(s.test(5));
+    EXPECT_TRUE(s.test(64));
+    EXPECT_EQ(s.count(), 2u);
+    s.clear(5);
+    EXPECT_FALSE(s.test(5));
+    const auto v = s.toVector();
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 64);
+}
+
+TEST(RegSet, UnionAndSubtract)
+{
+    analysis::RegSet a(64), b(64);
+    a.set(1);
+    b.set(2);
+    EXPECT_TRUE(a.unionWith(b));
+    EXPECT_FALSE(a.unionWith(b)); // no change second time
+    EXPECT_TRUE(a.test(2));
+    a.subtract(b);
+    EXPECT_FALSE(a.test(2));
+    EXPECT_TRUE(a.test(1));
+}
+
+TEST(Liveness, DiamondPhiLikeValue)
+{
+    DiamondFixture fx;
+    analysis::Cfg cfg(*fx.f);
+    analysis::Liveness live(cfg);
+    // x is defined in both arms and used in b3.
+    EXPECT_TRUE(live.liveIn(fx.b3).test(fx.x));
+    EXPECT_TRUE(live.liveOut(fx.b1).test(fx.x));
+    EXPECT_TRUE(live.liveOut(fx.b2).test(fx.x));
+    // x is NOT live into b0 (defined before use on every path).
+    EXPECT_FALSE(live.liveIn(fx.b0).test(fx.x));
+}
+
+TEST(Liveness, LoopCarried)
+{
+    LoopFixture fx;
+    analysis::Cfg cfg(*fx.f);
+    analysis::Liveness live(cfg);
+    // i and n are live around the loop.
+    EXPECT_TRUE(live.liveIn(fx.header).test(fx.i));
+    EXPECT_TRUE(live.liveIn(fx.header).test(fx.n));
+    EXPECT_TRUE(live.liveOut(fx.body).test(fx.i));
+    // nothing is live out of exit.
+    EXPECT_EQ(live.liveOut(fx.exit).count(), 0u);
+}
+
+TEST(Liveness, CallArgsAreUses)
+{
+    Module m("t");
+    Function &callee = m.addFunction("callee", 1);
+    {
+        IRBuilder b(callee);
+        b.setInsertPoint(b.newBlock());
+        b.ret(0);
+    }
+    Function &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    const BlockId b0 = b.newBlock();
+    const BlockId b1 = b.newBlock();
+    b.setInsertPoint(b0);
+    const Reg a = b.movI(5);
+    b.call(callee.id(), {a}, b1);
+    b.setInsertPoint(b1);
+    b.halt();
+    analysis::Cfg cfg(f);
+    analysis::Liveness live(cfg);
+    analysis::RegSet uses(static_cast<std::size_t>(f.numRegs()));
+    analysis::Liveness::addUses(f.block(b0).terminator(), uses);
+    EXPECT_TRUE(uses.test(a));
+}
+
+/** Alias fixture: const table, mutable global, heap, and a store. */
+struct AliasFixture
+{
+    Module m{"t"};
+    GlobalId ctab, mtab;
+    Function *f = nullptr;
+    // inst indices within the single block
+    std::size_t load_const_idx = 0, load_mut_idx = 0,
+                load_heap_idx = 0, store_idx = 0;
+
+    AliasFixture()
+    {
+        ctab = m.addGlobal("ctab", 64, true).id;
+        mtab = m.addGlobal("mtab", 64, false).id;
+        f = &m.addFunction("main", 0);
+        IRBuilder b(*f);
+        b.setInsertPoint(b.newBlock());
+        const Reg cb = b.movGA(ctab);
+        const Reg lc = b.load(cb, 0);
+        (void)lc;
+        load_const_idx = 1;
+        const Reg mb = b.movGA(mtab);
+        const Reg lm = b.load(mb, 8);
+        (void)lm;
+        load_mut_idx = 3;
+        const Reg hp = b.allocI(32);
+        const Reg lh = b.load(hp, 0);
+        (void)lh;
+        load_heap_idx = 5;
+        const Reg v = b.movI(1);
+        b.store(mb, 0, v);
+        store_idx = 7;
+        b.halt();
+    }
+};
+
+TEST(Alias, PointsToGlobals)
+{
+    AliasFixture fx;
+    analysis::AliasAnalysis alias(fx.m);
+    const auto &bb = fx.f->block(0);
+    EXPECT_TRUE(alias.loadDeterminable(fx.f->id(),
+                                       bb.inst(fx.load_const_idx)));
+    EXPECT_TRUE(alias.loadDeterminable(fx.f->id(),
+                                       bb.inst(fx.load_mut_idx)));
+    EXPECT_FALSE(alias.loadDeterminable(fx.f->id(),
+                                        bb.inst(fx.load_heap_idx)));
+}
+
+TEST(Alias, WriteSummary)
+{
+    AliasFixture fx;
+    analysis::AliasAnalysis alias(fx.m);
+    const auto &writes = alias.funcWrites(fx.f->id());
+    EXPECT_TRUE(writes.globals.count(fx.mtab));
+    EXPECT_FALSE(writes.globals.count(fx.ctab));
+    EXPECT_TRUE(alias.funcWritesMemory(fx.f->id()));
+}
+
+TEST(Alias, AnnotateDeterminable)
+{
+    AliasFixture fx;
+    analysis::AliasAnalysis alias(fx.m);
+    alias.annotateDeterminableLoads(fx.m);
+    const auto &bb = fx.f->block(0);
+    EXPECT_TRUE(bb.inst(fx.load_const_idx).ext.determinable);
+    EXPECT_FALSE(bb.inst(fx.load_heap_idx).ext.determinable);
+}
+
+TEST(Alias, PointerFlowsThroughCall)
+{
+    Module m("t");
+    const GlobalId g = m.addGlobal("g", 64, false).id;
+    Function &callee = m.addFunction("reader", 1);
+    std::size_t load_idx;
+    {
+        IRBuilder b(callee);
+        b.setInsertPoint(b.newBlock());
+        const Reg v = b.load(0, 0); // loads through the pointer param
+        load_idx = 0;
+        b.ret(v);
+    }
+    Function &f = m.addFunction("main", 0);
+    m.setEntryFunction(f.id());
+    {
+        IRBuilder b(f);
+        const BlockId b0 = b.newBlock();
+        const BlockId b1 = b.newBlock();
+        b.setInsertPoint(b0);
+        const Reg p = b.movGA(g);
+        b.call(callee.id(), {p}, b1);
+        b.setInsertPoint(b1);
+        b.halt();
+    }
+    analysis::AliasAnalysis alias(m);
+    EXPECT_TRUE(alias.loadDeterminable(callee.id(),
+                                       callee.block(0).inst(load_idx)));
+    const auto &pts = alias.regPoints(callee.id(), 0);
+    EXPECT_TRUE(pts.globals.count(g));
+}
+
+TEST(Alias, PtSetIntersection)
+{
+    analysis::PtSet a, b;
+    EXPECT_FALSE(a.intersects(b));
+    a.globals.insert(1);
+    b.globals.insert(2);
+    EXPECT_FALSE(a.intersects(b));
+    b.globals.insert(1);
+    EXPECT_TRUE(a.intersects(b));
+    analysis::PtSet u;
+    u.unknown = true;
+    EXPECT_TRUE(u.intersects(a));
+    EXPECT_FALSE(u.intersects(analysis::PtSet{}));
+}
+
+TEST(Alias, StoreThroughUnknownBaseIsUnknownWrite)
+{
+    Module m("t");
+    m.addGlobal("g", 8, false);
+    Function &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg p = b.load(b.movI(0x5000), 0); // pointer loaded from memory
+    const Reg v = b.movI(1);
+    b.store(p, 0, v);
+    b.halt();
+    analysis::AliasAnalysis alias(m);
+    EXPECT_TRUE(alias.funcWrites(f.id()).unknown);
+}
+
+} // namespace

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Unit tests for the Computation Reuse Buffer: query/miss/memoization
+ * commit, input matching, LRU instance replacement, memory
+ * invalidation, entry conflicts, bank overflow aborts, and the
+ * nonuniform/partitioned design extensions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/machine.hh"
+#include "ir/builder.hh"
+#include "uarch/crb.hh"
+
+namespace
+{
+
+using namespace ccr;
+using namespace ccr::ir;
+
+/**
+ * Fixture: a region computing y = x*2+1 wrapped in a reuse region,
+ * invoked once per value in the "inputs" global.
+ *
+ *   entry -> header -> inception --hit--> join
+ *                          \--miss--> body -> endtramp -> join
+ */
+struct CrbProgram
+{
+    Module m{"t"};
+    GlobalId inputs, n_global, out;
+    RegionId region;
+    Function *f = nullptr;
+
+    CrbProgram()
+    {
+        inputs = m.addGlobal("inputs", 256 * 8).id;
+        n_global = m.addGlobal("n", 8).id;
+        out = m.addGlobal("out", 8).id;
+        region = m.newRegionId();
+        f = &m.addFunction("main", 0);
+        IRBuilder b(*f);
+        const BlockId entry = b.newBlock();
+        const BlockId header = b.newBlock();
+        const BlockId fetch = b.newBlock();
+        const BlockId inception = b.newBlock();
+        const BlockId body = b.newBlock();
+        const BlockId join = b.newBlock();
+        const BlockId exit = b.newBlock();
+        const Reg i = b.reg();
+        const Reg x = b.reg();
+        const Reg y = b.reg();
+        const Reg acc = b.reg();
+
+        b.setInsertPoint(entry);
+        const Reg n = b.load(b.movGA(n_global), 0);
+        const Reg base = b.movGA(inputs);
+        b.movITo(i, 0);
+        b.movITo(acc, 0);
+        b.jump(header);
+
+        b.setInsertPoint(header);
+        const Reg c = b.cmpLt(i, n);
+        b.br(c, fetch, exit);
+
+        b.setInsertPoint(fetch);
+        b.loadTo(x, b.add(base, b.shlI(i, 3)), 0);
+        b.jump(inception);
+
+        b.setInsertPoint(inception);
+        b.reuse(region, join, body);
+
+        b.setInsertPoint(body);
+        {
+            Inst mul;
+            mul.op = Opcode::Mul;
+            mul.dst = b.reg();
+            mul.src1 = x;
+            mul.srcImm = true;
+            mul.imm = 2;
+            const Reg t = mul.dst;
+            b.emit(mul);
+            Inst add;
+            add.op = Opcode::Add;
+            add.dst = y;
+            add.src1 = t;
+            add.srcImm = true;
+            add.imm = 1;
+            add.ext.liveOut = true; // y is the region's live-out
+            b.emit(add);
+            Inst j;
+            j.op = Opcode::Jump;
+            j.target = join;
+            j.ext.regionEnd = true;
+            b.emit(j);
+        }
+
+        b.setInsertPoint(join);
+        b.binOpTo(acc, Opcode::Add, acc, y);
+        b.binOpITo(i, Opcode::Add, i, 1);
+        b.jump(header);
+
+        b.setInsertPoint(exit);
+        b.store(b.movGA(out), 0, acc);
+        b.halt();
+    }
+
+    /** Run with the given inputs; returns (machine out value). */
+    std::int64_t
+    run(uarch::Crb &crb, const std::vector<std::int64_t> &vals)
+    {
+        emu::Machine machine(m);
+        machine.memory().write(machine.globalAddr(n_global),
+                               MemSize::Dword,
+                               static_cast<ir::Value>(vals.size()));
+        for (std::size_t k = 0; k < vals.size(); ++k) {
+            machine.memory().write(machine.globalAddr(inputs) + 8 * k,
+                                   MemSize::Dword, vals[k]);
+        }
+        machine.setReuseHandler(&crb);
+        machine.run();
+        return machine.memory().read(machine.globalAddr(out),
+                                     MemSize::Dword, false);
+    }
+
+    static std::int64_t
+    expected(const std::vector<std::int64_t> &vals)
+    {
+        std::int64_t acc = 0;
+        for (const auto v : vals)
+            acc += v * 2 + 1;
+        return acc;
+    }
+};
+
+TEST(Crb, FirstUseMissesThenHits)
+{
+    CrbProgram prog;
+    uarch::Crb crb{uarch::CrbParams{}};
+    const std::vector<std::int64_t> vals{7, 7, 7, 7};
+    EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
+    EXPECT_EQ(crb.stats().get("queries"), 4u);
+    EXPECT_EQ(crb.stats().get("misses"), 1u);
+    EXPECT_EQ(crb.stats().get("hits"), 3u);
+    EXPECT_EQ(crb.stats().get("memoCommits"), 1u);
+}
+
+TEST(Crb, DistinctInputsEachMissOnce)
+{
+    CrbProgram prog;
+    uarch::Crb crb{uarch::CrbParams{}};
+    const std::vector<std::int64_t> vals{1, 2, 3, 1, 2, 3, 1, 2, 3};
+    EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
+    EXPECT_EQ(crb.stats().get("misses"), 3u);
+    EXPECT_EQ(crb.stats().get("hits"), 6u);
+}
+
+TEST(Crb, LruInstanceReplacement)
+{
+    CrbProgram prog;
+    uarch::CrbParams params;
+    params.instances = 2;
+    uarch::Crb crb(params);
+    // Working set of 3 with 2 CIs: pattern 1,2,3 repeatedly evicts the
+    // least recently used instance => every access misses.
+    const std::vector<std::int64_t> vals{1, 2, 3, 1, 2, 3, 1, 2, 3};
+    EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
+    EXPECT_EQ(crb.stats().get("hits"), 0u);
+    EXPECT_EQ(crb.stats().get("misses"), 9u);
+}
+
+TEST(Crb, LruKeepsHotInstance)
+{
+    CrbProgram prog;
+    uarch::CrbParams params;
+    params.instances = 2;
+    uarch::Crb crb(params);
+    // 1 stays hot; 2 and 3 fight over the second CI.
+    const std::vector<std::int64_t> vals{1, 2, 1, 3, 1, 2, 1, 3};
+    EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
+    // 1 hits on every revisit (3 hits); 2/3 always miss after warmup.
+    EXPECT_EQ(crb.stats().get("hits"), 3u);
+}
+
+TEST(Crb, MoreInstancesMoreHits)
+{
+    std::vector<std::uint64_t> hits;
+    for (const int ci : {1, 2, 4, 8}) {
+        CrbProgram prog;
+        uarch::CrbParams params;
+        params.instances = ci;
+        uarch::Crb crb(params);
+        std::vector<std::int64_t> vals;
+        for (int rep = 0; rep < 10; ++rep) {
+            for (int v = 0; v < 6; ++v)
+                vals.push_back(v);
+        }
+        EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
+        hits.push_back(crb.stats().get("hits"));
+    }
+    EXPECT_LE(hits[0], hits[1]);
+    EXPECT_LE(hits[1], hits[2]);
+    EXPECT_LE(hits[2], hits[3]);
+    EXPECT_EQ(hits[3], 54u); // 6 misses, everything else hits
+}
+
+TEST(Crb, InvalidateKillsMemoryInstances)
+{
+    CrbProgram prog;
+    uarch::Crb crb{uarch::CrbParams{}};
+    // Prime the CRB with value 5.
+    prog.run(crb, {5, 5});
+    EXPECT_EQ(crb.stats().get("hits"), 1u);
+
+    // The region has no loads, so invalidation must NOT affect it.
+    crb.onInvalidate(prog.region);
+    prog.run(crb, {5});
+    EXPECT_EQ(crb.stats().get("hits"), 2u);
+}
+
+TEST(Crb, EntryConflictEvicts)
+{
+    // Two regions with ids that collide in a 1-entry CRB.
+    CrbProgram prog;
+    uarch::CrbParams params;
+    params.entries = 1;
+    uarch::Crb crb(params);
+    prog.run(crb, {4, 4});
+    EXPECT_EQ(crb.stats().get("hits"), 1u);
+    // Query a different region id: it maps to the same entry and
+    // re-tags it.
+    emu::Machine machine(prog.m);
+    crb.onReuse(prog.region + 1, machine);
+    EXPECT_EQ(crb.stats().get("conflictEvictions"), 1u);
+}
+
+TEST(Crb, ReusedOutputsAreLatestValues)
+{
+    // The CI must return the same outputs the region would compute.
+    CrbProgram prog;
+    uarch::Crb crb{uarch::CrbParams{}};
+    const std::vector<std::int64_t> vals{-3, -3, 100, -3, 100};
+    EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
+}
+
+TEST(Crb, NonuniformSmallEntriesHaveFewerInstances)
+{
+    uarch::CrbParams params;
+    params.entries = 8;
+    params.instances = 8;
+    params.nonuniformSplit = 0.5;
+    params.nonuniformSmallInstances = 1;
+    uarch::Crb crb(params);
+
+    // Region id 7 maps to entry 7 (>= split): only one CI.
+    CrbProgram prog;
+    // Force the region id into the small half by running with a
+    // custom id; easiest check: working set of 2 on a small entry.
+    // Region ids are assigned from 0, so id 0 is in the big half.
+    const std::vector<std::int64_t> vals{1, 2, 1, 2};
+    prog.run(crb, vals);
+    // id 0 -> full instance count -> 2 hits after warmup.
+    EXPECT_EQ(crb.stats().get("hits"), 2u);
+}
+
+TEST(Crb, MemCapablePartitionDropsMemoryCommits)
+{
+    // A region whose body loads memory, on a CRB with no mem-capable
+    // entries: recordings are dropped, so it never hits.
+    Module m("t");
+    const GlobalId tab = m.addGlobal("tab", 64, true).id;
+    const GlobalId out = m.addGlobal("out", 8).id;
+    const RegionId region = m.newRegionId();
+    Function &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId loop = b.newBlock();
+    const BlockId inception = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId join = b.newBlock();
+    const BlockId exit = b.newBlock();
+    const Reg i = b.reg();
+    const Reg y = b.reg();
+
+    b.setInsertPoint(entry);
+    b.movITo(i, 0);
+    b.jump(loop);
+    b.setInsertPoint(loop);
+    const Reg c = b.cmpLtI(i, 6);
+    b.br(c, inception, exit);
+    b.setInsertPoint(inception);
+    b.reuse(region, join, body);
+    b.setInsertPoint(body);
+    {
+        const Reg base = b.movGA(tab);
+        Inst ld;
+        ld.op = Opcode::Load;
+        ld.dst = y;
+        ld.src1 = base;
+        ld.imm = 0;
+        ld.ext.liveOut = true;
+        b.emit(ld);
+        Inst j;
+        j.op = Opcode::Jump;
+        j.target = join;
+        j.ext.regionEnd = true;
+        b.emit(j);
+    }
+    b.setInsertPoint(join);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(loop);
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, y);
+    b.halt();
+
+    uarch::CrbParams params;
+    params.memCapableFraction = 0.0;
+    uarch::Crb crb(params);
+    emu::Machine machine(m);
+    machine.setReuseHandler(&crb);
+    machine.run();
+    EXPECT_EQ(crb.stats().get("hits"), 0u);
+    EXPECT_EQ(crb.stats().get("memoDroppedNotMemCapable"), 6u);
+
+    // Control: with uniform mem capability the same program hits.
+    uarch::Crb crb2{uarch::CrbParams{}};
+    emu::Machine machine2(m);
+    machine2.setReuseHandler(&crb2);
+    machine2.run();
+    EXPECT_EQ(crb2.stats().get("hits"), 5u);
+}
+
+TEST(Crb, ResetClearsEverything)
+{
+    CrbProgram prog;
+    uarch::Crb crb{uarch::CrbParams{}};
+    prog.run(crb, {9, 9});
+    EXPECT_GT(crb.stats().get("hits"), 0u);
+    crb.reset();
+    EXPECT_EQ(crb.stats().get("hits"), 0u);
+    EXPECT_TRUE(crb.hitsByRegion().empty());
+    prog.run(crb, {9});
+    EXPECT_EQ(crb.stats().get("misses"), 1u);
+}
+
+TEST(Crb, HitsByRegionAttribution)
+{
+    CrbProgram prog;
+    uarch::Crb crb{uarch::CrbParams{}};
+    prog.run(crb, {1, 1, 1});
+    const auto &by_region = crb.hitsByRegion();
+    ASSERT_EQ(by_region.size(), 1u);
+    EXPECT_EQ(by_region.at(prog.region), 2u);
+}
+
+} // namespace

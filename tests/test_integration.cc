@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Integration tests across the full stack: CRB geometry monotonicity,
+ * reuse latency accounting, invalidation correctness under mutation,
+ * training-vs-reference behaviour, and limit-study consistency — the
+ * properties the paper's evaluation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profile/reuse_potential.hh"
+#include "workloads/harness.hh"
+
+namespace
+{
+
+using namespace ccr;
+using namespace ccr::workloads;
+
+RunConfig
+configWith(int entries, int instances)
+{
+    RunConfig config;
+    config.crb.entries = entries;
+    config.crb.instances = instances;
+    return config;
+}
+
+TEST(Integration, MoreInstancesNeverHurtMuch)
+{
+    // Paper Figure 8(a): speedup grows (weakly) with the CI count.
+    for (const auto &name : {"espresso", "pgpencode", "m88ksim"}) {
+        const auto s4 = runCcrExperiment(name, configWith(128, 4));
+        const auto s16 = runCcrExperiment(name, configWith(128, 16));
+        EXPECT_TRUE(s4.outputsMatch);
+        EXPECT_TRUE(s16.outputsMatch);
+        EXPECT_GE(s16.speedup(), s4.speedup() * 0.98) << name;
+    }
+}
+
+TEST(Integration, PgpencodeIsInstanceSensitive)
+{
+    // Paper: "Variation in the number of computation instances
+    // substantially increased the performance speedup of pgpencode."
+    const auto s4 = runCcrExperiment("pgpencode", configWith(128, 4));
+    const auto s16 = runCcrExperiment("pgpencode", configWith(128, 16));
+    EXPECT_GT(s16.speedup(), s4.speedup() + 0.03);
+}
+
+TEST(Integration, MoreEntriesNeverHurtMuch)
+{
+    // Paper Figure 8(b).
+    for (const auto &name : {"gcc", "compress"}) {
+        const auto s32 = runCcrExperiment(name, configWith(32, 8));
+        const auto s128 = runCcrExperiment(name, configWith(128, 8));
+        EXPECT_GE(s128.speedup(), s32.speedup() * 0.98) << name;
+    }
+}
+
+TEST(Integration, ReuseEliminatesDynamicInstructions)
+{
+    const auto r = runCcrExperiment("espresso", configWith(128, 8));
+    EXPECT_LT(r.ccr.insts, r.base.insts);
+    EXPECT_GT(r.instsEliminated(), 0.10);
+}
+
+TEST(Integration, InvalidationsFireUnderMutation)
+{
+    // m88ksim mutates its breakpoint table; the compiler must place
+    // invalidations and the CRB must observe them.
+    const auto r = runCcrExperiment("m88ksim", configWith(128, 8));
+    EXPECT_GT(r.formation.invalidationsPlaced, 0);
+    EXPECT_GT(r.crbInvalidates, 0u);
+    EXPECT_TRUE(r.outputsMatch);
+}
+
+TEST(Integration, TrainingInputAdvantage)
+{
+    // Paper Figure 11: profiling on Train and measuring on Ref still
+    // yields speedup, typically slightly below the Train-measured one.
+    RunConfig train_cfg = configWith(128, 8);
+    RunConfig ref_cfg = train_cfg;
+    ref_cfg.measureInput = InputSet::Ref;
+
+    double train_avg = 0.0, ref_avg = 0.0;
+    const std::vector<std::string> names{"espresso", "m88ksim", "li",
+                                         "vortex"};
+    for (const auto &name : names) {
+        const auto rt = runCcrExperiment(name, train_cfg);
+        const auto rr = runCcrExperiment(name, ref_cfg);
+        EXPECT_TRUE(rt.outputsMatch);
+        EXPECT_TRUE(rr.outputsMatch);
+        EXPECT_GT(rr.speedup(), 1.0) << name;
+        train_avg += rt.speedup();
+        ref_avg += rr.speedup();
+    }
+    train_avg /= names.size();
+    ref_avg /= names.size();
+    EXPECT_GT(ref_avg, 1.0);
+    EXPECT_LT(ref_avg, train_avg + 0.05);
+}
+
+TEST(Integration, RegionPotentialExceedsBlockPotential)
+{
+    // Paper Figure 4: region-level reuse potential subsumes and
+    // roughly doubles block-level potential on average.
+    double block_sum = 0.0, region_sum = 0.0;
+    const std::vector<std::string> names{"espresso", "m88ksim",
+                                         "compress", "lex"};
+    for (const auto &name : names) {
+        const auto r = measurePotential(name, InputSet::Train);
+        EXPECT_GT(r.totalInsts, 0u);
+        block_sum += r.blockFraction();
+        region_sum += r.regionFraction();
+    }
+    EXPECT_GT(region_sum, block_sum);
+    EXPECT_GT(region_sum / names.size(), 0.25);
+}
+
+TEST(Integration, CrbHitsDriveSpeedup)
+{
+    const auto r = runCcrExperiment("espresso", configWith(128, 8));
+    EXPECT_GT(r.crbHits, 0u);
+    EXPECT_EQ(r.crbHits, r.ccr.reuseHits);
+    EXPECT_EQ(r.crbQueries, r.ccr.reuseHits + r.ccr.reuseMisses);
+}
+
+TEST(Integration, TinyCrbStillCorrectEvenIfSlow)
+{
+    const auto r = runCcrExperiment("go", configWith(2, 1));
+    EXPECT_TRUE(r.outputsMatch);
+}
+
+TEST(Integration, HitsByRegionAccountedToFormedRegions)
+{
+    const auto r = runCcrExperiment("gcc", configWith(128, 8));
+    for (const auto &[region, hits] : r.hitsByRegion) {
+        EXPECT_NE(r.regions.find(region), nullptr);
+        EXPECT_GT(hits, 0u);
+    }
+}
+
+TEST(Integration, ReorderAblationStillCorrect)
+{
+    RunConfig cfg = configWith(128, 8);
+    cfg.policy.allowReorder = false;
+    const auto r = runCcrExperiment("espresso", cfg);
+    EXPECT_TRUE(r.outputsMatch);
+    EXPECT_GE(r.speedup(), 1.0);
+}
+
+TEST(Integration, HigherHistoryPotentialGrows)
+{
+    profile::PotentialParams deep;
+    deep.historyDepth = 8;
+    profile::PotentialParams shallow;
+    shallow.historyDepth = 1;
+    const auto rd = measurePotential("li", InputSet::Train, deep);
+    const auto rs = measurePotential("li", InputSet::Train, shallow);
+    EXPECT_GE(rd.regionReusableInsts, rs.regionReusableInsts);
+    EXPECT_GE(rd.blockReusableInsts, rs.blockReusableInsts);
+}
+
+} // namespace

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Unit tests for the timing layer: cache tag behaviour, branch
+ * predictor training, and pipeline timing properties (width limits,
+ * dataflow serialization, load latency, mispredict and reuse-miss
+ * penalties).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "emu/machine.hh"
+#include "ir/builder.hh"
+#include "uarch/cache.hh"
+#include "uarch/branch_pred.hh"
+#include "uarch/pipeline.hh"
+
+namespace
+{
+
+using namespace ccr;
+using namespace ccr::ir;
+
+TEST(Cache, HitAfterMiss)
+{
+    uarch::Cache cache({1024, 32, 1, 12}, "c");
+    EXPECT_EQ(cache.access(0x100), 12);
+    EXPECT_EQ(cache.access(0x100), 0);
+    EXPECT_EQ(cache.access(0x11f), 0); // same 32B line
+    EXPECT_EQ(cache.access(0x120), 12); // next line
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    uarch::Cache cache({1024, 32, 1, 12}, "c");
+    cache.access(0x0);
+    cache.access(0x400); // 1KB apart: same set, evicts
+    EXPECT_EQ(cache.access(0x0), 12);
+}
+
+TEST(Cache, AssociativityAvoidsConflict)
+{
+    uarch::Cache cache({1024, 32, 2, 12}, "c");
+    cache.access(0x0);
+    cache.access(0x400);
+    EXPECT_EQ(cache.access(0x0), 0); // 2-way keeps both
+}
+
+TEST(Cache, LruReplacement)
+{
+    uarch::Cache cache({64, 32, 2, 12}, "c"); // one set, 2 ways
+    cache.access(0x0);
+    cache.access(0x100);
+    cache.access(0x0);    // refresh line 0
+    cache.access(0x200);  // evicts 0x100
+    EXPECT_EQ(cache.access(0x0), 0);
+    EXPECT_EQ(cache.access(0x100), 12);
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    uarch::Cache cache({1024, 32, 1, 12}, "c");
+    EXPECT_FALSE(cache.probe(0x40));
+    cache.access(0x40);
+    EXPECT_TRUE(cache.probe(0x40));
+}
+
+TEST(BranchPred, LearnsBiasedBranch)
+{
+    uarch::BranchPredictor bp({1024, 8});
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i)
+        wrong += !bp.predictAndUpdate(0x1000, true, 0x2000);
+    EXPECT_LE(wrong, 2); // cold miss + training
+}
+
+TEST(BranchPred, AlternatingBranchMispredicts)
+{
+    uarch::BranchPredictor bp({1024, 8});
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i)
+        wrong += !bp.predictAndUpdate(0x1000, i % 2 == 0, 0x2000);
+    EXPECT_GE(wrong, 40);
+}
+
+TEST(BranchPred, TwoBitHysteresis)
+{
+    uarch::BranchPredictor bp({1024, 8});
+    for (int i = 0; i < 10; ++i)
+        bp.predictAndUpdate(0x100, true, 0x200);
+    // One not-taken blip must not flip the prediction.
+    bp.predictAndUpdate(0x100, false, 0x200);
+    EXPECT_TRUE(bp.predictAndUpdate(0x100, true, 0x200));
+}
+
+TEST(BranchPred, UnconditionalBtb)
+{
+    uarch::BranchPredictor bp({1024, 8});
+    EXPECT_FALSE(bp.lookupUnconditional(0x500, 0x900));
+    EXPECT_TRUE(bp.lookupUnconditional(0x500, 0x900));
+    // Target change is a miss once.
+    EXPECT_FALSE(bp.lookupUnconditional(0x500, 0xA00));
+}
+
+/** Build a module from a body functor and time it. */
+uarch::TimingResult
+timeProgram(const std::function<void(Module &, IRBuilder &)> &body,
+            uarch::PipelineParams params = {})
+{
+    static Module *leak = nullptr; // keep module alive per call
+    auto *m = new Module("t");
+    leak = m;
+    (void)leak;
+    Function &f = m->addFunction("main", 0);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    body(*m, b);
+    emu::Machine machine(*m);
+    uarch::Pipeline pipe(params);
+    return pipe.run(machine);
+}
+
+TEST(Pipeline, IndependentOpsIssueWide)
+{
+    // 24 independent movi: 6-wide machine needs ~4-5 cycles + start.
+    const auto r = timeProgram([](Module &, IRBuilder &b) {
+        for (int i = 0; i < 24; ++i)
+            b.movI(i);
+        b.halt();
+    });
+    EXPECT_EQ(r.insts, 25u);
+    // Cold I-cache: 25 insts span ~4 lines at 12 cycles each; issue
+    // itself takes ~5 cycles at 6-wide.
+    EXPECT_LT(r.cycles, 12u + r.icacheMisses * 12);
+    EXPECT_LE(r.icacheMisses, 5u);
+}
+
+TEST(Pipeline, IntAluLimitFourPerCycle)
+{
+    // 24 independent adds: bounded by 4 int ALUs, not the 6-wide
+    // front end.
+    const auto wide = timeProgram([](Module &, IRBuilder &b) {
+        const Reg x = b.movI(1);
+        for (int i = 0; i < 24; ++i)
+            b.addI(x, i);
+        b.halt();
+    });
+    EXPECT_GE(wide.cycles, 24u / 4);
+}
+
+TEST(Pipeline, DependentChainSerializes)
+{
+    // A chain of 32 dependent adds needs >= 32 cycles.
+    const auto r = timeProgram([](Module &, IRBuilder &b) {
+        Reg x = b.movI(0);
+        for (int i = 0; i < 32; ++i)
+            x = b.addI(x, 1);
+        b.halt();
+    });
+    EXPECT_GE(r.cycles, 32u);
+}
+
+TEST(Pipeline, ChainVsParallelShowsDataflowLimit)
+{
+    const auto chain = timeProgram([](Module &, IRBuilder &b) {
+        Reg x = b.movI(0);
+        for (int i = 0; i < 64; ++i)
+            x = b.addI(x, 1);
+        b.halt();
+    });
+    const auto par = timeProgram([](Module &, IRBuilder &b) {
+        const Reg x = b.movI(0);
+        for (int i = 0; i < 64; ++i)
+            b.addI(x, 1);
+        b.halt();
+    });
+    EXPECT_GT(chain.cycles, par.cycles + 16);
+}
+
+TEST(Pipeline, LoadLatencyStallsConsumer)
+{
+    const auto dependent = timeProgram([](Module &m, IRBuilder &b) {
+        const GlobalId g = m.addGlobal("g", 8).id;
+        Reg x = b.movI(0);
+        const Reg base = b.movGA(g);
+        for (int i = 0; i < 16; ++i) {
+            const Reg v = b.load(base, 0);
+            x = b.add(x, v); // consumer waits 2 cycles per load
+        }
+        b.halt();
+    });
+    EXPECT_GE(dependent.cycles, 16u * 2);
+}
+
+TEST(Pipeline, DcacheMissesCounted)
+{
+    const auto r = timeProgram([](Module &m, IRBuilder &b) {
+        const GlobalId g = m.addGlobal("g", 1 << 16).id;
+        const Reg base = b.movGA(g);
+        // Touch 64 distinct lines.
+        for (int i = 0; i < 64; ++i)
+            b.load(base, i * 32);
+        b.halt();
+    });
+    EXPECT_GE(r.dcacheMisses, 64u);
+}
+
+TEST(Pipeline, MispredictPenaltyVisible)
+{
+    auto build_loop = [](int trip) {
+        return [trip](Module &m, IRBuilder &b) {
+            (void)m;
+            // Data-dependent alternating branch: mispredicts a lot.
+            const BlockId header = b.newBlock();
+            const BlockId a = b.newBlock();
+            const BlockId c = b.newBlock();
+            const BlockId join = b.newBlock();
+            const BlockId exit = b.newBlock();
+            const Reg i = b.reg();
+            b.movITo(i, 0);
+            b.jump(header);
+            b.setInsertPoint(header);
+            const Reg more = b.cmpLtI(i, trip);
+            b.br(more, a, exit);
+            b.setInsertPoint(a);
+            const Reg odd = b.andI(i, 1);
+            b.br(odd, c, join);
+            b.setInsertPoint(c);
+            b.jump(join);
+            b.setInsertPoint(join);
+            b.binOpITo(i, Opcode::Add, i, 1);
+            b.jump(header);
+            b.setInsertPoint(exit);
+            b.halt();
+        };
+    };
+    const auto r = timeProgram(build_loop(400));
+    // The alternating inner branch mispredicts ~every iteration.
+    EXPECT_GE(r.branchMispredicts, 150u);
+    EXPECT_GE(r.cycles, r.branchMispredicts * 8);
+}
+
+TEST(Pipeline, CyclesMonotoneInInsts)
+{
+    const auto small = timeProgram([](Module &, IRBuilder &b) {
+        Reg x = b.movI(0);
+        for (int i = 0; i < 10; ++i)
+            x = b.addI(x, 1);
+        b.halt();
+    });
+    const auto big = timeProgram([](Module &, IRBuilder &b) {
+        Reg x = b.movI(0);
+        for (int i = 0; i < 100; ++i)
+            x = b.addI(x, 1);
+        b.halt();
+    });
+    EXPECT_GT(big.cycles, small.cycles);
+    EXPECT_GT(big.insts, small.insts);
+}
+
+TEST(Pipeline, IpcBoundedByWidth)
+{
+    // A loop re-executes warm code: after the first trip the I-cache
+    // holds every line and only the loop branch limits throughput.
+    const auto r = timeProgram([](Module &m, IRBuilder &b) {
+        (void)m;
+        const BlockId header = b.newBlock();
+        const BlockId body = b.newBlock();
+        const BlockId exit = b.newBlock();
+        const Reg i = b.reg();
+        b.movITo(i, 0);
+        b.jump(header);
+        b.setInsertPoint(header);
+        const Reg c = b.cmpLtI(i, 50);
+        b.br(c, body, exit);
+        b.setInsertPoint(body);
+        for (int k = 0; k < 60; ++k)
+            b.movI(k);
+        b.binOpITo(i, Opcode::Add, i, 1);
+        b.jump(header);
+        b.setInsertPoint(exit);
+        b.halt();
+    });
+    EXPECT_LE(r.ipc(), 6.0 + 1e-9);
+    EXPECT_GT(r.ipc(), 2.5);
+}
+
+} // namespace

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Unit tests for the Reuse Profiling System and the Figure 4 limit
+ * study: instruction-level invariance, memory reuse, cyclic
+ * recurrence, and block/region reuse potential.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "emu/machine.hh"
+#include "ir/builder.hh"
+#include "profile/addrmap.hh"
+#include "profile/reuse_potential.hh"
+#include "profile/value_profiler.hh"
+
+namespace
+{
+
+using namespace ccr;
+using namespace ccr::ir;
+
+/**
+ * Program: loops `n` times calling a kernel add with values from a
+ * repeating input array.
+ */
+struct KernelLoop
+{
+    Module m{"t"};
+    GlobalId input, nreq, out;
+    Function *main = nullptr;
+    InstUid add_uid = kNoUid;
+    InstUid load_uid = kNoUid;
+    BlockId header = kNoBlock;
+
+    explicit KernelLoop(bool with_store = false)
+    {
+        input = m.addGlobal("input", 64 * 8).id;
+        nreq = m.addGlobal("n", 8).id;
+        out = m.addGlobal("out", 8).id;
+        main = &m.addFunction("main", 0);
+        IRBuilder b(*main);
+        const BlockId entry = b.newBlock();
+        header = b.newBlock();
+        const BlockId body = b.newBlock();
+        const BlockId exit = b.newBlock();
+        const Reg i = b.reg();
+        const Reg acc = b.reg();
+
+        b.setInsertPoint(entry);
+        const Reg n = b.load(b.movGA(nreq), 0);
+        const Reg base = b.movGA(input);
+        b.movITo(i, 0);
+        b.movITo(acc, 0);
+        b.jump(header);
+
+        b.setInsertPoint(header);
+        const Reg c = b.cmpLt(i, n);
+        b.br(c, body, exit);
+
+        b.setInsertPoint(body);
+        const Reg idx = b.andI(i, 63);
+        const Reg addr = b.add(base, b.shlI(idx, 3));
+        const Reg v = b.load(addr, 0);
+        load_uid = main->block(body).insts().back().uid;
+        const Reg doubled = b.addI(v, 100);
+        add_uid = main->block(body).insts().back().uid;
+        b.binOpTo(acc, Opcode::Add, acc, doubled);
+        if (with_store) {
+            // Store back, dirtying the input array each iteration.
+            b.store(addr, 0, doubled);
+        }
+        b.binOpITo(i, Opcode::Add, i, 1);
+        b.jump(header);
+
+        b.setInsertPoint(exit);
+        b.store(b.movGA(out), 0, acc);
+        b.halt();
+    }
+
+    emu::Machine
+    makeMachine(std::int64_t n, std::function<std::int64_t(int)> gen)
+    {
+        emu::Machine machine(m);
+        machine.memory().write(machine.globalAddr(nreq),
+                               MemSize::Dword, n);
+        for (int k = 0; k < 64; ++k) {
+            machine.memory().write(machine.globalAddr(input) + 8 * k,
+                                   MemSize::Dword, gen(k));
+        }
+        return machine;
+    }
+};
+
+TEST(ValueProfiler, ExecCounts)
+{
+    KernelLoop prog;
+    auto machine = prog.makeMachine(100, [](int) { return 7; });
+    profile::ValueProfiler vp(machine);
+    machine.addObserver(&vp);
+    machine.run();
+    const auto prof = vp.takeProfile();
+    const auto *p = prof.instProfile(prog.main->id(), prog.add_uid);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->exec, 100u);
+    EXPECT_GT(prof.totalDynamicInsts, 700u);
+}
+
+TEST(ValueProfiler, ConstantInputFullInvariance)
+{
+    KernelLoop prog;
+    auto machine = prog.makeMachine(200, [](int) { return 7; });
+    profile::ValueProfiler vp(machine);
+    machine.addObserver(&vp);
+    machine.run();
+    const auto prof = vp.takeProfile();
+    const auto *p = prof.instProfile(prog.main->id(), prog.add_uid);
+    ASSERT_NE(p, nullptr);
+    EXPECT_DOUBLE_EQ(p->invarianceTopK(5), 1.0);
+    EXPECT_EQ(p->distinctTuples(), 1u);
+}
+
+TEST(ValueProfiler, WideInputLowInvariance)
+{
+    KernelLoop prog;
+    auto machine =
+        prog.makeMachine(640, [](int k) { return k * 1315423911; });
+    profile::ValueProfiler vp(machine);
+    machine.addObserver(&vp);
+    machine.run();
+    const auto prof = vp.takeProfile();
+    const auto *p = prof.instProfile(prog.main->id(), prog.add_uid);
+    ASSERT_NE(p, nullptr);
+    // 64 equally likely values: top-5 cover 5/64.
+    EXPECT_NEAR(p->invarianceTopK(5), 5.0 / 64.0, 0.02);
+    EXPECT_EQ(p->distinctTuples(), 64u);
+}
+
+TEST(ValueProfiler, MemCleanWithoutStores)
+{
+    KernelLoop prog(false);
+    auto machine = prog.makeMachine(640, [](int k) { return k; });
+    profile::ValueProfiler vp(machine);
+    machine.addObserver(&vp);
+    machine.run();
+    const auto prof = vp.takeProfile();
+    const auto *p = prof.instProfile(prog.main->id(), prog.load_uid);
+    ASSERT_NE(p, nullptr);
+    // After the first wrap, every load sees an untouched location:
+    // 640 execs, 64 first-touches.
+    EXPECT_NEAR(p->memReuseFraction(), (640.0 - 64.0) / 640.0, 0.01);
+}
+
+TEST(ValueProfiler, StoresSpoilMemReuse)
+{
+    KernelLoop prog(true);
+    auto machine = prog.makeMachine(640, [](int k) { return k; });
+    profile::ValueProfiler vp(machine);
+    machine.addObserver(&vp);
+    machine.run();
+    const auto prof = vp.takeProfile();
+    const auto *p = prof.instProfile(prog.main->id(), prog.load_uid);
+    ASSERT_NE(p, nullptr);
+    // Every iteration stores into the array: epochs always advance.
+    EXPECT_LT(p->memReuseFraction(), 0.05);
+}
+
+TEST(ValueProfiler, BranchTakenFraction)
+{
+    KernelLoop prog;
+    auto machine = prog.makeMachine(100, [](int) { return 1; });
+    profile::ValueProfiler vp(machine);
+    machine.addObserver(&vp);
+    machine.run();
+    const auto prof = vp.takeProfile();
+    // The header branch: taken (into body) 100 times out of 101.
+    const auto &hdr = prog.main->block(prog.header);
+    const auto *p =
+        prof.instProfile(prog.main->id(), hdr.terminator().uid);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->exec, 101u);
+    EXPECT_NEAR(p->takenFraction(), 100.0 / 101.0, 1e-9);
+}
+
+/** Program with an inner loop invoked repeatedly with recurring
+ *  inputs. */
+struct NestedLoops
+{
+    Module m{"t"};
+    GlobalId table, out;
+    Function *main = nullptr;
+    BlockId inner_header = kNoBlock;
+
+    NestedLoops()
+    {
+        table = m.addGlobal("table", 16 * 8).id;
+        out = m.addGlobal("out", 8).id;
+        main = &m.addFunction("main", 0);
+        IRBuilder b(*main);
+        const BlockId entry = b.newBlock();
+        const BlockId oh = b.newBlock();
+        const BlockId pre = b.newBlock();
+        inner_header = b.newBlock();
+        const BlockId ib = b.newBlock();
+        const BlockId il = b.newBlock();
+        const BlockId oe = b.newBlock(); // inner exit == outer latch
+        const BlockId done = b.newBlock();
+        const Reg t = b.reg();
+        const Reg j = b.reg();
+        const Reg sum = b.reg();
+
+        b.setInsertPoint(entry);
+        const Reg base = b.movGA(table);
+        b.movITo(t, 0);
+        b.movITo(sum, 0);
+        b.jump(oh);
+
+        b.setInsertPoint(oh);
+        const Reg more = b.cmpLtI(t, 50);
+        b.br(more, pre, done);
+
+        b.setInsertPoint(pre);
+        b.movITo(j, 0);
+        b.jump(inner_header);
+
+        b.setInsertPoint(inner_header);
+        const Reg jc = b.cmpLtI(j, 16);
+        b.br(jc, ib, oe);
+
+        b.setInsertPoint(ib);
+        const Reg v = b.load(b.add(base, b.shlI(j, 3)), 0);
+        b.binOpTo(sum, Opcode::Add, sum, v);
+        b.jump(il);
+
+        b.setInsertPoint(il);
+        b.binOpITo(j, Opcode::Add, j, 1);
+        b.jump(inner_header);
+
+        b.setInsertPoint(oe);
+        b.binOpITo(t, Opcode::Add, t, 1);
+        b.jump(oh);
+
+        b.setInsertPoint(done);
+        b.store(b.movGA(out), 0, sum);
+        b.halt();
+    }
+};
+
+TEST(ValueProfiler, CyclicRecurrenceDetected)
+{
+    NestedLoops prog;
+    emu::Machine machine(prog.m);
+    // Non-zero table values make the running `sum` differ at every
+    // invocation of the inner loop.
+    for (int k = 0; k < 16; ++k) {
+        machine.memory().write(machine.globalAddr(prog.table) + 8 * k,
+                               MemSize::Dword, k + 1);
+    }
+    profile::ValueProfiler vp(machine);
+    machine.addObserver(&vp);
+    machine.run();
+    const auto prof = vp.takeProfile();
+    const auto *lp =
+        prof.loopProfile(prog.main->id(), prog.inner_header);
+    ASSERT_NE(lp, nullptr);
+    EXPECT_EQ(lp->invocations, 50u);
+    // Every invocation runs 16+1 header evaluations => multi-iter.
+    EXPECT_DOUBLE_EQ(lp->multiIterFraction(), 1.0);
+    // Inputs recur (sum differs, but sum is not read before defined
+    // within the loop... it is: sum accumulates). The inner loop reads
+    // `sum` before defining it, and sum grows monotonically, so only
+    // invocations with identical (j, base, sum) match. sum differs =>
+    // low reuse. This documents that accumulators suppress cyclic
+    // reuse, exactly as the mechanism requires for correctness.
+    EXPECT_LT(lp->reuseFraction(), 0.1);
+    EXPECT_EQ(lp->impure, 0u);
+}
+
+TEST(ValueProfiler, CyclicReuseWithLocalAccumulator)
+{
+    // Same shape, but the accumulator is reset before each invocation,
+    // making whole invocations recur.
+    Module m("t");
+    const GlobalId table = m.addGlobal("table", 16 * 8).id;
+    const GlobalId out = m.addGlobal("out", 8).id;
+    Function &main = m.addFunction("main", 0);
+    IRBuilder b(main);
+    const BlockId entry = b.newBlock();
+    const BlockId oh = b.newBlock();
+    const BlockId pre = b.newBlock();
+    const BlockId ih = b.newBlock();
+    const BlockId ib = b.newBlock();
+    const BlockId oe = b.newBlock();
+    const BlockId done = b.newBlock();
+    const Reg t = b.reg();
+    const Reg j = b.reg();
+    const Reg local = b.reg();
+    const Reg total = b.reg();
+
+    b.setInsertPoint(entry);
+    const Reg base = b.movGA(table);
+    b.movITo(t, 0);
+    b.movITo(total, 0);
+    b.jump(oh);
+    b.setInsertPoint(oh);
+    const Reg more = b.cmpLtI(t, 50);
+    b.br(more, pre, done);
+    b.setInsertPoint(pre);
+    b.movITo(j, 0);
+    b.movITo(local, 0);
+    b.jump(ih);
+    b.setInsertPoint(ih);
+    const Reg jc = b.cmpLtI(j, 16);
+    b.br(jc, ib, oe);
+    b.setInsertPoint(ib);
+    const Reg v = b.load(b.add(base, b.shlI(j, 3)), 0);
+    b.binOpTo(local, Opcode::Add, local, v);
+    b.binOpITo(j, Opcode::Add, j, 1);
+    b.jump(ih);
+    b.setInsertPoint(oe);
+    b.binOpTo(total, Opcode::Add, total, local);
+    b.binOpITo(t, Opcode::Add, t, 1);
+    b.jump(oh);
+    b.setInsertPoint(done);
+    b.store(b.movGA(out), 0, total);
+    b.halt();
+
+    emu::Machine machine(m);
+    for (int k = 0; k < 16; ++k) {
+        machine.memory().write(machine.globalAddr(table) + 8 * k,
+                               MemSize::Dword, k + 1);
+    }
+    profile::ValueProfiler vp(machine);
+    machine.addObserver(&vp);
+    machine.run();
+    const auto prof = vp.takeProfile();
+    const auto *lp = prof.loopProfile(main.id(), ih);
+    ASSERT_NE(lp, nullptr);
+    EXPECT_EQ(lp->invocations, 50u);
+    // All invocations after the first are identical and clean.
+    EXPECT_GT(lp->reuseFraction(), 0.9);
+}
+
+TEST(AddrMap, StructOfAndEpochs)
+{
+    Module m("t");
+    const GlobalId g1 = m.addGlobal("a", 64).id;
+    const GlobalId g2 = m.addGlobal("b", 64).id;
+    Function &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    b.halt();
+    emu::Machine machine(m);
+    profile::AddrMap amap(machine);
+
+    const auto s1 = amap.structOf(machine.globalAddr(g1));
+    const auto s2 = amap.structOf(machine.globalAddr(g2) + 63);
+    EXPECT_TRUE(s1.isGlobal());
+    EXPECT_EQ(s1.id, g1);
+    EXPECT_EQ(s2.id, g2);
+    EXPECT_FALSE(amap.structOf(0x9999999).isGlobal());
+
+    const auto e0 = amap.epoch(s1);
+    amap.recordStore(machine.globalAddr(g1) + 8);
+    EXPECT_EQ(amap.epoch(s1), e0 + 1);
+    EXPECT_EQ(amap.epoch(s2), 0u);
+}
+
+TEST(ReusePotential, RecurringInvocationsHighPotential)
+{
+    // The inner loop of NestedLoops re-runs with identical inputs
+    // (zero table, zero accumulator): from the second invocation on,
+    // its whole execution is reusable.
+    NestedLoops prog;
+    emu::Machine machine(prog.m);
+    profile::ReusePotentialStudy study(machine);
+    machine.addObserver(&study);
+    machine.run();
+    const auto r = study.result();
+    EXPECT_GT(r.totalInsts, 3000u);
+    EXPECT_GT(r.regionFraction(), 0.5);
+}
+
+TEST(ReusePotential, IndexDependentComputationNotReusable)
+{
+    // Every iteration of KernelLoop consumes the loop index i, which
+    // never recurs, so neither its blocks nor its paths are reusable —
+    // exactly the semantics a real reuse mechanism must respect.
+    KernelLoop prog;
+    auto machine = prog.makeMachine(640, [](int k) { return k % 4; });
+    profile::ReusePotentialStudy study(machine);
+    machine.addObserver(&study);
+    machine.run();
+    const auto r = study.result();
+    EXPECT_GT(r.totalInsts, 5000u);
+    EXPECT_LT(r.regionFraction(), 0.2);
+}
+
+TEST(ReusePotential, UniqueInputsLowPotential)
+{
+    KernelLoop prog;
+    // i itself feeds the signature via the index computation, and it
+    // never repeats across the 64-entry window... it wraps; use store
+    // variant to also break memory reuse.
+    KernelLoop dirty(true);
+    auto machine =
+        dirty.makeMachine(300, [](int k) { return k * 977; });
+    profile::ReusePotentialStudy study(machine);
+    machine.addObserver(&study);
+    machine.run();
+    const auto r = study.result();
+    // Stores end segments and dirty memory: little region reuse.
+    EXPECT_LT(r.regionFraction(), 0.35);
+}
+
+TEST(ReusePotential, BlockSubsetOfRegionInAggregate)
+{
+    NestedLoops prog;
+    emu::Machine machine(prog.m);
+    profile::ReusePotentialStudy study(machine);
+    machine.addObserver(&study);
+    machine.run();
+    const auto r = study.result();
+    EXPECT_GT(r.totalInsts, 0u);
+    EXPECT_LE(r.blockReusableInsts, r.totalInsts);
+    EXPECT_LE(r.regionReusableInsts, r.totalInsts);
+}
+
+} // namespace

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Randomized property tests. A small random-program generator
+ * produces straight-line and branchy IR; the properties are
+ * metamorphic: the classic optimizer, the reorder pass, and constant
+ * folding must never change a program's observable output, and the
+ * emulator's ALU must agree with host arithmetic on random operands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reorder.hh"
+#include "emu/machine.hh"
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "opt/passes.hh"
+#include "workloads/harness.hh"
+#include "support/random.hh"
+
+namespace
+{
+
+using namespace ccr;
+using namespace ccr::ir;
+
+/** ALU opcodes safe for random operand streams. */
+const Opcode kAluOps[] = {
+    Opcode::Add,   Opcode::Sub,   Opcode::Mul,  Opcode::Div,
+    Opcode::Rem,   Opcode::And,   Opcode::Or,   Opcode::Xor,
+    Opcode::Shl,   Opcode::Shr,   Opcode::Sra,  Opcode::CmpEq,
+    Opcode::CmpNe, Opcode::CmpLt, Opcode::CmpLe, Opcode::CmpGt,
+    Opcode::CmpGe, Opcode::CmpLtU, Opcode::CmpGeU,
+};
+
+/**
+ * Generate a random module: a few globals, a chain of blocks with
+ * random ALU ops, loads, stores, and diamonds, folding everything into
+ * the "out" global. Deterministic per seed.
+ */
+Module
+randomModule(std::uint64_t seed, int blocks, int insts_per_block)
+{
+    Rng rng(seed);
+    Module m("rand" + std::to_string(seed));
+    const GlobalId out = m.addGlobal("out", 8).id;
+    const GlobalId scratch = m.addGlobal("scratch", 32 * 8).id;
+
+    Function &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+
+    std::vector<BlockId> chain;
+    for (int i = 0; i < blocks; ++i)
+        chain.push_back(b.newBlock());
+    const BlockId exit = b.newBlock();
+    f.setEntry(chain.front());
+
+    // A pool of live registers the generator draws operands from.
+    std::vector<Reg> pool;
+    const Reg acc = b.reg();
+
+    b.setInsertPoint(chain.front());
+    b.movITo(acc, 1);
+    for (int i = 0; i < 4; ++i)
+        pool.push_back(b.movI(rng.nextRange(-1000, 1000)));
+
+    for (int bi = 0; bi < blocks; ++bi) {
+        b.setInsertPoint(chain[static_cast<std::size_t>(bi)]);
+        if (bi > 0) {
+            // Fresh constants keep the pool alive across merges.
+            pool.push_back(b.movI(rng.nextRange(-50, 50)));
+        }
+        for (int k = 0; k < insts_per_block; ++k) {
+            const auto pick = [&] {
+                return pool[rng.nextBelow(pool.size())];
+            };
+            switch (rng.nextBelow(8)) {
+              case 0: { // store to scratch
+                const Reg base = b.movGA(scratch);
+                const Reg idx =
+                    b.andI(pick(), 31);
+                b.store(b.add(base, b.shlI(idx, 3)), 0, pick());
+                break;
+              }
+              case 1: { // load from scratch
+                const Reg base = b.movGA(scratch);
+                const Reg idx = b.andI(pick(), 31);
+                pool.push_back(
+                    b.load(b.add(base, b.shlI(idx, 3)), 0));
+                break;
+              }
+              default: { // random ALU op
+                const Opcode op = kAluOps[rng.nextBelow(
+                    sizeof(kAluOps) / sizeof(kAluOps[0]))];
+                if (rng.nextBool(0.4)) {
+                    pool.push_back(
+                        b.binOpI(op, pick(), rng.nextRange(-9, 9)));
+                } else {
+                    pool.push_back(b.binOp(op, pick(), pick()));
+                }
+                break;
+              }
+            }
+            if (pool.size() > 24)
+                pool.erase(pool.begin());
+        }
+        // Fold the newest value into the accumulator.
+        b.binOpTo(acc, Opcode::Add, acc, pool.back());
+
+        const BlockId next =
+            bi + 1 < blocks ? chain[static_cast<std::size_t>(bi + 1)]
+                            : exit;
+        if (rng.nextBool(0.5) && bi + 2 < blocks) {
+            // Diamond: branch on a random value, both arms add a
+            // different constant, rejoin at the next block.
+            const BlockId arm_a = b.newBlock();
+            const BlockId arm_b = b.newBlock();
+            const Reg cond = b.andI(pool.back(), 1);
+            b.br(cond, arm_a, arm_b);
+            b.setInsertPoint(arm_a);
+            b.binOpITo(acc, Opcode::Add, acc, 3);
+            b.jump(next);
+            b.setInsertPoint(arm_b);
+            b.binOpITo(acc, Opcode::Xor, acc, 5);
+            b.jump(next);
+        } else {
+            b.jump(next);
+        }
+    }
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+    return m;
+}
+
+std::int64_t
+runOut(Module &m)
+{
+    emu::Machine machine(m);
+    machine.run(2'000'000);
+    EXPECT_TRUE(machine.halted());
+    return machine.memory().read(
+        machine.globalAddr(m.findGlobal("out")->id), MemSize::Dword,
+        false);
+}
+
+class RandomPrograms : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RandomPrograms, GeneratedModuleVerifies)
+{
+    Module m = randomModule(GetParam(), 6, 12);
+    EXPECT_TRUE(verify(m).empty());
+}
+
+TEST_P(RandomPrograms, OptimizerPreservesOutput)
+{
+    Module plain = randomModule(GetParam(), 6, 12);
+    const auto expect = runOut(plain);
+
+    Module optimized = randomModule(GetParam(), 6, 12);
+    opt::runStandardPipeline(optimized);
+    EXPECT_TRUE(verify(optimized).empty());
+    EXPECT_EQ(runOut(optimized), expect);
+}
+
+TEST_P(RandomPrograms, ReorderPreservesOutput)
+{
+    Module plain = randomModule(GetParam(), 6, 12);
+    const auto expect = runOut(plain);
+
+    Module shuffled = randomModule(GetParam(), 6, 12);
+    Function &f = *shuffled.findFunction("main");
+    Rng rng(GetParam() ^ 0xdead);
+    for (auto &bb : f.blocks()) {
+        // A random eligibility predicate stresses dependence handling.
+        core::clusterReorder(f, bb.id(), [&](const Inst &inst) {
+            return !inst.isControlInst() && (inst.uid % 3) != 0;
+        });
+    }
+    EXPECT_TRUE(verify(shuffled).empty());
+    EXPECT_EQ(runOut(shuffled), expect);
+}
+
+TEST_P(RandomPrograms, ConstFoldPreservesOutput)
+{
+    Module plain = randomModule(GetParam(), 4, 16);
+    const auto expect = runOut(plain);
+
+    Module folded = randomModule(GetParam(), 4, 16);
+    Function &f = *folded.findFunction("main");
+    opt::foldConstants(f);
+    opt::eliminateCommonSubexpressions(f);
+    EXPECT_TRUE(verify(folded).empty());
+    EXPECT_EQ(runOut(folded), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89, 144, 233));
+
+/** Emulator ALU vs host arithmetic on random operands. */
+TEST(AluProperty, MatchesHostOnRandomOperands)
+{
+    Rng rng(0xA1B2);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto a = static_cast<std::int64_t>(rng.next());
+        const auto c = static_cast<std::int64_t>(
+            rng.nextBool(0.2) ? rng.nextBelow(4) : rng.next());
+        const Opcode op = kAluOps[rng.nextBelow(
+            sizeof(kAluOps) / sizeof(kAluOps[0]))];
+
+        Module m("t");
+        const GlobalId out = m.addGlobal("out", 8).id;
+        Function &f = m.addFunction("main", 0);
+        IRBuilder b(f);
+        b.setInsertPoint(b.newBlock());
+        const Reg r = b.binOp(op, b.movI(a), b.movI(c));
+        b.store(b.movGA(out), 0, r);
+        b.halt();
+
+        // Reference semantics (mirrors the documented ALU contract).
+        const auto ua = static_cast<std::uint64_t>(a);
+        const auto uc = static_cast<std::uint64_t>(c);
+        std::int64_t expect = 0;
+        switch (op) {
+          case Opcode::Add: expect = a + c; break;
+          case Opcode::Sub: expect = a - c; break;
+          case Opcode::Mul:
+            expect = static_cast<std::int64_t>(ua * uc);
+            break;
+          case Opcode::Div:
+            expect = c == 0 ? 0
+                            : (a == INT64_MIN && c == -1 ? INT64_MIN
+                                                         : a / c);
+            break;
+          case Opcode::Rem:
+            expect =
+                c == 0 ? 0 : (a == INT64_MIN && c == -1 ? 0 : a % c);
+            break;
+          case Opcode::And: expect = a & c; break;
+          case Opcode::Or: expect = a | c; break;
+          case Opcode::Xor: expect = a ^ c; break;
+          case Opcode::Shl:
+            expect = static_cast<std::int64_t>(ua << (uc & 63));
+            break;
+          case Opcode::Shr:
+            expect = static_cast<std::int64_t>(ua >> (uc & 63));
+            break;
+          case Opcode::Sra: expect = a >> (uc & 63); break;
+          case Opcode::CmpEq: expect = a == c; break;
+          case Opcode::CmpNe: expect = a != c; break;
+          case Opcode::CmpLt: expect = a < c; break;
+          case Opcode::CmpLe: expect = a <= c; break;
+          case Opcode::CmpGt: expect = a > c; break;
+          case Opcode::CmpGe: expect = a >= c; break;
+          case Opcode::CmpLtU: expect = ua < uc; break;
+          case Opcode::CmpGeU: expect = ua >= uc; break;
+          default: FAIL();
+        }
+        EXPECT_EQ(runOut(m), expect)
+            << opcodeName(op) << " " << a << ", " << c;
+    }
+}
+
+/** CRB geometry property: correctness for any geometry, monotone-ish
+ *  hit counts in capacity. */
+class CrbGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(CrbGeometry, WorkloadStaysCorrect)
+{
+    const auto [entries, instances, assoc] = GetParam();
+    workloads::RunConfig cfg;
+    cfg.crb.entries = entries;
+    cfg.crb.instances = instances;
+    cfg.crb.assoc = assoc;
+    const auto r = workloads::runCcrExperiment("li", cfg);
+    EXPECT_TRUE(r.outputsMatch);
+    EXPECT_LE(r.crbHits, r.crbQueries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CrbGeometry,
+    ::testing::Combine(::testing::Values(4, 32, 128),
+                       ::testing::Values(1, 4, 16),
+                       ::testing::Values(1, 2)));
+
+} // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_base_opt.dir/abl_base_opt.cpp.o"
+  "CMakeFiles/abl_base_opt.dir/abl_base_opt.cpp.o.d"
+  "abl_base_opt"
+  "abl_base_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_base_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_base_opt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_crb_design.dir/abl_crb_design.cpp.o"
+  "CMakeFiles/abl_crb_design.dir/abl_crb_design.cpp.o.d"
+  "abl_crb_design"
+  "abl_crb_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_crb_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_function_level.dir/abl_function_level.cpp.o"
+  "CMakeFiles/abl_function_level.dir/abl_function_level.cpp.o.d"
+  "abl_function_level"
+  "abl_function_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_function_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_value_spec.dir/abl_value_spec.cpp.o"
+  "CMakeFiles/abl_value_spec.dir/abl_value_spec.cpp.o.d"
+  "abl_value_spec"
+  "abl_value_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_value_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_reuse_potential.dir/fig04_reuse_potential.cpp.o"
+  "CMakeFiles/fig04_reuse_potential.dir/fig04_reuse_potential.cpp.o.d"
+  "fig04_reuse_potential"
+  "fig04_reuse_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_reuse_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

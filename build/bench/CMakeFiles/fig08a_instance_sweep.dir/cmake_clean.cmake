@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_instance_sweep.dir/fig08a_instance_sweep.cpp.o"
+  "CMakeFiles/fig08a_instance_sweep.dir/fig08a_instance_sweep.cpp.o.d"
+  "fig08a_instance_sweep"
+  "fig08a_instance_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_instance_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

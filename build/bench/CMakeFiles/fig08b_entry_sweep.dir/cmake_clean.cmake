@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_entry_sweep.dir/fig08b_entry_sweep.cpp.o"
+  "CMakeFiles/fig08b_entry_sweep.dir/fig08b_entry_sweep.cpp.o.d"
+  "fig08b_entry_sweep"
+  "fig08b_entry_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_entry_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

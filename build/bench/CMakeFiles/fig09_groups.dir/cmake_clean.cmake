@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_groups.dir/fig09_groups.cpp.o"
+  "CMakeFiles/fig09_groups.dir/fig09_groups.cpp.o.d"
+  "fig09_groups"
+  "fig09_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_train_ref.dir/fig11_train_ref.cpp.o"
+  "CMakeFiles/fig11_train_ref.dir/fig11_train_ref.cpp.o.d"
+  "fig11_train_ref"
+  "fig11_train_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_train_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

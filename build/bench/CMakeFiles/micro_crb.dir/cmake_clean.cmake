@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_crb.dir/micro_crb.cpp.o"
+  "CMakeFiles/micro_crb.dir/micro_crb.cpp.o.d"
+  "micro_crb"
+  "micro_crb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_crb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

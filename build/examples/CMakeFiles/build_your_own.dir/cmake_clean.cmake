@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_your_own.dir/build_your_own.cpp.o"
+  "CMakeFiles/build_your_own.dir/build_your_own.cpp.o.d"
+  "build_your_own"
+  "build_your_own.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_your_own.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

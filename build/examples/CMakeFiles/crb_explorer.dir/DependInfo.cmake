@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/crb_explorer.cpp" "examples/CMakeFiles/crb_explorer.dir/crb_explorer.cpp.o" "gcc" "examples/CMakeFiles/crb_explorer.dir/crb_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ccr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ccr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/ccr_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ccr_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ccr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/ccr_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ccr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crb_explorer.dir/crb_explorer.cpp.o"
+  "CMakeFiles/crb_explorer.dir/crb_explorer.cpp.o.d"
+  "crb_explorer"
+  "crb_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crb_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

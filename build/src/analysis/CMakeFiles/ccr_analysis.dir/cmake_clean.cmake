@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_analysis.dir/alias.cc.o"
+  "CMakeFiles/ccr_analysis.dir/alias.cc.o.d"
+  "CMakeFiles/ccr_analysis.dir/cfg.cc.o"
+  "CMakeFiles/ccr_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/ccr_analysis.dir/dominators.cc.o"
+  "CMakeFiles/ccr_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/ccr_analysis.dir/liveness.cc.o"
+  "CMakeFiles/ccr_analysis.dir/liveness.cc.o.d"
+  "CMakeFiles/ccr_analysis.dir/loops.cc.o"
+  "CMakeFiles/ccr_analysis.dir/loops.cc.o.d"
+  "libccr_analysis.a"
+  "libccr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

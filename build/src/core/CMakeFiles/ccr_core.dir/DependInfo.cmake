@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/eligibility.cc" "src/core/CMakeFiles/ccr_core.dir/eligibility.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/eligibility.cc.o.d"
+  "/root/repo/src/core/former.cc" "src/core/CMakeFiles/ccr_core.dir/former.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/former.cc.o.d"
+  "/root/repo/src/core/former_acyclic.cc" "src/core/CMakeFiles/ccr_core.dir/former_acyclic.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/former_acyclic.cc.o.d"
+  "/root/repo/src/core/former_function.cc" "src/core/CMakeFiles/ccr_core.dir/former_function.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/former_function.cc.o.d"
+  "/root/repo/src/core/region.cc" "src/core/CMakeFiles/ccr_core.dir/region.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/region.cc.o.d"
+  "/root/repo/src/core/reorder.cc" "src/core/CMakeFiles/ccr_core.dir/reorder.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/reorder.cc.o.d"
+  "/root/repo/src/core/transform.cc" "src/core/CMakeFiles/ccr_core.dir/transform.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/ccr_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ccr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ccr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/ccr_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

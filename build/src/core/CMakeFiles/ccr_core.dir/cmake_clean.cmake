@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_core.dir/eligibility.cc.o"
+  "CMakeFiles/ccr_core.dir/eligibility.cc.o.d"
+  "CMakeFiles/ccr_core.dir/former.cc.o"
+  "CMakeFiles/ccr_core.dir/former.cc.o.d"
+  "CMakeFiles/ccr_core.dir/former_acyclic.cc.o"
+  "CMakeFiles/ccr_core.dir/former_acyclic.cc.o.d"
+  "CMakeFiles/ccr_core.dir/former_function.cc.o"
+  "CMakeFiles/ccr_core.dir/former_function.cc.o.d"
+  "CMakeFiles/ccr_core.dir/region.cc.o"
+  "CMakeFiles/ccr_core.dir/region.cc.o.d"
+  "CMakeFiles/ccr_core.dir/reorder.cc.o"
+  "CMakeFiles/ccr_core.dir/reorder.cc.o.d"
+  "CMakeFiles/ccr_core.dir/transform.cc.o"
+  "CMakeFiles/ccr_core.dir/transform.cc.o.d"
+  "libccr_core.a"
+  "libccr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

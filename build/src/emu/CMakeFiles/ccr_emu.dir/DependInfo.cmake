@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/machine.cc" "src/emu/CMakeFiles/ccr_emu.dir/machine.cc.o" "gcc" "src/emu/CMakeFiles/ccr_emu.dir/machine.cc.o.d"
+  "/root/repo/src/emu/memory.cc" "src/emu/CMakeFiles/ccr_emu.dir/memory.cc.o" "gcc" "src/emu/CMakeFiles/ccr_emu.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ccr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

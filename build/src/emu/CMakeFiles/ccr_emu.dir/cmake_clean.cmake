@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_emu.dir/machine.cc.o"
+  "CMakeFiles/ccr_emu.dir/machine.cc.o.d"
+  "CMakeFiles/ccr_emu.dir/memory.cc.o"
+  "CMakeFiles/ccr_emu.dir/memory.cc.o.d"
+  "libccr_emu.a"
+  "libccr_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_ir.dir/builder.cc.o"
+  "CMakeFiles/ccr_ir.dir/builder.cc.o.d"
+  "CMakeFiles/ccr_ir.dir/function.cc.o"
+  "CMakeFiles/ccr_ir.dir/function.cc.o.d"
+  "CMakeFiles/ccr_ir.dir/inst.cc.o"
+  "CMakeFiles/ccr_ir.dir/inst.cc.o.d"
+  "CMakeFiles/ccr_ir.dir/module.cc.o"
+  "CMakeFiles/ccr_ir.dir/module.cc.o.d"
+  "CMakeFiles/ccr_ir.dir/opcode.cc.o"
+  "CMakeFiles/ccr_ir.dir/opcode.cc.o.d"
+  "CMakeFiles/ccr_ir.dir/printer.cc.o"
+  "CMakeFiles/ccr_ir.dir/printer.cc.o.d"
+  "CMakeFiles/ccr_ir.dir/verifier.cc.o"
+  "CMakeFiles/ccr_ir.dir/verifier.cc.o.d"
+  "libccr_ir.a"
+  "libccr_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

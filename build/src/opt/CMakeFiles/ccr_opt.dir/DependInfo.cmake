@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/constfold.cc" "src/opt/CMakeFiles/ccr_opt.dir/constfold.cc.o" "gcc" "src/opt/CMakeFiles/ccr_opt.dir/constfold.cc.o.d"
+  "/root/repo/src/opt/cse_dce.cc" "src/opt/CMakeFiles/ccr_opt.dir/cse_dce.cc.o" "gcc" "src/opt/CMakeFiles/ccr_opt.dir/cse_dce.cc.o.d"
+  "/root/repo/src/opt/inline_unroll.cc" "src/opt/CMakeFiles/ccr_opt.dir/inline_unroll.cc.o" "gcc" "src/opt/CMakeFiles/ccr_opt.dir/inline_unroll.cc.o.d"
+  "/root/repo/src/opt/simplify.cc" "src/opt/CMakeFiles/ccr_opt.dir/simplify.cc.o" "gcc" "src/opt/CMakeFiles/ccr_opt.dir/simplify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ccr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ccr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_opt.dir/constfold.cc.o"
+  "CMakeFiles/ccr_opt.dir/constfold.cc.o.d"
+  "CMakeFiles/ccr_opt.dir/cse_dce.cc.o"
+  "CMakeFiles/ccr_opt.dir/cse_dce.cc.o.d"
+  "CMakeFiles/ccr_opt.dir/inline_unroll.cc.o"
+  "CMakeFiles/ccr_opt.dir/inline_unroll.cc.o.d"
+  "CMakeFiles/ccr_opt.dir/simplify.cc.o"
+  "CMakeFiles/ccr_opt.dir/simplify.cc.o.d"
+  "libccr_opt.a"
+  "libccr_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/addrmap.cc" "src/profile/CMakeFiles/ccr_profile.dir/addrmap.cc.o" "gcc" "src/profile/CMakeFiles/ccr_profile.dir/addrmap.cc.o.d"
+  "/root/repo/src/profile/reuse_potential.cc" "src/profile/CMakeFiles/ccr_profile.dir/reuse_potential.cc.o" "gcc" "src/profile/CMakeFiles/ccr_profile.dir/reuse_potential.cc.o.d"
+  "/root/repo/src/profile/value_profiler.cc" "src/profile/CMakeFiles/ccr_profile.dir/value_profiler.cc.o" "gcc" "src/profile/CMakeFiles/ccr_profile.dir/value_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emu/CMakeFiles/ccr_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ccr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ccr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_profile.dir/addrmap.cc.o"
+  "CMakeFiles/ccr_profile.dir/addrmap.cc.o.d"
+  "CMakeFiles/ccr_profile.dir/reuse_potential.cc.o"
+  "CMakeFiles/ccr_profile.dir/reuse_potential.cc.o.d"
+  "CMakeFiles/ccr_profile.dir/value_profiler.cc.o"
+  "CMakeFiles/ccr_profile.dir/value_profiler.cc.o.d"
+  "libccr_profile.a"
+  "libccr_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_support.dir/logging.cc.o"
+  "CMakeFiles/ccr_support.dir/logging.cc.o.d"
+  "CMakeFiles/ccr_support.dir/random.cc.o"
+  "CMakeFiles/ccr_support.dir/random.cc.o.d"
+  "CMakeFiles/ccr_support.dir/stats.cc.o"
+  "CMakeFiles/ccr_support.dir/stats.cc.o.d"
+  "CMakeFiles/ccr_support.dir/table.cc.o"
+  "CMakeFiles/ccr_support.dir/table.cc.o.d"
+  "libccr_support.a"
+  "libccr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_uarch.dir/branch_pred.cc.o"
+  "CMakeFiles/ccr_uarch.dir/branch_pred.cc.o.d"
+  "CMakeFiles/ccr_uarch.dir/cache.cc.o"
+  "CMakeFiles/ccr_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/ccr_uarch.dir/crb.cc.o"
+  "CMakeFiles/ccr_uarch.dir/crb.cc.o.d"
+  "CMakeFiles/ccr_uarch.dir/pipeline.cc.o"
+  "CMakeFiles/ccr_uarch.dir/pipeline.cc.o.d"
+  "libccr_uarch.a"
+  "libccr_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/dispatch.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/dispatch.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/dispatch.cc.o.d"
+  "/root/repo/src/workloads/harness.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/harness.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/harness.cc.o.d"
+  "/root/repo/src/workloads/heapscan.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/heapscan.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/heapscan.cc.o.d"
+  "/root/repo/src/workloads/support.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/support.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/support.cc.o.d"
+  "/root/repo/src/workloads/w_compress.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_compress.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_compress.cc.o.d"
+  "/root/repo/src/workloads/w_espresso.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_espresso.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_espresso.cc.o.d"
+  "/root/repo/src/workloads/w_gcc.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_gcc.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_gcc.cc.o.d"
+  "/root/repo/src/workloads/w_go.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_go.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_go.cc.o.d"
+  "/root/repo/src/workloads/w_ijpeg.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_ijpeg.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_ijpeg.cc.o.d"
+  "/root/repo/src/workloads/w_lex.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_lex.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_lex.cc.o.d"
+  "/root/repo/src/workloads/w_li.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_li.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_li.cc.o.d"
+  "/root/repo/src/workloads/w_m88ksim.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_m88ksim.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_m88ksim.cc.o.d"
+  "/root/repo/src/workloads/w_mpeg2enc.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_mpeg2enc.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_mpeg2enc.cc.o.d"
+  "/root/repo/src/workloads/w_pgpencode.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_pgpencode.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_pgpencode.cc.o.d"
+  "/root/repo/src/workloads/w_sc.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_sc.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_sc.cc.o.d"
+  "/root/repo/src/workloads/w_vortex.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_vortex.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_vortex.cc.o.d"
+  "/root/repo/src/workloads/w_yacc.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_yacc.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/w_yacc.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/ccr_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/ccr_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ccr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/ccr_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ccr_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/ccr_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ccr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccr_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ccr_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_function_level.dir/test_function_level.cc.o"
+  "CMakeFiles/test_function_level.dir/test_function_level.cc.o.d"
+  "test_function_level"
+  "test_function_level.pdb"
+  "test_function_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_function_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -12,31 +12,37 @@
 #include "opt/passes.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccr;
     using namespace ccr::bench;
 
     setVerbose(false);
+    const auto opts = parseDriverOptions(argc, argv);
     figureHeader("Ablation", "CCR on plain vs optimized base code "
                              "(128e/8ci)");
 
-    Table t("speedups");
-    t.setHeader({"benchmark", "opt vs plain base", "ccr on plain",
-                 "ccr on optimized"});
-
-    std::vector<double> opt_gain, plain_s, opt_s;
+    workloads::RunPlan plan;
     for (const auto &name : benchmarks()) {
         workloads::RunConfig plain_cfg;
         plain_cfg.crb.entries = 128;
         plain_cfg.crb.instances = 8;
         workloads::RunConfig opt_cfg = plain_cfg;
         opt_cfg.optimizeBase = true;
+        plan.add(name, plain_cfg);
+        plan.add(name, opt_cfg);
+    }
+    const auto results = runPlanTimed(plan, opts);
 
-        const auto rp = workloads::runCcrExperiment(name, plain_cfg);
-        const auto ro = workloads::runCcrExperiment(name, opt_cfg);
-        if (!rp.outputsMatch || !ro.outputsMatch)
-            ccr_fatal("output mismatch for ", name);
+    Table t("speedups");
+    t.setHeader({"benchmark", "opt vs plain base", "ccr on plain",
+                 "ccr on optimized"});
+
+    std::vector<double> opt_gain, plain_s, opt_s;
+    std::size_t next = 0;
+    for (const auto &name : benchmarks()) {
+        const auto &rp = results[next++];
+        const auto &ro = results[next++];
 
         const double base_gain =
             static_cast<double>(rp.base.cycles)

@@ -15,12 +15,13 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccr;
     using namespace ccr::bench;
 
     setVerbose(false);
+    const auto opts = parseDriverOptions(argc, argv);
     figureHeader("Ablation", "CRB design variants (128 entries, 8 CIs "
                              "baseline)");
 
@@ -56,6 +57,16 @@ main()
         variants.push_back({"mem 0%", v});
     }
 
+    workloads::RunPlan plan;
+    for (const auto &name : benchmarks()) {
+        for (const auto &v : variants) {
+            workloads::RunConfig config;
+            config.crb = v.crb;
+            plan.add(name, config);
+        }
+    }
+    const auto results = runPlanTimed(plan, opts);
+
     Table t("speedup by CRB variant");
     std::vector<std::string> header{"benchmark"};
     for (const auto &v : variants)
@@ -63,14 +74,11 @@ main()
     t.setHeader(header);
 
     std::map<std::string, std::vector<double>> speedups;
+    std::size_t next = 0;
     for (const auto &name : benchmarks()) {
         std::vector<std::string> row{name};
         for (const auto &v : variants) {
-            workloads::RunConfig config;
-            config.crb = v.crb;
-            const auto r = workloads::runCcrExperiment(name, config);
-            if (!r.outputsMatch)
-                ccr_fatal("output mismatch for ", name);
+            const auto &r = results[next++];
             speedups[v.name].push_back(r.speedup());
             row.push_back(Table::fmt(r.speedup(), 3));
         }

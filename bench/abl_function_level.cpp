@@ -10,31 +10,37 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccr;
     using namespace ccr::bench;
 
     setVerbose(false);
+    const auto opts = parseDriverOptions(argc, argv);
     figureHeader("Ablation",
                  "function-level reuse (paper §6), 128e/8ci");
 
-    Table t("speedups");
-    t.setHeader({"benchmark", "region-level", "function-level",
-                 "#fn regions"});
-
-    std::vector<double> base_s, fn_s;
+    workloads::RunPlan plan;
     for (const auto &name : benchmarks()) {
         workloads::RunConfig base_cfg;
         base_cfg.crb.entries = 128;
         base_cfg.crb.instances = 8;
         workloads::RunConfig fn_cfg = base_cfg;
         fn_cfg.policy.enableFunctionLevel = true;
+        plan.add(name, base_cfg);
+        plan.add(name, fn_cfg);
+    }
+    const auto results = runPlanTimed(plan, opts);
 
-        const auto rb = workloads::runCcrExperiment(name, base_cfg);
-        const auto rf = workloads::runCcrExperiment(name, fn_cfg);
-        if (!rb.outputsMatch || !rf.outputsMatch)
-            ccr_fatal("output mismatch for ", name);
+    Table t("speedups");
+    t.setHeader({"benchmark", "region-level", "function-level",
+                 "#fn regions"});
+
+    std::vector<double> base_s, fn_s;
+    std::size_t next = 0;
+    for (const auto &name : benchmarks()) {
+        const auto &rb = results[next++];
+        const auto &rf = results[next++];
 
         base_s.push_back(rb.speedup());
         fn_s.push_back(rf.speedup());

@@ -10,12 +10,13 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccr;
     using namespace ccr::bench;
 
     setVerbose(false);
+    const auto opts = parseDriverOptions(argc, argv);
     figureHeader("Ablation", "region formation heuristics");
 
     struct Variant
@@ -47,6 +48,20 @@ main()
         variants.push_back({"cyclic only", p});
     }
 
+    workloads::RunPlan plan;
+    for (const auto &name : benchmarks()) {
+        for (const auto &v : variants) {
+            workloads::RunConfig config;
+            config.policy = v.policy;
+            config.crb.entries = 128;
+            // A modest CI count makes over-admission visible, as the
+            // paper's "reasonably sized CRBs" remark predicts.
+            config.crb.instances = 4;
+            plan.add(name, config);
+        }
+    }
+    const auto results = runPlanTimed(plan, opts);
+
     Table t("speedup by policy (128e/4ci)");
     std::vector<std::string> header{"benchmark"};
     for (const auto &v : variants)
@@ -55,18 +70,11 @@ main()
 
     std::map<std::string, std::vector<double>> speedups;
     std::map<std::string, int> region_counts;
+    std::size_t next = 0;
     for (const auto &name : benchmarks()) {
         std::vector<std::string> row{name};
         for (const auto &v : variants) {
-            workloads::RunConfig config;
-            config.policy = v.policy;
-            config.crb.entries = 128;
-            // A modest CI count makes over-admission visible, as the
-            // paper's "reasonably sized CRBs" remark predicts.
-            config.crb.instances = 4;
-            const auto r = workloads::runCcrExperiment(name, config);
-            if (!r.outputsMatch)
-                ccr_fatal("output mismatch for ", name);
+            const auto &r = results[next++];
             speedups[v.name].push_back(r.speedup());
             region_counts[v.name] +=
                 static_cast<int>(r.regions.size());

@@ -10,30 +10,36 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccr;
     using namespace ccr::bench;
 
     setVerbose(false);
+    const auto opts = parseDriverOptions(argc, argv);
     figureHeader("Ablation",
                  "speculative reuse validation (paper §6), 128e/8ci");
 
-    Table t("speedups");
-    t.setHeader({"benchmark", "validated", "speculative"});
-
-    std::vector<double> base_s, spec_s;
+    workloads::RunPlan plan;
     for (const auto &name : benchmarks()) {
         workloads::RunConfig base_cfg;
         base_cfg.crb.entries = 128;
         base_cfg.crb.instances = 8;
         workloads::RunConfig spec_cfg = base_cfg;
         spec_cfg.pipe.speculativeValidation = true;
+        plan.add(name, base_cfg);
+        plan.add(name, spec_cfg);
+    }
+    const auto results = runPlanTimed(plan, opts);
 
-        const auto rb = workloads::runCcrExperiment(name, base_cfg);
-        const auto rs = workloads::runCcrExperiment(name, spec_cfg);
-        if (!rb.outputsMatch || !rs.outputsMatch)
-            ccr_fatal("output mismatch for ", name);
+    Table t("speedups");
+    t.setHeader({"benchmark", "validated", "speculative"});
+
+    std::vector<double> base_s, spec_s;
+    std::size_t next = 0;
+    for (const auto &name : benchmarks()) {
+        const auto &rb = results[next++];
+        const auto &rs = results[next++];
 
         base_s.push_back(rb.speedup());
         spec_s.push_back(rs.speedup());

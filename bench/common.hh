@@ -8,6 +8,7 @@
 #ifndef CCR_BENCH_COMMON_HH
 #define CCR_BENCH_COMMON_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -15,6 +16,8 @@
 
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/timing.hh"
+#include "workloads/driver.hh"
 #include "workloads/harness.hh"
 
 namespace ccr::bench
@@ -25,6 +28,52 @@ inline std::vector<std::string>
 benchmarks()
 {
     return workloads::workloadNames();
+}
+
+/**
+ * Parse the shared bench command line: `--jobs N` (or `-j N`)
+ * overrides the worker count; the CCR_JOBS environment variable is
+ * the fallback, then the hardware thread count. Tables are
+ * byte-identical for any job count — only wall-clock changes.
+ */
+inline workloads::DriverOptions
+parseDriverOptions(int argc, char **argv)
+{
+    workloads::DriverOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+            opts.jobs = std::atoi(argv[++i]);
+            if (opts.jobs < 1)
+                ccr_fatal("bad --jobs value '", argv[i], "'");
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opts.jobs = std::atoi(arg.c_str() + 7);
+            if (opts.jobs < 1)
+                ccr_fatal("bad --jobs value '", arg, "'");
+        } else {
+            ccr_fatal("unknown argument '", arg,
+                      "' (expected --jobs N)");
+        }
+    }
+    return opts;
+}
+
+/**
+ * Execute the plan and report wall-clock + cache effectiveness on
+ * stderr (stdout carries only the figure tables, which must stay
+ * byte-identical across job counts).
+ */
+inline std::vector<workloads::RunResult>
+runPlanTimed(const workloads::RunPlan &plan,
+             const workloads::DriverOptions &opts)
+{
+    WallTimer timer;
+    auto results = workloads::runPlan(plan, opts);
+    const int jobs = opts.jobs > 0 ? opts.jobs : workloads::defaultJobs();
+    std::cerr << "sweep: " << plan.size() << " points in "
+              << Table::fmt(timer.seconds(), 2) << "s (jobs="
+              << jobs << ")\n";
+    return results;
 }
 
 /** Dynamic reuse execution attributed to one region: CRB hits times

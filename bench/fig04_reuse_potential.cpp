@@ -4,30 +4,56 @@
  * block and region granularity, with 8 records of history per code
  * segment (paper §2.3). Expected shape: region potential subsumes and
  * roughly doubles block potential on average.
+ *
+ * The potential study is a profiling-only pass (no CRB sweep), so it
+ * runs one point per benchmark on the parallel driver's thread pool
+ * directly.
  */
 
 #include "common.hh"
 
+#include "support/thread_pool.hh"
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccr;
     using namespace ccr::bench;
 
     setVerbose(false);
+    const auto opts = parseDriverOptions(argc, argv);
     figureHeader("Figure 4", "dynamic reuse potential, block vs region "
                              "(8 records/segment)");
+
+    const auto names = benchmarks();
+    std::vector<profile::PotentialResult> results(names.size());
+    {
+        WallTimer timer;
+        int jobs = opts.jobs > 0 ? opts.jobs : workloads::defaultJobs();
+        jobs = static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(jobs), names.size()));
+        ThreadPool pool(jobs, opts.seed);
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            pool.submit([&, i] {
+                results[i] = workloads::measurePotential(
+                    names[i], workloads::InputSet::Train);
+            });
+        }
+        pool.wait();
+        std::cerr << "sweep: " << names.size() << " points in "
+                  << Table::fmt(timer.seconds(), 2) << "s (jobs="
+                  << jobs << ")\n";
+    }
 
     Table t("percent dynamic program reuse");
     t.setHeader({"benchmark", "block", "region"});
 
     std::vector<double> blocks, regions;
-    for (const auto &name : benchmarks()) {
-        const auto r = workloads::measurePotential(
-            name, workloads::InputSet::Train);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &r = results[i];
         blocks.push_back(r.blockFraction());
         regions.push_back(r.regionFraction());
-        t.addRow({name, Table::pct(r.blockFraction()),
+        t.addRow({names[i], Table::pct(r.blockFraction()),
                   Table::pct(r.regionFraction())});
     }
     t.addRow({"average", Table::pct(mean(blocks)),

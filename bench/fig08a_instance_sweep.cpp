@@ -11,17 +11,29 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccr;
     using namespace ccr::bench;
 
     setVerbose(false);
+    const auto opts = parseDriverOptions(argc, argv);
     figureHeader("Figure 8(a)",
                  "speedup vs computation instances per entry "
                  "(128-entry CRB)");
 
     const std::vector<int> instance_counts{4, 8, 16};
+
+    workloads::RunPlan plan;
+    for (const auto &name : benchmarks()) {
+        for (const auto ci : instance_counts) {
+            workloads::RunConfig config;
+            config.crb.entries = 128;
+            config.crb.instances = ci;
+            plan.add(name, config);
+        }
+    }
+    const auto results = runPlanTimed(plan, opts);
 
     Table t("performance speedup");
     t.setHeader({"benchmark", "128e/4ci", "128e/8ci", "128e/16ci"});
@@ -29,15 +41,11 @@ main()
     std::map<int, std::vector<double>> speedups;
     std::vector<double> eliminated;
 
+    std::size_t next = 0;
     for (const auto &name : benchmarks()) {
         std::vector<std::string> row{name};
         for (const auto ci : instance_counts) {
-            workloads::RunConfig config;
-            config.crb.entries = 128;
-            config.crb.instances = ci;
-            const auto r = workloads::runCcrExperiment(name, config);
-            if (!r.outputsMatch)
-                ccr_fatal("output mismatch for ", name);
+            const auto &r = results[next++];
             speedups[ci].push_back(r.speedup());
             row.push_back(Table::fmt(r.speedup(), 3));
             if (ci == 8)

@@ -10,30 +10,38 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccr;
     using namespace ccr::bench;
 
     setVerbose(false);
+    const auto opts = parseDriverOptions(argc, argv);
     figureHeader("Figure 8(b)",
                  "speedup vs number of computation entries (8 CIs)");
 
     const std::vector<int> entry_counts{32, 64, 128};
 
-    Table t("performance speedup");
-    t.setHeader({"benchmark", "32e/8ci", "64e/8ci", "128e/8ci"});
-
-    std::map<int, std::vector<double>> speedups;
+    workloads::RunPlan plan;
     for (const auto &name : benchmarks()) {
-        std::vector<std::string> row{name};
         for (const auto entries : entry_counts) {
             workloads::RunConfig config;
             config.crb.entries = entries;
             config.crb.instances = 8;
-            const auto r = workloads::runCcrExperiment(name, config);
-            if (!r.outputsMatch)
-                ccr_fatal("output mismatch for ", name);
+            plan.add(name, config);
+        }
+    }
+    const auto results = runPlanTimed(plan, opts);
+
+    Table t("performance speedup");
+    t.setHeader({"benchmark", "32e/8ci", "64e/8ci", "128e/8ci"});
+
+    std::map<int, std::vector<double>> speedups;
+    std::size_t next = 0;
+    for (const auto &name : benchmarks()) {
+        std::vector<std::string> row{name};
+        for (const auto entries : entry_counts) {
+            const auto &r = results[next++];
             speedups[entries].push_back(r.speedup());
             row.push_back(Table::fmt(r.speedup(), 3));
         }

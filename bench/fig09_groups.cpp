@@ -12,17 +12,27 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccr;
     using namespace ccr::bench;
 
     setVerbose(false);
+    const auto opts = parseDriverOptions(argc, argv);
     figureHeader("Figure 9",
                  "computation group distribution (static + dynamic)");
 
     const std::vector<std::string> groups{
         "SL_4", "SL_6", "SL_8", "MD_3_1", "MD_6_1", "MD_2_2", "MD_2_3"};
+
+    workloads::RunPlan plan;
+    {
+        workloads::RunConfig config;
+        config.crb.entries = 128;
+        config.crb.instances = 8;
+        plan.addSweep(benchmarks(), config);
+    }
+    const auto results = runPlanTimed(plan, opts);
 
     Table ts("(a) static distribution");
     Table td("(b) dynamic reuse distribution");
@@ -38,11 +48,9 @@ main()
     std::vector<double> acyclic_sizes;
     int rows = 0;
 
+    std::size_t next = 0;
     for (const auto &name : benchmarks()) {
-        workloads::RunConfig config;
-        config.crb.entries = 128;
-        config.crb.instances = 8;
-        const auto r = workloads::runCcrExperiment(name, config);
+        const auto &r = results[next++];
         if (r.regions.empty())
             continue;
 

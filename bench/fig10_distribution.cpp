@@ -11,25 +11,33 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccr;
     using namespace ccr::bench;
 
     setVerbose(false);
+    const auto opts = parseDriverOptions(argc, argv);
     figureHeader("Figure 10",
                  "dynamic reuse by top-N% of static computations");
+
+    workloads::RunPlan plan;
+    {
+        workloads::RunConfig config;
+        config.crb.entries = 128;
+        config.crb.instances = 8;
+        plan.addSweep(benchmarks(), config);
+    }
+    const auto results = runPlanTimed(plan, opts);
 
     Table t("cumulative reuse share");
     t.setHeader({"benchmark", "TOP 10%", "TOP 20%", "TOP 30%",
                  "TOP 40%", "#regions"});
 
     std::vector<double> top40s;
+    std::size_t next = 0;
     for (const auto &name : benchmarks()) {
-        workloads::RunConfig config;
-        config.crb.entries = 128;
-        config.crb.instances = 8;
-        const auto r = workloads::runCcrExperiment(name, config);
+        const auto &r = results[next++];
 
         std::vector<double> contrib;
         double total = 0.0;

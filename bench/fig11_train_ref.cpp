@@ -11,30 +11,36 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccr;
     using namespace ccr::bench;
 
     setVerbose(false);
+    const auto opts = parseDriverOptions(argc, argv);
     figureHeader("Figure 11",
                  "training vs reference input data sets (128e/8ci)");
 
-    Table t("performance speedup");
-    t.setHeader({"benchmark", "training input", "reference input"});
-
-    std::vector<double> train_s, ref_s, train_e, ref_e;
+    workloads::RunPlan plan;
     for (const auto &name : benchmarks()) {
         workloads::RunConfig train_cfg;
         train_cfg.crb.entries = 128;
         train_cfg.crb.instances = 8;
         workloads::RunConfig ref_cfg = train_cfg;
         ref_cfg.measureInput = workloads::InputSet::Ref;
+        plan.add(name, train_cfg);
+        plan.add(name, ref_cfg);
+    }
+    const auto results = runPlanTimed(plan, opts);
 
-        const auto rt = workloads::runCcrExperiment(name, train_cfg);
-        const auto rr = workloads::runCcrExperiment(name, ref_cfg);
-        if (!rt.outputsMatch || !rr.outputsMatch)
-            ccr_fatal("output mismatch for ", name);
+    Table t("performance speedup");
+    t.setHeader({"benchmark", "training input", "reference input"});
+
+    std::vector<double> train_s, ref_s, train_e, ref_e;
+    std::size_t next = 0;
+    for (const auto &name : benchmarks()) {
+        const auto &rt = results[next++];
+        const auto &rr = results[next++];
 
         train_s.push_back(rt.speedup());
         ref_s.push_back(rr.speedup());

@@ -3,16 +3,19 @@
  * CRB design-space explorer: sweep entries x instances for one
  * workload and print the speedup grid plus hit rates — the quickest
  * way to see how a workload's input working set interacts with the
- * buffer geometry.
+ * buffer geometry. The 15-point grid runs on the parallel experiment
+ * driver, so the module build, training profile, and base timed run
+ * are shared across all points.
  *
- * Usage: crb_explorer [workload-name]
+ * Usage: crb_explorer [workload-name] [--jobs N]
  */
 
+#include <cstdlib>
 #include <iostream>
 
 #include "support/logging.hh"
 #include "support/table.hh"
-#include "workloads/harness.hh"
+#include "workloads/driver.hh"
 
 int
 main(int argc, char **argv)
@@ -20,12 +23,34 @@ main(int argc, char **argv)
     using namespace ccr;
 
     setVerbose(false);
-    const std::string name = argc > 1 ? argv[1] : "pgpencode";
+    std::string name = "pgpencode";
+    workloads::DriverOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+            opts.jobs = std::atoi(argv[++i]);
+            if (opts.jobs < 1)
+                ccr_fatal("bad --jobs value '", argv[i], "'");
+        } else {
+            name = arg;
+        }
+    }
 
     const std::vector<int> entries{8, 32, 128};
     const std::vector<int> instances{1, 2, 4, 8, 16};
 
     std::cout << "== CRB design space for " << name << " ==\n\n";
+
+    workloads::RunPlan plan;
+    for (const auto e : entries) {
+        for (const auto ci : instances) {
+            workloads::RunConfig config;
+            config.crb.entries = e;
+            config.crb.instances = ci;
+            plan.add(name, config);
+        }
+    }
+    const auto results = workloads::runPlan(plan, opts);
 
     Table speedups("speedup (rows: entries, cols: instances)");
     Table hits("CRB hit rate");
@@ -35,16 +60,12 @@ main(int argc, char **argv)
     speedups.setHeader(header);
     hits.setHeader(header);
 
+    std::size_t next = 0;
     for (const auto e : entries) {
         std::vector<std::string> srow{std::to_string(e)};
         std::vector<std::string> hrow{std::to_string(e)};
-        for (const auto ci : instances) {
-            workloads::RunConfig config;
-            config.crb.entries = e;
-            config.crb.instances = ci;
-            const auto r = workloads::runCcrExperiment(name, config);
-            if (!r.outputsMatch)
-                ccr_fatal("output mismatch for ", name);
+        for (std::size_t i = 0; i < instances.size(); ++i) {
+            const auto &r = results[next++];
             srow.push_back(Table::fmt(r.speedup(), 3));
             const double rate =
                 r.crbQueries == 0

@@ -69,4 +69,17 @@ Module::numInsts() const
     return n;
 }
 
+std::unique_ptr<Module>
+Module::clone() const
+{
+    auto m = std::make_unique<Module>(name_);
+    m->globals_ = globals_;
+    m->entry_ = entry_;
+    m->nextRegion_ = nextRegion_;
+    m->functions_.reserve(functions_.size());
+    for (const auto &f : functions_)
+        m->functions_.push_back(std::make_unique<Function>(*f));
+    return m;
+}
+
 } // namespace ccr::ir

@@ -80,6 +80,17 @@ class Module
     /** Total static instructions across all functions. */
     std::size_t numInsts() const;
 
+    /**
+     * Deep-copy the module: functions, globals, entry point, and the
+     * region-id allocator. Clones are fully independent, so an
+     * immutable template module can be built (and optimized) once and
+     * cheaply instantiated per experiment run — region formation and
+     * the optimizer both rewrite modules in place. Instruction uids
+     * are preserved, so profile data gathered on one clone applies to
+     * any sibling clone.
+     */
+    std::unique_ptr<Module> clone() const;
+
   private:
     std::string name_;
     std::vector<std::unique_ptr<Function>> functions_;

@@ -1,0 +1,130 @@
+#include "support/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace ccr
+{
+
+namespace
+{
+
+thread_local Rng *tlWorkerRng = nullptr;
+thread_local int tlWorkerId = -1;
+
+/** splitmix64 finalizer: decorrelates worker seeds derived from a
+ *  common base. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads, std::uint64_t seed) : seed_(seed)
+{
+    if (threads < 1)
+        threads = 1;
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    // jthread joins on destruction.
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        auto err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerMain(int index)
+{
+    Rng rng(mixSeed(seed_, static_cast<std::uint64_t>(index)));
+    tlWorkerRng = &rng;
+    tlWorkerId = index;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        cv_.wait(lock,
+                 [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                break;
+            continue;
+        }
+        auto task = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        try {
+            task();
+        } catch (...) {
+            lock.lock();
+            if (!firstError_)
+                firstError_ = std::current_exception();
+            lock.unlock();
+        }
+        lock.lock();
+        if (--inFlight_ == 0)
+            idleCv_.notify_all();
+    }
+
+    tlWorkerRng = nullptr;
+    tlWorkerId = -1;
+}
+
+Rng *
+ThreadPool::currentWorkerRng()
+{
+    return tlWorkerRng;
+}
+
+int
+ThreadPool::currentWorkerId()
+{
+    return tlWorkerId;
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("CCR_JOBS")) {
+        const int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+} // namespace ccr

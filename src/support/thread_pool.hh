@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A fixed-size worker pool used by the parallel experiment driver.
+ *
+ * Workers are std::jthread; tasks are queued FIFO and executed on the
+ * first free worker. Each worker owns a deterministic Rng seeded from
+ * (pool seed, worker index), reachable from inside a task via
+ * ThreadPool::currentWorkerRng() — any randomness drawn there is
+ * reproducible for a fixed seed and worker count, which keeps
+ * stochastic scheduling decisions out of the result path.
+ *
+ * Exceptions thrown by a task propagate out of wait() (first one
+ * wins); the pool keeps draining the remaining tasks so destruction
+ * is always clean.
+ */
+
+#ifndef CCR_SUPPORT_THREAD_POOL_HH
+#define CCR_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/random.hh"
+
+namespace ccr
+{
+
+/** Fixed-size jthread pool with per-worker deterministic RNGs. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; clamped to at least 1.
+     * @param seed    Base seed; worker w gets Rng(mix(seed, w)).
+     */
+    explicit ThreadPool(int threads, std::uint64_t seed = 0x5EED'0001ULL);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. Safe from any thread, including workers. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. Rethrows the
+     *  first task exception, if any. */
+    void wait();
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** The calling worker's deterministic Rng; nullptr when the caller
+     *  is not a pool worker. */
+    static Rng *currentWorkerRng();
+
+    /** The calling worker's index in its pool; -1 outside a pool. */
+    static int currentWorkerId();
+
+    /** Threads to use when the caller asked for "all of them": the
+     *  CCR_JOBS environment variable when set, otherwise
+     *  std::thread::hardware_concurrency(). Always >= 1. */
+    static int defaultThreads();
+
+  private:
+    void workerMain(int index);
+
+    std::mutex mu_;
+    std::condition_variable cv_;      ///< wakes idle workers
+    std::condition_variable idleCv_;  ///< wakes wait()
+    std::deque<std::function<void()>> queue_;
+    std::size_t inFlight_ = 0;  ///< queued + currently running
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+    std::uint64_t seed_;
+    std::vector<std::jthread> workers_;
+};
+
+} // namespace ccr
+
+#endif // CCR_SUPPORT_THREAD_POOL_HH

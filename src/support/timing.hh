@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Wall-clock timers for the experiment driver and benches.
+ *
+ * Timing output goes to stderr (or a caller-supplied stream) so that a
+ * bench's stdout stays byte-identical across machines and job counts —
+ * the determinism tests compare stdout only.
+ */
+
+#ifndef CCR_SUPPORT_TIMING_HH
+#define CCR_SUPPORT_TIMING_HH
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+namespace ccr
+{
+
+/** Monotonic stopwatch, running from construction. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction (or the last restart). */
+    double
+    seconds() const
+    {
+        const auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Prints "<label>: <seconds>s" to @p os when the scope closes. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(std::string label, std::ostream &os = std::cerr)
+        : label_(std::move(label)), os_(os)
+    {}
+
+    ~ScopedTimer()
+    {
+        os_ << label_ << ": " << timer_.seconds() << "s\n";
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    double seconds() const { return timer_.seconds(); }
+
+  private:
+    std::string label_;
+    std::ostream &os_;
+    WallTimer timer_;
+};
+
+} // namespace ccr
+
+#endif // CCR_SUPPORT_TIMING_HH

@@ -1,0 +1,68 @@
+#include "workloads/driver.hh"
+
+#include "support/logging.hh"
+#include "support/thread_pool.hh"
+#include "workloads/cache.hh"
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+RunResult
+runPoint(const RunPlan::Point &point, ExperimentCache *cache,
+         bool check_outputs)
+{
+    RunResult r = runCcrExperiment(point.workload, point.config, cache);
+    if (check_outputs && !r.outputsMatch)
+        ccr_fatal("output mismatch for ", point.workload);
+    return r;
+}
+
+} // namespace
+
+std::vector<RunResult>
+runPlan(const RunPlan &plan, const DriverOptions &options)
+{
+    ExperimentCache *cache =
+        options.useCache
+            ? (options.cache ? options.cache
+                             : &ExperimentCache::global())
+            : nullptr;
+
+    std::vector<RunResult> results(plan.size());
+    if (plan.empty())
+        return results;
+
+    int jobs = options.jobs > 0 ? options.jobs : defaultJobs();
+    jobs = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs),
+                              plan.size()));
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+            results[i] = runPoint(plan.points()[i], cache,
+                                  options.checkOutputs);
+        }
+        return results;
+    }
+
+    ThreadPool pool(jobs, options.seed);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        pool.submit([&, i] {
+            results[i] = runPoint(plan.points()[i], cache,
+                                  options.checkOutputs);
+        });
+    }
+    pool.wait();
+    return results;
+}
+
+int
+defaultJobs()
+{
+    return ThreadPool::defaultThreads();
+}
+
+} // namespace ccr::workloads

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Parallel experiment driver: executes a RunPlan — a list of
+ * (workload, RunConfig) points — on a fixed-size worker pool, with the
+ * config-independent stages (module build, RPS profile, base timed
+ * run) shared through an ExperimentCache.
+ *
+ * Determinism contract: results are returned in plan order and every
+ * point's computation is a pure function of its (workload, config)
+ * pair, so the result vector is bit-identical for any worker count —
+ * `runPlan(plan, {.jobs = 1})` and `{.jobs = 8}` agree exactly, and a
+ * table built by iterating the results serially is byte-identical
+ * regardless of completion order. Worker threads carry deterministic
+ * per-worker RNGs (ThreadPool::currentWorkerRng) so even scheduling
+ * randomness, if a policy ever wants it, stays reproducible.
+ */
+
+#ifndef CCR_WORKLOADS_DRIVER_HH
+#define CCR_WORKLOADS_DRIVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/harness.hh"
+
+namespace ccr::workloads
+{
+
+class ExperimentCache;
+
+/** An ordered list of experiment points to run. */
+class RunPlan
+{
+  public:
+    struct Point
+    {
+        std::string workload;
+        RunConfig config;
+    };
+
+    /** Append one point; returns its index into the result vector. */
+    std::size_t
+    add(std::string workload, const RunConfig &config)
+    {
+        points_.push_back({std::move(workload), config});
+        return points_.size() - 1;
+    }
+
+    /** Append one point per named workload with the same config. */
+    void
+    addSweep(const std::vector<std::string> &workloads,
+             const RunConfig &config)
+    {
+        for (const auto &name : workloads)
+            add(name, config);
+    }
+
+    const std::vector<Point> &points() const { return points_; }
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+  private:
+    std::vector<Point> points_;
+};
+
+/** Driver knobs. */
+struct DriverOptions
+{
+    /** Worker threads; <= 0 means defaultJobs(). 1 runs inline on the
+     *  calling thread. */
+    int jobs = 0;
+
+    /** Base seed for the per-worker RNGs. */
+    std::uint64_t seed = 0x5EED'0001ULL;
+
+    /**
+     * Share module builds, profiles, and base runs across points.
+     * When null and useCache is true, the process-wide
+     * ExperimentCache::global() is used. Results do not depend on
+     * this setting — only wall-clock does.
+     */
+    bool useCache = true;
+    ExperimentCache *cache = nullptr;
+
+    /** Require every point's base and CCR outputs to match; a
+     *  mismatch is fatal (the benches' historical behavior). */
+    bool checkOutputs = true;
+};
+
+/**
+ * Execute every point of @p plan and return the results in plan
+ * order.
+ */
+std::vector<RunResult> runPlan(const RunPlan &plan,
+                               const DriverOptions &options = {});
+
+/** The job count used when none is specified: the CCR_JOBS
+ *  environment variable, else the hardware thread count. */
+int defaultJobs();
+
+} // namespace ccr::workloads
+
+#endif // CCR_WORKLOADS_DRIVER_HH

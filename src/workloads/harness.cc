@@ -5,6 +5,7 @@
 #include "opt/passes.hh"
 #include "profile/value_profiler.hh"
 #include "support/logging.hh"
+#include "workloads/cache.hh"
 
 namespace ccr::workloads
 {
@@ -40,11 +41,25 @@ RunResult
 runCcrExperiment(const std::string &workload_name,
                  const RunConfig &config)
 {
+    return runCcrExperiment(workload_name, config, nullptr);
+}
+
+RunResult
+runCcrExperiment(const std::string &workload_name,
+                 const RunConfig &config, ExperimentCache *cache)
+{
     RunResult result;
 
     // -- Base machine: untransformed code, no CRB ----------------------
     std::vector<ir::Value> base_outputs;
-    {
+    if (cache) {
+        const auto base =
+            cache->baseRun(workload_name, config.optimizeBase,
+                           config.measureInput, config.pipe,
+                           config.maxInsts);
+        result.base = base->timing;
+        base_outputs = base->outputs;
+    } else {
         const Workload base = buildWorkload(workload_name);
         if (config.optimizeBase) {
             opt::runStandardPipeline(*base.module);
@@ -60,28 +75,40 @@ runCcrExperiment(const std::string &workload_name,
 
     // -- CCR machine: profile, form regions, run with the CRB ----------
     {
-        Workload ccr = buildWorkload(workload_name);
-        if (config.optimizeBase) {
+        Workload ccr = cache
+                           ? cache->workload(workload_name,
+                                             config.optimizeBase)
+                           : buildWorkload(workload_name);
+        if (!cache && config.optimizeBase) {
             opt::runStandardPipeline(*ccr.module);
             ir::verifyOrDie(*ccr.module);
         }
 
-        // Training pass (RPS).
-        profile::ProfileData prof;
-        {
+        // Training pass (RPS). Cached profiles come from a sibling
+        // clone of the same module template; instruction uids agree.
+        std::shared_ptr<const profile::ProfileData> cached_prof;
+        profile::ProfileData local_prof;
+        const profile::ProfileData *prof;
+        if (cache) {
+            cached_prof =
+                cache->profile(workload_name, config.optimizeBase,
+                               config.profileInput, config.maxInsts);
+            prof = cached_prof.get();
+        } else {
             emu::Machine machine(*ccr.module);
             ccr.prepare(machine, config.profileInput);
             profile::ValueProfiler profiler(machine);
             machine.addObserver(&profiler);
             machine.run(config.maxInsts);
             ccr_assert(machine.halted(), "profile run did not complete");
-            prof = profiler.takeProfile();
+            local_prof = profiler.takeProfile();
+            prof = &local_prof;
         }
 
         // Compilation: alias analysis + region formation.
         analysis::AliasAnalysis alias(*ccr.module);
         alias.annotateDeterminableLoads(*ccr.module);
-        core::RegionFormer former(*ccr.module, prof, alias,
+        core::RegionFormer former(*ccr.module, *prof, alias,
                                   config.policy);
         result.regions = former.formAll();
         result.formation = former.stats();

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Golden regression test for the figure pipeline: a trimmed
+ * 3-workload x 2-config sweep runs through the parallel driver and
+ * its CSV rendering is compared byte-for-byte against a checked-in
+ * golden file. Figure numbers cannot silently drift — any intentional
+ * change to the emulator, timing model, region formation, or
+ * workloads must regenerate the golden (see tests/golden/README.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/table.hh"
+#include "workloads/cache.hh"
+#include "workloads/driver.hh"
+
+#ifndef CCR_GOLDEN_DIR
+#error "CCR_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace
+{
+
+using namespace ccr;
+using namespace ccr::workloads;
+
+/** The trimmed sweep: cheap workloads, the paper's two most-reported
+ *  geometries. Must not change without regenerating the golden. */
+RunPlan
+goldenPlan()
+{
+    RunPlan plan;
+    for (const auto &name : {"espresso", "li", "compress"}) {
+        for (const int ci : {4, 8}) {
+            RunConfig config;
+            config.crb.entries = 128;
+            config.crb.instances = ci;
+            plan.add(name, config);
+        }
+    }
+    return plan;
+}
+
+std::string
+renderCsv(const RunPlan &plan, const std::vector<RunResult> &results)
+{
+    Table t;
+    t.setHeader({"workload", "entries", "instances", "base_cycles",
+                 "ccr_cycles", "speedup", "crb_queries", "crb_hits",
+                 "regions", "outputs_match"});
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const auto &p = plan.points()[i];
+        const auto &r = results[i];
+        t.addRow({p.workload, std::to_string(p.config.crb.entries),
+                  std::to_string(p.config.crb.instances),
+                  std::to_string(r.base.cycles),
+                  std::to_string(r.ccr.cycles),
+                  Table::fmt(r.speedup(), 3),
+                  std::to_string(r.crbQueries),
+                  std::to_string(r.crbHits),
+                  std::to_string(r.regions.size()),
+                  r.outputsMatch ? "1" : "0"});
+    }
+    std::ostringstream os;
+    t.printCsv(os);
+    return os.str();
+}
+
+TEST(GoldenFigures, TrimmedSweepMatchesGolden)
+{
+    const RunPlan plan = goldenPlan();
+    ExperimentCache cache;
+    DriverOptions opts;
+    opts.jobs = 2;
+    opts.cache = &cache;
+    const std::string csv = renderCsv(plan, runPlan(plan, opts));
+
+    const std::string path =
+        std::string(CCR_GOLDEN_DIR) + "/trimmed_sweep.csv";
+
+    // Regeneration hook for intentional changes:
+    //   CCR_UPDATE_GOLDEN=1 ctest -R GoldenFigures
+    if (std::getenv("CCR_UPDATE_GOLDEN")) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << csv;
+        GTEST_SKIP() << "golden regenerated at " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (regenerate with CCR_UPDATE_GOLDEN=1)";
+    std::ostringstream want;
+    want << in.rdbuf();
+
+    EXPECT_EQ(csv, want.str())
+        << "figure numbers drifted from " << path
+        << "\nIf the change is intentional, regenerate with "
+           "CCR_UPDATE_GOLDEN=1 and review the diff.";
+}
+
+} // namespace

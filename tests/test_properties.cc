@@ -9,11 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <optional>
+#include <set>
+
 #include "core/reorder.hh"
 #include "emu/machine.hh"
 #include "ir/builder.hh"
 #include "ir/verifier.hh"
 #include "opt/passes.hh"
+#include "uarch/crb.hh"
 #include "workloads/harness.hh"
 #include "support/random.hh"
 
@@ -286,5 +291,412 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(4, 32, 128),
                        ::testing::Values(1, 4, 16),
                        ::testing::Values(1, 2)));
+
+// ---------------------------------------------------------------------
+// CRB vs naive reference model: random op sequences (lookup/record,
+// invalidate) against a map-based model that re-specifies the
+// direct-mapped indexing, per-entry re-tag eviction, instance LRU
+// replacement, use-before-def input capture, and memory-invalidation
+// semantics. Run under the geometries the experiment driver sweeps
+// (32/64/128 entries x 4/8/16 CIs) plus tiny geometries that force
+// conflict evictions and LRU churn.
+// ---------------------------------------------------------------------
+
+/** Module whose main frame provides registers for CRB queries. */
+std::unique_ptr<Module>
+crbTestModule()
+{
+    auto m = std::make_unique<Module>("crbprop");
+    Function &f = m->addFunction("main", 0);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    for (int i = 0; i < 16; ++i)
+        b.movI(i);
+    b.halt();
+    return m;
+}
+
+/** Naive reference model of the CRB's architectural behavior. */
+class RefCrb
+{
+  public:
+    struct Ci
+    {
+        bool valid = false;
+        bool accessesMemory = false;
+        bool memValid = true;
+        std::uint64_t stamp = 0;
+        // Insertion-ordered input bank: (reg, value at first read).
+        std::vector<std::pair<Reg, Value>> inputs;
+        // Insertion-ordered output bank: (reg, last recorded value).
+        std::vector<std::pair<Reg, Value>> outputs;
+    };
+
+    struct Entry
+    {
+        bool valid = false;
+        RegionId tag = kNoRegion;
+        std::vector<Ci> instances;
+    };
+
+    RefCrb(int entries, int instances, int bank_size)
+        : entries_(entries), instances_(instances), bankSize_(bank_size)
+    {}
+
+    /** Query result: outputs to apply on a hit, nullopt on a miss. */
+    std::optional<std::vector<std::pair<Reg, Value>>>
+    lookup(RegionId region, const std::map<Reg, Value> &regs)
+    {
+        if (memoActive_) {
+            memoActive_ = false; // nested reuse aborts the recording
+            ++aborts_;
+        }
+        ++queries_;
+        Entry &e = entryFor(region);
+
+        for (auto &ci : e.instances) {
+            if (!ci.valid)
+                continue;
+            if (ci.accessesMemory && !ci.memValid)
+                continue;
+            bool match = true;
+            for (const auto &[reg, value] : ci.inputs) {
+                if (regs.at(reg) != value) {
+                    match = false;
+                    break;
+                }
+            }
+            if (!match)
+                continue;
+            ci.stamp = ++stamp_;
+            ++hits_;
+            return ci.outputs;
+        }
+
+        // Miss: pick the LRU instance now; the recording commits into
+        // it even if flags change in between.
+        ++misses_;
+        std::size_t lru = 0;
+        std::uint64_t lru_stamp = UINT64_MAX;
+        for (std::size_t i = 0; i < e.instances.size(); ++i) {
+            const auto s =
+                e.instances[i].valid ? e.instances[i].stamp : 0;
+            if (s < lru_stamp) {
+                lru_stamp = s;
+                lru = i;
+            }
+        }
+        memoActive_ = true;
+        memoRegion_ = region;
+        memoEntry_ = static_cast<std::size_t>(
+            region % static_cast<RegionId>(entries_));
+        memoVictim_ = lru;
+        memoScratch_ = Ci{};
+        memoDefined_.clear();
+        return std::nullopt;
+    }
+
+    /** One recorded body instruction (mirrors ExecInfo fields). */
+    void
+    observe(const std::vector<std::pair<Reg, Value>> &reads, Reg dst,
+            Value result, bool live_out, bool is_load)
+    {
+        if (!memoActive_)
+            return;
+        Ci &ci = memoScratch_;
+        for (const auto &[reg, value] : reads) {
+            if (memoDefined_.count(reg))
+                continue;
+            bool present = false;
+            for (const auto &in : ci.inputs)
+                present = present || in.first == reg;
+            if (present)
+                continue;
+            if (static_cast<int>(ci.inputs.size()) >= bankSize_) {
+                memoActive_ = false;
+                ++aborts_;
+                return;
+            }
+            ci.inputs.emplace_back(reg, value);
+        }
+        if (is_load)
+            ci.accessesMemory = true;
+        if (dst != kNoReg) {
+            memoDefined_.insert(dst);
+            if (live_out) {
+                bool updated = false;
+                for (auto &[r, v] : ci.outputs) {
+                    if (r == dst) {
+                        v = result;
+                        updated = true;
+                        break;
+                    }
+                }
+                if (!updated) {
+                    if (static_cast<int>(ci.outputs.size())
+                        >= bankSize_) {
+                        memoActive_ = false;
+                        ++aborts_;
+                        return;
+                    }
+                    ci.outputs.emplace_back(dst, result);
+                }
+            }
+        }
+    }
+
+    /** Region-end control instruction: commit the recording. */
+    void
+    regionEnd()
+    {
+        if (!memoActive_)
+            return;
+        Entry &e = entries__[memoEntry_];
+        if (e.valid && e.tag == memoRegion_) {
+            memoScratch_.valid = true;
+            memoScratch_.memValid = true;
+            memoScratch_.stamp = ++stamp_;
+            e.instances[memoVictim_] = memoScratch_;
+            ++commits_;
+        }
+        memoActive_ = false;
+    }
+
+    /** Region-exit control instruction: drop the recording. */
+    void
+    regionExit()
+    {
+        if (!memoActive_)
+            return;
+        memoActive_ = false;
+        ++aborts_;
+    }
+
+    void
+    invalidate(RegionId region)
+    {
+        ++invalidates_;
+        const auto idx = static_cast<std::size_t>(
+            region % static_cast<RegionId>(entries_));
+        const auto it = entries__.find(idx);
+        if (it != entries__.end() && it->second.valid
+            && it->second.tag == region) {
+            for (auto &ci : it->second.instances) {
+                if (ci.valid && ci.accessesMemory)
+                    ci.memValid = false;
+            }
+        }
+        if (memoActive_ && memoRegion_ == region) {
+            memoActive_ = false;
+            ++aborts_;
+        }
+    }
+
+    bool memoActive() const { return memoActive_; }
+
+    std::uint64_t queries() const { return queries_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t commits() const { return commits_; }
+    std::uint64_t aborts() const { return aborts_; }
+    std::uint64_t invalidates() const { return invalidates_; }
+
+  private:
+    Entry &
+    entryFor(RegionId region)
+    {
+        const auto idx = static_cast<std::size_t>(
+            region % static_cast<RegionId>(entries_));
+        Entry &e = entries__[idx];
+        if (e.instances.empty())
+            e.instances.resize(static_cast<std::size_t>(instances_));
+        if (!(e.valid && e.tag == region)) {
+            // Re-tag: every instance of the previous tenant is lost.
+            e.valid = true;
+            e.tag = region;
+            for (auto &ci : e.instances)
+                ci = Ci{};
+        }
+        return e;
+    }
+
+    int entries_;
+    int instances_;
+    int bankSize_;
+    std::map<std::size_t, Entry> entries__;
+    std::uint64_t stamp_ = 0;
+
+    bool memoActive_ = false;
+    RegionId memoRegion_ = kNoRegion;
+    std::size_t memoEntry_ = 0;
+    std::size_t memoVictim_ = 0;
+    Ci memoScratch_;
+    std::set<Reg> memoDefined_;
+
+    std::uint64_t queries_ = 0, hits_ = 0, misses_ = 0;
+    std::uint64_t commits_ = 0, aborts_ = 0, invalidates_ = 0;
+};
+
+class CrbReferenceModel
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, std::uint64_t>>
+{};
+
+TEST_P(CrbReferenceModel, RandomOpsMatchNaiveModel)
+{
+    const auto [entries, instances, seed] = GetParam();
+    Rng rng(seed);
+
+    const auto mod = crbTestModule();
+    emu::Machine machine(*mod);
+    uarch::CrbParams params;
+    params.entries = entries;
+    params.instances = instances;
+    uarch::Crb crb(params);
+    RefCrb ref(entries, instances, params.bankSize);
+
+    // Shadow register file: the model's view of machine state. All
+    // writes go through here so a divergent hit shows up as a shadow
+    // vs machine mismatch.
+    constexpr int kRegs = 8;
+    std::map<Reg, Value> shadow;
+    for (Reg r = 0; r < kRegs; ++r) {
+        machine.writeReg(r, 0);
+        shadow[r] = 0;
+    }
+
+    const auto setReg = [&](Reg r, Value v) {
+        machine.writeReg(r, v);
+        shadow[r] = v;
+    };
+
+    // Simulate executing one region body instruction on both sides:
+    // feed the CRB the ExecInfo an Add would produce, mirror it into
+    // the model, and commit the result to the register file.
+    ir::Inst body;
+    const auto execBody = [&](Reg dst, Reg src1, Reg src2,
+                              bool live_out, bool is_load) {
+        body = ir::Inst{};
+        body.op = is_load ? Opcode::Load : Opcode::Add;
+        body.dst = dst;
+        body.src1 = src1;
+        body.src2 = src2;
+        body.ext.liveOut = live_out;
+        emu::ExecInfo info;
+        info.inst = &body;
+        info.srcVals[0] = machine.readReg(src1);
+        std::vector<std::pair<Reg, Value>> reads{
+            {src1, machine.readReg(src1)}};
+        if (!is_load) {
+            info.srcVals[1] = machine.readReg(src2);
+            reads.emplace_back(src2, machine.readReg(src2));
+        }
+        const Value result =
+            is_load ? (info.srcVals[0] * 3 + 7) & 0xfff
+                    : (info.srcVals[0] + info.srcVals[1]) & 0xfff;
+        info.result = result;
+        crb.observe(info);
+        ref.observe(reads, dst, result, live_out, is_load);
+        setReg(dst, result);
+    };
+
+    const auto endRegion = [&](bool exit_abort) {
+        body = ir::Inst{};
+        body.op = Opcode::Jump;
+        body.target = 0;
+        if (exit_abort)
+            body.ext.regionExit = true;
+        else
+            body.ext.regionEnd = true;
+        emu::ExecInfo info;
+        info.inst = &body;
+        crb.observe(info);
+        if (exit_abort)
+            ref.regionExit();
+        else
+            ref.regionEnd();
+    };
+
+    const int kRegions = 8;
+    for (int op = 0; op < 600; ++op) {
+        const auto kind = rng.nextBelow(10);
+        if (kind < 7) {
+            // Lookup (and usually record on a miss).
+            if (rng.nextBool(0.5)) {
+                // Perturb registers from a small pool so inputs recur.
+                const Reg r = static_cast<Reg>(rng.nextBelow(kRegs));
+                setReg(r, static_cast<Value>(rng.nextBelow(4)));
+            }
+            const auto region =
+                static_cast<RegionId>(rng.nextBelow(kRegions));
+            const auto expect = ref.lookup(region, shadow);
+            const auto outcome = crb.onReuse(region, machine);
+            ASSERT_EQ(outcome.hit, expect.has_value())
+                << "op " << op << " region " << region;
+            if (expect) {
+                // The hit wrote the recorded live-outs; mirror into
+                // the shadow file and compare the whole register file.
+                ASSERT_EQ(outcome.numOutputsWritten,
+                          static_cast<int>(expect->size()));
+                for (const auto &[reg, value] : *expect)
+                    shadow[reg] = value;
+                for (Reg r = 0; r < kRegs; ++r) {
+                    ASSERT_EQ(machine.readReg(r), shadow[r])
+                        << "op " << op << " reg " << static_cast<int>(r);
+                }
+            } else if (rng.nextBool(0.8)) {
+                // Record a short body, occasionally aborting via a
+                // region-exit branch.
+                const int len = 1 + static_cast<int>(rng.nextBelow(3));
+                for (int i = 0; i < len; ++i) {
+                    const Reg dst =
+                        static_cast<Reg>(rng.nextBelow(kRegs));
+                    const Reg s1 =
+                        static_cast<Reg>(rng.nextBelow(kRegs));
+                    const Reg s2 =
+                        static_cast<Reg>(rng.nextBelow(kRegs));
+                    execBody(dst, s1, s2, rng.nextBool(0.7),
+                             rng.nextBool(0.25));
+                    if (rng.nextBool(0.1)) {
+                        // Stores elsewhere invalidate mid-recording.
+                        const auto other = static_cast<RegionId>(
+                            rng.nextBelow(kRegions));
+                        ref.invalidate(other);
+                        crb.onInvalidate(other);
+                        if (!ref.memoActive())
+                            break;
+                    }
+                }
+                if (ref.memoActive())
+                    endRegion(rng.nextBool(0.15));
+            }
+            // Otherwise leave memoization dangling: the next query
+            // must abort it on both sides.
+        } else {
+            const auto region =
+                static_cast<RegionId>(rng.nextBelow(kRegions));
+            ref.invalidate(region);
+            crb.onInvalidate(region);
+        }
+        ASSERT_EQ(crb.memoActive(), ref.memoActive()) << "op " << op;
+    }
+
+    // Aggregate behavior must agree exactly.
+    EXPECT_EQ(crb.stats().get("queries"), ref.queries());
+    EXPECT_EQ(crb.stats().get("hits"), ref.hits());
+    EXPECT_EQ(crb.stats().get("misses"), ref.misses());
+    EXPECT_EQ(crb.stats().get("invalidates"), ref.invalidates());
+    EXPECT_EQ(crb.stats().get("memoCommits"), ref.commits());
+    EXPECT_EQ(crb.stats().get("memoAborts"), ref.aborts());
+    EXPECT_GT(ref.hits(), 0u);
+    EXPECT_GT(ref.commits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CrbReferenceModel,
+    ::testing::Combine(::testing::Values(2, 4, 32, 64, 128),
+                       ::testing::Values(1, 4, 8, 16),
+                       ::testing::Values(0xC0FFEEULL, 0xBEEF01ULL,
+                                         0x5EED02ULL)));
 
 } // namespace

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 #include "support/timing.hh"
@@ -33,13 +34,18 @@ benchmarks()
 /**
  * Parse the shared bench command line: `--jobs N` (or `-j N`)
  * overrides the worker count; the CCR_JOBS environment variable is
- * the fallback, then the hardware thread count. Tables are
- * byte-identical for any job count — only wall-clock changes.
+ * the fallback, then the hardware thread count. `--report <path>`
+ * (or the CCR_REPORT environment variable) makes the harness write
+ * the aggregated SimReport JSON after the sweep. Tables are
+ * byte-identical for any job count and with or without a report —
+ * only wall-clock and emitted files change.
  */
 inline workloads::DriverOptions
 parseDriverOptions(int argc, char **argv)
 {
     workloads::DriverOptions opts;
+    if (const char *env = std::getenv("CCR_REPORT"); env && *env)
+        opts.reportPath = env;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
@@ -50,18 +56,65 @@ parseDriverOptions(int argc, char **argv)
             opts.jobs = std::atoi(arg.c_str() + 7);
             if (opts.jobs < 1)
                 ccr_fatal("bad --jobs value '", arg, "'");
+        } else if (arg == "--report" && i + 1 < argc) {
+            opts.reportPath = argv[++i];
+        } else if (arg.rfind("--report=", 0) == 0) {
+            opts.reportPath = arg.substr(9);
         } else {
             ccr_fatal("unknown argument '", arg,
-                      "' (expected --jobs N)");
+                      "' (expected --jobs N or --report <path>)");
         }
     }
     return opts;
 }
 
+/** Write @p report to opts.reportPath when set (stderr note only —
+ *  stdout stays byte-identical). */
+inline void
+maybeWriteReport(const obs::SimReport &report,
+                 const workloads::DriverOptions &opts)
+{
+    if (opts.reportPath.empty())
+        return;
+    std::string err;
+    if (!report.writeJsonFile(opts.reportPath, &err))
+        ccr_fatal("cannot write SimReport: ", err);
+    std::cerr << "report: " << report.runs.size() << " runs -> "
+              << opts.reportPath << " (schema v" << obs::kSchemaVersion
+              << ")\n";
+}
+
+/** SimReport for a profiling-only potential study (Figure 4), which
+ *  has no CRB sweep behind it. */
+inline obs::SimReport
+potentialReport(const std::vector<std::string> &names,
+                const std::vector<profile::PotentialResult> &results)
+{
+    ccr_assert(names.size() == results.size(),
+               "name/result size mismatch");
+    obs::SimReport report;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        obs::RunReport run;
+        run.workload = names[i];
+        run.metrics["potential.totalInsts"] =
+            obs::Json(results[i].totalInsts);
+        run.metrics["potential.blockReusableInsts"] =
+            obs::Json(results[i].blockReusableInsts);
+        run.metrics["potential.regionReusableInsts"] =
+            obs::Json(results[i].regionReusableInsts);
+        run.derived["blockFraction"] =
+            obs::Json(results[i].blockFraction());
+        run.derived["regionFraction"] =
+            obs::Json(results[i].regionFraction());
+        report.runs.push_back(std::move(run));
+    }
+    return report;
+}
+
 /**
  * Execute the plan and report wall-clock + cache effectiveness on
  * stderr (stdout carries only the figure tables, which must stay
- * byte-identical across job counts).
+ * byte-identical across job counts). Honors opts.reportPath.
  */
 inline std::vector<workloads::RunResult>
 runPlanTimed(const workloads::RunPlan &plan,
@@ -73,6 +126,7 @@ runPlanTimed(const workloads::RunPlan &plan,
     std::cerr << "sweep: " << plan.size() << " points in "
               << Table::fmt(timer.seconds(), 2) << "s (jobs="
               << jobs << ")\n";
+    maybeWriteReport(workloads::buildSimReport(plan, results), opts);
     return results;
 }
 

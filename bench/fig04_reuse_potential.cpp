@@ -44,6 +44,7 @@ main(int argc, char **argv)
                   << Table::fmt(timer.seconds(), 2) << "s (jobs="
                   << jobs << ")\n";
     }
+    maybeWriteReport(potentialReport(names, results), opts);
 
     Table t("percent dynamic program reuse");
     t.setHeader({"benchmark", "block", "region"});

@@ -7,12 +7,13 @@
  * driver, so the module build, training profile, and base timed run
  * are shared across all points.
  *
- * Usage: crb_explorer [workload-name] [--jobs N]
+ * Usage: crb_explorer [workload-name] [--jobs N] [--report out.json]
  */
 
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/report.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 #include "workloads/driver.hh"
@@ -25,12 +26,16 @@ main(int argc, char **argv)
     setVerbose(false);
     std::string name = "pgpencode";
     workloads::DriverOptions opts;
+    if (const char *env = std::getenv("CCR_REPORT"); env && *env)
+        opts.reportPath = env;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
             opts.jobs = std::atoi(argv[++i]);
             if (opts.jobs < 1)
                 ccr_fatal("bad --jobs value '", argv[i], "'");
+        } else if (arg == "--report" && i + 1 < argc) {
+            opts.reportPath = argv[++i];
         } else {
             name = arg;
         }
@@ -67,15 +72,20 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < instances.size(); ++i) {
             const auto &r = results[next++];
             srow.push_back(Table::fmt(r.speedup(), 3));
-            const double rate =
-                r.crbQueries == 0
-                    ? 0.0
-                    : static_cast<double>(r.crbHits)
-                          / static_cast<double>(r.crbQueries);
-            hrow.push_back(Table::pct(rate, 0));
+            hrow.push_back(Table::pct(
+                r.report.derived.at("crbHitRate").asDouble(), 0));
         }
         speedups.addRow(srow);
         hits.addRow(hrow);
+    }
+
+    if (!opts.reportPath.empty()) {
+        std::string err;
+        const auto report = workloads::buildSimReport(plan, results);
+        if (!report.writeJsonFile(opts.reportPath, &err))
+            ccr_fatal("cannot write SimReport: ", err);
+        std::cerr << "report: " << report.runs.size() << " runs -> "
+                  << opts.reportPath << "\n";
     }
 
     speedups.print(std::cout);

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run every figure bench with a SimReport destination and record
+# per-bench wall-clock. Both the JSON reports and the wall-clock CSV
+# are uploaded as CI artifacts so any run's full metric registry
+# (stall attribution, occupancy histograms, per-region reuse) can be
+# inspected without rerunning the sweep.
+#
+# Usage: scripts/ci_bench_reports.sh <build-dir> <out-dir>
+set -euo pipefail
+
+build_dir=${1:?usage: ci_bench_reports.sh <build-dir> <out-dir>}
+out_dir=${2:?usage: ci_bench_reports.sh <build-dir> <out-dir>}
+mkdir -p "$out_dir"
+
+csv="$out_dir/wallclock.csv"
+echo "bench,seconds" > "$csv"
+
+for bench in "$build_dir"/bench/*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    name=$(basename "$bench")
+    start=$(date +%s.%N)
+    CCR_REPORT="$out_dir/$name.json" "$bench" > "$out_dir/$name.txt"
+    end=$(date +%s.%N)
+    secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.2f", b - a }')
+    echo "$name,$secs" >> "$csv"
+    echo "bench $name: ${secs}s"
+done
+
+# The golden report rides along so an artifact download is
+# self-contained (schema reference + a pinned example).
+cp tests/golden/trimmed_sweep_point.json "$out_dir/"
+
+echo "reports in $out_dir:"
+ls -l "$out_dir"

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Guardrail against observability overhead leaking into the fast
+# path: the Figure 8(b) entry sweep (39 points, telemetry off, no
+# report) must not regress more than 10% over the checked-in
+# baseline. Best-of-3 is compared so scheduler noise on shared
+# runners does not trip the gate; the baseline itself is generous
+# and refreshed deliberately (see bench/fig08b_wallclock_baseline.txt)
+# — this catches gross regressions such as accidentally enabling
+# per-event work when telemetry is off, not single-digit drift.
+#
+# Usage: scripts/ci_wallclock_guard.sh <build-dir>
+set -euo pipefail
+
+build_dir=${1:?usage: ci_wallclock_guard.sh <build-dir>}
+baseline_file=bench/fig08b_wallclock_baseline.txt
+baseline=$(grep -v '^#' "$baseline_file" | head -1)
+
+best=""
+for i in 1 2 3; do
+    line=$("$build_dir"/bench/fig08b_entry_sweep --jobs 2 2>&1 >/dev/null \
+           | grep '^sweep:')
+    secs=$(echo "$line" | sed -n 's/^sweep: .* in \([0-9.]*\)s .*/\1/p')
+    [ -n "$secs" ] || { echo "cannot parse sweep line: $line"; exit 1; }
+    echo "run $i: ${secs}s"
+    if [ -z "$best" ] || awk -v a="$secs" -v b="$best" \
+           'BEGIN { exit !(a < b) }'; then
+        best=$secs
+    fi
+done
+
+budget=$(awk -v b="$baseline" 'BEGIN { printf "%.2f", b * 1.10 }')
+echo "fig08b telemetry-off sweep: best-of-3 ${best}s," \
+     "baseline ${baseline}s, budget ${budget}s (+10%)"
+
+if awk -v a="$best" -v b="$budget" 'BEGIN { exit !(a > b) }'; then
+    echo "FAIL: wall-clock regressed >10% over baseline." >&2
+    echo "If intentional (and justified), refresh $baseline_file." >&2
+    exit 1
+fi
+echo "OK: within budget."

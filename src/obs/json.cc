@@ -1,0 +1,542 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace ccr::obs
+{
+
+std::int64_t
+Json::asInt() const
+{
+    switch (kind_) {
+      case Kind::Int: return int_;
+      case Kind::Uint: return static_cast<std::int64_t>(uint_);
+      case Kind::Double: return static_cast<std::int64_t>(dbl_);
+      default: return 0;
+    }
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return int_ < 0 ? 0 : static_cast<std::uint64_t>(int_);
+      case Kind::Uint: return uint_;
+      case Kind::Double:
+        return dbl_ < 0 ? 0 : static_cast<std::uint64_t>(dbl_);
+      default: return 0;
+    }
+}
+
+double
+Json::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Int: return static_cast<double>(int_);
+      case Kind::Uint: return static_cast<double>(uint_);
+      case Kind::Double: return dbl_;
+      default: return 0.0;
+    }
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (kind_ != Kind::Object) {
+        kind_ = Kind::Object;
+        obj_.clear();
+    }
+    return obj_[key];
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    static const Json null;
+    if (kind_ != Kind::Object)
+        return null;
+    const auto it = obj_.find(key);
+    return it == obj_.end() ? null : it->second;
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    // Numbers compare across kinds by value (1 == 1u == 1.0).
+    if (isNumber() && other.isNumber()) {
+        if (kind_ == Kind::Double || other.kind_ == Kind::Double)
+            return asDouble() == other.asDouble();
+        if (kind_ == Kind::Uint || other.kind_ == Kind::Uint) {
+            if (asInt() < 0 || other.asInt() < 0)
+                return asInt() == other.asInt();
+            return asUint() == other.asUint();
+        }
+        return asInt() == other.asInt();
+    }
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null: return true;
+      case Kind::Bool: return bool_ == other.bool_;
+      case Kind::String: return str_ == other.str_;
+      case Kind::Array: return arr_ == other.arr_;
+      case Kind::Object: return obj_ == other.obj_;
+      default: return false;
+    }
+}
+
+namespace
+{
+
+void
+dumpString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+dumpDouble(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; emit null (the conventional fallback).
+        os << "null";
+        return;
+    }
+    // Shortest representation that round-trips a double.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    double parsed = std::strtod(buf, nullptr);
+    if (parsed == v) {
+        for (int prec = 1; prec < 17; ++prec) {
+            char trial[32];
+            std::snprintf(trial, sizeof trial, "%.*g", prec, v);
+            if (std::strtod(trial, nullptr) == v) {
+                std::snprintf(buf, sizeof buf, "%s", trial);
+                break;
+            }
+        }
+    }
+    os << buf;
+}
+
+void
+newlineIndent(std::ostream &os, int indent, int depth)
+{
+    os << '\n';
+    for (int i = 0; i < indent * depth; ++i)
+        os << ' ';
+}
+
+} // namespace
+
+void
+Json::dumpImpl(std::ostream &os, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    switch (kind_) {
+      case Kind::Null: os << "null"; break;
+      case Kind::Bool: os << (bool_ ? "true" : "false"); break;
+      case Kind::Int: os << int_; break;
+      case Kind::Uint: os << uint_; break;
+      case Kind::Double: dumpDouble(os, dbl_); break;
+      case Kind::String: dumpString(os, str_); break;
+      case Kind::Array: {
+        if (arr_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        bool first = true;
+        for (const auto &v : arr_) {
+            if (!first)
+                os << ',';
+            first = false;
+            if (pretty)
+                newlineIndent(os, indent, depth + 1);
+            v.dumpImpl(os, indent, depth + 1);
+        }
+        if (pretty)
+            newlineIndent(os, indent, depth);
+        os << ']';
+        break;
+      }
+      case Kind::Object: {
+        if (obj_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        bool first = true;
+        for (const auto &[key, v] : obj_) {
+            if (!first)
+                os << ',';
+            first = false;
+            if (pretty)
+                newlineIndent(os, indent, depth + 1);
+            dumpString(os, key);
+            os << (pretty ? ": " : ":");
+            v.dumpImpl(os, indent, depth + 1);
+        }
+        if (pretty)
+            newlineIndent(os, indent, depth);
+        os << '}';
+        break;
+      }
+    }
+}
+
+void
+Json::dump(std::ostream &os, int indent) const
+{
+    dumpImpl(os, indent, 0);
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::ostringstream os;
+    dump(os, indent);
+    return os.str();
+}
+
+// -- Parser ------------------------------------------------------------
+
+namespace
+{
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string &msg)
+    {
+        if (error.empty()) {
+            error = "json parse error at byte " + std::to_string(pos)
+                    + ": " + msg;
+        }
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size()
+               && (text[pos] == ' ' || text[pos] == '\t'
+                   || text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) == word) {
+            pos += word.size();
+            return true;
+        }
+        return fail("bad literal");
+    }
+
+    void appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool hex4(unsigned &out)
+    {
+        if (pos + 4 > text.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text[pos++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape digit");
+        }
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return fail("truncated escape");
+                const char e = text[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    unsigned cp = 0;
+                    if (!hex4(cp))
+                        return false;
+                    if (cp >= 0xD800 && cp <= 0xDBFF
+                        && text.substr(pos, 2) == "\\u") {
+                        pos += 2;
+                        unsigned lo = 0;
+                        if (!hex4(lo))
+                            return false;
+                        if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                            cp = 0x10000 + ((cp - 0xD800) << 10)
+                                 + (lo - 0xDC00);
+                        } else {
+                            return fail("bad surrogate pair");
+                        }
+                    }
+                    appendUtf8(out, cp);
+                    break;
+                  }
+                  default: return fail("bad escape");
+                }
+            } else {
+                out += c;
+                ++pos;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(Json &out)
+    {
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() && std::isdigit(
+                   static_cast<unsigned char>(text[pos])))
+            ++pos;
+        bool is_float = false;
+        if (pos < text.size() && text[pos] == '.') {
+            is_float = true;
+            ++pos;
+            while (pos < text.size() && std::isdigit(
+                       static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            is_float = true;
+            ++pos;
+            if (pos < text.size()
+                && (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            while (pos < text.size() && std::isdigit(
+                       static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        const std::string token(text.substr(start, pos - start));
+        if (token.empty() || token == "-")
+            return fail("bad number");
+        errno = 0;
+        if (!is_float) {
+            if (token[0] == '-') {
+                const std::int64_t v =
+                    std::strtoll(token.c_str(), nullptr, 10);
+                if (errno != ERANGE) {
+                    out = Json(v);
+                    return true;
+                }
+            } else {
+                const std::uint64_t v =
+                    std::strtoull(token.c_str(), nullptr, 10);
+                if (errno != ERANGE) {
+                    out = Json(v);
+                    return true;
+                }
+            }
+            errno = 0;
+        }
+        out = Json(std::strtod(token.c_str(), nullptr));
+        return true;
+    }
+
+    bool parseValue(Json &out, int depth)
+    {
+        if (depth > 200)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            out = Json();
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            out = Json(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            out = Json(false);
+            return true;
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (c == '[') {
+            ++pos;
+            Json::Array arr;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                out = Json(std::move(arr));
+                return true;
+            }
+            while (true) {
+                Json v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                arr.push_back(std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                break;
+            }
+            if (!consume(']'))
+                return false;
+            out = Json(std::move(arr));
+            return true;
+        }
+        if (c == '{') {
+            ++pos;
+            Json::Object obj;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                out = Json(std::move(obj));
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return false;
+                Json v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                obj[std::move(key)] = std::move(v);
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                break;
+            }
+            if (!consume('}'))
+                return false;
+            out = Json(std::move(obj));
+            return true;
+        }
+        if (c == '-'
+            || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber(out);
+        return fail("unexpected character");
+    }
+};
+
+} // namespace
+
+std::optional<Json>
+Json::parse(std::string_view text, std::string *err)
+{
+    Parser p{text, 0, {}};
+    Json out;
+    if (!p.parseValue(out, 0)) {
+        if (err)
+            *err = p.error;
+        return std::nullopt;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (err)
+            *err = "json parse error at byte " + std::to_string(p.pos)
+                   + ": trailing content";
+        return std::nullopt;
+    }
+    return out;
+}
+
+} // namespace ccr::obs

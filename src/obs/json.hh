@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Minimal JSON value type for the observability layer: deterministic
+ * serialization (object keys are kept in sorted order via std::map),
+ * exact 64-bit integer round-trips for counters, and a small
+ * recursive-descent parser used by the SimReport round-trip tests and
+ * by tools that consume emitted reports. No external dependencies.
+ */
+
+#ifndef CCR_OBS_JSON_HH
+#define CCR_OBS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccr::obs
+{
+
+/** A JSON value. Integers and unsigned integers are kept distinct
+ *  from doubles so uint64 counters survive a dump/parse round trip. */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Uint,
+        Double,
+        String,
+        Array,
+        Object
+    };
+
+    using Array = std::vector<Json>;
+    using Object = std::map<std::string, Json>;
+
+    Json() : kind_(Kind::Null) {}
+    Json(std::nullptr_t) : kind_(Kind::Null) {}
+    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Json(int v) : kind_(Kind::Int), int_(v) {}
+    Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+    Json(unsigned v) : kind_(Kind::Uint), uint_(v) {}
+    Json(std::uint64_t v) : kind_(Kind::Uint), uint_(v) {}
+    Json(double v) : kind_(Kind::Double), dbl_(v) {}
+    Json(const char *s) : kind_(Kind::String), str_(s) {}
+    Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Json(Array a) : kind_(Kind::Array), arr_(std::move(a)) {}
+    Json(Object o) : kind_(Kind::Object), obj_(std::move(o)) {}
+
+    static Json array() { return Json(Array{}); }
+    static Json object() { return Json(Object{}); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Uint
+               || kind_ == Kind::Double;
+    }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return bool_; }
+    /** Numeric accessors convert between the three number kinds. */
+    std::int64_t asInt() const;
+    std::uint64_t asUint() const;
+    double asDouble() const;
+    const std::string &asString() const { return str_; }
+
+    Array &items() { return arr_; }
+    const Array &items() const { return arr_; }
+    Object &fields() { return obj_; }
+    const Object &fields() const { return obj_; }
+
+    /** Object member access; find-or-create on the mutable overload. */
+    Json &operator[](const std::string &key);
+    /** Null when absent (or not an object). */
+    const Json &at(const std::string &key) const;
+
+    /** Array append. */
+    void push(Json v) { arr_.push_back(std::move(v)); }
+
+    bool operator==(const Json &other) const;
+    bool operator!=(const Json &other) const { return !(*this == other); }
+
+    /**
+     * Serialize. @p indent < 0 renders compact (no whitespace);
+     * otherwise pretty-printed with @p indent spaces per level.
+     * Output is deterministic: object keys iterate in sorted order.
+     */
+    void dump(std::ostream &os, int indent = -1) const;
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parse @p text. Returns nullopt and sets @p err (when non-null)
+     * with a byte offset and message on malformed input. Trailing
+     * non-whitespace after the value is an error.
+     */
+    static std::optional<Json> parse(std::string_view text,
+                                     std::string *err = nullptr);
+
+  private:
+    Kind kind_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double dbl_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+
+    void dumpImpl(std::ostream &os, int indent, int depth) const;
+};
+
+} // namespace ccr::obs
+
+#endif // CCR_OBS_JSON_HH

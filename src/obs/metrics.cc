@@ -1,0 +1,156 @@
+#include "obs/metrics.hh"
+
+#include "support/logging.hh"
+
+namespace ccr::obs
+{
+
+MetricRegistry::Metric &
+MetricRegistry::findOrCreate(const std::string &name, Kind kind)
+{
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+        auto m = std::make_unique<Metric>();
+        m->kind = kind;
+        it = metrics_.emplace(name, std::move(m)).first;
+    }
+    ccr_assert(it->second->kind == kind,
+               "metric '", name, "' re-registered as a different kind");
+    return *it->second;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    return findOrCreate(name, Kind::Counter).counter;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    return findOrCreate(name, Kind::Gauge).gauge;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &name, std::int64_t lo,
+                          std::int64_t hi, std::size_t nbuckets)
+{
+    Metric &m = findOrCreate(name, Kind::Histogram);
+    if (!m.histogram)
+        m.histogram = std::make_unique<Histogram>(lo, hi, nbuckets);
+    return *m.histogram;
+}
+
+bool
+MetricRegistry::has(const std::string &name) const
+{
+    return metrics_.count(name) != 0;
+}
+
+std::uint64_t
+MetricRegistry::get(const std::string &name) const
+{
+    const auto it = metrics_.find(name);
+    if (it == metrics_.end() || it->second->kind != Kind::Counter)
+        return 0;
+    return it->second->counter.value();
+}
+
+double
+MetricRegistry::getGauge(const std::string &name) const
+{
+    const auto it = metrics_.find(name);
+    if (it == metrics_.end() || it->second->kind != Kind::Gauge)
+        return 0.0;
+    return it->second->gauge.value();
+}
+
+const Histogram *
+MetricRegistry::findHistogram(const std::string &name) const
+{
+    const auto it = metrics_.find(name);
+    if (it == metrics_.end() || it->second->kind != Kind::Histogram)
+        return nullptr;
+    return it->second->histogram.get();
+}
+
+void
+MetricRegistry::reset()
+{
+    for (auto &[name, m] : metrics_) {
+        switch (m->kind) {
+          case Kind::Counter: m->counter.reset(); break;
+          case Kind::Gauge: m->gauge.reset(); break;
+          case Kind::Histogram:
+            if (m->histogram)
+                m->histogram->reset();
+            break;
+        }
+    }
+}
+
+void
+MetricRegistry::clear()
+{
+    metrics_.clear();
+}
+
+Json
+MetricRegistry::toJson() const
+{
+    Json out = Json::object();
+    for (const auto &[name, m] : metrics_) {
+        switch (m->kind) {
+          case Kind::Counter:
+            out[name] = Json(m->counter.value());
+            break;
+          case Kind::Gauge:
+            out[name] = Json(m->gauge.value());
+            break;
+          case Kind::Histogram: {
+            const Histogram &h = *m->histogram;
+            Json hj = Json::object();
+            hj["kind"] = Json("histogram");
+            hj["samples"] = Json(h.samples());
+            hj["mean"] = Json(h.mean());
+            hj["underflow"] = Json(h.underflow());
+            hj["overflow"] = Json(h.overflow());
+            Json buckets = Json::array();
+            for (const auto b : h.buckets())
+                buckets.push(Json(b));
+            hj["buckets"] = std::move(buckets);
+            out[name] = std::move(hj);
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+void
+MetricRegistry::merge(const MetricRegistry &other,
+                      const std::string &prefix)
+{
+    const std::string dot = prefix.empty() ? "" : prefix + ".";
+    for (const auto &[name, m] : other.metrics_) {
+        const std::string full = dot + name;
+        switch (m->kind) {
+          case Kind::Counter:
+            counter(full) += m->counter.value();
+            break;
+          case Kind::Gauge:
+            gauge(full).set(m->gauge.value());
+            break;
+          case Kind::Histogram: {
+            // Merged histograms copy the source shape wholesale; a
+            // pre-existing histogram of a different shape keeps its
+            // own and folds in only via record() by the caller.
+            Metric &dst = findOrCreate(full, Kind::Histogram);
+            dst.histogram = std::make_unique<Histogram>(*m->histogram);
+            break;
+          }
+        }
+    }
+}
+
+} // namespace ccr::obs

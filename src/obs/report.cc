@@ -1,0 +1,240 @@
+#include "obs/report.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace ccr::obs
+{
+
+Json
+RunReport::toJson() const
+{
+    Json out = Json::object();
+    out["workload"] = Json(workload);
+    out["config"] = config;
+    out["metrics"] = metrics;
+    out["derived"] = derived;
+    out["regions"] = regions;
+    return out;
+}
+
+std::optional<RunReport>
+RunReport::fromJson(const Json &json, std::string *err)
+{
+    if (!json.isObject()) {
+        if (err)
+            *err = "run report is not an object";
+        return std::nullopt;
+    }
+    if (!json.at("workload").isString()) {
+        if (err)
+            *err = "run report missing 'workload'";
+        return std::nullopt;
+    }
+    RunReport run;
+    run.workload = json.at("workload").asString();
+    run.config = json.at("config");
+    run.metrics = json.at("metrics");
+    run.derived = json.at("derived");
+    run.regions = json.at("regions");
+    if (run.config.isNull())
+        run.config = Json::object();
+    if (run.metrics.isNull())
+        run.metrics = Json::object();
+    if (run.derived.isNull())
+        run.derived = Json::object();
+    if (run.regions.isNull())
+        run.regions = Json::array();
+    return run;
+}
+
+Json
+SimReport::toJson() const
+{
+    Json out = Json::object();
+    Json schema = Json::object();
+    schema["name"] = Json(kSchemaName);
+    schema["version"] = Json(kSchemaVersion);
+    out["schema"] = std::move(schema);
+    out["generator"] = Json(generator);
+    Json arr = Json::array();
+    for (const auto &run : runs)
+        arr.push(run.toJson());
+    out["runs"] = std::move(arr);
+    return out;
+}
+
+std::string
+SimReport::toJsonString(int indent) const
+{
+    // A trailing newline so the file is a well-formed text file.
+    return toJson().dump(indent) + "\n";
+}
+
+std::optional<SimReport>
+SimReport::fromJson(const Json &json, std::string *err)
+{
+    if (!json.isObject()) {
+        if (err)
+            *err = "report is not a JSON object";
+        return std::nullopt;
+    }
+    const Json &schema = json.at("schema");
+    if (!schema.isObject() || !schema.at("version").isNumber()) {
+        if (err)
+            *err = "report missing schema.version";
+        return std::nullopt;
+    }
+    if (schema.at("name").isString()
+        && schema.at("name").asString() != kSchemaName) {
+        if (err)
+            *err = "unexpected schema name '"
+                   + schema.at("name").asString() + "'";
+        return std::nullopt;
+    }
+    const std::int64_t version = schema.at("version").asInt();
+    if (version < 1 || version > kSchemaVersion) {
+        if (err)
+            *err = "unsupported schema version "
+                   + std::to_string(version) + " (this build reads <= "
+                   + std::to_string(kSchemaVersion) + ")";
+        return std::nullopt;
+    }
+
+    SimReport report;
+    if (json.at("generator").isString())
+        report.generator = json.at("generator").asString();
+    const Json &runs = json.at("runs");
+    if (!runs.isNull() && !runs.isArray()) {
+        if (err)
+            *err = "'runs' is not an array";
+        return std::nullopt;
+    }
+    for (const auto &rj : runs.items()) {
+        auto run = RunReport::fromJson(rj, err);
+        if (!run)
+            return std::nullopt;
+        report.runs.push_back(std::move(*run));
+    }
+    return report;
+}
+
+std::optional<SimReport>
+SimReport::fromJsonString(std::string_view text, std::string *err)
+{
+    const auto json = Json::parse(text, err);
+    if (!json)
+        return std::nullopt;
+    return fromJson(*json, err);
+}
+
+namespace
+{
+
+bool
+isScalar(const Json &v)
+{
+    return v.isBool() || v.isNumber() || v.isString();
+}
+
+void
+collectScalarKeys(const Json &obj, const std::string &prefix,
+                  std::set<std::string> &keys)
+{
+    if (!obj.isObject())
+        return;
+    for (const auto &[k, v] : obj.fields()) {
+        if (isScalar(v))
+            keys.insert(prefix + k);
+    }
+}
+
+std::string
+csvCell(const Json &v)
+{
+    std::string s;
+    if (v.isString()) {
+        s = v.asString();
+    } else if (v.isBool()) {
+        s = v.asBool() ? "1" : "0";
+    } else if (v.isNumber()) {
+        s = v.dump();
+    }
+    if (s.find_first_of(",\"\n") != std::string::npos) {
+        std::string quoted = "\"";
+        for (const char c : s) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    }
+    return s;
+}
+
+const Json &
+lookupCsvKey(const RunReport &run, const std::string &key)
+{
+    static const Json null;
+    const auto dot = key.find('.');
+    if (dot == std::string::npos)
+        return null;
+    const std::string section = key.substr(0, dot);
+    const std::string name = key.substr(dot + 1);
+    if (section == "config")
+        return run.config.at(name);
+    if (section == "derived")
+        return run.derived.at(name);
+    if (section == "metrics")
+        return run.metrics.at(name);
+    return null;
+}
+
+} // namespace
+
+std::string
+SimReport::toCsv() const
+{
+    std::set<std::string> keys;
+    for (const auto &run : runs) {
+        collectScalarKeys(run.config, "config.", keys);
+        collectScalarKeys(run.derived, "derived.", keys);
+        collectScalarKeys(run.metrics, "metrics.", keys);
+    }
+
+    std::ostringstream os;
+    os << "workload";
+    for (const auto &k : keys)
+        os << ',' << k;
+    os << '\n';
+    for (const auto &run : runs) {
+        os << csvCell(Json(run.workload));
+        for (const auto &k : keys)
+            os << ',' << csvCell(lookupCsvKey(run, k));
+        os << '\n';
+    }
+    return os.str();
+}
+
+bool
+SimReport::writeJsonFile(const std::string &path, std::string *err) const
+{
+    std::ofstream out(path);
+    if (!out.good()) {
+        if (err)
+            *err = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    out << toJsonString();
+    out.flush();
+    if (!out.good()) {
+        if (err)
+            *err = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace ccr::obs

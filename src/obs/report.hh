@@ -1,0 +1,129 @@
+/**
+ * @file
+ * SimReport: the machine-readable result surface of a CCR experiment.
+ *
+ * A SimReport aggregates one RunReport per experiment point; each
+ * RunReport carries the workload name, a flattened config snapshot,
+ * the merged metric snapshot (see obs/metrics.hh for the naming
+ * scheme), derived metrics, and per-region attribution. Reports
+ * serialize to schema-versioned JSON (`toJsonString`) and to CSV
+ * (`toCsv`, one row per run over the sorted union of scalar keys), and
+ * parse back (`fromJsonString`) for round-trip tooling.
+ *
+ * The derived-metric helpers below are the single home for the
+ * zero-division conventions previously duplicated across
+ * TimingResult::ipc() and RunResult::speedup(): a ratio with a zero
+ * denominator is 0.0, and an elimination fraction is clamped to
+ * [0, 1]. Legacy accessors delegate here.
+ */
+
+#ifndef CCR_OBS_REPORT_HH
+#define CCR_OBS_REPORT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
+namespace ccr::obs
+{
+
+/** Version of the SimReport JSON schema. Bump on any change to field
+ *  names or meanings; fromJson rejects reports from a newer schema. */
+constexpr int kSchemaVersion = 1;
+constexpr const char *kSchemaName = "ccr.simreport";
+
+// -- Derived-metric conventions (single source of truth) ---------------
+
+/** num/den with the project-wide convention ratio(x, 0) == 0. */
+inline double
+ratio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+/** Instructions per cycle; 0 when no cycles elapsed. */
+inline double
+ipc(std::uint64_t insts, std::uint64_t cycles)
+{
+    return ratio(static_cast<double>(insts),
+                 static_cast<double>(cycles));
+}
+
+/** base/ccr cycle ratio; 0 when the CCR run recorded no cycles. */
+inline double
+speedup(std::uint64_t base_cycles, std::uint64_t ccr_cycles)
+{
+    return ratio(static_cast<double>(base_cycles),
+                 static_cast<double>(ccr_cycles));
+}
+
+/** Fraction of base dynamic instructions eliminated, clamped to
+ *  [0, 1]; 0 when the base executed nothing. */
+inline double
+fractionEliminated(std::uint64_t base_insts, std::uint64_t ccr_insts)
+{
+    if (base_insts == 0 || ccr_insts >= base_insts)
+        return 0.0;
+    return static_cast<double>(base_insts - ccr_insts)
+           / static_cast<double>(base_insts);
+}
+
+// -- Report structure --------------------------------------------------
+
+/** Telemetry for one experiment point. */
+struct RunReport
+{
+    std::string workload;
+
+    /** Flattened configuration snapshot (JSON object). */
+    Json config = Json::object();
+
+    /** Metric snapshot (JSON object, from MetricRegistry::toJson). */
+    Json metrics = Json::object();
+
+    /** Derived metrics (JSON object of doubles). */
+    Json derived = Json::object();
+
+    /** Per-region attribution: array of objects sorted by region id. */
+    Json regions = Json::array();
+
+    Json toJson() const;
+    static std::optional<RunReport> fromJson(const Json &json,
+                                             std::string *err = nullptr);
+};
+
+/** The aggregate report for a whole experiment (one or many runs). */
+class SimReport
+{
+  public:
+    std::string generator = "ccr_sim";
+    std::vector<RunReport> runs;
+
+    Json toJson() const;
+    std::string toJsonString(int indent = 2) const;
+
+    /**
+     * CSV over the sorted union of scalar keys across all runs:
+     * column "workload", then "config.*", "derived.*", "metrics.*".
+     * Non-scalar values (histograms, region arrays) are omitted;
+     * absent keys render as empty cells.
+     */
+    std::string toCsv() const;
+
+    static std::optional<SimReport> fromJson(const Json &json,
+                                             std::string *err = nullptr);
+    static std::optional<SimReport>
+    fromJsonString(std::string_view text, std::string *err = nullptr);
+
+    /** Write pretty-printed JSON; false (with @p err) on I/O error. */
+    bool writeJsonFile(const std::string &path,
+                       std::string *err = nullptr) const;
+};
+
+} // namespace ccr::obs
+
+#endif // CCR_OBS_REPORT_HH

@@ -1,0 +1,60 @@
+#include "obs/trace.hh"
+
+#include "support/logging.hh"
+
+namespace ccr::obs
+{
+
+TraceSink::TraceSink(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity)
+{}
+
+std::vector<TraceEvent>
+TraceSink::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    // Oldest event sits at head_ when the ring has wrapped, else at 0.
+    const std::size_t start =
+        size_ == ring_.size() ? head_ : (head_ + ring_.size() - size_)
+                                            % ring_.size();
+    for (std::size_t i = 0; i < size_; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+void
+TraceSink::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    nextSeq_ = 0;
+}
+
+const char *
+TraceSink::kindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::ReuseHit: return "reuse_hit";
+      case TraceEventKind::ReuseMiss: return "reuse_miss";
+      case TraceEventKind::Invalidate: return "invalidate";
+      case TraceEventKind::Evict: return "evict";
+      case TraceEventKind::MemoCommit: return "memo_commit";
+      case TraceEventKind::MemoAbort: return "memo_abort";
+      case TraceEventKind::Interval: return "interval";
+    }
+    return "unknown";
+}
+
+void
+TraceSink::flushNdjson(std::ostream &os) const
+{
+    for (const auto &e : events()) {
+        os << "{\"seq\":" << e.seq << ",\"kind\":\""
+           << kindName(e.kind) << "\",\"region\":" << e.region
+           << ",\"a\":" << e.a << ",\"b\":" << e.b << "}\n";
+    }
+}
+
+} // namespace ccr::obs

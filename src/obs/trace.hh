@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Low-overhead event tracing for the observability layer.
+ *
+ * TraceSink is a fixed-capacity ring buffer of small POD events. The
+ * buffer is preallocated once, so emitting on the simulation hot path
+ * never allocates; when full, the oldest events are overwritten and
+ * counted as dropped. Events can be drained in order and flushed as
+ * newline-delimited JSON (one event object per line).
+ *
+ * Tracing is opt-in via RunConfig::telemetry — components hold a
+ * `TraceSink *` that is null when telemetry is off, keeping the fast
+ * path to a single predictable branch.
+ */
+
+#ifndef CCR_OBS_TRACE_HH
+#define CCR_OBS_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccr::obs
+{
+
+/** Telemetry knob carried by RunConfig (off by default: the fast path
+ *  stays allocation-free and branch-predictable). */
+struct TelemetryOptions
+{
+    /** Master switch: attach trace sinks and interval snapshots. */
+    bool enabled = false;
+
+    /** Ring-buffer capacity in events. */
+    std::size_t traceCapacity = 65536;
+
+    /** Emit an Interval event every N committed instructions
+     *  (0 = none). */
+    std::uint64_t intervalInsts = 0;
+};
+
+enum class TraceEventKind : std::uint8_t
+{
+    ReuseHit,
+    ReuseMiss,
+    Invalidate,
+    Evict,
+    MemoCommit,
+    MemoAbort,
+    Interval
+};
+
+/** One traced event. Payload meaning depends on kind:
+ *  ReuseHit/ReuseMiss: a = inputs read, b = outputs written;
+ *  Evict: a = evicted region; Interval: a = insts, b = cycles. */
+struct TraceEvent
+{
+    std::uint64_t seq = 0;
+    TraceEventKind kind = TraceEventKind::ReuseHit;
+    std::uint32_t region = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
+class TraceSink
+{
+  public:
+    explicit TraceSink(std::size_t capacity);
+
+    /** Record one event; O(1), never allocates. */
+    void
+    emit(TraceEventKind kind, std::uint32_t region, std::uint64_t a = 0,
+         std::uint64_t b = 0)
+    {
+        TraceEvent &e = ring_[head_];
+        e.seq = nextSeq_++;
+        e.kind = kind;
+        e.region = region;
+        e.a = a;
+        e.b = b;
+        head_ = (head_ + 1) % ring_.size();
+        if (size_ < ring_.size())
+            ++size_;
+        else
+            ++dropped_;
+    }
+
+    /** Events currently buffered, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return ring_.size(); }
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+    /** Total events ever emitted. */
+    std::uint64_t emitted() const { return nextSeq_; }
+
+    void clear();
+
+    /** Write buffered events as newline-delimited JSON, oldest first.
+     *  Does not clear the buffer. */
+    void flushNdjson(std::ostream &os) const;
+
+    static const char *kindName(TraceEventKind kind);
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace ccr::obs
+
+#endif // CCR_OBS_TRACE_HH

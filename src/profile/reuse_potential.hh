@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "emu/machine.hh"
+#include "obs/report.hh"
 
 namespace ccr::profile
 {
@@ -56,19 +57,15 @@ struct PotentialResult
     double
     blockFraction() const
     {
-        return totalInsts == 0
-                   ? 0.0
-                   : static_cast<double>(blockReusableInsts)
-                         / static_cast<double>(totalInsts);
+        return obs::ratio(static_cast<double>(blockReusableInsts),
+                          static_cast<double>(totalInsts));
     }
 
     double
     regionFraction() const
     {
-        return totalInsts == 0
-                   ? 0.0
-                   : static_cast<double>(regionReusableInsts)
-                         / static_cast<double>(totalInsts);
+        return obs::ratio(static_cast<double>(regionReusableInsts),
+                          static_cast<double>(totalInsts));
     }
 };
 

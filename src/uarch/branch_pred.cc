@@ -83,4 +83,11 @@ BranchPredictor::reset()
     lookups_ = mispredicts_ = 0;
 }
 
+void
+BranchPredictor::exportMetrics(obs::MetricRegistry &registry) const
+{
+    registry.counter("bpred.lookups") += lookups_;
+    registry.counter("bpred.mispredicts") += mispredicts_;
+}
+
 } // namespace ccr::uarch

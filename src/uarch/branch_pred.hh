@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "emu/memory.hh"
+#include "obs/metrics.hh"
 
 namespace ccr::uarch
 {
@@ -43,6 +44,9 @@ class BranchPredictor
 
     std::uint64_t lookups() const { return lookups_; }
     std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Fold this predictor's tallies into @p registry under "bpred". */
+    void exportMetrics(obs::MetricRegistry &registry) const;
 
     const BranchPredParams &params() const { return params_; }
 

@@ -77,4 +77,11 @@ Cache::reset()
     stamp_ = hits_ = misses_ = 0;
 }
 
+void
+Cache::exportMetrics(obs::MetricRegistry &registry) const
+{
+    registry.counter(name_ + ".hits") += hits_;
+    registry.counter(name_ + ".misses") += misses_;
+}
+
 } // namespace ccr::uarch

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "emu/memory.hh"
+#include "obs/metrics.hh"
 #include "support/stats.hh"
 
 namespace ccr::uarch
@@ -45,6 +46,11 @@ class Cache
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+
+    /** Fold this cache's tallies into @p registry under the cache's
+     *  name ("icache.hits", ...). Called at end of a timed run; the
+     *  access() hot path stays plain-member increments. */
+    void exportMetrics(obs::MetricRegistry &registry) const;
 
     const CacheParams &params() const { return params_; }
 

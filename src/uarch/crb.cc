@@ -1,11 +1,24 @@
 #include "uarch/crb.hh"
 
+#include "obs/report.hh"
 #include "support/logging.hh"
 
 namespace ccr::uarch
 {
 
-Crb::Crb(CrbParams params) : params_(params)
+Crb::Crb(CrbParams params)
+    : params_(params),
+      cQueries_(metrics_.counter("crb.queries")),
+      cHits_(metrics_.counter("crb.hits")),
+      cMisses_(metrics_.counter("crb.misses")),
+      cInvalidates_(metrics_.counter("crb.invalidates")),
+      cMemoStarts_(metrics_.counter("crb.memoStarts")),
+      cMemoCommits_(metrics_.counter("crb.memoCommits")),
+      cMemoAborts_(metrics_.counter("crb.memoAborts")),
+      cMemoDroppedNotMemCapable_(
+          metrics_.counter("crb.memoDroppedNotMemCapable")),
+      cMemoLostEntry_(metrics_.counter("crb.memoLostEntry")),
+      cConflictEvictions_(metrics_.counter("crb.conflictEvictions"))
 {
     ccr_assert(params_.entries >= 1 && params_.assoc >= 1
                    && params_.entries % params_.assoc == 0,
@@ -69,8 +82,11 @@ Crb::entryFor(ir::RegionId region)
 
     // Allocate / replace.
     CompEntry &e = entries_[victim];
-    if (e.valid && e.tag != region)
-        ++stats_.counter("conflictEvictions");
+    if (e.valid && e.tag != region) {
+        ++cConflictEvictions_;
+        if (trace_)
+            trace_->emit(obs::TraceEventKind::Evict, e.tag, region);
+    }
     e.valid = true;
     e.tag = region;
     for (auto &ci : e.instances)
@@ -88,7 +104,7 @@ Crb::onReuse(ir::RegionId region, emu::Machine &machine)
         abortMemo("nested reuse");
     }
 
-    ++stats_.counter("queries");
+    ++cQueries_;
     emu::ReuseOutcome outcome;
 
     const std::size_t idx = entryFor(region);
@@ -146,14 +162,24 @@ Crb::onReuse(ir::RegionId region, emu::Machine &machine)
         outcome.numOutputsWritten = ci.numOutputs;
         outcome.hit = true;
         ci.lruStamp = ++stamp_;
-        ++stats_.counter("hits");
+        ++cHits_;
         ++hitsByRegion_[region];
+        if (trace_) {
+            trace_->emit(obs::TraceEventKind::ReuseHit, region,
+                         static_cast<std::uint64_t>(
+                             outcome.numInputsRead),
+                         static_cast<std::uint64_t>(ci.numOutputs));
+        }
         lastOutcome_ = outcome;
         return outcome;
     }
 
     // Miss: select the LRU instance and begin memoization mode.
-    ++stats_.counter("misses");
+    ++cMisses_;
+    if (trace_) {
+        trace_->emit(obs::TraceEventKind::ReuseMiss, region,
+                     static_cast<std::uint64_t>(outcome.numInputsRead));
+    }
     std::size_t lru = 0;
     std::uint64_t lru_stamp = UINT64_MAX;
     for (std::size_t i = 0; i < entry.instances.size(); ++i) {
@@ -171,7 +197,7 @@ Crb::onReuse(ir::RegionId region, emu::Machine &machine)
     memo_.instanceIndex = lru;
     memo_.scratch = CompInstance{};
     memo_.defined.clear();
-    ++stats_.counter("memoStarts");
+    ++cMemoStarts_;
 
     lastOutcome_ = outcome;
     return outcome;
@@ -327,12 +353,16 @@ Crb::commitMemo()
             memo_.scratch.memValid = true;
             memo_.scratch.lruStamp = ++stamp_;
             entry.instances[memo_.instanceIndex] = memo_.scratch;
-            ++stats_.counter("memoCommits");
+            ++cMemoCommits_;
+            if (trace_) {
+                trace_->emit(obs::TraceEventKind::MemoCommit,
+                             memo_.region);
+            }
         } else {
-            ++stats_.counter("memoDroppedNotMemCapable");
+            ++cMemoDroppedNotMemCapable_;
         }
     } else {
-        ++stats_.counter("memoLostEntry");
+        ++cMemoLostEntry_;
     }
     memo_ = MemoState{};
 }
@@ -341,14 +371,18 @@ void
 Crb::abortMemo(const char *reason)
 {
     (void)reason;
-    ++stats_.counter("memoAborts");
+    ++cMemoAborts_;
+    if (trace_)
+        trace_->emit(obs::TraceEventKind::MemoAbort, memo_.region);
     memo_ = MemoState{};
 }
 
 void
 Crb::onInvalidate(ir::RegionId region)
 {
-    ++stats_.counter("invalidates");
+    ++cInvalidates_;
+    if (trace_)
+        trace_->emit(obs::TraceEventKind::Invalidate, region);
     const std::size_t set = region % numSets_;
     const std::size_t base =
         set * static_cast<std::size_t>(params_.assoc);
@@ -380,7 +414,55 @@ Crb::reset()
     memo_ = MemoState{};
     lastOutcome_ = emu::ReuseOutcome{};
     hitsByRegion_.clear();
-    stats_.reset();
+    metrics_.reset();
+}
+
+StatGroup
+Crb::stats() const
+{
+    static const char *const kLegacyNames[] = {
+        "queries", "hits", "misses", "invalidates",
+        "memoStarts", "memoCommits", "memoAborts",
+        "memoDroppedNotMemCapable", "memoLostEntry",
+        "conflictEvictions",
+    };
+    StatGroup group("crb");
+    for (const char *name : kLegacyNames)
+        group.counter(name) += metrics_.get(std::string("crb.") + name);
+    return group;
+}
+
+void
+Crb::snapshotOccupancy()
+{
+    Histogram &valid_cis = metrics_.histogram(
+        "crb.occupancy.validCis", 0, params_.instances + 1,
+        static_cast<std::size_t>(params_.instances) + 1);
+    Histogram &in_used = metrics_.histogram(
+        "crb.occupancy.ciInputsUsed", 0, params_.bankSize + 1,
+        static_cast<std::size_t>(params_.bankSize) + 1);
+    Histogram &out_used = metrics_.histogram(
+        "crb.occupancy.ciOutputsUsed", 0, params_.bankSize + 1,
+        static_cast<std::size_t>(params_.bankSize) + 1);
+
+    std::uint64_t valid_entries = 0;
+    for (const auto &entry : entries_) {
+        int cis = 0;
+        if (entry.valid) {
+            ++valid_entries;
+            for (const auto &ci : entry.instances) {
+                if (!ci.valid)
+                    continue;
+                ++cis;
+                in_used.record(ci.numInputs);
+                out_used.record(ci.numOutputs);
+            }
+        }
+        valid_cis.record(cis);
+    }
+    metrics_.gauge("crb.occupancy.validEntryFraction")
+        .set(obs::ratio(static_cast<double>(valid_entries),
+                        static_cast<double>(entries_.size())));
 }
 
 } // namespace ccr::uarch

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "emu/machine.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/stats.hh"
 
 namespace ccr::uarch
@@ -115,8 +117,32 @@ class Crb : public emu::ReuseHandler
 
     void reset();
 
-    StatGroup &stats() { return stats_; }
-    const StatGroup &stats() const { return stats_; }
+    /** The CRB's metric registry ("crb.*" names) — the source of
+     *  truth for all CRB accounting. */
+    obs::MetricRegistry &metrics() { return metrics_; }
+    const obs::MetricRegistry &metrics() const { return metrics_; }
+
+    /**
+     * @deprecated Legacy view kept for one PR: a StatGroup snapshot
+     * with the historical un-prefixed names ("hits", "queries", ...).
+     * New code should read metrics().get("crb.hits") or consume the
+     * SimReport. Returns by value — do not mutate.
+     */
+    StatGroup stats() const;
+
+    /** Attach (or detach with nullptr) an event-trace sink; the CRB
+     *  emits hit/miss/invalidate/evict/memo events into it. */
+    void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
+
+    /**
+     * Record occupancy telemetry into the registry: a histogram of
+     * valid CIs per entry ("crb.occupancy.validCis"), input/output
+     * bank utilization of valid CIs ("crb.occupancy.ciInputsUsed" /
+     * "...OutputsUsed"), and the valid-entry fraction gauge. Call at a
+     * sampling point (typically end of run); each call accumulates
+     * one sample per entry/CI.
+     */
+    void snapshotOccupancy();
 
     const CrbParams &params() const { return params_; }
 
@@ -145,7 +171,22 @@ class Crb : public emu::ReuseHandler
     MemoState memo_;
     emu::ReuseOutcome lastOutcome_;
     std::unordered_map<ir::RegionId, std::uint64_t> hitsByRegion_;
-    StatGroup stats_{"crb"};
+
+    obs::MetricRegistry metrics_;
+    obs::TraceSink *trace_ = nullptr;
+
+    // Hot-path counters cached out of the registry (references stay
+    // valid across reset()).
+    Counter &cQueries_;
+    Counter &cHits_;
+    Counter &cMisses_;
+    Counter &cInvalidates_;
+    Counter &cMemoStarts_;
+    Counter &cMemoCommits_;
+    Counter &cMemoAborts_;
+    Counter &cMemoDroppedNotMemCapable_;
+    Counter &cMemoLostEntry_;
+    Counter &cConflictEvictions_;
 
     int instancesFor(std::size_t entry_index) const;
     bool memCapable(std::size_t entry_index) const;

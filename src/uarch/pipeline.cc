@@ -49,12 +49,35 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
         if (lat > 0) {
             fetchReady_ =
                 std::max(fetchReady_, cycle_) + static_cast<std::uint64_t>(lat);
+            fetchStallReason_ = FetchStall::Icache;
             ++result.icacheMisses;
+        }
+    }
+
+    // Stall attribution: decompose this instruction's issue delay from
+    // the current cycle frontier into fetch bubble (by cause), operand
+    // wait, reuse-validation interlock, and structural (width/FU)
+    // conflicts. Bookkeeping only — never feeds back into timing.
+    if (fetchReady_ > cycle_) {
+        const std::uint64_t bubble = fetchReady_ - cycle_;
+        switch (fetchStallReason_) {
+          case FetchStall::Icache: stallFetchIcache_ += bubble; break;
+          case FetchStall::Mispredict:
+            stallFetchMispredict_ += bubble;
+            break;
+          case FetchStall::ReuseFlush:
+            stallFetchReuseFlush_ += bubble;
+            break;
+          case FetchStall::BtbBubble:
+            stallFetchBtbBubble_ += bubble;
+            break;
+          case FetchStall::None: break;
         }
     }
 
     // -- Operand readiness ---------------------------------------------
     std::uint64_t earliest = std::max(fetchReady_, cycle_);
+    const std::uint64_t afterFetch = earliest;
     const int nsrc = inst.numRegSources();
     for (int s = 0; s < nsrc; ++s)
         earliest = std::max(earliest, regs[inst.regSource(s)]);
@@ -62,6 +85,8 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
         for (int a = 0; a < inst.numArgs; ++a)
             earliest = std::max(earliest, regs[inst.args[a]]);
     }
+    stallOperands_ += earliest - afterFetch;
+    const std::uint64_t afterOperands = earliest;
     bool speculated_hit = false;
     if (inst.op == ir::Opcode::Reuse && crb_ != nullptr) {
         if (params_.speculativeValidation) {
@@ -84,6 +109,7 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
             }
         }
     }
+    stallReuseValidate_ += earliest - afterOperands;
 
     // -- Find the issue slot (in-order, width + FU limits) -------------
     const auto cls = ir::fuClass(inst.op);
@@ -94,6 +120,10 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
             cls == ir::FuClass::None || fuUsed_[cls_idx] < fuLimit(cls);
         if (issuedThisCycle_ < params_.issueWidth && fu_ok)
             break;
+        if (!fu_ok)
+            ++stallFuBusy_;
+        else
+            ++stallIssueWidth_;
         advanceTo(cycle_ + 1);
     }
     const std::uint64_t c = cycle_;
@@ -129,6 +159,7 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
             fetchReady_ = resolve
                           + static_cast<std::uint64_t>(
                               params_.bpred.mispredictPenalty);
+            fetchStallReason_ = FetchStall::Mispredict;
             ++result.branchMispredicts;
         }
         break;
@@ -140,8 +171,10 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
         // bubble.
         const bool known = bpred_.lookupUnconditional(info.pc,
                                                       info.nextPc);
-        if (!known)
+        if (!known) {
             fetchReady_ = c + 2;
+            fetchStallReason_ = FetchStall::BtbBubble;
+        }
         break;
       }
       case ir::Opcode::Reuse: {
@@ -182,6 +215,7 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
             // Miss: flush and redirect fetch into the region body.
             fetchReady_ = c + static_cast<std::uint64_t>(
                                   params_.reuseFailPenalty);
+            fetchStallReason_ = FetchStall::ReuseFlush;
         }
         break;
       }
@@ -240,6 +274,12 @@ Pipeline::run(emu::Machine &machine, std::uint64_t max_insts)
     regReady_.clear();
     callRetDst_.clear();
     reuseConfidence_.clear();
+    metrics_.reset();
+    fetchStallReason_ = FetchStall::None;
+    stallFetchIcache_ = stallFetchMispredict_ = 0;
+    stallFetchReuseFlush_ = stallFetchBtbBubble_ = 0;
+    stallOperands_ = stallReuseValidate_ = 0;
+    stallIssueWidth_ = stallFuBusy_ = 0;
     {
         const auto &entry =
             machine.module().function(machine.module().entryFunction());
@@ -257,12 +297,39 @@ Pipeline::run(emu::Machine &machine, std::uint64_t max_insts)
             break;
         issueOne(info, kind, machine, result);
         ++executed;
+        if (trace_ && traceIntervalInsts_ != 0
+            && executed % traceIntervalInsts_ == 0) {
+            trace_->emit(obs::TraceEventKind::Interval, 0, executed,
+                         cycle_);
+        }
     }
 
     machine.setReuseHandler(nullptr);
 
     result.insts = executed;
     result.cycles = std::max(cycle_, lastRetire_) + 1;
+
+    // Fold the run's accounting into the registry — the source of
+    // truth behind the (deprecated) TimingResult view.
+    metrics_.counter("pipe.cycles") += result.cycles;
+    metrics_.counter("pipe.insts") += result.insts;
+    metrics_.counter("pipe.stall.fetch.icache") += stallFetchIcache_;
+    metrics_.counter("pipe.stall.fetch.mispredict") +=
+        stallFetchMispredict_;
+    metrics_.counter("pipe.stall.fetch.reuseFlush") +=
+        stallFetchReuseFlush_;
+    metrics_.counter("pipe.stall.fetch.btbBubble") +=
+        stallFetchBtbBubble_;
+    metrics_.counter("pipe.stall.operands") += stallOperands_;
+    metrics_.counter("pipe.stall.reuseValidate") += stallReuseValidate_;
+    metrics_.counter("pipe.stall.issueWidth") += stallIssueWidth_;
+    metrics_.counter("pipe.stall.fuBusy") += stallFuBusy_;
+    metrics_.counter("reuse.hits") += result.reuseHits;
+    metrics_.counter("reuse.misses") += result.reuseMisses;
+    icache_.exportMetrics(metrics_);
+    dcache_.exportMetrics(metrics_);
+    bpred_.exportMetrics(metrics_);
+
     return result;
 }
 

@@ -23,6 +23,9 @@
 #include <vector>
 
 #include "emu/machine.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/trace.hh"
 #include "uarch/branch_pred.hh"
 #include "uarch/cache.hh"
 #include "uarch/crb.hh"
@@ -64,7 +67,15 @@ struct PipelineParams
     bool speculativeValidation = false;
 };
 
-/** Results of one timed run. */
+/**
+ * Results of one timed run.
+ *
+ * @deprecated Thin legacy view: the fields mirror counters that live
+ * in the pipeline's MetricRegistry ("pipe.cycles", "icache.misses",
+ * "reuse.hits", ...), which is the source of truth and feeds the
+ * SimReport surface. Kept for one PR; new code should consume
+ * Pipeline::metrics() or the SimReport.
+ */
 struct TimingResult
 {
     std::uint64_t cycles = 0;
@@ -75,13 +86,9 @@ struct TimingResult
     std::uint64_t reuseHits = 0;
     std::uint64_t reuseMisses = 0;
 
-    double
-    ipc() const
-    {
-        return cycles == 0 ? 0.0
-                           : static_cast<double>(insts)
-                                 / static_cast<double>(cycles);
-    }
+    /** Delegates to the obs derived-metric conventions (0 when no
+     *  cycles elapsed). */
+    double ipc() const { return obs::ipc(insts, cycles); }
 };
 
 /** The timing model. Construct, optionally attach a CRB, run. */
@@ -105,6 +112,25 @@ class Pipeline
     Cache &dcache() { return dcache_; }
     BranchPredictor &bpred() { return bpred_; }
 
+    /**
+     * Metric registry of the most recent run(): cycle/instruction
+     * totals, cache and predictor tallies, reuse counts, and
+     * cycles-by-stall-reason attribution ("pipe.stall.*"). Reset at
+     * the start of every run.
+     */
+    const obs::MetricRegistry &metrics() const { return metrics_; }
+    obs::MetricRegistry &metrics() { return metrics_; }
+
+    /** Attach an event-trace sink emitting an Interval event (insts,
+     *  cycles) every @p interval_insts committed instructions; null
+     *  sink or 0 interval disables. */
+    void
+    setTelemetry(obs::TraceSink *sink, std::uint64_t interval_insts)
+    {
+        trace_ = sink;
+        traceIntervalInsts_ = interval_insts;
+    }
+
     const PipelineParams &params() const { return params_; }
 
   private:
@@ -113,6 +139,33 @@ class Pipeline
     Cache dcache_;
     BranchPredictor bpred_;
     Crb *crb_ = nullptr;
+
+    obs::MetricRegistry metrics_;
+    obs::TraceSink *trace_ = nullptr;
+    std::uint64_t traceIntervalInsts_ = 0;
+
+    /** Why the fetch frontier (fetchReady_) was last pushed forward —
+     *  attributes fetch-bubble cycles to their cause. */
+    enum class FetchStall
+    {
+        None = 0,
+        Icache,
+        Mispredict,
+        ReuseFlush,
+        BtbBubble
+    };
+    FetchStall fetchStallReason_ = FetchStall::None;
+
+    // Cycles-by-stall-reason accumulators (plain members on the hot
+    // path; folded into metrics_ at end of run).
+    std::uint64_t stallFetchIcache_ = 0;
+    std::uint64_t stallFetchMispredict_ = 0;
+    std::uint64_t stallFetchReuseFlush_ = 0;
+    std::uint64_t stallFetchBtbBubble_ = 0;
+    std::uint64_t stallOperands_ = 0;
+    std::uint64_t stallReuseValidate_ = 0;
+    std::uint64_t stallIssueWidth_ = 0;
+    std::uint64_t stallFuBusy_ = 0;
 
     // -- per-run scoreboard state -------------------------------------
     std::uint64_t cycle_ = 0;       ///< current issue cycle frontier

@@ -59,6 +59,19 @@ runPlan(const RunPlan &plan, const DriverOptions &options)
     return results;
 }
 
+obs::SimReport
+buildSimReport(const RunPlan &plan,
+               const std::vector<RunResult> &results)
+{
+    ccr_assert(plan.size() == results.size(),
+               "plan/result size mismatch");
+    obs::SimReport report;
+    report.runs.reserve(results.size());
+    for (const auto &result : results)
+        report.runs.push_back(result.report);
+    return report;
+}
+
 int
 defaultJobs()
 {

@@ -86,6 +86,13 @@ struct DriverOptions
     /** Require every point's base and CCR outputs to match; a
      *  mismatch is fatal (the benches' historical behavior). */
     bool checkOutputs = true;
+
+    /**
+     * When non-empty, bench harnesses write the aggregated SimReport
+     * JSON here after the plan completes (see bench/common.hh;
+     * `--report <path>` / CCR_REPORT). runPlan itself ignores it.
+     */
+    std::string reportPath;
 };
 
 /**
@@ -94,6 +101,14 @@ struct DriverOptions
  */
 std::vector<RunResult> runPlan(const RunPlan &plan,
                                const DriverOptions &options = {});
+
+/**
+ * Aggregate the per-point RunReports of a completed plan into one
+ * SimReport (runs in plan order). The report is a pure function of
+ * the plan and results — independent of worker count and caching.
+ */
+obs::SimReport buildSimReport(const RunPlan &plan,
+                              const std::vector<RunResult> &results);
 
 /** The job count used when none is specified: the CCR_JOBS
  *  environment variable, else the hardware thread count. */

@@ -1,5 +1,7 @@
 #include "workloads/harness.hh"
 
+#include <algorithm>
+
 #include "analysis/alias.hh"
 #include "ir/verifier.hh"
 #include "opt/passes.hh"
@@ -9,6 +11,136 @@
 
 namespace ccr::workloads
 {
+
+namespace
+{
+
+const char *
+inputSetName(InputSet set)
+{
+    return set == InputSet::Train ? "train" : "ref";
+}
+
+/** Flattened configuration snapshot for the SimReport. */
+obs::Json
+configJson(const RunConfig &config)
+{
+    obs::Json c = obs::Json::object();
+    c["crb.entries"] = obs::Json(config.crb.entries);
+    c["crb.instances"] = obs::Json(config.crb.instances);
+    c["crb.assoc"] = obs::Json(config.crb.assoc);
+    c["crb.bankSize"] = obs::Json(config.crb.bankSize);
+    c["crb.memCapableFraction"] =
+        obs::Json(config.crb.memCapableFraction);
+    c["crb.nonuniformSplit"] = obs::Json(config.crb.nonuniformSplit);
+    c["pipe.issueWidth"] = obs::Json(config.pipe.issueWidth);
+    c["pipe.speculativeValidation"] =
+        obs::Json(config.pipe.speculativeValidation);
+    c["profileInput"] = obs::Json(inputSetName(config.profileInput));
+    c["measureInput"] = obs::Json(inputSetName(config.measureInput));
+    c["optimizeBase"] = obs::Json(config.optimizeBase);
+    c["maxInsts"] = obs::Json(config.maxInsts);
+    c["telemetry.enabled"] = obs::Json(config.telemetry.enabled);
+    return c;
+}
+
+/**
+ * Assemble the RunReport from the run's registries and fill the
+ * legacy RunResult views from the same source of truth. @p ccr_pipe
+ * carries the timed CCR run's full registry (stall attribution,
+ * caches, predictor); the base run contributes only its TimingResult
+ * scalars, which are identical whether or not the base stage came
+ * from the experiment cache.
+ */
+void
+buildRunReport(RunResult &result, const std::string &workload_name,
+               const RunConfig &config, uarch::Crb &crb,
+               uarch::Pipeline &ccr_pipe)
+{
+    crb.snapshotOccupancy();
+
+    obs::MetricRegistry agg;
+    agg.counter("base.pipe.cycles") += result.base.cycles;
+    agg.counter("base.pipe.insts") += result.base.insts;
+    agg.counter("base.icache.misses") += result.base.icacheMisses;
+    agg.counter("base.dcache.misses") += result.base.dcacheMisses;
+    agg.counter("base.bpred.mispredicts") +=
+        result.base.branchMispredicts;
+    agg.merge(ccr_pipe.metrics(), "ccr");
+    agg.merge(crb.metrics(), "");
+    agg.counter("formation.cyclicFormed") += static_cast<std::uint64_t>(
+        result.formation.cyclicFormed);
+    agg.counter("formation.acyclicFormed") +=
+        static_cast<std::uint64_t>(result.formation.acyclicFormed);
+    agg.counter("formation.functionLevelFormed") +=
+        static_cast<std::uint64_t>(result.formation.functionLevelFormed);
+    agg.counter("formation.seedsRejected") +=
+        static_cast<std::uint64_t>(result.formation.seedsRejected);
+    agg.counter("formation.invalidationsPlaced") +=
+        static_cast<std::uint64_t>(result.formation.invalidationsPlaced);
+    agg.counter("formation.blocksReordered") +=
+        static_cast<std::uint64_t>(result.formation.blocksReordered);
+    agg.counter("regions.formed") +=
+        static_cast<std::uint64_t>(result.regions.size());
+
+    // Legacy views are filled from the registry — the single source —
+    // and cross-checked against the pipeline's independent tally
+    // below (shim-period invariant).
+    result.crbQueries = agg.get("crb.queries");
+    result.crbHits = agg.get("crb.hits");
+    result.crbInvalidates = agg.get("crb.invalidates");
+    result.hitsByRegion = crb.hitsByRegion();
+    ccr_assert(result.crbHits == result.ccr.reuseHits
+                   && result.crbQueries
+                          == result.ccr.reuseHits
+                                 + result.ccr.reuseMisses,
+               "legacy telemetry views disagree: CRB counted ",
+               result.crbHits, "/", result.crbQueries,
+               " hits/queries but the pipeline observed ",
+               result.ccr.reuseHits, " hits and ",
+               result.ccr.reuseMisses, " misses");
+
+    obs::RunReport &report = result.report;
+    report.workload = workload_name;
+    report.config = configJson(config);
+    report.metrics = agg.toJson();
+
+    report.derived["speedup"] =
+        obs::Json(obs::speedup(result.base.cycles, result.ccr.cycles));
+    report.derived["baseIpc"] = obs::Json(result.base.ipc());
+    report.derived["ccrIpc"] = obs::Json(result.ccr.ipc());
+    report.derived["instsEliminated"] =
+        obs::Json(result.instsEliminated());
+    report.derived["crbHitRate"] = obs::Json(
+        obs::ratio(static_cast<double>(result.crbHits),
+                   static_cast<double>(result.crbQueries)));
+    report.derived["outputsMatch"] = obs::Json(result.outputsMatch);
+
+    // Per-region attribution, sorted by region id for determinism.
+    std::vector<const core::ReuseRegion *> regions;
+    regions.reserve(result.regions.size());
+    for (const auto &region : result.regions.regions())
+        regions.push_back(&region);
+    std::sort(regions.begin(), regions.end(),
+              [](const auto *a, const auto *b) { return a->id < b->id; });
+    for (const auto *region : regions) {
+        std::uint64_t hits = 0;
+        const auto it = result.hitsByRegion.find(region->id);
+        if (it != result.hitsByRegion.end())
+            hits = it->second;
+        obs::Json r = obs::Json::object();
+        r["id"] = obs::Json(static_cast<std::uint64_t>(region->id));
+        r["staticInsts"] = obs::Json(region->staticInsts);
+        r["cyclic"] = obs::Json(region->cyclic);
+        r["functionLevel"] = obs::Json(region->functionLevel);
+        r["hits"] = obs::Json(hits);
+        r["eliminatedInsts"] = obs::Json(
+            hits * static_cast<std::uint64_t>(region->staticInsts));
+        report.regions.push(std::move(r));
+    }
+}
+
+} // namespace
 
 profile::ProfileData
 profileWorkload(const Workload &workload, InputSet set,
@@ -119,16 +251,20 @@ runCcrExperiment(const std::string &workload_name,
         uarch::Crb crb(config.crb);
         uarch::Pipeline pipe(config.pipe);
         pipe.setCrb(&crb);
+        if (config.telemetry.enabled) {
+            result.trace = std::make_shared<obs::TraceSink>(
+                config.telemetry.traceCapacity);
+            crb.setTraceSink(result.trace.get());
+            pipe.setTelemetry(result.trace.get(),
+                              config.telemetry.intervalInsts);
+        }
         result.ccr = pipe.run(machine, config.maxInsts);
         ccr_assert(machine.halted(), "CCR run did not complete");
 
-        result.crbQueries = crb.stats().get("queries");
-        result.crbHits = crb.stats().get("hits");
-        result.crbInvalidates = crb.stats().get("invalidates");
-        result.hitsByRegion = crb.hitsByRegion();
-
         const auto ccr_outputs = readOutputs(machine, ccr);
         result.outputsMatch = ccr_outputs == base_outputs;
+
+        buildRunReport(result, workload_name, config, crb, pipe);
     }
 
     return result;

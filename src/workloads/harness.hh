@@ -12,9 +12,12 @@
 #ifndef CCR_WORKLOADS_HARNESS_HH
 #define CCR_WORKLOADS_HARNESS_HH
 
+#include <memory>
 #include <unordered_map>
 
 #include "core/former.hh"
+#include "obs/report.hh"
+#include "obs/trace.hh"
 #include "profile/reuse_potential.hh"
 #include "uarch/crb.hh"
 #include "uarch/pipeline.hh"
@@ -43,9 +46,29 @@ struct RunConfig
 
     /** Safety cap on emulated instructions per run. */
     std::uint64_t maxInsts = 200'000'000ULL;
+
+    /**
+     * Observability knob: when enabled, the CCR run carries an
+     * event-trace ring buffer (CRB hit/miss/invalidate/evict/memo
+     * events plus pipeline interval snapshots) exposed via
+     * RunResult::trace. Off by default — the fast path then performs
+     * no tracing work and no allocations. The SimReport metric
+     * snapshot (RunResult::report) is always produced; it does not
+     * affect simulated results either way.
+     */
+    obs::TelemetryOptions telemetry;
 };
 
-/** Results of one experiment run. */
+/**
+ * Results of one experiment run.
+ *
+ * The machine-readable surface is `report` (an obs::RunReport feeding
+ * SimReport JSON/CSV). The scalar fields below are thin legacy views
+ * over the same registry counters, kept for one PR: `crbQueries` /
+ * `crbHits` mirror "crb.queries"/"crb.hits" and `ccr.reuseHits` /
+ * `ccr.reuseMisses` mirror the pipeline's "reuse.*" counters; the
+ * harness asserts the two views agree during the shim period.
+ */
 struct RunResult
 {
     uarch::TimingResult base;
@@ -53,6 +76,15 @@ struct RunResult
     core::RegionTable regions;
     core::FormationStats formation;
 
+    /** SimReport entry for this run: config snapshot, merged metric
+     *  registry, derived metrics, per-region attribution. */
+    obs::RunReport report;
+
+    /** Event trace of the CCR run; non-null only when
+     *  RunConfig::telemetry.enabled was set. */
+    std::shared_ptr<obs::TraceSink> trace;
+
+    /** @deprecated Read report.metrics ("crb.*") instead. */
     std::uint64_t crbQueries = 0;
     std::uint64_t crbHits = 0;
     std::uint64_t crbInvalidates = 0;
@@ -60,27 +92,18 @@ struct RunResult
 
     bool outputsMatch = false;
 
-    double
-    speedup() const
+    /** Delegates to the obs derived-metric conventions (0 when the
+     *  CCR run recorded no cycles). */
+    double speedup() const
     {
-        return ccr.cycles == 0
-                   ? 0.0
-                   : static_cast<double>(base.cycles)
-                         / static_cast<double>(ccr.cycles);
+        return obs::speedup(base.cycles, ccr.cycles);
     }
 
-    /** Fraction of base dynamic instructions eliminated by reuse. */
-    double
-    instsEliminated() const
+    /** Fraction of base dynamic instructions eliminated by reuse;
+     *  obs conventions (clamped to [0, 1], 0 on empty base). */
+    double instsEliminated() const
     {
-        if (base.insts == 0)
-            return 0.0;
-        const double removed =
-            static_cast<double>(base.insts)
-            - static_cast<double>(ccr.insts);
-        return removed <= 0.0
-                   ? 0.0
-                   : removed / static_cast<double>(base.insts);
+        return obs::fractionEliminated(base.insts, ccr.insts);
     }
 };
 

@@ -70,24 +70,20 @@ renderCsv(const RunPlan &plan, const std::vector<RunResult> &results)
     return os.str();
 }
 
-TEST(GoldenFigures, TrimmedSweepMatchesGolden)
+/** Shared golden-compare logic with the CCR_UPDATE_GOLDEN regen
+ *  hook (see tests/golden/README.md). */
+void
+compareGolden(const std::string &got, const std::string &filename)
 {
-    const RunPlan plan = goldenPlan();
-    ExperimentCache cache;
-    DriverOptions opts;
-    opts.jobs = 2;
-    opts.cache = &cache;
-    const std::string csv = renderCsv(plan, runPlan(plan, opts));
-
     const std::string path =
-        std::string(CCR_GOLDEN_DIR) + "/trimmed_sweep.csv";
+        std::string(CCR_GOLDEN_DIR) + "/" + filename;
 
     // Regeneration hook for intentional changes:
     //   CCR_UPDATE_GOLDEN=1 ctest -R GoldenFigures
     if (std::getenv("CCR_UPDATE_GOLDEN")) {
         std::ofstream out(path);
         ASSERT_TRUE(out.good()) << "cannot write " << path;
-        out << csv;
+        out << got;
         GTEST_SKIP() << "golden regenerated at " << path;
     }
 
@@ -98,10 +94,43 @@ TEST(GoldenFigures, TrimmedSweepMatchesGolden)
     std::ostringstream want;
     want << in.rdbuf();
 
-    EXPECT_EQ(csv, want.str())
+    EXPECT_EQ(got, want.str())
         << "figure numbers drifted from " << path
         << "\nIf the change is intentional, regenerate with "
            "CCR_UPDATE_GOLDEN=1 and review the diff.";
+}
+
+TEST(GoldenFigures, TrimmedSweepMatchesGolden)
+{
+    const RunPlan plan = goldenPlan();
+    ExperimentCache cache;
+    DriverOptions opts;
+    opts.jobs = 2;
+    opts.cache = &cache;
+    const std::string csv = renderCsv(plan, runPlan(plan, opts));
+    compareGolden(csv, "trimmed_sweep.csv");
+}
+
+/**
+ * The SimReport JSON for one sweep point is golden too: the full
+ * metric registry (stall attribution, occupancy histograms, per-region
+ * breakdown) and the schema layout must stay deterministic and may
+ * only change alongside a deliberate golden regen (and, for layout
+ * changes, an obs::kSchemaVersion bump — see docs/OBSERVABILITY.md).
+ */
+TEST(GoldenFigures, SimReportPointMatchesGolden)
+{
+    RunPlan plan;
+    RunConfig config;
+    config.crb.entries = 128;
+    config.crb.instances = 4;
+    plan.add("espresso", config);
+
+    DriverOptions opts;
+    opts.jobs = 1;
+    const auto results = runPlan(plan, opts);
+    const auto report = buildSimReport(plan, results);
+    compareGolden(report.toJsonString(), "trimmed_sweep_point.json");
 }
 
 } // namespace

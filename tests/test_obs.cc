@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Tests for the ccr_obs observability layer: JSON round trips,
+ * MetricRegistry semantics, derived-metric zero-division conventions,
+ * SimReport serialization + schema versioning, the trace ring buffer,
+ * and the end-to-end telemetry knob on a real experiment run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/trace.hh"
+#include "uarch/pipeline.hh"
+#include "workloads/harness.hh"
+
+namespace
+{
+
+using namespace ccr;
+using obs::Json;
+
+// -- Json --------------------------------------------------------------
+
+TEST(Json, ScalarRoundTrips)
+{
+    const Json values[] = {
+        Json(),
+        Json(true),
+        Json(false),
+        Json(std::int64_t{-42}),
+        Json(std::uint64_t{0}),
+        Json(std::numeric_limits<std::uint64_t>::max()),
+        Json(1.5),
+        Json(0.1),
+        Json("hello"),
+        Json("quotes \" and \\ and \n\t control \x01 bytes"),
+    };
+    for (const auto &v : values) {
+        const auto parsed = Json::parse(v.dump());
+        ASSERT_TRUE(parsed.has_value()) << v.dump();
+        EXPECT_EQ(*parsed, v) << v.dump();
+    }
+}
+
+TEST(Json, Uint64CounterSurvivesExactly)
+{
+    const std::uint64_t big = 0xFFFF'FFFF'FFFF'FFFFULL;
+    const auto parsed = Json::parse(Json(big).dump());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->asUint(), big);
+}
+
+TEST(Json, NestedStructureRoundTrip)
+{
+    Json obj = Json::object();
+    obj["name"] = Json("crb");
+    obj["hits"] = Json(std::uint64_t{12345});
+    Json arr = Json::array();
+    arr.push(Json(1));
+    arr.push(Json("two"));
+    arr.push(Json::object());
+    obj["list"] = std::move(arr);
+    obj["nested"] = Json::object();
+    obj["nested"]["x"] = Json(-1.25);
+
+    for (const int indent : {-1, 0, 2, 4}) {
+        const auto parsed = Json::parse(obj.dump(indent));
+        ASSERT_TRUE(parsed.has_value()) << indent;
+        EXPECT_EQ(*parsed, obj) << indent;
+    }
+}
+
+TEST(Json, DeterministicKeyOrder)
+{
+    Json a = Json::object();
+    a["zebra"] = Json(1);
+    a["alpha"] = Json(2);
+    Json b = Json::object();
+    b["alpha"] = Json(2);
+    b["zebra"] = Json(1);
+    EXPECT_EQ(a.dump(), b.dump());
+    EXPECT_LT(a.dump().find("alpha"), a.dump().find("zebra"));
+}
+
+TEST(Json, ParseErrors)
+{
+    std::string err;
+    EXPECT_FALSE(Json::parse("", &err).has_value());
+    EXPECT_FALSE(Json::parse("{", &err).has_value());
+    EXPECT_FALSE(Json::parse("[1,", &err).has_value());
+    EXPECT_FALSE(Json::parse("{\"a\" 1}", &err).has_value());
+    EXPECT_FALSE(Json::parse("nul", &err).has_value());
+    EXPECT_FALSE(Json::parse("\"unterminated", &err).has_value());
+    EXPECT_FALSE(Json::parse("1 trailing", &err).has_value());
+    EXPECT_NE(err.find("trailing"), std::string::npos);
+}
+
+TEST(Json, UnicodeEscapes)
+{
+    const auto parsed = Json::parse("\"a\\u00e9\\u20ac\"");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->asString(), "a\xC3\xA9\xE2\x82\xAC");
+    // Surrogate pair (U+1F600).
+    const auto emoji = Json::parse("\"\\ud83d\\ude00\"");
+    ASSERT_TRUE(emoji.has_value());
+    EXPECT_EQ(emoji->asString(), "\xF0\x9F\x98\x80");
+}
+
+// -- MetricRegistry ----------------------------------------------------
+
+TEST(MetricRegistry, CounterFindOrCreate)
+{
+    obs::MetricRegistry reg;
+    Counter &c = reg.counter("crb.hits");
+    ++c;
+    c += 4;
+    EXPECT_EQ(reg.get("crb.hits"), 5u);
+    EXPECT_EQ(&reg.counter("crb.hits"), &c);
+    EXPECT_EQ(reg.get("missing"), 0u);
+    EXPECT_TRUE(reg.has("crb.hits"));
+    EXPECT_FALSE(reg.has("missing"));
+}
+
+TEST(MetricRegistry, GaugeAndHistogram)
+{
+    obs::MetricRegistry reg;
+    reg.gauge("occupancy").set(0.75);
+    EXPECT_DOUBLE_EQ(reg.getGauge("occupancy"), 0.75);
+
+    Histogram &h = reg.histogram("depth", 0, 8, 8);
+    h.record(3);
+    h.record(3);
+    h.record(9); // overflow
+    const Histogram *found = reg.findHistogram("depth");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->samples(), 3u);
+    EXPECT_EQ(found->overflow(), 1u);
+
+    // Kind mismatch lookups are safe.
+    EXPECT_EQ(reg.get("occupancy"), 0u);
+    EXPECT_EQ(reg.findHistogram("occupancy"), nullptr);
+}
+
+TEST(MetricRegistry, ResetKeepsReferences)
+{
+    obs::MetricRegistry reg;
+    Counter &c = reg.counter("a");
+    c += 7;
+    reg.reset();
+    EXPECT_EQ(reg.get("a"), 0u);
+    ++c; // reference still valid
+    EXPECT_EQ(reg.get("a"), 1u);
+}
+
+TEST(MetricRegistry, MergeWithPrefix)
+{
+    obs::MetricRegistry inner;
+    inner.counter("pipe.cycles") += 100;
+    inner.gauge("rate").set(0.5);
+    inner.histogram("h", 0, 4, 4).record(1);
+
+    obs::MetricRegistry outer;
+    outer.counter("ccr.pipe.cycles") += 11;
+    outer.merge(inner, "ccr");
+    EXPECT_EQ(outer.get("ccr.pipe.cycles"), 111u);
+    EXPECT_DOUBLE_EQ(outer.getGauge("ccr.rate"), 0.5);
+    ASSERT_NE(outer.findHistogram("ccr.h"), nullptr);
+    EXPECT_EQ(outer.findHistogram("ccr.h")->samples(), 1u);
+
+    outer.merge(inner, "");
+    EXPECT_EQ(outer.get("pipe.cycles"), 100u);
+}
+
+TEST(MetricRegistry, ToJsonShape)
+{
+    obs::MetricRegistry reg;
+    reg.counter("hits") += 3;
+    reg.gauge("rate").set(0.25);
+    reg.histogram("h", 0, 2, 2).record(0);
+    const Json j = reg.toJson();
+    EXPECT_EQ(j.at("hits").asUint(), 3u);
+    EXPECT_DOUBLE_EQ(j.at("rate").asDouble(), 0.25);
+    EXPECT_EQ(j.at("h").at("kind").asString(), "histogram");
+    EXPECT_EQ(j.at("h").at("samples").asUint(), 1u);
+    EXPECT_EQ(j.at("h").at("buckets").items().size(), 2u);
+}
+
+// -- Derived-metric conventions (satellite: single home for the
+// -- zero-division behavior of ipc()/speedup()) ------------------------
+
+TEST(DerivedMetrics, ZeroDivisionConventions)
+{
+    EXPECT_DOUBLE_EQ(obs::ratio(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(obs::ratio(5.0, 2.0), 2.5);
+    EXPECT_DOUBLE_EQ(obs::ipc(100, 0), 0.0);
+    EXPECT_DOUBLE_EQ(obs::ipc(0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(obs::ipc(100, 50), 2.0);
+    EXPECT_DOUBLE_EQ(obs::speedup(100, 0), 0.0);
+    EXPECT_DOUBLE_EQ(obs::speedup(0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(obs::speedup(120, 100), 1.2);
+}
+
+TEST(DerivedMetrics, FractionEliminatedClamps)
+{
+    EXPECT_DOUBLE_EQ(obs::fractionEliminated(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(obs::fractionEliminated(0, 10), 0.0);
+    // CCR executed more than base (possible with reuse misses): 0,
+    // never negative.
+    EXPECT_DOUBLE_EQ(obs::fractionEliminated(100, 150), 0.0);
+    EXPECT_DOUBLE_EQ(obs::fractionEliminated(100, 100), 0.0);
+    EXPECT_DOUBLE_EQ(obs::fractionEliminated(100, 25), 0.75);
+}
+
+TEST(DerivedMetrics, LegacyViewsDelegate)
+{
+    uarch::TimingResult t;
+    EXPECT_DOUBLE_EQ(t.ipc(), 0.0); // zero cycles: no division
+    t.cycles = 50;
+    t.insts = 100;
+    EXPECT_DOUBLE_EQ(t.ipc(), 2.0);
+
+    workloads::RunResult r;
+    EXPECT_DOUBLE_EQ(r.speedup(), 0.0); // zero ccr cycles
+    EXPECT_DOUBLE_EQ(r.instsEliminated(), 0.0);
+    r.base.cycles = 120;
+    r.ccr.cycles = 100;
+    r.base.insts = 100;
+    r.ccr.insts = 80;
+    EXPECT_DOUBLE_EQ(r.speedup(), 1.2);
+    EXPECT_DOUBLE_EQ(r.instsEliminated(), 0.2);
+}
+
+// -- SimReport ---------------------------------------------------------
+
+obs::SimReport
+sampleReport()
+{
+    obs::SimReport report;
+    obs::RunReport run;
+    run.workload = "espresso";
+    run.config["crb.entries"] = Json(128);
+    run.config["optimizeBase"] = Json(false);
+    run.metrics["crb.hits"] = Json(std::uint64_t{42});
+    run.metrics["ccr.pipe.cycles"] = Json(std::uint64_t{1000});
+    run.derived["speedup"] = Json(1.25);
+    Json region = Json::object();
+    region["id"] = Json(std::uint64_t{7});
+    region["hits"] = Json(std::uint64_t{42});
+    run.regions.push(std::move(region));
+    report.runs.push_back(std::move(run));
+
+    obs::RunReport second;
+    second.workload = "li";
+    second.config["crb.entries"] = Json(32);
+    second.metrics["crb.hits"] = Json(std::uint64_t{7});
+    second.derived["speedup"] = Json(1.1);
+    report.runs.push_back(std::move(second));
+    return report;
+}
+
+TEST(SimReport, JsonRoundTrip)
+{
+    const obs::SimReport report = sampleReport();
+    const std::string text = report.toJsonString();
+
+    std::string err;
+    const auto parsed = obs::SimReport::fromJsonString(text, &err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    ASSERT_EQ(parsed->runs.size(), 2u);
+    EXPECT_EQ(parsed->generator, "ccr_sim");
+    EXPECT_EQ(parsed->runs[0].workload, "espresso");
+    EXPECT_EQ(parsed->runs[0].metrics.at("crb.hits").asUint(), 42u);
+    EXPECT_EQ(parsed->runs[0].regions.items().size(), 1u);
+
+    // Round trip is a fixed point: serialize(parse(serialize(x)))
+    // == serialize(x).
+    EXPECT_EQ(parsed->toJsonString(), text);
+}
+
+TEST(SimReport, SchemaVersionIsEmbedded)
+{
+    const auto json = Json::parse(sampleReport().toJsonString());
+    ASSERT_TRUE(json.has_value());
+    EXPECT_EQ(json->at("schema").at("name").asString(),
+              "ccr.simreport");
+    EXPECT_EQ(json->at("schema").at("version").asInt(),
+              obs::kSchemaVersion);
+}
+
+TEST(SimReport, RejectsNewerSchemaVersion)
+{
+    auto json = Json::parse(sampleReport().toJsonString());
+    ASSERT_TRUE(json.has_value());
+    (*json)["schema"]["version"] = Json(obs::kSchemaVersion + 1);
+    std::string err;
+    EXPECT_FALSE(obs::SimReport::fromJson(*json, &err).has_value());
+    EXPECT_NE(err.find("unsupported schema version"),
+              std::string::npos);
+}
+
+TEST(SimReport, RejectsMissingOrBadSchema)
+{
+    std::string err;
+    EXPECT_FALSE(
+        obs::SimReport::fromJsonString("{\"runs\":[]}", &err)
+            .has_value());
+    EXPECT_NE(err.find("schema"), std::string::npos);
+
+    auto json = Json::parse(sampleReport().toJsonString());
+    (*json)["schema"]["version"] = Json(0);
+    EXPECT_FALSE(obs::SimReport::fromJson(*json).has_value());
+
+    (*json)["schema"]["version"] = Json(1);
+    (*json)["schema"]["name"] = Json("something.else");
+    EXPECT_FALSE(obs::SimReport::fromJson(*json).has_value());
+}
+
+TEST(SimReport, CsvRoundTripsThroughStableColumns)
+{
+    const std::string csv = sampleReport().toCsv();
+    std::istringstream is(csv);
+    std::string header, row1, row2, extra;
+    ASSERT_TRUE(std::getline(is, header));
+    ASSERT_TRUE(std::getline(is, row1));
+    ASSERT_TRUE(std::getline(is, row2));
+    EXPECT_FALSE(std::getline(is, extra));
+
+    EXPECT_EQ(header,
+              "workload,config.crb.entries,config.optimizeBase,"
+              "derived.speedup,metrics.ccr.pipe.cycles,"
+              "metrics.crb.hits");
+    EXPECT_EQ(row1, "espresso,128,0,1.25,1000,42");
+    // Absent keys render as empty cells.
+    EXPECT_EQ(row2, "li,32,,1.1,,7");
+}
+
+TEST(SimReport, CsvQuotesSpecialCharacters)
+{
+    obs::SimReport report;
+    obs::RunReport run;
+    run.workload = "na,me\"quoted";
+    report.runs.push_back(run);
+    const std::string csv = report.toCsv();
+    EXPECT_NE(csv.find("\"na,me\"\"quoted\""), std::string::npos);
+}
+
+// -- TraceSink ---------------------------------------------------------
+
+TEST(TraceSink, OrderedUnderCapacity)
+{
+    obs::TraceSink sink(8);
+    sink.emit(obs::TraceEventKind::ReuseMiss, 1);
+    sink.emit(obs::TraceEventKind::MemoCommit, 1);
+    sink.emit(obs::TraceEventKind::ReuseHit, 1, 3, 2);
+    const auto events = sink.events();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].kind, obs::TraceEventKind::ReuseMiss);
+    EXPECT_EQ(events[1].kind, obs::TraceEventKind::MemoCommit);
+    EXPECT_EQ(events[2].kind, obs::TraceEventKind::ReuseHit);
+    EXPECT_EQ(events[2].a, 3u);
+    EXPECT_EQ(events[2].b, 2u);
+    EXPECT_EQ(events[0].seq, 0u);
+    EXPECT_EQ(events[2].seq, 2u);
+    EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(TraceSink, RingOverwritesOldest)
+{
+    obs::TraceSink sink(4);
+    for (std::uint32_t i = 0; i < 10; ++i)
+        sink.emit(obs::TraceEventKind::Invalidate, i);
+    EXPECT_EQ(sink.size(), 4u);
+    EXPECT_EQ(sink.dropped(), 6u);
+    EXPECT_EQ(sink.emitted(), 10u);
+    const auto events = sink.events();
+    ASSERT_EQ(events.size(), 4u);
+    // The newest four survive, in order.
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(events[i].region, 6u + i);
+        EXPECT_EQ(events[i].seq, 6u + i);
+    }
+}
+
+TEST(TraceSink, NdjsonLinesParse)
+{
+    obs::TraceSink sink(8);
+    sink.emit(obs::TraceEventKind::ReuseHit, 5, 2, 1);
+    sink.emit(obs::TraceEventKind::Interval, 0, 1000, 900);
+    std::ostringstream os;
+    sink.flushNdjson(os);
+    std::istringstream is(os.str());
+    std::string line;
+    int lines = 0;
+    while (std::getline(is, line)) {
+        const auto json = Json::parse(line);
+        ASSERT_TRUE(json.has_value()) << line;
+        EXPECT_TRUE(json->at("kind").isString());
+        ++lines;
+    }
+    EXPECT_EQ(lines, 2);
+    EXPECT_NE(os.str().find("\"kind\":\"interval\""),
+              std::string::npos);
+}
+
+// -- End-to-end telemetry knob -----------------------------------------
+
+TEST(Telemetry, KnobProducesTraceWithoutChangingResults)
+{
+    workloads::RunConfig off;
+    const auto plain = workloads::runCcrExperiment("compress", off);
+    EXPECT_EQ(plain.trace, nullptr);
+
+    workloads::RunConfig on;
+    on.telemetry.enabled = true;
+    on.telemetry.intervalInsts = 10'000;
+    const auto traced = workloads::runCcrExperiment("compress", on);
+
+    // Telemetry is observation-only: simulated results identical.
+    EXPECT_EQ(traced.base.cycles, plain.base.cycles);
+    EXPECT_EQ(traced.ccr.cycles, plain.ccr.cycles);
+    EXPECT_EQ(traced.crbHits, plain.crbHits);
+    EXPECT_EQ(traced.crbQueries, plain.crbQueries);
+
+    ASSERT_NE(traced.trace, nullptr);
+    EXPECT_GT(traced.trace->emitted(), 0u);
+    bool saw_hit = false, saw_interval = false;
+    for (const auto &e : traced.trace->events()) {
+        saw_hit |= e.kind == obs::TraceEventKind::ReuseHit;
+        saw_interval |= e.kind == obs::TraceEventKind::Interval;
+    }
+    EXPECT_TRUE(saw_hit);
+    EXPECT_TRUE(saw_interval);
+}
+
+TEST(Telemetry, RunReportCarriesRegistryAndRegions)
+{
+    workloads::RunConfig config;
+    const auto r = workloads::runCcrExperiment("compress", config);
+    const obs::RunReport &report = r.report;
+
+    EXPECT_EQ(report.workload, "compress");
+    EXPECT_EQ(report.config.at("crb.entries").asInt(), 128);
+
+    // Legacy views and the registry agree (shim-period invariant).
+    EXPECT_EQ(report.metrics.at("crb.hits").asUint(), r.crbHits);
+    EXPECT_EQ(report.metrics.at("crb.queries").asUint(), r.crbQueries);
+    EXPECT_EQ(report.metrics.at("ccr.reuse.hits").asUint(),
+              r.ccr.reuseHits);
+    EXPECT_EQ(report.metrics.at("ccr.pipe.cycles").asUint(),
+              r.ccr.cycles);
+    EXPECT_EQ(report.metrics.at("base.pipe.cycles").asUint(),
+              r.base.cycles);
+
+    // Stall attribution and occupancy telemetry are present.
+    EXPECT_TRUE(report.metrics.at("ccr.pipe.stall.operands")
+                    .isNumber());
+    EXPECT_EQ(report.metrics.at("crb.occupancy.validCis")
+                  .at("kind")
+                  .asString(),
+              "histogram");
+
+    // Per-region attribution sums to the total hit count.
+    std::uint64_t hits = 0;
+    for (const auto &region : report.regions.items())
+        hits += region.at("hits").asUint();
+    EXPECT_EQ(hits, r.crbHits);
+
+    EXPECT_DOUBLE_EQ(report.derived.at("speedup").asDouble(),
+                     r.speedup());
+}
+
+TEST(Telemetry, CrbLegacyStatsShimMatchesRegistry)
+{
+    uarch::Crb crb;
+    EXPECT_EQ(crb.stats().get("hits"), crb.metrics().get("crb.hits"));
+    // The shim is a read-only snapshot of the registry.
+    workloads::RunConfig config;
+    const auto r = workloads::runCcrExperiment("compress", config);
+    EXPECT_EQ(r.report.metrics.at("crb.memoCommits").asUint(),
+              r.report.metrics.at("crb.memoCommits").asUint());
+    (void)r;
+}
+
+} // namespace

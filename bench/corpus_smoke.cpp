@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Corpus smoke bench: runs every on-disk `.lc` workload (corpus/ plus
+ * any $CCR_CORPUS_DIR overrides) through the parallel driver with the
+ * default CRB, on both input sets. This is the CI gate for the corpus:
+ * every file must parse, verify, form regions, and produce base-vs-CCR
+ * identical outputs; the table shows the speedups.
+ */
+
+#include "common.hh"
+#include "workloads/corpus.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ccr;
+    using namespace ccr::bench;
+
+    setVerbose(false);
+    const auto opts = parseDriverOptions(argc, argv);
+    figureHeader("Corpus smoke",
+                 "on-disk .lc workloads, train vs ref inputs");
+
+    const auto names = workloads::corpusWorkloadNames();
+    workloads::RunPlan plan;
+    for (const auto &name : names) {
+        workloads::RunConfig train_cfg;
+        workloads::RunConfig ref_cfg;
+        ref_cfg.measureInput = workloads::InputSet::Ref;
+        plan.add(name, train_cfg);
+        plan.add(name, ref_cfg);
+    }
+    const auto results = runPlanTimed(plan, opts);
+
+    Table t("corpus workloads");
+    t.setHeader({"workload", "regions", "train speedup", "ref speedup",
+                 "crb hit rate"});
+
+    std::vector<double> train_s, ref_s;
+    std::size_t next = 0;
+    for (const auto &name : names) {
+        const auto &rt = results[next++];
+        const auto &rr = results[next++];
+        train_s.push_back(rt.speedup());
+        ref_s.push_back(rr.speedup());
+        const double rate =
+            obs::ratio(rt.report.metric("crb.hits"),
+                       rt.report.metric("crb.queries"));
+        t.addRow({name, std::to_string(rt.regions.size()),
+                  Table::fmt(rt.speedup(), 3), Table::fmt(rr.speedup(), 3),
+                  Table::pct(rate)});
+    }
+    t.addRow({"average", "", Table::fmt(mean(train_s), 3),
+              Table::fmt(mean(ref_s), 3), ""});
+    t.print(std::cout);
+
+    std::cout << "\ncorpus dir: " << workloads::corpusDir() << " ("
+              << names.size() << " workloads)\n";
+    return 0;
+}

@@ -61,12 +61,8 @@ main(int argc, char **argv)
             const auto g = region.group();
             stat[g] += 1.0;
             stat_total += 1.0;
-            const auto it = r.hitsByRegion.find(region.id);
-            const double exec =
-                it == r.hitsByRegion.end()
-                    ? 0.0
-                    : static_cast<double>(
-                          reuseExecution(region, it->second));
+            const double exec = static_cast<double>(reuseExecution(
+                region, r.report.regionHits(region.id)));
             dyn[g] += exec;
             dyn_total += exec;
             if (region.regionClass() == core::RegionClass::Stateless) {

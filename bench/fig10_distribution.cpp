@@ -42,12 +42,8 @@ main(int argc, char **argv)
         std::vector<double> contrib;
         double total = 0.0;
         for (const auto &region : r.regions.regions()) {
-            const auto it = r.hitsByRegion.find(region.id);
-            const double exec =
-                it == r.hitsByRegion.end()
-                    ? 0.0
-                    : static_cast<double>(
-                          reuseExecution(region, it->second));
+            const double exec = static_cast<double>(reuseExecution(
+                region, r.report.regionHits(region.id)));
             contrib.push_back(exec);
             total += exec;
         }

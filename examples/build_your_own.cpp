@@ -201,9 +201,10 @@ main()
               << static_cast<double>(base.cycles)
                      / static_cast<double>(ccr.cycles)
               << "x\n";
-    std::cout << "reuse hits " << crb.stats().get("hits") << ", misses "
-              << crb.stats().get("misses") << ", invalidates "
-              << crb.stats().get("invalidates") << "\n";
+    std::cout << "reuse hits " << crb.metrics().get("crb.hits")
+              << ", misses " << crb.metrics().get("crb.misses")
+              << ", invalidates " << crb.metrics().get("crb.invalidates")
+              << "\n";
     std::cout << "outputs match: "
               << (base_out == ccr_out ? "yes" : "NO") << "\n";
     return base_out == ccr_out ? 0 : 1;

@@ -56,8 +56,8 @@ main(int argc, char **argv)
     t.addRow({"ccr", std::to_string(result.ccr.cycles),
               std::to_string(result.ccr.insts),
               Table::fmt(result.ccr.ipc(), 3),
-              std::to_string(result.ccr.reuseHits),
-              std::to_string(result.ccr.reuseMisses)});
+              std::to_string(result.report.metric("ccr.reuse.hits")),
+              std::to_string(result.report.metric("ccr.reuse.misses"))});
     t.print(std::cout);
 
     std::cout << "\nspeedup:             "

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Gate the on-disk workload corpus: every corpus/*.lc file must
+# parse + verify + directive-check through ccrc, and the whole corpus
+# must run base-vs-CCR clean through the parallel driver (the
+# corpus_smoke bench aborts on any output mismatch). The smoke
+# SimReport is written into <out-dir> for artifact upload.
+#
+# Usage: scripts/ci_corpus.sh <build-dir> <out-dir>
+set -euo pipefail
+
+build_dir=${1:?usage: ci_corpus.sh <build-dir> <out-dir>}
+out_dir=${2:?usage: ci_corpus.sh <build-dir> <out-dir>}
+mkdir -p "$out_dir"
+
+ccrc="$build_dir/tools/ccrc"
+[ -x "$ccrc" ] || { echo "missing $ccrc (build first)"; exit 1; }
+
+shopt -s nullglob
+files=(corpus/*.lc)
+[ ${#files[@]} -ge 5 ] || {
+    echo "corpus has ${#files[@]} files, expected >= 5"; exit 1; }
+
+for f in "${files[@]}"; do
+    "$ccrc" "$f" --verify-only
+done
+
+"$build_dir/bench/corpus_smoke" --report "$out_dir/corpus_smoke.json" \
+    > "$out_dir/corpus_smoke.txt"
+cat "$out_dir/corpus_smoke.txt"
+
+[ -s "$out_dir/corpus_smoke.json" ] || {
+    echo "corpus smoke report missing"; exit 1; }
+
+echo "corpus: ${#files[@]} files verified, smoke report in $out_dir"

@@ -77,6 +77,17 @@ class Module
     RegionId newRegionId() { return nextRegion_++; }
     RegionId regionIdBound() const { return nextRegion_; }
 
+    /** Raise the region-id allocator so future newRegionId() calls
+     *  return ids >= @p bound. Used by the text parser to keep region
+     *  ids found in source from colliding with later-formed regions.
+     *  Never lowers the bound. */
+    void
+    reserveRegionIds(RegionId bound)
+    {
+        if (bound > nextRegion_)
+            nextRegion_ = bound;
+    }
+
     /** Total static instructions across all functions. */
     std::size_t numInsts() const;
 

@@ -1,35 +1,155 @@
 #include "ir/printer.hh"
 
+#include <cstdio>
 #include <sstream>
 
 namespace ccr::ir
 {
 
-void
-printFunction(const Function &func, std::ostream &os)
+namespace
 {
-    os << "func @" << func.name() << "(" << func.numParams()
+
+std::string
+regName(Reg r)
+{
+    if (r == kNoReg)
+        return "_";
+    return "r" + std::to_string(r);
+}
+
+std::string
+blockName(BlockId b)
+{
+    if (b == kNoBlock)
+        return "B?";
+    return "B" + std::to_string(b);
+}
+
+/** A function/global reference: `@"name"`. Falls back to the raw id
+ *  when the id is out of range (unverified module); that form is
+ *  deliberately not parseable. */
+std::string
+globalRef(const Module &mod, GlobalId id)
+{
+    if (id >= mod.numGlobals())
+        return "@?g" + std::to_string(id);
+    return "@" + quoteName(mod.global(id).name);
+}
+
+std::string
+funcRef(const Module &mod, FuncId id)
+{
+    if (id >= mod.numFunctions())
+        return "@?f" + std::to_string(id);
+    return "@" + quoteName(mod.function(id).name());
+}
+
+void
+printHexBytes(const std::vector<std::uint8_t> &bytes, std::ostream &os)
+{
+    static const char kHex[] = "0123456789abcdef";
+    os << "x\"";
+    for (const std::uint8_t b : bytes)
+        os << kHex[b >> 4] << kHex[b & 0xf];
+    os << "\"";
+}
+
+} // namespace
+
+std::string
+quoteName(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size() + 2);
+    out += '"';
+    for (const char c : name) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\x%02x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+instToString(const Module &mod, const Inst &inst)
+{
+    // MovGA and Call are the only opcodes whose text depends on the
+    // module (name-based operands); everything else matches
+    // Inst::toString() exactly.
+    std::ostringstream os;
+    switch (inst.op) {
+      case Opcode::MovGA:
+        os << opcodeName(inst.op) << " " << regName(inst.dst) << ", "
+           << globalRef(mod, inst.globalId);
+        break;
+      case Opcode::Call:
+        os << opcodeName(inst.op) << " " << regName(inst.dst) << ", "
+           << funcRef(mod, inst.callee) << "(";
+        for (int i = 0; i < inst.numArgs; ++i)
+            os << (i ? ", " : "") << regName(inst.args[i]);
+        os << ") -> " << blockName(inst.target);
+        break;
+      default:
+        return inst.toString();
+    }
+    if (inst.ext.liveOut)
+        os << " <live-out>";
+    if (inst.ext.regionEnd)
+        os << " <region-end>";
+    if (inst.ext.regionExit)
+        os << " <region-exit>";
+    if (inst.ext.determinable)
+        os << " <det>";
+    return os.str();
+}
+
+void
+printFunction(const Module &mod, const Function &func, std::ostream &os)
+{
+    os << "func @" << quoteName(func.name()) << "(" << func.numParams()
        << " params, " << func.numRegs() << " regs) entry=B"
        << func.entry() << "\n";
     for (const auto &bb : func.blocks()) {
         os << "  B" << bb.id() << ":\n";
         for (const auto &inst : bb.insts())
-            os << "    " << inst.toString() << "\n";
+            os << "    " << instToString(mod, inst) << "\n";
     }
 }
 
 void
 printModule(const Module &mod, std::ostream &os)
 {
-    os << "module " << mod.name() << "\n";
+    os << "module " << quoteName(mod.name()) << "\n";
+    if (mod.entryFunction() != kNoFunc &&
+        mod.entryFunction() < mod.numFunctions())
+        os << "entry @" << quoteName(mod.function(mod.entryFunction()).name())
+           << "\n";
     for (std::size_t g = 0; g < mod.numGlobals(); ++g) {
         const Global &gl = mod.global(static_cast<GlobalId>(g));
-        os << "global @g" << gl.id << " " << gl.name << " ["
-           << gl.sizeBytes << " bytes]" << (gl.isConst ? " const" : "")
-           << "\n";
+        os << "global @" << quoteName(gl.name) << " [" << gl.sizeBytes
+           << " bytes]" << (gl.isConst ? " const" : "");
+        if (!gl.init.empty()) {
+            os << " init=";
+            printHexBytes(gl.init, os);
+        }
+        os << "\n";
     }
     for (std::size_t f = 0; f < mod.numFunctions(); ++f)
-        printFunction(mod.function(static_cast<FuncId>(f)), os);
+        printFunction(mod, mod.function(static_cast<FuncId>(f)), os);
 }
 
 std::string

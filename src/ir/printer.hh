@@ -1,6 +1,9 @@
 /**
  * @file
- * Text rendering of functions and modules, for debugging and tests.
+ * Text rendering of functions and modules. The module form is the
+ * canonical `.lc` syntax: everything printed here is re-parseable by
+ * text::parseModule, and `print(parse(print(m))) == print(m)` holds
+ * for any verified module (see docs/WORKLOADS.md for the grammar).
  */
 
 #ifndef CCR_IR_PRINTER_HH
@@ -8,16 +11,28 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "ir/module.hh"
 
 namespace ccr::ir
 {
 
-/** Print one function as annotated text. */
-void printFunction(const Function &func, std::ostream &os);
+/** Quote a name for `.lc` text: wraps in double quotes and escapes
+ *  backslash, quote, and control characters (\n \t \r \xHH). */
+std::string quoteName(std::string_view name);
 
-/** Print the whole module (globals then functions). */
+/** Render one instruction in `.lc` syntax. Differs from
+ *  Inst::toString() only for MovGA and Call, whose global/function
+ *  operands are printed by quoted name (resolved through @p mod)
+ *  instead of by numeric id. */
+std::string instToString(const Module &mod, const Inst &inst);
+
+/** Print one function as `.lc` text (header, blocks, instructions). */
+void printFunction(const Module &mod, const Function &func,
+                   std::ostream &os);
+
+/** Print the whole module: header, entry, globals, then functions. */
 void printModule(const Module &mod, std::ostream &os);
 
 /** Convenience: module text as a string. */

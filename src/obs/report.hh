@@ -91,6 +91,24 @@ struct RunReport
     /** Per-region attribution: array of objects sorted by region id. */
     Json regions = Json::array();
 
+    /** Scalar metric lookup: `metrics[name]` as uint64, 0 when the
+     *  key is absent or not a number. */
+    std::uint64_t metric(const std::string &name) const
+    {
+        const Json &v = metrics.at(name);
+        return v.isNumber() ? v.asUint() : 0;
+    }
+
+    /** Hits attributed to region @p id in the per-region array; 0
+     *  when the region is absent. */
+    std::uint64_t regionHits(std::uint64_t id) const
+    {
+        for (const Json &r : regions.items())
+            if (r.at("id").asUint() == id)
+                return r.at("hits").asUint();
+        return 0;
+    }
+
     Json toJson() const;
     static std::optional<RunReport> fromJson(const Json &json,
                                              std::string *err = nullptr);

@@ -1,0 +1,325 @@
+#include "text/lexer.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ccr::text
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::string
+formatDiagnostics(const std::vector<Diagnostic> &diags,
+                  std::string_view filename)
+{
+    std::string out;
+    for (const auto &d : diags) {
+        out += filename;
+        out += ':';
+        out += std::to_string(d.loc.line);
+        out += ':';
+        out += std::to_string(d.loc.col);
+        out += ": ";
+        out += d.message;
+        out += '\n';
+    }
+    return out;
+}
+
+char
+Lexer::peek(std::size_t ahead) const
+{
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    const char c = src_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+Token
+Lexer::error(SourceLoc loc, std::string msg) const
+{
+    Token t;
+    t.kind = TokKind::Error;
+    t.text = std::move(msg);
+    t.loc = loc;
+    return t;
+}
+
+void
+Lexer::lexComment()
+{
+    // Consumes from ';' up to (not including) the line break. `;!`
+    // lines are recorded as pragmas.
+    const SourceLoc loc = here();
+    advance(); // ';'
+    const bool pragma = peek() == '!';
+    if (pragma)
+        advance();
+    std::string body;
+    while (!atEnd() && peek() != '\n')
+        body += advance();
+    if (pragma) {
+        const auto first = body.find_first_not_of(" \t\r");
+        const auto last = body.find_last_not_of(" \t\r");
+        Pragma p;
+        p.loc = loc;
+        if (first != std::string::npos)
+            p.text = body.substr(first, last - first + 1);
+        pragmas_.push_back(std::move(p));
+    }
+}
+
+Token
+Lexer::next()
+{
+    bool sawNewline = false;
+    SourceLoc newlineLoc;
+    for (;;) {
+        if (atEnd())
+            return sawNewline ? make(TokKind::Newline, newlineLoc)
+                              : make(TokKind::End, here());
+        const char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r') {
+            advance();
+            continue;
+        }
+        if (c == ';') {
+            lexComment();
+            continue;
+        }
+        if (c == '\n') {
+            if (!sawNewline) {
+                sawNewline = true;
+                newlineLoc = here();
+            }
+            advance();
+            continue;
+        }
+        break;
+    }
+    if (sawNewline)
+        return make(TokKind::Newline, newlineLoc);
+
+    const SourceLoc loc = here();
+    const char c = peek();
+
+    if (std::isdigit(static_cast<unsigned char>(c)))
+        return lexNumber(loc, false);
+    if (c == '-') {
+        if (peek(1) == '>') {
+            advance();
+            advance();
+            return make(TokKind::Arrow, loc);
+        }
+        if (std::isdigit(static_cast<unsigned char>(peek(1)))) {
+            advance();
+            return lexNumber(loc, true);
+        }
+        advance();
+        return error(loc, "stray '-' (expected '->' or a number)");
+    }
+    if (isIdentStart(c))
+        return lexIdentOrHexBytes(loc);
+    if (c == '"')
+        return lexString(loc);
+    if (c == '<')
+        return lexExtMarker(loc);
+
+    advance();
+    switch (c) {
+      case '(': return make(TokKind::LParen, loc);
+      case ')': return make(TokKind::RParen, loc);
+      case '[': return make(TokKind::LBracket, loc);
+      case ']': return make(TokKind::RBracket, loc);
+      case ',': return make(TokKind::Comma, loc);
+      case ':': return make(TokKind::Colon, loc);
+      case '=': return make(TokKind::Equals, loc);
+      case '@': return make(TokKind::At, loc);
+      case '#': return make(TokKind::Hash, loc);
+      case '+': return make(TokKind::Plus, loc);
+      default:
+        break;
+    }
+    std::string msg = "unexpected character '";
+    if (std::isprint(static_cast<unsigned char>(c)))
+        msg += c;
+    else {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\x%02x",
+                      static_cast<unsigned char>(c));
+        msg += buf;
+    }
+    msg += "'";
+    return error(loc, std::move(msg));
+}
+
+Token
+Lexer::lexNumber(SourceLoc loc, bool negative)
+{
+    std::uint64_t mag = 0;
+    bool overflow = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        if (hexDigit(peek()) < 0)
+            return error(loc, "expected hex digits after '0x'");
+        while (hexDigit(peek()) >= 0) {
+            const int d = hexDigit(advance());
+            if (mag > (~std::uint64_t{0}) >> 4)
+                overflow = true;
+            mag = (mag << 4) | static_cast<std::uint64_t>(d);
+        }
+    } else {
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            const int d = advance() - '0';
+            if (mag > (~std::uint64_t{0} - static_cast<unsigned>(d)) / 10)
+                overflow = true;
+            mag = mag * 10 + static_cast<std::uint64_t>(d);
+        }
+    }
+    constexpr std::uint64_t kSignBit = std::uint64_t{1} << 63;
+    if (overflow || (negative && mag > kSignBit))
+        return error(loc, "integer literal out of 64-bit range");
+
+    Token t;
+    t.kind = TokKind::Int;
+    t.loc = loc;
+    // Two's-complement negate in unsigned space so -2^63 is legal.
+    t.intValue = static_cast<std::int64_t>(negative ? ~mag + 1 : mag);
+    return t;
+}
+
+Token
+Lexer::lexIdentOrHexBytes(SourceLoc loc)
+{
+    if (peek() == 'x' && peek(1) == '"') {
+        advance(); // 'x'
+        return lexHexBytes(loc);
+    }
+    Token t;
+    t.kind = TokKind::Ident;
+    t.loc = loc;
+    while (isIdentChar(peek()))
+        t.text += advance();
+    return t;
+}
+
+Token
+Lexer::lexString(SourceLoc loc)
+{
+    advance(); // opening quote
+    Token t;
+    t.kind = TokKind::Str;
+    t.loc = loc;
+    for (;;) {
+        if (atEnd() || peek() == '\n')
+            return error(loc, "unterminated string");
+        const char c = advance();
+        if (c == '"')
+            return t;
+        if (c != '\\') {
+            t.text += c;
+            continue;
+        }
+        if (atEnd() || peek() == '\n')
+            return error(loc, "unterminated string");
+        const char e = advance();
+        switch (e) {
+          case '\\': t.text += '\\'; break;
+          case '"': t.text += '"'; break;
+          case 'n': t.text += '\n'; break;
+          case 't': t.text += '\t'; break;
+          case 'r': t.text += '\r'; break;
+          case 'x': {
+            const int hi = hexDigit(peek());
+            const int lo = hi >= 0 ? hexDigit(peek(1)) : -1;
+            if (lo < 0)
+                return error(loc, "bad \\x escape (expected two hex digits)");
+            advance();
+            advance();
+            t.text += static_cast<char>(hi << 4 | lo);
+            break;
+          }
+          default:
+            return error(loc, std::string("unknown escape '\\") + e + "'");
+        }
+    }
+}
+
+Token
+Lexer::lexHexBytes(SourceLoc loc)
+{
+    advance(); // opening quote
+    Token t;
+    t.kind = TokKind::HexBytes;
+    t.loc = loc;
+    for (;;) {
+        if (atEnd() || peek() == '\n')
+            return error(loc, "unterminated x\"...\" byte string");
+        if (peek() == '"') {
+            advance();
+            return t;
+        }
+        const int hi = hexDigit(peek());
+        const int lo = hi >= 0 ? hexDigit(peek(1)) : -1;
+        if (lo < 0)
+            return error(loc, "x\"...\" bytes must be pairs of hex digits");
+        advance();
+        advance();
+        t.text += static_cast<char>(hi << 4 | lo);
+    }
+}
+
+Token
+Lexer::lexExtMarker(SourceLoc loc)
+{
+    advance(); // '<'
+    Token t;
+    t.kind = TokKind::ExtMarker;
+    t.loc = loc;
+    while (std::isalpha(static_cast<unsigned char>(peek())) || peek() == '-')
+        t.text += advance();
+    if (peek() != '>' || t.text.empty())
+        return error(loc, "malformed <...> extension marker");
+    advance();
+    return t;
+}
+
+} // namespace ccr::text

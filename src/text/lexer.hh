@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tokenizer for the textual `.lc` IR syntax.
+ *
+ * The lexer never fails hard: malformed input yields Error tokens
+ * carrying a message, and scanning always makes progress, so the
+ * parser can recover at the next line.
+ */
+
+#ifndef CCR_TEXT_LEXER_HH
+#define CCR_TEXT_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/source.hh"
+
+namespace ccr::text
+{
+
+enum class TokKind : std::uint8_t
+{
+    End,       ///< end of input
+    Newline,   ///< one or more consecutive line breaks
+    Ident,     ///< mnemonic / keyword / register / block name
+    Int,       ///< signed integer literal (decimal or 0x hex)
+    Str,       ///< quoted name, unescaped contents in `text`
+    HexBytes,  ///< x"..." byte blob, decoded bytes in `text`
+    ExtMarker, ///< <live-out> etc., marker name in `text`
+    LParen, RParen, LBracket, RBracket,
+    Comma, Colon, Equals, At, Hash, Plus, Arrow,
+    Error,     ///< lexical error, message in `text`
+};
+
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;
+    std::int64_t intValue = 0;
+    SourceLoc loc;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view src) : src_(src) {}
+
+    /** Scan and return the next token. Consecutive line breaks (and
+     *  comment-only lines) collapse into a single Newline token. */
+    Token next();
+
+    /** All `;!` pragma lines seen so far, in source order. */
+    const std::vector<Pragma> &pragmas() const { return pragmas_; }
+
+  private:
+    bool atEnd() const { return pos_ >= src_.size(); }
+    char peek(std::size_t ahead = 0) const;
+    char advance();
+    SourceLoc here() const { return {line_, col_}; }
+
+    Token make(TokKind kind, SourceLoc loc) const { return {kind, {}, 0, loc}; }
+    Token error(SourceLoc loc, std::string msg) const;
+
+    Token lexNumber(SourceLoc loc, bool negative);
+    Token lexIdentOrHexBytes(SourceLoc loc);
+    Token lexString(SourceLoc loc);
+    Token lexHexBytes(SourceLoc loc);
+    Token lexExtMarker(SourceLoc loc);
+    void lexComment();
+
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    std::vector<Pragma> pragmas_;
+};
+
+} // namespace ccr::text
+
+#endif // CCR_TEXT_LEXER_HH

@@ -1,0 +1,883 @@
+#include "text/parser.hh"
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "ir/printer.hh"
+#include "text/lexer.hh"
+
+namespace ccr::text
+{
+
+namespace
+{
+
+using namespace ccr::ir;
+
+/** Hard caps so hostile input cannot balloon memory: block ids and
+ *  global sizes are bounded, diagnostics stop accumulating past a
+ *  budget. */
+constexpr std::uint64_t kMaxBlockId = 1u << 20;
+constexpr std::uint64_t kMaxGlobalBytes = 1u << 30;
+constexpr std::size_t kMaxErrors = 100;
+
+const std::map<std::string_view, Opcode> &
+mnemonicTable()
+{
+    static const auto table = [] {
+        std::map<std::string_view, Opcode> t;
+        for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+            const auto op = static_cast<Opcode>(i);
+            // Load/Store never appear bare: they carry a width suffix
+            // and are matched by prefix before the table lookup.
+            if (op == Opcode::Load || op == Opcode::Store)
+                continue;
+            t.emplace(opcodeName(op), op);
+        }
+        return t;
+    }();
+    return table;
+}
+
+/** Parse the decimal digits of "r7" / "B12" style names. */
+bool
+parseIndexSuffix(const std::string &text, std::size_t prefix,
+                 std::uint64_t &out)
+{
+    if (text.size() <= prefix)
+        return false;
+    std::uint64_t v = 0;
+    for (std::size_t i = prefix; i < text.size(); ++i) {
+        const char c = text[i];
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+        if (v > kMaxBlockId * 16)
+            return false;
+    }
+    out = v;
+    return true;
+}
+
+std::string
+tokDesc(const Token &t)
+{
+    switch (t.kind) {
+      case TokKind::End: return "end of input";
+      case TokKind::Newline: return "end of line";
+      case TokKind::Ident: return "'" + t.text + "'";
+      case TokKind::Int: return "integer " + std::to_string(t.intValue);
+      case TokKind::Str: return "string";
+      case TokKind::HexBytes: return "byte string";
+      case TokKind::ExtMarker: return "<" + t.text + ">";
+      case TokKind::LParen: return "'('";
+      case TokKind::RParen: return "')'";
+      case TokKind::LBracket: return "'['";
+      case TokKind::RBracket: return "']'";
+      case TokKind::Comma: return "','";
+      case TokKind::Colon: return "':'";
+      case TokKind::Equals: return "'='";
+      case TokKind::At: return "'@'";
+      case TokKind::Hash: return "'#'";
+      case TokKind::Plus: return "'+'";
+      case TokKind::Arrow: return "'->'";
+      case TokKind::Error: return "invalid token";
+    }
+    return "token";
+}
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view src) : lex_(src) {}
+
+    ParseResult
+    run()
+    {
+        advance();
+        skipNewlines();
+        parseModuleHeader();
+        while (!fatal_) {
+            skipNewlines();
+            if (at(TokKind::End))
+                break;
+            if (at(TokKind::Ident) && tok_.text == "entry")
+                parseEntry();
+            else if (at(TokKind::Ident) && tok_.text == "global")
+                parseGlobal();
+            else if (at(TokKind::Ident) && tok_.text == "func")
+                parseFunction();
+            else {
+                error(tok_.loc,
+                      "expected 'entry', 'global', or 'func', got " +
+                          tokDesc(tok_));
+                syncLine();
+            }
+        }
+        finalizeModule();
+
+        ParseResult r;
+        r.errors = std::move(errors_);
+        r.pragmas = lex_.pragmas();
+        if (r.errors.empty())
+            r.module = std::move(mod_);
+        return r;
+    }
+
+  private:
+    // ----- token plumbing -------------------------------------------
+
+    void
+    advance()
+    {
+        tok_ = lex_.next();
+        if (tok_.kind == TokKind::Error && !suppress_)
+            error(tok_.loc, tok_.text);
+    }
+
+    bool at(TokKind k) const { return tok_.kind == k; }
+    bool atEol() const { return at(TokKind::Newline) || at(TokKind::End); }
+
+    bool
+    expect(TokKind k, const char *what)
+    {
+        if (at(k))
+            return true;
+        // Lexical errors were already reported by advance().
+        if (!at(TokKind::Error))
+            error(tok_.loc,
+                  std::string("expected ") + what + ", got " + tokDesc(tok_));
+        return false;
+    }
+
+    /** Skip to the end of the current line without reporting further
+     *  lexical errors on it. */
+    void
+    syncLine()
+    {
+        suppress_ = true;
+        while (!atEol())
+            advance();
+        suppress_ = false;
+    }
+
+    void
+    skipNewlines()
+    {
+        while (at(TokKind::Newline))
+            advance();
+    }
+
+    void
+    error(SourceLoc loc, std::string msg)
+    {
+        if (fatal_)
+            return;
+        if (errors_.size() >= kMaxErrors) {
+            errors_.push_back({loc, "too many errors; giving up"});
+            fatal_ = true;
+            return;
+        }
+        errors_.push_back({loc, std::move(msg)});
+    }
+
+    /** End-of-statement: anything left on the line is an error. */
+    void
+    endStatement()
+    {
+        if (!atEol()) {
+            if (!at(TokKind::Error))
+                error(tok_.loc, "unexpected " + tokDesc(tok_) +
+                                    " at end of statement");
+            syncLine();
+        }
+    }
+
+    // ----- shared operand parsers -----------------------------------
+
+    bool
+    parseUInt(std::uint64_t max, const char *what, std::uint64_t &out)
+    {
+        if (!expect(TokKind::Int, what))
+            return false;
+        if (tok_.intValue < 0 ||
+            static_cast<std::uint64_t>(tok_.intValue) > max) {
+            error(tok_.loc, std::string(what) + " out of range");
+            return false;
+        }
+        out = static_cast<std::uint64_t>(tok_.intValue);
+        advance();
+        return true;
+    }
+
+    bool
+    parseKeyword(const char *kw)
+    {
+        if (at(TokKind::Ident) && tok_.text == kw) {
+            advance();
+            return true;
+        }
+        error(tok_.loc, std::string("expected '") + kw + "', got " +
+                            tokDesc(tok_));
+        return false;
+    }
+
+    /** `@"name"` reference; leaves the unescaped name in @p out. */
+    bool
+    parseNameRef(std::string &out, SourceLoc &loc)
+    {
+        if (!expect(TokKind::At, "'@'"))
+            return false;
+        loc = tok_.loc;
+        advance();
+        if (!expect(TokKind::Str, "quoted name"))
+            return false;
+        out = tok_.text;
+        loc = tok_.loc;
+        advance();
+        return true;
+    }
+
+    // ----- per-function state ---------------------------------------
+
+    struct FuncCtx
+    {
+        Function *f = nullptr;
+        SourceLoc headerLoc;
+        std::vector<bool> defined;
+        std::vector<std::pair<BlockId, SourceLoc>> referenced;
+        BlockId cur = kNoBlock;
+        bool reportedNoBlock = false;
+    };
+
+    bool
+    ensureBlock(FuncCtx &fc, std::uint64_t id, SourceLoc loc)
+    {
+        if (id >= kMaxBlockId) {
+            error(loc, "block id B" + std::to_string(id) + " too large");
+            return false;
+        }
+        while (fc.f->numBlocks() <= id)
+            fc.f->newBlock();
+        if (fc.defined.size() <= id)
+            fc.defined.resize(id + 1, false);
+        return true;
+    }
+
+    bool
+    parseReg(FuncCtx &fc, Reg &out)
+    {
+        if (!expect(TokKind::Ident, "register"))
+            return false;
+        if (tok_.text == "_") {
+            out = kNoReg;
+            advance();
+            return true;
+        }
+        std::uint64_t idx = 0;
+        if (tok_.text[0] != 'r' || !parseIndexSuffix(tok_.text, 1, idx)) {
+            error(tok_.loc, "expected register, got " + tokDesc(tok_));
+            return false;
+        }
+        if (idx >= static_cast<std::uint64_t>(fc.f->numRegs())) {
+            error(tok_.loc, "register r" + std::to_string(idx) +
+                                " out of range (function declares " +
+                                std::to_string(fc.f->numRegs()) +
+                                " registers)");
+            return false;
+        }
+        out = static_cast<Reg>(idx);
+        advance();
+        return true;
+    }
+
+    bool
+    parseBlockRef(FuncCtx &fc, BlockId &out)
+    {
+        if (!expect(TokKind::Ident, "block label"))
+            return false;
+        std::uint64_t idx = 0;
+        if (tok_.text[0] != 'B' || !parseIndexSuffix(tok_.text, 1, idx)) {
+            error(tok_.loc, "expected block label, got " + tokDesc(tok_));
+            return false;
+        }
+        if (!ensureBlock(fc, idx, tok_.loc))
+            return false;
+        out = static_cast<BlockId>(idx);
+        fc.referenced.emplace_back(out, tok_.loc);
+        advance();
+        return true;
+    }
+
+    bool
+    parseImm(std::int64_t &out)
+    {
+        if (!expect(TokKind::Int, "immediate"))
+            return false;
+        out = tok_.intValue;
+        advance();
+        return true;
+    }
+
+    /** Second ALU operand: register or immediate (sets srcImm). */
+    bool
+    parseRegOrImm(FuncCtx &fc, Inst &inst, Reg Inst::*regField)
+    {
+        if (at(TokKind::Int)) {
+            inst.srcImm = true;
+            inst.imm = tok_.intValue;
+            advance();
+            return true;
+        }
+        return parseReg(fc, inst.*regField);
+    }
+
+    bool
+    parseRegionId(Inst &inst)
+    {
+        if (!expect(TokKind::Hash, "'#'"))
+            return false;
+        advance();
+        std::uint64_t id = 0;
+        if (!parseUInt(kNoRegion - 1, "region id", id))
+            return false;
+        inst.regionId = static_cast<RegionId>(id);
+        if (!sawRegion_ || inst.regionId > maxRegion_)
+            maxRegion_ = inst.regionId;
+        sawRegion_ = true;
+        return true;
+    }
+
+    bool
+    parseGlobalRef(Inst &inst)
+    {
+        std::string name;
+        SourceLoc loc;
+        if (!parseNameRef(name, loc))
+            return false;
+        const Global *g = mod_->findGlobal(name);
+        if (!g) {
+            error(loc, "unknown global " + quoteName(name));
+            return false;
+        }
+        inst.globalId = g->id;
+        return true;
+    }
+
+    // ----- statements -----------------------------------------------
+
+    void
+    parseModuleHeader()
+    {
+        if (at(TokKind::Ident) && tok_.text == "module") {
+            advance();
+            if (expect(TokKind::Str, "quoted module name")) {
+                mod_ = std::make_unique<Module>(tok_.text);
+                advance();
+                endStatement();
+                return;
+            }
+            syncLine();
+        } else {
+            error(tok_.loc, "expected 'module \"name\"' header, got " +
+                                tokDesc(tok_));
+            syncLine();
+        }
+        mod_ = std::make_unique<Module>("<error>");
+    }
+
+    void
+    parseEntry()
+    {
+        const SourceLoc loc = tok_.loc;
+        advance(); // 'entry'
+        std::string name;
+        SourceLoc nameLoc;
+        if (!parseNameRef(name, nameLoc)) {
+            syncLine();
+            return;
+        }
+        if (haveEntry_) {
+            error(loc, "duplicate 'entry' directive");
+            syncLine();
+            return;
+        }
+        haveEntry_ = true;
+        entryName_ = std::move(name);
+        entryLoc_ = nameLoc;
+        endStatement();
+    }
+
+    void
+    parseGlobal()
+    {
+        advance(); // 'global'
+        std::string name;
+        SourceLoc nameLoc;
+        std::uint64_t size = 0;
+        if (!parseNameRef(name, nameLoc) ||
+            !expect(TokKind::LBracket, "'['")) {
+            syncLine();
+            return;
+        }
+        advance(); // '['
+        if (!parseUInt(kMaxGlobalBytes, "global size", size) ||
+            !parseKeyword("bytes") || !expect(TokKind::RBracket, "']'")) {
+            syncLine();
+            return;
+        }
+        advance(); // ']'
+
+        bool isConst = false;
+        if (at(TokKind::Ident) && tok_.text == "const") {
+            isConst = true;
+            advance();
+        }
+        std::vector<std::uint8_t> init;
+        bool haveInit = false;
+        if (at(TokKind::Ident) && tok_.text == "init") {
+            advance();
+            if (!expect(TokKind::Equals, "'='")) {
+                syncLine();
+                return;
+            }
+            advance();
+            if (!expect(TokKind::HexBytes, "x\"...\" byte string")) {
+                syncLine();
+                return;
+            }
+            init.assign(tok_.text.begin(), tok_.text.end());
+            haveInit = true;
+            advance();
+        }
+
+        if (mod_->findGlobal(name)) {
+            error(nameLoc, "duplicate global " + quoteName(name));
+            syncLine();
+            return;
+        }
+        if (haveInit && init.size() > size) {
+            error(nameLoc, "init data (" + std::to_string(init.size()) +
+                               " bytes) exceeds global size (" +
+                               std::to_string(size) + " bytes)");
+            syncLine();
+            return;
+        }
+        Global &g = mod_->addGlobal(name, size, isConst);
+        g.init = std::move(init);
+        endStatement();
+    }
+
+    void
+    parseFunction()
+    {
+        const SourceLoc funcLoc = tok_.loc;
+        advance(); // 'func'
+        std::string name;
+        SourceLoc nameLoc;
+        std::uint64_t params = 0, regs = 0, entry = 0;
+        if (!parseNameRef(name, nameLoc) ||
+            !expect(TokKind::LParen, "'('")) {
+            syncLine();
+            return;
+        }
+        advance(); // '('
+        if (!parseUInt(kNoReg - 1, "parameter count", params) ||
+            !parseKeyword("params") || !expect(TokKind::Comma, "','")) {
+            syncLine();
+            return;
+        }
+        advance(); // ','
+        if (!parseUInt(kNoReg - 1, "register count", regs) ||
+            !parseKeyword("regs") || !expect(TokKind::RParen, "')'")) {
+            syncLine();
+            return;
+        }
+        advance(); // ')'
+        if (regs < params) {
+            error(nameLoc, "function declares fewer registers than "
+                           "parameters");
+            syncLine();
+            return;
+        }
+        if (!parseKeyword("entry") || !expect(TokKind::Equals, "'='")) {
+            syncLine();
+            return;
+        }
+        advance(); // '='
+
+        if (mod_->findFunction(name)) {
+            error(nameLoc, "duplicate function " + quoteName(name));
+            // Parse the body anyway (for its diagnostics) into a
+            // placeholder; the errored module is discarded at the end.
+            name += "$dup" + std::to_string(errors_.size());
+        }
+
+        FuncCtx fc;
+        fc.f = &mod_->addFunction(name, static_cast<int>(params));
+        fc.headerLoc = funcLoc;
+        for (std::uint64_t r = params; r < regs; ++r)
+            fc.f->newReg();
+
+        BlockId entryBlock = kNoBlock;
+        if (parseBlockRef(fc, entryBlock)) {
+            fc.f->setEntry(entryBlock);
+            entry = entryBlock;
+        }
+        (void)entry;
+        endStatement();
+
+        // Body: block labels and instructions until the next top-level
+        // keyword or end of input.
+        while (!fatal_) {
+            skipNewlines();
+            if (at(TokKind::End))
+                break;
+            if (at(TokKind::Ident) &&
+                (tok_.text == "func" || tok_.text == "global" ||
+                 tok_.text == "entry" || tok_.text == "module"))
+                break;
+            parseBlockLabelOrInst(fc);
+        }
+        finalizeFunction(fc);
+    }
+
+    void
+    parseBlockLabelOrInst(FuncCtx &fc)
+    {
+        std::uint64_t idx = 0;
+        if (at(TokKind::Ident) && tok_.text[0] == 'B' &&
+            parseIndexSuffix(tok_.text, 1, idx)) {
+            const SourceLoc loc = tok_.loc;
+            advance();
+            if (!expect(TokKind::Colon, "':' after block label")) {
+                syncLine();
+                return;
+            }
+            advance();
+            if (!ensureBlock(fc, idx, loc)) {
+                syncLine();
+                return;
+            }
+            if (fc.defined[idx]) {
+                error(loc, "duplicate block label B" + std::to_string(idx));
+                syncLine();
+                return;
+            }
+            fc.defined[idx] = true;
+            fc.cur = static_cast<BlockId>(idx);
+            endStatement();
+            return;
+        }
+        parseInst(fc);
+    }
+
+    void
+    parseInst(FuncCtx &fc)
+    {
+        if (!expect(TokKind::Ident, "instruction or block label")) {
+            syncLine();
+            return;
+        }
+        const Token mnemonic = tok_;
+        advance();
+
+        Inst inst;
+        if (!parseInstBody(fc, mnemonic, inst)) {
+            syncLine();
+            return;
+        }
+        while (at(TokKind::ExtMarker)) {
+            if (tok_.text == "live-out")
+                inst.ext.liveOut = true;
+            else if (tok_.text == "region-end")
+                inst.ext.regionEnd = true;
+            else if (tok_.text == "region-exit")
+                inst.ext.regionExit = true;
+            else if (tok_.text == "det")
+                inst.ext.determinable = true;
+            else {
+                error(tok_.loc,
+                      "unknown extension marker <" + tok_.text + ">");
+                syncLine();
+                return;
+            }
+            advance();
+        }
+        if (fc.cur == kNoBlock) {
+            if (!fc.reportedNoBlock) {
+                error(mnemonic.loc,
+                      "instruction outside a block (missing 'B<n>:' label)");
+                fc.reportedNoBlock = true;
+            }
+            syncLine();
+            return;
+        }
+        inst.uid = fc.f->newUid();
+        auto &insts = fc.f->block(fc.cur).insts();
+        insts.push_back(inst);
+        if (inst.op == Opcode::Call)
+            callFixups_.push_back({fc.f->id(), fc.cur, insts.size() - 1,
+                                   pendingCallee_, pendingCalleeLoc_});
+        endStatement();
+    }
+
+    /** Mnemonic dispatch; returns false (after reporting) on any
+     *  operand error. On success the token stream sits at the ext
+     *  markers / end of line. */
+    bool
+    parseInstBody(FuncCtx &fc, const Token &mnemonic, Inst &inst)
+    {
+        const std::string &name = mnemonic.text;
+
+        // load / store carry a width suffix: load8, loadu4, store2...
+        if (name.rfind("load", 0) == 0 || name.rfind("store", 0) == 0) {
+            const bool isLoad = name[0] == 'l';
+            std::size_t p = isLoad ? 4 : 5;
+            inst.op = isLoad ? Opcode::Load : Opcode::Store;
+            if (isLoad && p < name.size() && name[p] == 'u') {
+                inst.unsignedLoad = true;
+                ++p;
+            }
+            const std::string suffix = name.substr(p);
+            if (suffix == "1")
+                inst.size = MemSize::Byte;
+            else if (suffix == "2")
+                inst.size = MemSize::Half;
+            else if (suffix == "4")
+                inst.size = MemSize::Word;
+            else if (suffix == "8")
+                inst.size = MemSize::Dword;
+            else {
+                error(mnemonic.loc, "unknown instruction '" + name +
+                                        "' (width must be 1, 2, 4, or 8)");
+                return false;
+            }
+            if (isLoad)
+                return parseReg(fc, inst.dst) &&
+                       expectConsume(TokKind::Comma, "','") &&
+                       parseMemOperand(fc, inst);
+            return parseMemOperand(fc, inst) &&
+                   expectConsume(TokKind::Comma, "','") &&
+                   parseReg(fc, inst.src2);
+        }
+
+        const auto &table = mnemonicTable();
+        const auto it = table.find(name);
+        if (it == table.end()) {
+            error(mnemonic.loc, "unknown instruction '" + name + "'");
+            return false;
+        }
+        inst.op = it->second;
+
+        switch (inst.op) {
+          case Opcode::Nop:
+          case Opcode::Halt:
+            return true;
+          case Opcode::MovI:
+            return parseReg(fc, inst.dst) &&
+                   expectConsume(TokKind::Comma, "','") &&
+                   parseImm(inst.imm);
+          case Opcode::Mov:
+          case Opcode::I2F:
+          case Opcode::F2I:
+            return parseReg(fc, inst.dst) &&
+                   expectConsume(TokKind::Comma, "','") &&
+                   parseReg(fc, inst.src1);
+          case Opcode::MovGA:
+            return parseReg(fc, inst.dst) &&
+                   expectConsume(TokKind::Comma, "','") &&
+                   parseGlobalRef(inst);
+          case Opcode::Alloc:
+            return parseReg(fc, inst.dst) &&
+                   expectConsume(TokKind::Comma, "','") &&
+                   parseRegOrImm(fc, inst, &Inst::src1);
+          case Opcode::Br:
+            return parseReg(fc, inst.src1) &&
+                   expectConsume(TokKind::Comma, "','") &&
+                   parseBlockRef(fc, inst.target) &&
+                   expectConsume(TokKind::Comma, "','") &&
+                   parseBlockRef(fc, inst.target2);
+          case Opcode::Jump:
+            return parseBlockRef(fc, inst.target);
+          case Opcode::Call:
+            return parseCall(fc, inst);
+          case Opcode::Ret:
+            if (at(TokKind::Ident))
+                return parseReg(fc, inst.src1);
+            return true;
+          case Opcode::Reuse:
+            return parseRegionId(inst) &&
+                   expectConsume(TokKind::Comma, "','") &&
+                   parseKeyword("hit") &&
+                   expectConsume(TokKind::Equals, "'='") &&
+                   parseBlockRef(fc, inst.target) &&
+                   expectConsume(TokKind::Comma, "','") &&
+                   parseKeyword("miss") &&
+                   expectConsume(TokKind::Equals, "'='") &&
+                   parseBlockRef(fc, inst.target2);
+          case Opcode::Invalidate:
+            return parseRegionId(inst);
+          default:
+            break;
+        }
+
+        if (isBinaryAlu(inst.op))
+            return parseReg(fc, inst.dst) &&
+                   expectConsume(TokKind::Comma, "','") &&
+                   parseReg(fc, inst.src1) &&
+                   expectConsume(TokKind::Comma, "','") &&
+                   parseRegOrImm(fc, inst, &Inst::src2);
+
+        error(mnemonic.loc, "unknown instruction '" + name + "'");
+        return false;
+    }
+
+    bool
+    expectConsume(TokKind k, const char *what)
+    {
+        if (!expect(k, what))
+            return false;
+        advance();
+        return true;
+    }
+
+    /** `[rN + imm]` address operand (src1 + imm). */
+    bool
+    parseMemOperand(FuncCtx &fc, Inst &inst)
+    {
+        return expectConsume(TokKind::LBracket, "'['") &&
+               parseReg(fc, inst.src1) &&
+               expectConsume(TokKind::Plus, "'+'") &&
+               parseImm(inst.imm) &&
+               expectConsume(TokKind::RBracket, "']'");
+    }
+
+    bool
+    parseCall(FuncCtx &fc, Inst &inst)
+    {
+        if (!parseReg(fc, inst.dst) ||
+            !expectConsume(TokKind::Comma, "','") ||
+            !parseNameRef(pendingCallee_, pendingCalleeLoc_) ||
+            !expectConsume(TokKind::LParen, "'('"))
+            return false;
+        if (!at(TokKind::RParen)) {
+            for (;;) {
+                if (inst.numArgs >= kMaxCallArgs) {
+                    error(tok_.loc, "too many call arguments (max " +
+                                        std::to_string(kMaxCallArgs) + ")");
+                    return false;
+                }
+                Reg arg = kNoReg;
+                if (!parseReg(fc, arg))
+                    return false;
+                inst.args[inst.numArgs++] = arg;
+                if (at(TokKind::Comma)) {
+                    advance();
+                    continue;
+                }
+                break;
+            }
+        }
+        return expectConsume(TokKind::RParen, "')'") &&
+               expectConsume(TokKind::Arrow, "'->'") &&
+               parseBlockRef(fc, inst.target);
+    }
+
+    // ----- finalization ---------------------------------------------
+
+    void
+    finalizeFunction(FuncCtx &fc)
+    {
+        if (fc.f->entry() == kNoBlock)
+            return; // header already reported an error
+        for (const auto &[id, loc] : fc.referenced)
+            if (!fc.defined[id])
+                error(loc, "reference to undefined block B" +
+                               std::to_string(id));
+    }
+
+    void
+    finalizeModule()
+    {
+        if (!mod_)
+            mod_ = std::make_unique<Module>("<error>");
+        if (haveEntry_) {
+            const Function *f = mod_->findFunction(entryName_);
+            if (f)
+                mod_->setEntryFunction(f->id());
+            else
+                error(entryLoc_,
+                      "entry names unknown function " + quoteName(entryName_));
+        }
+        for (const auto &fix : callFixups_) {
+            const Function *callee = mod_->findFunction(fix.callee);
+            if (!callee) {
+                error(fix.loc,
+                      "call to unknown function " + quoteName(fix.callee));
+                continue;
+            }
+            mod_->function(fix.func)
+                .block(fix.block)
+                .inst(fix.instIdx)
+                .callee = callee->id();
+        }
+        if (sawRegion_)
+            mod_->reserveRegionIds(maxRegion_ + 1);
+    }
+
+    struct CallFixup
+    {
+        FuncId func;
+        BlockId block;
+        std::size_t instIdx;
+        std::string callee;
+        SourceLoc loc;
+    };
+
+    Lexer lex_;
+    Token tok_;
+    bool suppress_ = false;
+    bool fatal_ = false;
+    std::vector<Diagnostic> errors_;
+    std::unique_ptr<Module> mod_;
+
+    std::vector<CallFixup> callFixups_;
+    std::string pendingCallee_;
+    SourceLoc pendingCalleeLoc_;
+
+    bool haveEntry_ = false;
+    std::string entryName_;
+    SourceLoc entryLoc_;
+
+    bool sawRegion_ = false;
+    RegionId maxRegion_ = 0;
+};
+
+} // namespace
+
+ParseResult
+parseModule(std::string_view source)
+{
+    return Parser(source).run();
+}
+
+ParseResult
+parseModuleFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        ParseResult r;
+        r.errors.push_back({{0, 0}, "cannot open file '" + path + "'"});
+        return r;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string src = buf.str();
+    return parseModule(src);
+}
+
+} // namespace ccr::text

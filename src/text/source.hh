@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Source locations, diagnostics, and pragmas for the textual `.lc`
+ * frontend.
+ */
+
+#ifndef CCR_TEXT_SOURCE_HH
+#define CCR_TEXT_SOURCE_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccr::text
+{
+
+/** A 1-based line/column position in a `.lc` source buffer. */
+struct SourceLoc
+{
+    int line = 0;
+    int col = 0;
+
+    bool operator==(const SourceLoc &) const = default;
+};
+
+/** One parse error, anchored to the token where it was detected. */
+struct Diagnostic
+{
+    SourceLoc loc;
+    std::string message;
+};
+
+/**
+ * A `;!` pragma line. The parser ignores pragmas entirely; the corpus
+ * loader interprets them as workload directives (inputs, outputs —
+ * see docs/WORKLOADS.md). `text` is the pragma body with the leading
+ * `;!` and surrounding whitespace stripped.
+ */
+struct Pragma
+{
+    SourceLoc loc;
+    std::string text;
+};
+
+/** Render diagnostics as "file:line:col: message" lines. */
+std::string formatDiagnostics(const std::vector<Diagnostic> &diags,
+                              std::string_view filename);
+
+} // namespace ccr::text
+
+#endif // CCR_TEXT_SOURCE_HH

@@ -417,21 +417,6 @@ Crb::reset()
     metrics_.reset();
 }
 
-StatGroup
-Crb::stats() const
-{
-    static const char *const kLegacyNames[] = {
-        "queries", "hits", "misses", "invalidates",
-        "memoStarts", "memoCommits", "memoAborts",
-        "memoDroppedNotMemCapable", "memoLostEntry",
-        "conflictEvictions",
-    };
-    StatGroup group("crb");
-    for (const char *name : kLegacyNames)
-        group.counter(name) += metrics_.get(std::string("crb.") + name);
-    return group;
-}
-
 void
 Crb::snapshotOccupancy()
 {

@@ -122,14 +122,6 @@ class Crb : public emu::ReuseHandler
     obs::MetricRegistry &metrics() { return metrics_; }
     const obs::MetricRegistry &metrics() const { return metrics_; }
 
-    /**
-     * @deprecated Legacy view kept for one PR: a StatGroup snapshot
-     * with the historical un-prefixed names ("hits", "queries", ...).
-     * New code should read metrics().get("crb.hits") or consume the
-     * SimReport. Returns by value — do not mutate.
-     */
-    StatGroup stats() const;
-
     /** Attach (or detach with nullptr) an event-trace sink; the CRB
      *  emits hit/miss/invalidate/evict/memo events into it. */
     void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }

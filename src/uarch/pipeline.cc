@@ -36,7 +36,7 @@ Pipeline::advanceTo(std::uint64_t target)
 
 std::uint64_t
 Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
-                   const emu::Machine &machine, TimingResult &result)
+                   const emu::Machine &machine)
 {
     const ir::Inst &inst = *info.inst;
     auto &regs = regReady_.back();
@@ -50,7 +50,6 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
             fetchReady_ =
                 std::max(fetchReady_, cycle_) + static_cast<std::uint64_t>(lat);
             fetchStallReason_ = FetchStall::Icache;
-            ++result.icacheMisses;
         }
     }
 
@@ -138,17 +137,14 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
     switch (inst.op) {
       case ir::Opcode::Load: {
         const int lat = dcache_.access(info.memAddr);
-        if (lat > 0) {
+        if (lat > 0)
             done += static_cast<std::uint64_t>(lat);
-            ++result.dcacheMisses;
-        }
         break;
       }
       case ir::Opcode::Store: {
-        // Stores retire through a store buffer; track cache state and
-        // miss counts but do not stall the pipeline.
-        if (dcache_.access(info.memAddr) > 0)
-            ++result.dcacheMisses;
+        // Stores retire through a store buffer; track cache state
+        // (and thereby the miss tally) but do not stall the pipeline.
+        dcache_.access(info.memAddr);
         break;
       }
       case ir::Opcode::Br: {
@@ -160,7 +156,7 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
                           + static_cast<std::uint64_t>(
                               params_.bpred.mispredictPenalty);
             fetchStallReason_ = FetchStall::Mispredict;
-            ++result.branchMispredicts;
+            ++tallyBranchMispredicts_;
         }
         break;
       }
@@ -188,7 +184,7 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
                     conf > 0 ? conf - 1 : 0);
         }
         if (kind == emu::StepKind::ReuseHit) {
-            ++result.reuseHits;
+            ++tallyReuseHits_;
             const auto &outcome =
                 crb_ ? crb_->lastOutcome() : emu::ReuseOutcome{};
             // A correctly speculated hit hides the validation latency.
@@ -211,7 +207,7 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
             }
             done = std::max(done, validate);
         } else {
-            ++result.reuseMisses;
+            ++tallyReuseMisses_;
             // Miss: flush and redirect fetch into the region body.
             fetchReady_ = c + static_cast<std::uint64_t>(
                                   params_.reuseFailPenalty);
@@ -280,6 +276,8 @@ Pipeline::run(emu::Machine &machine, std::uint64_t max_insts)
     stallFetchReuseFlush_ = stallFetchBtbBubble_ = 0;
     stallOperands_ = stallReuseValidate_ = 0;
     stallIssueWidth_ = stallFuBusy_ = 0;
+    tallyBranchMispredicts_ = 0;
+    tallyReuseHits_ = tallyReuseMisses_ = 0;
     {
         const auto &entry =
             machine.module().function(machine.module().entryFunction());
@@ -295,7 +293,7 @@ Pipeline::run(emu::Machine &machine, std::uint64_t max_insts)
         const emu::StepKind kind = machine.step(info);
         if (kind == emu::StepKind::Halted)
             break;
-        issueOne(info, kind, machine, result);
+        issueOne(info, kind, machine);
         ++executed;
         if (trace_ && traceIntervalInsts_ != 0
             && executed % traceIntervalInsts_ == 0) {
@@ -310,9 +308,11 @@ Pipeline::run(emu::Machine &machine, std::uint64_t max_insts)
     result.cycles = std::max(cycle_, lastRetire_) + 1;
 
     // Fold the run's accounting into the registry — the source of
-    // truth behind the (deprecated) TimingResult view.
+    // truth feeding the SimReport surface.
     metrics_.counter("pipe.cycles") += result.cycles;
     metrics_.counter("pipe.insts") += result.insts;
+    metrics_.counter("pipe.branchMispredicts") +=
+        tallyBranchMispredicts_;
     metrics_.counter("pipe.stall.fetch.icache") += stallFetchIcache_;
     metrics_.counter("pipe.stall.fetch.mispredict") +=
         stallFetchMispredict_;
@@ -324,8 +324,8 @@ Pipeline::run(emu::Machine &machine, std::uint64_t max_insts)
     metrics_.counter("pipe.stall.reuseValidate") += stallReuseValidate_;
     metrics_.counter("pipe.stall.issueWidth") += stallIssueWidth_;
     metrics_.counter("pipe.stall.fuBusy") += stallFuBusy_;
-    metrics_.counter("reuse.hits") += result.reuseHits;
-    metrics_.counter("reuse.misses") += result.reuseMisses;
+    metrics_.counter("reuse.hits") += tallyReuseHits_;
+    metrics_.counter("reuse.misses") += tallyReuseMisses_;
     icache_.exportMetrics(metrics_);
     dcache_.exportMetrics(metrics_);
     bpred_.exportMetrics(metrics_);

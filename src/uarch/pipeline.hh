@@ -68,23 +68,16 @@ struct PipelineParams
 };
 
 /**
- * Results of one timed run.
- *
- * @deprecated Thin legacy view: the fields mirror counters that live
- * in the pipeline's MetricRegistry ("pipe.cycles", "icache.misses",
- * "reuse.hits", ...), which is the source of truth and feeds the
- * SimReport surface. Kept for one PR; new code should consume
- * Pipeline::metrics() or the SimReport.
+ * Headline results of one timed run: the cycle/instruction totals a
+ * caller almost always wants without reaching into the registry.
+ * Everything else (cache misses, predictor tallies, reuse counts,
+ * stall attribution) lives in Pipeline::metrics() — see the key list
+ * on metrics() — and flows from there into the SimReport surface.
  */
 struct TimingResult
 {
     std::uint64_t cycles = 0;
     std::uint64_t insts = 0;
-    std::uint64_t icacheMisses = 0;
-    std::uint64_t dcacheMisses = 0;
-    std::uint64_t branchMispredicts = 0;
-    std::uint64_t reuseHits = 0;
-    std::uint64_t reuseMisses = 0;
 
     /** Delegates to the obs derived-metric conventions (0 when no
      *  cycles elapsed). */
@@ -114,7 +107,11 @@ class Pipeline
 
     /**
      * Metric registry of the most recent run(): cycle/instruction
-     * totals, cache and predictor tallies, reuse counts, and
+     * totals ("pipe.cycles", "pipe.insts"), cache and predictor
+     * tallies ("icache.*", "dcache.*", "bpred.*"), conditional-branch
+     * mispredicts ("pipe.branchMispredicts" — unlike
+     * "bpred.mispredicts" this excludes BTB misses on unconditional
+     * transfers), reuse counts ("reuse.hits"/"reuse.misses"), and
      * cycles-by-stall-reason attribution ("pipe.stall.*"). Reset at
      * the start of every run.
      */
@@ -167,6 +164,14 @@ class Pipeline
     std::uint64_t stallIssueWidth_ = 0;
     std::uint64_t stallFuBusy_ = 0;
 
+    // Event tallies (same hot-path treatment as the stall
+    // accumulators; folded into metrics_ at end of run). Conditional
+    // Br mispredicts only — BTB misses on unconditional transfers are
+    // counted by the predictor itself under "bpred.mispredicts".
+    std::uint64_t tallyBranchMispredicts_ = 0;
+    std::uint64_t tallyReuseHits_ = 0;
+    std::uint64_t tallyReuseMisses_ = 0;
+
     // -- per-run scoreboard state -------------------------------------
     std::uint64_t cycle_ = 0;       ///< current issue cycle frontier
     std::uint64_t fetchReady_ = 0;  ///< earliest issue due to fetch
@@ -189,8 +194,7 @@ class Pipeline
     int fuLimit(ir::FuClass cls) const;
     std::uint64_t issueOne(const emu::ExecInfo &info,
                            emu::StepKind kind,
-                           const emu::Machine &machine,
-                           TimingResult &result);
+                           const emu::Machine &machine);
 };
 
 } // namespace ccr::uarch

@@ -157,6 +157,7 @@ ExperimentCache::baseRun(const std::string &name, bool optimized,
             auto data = std::make_shared<BaseRunData>();
             data->timing = timing.run(machine, max_insts);
             ccr_assert(machine.halted(), "base run did not complete");
+            snapshotBaseCounters(*data, timing);
             data->outputs = readOutputs(machine, w);
             return std::shared_ptr<const BaseRunData>(std::move(data));
         });

@@ -44,13 +44,28 @@
 namespace ccr::workloads
 {
 
-/** A cached base-machine run: timing plus the program outputs used
- *  for base-vs-CCR equivalence checking. */
+/** A cached base-machine run: timing, the event counts the SimReport
+ *  publishes under "base.*", and the program outputs used for
+ *  base-vs-CCR equivalence checking. */
 struct BaseRunData
 {
     uarch::TimingResult timing;
+
+    /** Snapshots of the base pipeline's registry counters
+     *  "icache.misses", "dcache.misses" and "pipe.branchMispredicts"
+     *  (conditional branches only). */
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheMisses = 0;
+    std::uint64_t branchMispredicts = 0;
+
     std::vector<ir::Value> outputs;
 };
+
+/** Fill a BaseRunData's counter snapshots from a just-finished base
+ *  pipeline's registry (defined in harness.cc; shared by the cache's
+ *  builder and the uncached experiment flow). */
+void snapshotBaseCounters(BaseRunData &data,
+                          const uarch::Pipeline &pipe);
 
 class ExperimentCache
 {

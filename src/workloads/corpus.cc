@@ -1,0 +1,585 @@
+#include "workloads/corpus.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "text/parser.hh"
+#include "workloads/support.hh"
+
+#ifndef CCR_CORPUS_DIR
+#define CCR_CORPUS_DIR "corpus"
+#endif
+
+namespace ccr::workloads
+{
+
+namespace
+{
+
+/** Cap on fill sizes so a typo in a directive cannot allocate wild
+ *  amounts of host memory. */
+constexpr std::uint64_t kMaxFillWords = 1u << 20;
+
+/** One input-preparation directive, replayed by prepare(). */
+struct Action
+{
+    enum class Kind
+    {
+        Set,
+        FillZipf,
+        FillUniform
+    };
+
+    Kind kind = Kind::Set;
+    bool onTrain = true;
+    bool onRef = true;
+    std::string global;
+    std::int64_t value = 0; // Set
+
+    std::uint64_t seed = 0; // fills
+    std::uint64_t n = 0;
+    std::uint64_t distinct = 1;
+    double theta = 0.0;
+    std::int64_t max = 0;
+
+    bool
+    appliesTo(InputSet set) const
+    {
+        return set == InputSet::Train ? onTrain : onRef;
+    }
+};
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    const auto *first = s.data();
+    const auto *last = s.data() + s.size();
+    const auto r = std::from_chars(first, last, out);
+    return r.ec == std::errc{} && r.ptr == last;
+}
+
+bool
+parseI64(const std::string &s, std::int64_t &out)
+{
+    const auto *first = s.data();
+    const auto *last = s.data() + s.size();
+    const auto r = std::from_chars(first, last, out);
+    return r.ec == std::errc{} && r.ptr == last;
+}
+
+bool
+parseF64(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size();
+}
+
+std::vector<std::string>
+splitWs(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t'))
+            ++i;
+        std::size_t j = i;
+        while (j < s.size() && s[j] != ' ' && s[j] != '\t')
+            ++j;
+        if (j > i)
+            out.push_back(s.substr(i, j - i));
+        i = j;
+    }
+    return out;
+}
+
+bool
+validName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (const char c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '-' && c != '.')
+            return false;
+    return true;
+}
+
+/** Interprets one file's pragmas; appends "line:col: message" style
+ *  errors (without the file prefix — the caller adds it). */
+class DirectiveReader
+{
+  public:
+    DirectiveReader(const ir::Module &mod, std::vector<std::string> &errors)
+        : mod_(mod), errors_(errors)
+    {}
+
+    std::string workloadName;
+    std::vector<std::string> outputs;
+    std::vector<Action> actions;
+
+    void
+    read(const std::vector<text::Pragma> &pragmas)
+    {
+        for (const auto &p : pragmas)
+            readOne(p);
+    }
+
+  private:
+    void
+    error(const text::Pragma &p, const std::string &msg)
+    {
+        errors_.push_back(std::to_string(p.loc.line) + ":" +
+                          std::to_string(p.loc.col) + ": " + msg);
+    }
+
+    const ir::Global *
+    findGlobal(const text::Pragma &p, const std::string &name)
+    {
+        for (std::size_t i = 0; i < mod_.numGlobals(); ++i) {
+            const auto &g = mod_.global(static_cast<ir::GlobalId>(i));
+            if (g.name == name)
+                return &g;
+        }
+        error(p, "directive names unknown global '" + name + "'");
+        return nullptr;
+    }
+
+    bool
+    parseSets(const text::Pragma &p, const std::string &word, Action &a)
+    {
+        if (word == "train") {
+            a.onTrain = true;
+            a.onRef = false;
+        } else if (word == "ref") {
+            a.onTrain = false;
+            a.onRef = true;
+        } else if (word == "both") {
+            a.onTrain = a.onRef = true;
+        } else {
+            error(p, "expected train|ref|both, got '" + word + "'");
+            return false;
+        }
+        return true;
+    }
+
+    void
+    readOne(const text::Pragma &p)
+    {
+        const auto words = splitWs(p.text);
+        if (words.empty()) {
+            error(p, "empty ;! directive");
+            return;
+        }
+        const std::string &kind = words[0];
+
+        if (kind == "workload") {
+            if (words.size() != 2 || !validName(words[1])) {
+                error(p, "usage: ;! workload <name>");
+                return;
+            }
+            if (!workloadName.empty()) {
+                error(p, "duplicate workload directive");
+                return;
+            }
+            workloadName = words[1];
+            return;
+        }
+        if (kind == "output") {
+            if (words.size() != 2) {
+                error(p, "usage: ;! output <global>");
+                return;
+            }
+            if (findGlobal(p, words[1]))
+                outputs.push_back(words[1]);
+            return;
+        }
+        if (kind == "set") {
+            Action a;
+            a.kind = Action::Kind::Set;
+            if (words.size() != 4 || !parseSets(p, words[1], a) ||
+                !parseI64(words[3], a.value)) {
+                error(p, "usage: ;! set <train|ref|both> <global> <int>");
+                return;
+            }
+            a.global = words[2];
+            const ir::Global *g = findGlobal(p, a.global);
+            if (!g)
+                return;
+            if (g->sizeBytes < 8) {
+                error(p, "global '" + a.global +
+                             "' too small for a 64-bit set");
+                return;
+            }
+            actions.push_back(std::move(a));
+            return;
+        }
+        if (kind == "fill") {
+            readFill(p, words);
+            return;
+        }
+        error(p, "unknown directive '" + kind + "'");
+    }
+
+    void
+    readFill(const text::Pragma &p, const std::vector<std::string> &words)
+    {
+        Action a;
+        if (words.size() < 4 || !parseSets(p, words[1], a)) {
+            error(p, "usage: ;! fill <train|ref|both> <global> "
+                     "<zipf|uniform> key=value...");
+            return;
+        }
+        a.global = words[2];
+        const std::string &dist = words[3];
+        if (dist == "zipf")
+            a.kind = Action::Kind::FillZipf;
+        else if (dist == "uniform")
+            a.kind = Action::Kind::FillUniform;
+        else {
+            error(p, "unknown fill distribution '" + dist + "'");
+            return;
+        }
+
+        bool haveSeed = false, haveN = false, haveDistinct = false,
+             haveTheta = false, haveMax = false;
+        for (std::size_t i = 4; i < words.size(); ++i) {
+            const auto eq = words[i].find('=');
+            if (eq == std::string::npos) {
+                error(p, "expected key=value, got '" + words[i] + "'");
+                return;
+            }
+            const std::string key = words[i].substr(0, eq);
+            const std::string val = words[i].substr(eq + 1);
+            bool ok = true;
+            if (key == "seed")
+                ok = parseU64(val, a.seed), haveSeed = ok;
+            else if (key == "n")
+                ok = parseU64(val, a.n), haveN = ok;
+            else if (key == "distinct")
+                ok = parseU64(val, a.distinct), haveDistinct = ok;
+            else if (key == "theta")
+                ok = parseF64(val, a.theta), haveTheta = ok;
+            else if (key == "max")
+                ok = parseI64(val, a.max), haveMax = ok;
+            else {
+                error(p, "unknown fill key '" + key + "'");
+                return;
+            }
+            if (!ok) {
+                error(p, "bad value in '" + words[i] + "'");
+                return;
+            }
+        }
+
+        const bool zipf = a.kind == Action::Kind::FillZipf;
+        if (!haveSeed || !haveN || !haveMax ||
+            (zipf && (!haveDistinct || !haveTheta))) {
+            error(p, zipf ? "zipf fill needs seed= n= distinct= theta= max="
+                          : "uniform fill needs seed= n= max=");
+            return;
+        }
+        if (a.n == 0 || a.n > kMaxFillWords) {
+            error(p, "fill n out of range (1.." +
+                         std::to_string(kMaxFillWords) + ")");
+            return;
+        }
+        if (zipf && (a.distinct == 0 || a.distinct > a.n)) {
+            error(p, "fill distinct must be in 1..n");
+            return;
+        }
+        if (a.max < 0) {
+            error(p, "fill max must be non-negative");
+            return;
+        }
+        const ir::Global *g = findGlobal(p, a.global);
+        if (!g)
+            return;
+        if (a.n * 8 > g->sizeBytes) {
+            error(p, "fill of " + std::to_string(a.n) +
+                         " words overflows global '" + a.global + "' (" +
+                         std::to_string(g->sizeBytes) + " bytes)");
+            return;
+        }
+        actions.push_back(std::move(a));
+    }
+
+    const ir::Module &mod_;
+    std::vector<std::string> &errors_;
+};
+
+void
+applyAction(emu::Machine &machine, const Action &a)
+{
+    switch (a.kind) {
+      case Action::Kind::Set:
+        setGlobal64(machine, a.global, a.value);
+        return;
+      case Action::Kind::FillZipf: {
+        Rng rng(a.seed);
+        const std::int64_t max = a.max;
+        const auto values =
+            zipfRequests(rng, a.n, a.distinct, a.theta, [max](Rng &r) {
+                return r.nextRange(0, max);
+            });
+        fillGlobal64(machine, a.global, values);
+        return;
+      }
+      case Action::Kind::FillUniform: {
+        Rng rng(a.seed);
+        std::vector<std::int64_t> values;
+        values.reserve(a.n);
+        for (std::uint64_t i = 0; i < a.n; ++i)
+            values.push_back(rng.nextRange(0, a.max));
+        fillGlobal64(machine, a.global, values);
+        return;
+      }
+    }
+}
+
+/** Full load: parse, verify, interpret directives, build the
+ *  Workload. Error strings carry the file-path prefix. */
+std::optional<Workload>
+loadFile(const std::string &path, std::vector<std::string> &errors)
+{
+    auto parsed = text::parseModuleFile(path);
+    if (!parsed.ok()) {
+        const std::string formatted =
+            text::formatDiagnostics(parsed.errors, path);
+        std::size_t start = 0;
+        while (start < formatted.size()) {
+            const auto nl = formatted.find('\n', start);
+            errors.push_back(formatted.substr(start, nl - start));
+            start = nl == std::string::npos ? formatted.size() : nl + 1;
+        }
+        return std::nullopt;
+    }
+
+    const auto verifyErrors = ir::verify(*parsed.module);
+    if (!verifyErrors.empty()) {
+        for (const auto &e : verifyErrors)
+            errors.push_back(path + ": verify: " + e);
+        return std::nullopt;
+    }
+
+    DirectiveReader reader(*parsed.module, errors);
+    const std::size_t before = errors.size();
+    reader.read(parsed.pragmas);
+    for (std::size_t i = before; i < errors.size(); ++i)
+        errors[i] = path + ":" + errors[i];
+    if (errors.size() != before)
+        return std::nullopt;
+
+    if (parsed.module->entryFunction() == ir::kNoFunc) {
+        errors.push_back(path + ": no entry function (add 'entry "
+                                "@\"main\"' to the module)");
+        return std::nullopt;
+    }
+    if (reader.outputs.empty()) {
+        errors.push_back(path + ": corpus workload declares no outputs "
+                                "(add ';! output <global>')");
+        return std::nullopt;
+    }
+
+    Workload w;
+    w.name = reader.workloadName.empty()
+                 ? std::filesystem::path(path).stem().string()
+                 : reader.workloadName;
+    w.module = std::shared_ptr<ir::Module>(std::move(parsed.module));
+    w.outputGlobals = reader.outputs;
+    w.prepare = [actions = reader.actions](emu::Machine &machine,
+                                           InputSet set) {
+        for (const auto &a : actions)
+            if (a.appliesTo(set))
+                applyAction(machine, a);
+    };
+    if (!validName(w.name)) {
+        errors.push_back(path + ": invalid workload name '" + w.name + "'");
+        return std::nullopt;
+    }
+    return w;
+}
+
+struct Registry
+{
+    std::mutex mutex;
+    bool scanned = false;
+    std::map<std::string, std::string> pathByName; // sorted names
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+bool
+isBuiltinName(const std::string &name)
+{
+    const auto names = workloadNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+/** Registration with the registry lock held. */
+std::optional<std::string>
+registerLocked(Registry &reg, const std::string &path,
+               std::vector<std::string> &errors)
+{
+    const auto loaded = loadFile(path, errors);
+    if (!loaded)
+        return std::nullopt;
+    const std::string &name = loaded->name;
+    if (isBuiltinName(name)) {
+        errors.push_back(path + ": workload name '" + name +
+                         "' collides with a built-in workload");
+        return std::nullopt;
+    }
+    // Same file under a different spelling (relative vs absolute) is
+    // an idempotent re-registration, not a collision.
+    std::error_code ec;
+    std::string canonical =
+        std::filesystem::weakly_canonical(path, ec).string();
+    if (ec)
+        canonical = std::filesystem::absolute(path).string();
+    const auto it = reg.pathByName.find(name);
+    if (it != reg.pathByName.end()) {
+        if (it->second == canonical)
+            return name; // idempotent re-registration
+        errors.push_back(path + ": workload name '" + name +
+                         "' already registered from " + it->second);
+        return std::nullopt;
+    }
+    reg.pathByName.emplace(name, canonical);
+    return name;
+}
+
+void
+scanLocked(Registry &reg)
+{
+    if (reg.scanned)
+        return;
+    reg.scanned = true;
+    const std::filesystem::path dir = corpusDir();
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec))
+        return; // no corpus — empty set, not an error
+    std::vector<std::string> files;
+    for (const auto &e : std::filesystem::directory_iterator(dir, ec)) {
+        if (e.path().extension() == ".lc")
+            files.push_back(e.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    std::vector<std::string> errors;
+    for (const auto &f : files)
+        registerLocked(reg, f, errors);
+    if (!errors.empty()) {
+        std::string msg = "corpus scan failed:\n";
+        for (const auto &e : errors)
+            msg += "  " + e + "\n";
+        ccr_fatal(msg);
+    }
+}
+
+} // namespace
+
+std::string
+corpusDir()
+{
+    if (const char *env = std::getenv("CCR_CORPUS_DIR"))
+        return env;
+    return CCR_CORPUS_DIR;
+}
+
+std::vector<std::string>
+corpusWorkloadNames()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    scanLocked(reg);
+    std::vector<std::string> names;
+    names.reserve(reg.pathByName.size());
+    for (const auto &[name, path] : reg.pathByName)
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    auto names = workloadNames();
+    const auto corpus = corpusWorkloadNames();
+    names.insert(names.end(), corpus.begin(), corpus.end());
+    return names;
+}
+
+bool
+isCorpusWorkload(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    scanLocked(reg);
+    return reg.pathByName.count(name) != 0;
+}
+
+Workload
+buildCorpusWorkload(const std::string &name)
+{
+    std::string path;
+    {
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        scanLocked(reg);
+        const auto it = reg.pathByName.find(name);
+        if (it == reg.pathByName.end())
+            ccr_fatal("unknown corpus workload '", name, "'");
+        path = it->second;
+    }
+    // Re-parse outside the lock: parallel driver workers build
+    // concurrently, and each experiment needs an independent module.
+    std::vector<std::string> errors;
+    auto loaded = loadFile(path, errors);
+    if (!loaded) {
+        std::string msg = "corpus workload '" + name + "' failed to load:\n";
+        for (const auto &e : errors)
+            msg += "  " + e + "\n";
+        ccr_fatal(msg);
+    }
+    return std::move(*loaded);
+}
+
+std::optional<std::string>
+tryRegisterWorkloadFile(const std::string &path,
+                        std::vector<std::string> &errors)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    scanLocked(reg);
+    return registerLocked(reg, path, errors);
+}
+
+std::string
+registerWorkloadFile(const std::string &path)
+{
+    std::vector<std::string> errors;
+    const auto name = tryRegisterWorkloadFile(path, errors);
+    if (!name) {
+        std::string msg = "cannot register workload file:\n";
+        for (const auto &e : errors)
+            msg += "  " + e + "\n";
+        ccr_fatal(msg);
+    }
+    return *name;
+}
+
+} // namespace ccr::workloads

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The on-disk workload corpus: `.lc` files parsed by the ccr_text
+ * frontend and registered as workloads, so new benchmarks are a file
+ * drop instead of a C++ rebuild.
+ *
+ * A corpus file is a complete `.lc` module plus `;!` pragma directives
+ * describing its inputs and outputs (see docs/WORKLOADS.md):
+ *
+ *     ;! workload <name>
+ *     ;! output <global>
+ *     ;! set <train|ref|both> <global> <int>
+ *     ;! fill <train|ref|both> <global> zipf seed=<u64> n=<u64>
+ *     ;!      distinct=<u64> theta=<float> max=<int>   (one line)
+ *     ;! fill <train|ref|both> <global> uniform seed=<u64> n=<u64>
+ *     ;!      max=<int>                                (one line)
+ *
+ * Corpus workloads are deliberately kept out of workloadNames(): the
+ * figure benches reproduce the paper's fixed 13-benchmark suite.
+ * Everything else (harness, parallel driver, ExperimentCache,
+ * SimReport) treats them identically to built-in workloads.
+ */
+
+#ifndef CCR_WORKLOADS_CORPUS_HH
+#define CCR_WORKLOADS_CORPUS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace ccr::workloads
+{
+
+/** Directory `.lc` files are discovered in: $CCR_CORPUS_DIR when set,
+ *  else the compiled-in repo default (<source>/corpus). */
+std::string corpusDir();
+
+/** Sorted names of all corpus workloads, discovered lazily (and
+ *  validated) from corpusDir() plus any explicitly registered files.
+ *  Fatal if a file under corpusDir() fails to load — the checked-in
+ *  corpus must always be valid. */
+std::vector<std::string> corpusWorkloadNames();
+
+/** workloadNames() followed by corpusWorkloadNames(). */
+std::vector<std::string> allWorkloadNames();
+
+/** True when @p name resolves to a registered corpus workload. */
+bool isCorpusWorkload(const std::string &name);
+
+/** Build a fresh instance of a corpus workload by re-parsing its
+ *  file (the harness mutates modules in place, so every build must
+ *  return an independent module). Fatal on unknown names. */
+Workload buildCorpusWorkload(const std::string &name);
+
+/**
+ * Parse, verify, and directive-check one `.lc` file, then register it
+ * under its workload name (the `;! workload` directive, defaulting to
+ * the file stem). Returns the name, or std::nullopt after appending
+ * human-readable "file:line:col: message" strings to @p errors.
+ * Re-registering the same path is idempotent.
+ */
+std::optional<std::string>
+tryRegisterWorkloadFile(const std::string &path,
+                        std::vector<std::string> &errors);
+
+/** Fatal-on-error convenience wrapper around tryRegisterWorkloadFile. */
+std::string registerWorkloadFile(const std::string &path);
+
+} // namespace ccr::workloads
+
+#endif // CCR_WORKLOADS_CORPUS_HH

@@ -45,27 +45,25 @@ configJson(const RunConfig &config)
 }
 
 /**
- * Assemble the RunReport from the run's registries and fill the
- * legacy RunResult views from the same source of truth. @p ccr_pipe
+ * Assemble the RunReport from the run's registries. @p ccr_pipe
  * carries the timed CCR run's full registry (stall attribution,
- * caches, predictor); the base run contributes only its TimingResult
- * scalars, which are identical whether or not the base stage came
- * from the experiment cache.
+ * caches, predictor); the base run contributes the counter snapshots
+ * carried by @p base, which are identical whether or not the base
+ * stage came from the experiment cache.
  */
 void
 buildRunReport(RunResult &result, const std::string &workload_name,
-               const RunConfig &config, uarch::Crb &crb,
-               uarch::Pipeline &ccr_pipe)
+               const RunConfig &config, const BaseRunData &base,
+               uarch::Crb &crb, uarch::Pipeline &ccr_pipe)
 {
     crb.snapshotOccupancy();
 
     obs::MetricRegistry agg;
     agg.counter("base.pipe.cycles") += result.base.cycles;
     agg.counter("base.pipe.insts") += result.base.insts;
-    agg.counter("base.icache.misses") += result.base.icacheMisses;
-    agg.counter("base.dcache.misses") += result.base.dcacheMisses;
-    agg.counter("base.bpred.mispredicts") +=
-        result.base.branchMispredicts;
+    agg.counter("base.icache.misses") += base.icacheMisses;
+    agg.counter("base.dcache.misses") += base.dcacheMisses;
+    agg.counter("base.bpred.mispredicts") += base.branchMispredicts;
     agg.merge(ccr_pipe.metrics(), "ccr");
     agg.merge(crb.metrics(), "");
     agg.counter("formation.cyclicFormed") += static_cast<std::uint64_t>(
@@ -83,22 +81,18 @@ buildRunReport(RunResult &result, const std::string &workload_name,
     agg.counter("regions.formed") +=
         static_cast<std::uint64_t>(result.regions.size());
 
-    // Legacy views are filled from the registry — the single source —
-    // and cross-checked against the pipeline's independent tally
-    // below (shim-period invariant).
-    result.crbQueries = agg.get("crb.queries");
-    result.crbHits = agg.get("crb.hits");
-    result.crbInvalidates = agg.get("crb.invalidates");
-    result.hitsByRegion = crb.hitsByRegion();
-    ccr_assert(result.crbHits == result.ccr.reuseHits
-                   && result.crbQueries
-                          == result.ccr.reuseHits
-                                 + result.ccr.reuseMisses,
-               "legacy telemetry views disagree: CRB counted ",
-               result.crbHits, "/", result.crbQueries,
-               " hits/queries but the pipeline observed ",
-               result.ccr.reuseHits, " hits and ",
-               result.ccr.reuseMisses, " misses");
+    // The CRB and the pipeline count reuse events independently; they
+    // must agree before the report is published.
+    const std::uint64_t crb_queries = agg.get("crb.queries");
+    const std::uint64_t crb_hits = agg.get("crb.hits");
+    const std::uint64_t pipe_hits = agg.get("ccr.reuse.hits");
+    const std::uint64_t pipe_misses = agg.get("ccr.reuse.misses");
+    ccr_assert(crb_hits == pipe_hits
+                   && crb_queries == pipe_hits + pipe_misses,
+               "telemetry registries disagree: CRB counted ", crb_hits,
+               "/", crb_queries,
+               " hits/queries but the pipeline observed ", pipe_hits,
+               " hits and ", pipe_misses, " misses");
 
     obs::RunReport &report = result.report;
     report.workload = workload_name;
@@ -112,11 +106,12 @@ buildRunReport(RunResult &result, const std::string &workload_name,
     report.derived["instsEliminated"] =
         obs::Json(result.instsEliminated());
     report.derived["crbHitRate"] = obs::Json(
-        obs::ratio(static_cast<double>(result.crbHits),
-                   static_cast<double>(result.crbQueries)));
+        obs::ratio(static_cast<double>(crb_hits),
+                   static_cast<double>(crb_queries)));
     report.derived["outputsMatch"] = obs::Json(result.outputsMatch);
 
     // Per-region attribution, sorted by region id for determinism.
+    const auto &hits_by_region = crb.hitsByRegion();
     std::vector<const core::ReuseRegion *> regions;
     regions.reserve(result.regions.size());
     for (const auto &region : result.regions.regions())
@@ -125,8 +120,8 @@ buildRunReport(RunResult &result, const std::string &workload_name,
               [](const auto *a, const auto *b) { return a->id < b->id; });
     for (const auto *region : regions) {
         std::uint64_t hits = 0;
-        const auto it = result.hitsByRegion.find(region->id);
-        if (it != result.hitsByRegion.end())
+        const auto it = hits_by_region.find(region->id);
+        if (it != hits_by_region.end())
             hits = it->second;
         obs::Json r = obs::Json::object();
         r["id"] = obs::Json(static_cast<std::uint64_t>(region->id));
@@ -141,6 +136,15 @@ buildRunReport(RunResult &result, const std::string &workload_name,
 }
 
 } // namespace
+
+void
+snapshotBaseCounters(BaseRunData &data, const uarch::Pipeline &pipe)
+{
+    const obs::MetricRegistry &m = pipe.metrics();
+    data.icacheMisses = m.get("icache.misses");
+    data.dcacheMisses = m.get("dcache.misses");
+    data.branchMispredicts = m.get("pipe.branchMispredicts");
+}
 
 profile::ProfileData
 profileWorkload(const Workload &workload, InputSet set,
@@ -183,14 +187,11 @@ runCcrExperiment(const std::string &workload_name,
     RunResult result;
 
     // -- Base machine: untransformed code, no CRB ----------------------
-    std::vector<ir::Value> base_outputs;
+    std::shared_ptr<const BaseRunData> base_data;
     if (cache) {
-        const auto base =
-            cache->baseRun(workload_name, config.optimizeBase,
-                           config.measureInput, config.pipe,
-                           config.maxInsts);
-        result.base = base->timing;
-        base_outputs = base->outputs;
+        base_data = cache->baseRun(workload_name, config.optimizeBase,
+                                   config.measureInput, config.pipe,
+                                   config.maxInsts);
     } else {
         const Workload base = buildWorkload(workload_name);
         if (config.optimizeBase) {
@@ -200,10 +201,14 @@ runCcrExperiment(const std::string &workload_name,
         emu::Machine machine(*base.module);
         base.prepare(machine, config.measureInput);
         uarch::Pipeline pipe(config.pipe);
-        result.base = pipe.run(machine, config.maxInsts);
+        auto data = std::make_shared<BaseRunData>();
+        data->timing = pipe.run(machine, config.maxInsts);
         ccr_assert(machine.halted(), "base run did not complete");
-        base_outputs = readOutputs(machine, base);
+        snapshotBaseCounters(*data, pipe);
+        data->outputs = readOutputs(machine, base);
+        base_data = std::move(data);
     }
+    result.base = base_data->timing;
 
     // -- CCR machine: profile, form regions, run with the CRB ----------
     {
@@ -262,9 +267,10 @@ runCcrExperiment(const std::string &workload_name,
         ccr_assert(machine.halted(), "CCR run did not complete");
 
         const auto ccr_outputs = readOutputs(machine, ccr);
-        result.outputsMatch = ccr_outputs == base_outputs;
+        result.outputsMatch = ccr_outputs == base_data->outputs;
 
-        buildRunReport(result, workload_name, config, crb, pipe);
+        buildRunReport(result, workload_name, config, *base_data, crb,
+                       pipe);
     }
 
     return result;

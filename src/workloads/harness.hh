@@ -13,7 +13,6 @@
 #define CCR_WORKLOADS_HARNESS_HH
 
 #include <memory>
-#include <unordered_map>
 
 #include "core/former.hh"
 #include "obs/report.hh"
@@ -63,11 +62,12 @@ struct RunConfig
  * Results of one experiment run.
  *
  * The machine-readable surface is `report` (an obs::RunReport feeding
- * SimReport JSON/CSV). The scalar fields below are thin legacy views
- * over the same registry counters, kept for one PR: `crbQueries` /
- * `crbHits` mirror "crb.queries"/"crb.hits" and `ccr.reuseHits` /
- * `ccr.reuseMisses` mirror the pipeline's "reuse.*" counters; the
- * harness asserts the two views agree during the shim period.
+ * SimReport JSON/CSV): every event count — CRB queries/hits, cache
+ * misses, mispredicts, per-region attribution — lives in
+ * `report.metrics` and `report.regions` under the names documented in
+ * obs/metrics.hh. Only the cycle/instruction headlines and the
+ * structural results (regions, formation stats) are mirrored as
+ * struct fields for convenience.
  */
 struct RunResult
 {
@@ -83,12 +83,6 @@ struct RunResult
     /** Event trace of the CCR run; non-null only when
      *  RunConfig::telemetry.enabled was set. */
     std::shared_ptr<obs::TraceSink> trace;
-
-    /** @deprecated Read report.metrics ("crb.*") instead. */
-    std::uint64_t crbQueries = 0;
-    std::uint64_t crbHits = 0;
-    std::uint64_t crbInvalidates = 0;
-    std::unordered_map<ir::RegionId, std::uint64_t> hitsByRegion;
 
     bool outputsMatch = false;
 

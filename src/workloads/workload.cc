@@ -1,6 +1,7 @@
 #include "workloads/workload.hh"
 
 #include "support/logging.hh"
+#include "workloads/corpus.hh"
 
 namespace ccr::workloads
 {
@@ -42,6 +43,8 @@ buildWorkload(const std::string &name)
         return buildMpeg2enc();
     if (name == "pgpencode")
         return buildPgpencode();
+    if (isCorpusWorkload(name))
+        return buildCorpusWorkload(name);
     ccr_fatal("unknown workload '", name, "'");
 }
 

@@ -139,10 +139,10 @@ TEST(Crb, FirstUseMissesThenHits)
     uarch::Crb crb{uarch::CrbParams{}};
     const std::vector<std::int64_t> vals{7, 7, 7, 7};
     EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
-    EXPECT_EQ(crb.stats().get("queries"), 4u);
-    EXPECT_EQ(crb.stats().get("misses"), 1u);
-    EXPECT_EQ(crb.stats().get("hits"), 3u);
-    EXPECT_EQ(crb.stats().get("memoCommits"), 1u);
+    EXPECT_EQ(crb.metrics().get("crb.queries"), 4u);
+    EXPECT_EQ(crb.metrics().get("crb.misses"), 1u);
+    EXPECT_EQ(crb.metrics().get("crb.hits"), 3u);
+    EXPECT_EQ(crb.metrics().get("crb.memoCommits"), 1u);
 }
 
 TEST(Crb, DistinctInputsEachMissOnce)
@@ -151,8 +151,8 @@ TEST(Crb, DistinctInputsEachMissOnce)
     uarch::Crb crb{uarch::CrbParams{}};
     const std::vector<std::int64_t> vals{1, 2, 3, 1, 2, 3, 1, 2, 3};
     EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
-    EXPECT_EQ(crb.stats().get("misses"), 3u);
-    EXPECT_EQ(crb.stats().get("hits"), 6u);
+    EXPECT_EQ(crb.metrics().get("crb.misses"), 3u);
+    EXPECT_EQ(crb.metrics().get("crb.hits"), 6u);
 }
 
 TEST(Crb, LruInstanceReplacement)
@@ -165,8 +165,8 @@ TEST(Crb, LruInstanceReplacement)
     // least recently used instance => every access misses.
     const std::vector<std::int64_t> vals{1, 2, 3, 1, 2, 3, 1, 2, 3};
     EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
-    EXPECT_EQ(crb.stats().get("hits"), 0u);
-    EXPECT_EQ(crb.stats().get("misses"), 9u);
+    EXPECT_EQ(crb.metrics().get("crb.hits"), 0u);
+    EXPECT_EQ(crb.metrics().get("crb.misses"), 9u);
 }
 
 TEST(Crb, LruKeepsHotInstance)
@@ -179,7 +179,7 @@ TEST(Crb, LruKeepsHotInstance)
     const std::vector<std::int64_t> vals{1, 2, 1, 3, 1, 2, 1, 3};
     EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
     // 1 hits on every revisit (3 hits); 2/3 always miss after warmup.
-    EXPECT_EQ(crb.stats().get("hits"), 3u);
+    EXPECT_EQ(crb.metrics().get("crb.hits"), 3u);
 }
 
 TEST(Crb, MoreInstancesMoreHits)
@@ -196,7 +196,7 @@ TEST(Crb, MoreInstancesMoreHits)
                 vals.push_back(v);
         }
         EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
-        hits.push_back(crb.stats().get("hits"));
+        hits.push_back(crb.metrics().get("crb.hits"));
     }
     EXPECT_LE(hits[0], hits[1]);
     EXPECT_LE(hits[1], hits[2]);
@@ -210,12 +210,12 @@ TEST(Crb, InvalidateKillsMemoryInstances)
     uarch::Crb crb{uarch::CrbParams{}};
     // Prime the CRB with value 5.
     prog.run(crb, {5, 5});
-    EXPECT_EQ(crb.stats().get("hits"), 1u);
+    EXPECT_EQ(crb.metrics().get("crb.hits"), 1u);
 
     // The region has no loads, so invalidation must NOT affect it.
     crb.onInvalidate(prog.region);
     prog.run(crb, {5});
-    EXPECT_EQ(crb.stats().get("hits"), 2u);
+    EXPECT_EQ(crb.metrics().get("crb.hits"), 2u);
 }
 
 TEST(Crb, EntryConflictEvicts)
@@ -226,12 +226,12 @@ TEST(Crb, EntryConflictEvicts)
     params.entries = 1;
     uarch::Crb crb(params);
     prog.run(crb, {4, 4});
-    EXPECT_EQ(crb.stats().get("hits"), 1u);
+    EXPECT_EQ(crb.metrics().get("crb.hits"), 1u);
     // Query a different region id: it maps to the same entry and
     // re-tags it.
     emu::Machine machine(prog.m);
     crb.onReuse(prog.region + 1, machine);
-    EXPECT_EQ(crb.stats().get("conflictEvictions"), 1u);
+    EXPECT_EQ(crb.metrics().get("crb.conflictEvictions"), 1u);
 }
 
 TEST(Crb, ReusedOutputsAreLatestValues)
@@ -260,7 +260,7 @@ TEST(Crb, NonuniformSmallEntriesHaveFewerInstances)
     const std::vector<std::int64_t> vals{1, 2, 1, 2};
     prog.run(crb, vals);
     // id 0 -> full instance count -> 2 hits after warmup.
-    EXPECT_EQ(crb.stats().get("hits"), 2u);
+    EXPECT_EQ(crb.metrics().get("crb.hits"), 2u);
 }
 
 TEST(Crb, MemCapablePartitionDropsMemoryCommits)
@@ -319,15 +319,15 @@ TEST(Crb, MemCapablePartitionDropsMemoryCommits)
     emu::Machine machine(m);
     machine.setReuseHandler(&crb);
     machine.run();
-    EXPECT_EQ(crb.stats().get("hits"), 0u);
-    EXPECT_EQ(crb.stats().get("memoDroppedNotMemCapable"), 6u);
+    EXPECT_EQ(crb.metrics().get("crb.hits"), 0u);
+    EXPECT_EQ(crb.metrics().get("crb.memoDroppedNotMemCapable"), 6u);
 
     // Control: with uniform mem capability the same program hits.
     uarch::Crb crb2{uarch::CrbParams{}};
     emu::Machine machine2(m);
     machine2.setReuseHandler(&crb2);
     machine2.run();
-    EXPECT_EQ(crb2.stats().get("hits"), 5u);
+    EXPECT_EQ(crb2.metrics().get("crb.hits"), 5u);
 }
 
 TEST(Crb, ResetClearsEverything)
@@ -335,12 +335,12 @@ TEST(Crb, ResetClearsEverything)
     CrbProgram prog;
     uarch::Crb crb{uarch::CrbParams{}};
     prog.run(crb, {9, 9});
-    EXPECT_GT(crb.stats().get("hits"), 0u);
+    EXPECT_GT(crb.metrics().get("crb.hits"), 0u);
     crb.reset();
-    EXPECT_EQ(crb.stats().get("hits"), 0u);
+    EXPECT_EQ(crb.metrics().get("crb.hits"), 0u);
     EXPECT_TRUE(crb.hitsByRegion().empty());
     prog.run(crb, {9});
-    EXPECT_EQ(crb.stats().get("misses"), 1u);
+    EXPECT_EQ(crb.metrics().get("crb.misses"), 1u);
 }
 
 TEST(Crb, HitsByRegionAttribution)

@@ -230,9 +230,9 @@ TEST(FnLevel, SemanticsPreservedWithAndWithoutCrb)
     EXPECT_EQ(m2.memory().read(m2.globalAddr(fx.out), MemSize::Dword,
                                false),
               expect);
-    EXPECT_GT(crb.stats().get("hits"), 100u);
+    EXPECT_GT(crb.metrics().get("crb.hits"), 100u);
     // The mutator invalidates the table_sum region's instances.
-    EXPECT_GT(crb.stats().get("invalidates"), 0u);
+    EXPECT_GT(crb.metrics().get("crb.invalidates"), 0u);
     // Hits skip entire calls: far fewer dynamic instructions.
     EXPECT_LT(m2.instCount(), m1.instCount());
 }

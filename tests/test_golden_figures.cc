@@ -60,8 +60,8 @@ renderCsv(const RunPlan &plan, const std::vector<RunResult> &results)
                   std::to_string(r.base.cycles),
                   std::to_string(r.ccr.cycles),
                   Table::fmt(r.speedup(), 3),
-                  std::to_string(r.crbQueries),
-                  std::to_string(r.crbHits),
+                  std::to_string(r.report.metric("crb.queries")),
+                  std::to_string(r.report.metric("crb.hits")),
                   std::to_string(r.regions.size()),
                   r.outputsMatch ? "1" : "0"});
     }

@@ -70,7 +70,7 @@ TEST(Integration, InvalidationsFireUnderMutation)
     // invalidations and the CRB must observe them.
     const auto r = runCcrExperiment("m88ksim", configWith(128, 8));
     EXPECT_GT(r.formation.invalidationsPlaced, 0);
-    EXPECT_GT(r.crbInvalidates, 0u);
+    EXPECT_GT(r.report.metric("crb.invalidates"), 0u);
     EXPECT_TRUE(r.outputsMatch);
 }
 
@@ -120,9 +120,12 @@ TEST(Integration, RegionPotentialExceedsBlockPotential)
 TEST(Integration, CrbHitsDriveSpeedup)
 {
     const auto r = runCcrExperiment("espresso", configWith(128, 8));
-    EXPECT_GT(r.crbHits, 0u);
-    EXPECT_EQ(r.crbHits, r.ccr.reuseHits);
-    EXPECT_EQ(r.crbQueries, r.ccr.reuseHits + r.ccr.reuseMisses);
+    EXPECT_GT(r.report.metric("crb.hits"), 0u);
+    EXPECT_EQ(r.report.metric("crb.hits"),
+              r.report.metric("ccr.reuse.hits"));
+    EXPECT_EQ(r.report.metric("crb.queries"),
+              r.report.metric("ccr.reuse.hits")
+                  + r.report.metric("ccr.reuse.misses"));
 }
 
 TEST(Integration, TinyCrbStillCorrectEvenIfSlow)
@@ -134,10 +137,14 @@ TEST(Integration, TinyCrbStillCorrectEvenIfSlow)
 TEST(Integration, HitsByRegionAccountedToFormedRegions)
 {
     const auto r = runCcrExperiment("gcc", configWith(128, 8));
-    for (const auto &[region, hits] : r.hitsByRegion) {
-        EXPECT_NE(r.regions.find(region), nullptr);
-        EXPECT_GT(hits, 0u);
+    std::uint64_t attributed = 0;
+    for (const auto &region : r.report.regions.items()) {
+        EXPECT_NE(r.regions.find(static_cast<ir::RegionId>(
+                      region.at("id").asUint())),
+                  nullptr);
+        attributed += region.at("hits").asUint();
     }
+    EXPECT_EQ(attributed, r.report.metric("crb.hits"));
 }
 
 TEST(Integration, ReorderAblationStillCorrect)

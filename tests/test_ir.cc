@@ -364,10 +364,33 @@ TEST(Printer, ContainsStructure)
     b.movI(5);
     b.halt();
     const auto s = moduleToString(m);
-    EXPECT_NE(s.find("module demo"), std::string::npos);
-    EXPECT_NE(s.find("tab"), std::string::npos);
-    EXPECT_NE(s.find("func @main"), std::string::npos);
+    EXPECT_NE(s.find("module \"demo\""), std::string::npos);
+    EXPECT_NE(s.find("global @\"tab\" [16 bytes] const"), std::string::npos);
+    EXPECT_NE(s.find("func @\"main\""), std::string::npos);
     EXPECT_NE(s.find("movi"), std::string::npos);
+}
+
+TEST(Printer, QuotesAndEscapesNames)
+{
+    EXPECT_EQ(quoteName("plain"), "\"plain\"");
+    EXPECT_EQ(quoteName("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    EXPECT_EQ(quoteName(std::string("x\n\t\r\x01", 5)),
+              "\"x\\n\\t\\r\\x01\"");
+}
+
+TEST(Printer, EmitsEntryAndInitBytes)
+{
+    Module m("demo");
+    Global &g = m.addGlobal("tab", 4, true);
+    g.init = {0x00, 0xab, 0xff};
+    Function &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    b.halt();
+    m.setEntryFunction(f.id());
+    const auto s = moduleToString(m);
+    EXPECT_NE(s.find("entry @\"main\""), std::string::npos);
+    EXPECT_NE(s.find("init=x\"00abff\""), std::string::npos);
 }
 
 } // namespace

@@ -424,8 +424,10 @@ TEST(Telemetry, KnobProducesTraceWithoutChangingResults)
     // Telemetry is observation-only: simulated results identical.
     EXPECT_EQ(traced.base.cycles, plain.base.cycles);
     EXPECT_EQ(traced.ccr.cycles, plain.ccr.cycles);
-    EXPECT_EQ(traced.crbHits, plain.crbHits);
-    EXPECT_EQ(traced.crbQueries, plain.crbQueries);
+    EXPECT_EQ(traced.report.metric("crb.hits"),
+              plain.report.metric("crb.hits"));
+    EXPECT_EQ(traced.report.metric("crb.queries"),
+              plain.report.metric("crb.queries"));
 
     ASSERT_NE(traced.trace, nullptr);
     EXPECT_GT(traced.trace->emitted(), 0u);
@@ -447,11 +449,13 @@ TEST(Telemetry, RunReportCarriesRegistryAndRegions)
     EXPECT_EQ(report.workload, "compress");
     EXPECT_EQ(report.config.at("crb.entries").asInt(), 128);
 
-    // Legacy views and the registry agree (shim-period invariant).
-    EXPECT_EQ(report.metrics.at("crb.hits").asUint(), r.crbHits);
-    EXPECT_EQ(report.metrics.at("crb.queries").asUint(), r.crbQueries);
-    EXPECT_EQ(report.metrics.at("ccr.reuse.hits").asUint(),
-              r.ccr.reuseHits);
+    // The CRB and pipeline registries agree on reuse traffic, and the
+    // headline mirrors match the registry.
+    EXPECT_EQ(report.metrics.at("crb.hits").asUint(),
+              report.metrics.at("ccr.reuse.hits").asUint());
+    EXPECT_EQ(report.metrics.at("crb.queries").asUint(),
+              report.metrics.at("ccr.reuse.hits").asUint()
+                  + report.metrics.at("ccr.reuse.misses").asUint());
     EXPECT_EQ(report.metrics.at("ccr.pipe.cycles").asUint(),
               r.ccr.cycles);
     EXPECT_EQ(report.metrics.at("base.pipe.cycles").asUint(),
@@ -465,26 +469,18 @@ TEST(Telemetry, RunReportCarriesRegistryAndRegions)
                   .asString(),
               "histogram");
 
-    // Per-region attribution sums to the total hit count.
+    // Per-region attribution sums to the total hit count, and the
+    // regionHits helper reads the same array.
     std::uint64_t hits = 0;
-    for (const auto &region : report.regions.items())
+    for (const auto &region : report.regions.items()) {
         hits += region.at("hits").asUint();
-    EXPECT_EQ(hits, r.crbHits);
+        EXPECT_EQ(report.regionHits(region.at("id").asUint()),
+                  region.at("hits").asUint());
+    }
+    EXPECT_EQ(hits, report.metric("crb.hits"));
 
     EXPECT_DOUBLE_EQ(report.derived.at("speedup").asDouble(),
                      r.speedup());
-}
-
-TEST(Telemetry, CrbLegacyStatsShimMatchesRegistry)
-{
-    uarch::Crb crb;
-    EXPECT_EQ(crb.stats().get("hits"), crb.metrics().get("crb.hits"));
-    // The shim is a read-only snapshot of the registry.
-    workloads::RunConfig config;
-    const auto r = workloads::runCcrExperiment("compress", config);
-    EXPECT_EQ(r.report.metrics.at("crb.memoCommits").asUint(),
-              r.report.metrics.at("crb.memoCommits").asUint());
-    (void)r;
 }
 
 } // namespace

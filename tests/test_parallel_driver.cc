@@ -42,22 +42,29 @@ smallPlan()
 }
 
 /** Everything observable about a RunResult, flattened for equality
- *  comparison (hitsByRegion is ordered for stability). */
+ *  comparison. The report's metric snapshot covers the base and CCR
+ *  counters; its per-region array is already sorted by id. */
 std::string
 fingerprint(const RunResult &r)
 {
     std::ostringstream os;
     os << r.base.cycles << '/' << r.base.insts << '/'
-       << r.base.icacheMisses << '/' << r.base.dcacheMisses << '/'
-       << r.base.branchMispredicts << '|' << r.ccr.cycles << '/'
-       << r.ccr.insts << '/' << r.ccr.reuseHits << '/'
-       << r.ccr.reuseMisses << '|' << r.crbQueries << '/' << r.crbHits
-       << '/' << r.crbInvalidates << '|' << r.regions.size() << '|'
-       << r.outputsMatch;
-    std::set<std::pair<ir::RegionId, std::uint64_t>> hits(
-        r.hitsByRegion.begin(), r.hitsByRegion.end());
-    for (const auto &[region, count] : hits)
-        os << '|' << region << ':' << count;
+       << r.report.metric("base.icache.misses") << '/'
+       << r.report.metric("base.dcache.misses") << '/'
+       << r.report.metric("base.bpred.mispredicts") << '|'
+       << r.ccr.cycles << '/' << r.ccr.insts << '/'
+       << r.report.metric("ccr.reuse.hits") << '/'
+       << r.report.metric("ccr.reuse.misses") << '|'
+       << r.report.metric("crb.queries") << '/'
+       << r.report.metric("crb.hits") << '/'
+       << r.report.metric("crb.invalidates") << '|'
+       << r.regions.size() << '|' << r.outputsMatch;
+    for (const auto &region : r.report.regions.items()) {
+        if (region.at("hits").asUint() == 0)
+            continue;
+        os << '|' << region.at("id").asUint() << ':'
+           << region.at("hits").asUint();
+    }
     return os.str();
 }
 
@@ -81,11 +88,9 @@ renderTable(const RunPlan &plan, const std::vector<RunResult> &results)
     for (std::size_t i = 0; i < plan.size(); ++i) {
         const auto &p = plan.points()[i];
         const auto &r = results[i];
-        const double rate =
-            r.crbQueries == 0
-                ? 0.0
-                : static_cast<double>(r.crbHits)
-                      / static_cast<double>(r.crbQueries);
+        const double rate = obs::ratio(
+            static_cast<double>(r.report.metric("crb.hits")),
+            static_cast<double>(r.report.metric("crb.queries")));
         t.addRow({p.workload, std::to_string(p.config.crb.entries),
                   std::to_string(p.config.crb.instances),
                   Table::fmt(r.speedup(), 3), Table::pct(rate, 1)});
@@ -186,7 +191,8 @@ TEST(ParallelDriver, ResultsArriveInPlanOrder)
     const auto results = runPlan(plan, opts);
     ASSERT_EQ(results.size(), 2u);
     // The larger CRB can only do at least as well on hits.
-    EXPECT_GE(results[0].crbHits, results[1].crbHits);
+    EXPECT_GE(results[0].report.metric("crb.hits"),
+              results[1].report.metric("crb.hits"));
 }
 
 TEST(ExperimentCache, SharesExpensiveStagesAcrossPoints)

@@ -105,8 +105,20 @@ TEST(BranchPred, UnconditionalBtb)
     EXPECT_FALSE(bp.lookupUnconditional(0x500, 0xA00));
 }
 
+/** Headline timing plus the registry counters these tests assert on. */
+struct TimedRun
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheMisses = 0;
+    std::uint64_t branchMispredicts = 0;
+
+    double ipc() const { return obs::ipc(insts, cycles); }
+};
+
 /** Build a module from a body functor and time it. */
-uarch::TimingResult
+TimedRun
 timeProgram(const std::function<void(Module &, IRBuilder &)> &body,
             uarch::PipelineParams params = {})
 {
@@ -120,7 +132,14 @@ timeProgram(const std::function<void(Module &, IRBuilder &)> &body,
     body(*m, b);
     emu::Machine machine(*m);
     uarch::Pipeline pipe(params);
-    return pipe.run(machine);
+    const auto t = pipe.run(machine);
+    TimedRun r;
+    r.cycles = t.cycles;
+    r.insts = t.insts;
+    r.icacheMisses = pipe.metrics().get("icache.misses");
+    r.dcacheMisses = pipe.metrics().get("dcache.misses");
+    r.branchMispredicts = pipe.metrics().get("pipe.branchMispredicts");
+    return r;
 }
 
 TEST(Pipeline, IndependentOpsIssueWide)

@@ -283,7 +283,7 @@ TEST_P(CrbGeometry, WorkloadStaysCorrect)
     cfg.crb.assoc = assoc;
     const auto r = workloads::runCcrExperiment("li", cfg);
     EXPECT_TRUE(r.outputsMatch);
-    EXPECT_LE(r.crbHits, r.crbQueries);
+    EXPECT_LE(r.report.metric("crb.hits"), r.report.metric("crb.queries"));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -682,12 +682,12 @@ TEST_P(CrbReferenceModel, RandomOpsMatchNaiveModel)
     }
 
     // Aggregate behavior must agree exactly.
-    EXPECT_EQ(crb.stats().get("queries"), ref.queries());
-    EXPECT_EQ(crb.stats().get("hits"), ref.hits());
-    EXPECT_EQ(crb.stats().get("misses"), ref.misses());
-    EXPECT_EQ(crb.stats().get("invalidates"), ref.invalidates());
-    EXPECT_EQ(crb.stats().get("memoCommits"), ref.commits());
-    EXPECT_EQ(crb.stats().get("memoAborts"), ref.aborts());
+    EXPECT_EQ(crb.metrics().get("crb.queries"), ref.queries());
+    EXPECT_EQ(crb.metrics().get("crb.hits"), ref.hits());
+    EXPECT_EQ(crb.metrics().get("crb.misses"), ref.misses());
+    EXPECT_EQ(crb.metrics().get("crb.invalidates"), ref.invalidates());
+    EXPECT_EQ(crb.metrics().get("crb.memoCommits"), ref.commits());
+    EXPECT_EQ(crb.metrics().get("crb.memoAborts"), ref.aborts());
     EXPECT_GT(ref.hits(), 0u);
     EXPECT_GT(ref.commits(), 0u);
 }

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * ccrc — the .lc workload compiler/runner.
+ *
+ * Parses a textual Lcode module (see docs/WORKLOADS.md for the
+ * grammar), verifies it, and — unless asked to stop earlier — runs
+ * the full CCR experiment on it: train-profile, region formation,
+ * timed base vs CCR runs, output equivalence check, SimReport.
+ *
+ *     ccrc <file.lc>                  parse, verify, run, summarize
+ *     ccrc <file.lc> --verify-only    parse + verify + directives only
+ *     ccrc <file.lc> --print          echo the canonical .lc form
+ *     ccrc <file.lc> --optimize       classic-optimized baseline
+ *     ccrc <file.lc> --measure ref    measure on the Ref input set
+ *     ccrc <file.lc> --report out.json   write the SimReport JSON
+ *
+ * Exit codes: 0 success, 1 load/verify error or output mismatch,
+ * 2 usage error.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "obs/report.hh"
+#include "support/table.hh"
+#include "text/parser.hh"
+#include "workloads/corpus.hh"
+#include "workloads/harness.hh"
+
+namespace
+{
+
+using namespace ccr;
+
+int
+usage(std::ostream &os)
+{
+    os << "usage: ccrc <file.lc> [options]\n"
+          "  --print            print the canonical form and exit\n"
+          "  --verify-only      stop after parse/verify/directives\n"
+          "  --optimize         classic-optimize the base and CCR "
+          "modules\n"
+          "  --profile <set>    profiling input set (train|ref)\n"
+          "  --measure <set>    measured input set (train|ref)\n"
+          "  --max-insts <n>    emulated instruction cap per run\n"
+          "  --report <path>    write the SimReport JSON\n";
+    return 2;
+}
+
+bool
+parseInputSet(const std::string &arg, workloads::InputSet &out)
+{
+    if (arg == "train")
+        out = workloads::InputSet::Train;
+    else if (arg == "ref")
+        out = workloads::InputSet::Ref;
+    else
+        return false;
+    return true;
+}
+
+/** --print: parse and verify the file, then echo the canonical .lc
+ *  text the printer emits (a parse/print fixpoint). */
+int
+printCanonical(const std::string &path)
+{
+    const text::ParseResult parsed = text::parseModuleFile(path);
+    if (!parsed.ok()) {
+        std::cerr << text::formatDiagnostics(parsed.errors, path);
+        return 1;
+    }
+    const auto errors = ir::verify(*parsed.module);
+    for (const auto &e : errors)
+        std::cerr << path << ": verify: " << e << "\n";
+    if (!errors.empty())
+        return 1;
+    std::cout << ir::moduleToString(*parsed.module);
+    return 0;
+}
+
+int
+runExperiment(const std::string &path, const std::string &name,
+              const workloads::RunConfig &config,
+              const std::string &report_path)
+{
+    const auto r = workloads::runCcrExperiment(name, config);
+
+    std::cout << "workload '" << name << "' from " << path << "\n";
+    std::cout << "base: " << r.base.cycles << " cycles, "
+              << r.base.insts << " insts (ipc "
+              << Table::fmt(r.base.ipc(), 3) << ")\n";
+    std::cout << "ccr:  " << r.ccr.cycles << " cycles, " << r.ccr.insts
+              << " insts (ipc " << Table::fmt(r.ccr.ipc(), 3) << ")\n";
+    const std::uint64_t queries = r.report.metric("crb.queries");
+    const std::uint64_t hits = r.report.metric("crb.hits");
+    std::cout << "speedup " << Table::fmt(r.speedup(), 3)
+              << "x, insts eliminated "
+              << Table::pct(r.instsEliminated()) << ", crb hits "
+              << hits << "/" << queries << "\n";
+    std::cout << "regions formed: " << r.regions.size() << "\n";
+    std::cout << "outputs match: " << (r.outputsMatch ? "yes" : "NO")
+              << "\n";
+
+    if (!report_path.empty()) {
+        obs::SimReport report;
+        report.generator = "ccrc";
+        report.runs.push_back(r.report);
+        std::string err;
+        if (!report.writeJsonFile(report_path, &err)) {
+            std::cerr << "ccrc: cannot write report: " << err << "\n";
+            return 1;
+        }
+        std::cerr << "report: 1 run -> " << report_path << " (schema v"
+                  << obs::kSchemaVersion << ")\n";
+    }
+    return r.outputsMatch ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string report_path;
+    bool print_only = false;
+    bool verify_only = false;
+    workloads::RunConfig config;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--print") {
+            print_only = true;
+        } else if (arg == "--verify-only") {
+            verify_only = true;
+        } else if (arg == "--optimize") {
+            config.optimizeBase = true;
+        } else if (arg == "--profile" && i + 1 < argc) {
+            if (!parseInputSet(argv[++i], config.profileInput))
+                return usage(std::cerr);
+        } else if (arg == "--measure" && i + 1 < argc) {
+            if (!parseInputSet(argv[++i], config.measureInput))
+                return usage(std::cerr);
+        } else if (arg == "--max-insts" && i + 1 < argc) {
+            config.maxInsts = std::strtoull(argv[++i], nullptr, 10);
+            if (config.maxInsts == 0)
+                return usage(std::cerr);
+        } else if (arg == "--report" && i + 1 < argc) {
+            report_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "ccrc: unknown option '" << arg << "'\n";
+            return usage(std::cerr);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::cerr << "ccrc: more than one input file\n";
+            return usage(std::cerr);
+        }
+    }
+    if (path.empty())
+        return usage(std::cerr);
+
+    if (print_only)
+        return printCanonical(path);
+
+    std::vector<std::string> errors;
+    const auto name = workloads::tryRegisterWorkloadFile(path, errors);
+    if (!name) {
+        for (const auto &e : errors)
+            std::cerr << e << "\n";
+        return 1;
+    }
+    if (verify_only) {
+        std::cout << path << ": ok (workload '" << *name << "')\n";
+        return 0;
+    }
+    return runExperiment(path, *name, config, report_path);
+}

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Emulator wall-clock benchmark: times the stages whose speed bounds
+ * every experiment the repo can afford — raw emulation of the full
+ * workload suite, the Figure 8(a)/8(b) CCR sweeps, and the corpus —
+ * and writes the measurements to a JSON file (BENCH_emulator.json at
+ * the repo root by convention; see docs/PERFORMANCE.md).
+ *
+ * Unlike the figure benches, this binary's product is wall-clock
+ * numbers, not simulated results: nothing here is expected to be
+ * byte-identical across machines. When `--baseline <path>` names a
+ * previous run's JSON, per-phase speedups against it are computed and
+ * embedded, which is how the repo tracks its performance trajectory
+ * (scripts/bench_wallclock.sh drives this; ci_wallclock_guard.sh
+ * consumes the flat "guard.*" keys).
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "obs/json.hh"
+#include "workloads/cache.hh"
+#include "workloads/corpus.hh"
+
+namespace
+{
+
+using namespace ccr;
+
+struct Options
+{
+    int jobs = 1;
+    std::string outPath = "BENCH_emulator.json";
+    std::string baselinePath;
+    std::string label = "current";
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+            opts.jobs = std::atoi(argv[++i]);
+            if (opts.jobs < 1)
+                ccr_fatal("bad --jobs value '", argv[i], "'");
+        } else if (arg == "--out" && i + 1 < argc) {
+            opts.outPath = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            opts.baselinePath = argv[++i];
+        } else if (arg == "--label" && i + 1 < argc) {
+            opts.label = argv[++i];
+        } else {
+            ccr_fatal("unknown argument '", arg,
+                      "' (expected --jobs N, --out <path>, "
+                      "--baseline <path>, --label <str>)");
+        }
+    }
+    return opts;
+}
+
+/** Raw emulation of the full suite (no timing model, no CRB): the
+ *  Machine::step hot loop by itself. */
+obs::Json
+phaseEmu()
+{
+    WallTimer timer;
+    std::uint64_t insts = 0;
+    const auto names = workloads::allWorkloadNames();
+    for (const auto &name : names) {
+        auto w = workloads::buildWorkload(name);
+        emu::Machine machine(*w.module);
+        w.prepare(machine, workloads::InputSet::Train);
+        insts += machine.run(200'000'000ULL);
+    }
+    const double seconds = timer.seconds();
+    auto j = obs::Json::object();
+    j["seconds"] = obs::Json(seconds);
+    j["workloads"] = obs::Json(static_cast<std::uint64_t>(names.size()));
+    j["insts"] = obs::Json(insts);
+    j["mips"] = obs::Json(seconds > 0.0
+                              ? static_cast<double>(insts) / seconds / 1e6
+                              : 0.0);
+    return j;
+}
+
+/** Time a full CCR experiment plan with a private cache (so every
+ *  phase pays its own module builds and profiles, like a standalone
+ *  figure bench run). */
+obs::Json
+phasePlan(const workloads::RunPlan &plan, int jobs)
+{
+    workloads::ExperimentCache cache;
+    workloads::DriverOptions dopts;
+    dopts.jobs = jobs;
+    dopts.cache = &cache;
+    WallTimer timer;
+    const auto results = workloads::runPlan(plan, dopts);
+    const double seconds = timer.seconds();
+    ccr_assert(results.size() == plan.size(), "driver dropped points");
+    auto j = obs::Json::object();
+    j["seconds"] = obs::Json(seconds);
+    j["points"] = obs::Json(static_cast<std::uint64_t>(plan.size()));
+    return j;
+}
+
+workloads::RunPlan
+fig08aPlan()
+{
+    workloads::RunPlan plan;
+    for (const auto &name : bench::benchmarks()) {
+        for (const int ci : {4, 8, 16}) {
+            workloads::RunConfig config;
+            config.crb.entries = 128;
+            config.crb.instances = ci;
+            plan.add(name, config);
+        }
+    }
+    return plan;
+}
+
+workloads::RunPlan
+fig08bPlan()
+{
+    workloads::RunPlan plan;
+    for (const auto &name : bench::benchmarks()) {
+        for (const int entries : {32, 64, 128}) {
+            workloads::RunConfig config;
+            config.crb.entries = entries;
+            config.crb.instances = 8;
+            plan.add(name, config);
+        }
+    }
+    return plan;
+}
+
+workloads::RunPlan
+corpusPlan()
+{
+    workloads::RunPlan plan;
+    plan.addSweep(workloads::corpusWorkloadNames(),
+                  workloads::RunConfig{});
+    return plan;
+}
+
+double
+phaseSeconds(const obs::Json &doc, const std::string &phase)
+{
+    const obs::Json &p = doc.at("phases").at(phase).at("seconds");
+    return p.isNumber() ? p.asDouble() : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const Options opts = parseArgs(argc, argv);
+
+    auto doc = obs::Json::object();
+    doc["schema"] = obs::Json(1);
+    doc["suite"] = obs::Json("emulator-wallclock");
+    doc["label"] = obs::Json(opts.label);
+    doc["jobs"] = obs::Json(opts.jobs);
+
+    auto phases = obs::Json::object();
+
+    std::cerr << "wallclock_emu: phase emu.run...\n";
+    phases["emu.run"] = phaseEmu();
+    std::cerr << "wallclock_emu: phase fig08a.sweep...\n";
+    phases["fig08a.sweep"] = phasePlan(fig08aPlan(), opts.jobs);
+    std::cerr << "wallclock_emu: phase fig08b.sweep...\n";
+    phases["fig08b.sweep"] = phasePlan(fig08bPlan(), opts.jobs);
+    std::cerr << "wallclock_emu: phase corpus.sweep...\n";
+    phases["corpus.sweep"] = phasePlan(corpusPlan(), opts.jobs);
+    doc["phases"] = phases;
+
+    // Flat convenience keys, one per line in the dump, so shell tools
+    // (ci_wallclock_guard.sh) can grep them without a JSON parser.
+    doc["guard.fig08a.seconds"] =
+        obs::Json(phaseSeconds(doc, "fig08a.sweep"));
+    doc["guard.fig08b.seconds"] =
+        obs::Json(phaseSeconds(doc, "fig08b.sweep"));
+
+    // Baseline comparison: embed the reference run and per-phase
+    // speedups (baseline seconds / current seconds).
+    if (!opts.baselinePath.empty()) {
+        std::ifstream in(opts.baselinePath);
+        if (!in)
+            ccr_fatal("cannot read baseline '", opts.baselinePath, "'");
+        std::stringstream ss;
+        ss << in.rdbuf();
+        std::string err;
+        auto base = obs::Json::parse(ss.str(), &err);
+        if (!base)
+            ccr_fatal("bad baseline JSON '", opts.baselinePath, "': ",
+                      err);
+        auto speedup = obs::Json::object();
+        for (const auto &[name, cur] : phases.fields()) {
+            const double now = cur.at("seconds").asDouble();
+            const double then = phaseSeconds(*base, name);
+            if (now > 0.0 && then > 0.0)
+                speedup[name] = obs::Json(then / now);
+        }
+        doc["baseline"] = std::move(*base);
+        doc["speedup"] = std::move(speedup);
+    }
+
+    std::ofstream out(opts.outPath);
+    if (!out)
+        ccr_fatal("cannot write '", opts.outPath, "'");
+    doc.dump(out, 2);
+    out << "\n";
+
+    // Human-readable summary.
+    std::cout << "emulator wall-clock (jobs=" << opts.jobs << ")\n";
+    for (const auto &[name, p] : phases.fields()) {
+        std::cout << "  " << name << ": "
+                  << Table::fmt(p.at("seconds").asDouble(), 2) << "s";
+        if (p.at("mips").isNumber())
+            std::cout << " (" << Table::fmt(p.at("mips").asDouble(), 1)
+                      << " Minst/s)";
+        if (doc.at("speedup").at(name).isNumber())
+            std::cout << "  [" << Table::fmt(
+                             doc.at("speedup").at(name).asDouble(), 2)
+                      << "x vs " << doc.at("baseline").at("label")
+                             .asString() << "]";
+        std::cout << "\n";
+    }
+    std::cout << "wrote " << opts.outPath << "\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Drive the emulator wall-clock benchmark (bench/wallclock_emu) from a
+# build directory and write BENCH_emulator.json, comparing against the
+# checked-in baseline (bench/emulator_wallclock_baseline.json) when it
+# exists so the report embeds per-phase speedups. See
+# docs/PERFORMANCE.md for how to read and refresh the numbers.
+#
+# Usage:
+#   scripts/bench_wallclock.sh <build-dir> [out-json] [--jobs N]
+#   scripts/bench_wallclock.sh --refresh-baseline <build-dir> [--jobs N]
+#
+# --refresh-baseline re-measures and OVERWRITES the baseline JSON with
+# a label derived from the current commit. Do this deliberately, on a
+# quiet machine, after a performance change lands — never to paper
+# over an unexplained regression.
+set -euo pipefail
+
+baseline=bench/emulator_wallclock_baseline.json
+refresh=0
+jobs=1
+positional=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --refresh-baseline) refresh=1 ;;
+      --jobs) jobs=${2:?--jobs needs a value}; shift ;;
+      *) positional+=("$1") ;;
+    esac
+    shift
+done
+
+build_dir=${positional[0]:?usage: bench_wallclock.sh <build-dir> [out-json]}
+bin="$build_dir"/bench/wallclock_emu
+[ -x "$bin" ] || { echo "not built: $bin" >&2; exit 1; }
+
+if [ "$refresh" = 1 ]; then
+    label=$(git rev-parse --short HEAD 2>/dev/null || echo "unknown")
+    echo "refreshing $baseline (label $label, jobs $jobs)..."
+    "$bin" --jobs "$jobs" --out "$baseline" --label "$label"
+    exit 0
+fi
+
+out=${positional[1]:-BENCH_emulator.json}
+args=(--jobs "$jobs" --out "$out")
+[ -f "$baseline" ] && args+=(--baseline "$baseline")
+"$bin" "${args[@]}"

@@ -1,40 +1,44 @@
 #!/usr/bin/env bash
-# Guardrail against observability overhead leaking into the fast
-# path: the Figure 8(b) entry sweep (39 points, telemetry off, no
-# report) must not regress more than 10% over the checked-in
-# baseline. Best-of-3 is compared so scheduler noise on shared
-# runners does not trip the gate; the baseline itself is generous
-# and refreshed deliberately (see bench/fig08b_wallclock_baseline.txt)
-# — this catches gross regressions such as accidentally enabling
-# per-event work when telemetry is off, not single-digit drift.
+# Guardrail against emulator/CRB slowdowns leaking into the fast path:
+# the Figure 8(b)-style entry sweep timed by bench/wallclock_emu must
+# not exceed 1.5x the recorded baseline
+# (bench/emulator_wallclock_baseline.json). The generous budget
+# absorbs runner-class differences between the machine that recorded
+# the baseline and CI hardware — this catches gross regressions such
+# as accidentally re-enabling per-query summary rebuilds or per-event
+# work when telemetry is off, not single-digit drift.
 #
-# Usage: scripts/ci_wallclock_guard.sh <build-dir>
+# Reads the flat "guard.fig08b.seconds" key that wallclock_emu writes
+# at the top level of its JSON (2-space indent; the embedded baseline
+# copy sits deeper and is skipped). If the measurement JSON does not
+# exist yet, the sweep is run via scripts/bench_wallclock.sh.
+#
+# Usage: scripts/ci_wallclock_guard.sh <build-dir> [bench-json]
 set -euo pipefail
 
-build_dir=${1:?usage: ci_wallclock_guard.sh <build-dir>}
-baseline_file=bench/fig08b_wallclock_baseline.txt
-baseline=$(grep -v '^#' "$baseline_file" | head -1)
+build_dir=${1:?usage: ci_wallclock_guard.sh <build-dir> [bench-json]}
+json=${2:-BENCH_emulator.json}
+baseline_json=bench/emulator_wallclock_baseline.json
 
-best=""
-for i in 1 2 3; do
-    line=$("$build_dir"/bench/fig08b_entry_sweep --jobs 2 2>&1 >/dev/null \
-           | grep '^sweep:')
-    secs=$(echo "$line" | sed -n 's/^sweep: .* in \([0-9.]*\)s .*/\1/p')
-    [ -n "$secs" ] || { echo "cannot parse sweep line: $line"; exit 1; }
-    echo "run $i: ${secs}s"
-    if [ -z "$best" ] || awk -v a="$secs" -v b="$best" \
-           'BEGIN { exit !(a < b) }'; then
-        best=$secs
-    fi
-done
+[ -f "$json" ] || scripts/bench_wallclock.sh "$build_dir" "$json"
 
-budget=$(awk -v b="$baseline" 'BEGIN { printf "%.2f", b * 1.10 }')
-echo "fig08b telemetry-off sweep: best-of-3 ${best}s," \
-     "baseline ${baseline}s, budget ${budget}s (+10%)"
+top_guard() {
+    sed -n 's/^  "guard\.fig08b\.seconds": \([0-9.]*\).*/\1/p' "$1" \
+        | head -1
+}
 
-if awk -v a="$best" -v b="$budget" 'BEGIN { exit !(a > b) }'; then
-    echo "FAIL: wall-clock regressed >10% over baseline." >&2
-    echo "If intentional (and justified), refresh $baseline_file." >&2
+now=$(top_guard "$json")
+base=$(top_guard "$baseline_json")
+[ -n "$now" ] || { echo "no guard.fig08b.seconds in $json" >&2; exit 1; }
+[ -n "$base" ] || { echo "no guard.fig08b.seconds in $baseline_json" >&2; exit 1; }
+
+budget=$(awk -v b="$base" 'BEGIN { printf "%.2f", b * 1.50 }')
+echo "fig08b sweep: ${now}s, baseline ${base}s, budget ${budget}s (1.5x)"
+
+if awk -v a="$now" -v b="$budget" 'BEGIN { exit !(a > b) }'; then
+    echo "FAIL: wall-clock regressed beyond 1.5x the baseline." >&2
+    echo "If intentional (and justified), refresh the baseline with" >&2
+    echo "  scripts/bench_wallclock.sh --refresh-baseline <build-dir>" >&2
     exit 1
 fi
 echo "OK: within budget."

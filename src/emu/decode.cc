@@ -1,0 +1,89 @@
+#include "emu/decode.hh"
+
+#include "emu/machine.hh"
+#include "support/logging.hh"
+
+namespace ccr::emu
+{
+
+DecodedProgram::DecodedProgram(const ir::Module &mod,
+                               const CodeLayout &layout)
+{
+    funcs_.resize(mod.numFunctions());
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
+        const auto fid = static_cast<ir::FuncId>(f);
+        const ir::Function &func = mod.function(fid);
+        DecodedFunction &df = funcs_[f];
+        df.id = fid;
+        df.numRegs = func.numRegs();
+        df.blockStart.assign(func.numBlocks(), 0);
+
+        // Flatten in blocks() order — the order CodeLayout assigns
+        // addresses in — so straight-line execution is ip + 1.
+        std::size_t total = 0;
+        for (const auto &bb : func.blocks())
+            total += bb.size();
+        df.insts.reserve(total);
+
+        for (const auto &bb : func.blocks()) {
+            df.blockStart[bb.id()] =
+                static_cast<std::uint32_t>(df.insts.size());
+            for (std::size_t i = 0; i < bb.size(); ++i) {
+                const ir::Inst &inst = bb.inst(i);
+                DecodedInst di;
+                di.inst = &inst;
+                di.pc = layout.instAddr(fid, bb.id(), i);
+                di.imm = inst.imm;
+                di.op = inst.op;
+                di.numSrc =
+                    static_cast<std::uint8_t>(inst.numRegSources());
+                di.srcImm = inst.srcImm;
+                di.unsignedLoad = inst.unsignedLoad;
+                di.numArgs = inst.numArgs;
+                di.size = inst.size;
+                di.dst = inst.dst;
+                if (di.numSrc > 0)
+                    di.src0 = inst.regSource(0);
+                if (di.numSrc > 1)
+                    di.src1 = inst.regSource(1);
+                di.block = bb.id();
+                di.callee = inst.callee;
+                di.globalId = inst.globalId;
+                di.regionId = inst.regionId;
+                df.insts.push_back(di);
+            }
+        }
+
+        // Resolve control successors to flat indices. The default
+        // successor is the next instruction in layout order.
+        for (std::size_t i = 0; i < df.insts.size(); ++i) {
+            DecodedInst &di = df.insts[i];
+            di.succ = static_cast<std::uint32_t>(i + 1);
+            const ir::Inst &inst = *di.inst;
+            switch (di.op) {
+              case ir::Opcode::Br:
+                di.succ = df.blockStart[inst.target];
+                di.succ2 = df.blockStart[inst.target2];
+                break;
+              case ir::Opcode::Jump:
+                di.succ = df.blockStart[inst.target];
+                break;
+              case ir::Opcode::Call:
+                // Continuation in the caller; the callee entry comes
+                // from its own DecodedFunction.
+                di.succ = df.blockStart[inst.target];
+                break;
+              case ir::Opcode::Reuse:
+                di.succ = df.blockStart[inst.target];
+                di.succ2 = df.blockStart[inst.target2];
+                break;
+              default:
+                break;
+            }
+        }
+
+        df.entryIp = df.blockStart[func.entry()];
+    }
+}
+
+} // namespace ccr::emu

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Pre-decoded program representation for the emulator hot loop.
+ *
+ * At Machine construction every function is flattened into one
+ * contiguous array of DecodedInst records, laid out in the same block
+ * order as CodeLayout assigns code addresses. Each record carries the
+ * operand metadata the interpreter needs (opcode, pre-resolved source
+ * registers, immediate, memory size), the instruction's code address
+ * (folding CodeLayout::instAddr into decode), and the control-flow
+ * successors as flat instruction indices — so the fetch-execute loop
+ * is an index walk with no per-step function/block/vector indirection.
+ */
+
+#ifndef CCR_EMU_DECODE_HH
+#define CCR_EMU_DECODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/memory.hh"
+#include "ir/module.hh"
+
+namespace ccr::emu
+{
+
+class CodeLayout;
+
+/** One pre-decoded instruction. Successor fields by opcode:
+ *  Br: succ = taken target, succ2 = fall-through; Jump: succ;
+ *  Call: succ = continuation (the caller resumes there after Ret);
+ *  Reuse: succ = hit/join, succ2 = miss/region body; others: succ =
+ *  next instruction in layout order. */
+struct DecodedInst
+{
+    const ir::Inst *inst = nullptr; ///< identity for observers/handlers
+    Addr pc = 0;
+    std::uint32_t succ = 0;
+    std::uint32_t succ2 = 0;
+    std::int64_t imm = 0;
+
+    ir::Opcode op = ir::Opcode::Nop;
+    std::uint8_t numSrc = 0; ///< register sources read (0..2)
+    bool srcImm = false;
+    bool unsignedLoad = false;
+    std::uint8_t numArgs = 0;
+    ir::MemSize size = ir::MemSize::Dword;
+
+    ir::Reg dst = ir::kNoReg;
+    ir::Reg src0 = ir::kNoReg; ///< pre-resolved regSource(0)
+    ir::Reg src1 = ir::kNoReg; ///< pre-resolved regSource(1)
+
+    ir::BlockId block = ir::kNoBlock; ///< owning block
+    ir::FuncId callee = ir::kNoFunc;
+    ir::GlobalId globalId = ir::kNoGlobal;
+    ir::RegionId regionId = ir::kNoRegion;
+};
+
+/** One function, flattened. */
+struct DecodedFunction
+{
+    ir::FuncId id = ir::kNoFunc;
+    std::uint32_t entryIp = 0;
+    int numRegs = 0;
+    std::vector<DecodedInst> insts;
+    std::vector<std::uint32_t> blockStart; ///< block id -> flat index
+};
+
+/** All functions of a module, decoded against a CodeLayout. */
+class DecodedProgram
+{
+  public:
+    DecodedProgram(const ir::Module &mod, const CodeLayout &layout);
+
+    const DecodedFunction &
+    function(ir::FuncId f) const
+    {
+        return funcs_[f];
+    }
+
+  private:
+    std::vector<DecodedFunction> funcs_;
+};
+
+} // namespace ccr::emu
+
+#endif // CCR_EMU_DECODE_HH

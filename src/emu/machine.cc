@@ -52,76 +52,13 @@ CodeLayout::blockBase(ir::FuncId f, ir::BlockId b) const
     return blockBase_[f][b];
 }
 
-Machine::Machine(const ir::Module &mod) : mod_(mod), layout_(mod)
-{
-    layoutGlobals();
-    restart();
-}
-
-void
-Machine::layoutGlobals()
-{
-    globalAddr_.resize(mod_.numGlobals());
-    Addr next = kGlobalBase;
-    for (std::size_t g = 0; g < mod_.numGlobals(); ++g) {
-        const auto &gl = mod_.global(static_cast<ir::GlobalId>(g));
-        next = alignUp(next, 16);
-        globalAddr_[g] = next;
-        if (!gl.init.empty())
-            mem_.writeBytes(next, gl.init.data(), gl.init.size());
-        next += gl.sizeBytes;
-    }
-}
-
-void
-Machine::restart()
-{
-    frames_.clear();
-    halted_ = false;
-    instCount_ = 0;
-    heapNext_ = kHeapBase;
-
-    const auto entry = mod_.entryFunction();
-    ccr_assert(entry != ir::kNoFunc, "module has no entry function");
-    const auto &func = mod_.function(entry);
-    ccr_assert(func.numParams() == 0, "entry function takes parameters");
-
-    Frame frame;
-    frame.func = entry;
-    frame.block = func.entry();
-    frame.idx = 0;
-    frame.regs.assign(static_cast<std::size_t>(func.numRegs()), 0);
-    frames_.push_back(std::move(frame));
-}
-
-void
-Machine::reset()
-{
-    mem_ = Memory();
-    layoutGlobals();
-    restart();
-    stats_.reset();
-}
-
 ir::Value
-Machine::readReg(ir::Reg r) const
-{
-    return top().regs[r];
-}
-
-void
-Machine::writeReg(ir::Reg r, ir::Value v)
-{
-    top().regs[r] = v;
-}
-
-ir::Value
-Machine::aluOp(const ir::Inst &inst, ir::Value a, ir::Value b) const
+evalAlu(ir::Opcode op, ir::Value a, ir::Value b)
 {
     using ir::Opcode;
     const auto ua = static_cast<std::uint64_t>(a);
     const auto ub = static_cast<std::uint64_t>(b);
-    switch (inst.op) {
+    switch (op) {
       case Opcode::Add: return a + b;
       case Opcode::Sub: return a - b;
       case Opcode::Mul: return a * b;
@@ -160,8 +97,80 @@ Machine::aluOp(const ir::Inst &inst, ir::Value a, ir::Value b) const
       case Opcode::FDiv: return asValue(asDouble(a) / asDouble(b));
       case Opcode::FCmpLt: return asDouble(a) < asDouble(b);
       default:
-        ccr_panic("aluOp on non-ALU opcode ", ir::opcodeName(inst.op));
+        ccr_panic("evalAlu on non-ALU opcode ", ir::opcodeName(op));
     }
+}
+
+Machine::Machine(const ir::Module &mod)
+    : mod_(mod), layout_(mod), prog_(mod, layout_),
+      cInsts_(stats_.counter("insts")),
+      cLoads_(stats_.counter("loads")),
+      cStores_(stats_.counter("stores")),
+      cBranches_(stats_.counter("branches")),
+      cCalls_(stats_.counter("calls")),
+      cReuseHits_(stats_.counter("reuseHits")),
+      cReuseMisses_(stats_.counter("reuseMisses")),
+      cInvalidates_(stats_.counter("invalidates"))
+{
+    layoutGlobals();
+    restart();
+}
+
+void
+Machine::layoutGlobals()
+{
+    globalAddr_.resize(mod_.numGlobals());
+    Addr next = kGlobalBase;
+    for (std::size_t g = 0; g < mod_.numGlobals(); ++g) {
+        const auto &gl = mod_.global(static_cast<ir::GlobalId>(g));
+        next = alignUp(next, 16);
+        globalAddr_[g] = next;
+        if (!gl.init.empty())
+            mem_.writeBytes(next, gl.init.data(), gl.init.size());
+        next += gl.sizeBytes;
+    }
+}
+
+void
+Machine::restart()
+{
+    frames_.clear();
+    halted_ = false;
+    instCount_ = 0;
+    heapNext_ = kHeapBase;
+
+    const auto entry = mod_.entryFunction();
+    ccr_assert(entry != ir::kNoFunc, "module has no entry function");
+    const auto &func = mod_.function(entry);
+    ccr_assert(func.numParams() == 0, "entry function takes parameters");
+
+    const DecodedFunction &df = prog_.function(entry);
+    Frame frame;
+    frame.df = &df;
+    frame.ip = df.entryIp;
+    frame.regs.assign(static_cast<std::size_t>(df.numRegs), 0);
+    frames_.push_back(std::move(frame));
+}
+
+void
+Machine::reset()
+{
+    mem_ = Memory();
+    layoutGlobals();
+    restart();
+    stats_.reset();
+}
+
+ir::Value
+Machine::readReg(ir::Reg r) const
+{
+    return top().regs[r];
+}
+
+void
+Machine::writeReg(ir::Reg r, ir::Value v)
+{
+    top().regs[r] = v;
 }
 
 StepKind
@@ -172,186 +181,177 @@ Machine::step(ExecInfo &info)
     if (halted_)
         return StepKind::Halted;
 
-    Frame &frame = top();
-    const ir::Function &func = mod_.function(frame.func);
-    const ir::BasicBlock &bb = func.block(frame.block);
-    ccr_assert(frame.idx < bb.size(), "ran off block end");
-    const ir::Inst &inst = bb.inst(frame.idx);
+    Frame &frame = frames_.back();
+    const DecodedInst &di = frame.df->insts[frame.ip];
 
-    info = ExecInfo{};
-    info.inst = &inst;
-    info.func = frame.func;
-    info.block = frame.block;
-    info.pc = layout_.instAddr(frame.func, frame.block, frame.idx);
-
-    const int nsrc = inst.numRegSources();
-    for (int i = 0; i < nsrc && i < 2; ++i)
-        info.srcVals[static_cast<std::size_t>(i)] =
-            frame.regs[inst.regSource(i)];
+    info.inst = di.inst;
+    info.func = frame.df->id;
+    info.block = di.block;
+    info.pc = di.pc;
+    info.numSrcRegs = di.numSrc;
+    info.srcVals[0] = di.numSrc > 0 ? frame.regs[di.src0] : 0;
+    info.srcVals[1] = di.numSrc > 1 ? frame.regs[di.src1] : 0;
+    info.result = 0;
+    info.memAddr = 0;
+    info.taken = false;
 
     StepKind kind = StepKind::Inst;
-    bool advance = true; // move to next instruction in the same block
+    std::uint32_t next = frame.ip + 1;
+    bool framed = false; // Call/Ret/Halt manage control flow themselves
 
-    switch (inst.op) {
+    switch (di.op) {
       case Opcode::Nop:
         break;
       case Opcode::MovI:
-        info.result = inst.imm;
-        frame.regs[inst.dst] = inst.imm;
+        info.result = di.imm;
+        frame.regs[di.dst] = di.imm;
         break;
       case Opcode::Mov:
         info.result = info.srcVals[0];
-        frame.regs[inst.dst] = info.result;
+        frame.regs[di.dst] = info.result;
         break;
       case Opcode::MovGA:
-        info.result = static_cast<ir::Value>(globalAddr_[inst.globalId]);
-        frame.regs[inst.dst] = info.result;
+        info.result = static_cast<ir::Value>(globalAddr_[di.globalId]);
+        frame.regs[di.dst] = info.result;
         break;
       case Opcode::I2F:
         info.result = asValue(static_cast<double>(info.srcVals[0]));
-        frame.regs[inst.dst] = info.result;
+        frame.regs[di.dst] = info.result;
         break;
       case Opcode::F2I:
         info.result =
             static_cast<ir::Value>(asDouble(info.srcVals[0]));
-        frame.regs[inst.dst] = info.result;
+        frame.regs[di.dst] = info.result;
         break;
       case Opcode::Load: {
         info.memAddr = static_cast<Addr>(info.srcVals[0])
-                       + static_cast<Addr>(inst.imm);
-        info.result = mem_.read(info.memAddr, inst.size,
-                                inst.unsignedLoad);
-        frame.regs[inst.dst] = info.result;
-        ++stats_.counter("loads");
+                       + static_cast<Addr>(di.imm);
+        info.result = mem_.read(info.memAddr, di.size, di.unsignedLoad);
+        frame.regs[di.dst] = info.result;
+        ++cLoads_;
         break;
       }
       case Opcode::Store: {
         info.memAddr = static_cast<Addr>(info.srcVals[0])
-                       + static_cast<Addr>(inst.imm);
-        mem_.write(info.memAddr, inst.size, info.srcVals[1]);
-        ++stats_.counter("stores");
+                       + static_cast<Addr>(di.imm);
+        mem_.write(info.memAddr, di.size, info.srcVals[1]);
+        ++cStores_;
         break;
       }
       case Opcode::Alloc: {
         const auto bytes = static_cast<Addr>(
-            inst.srcImm ? inst.imm : info.srcVals[0]);
+            di.srcImm ? di.imm : info.srcVals[0]);
         heapNext_ = alignUp(heapNext_, 16);
         info.result = static_cast<ir::Value>(heapNext_);
-        frame.regs[inst.dst] = info.result;
+        frame.regs[di.dst] = info.result;
         heapNext_ += bytes;
         break;
       }
       case Opcode::Br: {
         info.taken = info.srcVals[0] != 0;
-        frame.block = info.taken ? inst.target : inst.target2;
-        frame.idx = 0;
-        advance = false;
-        ++stats_.counter("branches");
+        next = info.taken ? di.succ : di.succ2;
+        ++cBranches_;
         break;
       }
       case Opcode::Jump:
-        frame.block = inst.target;
-        frame.idx = 0;
-        advance = false;
+        next = di.succ;
         break;
       case Opcode::Call: {
-        const ir::Function &callee = mod_.function(inst.callee);
-        for (int i = 0; i < inst.numArgs; ++i)
+        const DecodedFunction &callee = prog_.function(di.callee);
+        const ir::Reg *args = di.inst->args.data();
+        for (int i = 0; i < di.numArgs; ++i)
             info.argVals[static_cast<std::size_t>(i)] =
-                frame.regs[inst.args[i]];
-        Frame next;
-        next.func = inst.callee;
-        next.block = callee.entry();
-        next.idx = 0;
-        next.retDst = inst.dst;
-        next.retBlock = inst.target;
-        next.regs.assign(static_cast<std::size_t>(callee.numRegs()), 0);
-        for (int i = 0; i < inst.numArgs; ++i)
-            next.regs[static_cast<std::size_t>(i)] =
-                frame.regs[inst.args[i]];
-        frames_.push_back(std::move(next));
-        advance = false;
-        ++stats_.counter("calls");
+                frame.regs[args[i]];
+        Frame nf;
+        nf.df = &callee;
+        nf.ip = callee.entryIp;
+        nf.retDst = di.dst;
+        nf.retIp = di.succ;
+        nf.regs.assign(static_cast<std::size_t>(callee.numRegs), 0);
+        for (int i = 0; i < di.numArgs; ++i)
+            nf.regs[static_cast<std::size_t>(i)] =
+                info.argVals[static_cast<std::size_t>(i)];
+        frames_.push_back(std::move(nf));
+        framed = true;
+        ++cCalls_;
         break;
       }
       case Opcode::Ret: {
-        const ir::Value result =
-            inst.src1 == ir::kNoReg ? 0 : info.srcVals[0];
+        const ir::Value result = di.numSrc > 0 ? info.srcVals[0] : 0;
         info.result = result;
         const ir::Reg ret_dst = frame.retDst;
-        const ir::BlockId ret_block = frame.retBlock;
+        const std::uint32_t ret_ip = frame.retIp;
         frames_.pop_back();
         if (frames_.empty()) {
             halted_ = true;
         } else {
-            Frame &caller = top();
+            Frame &caller = frames_.back();
             if (ret_dst != ir::kNoReg)
                 caller.regs[ret_dst] = result;
-            caller.block = ret_block;
-            caller.idx = 0;
+            caller.ip = ret_ip;
         }
-        advance = false;
+        framed = true;
         break;
       }
       case Opcode::Halt:
         halted_ = true;
-        advance = false;
+        framed = true;
         break;
       case Opcode::Reuse: {
         ReuseOutcome outcome;
         if (reuse_)
-            outcome = reuse_->onReuse(inst.regionId, *this);
+            outcome = reuse_->onReuse(di.regionId, *this);
         if (outcome.hit) {
-            frame.block = inst.target;
+            next = di.succ;
             kind = StepKind::ReuseHit;
-            ++stats_.counter("reuseHits");
+            ++cReuseHits_;
         } else {
-            frame.block = inst.target2;
+            next = di.succ2;
             kind = StepKind::ReuseMiss;
-            ++stats_.counter("reuseMisses");
+            ++cReuseMisses_;
         }
-        frame.idx = 0;
-        advance = false;
         break;
       }
       case Opcode::Invalidate:
         if (reuse_)
-            reuse_->onInvalidate(inst.regionId);
-        ++stats_.counter("invalidates");
+            reuse_->onInvalidate(di.regionId);
+        ++cInvalidates_;
         break;
       default:
         // Binary ALU / compare.
         {
-            const ir::Value b =
-                inst.srcImm ? inst.imm : info.srcVals[1];
-            if (inst.srcImm)
-                info.srcVals[1] = inst.imm;
-            info.result = aluOp(inst, info.srcVals[0], b);
-            frame.regs[inst.dst] = info.result;
+            const ir::Value b = di.srcImm ? di.imm : info.srcVals[1];
+            if (di.srcImm)
+                info.srcVals[1] = di.imm;
+            info.result = evalAlu(di.op, info.srcVals[0], b);
+            frame.regs[di.dst] = info.result;
         }
         break;
     }
 
-    if (advance)
-        ++frame.idx;
+    if (!framed)
+        frame.ip = next;
 
     ++instCount_;
-    ++stats_.counter("insts");
+    ++cInsts_;
 
     // Next-PC for the timing model's fetch redirect logic.
     if (halted_) {
         info.nextPc = 0;
     } else {
-        const Frame &now = top();
-        info.nextPc = layout_.instAddr(now.func, now.block, now.idx);
+        const Frame &now = frames_.back();
+        info.nextPc = now.df->insts[now.ip].pc;
     }
 
     // Route to the CCR handler while it is recording a region, and to
-    // passive observers always.
-    if (reuse_ && kind == StepKind::Inst && reuse_->memoActive())
-        reuse_->observe(info);
-    for (auto *obs : observers_)
-        obs->onInst(info);
+    // passive observers always. The common unhooked case pays one
+    // predictable branch.
+    if (hooked_) {
+        if (reuse_ && kind == StepKind::Inst && reuse_->memoActive())
+            reuse_->observe(info);
+        for (auto *obs : observers_)
+            obs->onInst(info);
+    }
 
     // Note: the final instruction (Halt / last Ret) still reports its
     // own kind; step() only returns Halted when called after the

@@ -4,6 +4,12 @@
  * by instruction; the timing model and the profilers attach through the
  * Observer and ReuseHandler hooks, mirroring IMPACT's emulation-driven
  * simulation style.
+ *
+ * The fetch-execute loop runs over a pre-decoded flat instruction
+ * array built at construction (see emu/decode.hh): successors are
+ * pre-resolved indices, code addresses are folded into the decode, and
+ * the no-observer / no-memoization case dispatches hooks behind a
+ * single cached boolean.
  */
 
 #ifndef CCR_EMU_MACHINE_HH
@@ -13,8 +19,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "emu/decode.hh"
 #include "emu/memory.hh"
 #include "ir/module.hh"
+#include "support/smallvec.hh"
 #include "support/stats.hh"
 
 namespace ccr::emu
@@ -27,10 +35,15 @@ struct ExecInfo
     ir::FuncId func = ir::kNoFunc;
     ir::BlockId block = ir::kNoBlock;
 
+    /** Number of register sources read (inst->numRegSources(), carried
+     *  pre-computed so observers avoid re-deriving it per step). */
+    std::uint8_t numSrcRegs = 0;
+
     /** Values of regSource(0) / regSource(1) before execution. */
     std::array<ir::Value, 2> srcVals{};
 
-    /** Call only: the argument values passed to the callee. */
+    /** Call only: the argument values passed to the callee. Only the
+     *  first inst->numArgs slots are written each step. */
     std::array<ir::Value, ir::kMaxCallArgs> argVals{};
 
     /** Value written to dst (when the instruction has one). */
@@ -58,23 +71,33 @@ enum class StepKind : std::uint8_t
     Halted      ///< program finished
 };
 
-/** Outcome of a CRB query, including what timing needs. */
+/** Outcome of a CRB query, including what timing needs. Register
+ *  lists are sized by the configured bank geometry (a CI bank holds
+ *  up to 16 registers, and a summary set unions the input banks of
+ *  all CIs in an entry, so either list can exceed any fixed cap). */
 struct ReuseOutcome
 {
     bool hit = false;
 
-    /** Number of distinct input registers the validation step read
-     *  (summary set size, paper §3.3). */
-    int numInputsRead = 0;
+    /** The summary-set registers the validation step read (paper
+     *  §3.3; for interlock modeling). */
+    SmallVec<ir::Reg, 16> inputRegs;
+
+    /** The live-out registers written on a hit (for wakeup
+     *  modeling). */
+    SmallVec<ir::Reg, 16> outputRegs;
+
+    /** Number of distinct input registers validation read. */
+    int numInputsRead() const
+    {
+        return static_cast<int>(inputRegs.size());
+    }
 
     /** Number of live-out registers written on a hit. */
-    int numOutputsWritten = 0;
-
-    /** The summary-set registers read (for interlock modeling). */
-    std::array<ir::Reg, 8> inputRegs{};
-
-    /** The live-out registers written on a hit (for wakeup modeling). */
-    std::array<ir::Reg, 8> outputRegs{};
+    int numOutputsWritten() const
+    {
+        return static_cast<int>(outputRegs.size());
+    }
 };
 
 class Machine;
@@ -141,6 +164,12 @@ class CodeLayout
     std::vector<std::vector<Addr>> blockBase_; // [func][block]
 };
 
+/** Evaluate a binary ALU / compare opcode (shared by the pre-decoded
+ *  engine and the reference interpreter). Division semantics are
+ *  deterministic for pathological inputs: x/0 == 0, INT64_MIN/-1
+ *  saturates. Panics on non-ALU opcodes. */
+ir::Value evalAlu(ir::Opcode op, ir::Value a, ir::Value b);
+
 /**
  * The machine: register frames, memory, and the fetch-execute loop.
  *
@@ -173,9 +202,26 @@ class Machine
 
     // -- Hook installation -------------------------------------------
 
-    void setReuseHandler(ReuseHandler *handler) { reuse_ = handler; }
-    void addObserver(Observer *obs) { observers_.push_back(obs); }
-    void clearObservers() { observers_.clear(); }
+    void
+    setReuseHandler(ReuseHandler *handler)
+    {
+        reuse_ = handler;
+        updateHooked();
+    }
+
+    void
+    addObserver(Observer *obs)
+    {
+        observers_.push_back(obs);
+        updateHooked();
+    }
+
+    void
+    clearObservers()
+    {
+        observers_.clear();
+        updateHooked();
+    }
 
     // -- State access -------------------------------------------------
 
@@ -197,16 +243,16 @@ class Machine
   private:
     struct Frame
     {
-        ir::FuncId func = ir::kNoFunc;
-        ir::BlockId block = ir::kNoBlock;
-        std::size_t idx = 0;
-        ir::Reg retDst = ir::kNoReg;      // caller register for result
-        ir::BlockId retBlock = ir::kNoBlock; // caller continuation
+        const DecodedFunction *df = nullptr;
+        std::uint32_t ip = 0;                ///< flat index into df->insts
+        ir::Reg retDst = ir::kNoReg;         ///< caller register for result
+        std::uint32_t retIp = 0;             ///< caller continuation index
         std::vector<ir::Value> regs;
     };
 
     const ir::Module &mod_;
     CodeLayout layout_;
+    DecodedProgram prog_;
     Memory mem_;
     std::vector<Addr> globalAddr_;
     Addr heapNext_ = kHeapBase;
@@ -218,16 +264,30 @@ class Machine
     ReuseHandler *reuse_ = nullptr;
     std::vector<Observer *> observers_;
 
+    /** True when any hook (handler or observer) is attached; the hot
+     *  loop tests only this. */
+    bool hooked_ = false;
+
     StatGroup stats_{"machine"};
+
+    // Hot-path counters cached out of the by-name map (references
+    // stay valid across StatGroup::reset()).
+    Counter &cInsts_;
+    Counter &cLoads_;
+    Counter &cStores_;
+    Counter &cBranches_;
+    Counter &cCalls_;
+    Counter &cReuseHits_;
+    Counter &cReuseMisses_;
+    Counter &cInvalidates_;
 
     static constexpr Addr kGlobalBase = 0x10000;
     static constexpr Addr kHeapBase = 0x10000000;
 
     void layoutGlobals();
+    void updateHooked() { hooked_ = reuse_ || !observers_.empty(); }
     Frame &top() { return frames_.back(); }
     const Frame &top() const { return frames_.back(); }
-
-    ir::Value aluOp(const ir::Inst &inst, ir::Value a, ir::Value b) const;
 };
 
 } // namespace ccr::emu

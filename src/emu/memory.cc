@@ -1,6 +1,8 @@
 #include "emu/memory.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "support/bits.hh"
 
@@ -11,19 +13,30 @@ Memory::Page &
 Memory::pageFor(Addr addr)
 {
     const Addr key = addr >> kPageBits;
+    if (key == writeKey_)
+        return *writePage_;
     auto &slot = pages_[key];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    writeKey_ = key;
+    writePage_ = slot.get();
     return *slot;
 }
 
 const Memory::Page *
 Memory::pageForRead(Addr addr) const
 {
-    const auto it = pages_.find(addr >> kPageBits);
-    return it == pages_.end() ? nullptr : it->second.get();
+    const Addr key = addr >> kPageBits;
+    if (key == readKey_)
+        return readPage_;
+    const auto it = pages_.find(key);
+    if (it == pages_.end())
+        return nullptr;
+    readKey_ = key;
+    readPage_ = it->second.get();
+    return readPage_;
 }
 
 ir::Value
@@ -90,6 +103,47 @@ Memory::zero(Addr addr, std::size_t len)
 {
     for (std::size_t i = 0; i < len; ++i)
         pageFor(addr + i)[(addr + i) & (kPageSize - 1)] = 0;
+}
+
+Memory
+Memory::clone() const
+{
+    Memory copy;
+    for (const auto &[key, page] : pages_) {
+        auto p = std::make_unique<Page>(*page);
+        copy.pages_.emplace(key, std::move(p));
+    }
+    return copy;
+}
+
+std::uint64_t
+Memory::contentHash() const
+{
+    // Pages in sorted key order; all-zero pages are skipped so that
+    // touched-but-blank and never-touched memory digest identically.
+    std::vector<Addr> keys;
+    keys.reserve(pages_.size());
+    for (const auto &[key, page] : pages_)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+
+    std::uint64_t h = 0xcbf2'9ce4'8422'2325ULL; // FNV offset basis
+    for (const Addr key : keys) {
+        const Page &p = *pages_.at(key);
+        bool any = false;
+        for (const auto b : p) {
+            if (b != 0) {
+                any = true;
+                break;
+            }
+        }
+        if (!any)
+            continue;
+        h = hashCombine(h, key);
+        for (const auto b : p)
+            h = hashCombine(h, b);
+    }
+    return h;
 }
 
 } // namespace ccr::emu

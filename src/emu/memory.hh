@@ -2,6 +2,12 @@
  * @file
  * Sparse flat byte-addressed memory for the emulator. Pages are
  * allocated on first touch; all memory reads as zero until written.
+ *
+ * Hot-path accesses go through one-entry page caches (separate for
+ * reads and writes) so the steady-state cost is a key compare instead
+ * of an unordered_map lookup. Page storage never moves once
+ * allocated, so the cached pointers stay valid for the lifetime of
+ * the Memory object.
  */
 
 #ifndef CCR_EMU_MEMORY_HH
@@ -27,6 +33,12 @@ class Memory
     static constexpr std::size_t kPageBits = 12;
     static constexpr std::size_t kPageSize = 1ULL << kPageBits;
 
+    Memory() = default;
+    Memory(Memory &&) = default;
+    Memory &operator=(Memory &&) = default;
+    Memory(const Memory &) = delete;
+    Memory &operator=(const Memory &) = delete;
+
     /** Read @p size bytes at @p addr; sign- or zero-extend. */
     ir::Value read(Addr addr, ir::MemSize size, bool unsigned_load) const;
 
@@ -45,6 +57,14 @@ class Memory
     /** Number of pages currently allocated. */
     std::size_t numPages() const { return pages_.size(); }
 
+    /** Deep copy (test support: carry a prepared input image over to
+     *  a second machine). */
+    Memory clone() const;
+
+    /** Order-independent digest of the full contents (allocated page
+     *  set + bytes); equal images hash equal. Test support. */
+    std::uint64_t contentHash() const;
+
   private:
     using Page = std::array<std::uint8_t, kPageSize>;
 
@@ -52,6 +72,14 @@ class Memory
     const Page *pageForRead(Addr addr) const;
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    // One-entry caches of the last touched page. Only present pages
+    // are cached (a negative read result may be invalidated by a
+    // later write). The read cache is populated by const reads.
+    mutable Addr readKey_ = ~Addr{0};
+    mutable const Page *readPage_ = nullptr;
+    Addr writeKey_ = ~Addr{0};
+    Page *writePage_ = nullptr;
 };
 
 } // namespace ccr::emu

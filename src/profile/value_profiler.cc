@@ -120,8 +120,8 @@ ValueProfiler::profileInstLevel(const emu::ExecInfo &info)
     // effective address so that distinct array elements count as
     // distinct inputs).
     std::uint64_t key = 0xabcd'ef01'2345'6789ULL;
-    const int nsrc = inst.numRegSources();
-    for (int i = 0; i < nsrc && i < 2; ++i) {
+    const int nsrc = info.numSrcRegs;
+    for (int i = 0; i < nsrc; ++i) {
         key = hashCombine(
             key, static_cast<std::uint64_t>(
                      info.srcVals[static_cast<std::size_t>(i)]));

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SmallVec: a fixed-capacity inline buffer that spills to the heap,
+ * for small hot-path collections whose common size is bounded but
+ * whose worst case is not (e.g. CRB summary sets sized by
+ * CrbParams::bankSize). Value semantics; indexable; no iterator
+ * invalidation concerns because access is by index.
+ */
+
+#ifndef CCR_SUPPORT_SMALLVEC_HH
+#define CCR_SUPPORT_SMALLVEC_HH
+
+#include <array>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace ccr
+{
+
+template <typename T, std::size_t N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVec is for small trivially-copyable elements");
+
+  public:
+    SmallVec() = default;
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ < N)
+            inline_[size_] = v;
+        else
+            spill_.push_back(v);
+        ++size_;
+    }
+
+    void
+    clear()
+    {
+        size_ = 0;
+        spill_.clear();
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T &
+    operator[](std::size_t i)
+    {
+        return i < N ? inline_[i] : spill_[i - N];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return i < N ? inline_[i] : spill_[i - N];
+    }
+
+    bool
+    operator==(const SmallVec &other) const
+    {
+        if (size_ != other.size_)
+            return false;
+        for (std::size_t i = 0; i < size_; ++i) {
+            if ((*this)[i] != other[i])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::size_t size_ = 0;
+    std::array<T, N> inline_{};
+    std::vector<T> spill_; // elements N.. when size_ > N
+};
+
+} // namespace ccr
+
+#endif // CCR_SUPPORT_SMALLVEC_HH

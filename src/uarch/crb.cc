@@ -91,7 +91,33 @@ Crb::entryFor(ir::RegionId region)
     e.tag = region;
     for (auto &ci : e.instances)
         ci = CompInstance{};
+    // All CIs are gone, so the (empty) summary is exact.
+    e.summary.clear();
+    e.summaryFresh = true;
     return victim;
+}
+
+void
+Crb::rebuildSummary(CompEntry &entry) const
+{
+    entry.summary.clear();
+    for (const auto &ci : entry.instances) {
+        if (!ci.valid)
+            continue;
+        for (int i = 0; i < ci.numInputs; ++i) {
+            const ir::Reg r = ci.inputs[static_cast<std::size_t>(i)].reg;
+            bool dup = false;
+            for (const auto s : entry.summary) {
+                if (s == r) {
+                    dup = true;
+                    break;
+                }
+            }
+            if (!dup)
+                entry.summary.push_back(r);
+        }
+    }
+    entry.summaryFresh = true;
 }
 
 emu::ReuseOutcome
@@ -110,29 +136,14 @@ Crb::onReuse(ir::RegionId region, emu::Machine &machine)
     const std::size_t idx = entryFor(region);
     CompEntry &entry = entries_[idx];
 
-    // Build the summary set: the distinct input registers across all
-    // valid CIs (the architectural state that must be read to
-    // validate, paper §3.3).
-    std::vector<ir::Reg> summary;
-    for (const auto &ci : entry.instances) {
-        if (!ci.valid)
-            continue;
-        for (int i = 0; i < ci.numInputs; ++i) {
-            const ir::Reg r = ci.inputs[static_cast<std::size_t>(i)].reg;
-            bool dup = false;
-            for (const auto s : summary) {
-                if (s == r) {
-                    dup = true;
-                    break;
-                }
-            }
-            if (!dup)
-                summary.push_back(r);
-        }
-    }
-    outcome.numInputsRead = static_cast<int>(summary.size());
-    for (std::size_t i = 0; i < summary.size() && i < 8; ++i)
-        outcome.inputRegs[i] = summary[i];
+    // The summary set — the distinct input registers across all valid
+    // CIs (the architectural state that must be read to validate,
+    // paper §3.3) — is cached on the entry and rebuilt only after a
+    // CI was recorded or the entry re-tagged.
+    if (!entry.summaryFresh)
+        rebuildSummary(entry);
+    for (const auto r : entry.summary)
+        outcome.inputRegs.push_back(r);
 
     // Validate the CIs against live register state.
     for (auto &ci : entry.instances) {
@@ -156,10 +167,8 @@ Crb::onReuse(ir::RegionId region, emu::Machine &machine)
             const BankEntry &be =
                 ci.outputs[static_cast<std::size_t>(i)];
             machine.writeReg(be.reg, be.value);
-            if (i < 8)
-                outcome.outputRegs[static_cast<std::size_t>(i)] = be.reg;
+            outcome.outputRegs.push_back(be.reg);
         }
-        outcome.numOutputsWritten = ci.numOutputs;
         outcome.hit = true;
         ci.lruStamp = ++stamp_;
         ++cHits_;
@@ -167,7 +176,7 @@ Crb::onReuse(ir::RegionId region, emu::Machine &machine)
         if (trace_) {
             trace_->emit(obs::TraceEventKind::ReuseHit, region,
                          static_cast<std::uint64_t>(
-                             outcome.numInputsRead),
+                             outcome.numInputsRead()),
                          static_cast<std::uint64_t>(ci.numOutputs));
         }
         lastOutcome_ = outcome;
@@ -178,7 +187,8 @@ Crb::onReuse(ir::RegionId region, emu::Machine &machine)
     ++cMisses_;
     if (trace_) {
         trace_->emit(obs::TraceEventKind::ReuseMiss, region,
-                     static_cast<std::uint64_t>(outcome.numInputsRead));
+                     static_cast<std::uint64_t>(
+                         outcome.numInputsRead()));
     }
     std::size_t lru = 0;
     std::uint64_t lru_stamp = UINT64_MAX;
@@ -275,8 +285,8 @@ Crb::observe(const emu::ExecInfo &info)
 
     // Use-before-def registers join the input bank with the value they
     // held at first read.
-    const int nsrc = inst.numRegSources();
-    for (int s = 0; s < nsrc && s < 2; ++s) {
+    const int nsrc = info.numSrcRegs;
+    for (int s = 0; s < nsrc; ++s) {
         const ir::Reg r = inst.regSource(s);
         if (memo_.defined.count(r))
             continue;
@@ -349,10 +359,20 @@ Crb::commitMemo()
             !memo_.scratch.accessesMemory
             || memCapable(memo_.entryIndex);
         if (mem_ok) {
+            // Overflowing either bank aborts the recording before it
+            // reaches this point (observe() checks against bankSize),
+            // so a committed CI always carries its complete input
+            // set — a partial one would later false-hit whenever the
+            // recorded subset matched.
+            ccr_assert(memo_.scratch.numInputs <= params_.bankSize
+                           && memo_.scratch.numOutputs
+                                  <= params_.bankSize,
+                       "memoized CI overflows its register banks");
             memo_.scratch.valid = true;
             memo_.scratch.memValid = true;
             memo_.scratch.lruStamp = ++stamp_;
             entry.instances[memo_.instanceIndex] = memo_.scratch;
+            entry.summaryFresh = false;
             ++cMemoCommits_;
             if (trace_) {
                 trace_->emit(obs::TraceEventKind::MemoCommit,

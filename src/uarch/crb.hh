@@ -90,6 +90,17 @@ struct CompEntry
     bool valid = false;
     ir::RegionId tag = ir::kNoRegion;
     std::vector<CompInstance> instances;
+
+    /**
+     * Cached summary set: the distinct input registers across all
+     * valid CIs, in CI-order-then-input-order of first occurrence
+     * (paper §3.3). Rebuilt lazily on the next query after a CI is
+     * recorded or the entry is re-tagged (summaryFresh false);
+     * memory invalidation does NOT dirty it — the summary spans
+     * valid CIs regardless of their memValid state.
+     */
+    std::vector<ir::Reg> summary;
+    bool summaryFresh = false;
 };
 
 /** The CRB, acting as the machine's ReuseHandler. */
@@ -189,6 +200,7 @@ class Crb : public emu::ReuseHandler
 
     void commitMemo();
     void abortMemo(const char *reason);
+    void rebuildSummary(CompEntry &entry) const;
 };
 
 } // namespace ccr::uarch

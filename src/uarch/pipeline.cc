@@ -100,7 +100,7 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
             // Validation interlocks with in-flight producers of the
             // summary-set registers (paper §3.3).
             const auto &outcome = crb_->lastOutcome();
-            const int n = std::min(outcome.numInputsRead, 8);
+            const int n = outcome.numInputsRead();
             for (int i = 0; i < n; ++i) {
                 earliest = std::max(
                     earliest,
@@ -195,7 +195,7 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
                           params_.reuseValidateLatency);
             // Live-out updates retire several per cycle; they are the
             // only dataflow the skipped region leaves behind.
-            const int outs = std::min(outcome.numOutputsWritten, 8);
+            const int outs = outcome.numOutputsWritten();
             for (int i = 0; i < outs; ++i) {
                 const std::uint64_t ready =
                     validate + 1

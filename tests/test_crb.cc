@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "emu/machine.hh"
 #include "ir/builder.hh"
 #include "uarch/crb.hh"
@@ -351,6 +354,158 @@ TEST(Crb, HitsByRegionAttribution)
     const auto &by_region = crb.hitsByRegion();
     ASSERT_EQ(by_region.size(), 1u);
     EXPECT_EQ(by_region.at(prog.region), 2u);
+}
+
+/**
+ * Fixture: a region with @p kWidth use-before-def inputs and the same
+ * number of live-out results (y_k = x_k + k + 1), invoked twice so the
+ * second query can hit. Exercises reuse bank widths beyond the
+ * historical 8-register assumption.
+ */
+struct WideRegionProgram
+{
+    static constexpr int kWidth = 10;
+
+    Module m{"wide"};
+    GlobalId out;
+    RegionId region;
+
+    WideRegionProgram()
+    {
+        out = m.addGlobal("out", 8).id;
+        region = m.newRegionId();
+        Function &f = m.addFunction("main", 0);
+        IRBuilder b(f);
+        const BlockId entry = b.newBlock();
+        const BlockId header = b.newBlock();
+        const BlockId inception = b.newBlock();
+        const BlockId body = b.newBlock();
+        const BlockId join = b.newBlock();
+        const BlockId exit = b.newBlock();
+        const Reg i = b.reg();
+        const Reg acc = b.reg();
+        std::vector<Reg> xs, ys;
+        for (int k = 0; k < kWidth; ++k) {
+            xs.push_back(b.reg());
+            ys.push_back(b.reg());
+        }
+
+        b.setInsertPoint(entry);
+        for (int k = 0; k < kWidth; ++k)
+            b.movITo(xs[static_cast<std::size_t>(k)], 100 + k);
+        b.movITo(i, 0);
+        b.movITo(acc, 0);
+        b.jump(header);
+
+        b.setInsertPoint(header);
+        const Reg c = b.cmpLtI(i, 2);
+        b.br(c, inception, exit);
+
+        b.setInsertPoint(inception);
+        b.reuse(region, join, body);
+
+        b.setInsertPoint(body);
+        for (int k = 0; k < kWidth; ++k) {
+            Inst add;
+            add.op = Opcode::Add;
+            add.dst = ys[static_cast<std::size_t>(k)];
+            add.src1 = xs[static_cast<std::size_t>(k)];
+            add.srcImm = true;
+            add.imm = k + 1;
+            add.ext.liveOut = true;
+            b.emit(add);
+        }
+        {
+            Inst j;
+            j.op = Opcode::Jump;
+            j.target = join;
+            j.ext.regionEnd = true;
+            b.emit(j);
+        }
+
+        b.setInsertPoint(join);
+        for (int k = 0; k < kWidth; ++k) {
+            b.binOpTo(acc, Opcode::Add, acc,
+                      ys[static_cast<std::size_t>(k)]);
+        }
+        b.binOpITo(i, Opcode::Add, i, 1);
+        b.jump(header);
+
+        b.setInsertPoint(exit);
+        b.store(b.movGA(out), 0, acc);
+        b.halt();
+    }
+
+    std::int64_t
+    run(uarch::Crb &crb)
+    {
+        emu::Machine machine(m);
+        machine.setReuseHandler(&crb);
+        machine.run();
+        return machine.memory().read(machine.globalAddr(out),
+                                     MemSize::Dword, false);
+    }
+
+    static std::int64_t
+    expected()
+    {
+        std::int64_t acc = 0;
+        for (int rep = 0; rep < 2; ++rep) {
+            for (int k = 0; k < kWidth; ++k)
+                acc += (100 + k) + (k + 1);
+        }
+        return acc;
+    }
+};
+
+TEST(Crb, WideBankCarriesAllRegistersInOutcome)
+{
+    // Regression: with bankSize > 8, the ReuseOutcome used to truncate
+    // inputRegs/outputRegs to a fixed array of 8, under-modelling
+    // interlock and wakeup costs. All registers must now be reported.
+    WideRegionProgram prog;
+    uarch::CrbParams params;
+    params.bankSize = 12;
+    uarch::Crb crb(params);
+    EXPECT_EQ(prog.run(crb), WideRegionProgram::expected());
+    EXPECT_EQ(crb.metrics().get("crb.misses"), 1u);
+    EXPECT_EQ(crb.metrics().get("crb.hits"), 1u);
+    EXPECT_EQ(crb.metrics().get("crb.memoCommits"), 1u);
+
+    const emu::ReuseOutcome &o = crb.lastOutcome();
+    EXPECT_TRUE(o.hit);
+    EXPECT_EQ(o.numInputsRead(), WideRegionProgram::kWidth);
+    EXPECT_EQ(o.numOutputsWritten(), WideRegionProgram::kWidth);
+    // Every distinct input/output register appears exactly once.
+    std::set<Reg> ins, outs;
+    for (std::size_t k = 0; k < o.inputRegs.size(); ++k)
+        ins.insert(o.inputRegs[k]);
+    for (std::size_t k = 0; k < o.outputRegs.size(); ++k)
+        outs.insert(o.outputRegs[k]);
+    EXPECT_EQ(ins.size(),
+              static_cast<std::size_t>(WideRegionProgram::kWidth));
+    EXPECT_EQ(outs.size(),
+              static_cast<std::size_t>(WideRegionProgram::kWidth));
+}
+
+TEST(Crb, InputBankOverflowNeverCommitsPartialInputs)
+{
+    // Regression: a region reading more distinct use-before-def
+    // registers than the input bank holds must abort memoization
+    // entirely. A partial commit would later false-hit whenever the
+    // recorded subset matched, even though unrecorded inputs differ.
+    WideRegionProgram prog;
+    uarch::CrbParams params;
+    params.bankSize = 4; // < kWidth inputs
+    uarch::Crb crb(params);
+    EXPECT_EQ(prog.run(crb), WideRegionProgram::expected());
+    // Both invocations miss; each attempted recording aborts on
+    // overflow, and nothing is ever committed, so the second
+    // (identical-input) query cannot hit on a subset match.
+    EXPECT_EQ(crb.metrics().get("crb.misses"), 2u);
+    EXPECT_EQ(crb.metrics().get("crb.hits"), 0u);
+    EXPECT_EQ(crb.metrics().get("crb.memoCommits"), 0u);
+    EXPECT_EQ(crb.metrics().get("crb.memoAborts"), 2u);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "emu/machine.hh"
+#include "emu/reference.hh"
 #include "ir/builder.hh"
 
 namespace
@@ -457,8 +458,7 @@ class AlwaysHit : public emu::ReuseHandler
         machine.writeReg(target_reg, value);
         emu::ReuseOutcome o;
         o.hit = true;
-        o.numOutputsWritten = 1;
-        o.outputRegs[0] = target_reg;
+        o.outputRegs.push_back(target_reg);
         return o;
     }
     void observe(const emu::ExecInfo &) override {}
@@ -525,6 +525,193 @@ TEST(CodeLayout, DistinctAddresses)
     EXPECT_EQ(layout.instAddr(0, b0, 1) - layout.instAddr(0, b0, 0),
               4u);
     EXPECT_GT(layout.blockBase(0, b1), layout.blockBase(0, b0));
+}
+
+TEST(Memory, CloneIsDeepAndContentHashTracksContents)
+{
+    emu::Memory mem;
+    mem.write(0x1000, MemSize::Dword, 42);
+    mem.write(0x555000, MemSize::Byte, 7);
+
+    emu::Memory copy = mem.clone();
+    EXPECT_EQ(copy.read(0x1000, MemSize::Dword, false), 42);
+    EXPECT_EQ(copy.contentHash(), mem.contentHash());
+
+    // Deep copy: writes to the clone must not leak back.
+    copy.write(0x1000, MemSize::Dword, 99);
+    EXPECT_EQ(mem.read(0x1000, MemSize::Dword, false), 42);
+    EXPECT_NE(copy.contentHash(), mem.contentHash());
+
+    // An all-zero page does not change the hash (pages are allocated
+    // on write but hashed by content).
+    const auto h = mem.contentHash();
+    mem.write(0x777000, MemSize::Dword, 123);
+    mem.write(0x777000, MemSize::Dword, 0);
+    EXPECT_EQ(mem.contentHash(), h);
+}
+
+/**
+ * A program exercising every control construct the decoder resolves:
+ * fall-through, Br both ways, Jump, Call/Ret with args, a Reuse
+ * region (miss path without a handler), loads/stores, and Alloc.
+ */
+static Module
+buildLockstepModule()
+{
+    Module m("lockstep");
+    const GlobalId tab = m.addGlobal("tab", 64).id;
+    const GlobalId out = m.addGlobal("out", 8).id;
+    const RegionId region = m.newRegionId();
+
+    Function &callee = m.addFunction("madd", 2);
+    {
+        IRBuilder b(callee);
+        b.setInsertPoint(b.newBlock());
+        const Reg prod = b.mul(0, 1); // args arrive in regs 0..n-1
+        b.ret(b.addI(prod, 3));
+    }
+
+    Function &f = m.addFunction("main", 0);
+    m.setEntryFunction(f.id());
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId inception = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId join = b.newBlock();
+    const BlockId after = b.newBlock();
+    const BlockId odd = b.newBlock();
+    const BlockId even = b.newBlock();
+    const BlockId latch = b.newBlock();
+    const BlockId exit = b.newBlock();
+    const Reg i = b.reg();
+    const Reg acc = b.reg();
+    const Reg y = b.reg();
+
+    b.setInsertPoint(entry);
+    const Reg base = b.movGA(tab);
+    const Reg buf = b.allocI(32);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.jump(header);
+
+    b.setInsertPoint(header);
+    b.br(b.cmpLtI(i, 6), inception, exit);
+
+    b.setInsertPoint(inception);
+    b.reuse(region, join, body);
+
+    b.setInsertPoint(body);
+    {
+        Inst add;
+        add.op = Opcode::Add;
+        add.dst = y;
+        add.src1 = i;
+        add.srcImm = true;
+        add.imm = 10;
+        add.ext.liveOut = true;
+        b.emit(add);
+        Inst j;
+        j.op = Opcode::Jump;
+        j.target = join;
+        j.ext.regionEnd = true;
+        b.emit(j);
+    }
+
+    b.setInsertPoint(join);
+    const Reg r = b.call(callee.id(), {y, i}, after);
+
+    b.setInsertPoint(after);
+    b.store(b.add(base, b.shlI(i, 3)), 0, r);
+    b.store(buf, 8, r);
+    b.br(b.andI(i, 1), odd, even);
+
+    b.setInsertPoint(odd);
+    b.binOpTo(acc, Opcode::Add, acc, r);
+    b.jump(latch);
+
+    b.setInsertPoint(even);
+    b.binOpTo(acc, Opcode::Sub, acc, r);
+    b.jump(latch);
+
+    b.setInsertPoint(latch);
+    b.binOpTo(acc, Opcode::Add, acc,
+              b.load(b.add(base, b.shlI(i, 3)), 0));
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+    return m;
+}
+
+TEST(DecodedEngine, LockstepWithReferenceInterpreter)
+{
+    const Module m = buildLockstepModule();
+    emu::Machine machine(m);
+    emu::ReferenceMachine ref(m);
+
+    emu::ExecInfo a, b;
+    for (std::uint64_t n = 0; n < 100000; ++n) {
+        const auto ka = machine.step(a);
+        const auto kb = ref.step(b);
+        ASSERT_EQ(ka, kb) << "step " << n;
+        if (ka == emu::StepKind::Halted)
+            break;
+        ASSERT_EQ(a.inst, b.inst) << "step " << n;
+        ASSERT_EQ(a.func, b.func) << "step " << n;
+        ASSERT_EQ(a.block, b.block) << "step " << n;
+        ASSERT_EQ(a.numSrcRegs, b.numSrcRegs) << "step " << n;
+        ASSERT_EQ(a.srcVals, b.srcVals) << "step " << n;
+        ASSERT_EQ(a.result, b.result) << "step " << n;
+        ASSERT_EQ(a.memAddr, b.memAddr) << "step " << n;
+        ASSERT_EQ(a.taken, b.taken) << "step " << n;
+        ASSERT_EQ(a.pc, b.pc) << "step " << n;
+        ASSERT_EQ(a.nextPc, b.nextPc) << "step " << n;
+        if (a.inst->op == Opcode::Call) {
+            for (int k = 0; k < a.inst->numArgs; ++k) {
+                ASSERT_EQ(a.argVals[static_cast<std::size_t>(k)],
+                          b.argVals[static_cast<std::size_t>(k)])
+                    << "step " << n << " arg " << k;
+            }
+        }
+    }
+    EXPECT_TRUE(machine.halted());
+    EXPECT_TRUE(ref.halted());
+    EXPECT_EQ(machine.instCount(), ref.instCount());
+    EXPECT_EQ(machine.memory().contentHash(),
+              ref.memory().contentHash());
+    for (const auto *key :
+         {"insts", "loads", "stores", "branches", "calls",
+          "reuseMisses"}) {
+        EXPECT_EQ(machine.stats().get(key), ref.stats().get(key))
+            << key;
+    }
+}
+
+TEST(DecodedEngine, PcMatchesCodeLayout)
+{
+    // The decoder folds CodeLayout::instAddr into DecodedInst::pc;
+    // every reported pc must match an independent layout computation.
+    const Module m = buildLockstepModule();
+    const emu::CodeLayout layout(m);
+    emu::Machine machine(m);
+
+    emu::ExecInfo info;
+    while (machine.step(info) != emu::StepKind::Halted) {
+        const auto &func = m.function(info.func);
+        const auto &insts = func.block(info.block).insts();
+        std::size_t idx = insts.size();
+        for (std::size_t k = 0; k < insts.size(); ++k) {
+            if (&insts[k] == info.inst) {
+                idx = k;
+                break;
+            }
+        }
+        ASSERT_LT(idx, insts.size());
+        ASSERT_EQ(info.pc, layout.instAddr(info.func, info.block, idx));
+    }
 }
 
 } // namespace

@@ -15,10 +15,12 @@
 
 #include "core/reorder.hh"
 #include "emu/machine.hh"
+#include "emu/reference.hh"
 #include "ir/builder.hh"
 #include "ir/verifier.hh"
 #include "opt/passes.hh"
 #include "uarch/crb.hh"
+#include "workloads/corpus.hh"
 #include "workloads/harness.hh"
 #include "support/random.hh"
 
@@ -584,6 +586,7 @@ TEST_P(CrbReferenceModel, RandomOpsMatchNaiveModel)
         body.ext.liveOut = live_out;
         emu::ExecInfo info;
         info.inst = &body;
+        info.numSrcRegs = static_cast<std::uint8_t>(is_load ? 1 : 2);
         info.srcVals[0] = machine.readReg(src1);
         std::vector<std::pair<Reg, Value>> reads{
             {src1, machine.readReg(src1)}};
@@ -636,7 +639,7 @@ TEST_P(CrbReferenceModel, RandomOpsMatchNaiveModel)
             if (expect) {
                 // The hit wrote the recorded live-outs; mirror into
                 // the shadow file and compare the whole register file.
-                ASSERT_EQ(outcome.numOutputsWritten,
+                ASSERT_EQ(outcome.numOutputsWritten(),
                           static_cast<int>(expect->size()));
                 for (const auto &[reg, value] : *expect)
                     shadow[reg] = value;
@@ -698,5 +701,87 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 4, 8, 16),
                        ::testing::Values(0xC0FFEEULL, 0xBEEF01ULL,
                                          0x5EED02ULL)));
+
+// ---------------------------------------------------------------------
+// Lockstep equivalence: pre-decoded engine vs reference interpreter.
+// ---------------------------------------------------------------------
+
+/**
+ * Step @p machine and @p ref together, comparing the full ExecInfo
+ * stream (pcs, operand values, results, memory addresses, branch
+ * outcomes, call arguments). Stops at halt or after @p budget
+ * instructions. Fails the current test on the first divergence.
+ */
+void
+runLockstep(emu::Machine &machine, emu::ReferenceMachine &ref,
+            std::uint64_t budget)
+{
+    emu::ExecInfo a, b;
+    for (std::uint64_t n = 0; n < budget; ++n) {
+        const auto ka = machine.step(a);
+        const auto kb = ref.step(b);
+        // Fast path: compare quietly, report loudly on divergence.
+        const bool same =
+            ka == kb && a.inst == b.inst && a.func == b.func
+            && a.block == b.block && a.numSrcRegs == b.numSrcRegs
+            && a.srcVals == b.srcVals && a.result == b.result
+            && a.memAddr == b.memAddr && a.taken == b.taken
+            && a.pc == b.pc && a.nextPc == b.nextPc;
+        if (!same) {
+            ASSERT_EQ(static_cast<int>(ka), static_cast<int>(kb))
+                << "step kind diverged at inst " << n;
+            ASSERT_EQ(a.pc, b.pc) << "pc diverged at inst " << n;
+            ASSERT_EQ(a.nextPc, b.nextPc)
+                << "nextPc diverged at inst " << n;
+            ASSERT_EQ(a.result, b.result)
+                << "result diverged at inst " << n << " pc=" << a.pc;
+            ADD_FAILURE() << "ExecInfo diverged at inst " << n
+                          << " pc=" << a.pc;
+            return;
+        }
+        if (ka == emu::StepKind::Halted)
+            break;
+        if (a.inst->op == Opcode::Call) {
+            for (int k = 0; k < a.inst->numArgs; ++k) {
+                ASSERT_EQ(a.argVals[static_cast<std::size_t>(k)],
+                          b.argVals[static_cast<std::size_t>(k)])
+                    << "call arg " << k << " diverged at inst " << n;
+            }
+        }
+    }
+}
+
+TEST(LockstepEquivalence, EveryWorkloadMatchesReferenceInterpreter)
+{
+    // Every builtin + corpus workload, run on both engines from the
+    // same prepared memory image. The decoded engine must produce an
+    // identical ExecInfo stream, instruction count, final stats, and
+    // final memory contents.
+    constexpr std::uint64_t kBudget = 2'000'000;
+    for (const auto &name : workloads::allWorkloadNames()) {
+        SCOPED_TRACE(name);
+        const auto w = workloads::buildWorkload(name);
+
+        emu::Machine machine(*w.module);
+        w.prepare(machine, workloads::InputSet::Train);
+        emu::ReferenceMachine ref(*w.module);
+        ref.memory() = machine.memory().clone();
+
+        runLockstep(machine, ref, kBudget);
+        if (::testing::Test::HasFatalFailure())
+            return;
+
+        EXPECT_EQ(machine.halted(), ref.halted());
+        EXPECT_EQ(machine.instCount(), ref.instCount());
+        EXPECT_EQ(machine.memory().contentHash(),
+                  ref.memory().contentHash());
+        for (const auto *key :
+             {"insts", "loads", "stores", "branches", "calls",
+              "reuseMisses", "invalidates"}) {
+            EXPECT_EQ(machine.stats().get(key), ref.stats().get(key))
+                << key;
+        }
+    }
+}
 
 } // namespace

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Gate region legality: run the independent region lint (ccrc lint)
+# over every built-in workload and every corpus/*.lc file. The lint
+# re-derives live-in/live-out/memory/structure claims from scratch and
+# cross-checks the former's output, then replay-validates every claim
+# dynamically (--run-crosscheck). Any Error-severity finding fails the
+# job. The machine-readable findings are written into <out-dir> for
+# artifact upload.
+#
+# Usage: scripts/ci_lint.sh <build-dir> <out-dir>
+set -euo pipefail
+
+build_dir=${1:?usage: ci_lint.sh <build-dir> <out-dir>}
+out_dir=${2:?usage: ci_lint.sh <build-dir> <out-dir>}
+mkdir -p "$out_dir"
+
+ccrc="$build_dir/tools/ccrc"
+[ -x "$ccrc" ] || { echo "missing $ccrc (build first)"; exit 1; }
+
+builtins=(espresso sc go m88ksim gcc compress li ijpeg vortex
+          lex yacc mpeg2enc pgpencode)
+
+shopt -s nullglob
+corpus=(corpus/*.lc)
+[ ${#corpus[@]} -ge 5 ] || {
+    echo "corpus has ${#corpus[@]} files, expected >= 5"; exit 1; }
+
+"$ccrc" lint --run-crosscheck --json "$out_dir/lint.json" \
+    "${builtins[@]}" "${corpus[@]}" | tee "$out_dir/lint.txt"
+
+[ -s "$out_dir/lint.json" ] || { echo "lint report missing"; exit 1; }
+
+echo "lint: ${#builtins[@]} builtins + ${#corpus[@]} corpus files clean,"\
+     "reports in $out_dir"

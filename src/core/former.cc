@@ -330,6 +330,12 @@ RegionFormer::formCyclicRegions(ir::Function &func)
             region.inception = inception;
             region.bodyEntry = header;
             region.join = join;
+            for (const auto b : loop->blocks)
+                region.memberBlocks.push_back(b);
+            for (const auto &[to, t] : tramp)
+                region.memberBlocks.push_back(t);
+            std::sort(region.memberBlocks.begin(),
+                      region.memberBlocks.end());
             region.liveIns = live_ins;
             region.liveOuts = live_outs;
             region.memStructs = structs;

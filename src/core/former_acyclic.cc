@@ -347,6 +347,7 @@ RegionFormer::applyAcyclic(ir::Function &func, std::vector<Segment> segs)
 
     // Phase D: side-exit trampolines for in-region branches whose other
     // direction leaves the region.
+    std::vector<ir::BlockId> trampolines;
     std::vector<bool> in_region(func.numBlocks(), false);
     for (const auto &seg : segs)
         in_region[seg.block] = true;
@@ -372,6 +373,7 @@ RegionFormer::applyAcyclic(ir::Function &func, std::vector<Segment> segs)
                 const ir::BlockId tramp =
                     makeTrampoline(func, t, false, true);
                 claim(fid, func.block(tramp).terminator().uid);
+                trampolines.push_back(tramp);
                 retargetInst(func.block(sb).terminator(), t, tramp);
             }
             if (t1 == t2)
@@ -423,6 +425,13 @@ RegionFormer::applyAcyclic(ir::Function &func, std::vector<Segment> segs)
         region.inception = inception;
         region.bodyEntry = body_entry;
         region.join = join;
+        for (const auto &seg : segs)
+            region.memberBlocks.push_back(seg.block);
+        region.memberBlocks.insert(region.memberBlocks.end(),
+                                   trampolines.begin(),
+                                   trampolines.end());
+        std::sort(region.memberBlocks.begin(),
+                  region.memberBlocks.end());
         region.liveIns = live_ins;
         region.liveOuts = live_outs;
         region.memStructs = structs;

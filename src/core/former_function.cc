@@ -151,6 +151,7 @@ RegionFormer::formFunctionLevelRegions(ir::Function &func)
         region.inception = inception;
         region.bodyEntry = body_entry;
         region.join = cont;
+        region.memberBlocks.push_back(body_entry);
         for (int i = 0; i < call.numArgs; ++i)
             region.liveIns.push_back(call.args[i]);
         if (call.dst != ir::kNoReg)

@@ -52,6 +52,16 @@ struct ReuseRegion
     /** Non-const memory structures the region reads; empty => SL. */
     std::vector<ir::GlobalId> memStructs;
 
+    /**
+     * Every block claimed to belong to the region body (body blocks
+     * plus the end/exit trampolines carrying the marker bits; for
+     * function-level regions just the block holding the marked call).
+     * Exposed so the lint (ccr_lint) can audit the former's claims
+     * against an independent traversal. Empty on tables not produced
+     * by RegionFormer (e.g. reconstructed from `.lc` text).
+     */
+    std::vector<ir::BlockId> memberBlocks;
+
     /** True when the region contains any load (including const). */
     bool usesMemory = false;
 

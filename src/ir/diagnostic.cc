@@ -1,0 +1,108 @@
+#include "ir/diagnostic.hh"
+
+#include <sstream>
+
+#include "obs/json.hh"
+
+namespace ccr::ir
+{
+
+std::string_view
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Error: return "error";
+      case Severity::Warn: return "warn";
+      case Severity::Note: return "note";
+    }
+    return "error";
+}
+
+Diagnostic
+makeError(std::string rule, std::string message, SourceLoc loc)
+{
+    return {Severity::Error, std::move(rule), std::move(message), loc};
+}
+
+Diagnostic
+makeWarn(std::string rule, std::string message, SourceLoc loc)
+{
+    return {Severity::Warn, std::move(rule), std::move(message), loc};
+}
+
+Diagnostic
+makeNote(std::string rule, std::string message, SourceLoc loc)
+{
+    return {Severity::Note, std::move(rule), std::move(message), loc};
+}
+
+std::size_t
+countErrors(const std::vector<Diagnostic> &diags)
+{
+    std::size_t n = 0;
+    for (const auto &d : diags) {
+        if (d.severity == Severity::Error)
+            ++n;
+    }
+    return n;
+}
+
+bool
+hasErrors(const std::vector<Diagnostic> &diags)
+{
+    return countErrors(diags) > 0;
+}
+
+std::string
+formatDiagnostic(const Diagnostic &d, std::string_view filename)
+{
+    std::ostringstream os;
+    if (!filename.empty())
+        os << filename << ":";
+    if (d.loc.valid())
+        os << d.loc.line << ":" << d.loc.col << ":";
+    if (!filename.empty() || d.loc.valid())
+        os << " ";
+    os << severityName(d.severity) << ": ";
+    if (!d.rule.empty())
+        os << "[" << d.rule << "] ";
+    os << d.message;
+    return os.str();
+}
+
+std::string
+formatDiagnostics(const std::vector<Diagnostic> &diags,
+                  std::string_view filename)
+{
+    std::string out;
+    for (const auto &d : diags) {
+        out += formatDiagnostic(d, filename);
+        out += "\n";
+    }
+    return out;
+}
+
+obs::Json
+diagnosticToJson(const Diagnostic &d)
+{
+    obs::Json j = obs::Json::object();
+    j["severity"] = obs::Json(std::string(severityName(d.severity)));
+    j["rule"] = obs::Json(d.rule);
+    j["message"] = obs::Json(d.message);
+    if (d.loc.valid()) {
+        j["line"] = obs::Json(d.loc.line);
+        j["col"] = obs::Json(d.loc.col);
+    }
+    return j;
+}
+
+obs::Json
+diagnosticsToJson(const std::vector<Diagnostic> &diags)
+{
+    obs::Json arr = obs::Json::array();
+    for (const auto &d : diags)
+        arr.push(diagnosticToJson(d));
+    return arr;
+}
+
+} // namespace ccr::ir

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Structured diagnostics shared by the IR verifier, the `.lc` text
+ * frontend, and the region lint (`ccr_lint`). A diagnostic carries a
+ * severity, a stable machine-readable rule id (e.g. "ir.inst.bad-reg"
+ * or "lint.region.livein.missing"), a human-readable message, and an
+ * optional source location when the module came from `.lc` text.
+ */
+
+#ifndef CCR_IR_DIAGNOSTIC_HH
+#define CCR_IR_DIAGNOSTIC_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccr::obs
+{
+class Json;
+}
+
+namespace ccr::ir
+{
+
+/** A 1-based line/column position in a `.lc` source buffer.
+ *  line == 0 means "no source location" (module built in memory). */
+struct SourceLoc
+{
+    int line = 0;
+    int col = 0;
+
+    bool valid() const { return line > 0; }
+    bool operator==(const SourceLoc &) const = default;
+};
+
+enum class Severity
+{
+    Error,
+    Warn,
+    Note,
+};
+
+/** "error" / "warn" / "note". */
+std::string_view severityName(Severity s);
+
+/** One finding. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Stable rule id ("ir.*", "parse.*", "lint.*"). */
+    std::string rule;
+    std::string message;
+    SourceLoc loc;
+
+    bool operator==(const Diagnostic &) const = default;
+};
+
+/** Convenience constructors. */
+Diagnostic makeError(std::string rule, std::string message,
+                     SourceLoc loc = {});
+Diagnostic makeWarn(std::string rule, std::string message,
+                    SourceLoc loc = {});
+Diagnostic makeNote(std::string rule, std::string message,
+                    SourceLoc loc = {});
+
+/** Number of Error-severity diagnostics. */
+std::size_t countErrors(const std::vector<Diagnostic> &diags);
+
+/** True when at least one diagnostic has Error severity. */
+bool hasErrors(const std::vector<Diagnostic> &diags);
+
+/**
+ * Render one diagnostic as
+ * "[file:][line:col:] severity: [rule] message". The file prefix and
+ * the line/col prefix are omitted when @p filename is empty / the loc
+ * is invalid.
+ */
+std::string formatDiagnostic(const Diagnostic &d,
+                             std::string_view filename = {});
+
+/** Render all diagnostics, one per line. */
+std::string formatDiagnostics(const std::vector<Diagnostic> &diags,
+                              std::string_view filename = {});
+
+/**
+ * JSON serialization (via ccr_obs):
+ * {"severity":..,"rule":..,"message":..[,"line":..,"col":..]}.
+ */
+obs::Json diagnosticToJson(const Diagnostic &d);
+obs::Json diagnosticsToJson(const std::vector<Diagnostic> &diags);
+
+} // namespace ccr::ir
+
+#endif // CCR_IR_DIAGNOSTIC_HH

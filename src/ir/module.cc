@@ -60,6 +60,16 @@ Module::findGlobal(const std::string &name)
     return nullptr;
 }
 
+const Global *
+Module::findGlobal(const std::string &name) const
+{
+    for (const auto &g : globals_) {
+        if (g.name == name)
+            return &g;
+    }
+    return nullptr;
+}
+
 std::size_t
 Module::numInsts() const
 {

@@ -66,6 +66,7 @@ class Module
 
     /** Look up a global by name; nullptr when absent. */
     Global *findGlobal(const std::string &name);
+    const Global *findGlobal(const std::string &name) const;
 
     std::size_t numFunctions() const { return functions_.size(); }
     std::size_t numGlobals() const { return globals_.size(); }

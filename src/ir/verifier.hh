@@ -1,7 +1,9 @@
 /**
  * @file
  * Structural IR verifier. Run after construction and after every
- * transformation pass; returns a list of human-readable problems.
+ * transformation pass; returns structured diagnostics (severity +
+ * stable "ir.*" rule id + message). A thin string shim (`verify`) is
+ * kept for one release for callers that only want the message text.
  */
 
 #ifndef CCR_IR_VERIFIER_HH
@@ -10,16 +12,23 @@
 #include <string>
 #include <vector>
 
+#include "ir/diagnostic.hh"
 #include "ir/module.hh"
 
 namespace ccr::ir
 {
 
-/** Verify one function; appends messages to @p errors. */
+/** Verify one function; appends diagnostics to @p diags. */
 void verifyFunction(const Module &mod, const Function &func,
-                    std::vector<std::string> &errors);
+                    std::vector<Diagnostic> &diags);
 
-/** Verify the whole module. Returns the list of problems (empty = OK). */
+/** Verify the whole module. Returns the diagnostics (empty = OK). */
+std::vector<Diagnostic> verifyModule(const Module &mod);
+
+/**
+ * Deprecated string shim: the diagnostics of verifyModule() flattened
+ * to their message text. Prefer verifyModule().
+ */
 std::vector<std::string> verify(const Module &mod);
 
 /** Verify and ccr_fatal() with the first message on failure. */

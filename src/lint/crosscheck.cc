@@ -1,0 +1,279 @@
+#include "lint/crosscheck.hh"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace ccr::lint
+{
+
+namespace
+{
+
+using namespace ccr::ir;
+
+/** Maps emulator data addresses back to the global they fall in. */
+class GlobalMap
+{
+  public:
+    explicit GlobalMap(const emu::Machine &machine)
+    {
+        const ir::Module &mod = machine.module();
+        for (std::size_t g = 0; g < mod.numGlobals(); ++g) {
+            const auto gid = static_cast<GlobalId>(g);
+            const auto &gl = mod.global(gid);
+            spans_.push_back({machine.globalAddr(gid),
+                              machine.globalAddr(gid) + gl.sizeBytes,
+                              gid});
+        }
+        std::sort(spans_.begin(), spans_.end(),
+                  [](const Span &a, const Span &b) {
+                      return a.lo < b.lo;
+                  });
+    }
+
+    /** Global containing @p addr, or kNoGlobal for heap/unknown. */
+    GlobalId
+    lookup(emu::Addr addr) const
+    {
+        auto it = std::upper_bound(
+            spans_.begin(), spans_.end(), addr,
+            [](emu::Addr a, const Span &s) { return a < s.lo; });
+        if (it == spans_.begin())
+            return kNoGlobal;
+        --it;
+        return addr < it->hi ? it->gid : kNoGlobal;
+    }
+
+  private:
+    struct Span
+    {
+        emu::Addr lo = 0;
+        emu::Addr hi = 0;
+        GlobalId gid = kNoGlobal;
+    };
+    std::vector<Span> spans_;
+};
+
+/**
+ * Passive observer mirroring the CRB's memoization-mode bookkeeping
+ * (uarch/crb.cc observe()): tracks one recording at a time, from the
+ * reuse instruction's fall-through to the region-end/region-exit
+ * marker (or, for function-level regions, the matching return).
+ */
+class CrossChecker : public emu::Observer
+{
+  public:
+    CrossChecker(const emu::Machine &machine,
+                 const core::RegionTable &table,
+                 CrossCheckResult &result)
+        : mod_(machine.module()), table_(table), globals_(machine),
+          result_(result)
+    {}
+
+    void
+    onInst(const emu::ExecInfo &info) override
+    {
+        const Inst &inst = *info.inst;
+
+        if (inst.op == Opcode::Reuse) {
+            if (active_ != nullptr) {
+                // The CRB aborts the outer recording on a nested
+                // reuse; a former should never have produced one.
+                violation("lint.dyn.nested",
+                          "region #" + std::to_string(active_->id) +
+                              ": nested reuse (#" +
+                              std::to_string(inst.regionId) +
+                              ") executed while the recording was "
+                              "active");
+                endTracking();
+            }
+            beginTracking(inst.regionId);
+            return;
+        }
+        if (active_ == nullptr)
+            return;
+
+        if (active_->functionLevel) {
+            observeFunctionLevel(info);
+            return;
+        }
+        observeBlockRegion(info);
+    }
+
+  private:
+    void
+    beginTracking(RegionId id)
+    {
+        active_ = table_.find(id);
+        if (active_ == nullptr)
+            return; // lintModule reports the unknown id statically
+        ++result_.regionEntries;
+        defined_.clear();
+        callDepth_ = 0;
+        liveIns_.clear();
+        liveIns_.insert(active_->liveIns.begin(),
+                        active_->liveIns.end());
+        liveOuts_.clear();
+        liveOuts_.insert(active_->liveOuts.begin(),
+                         active_->liveOuts.end());
+        memStructs_.clear();
+        memStructs_.insert(active_->memStructs.begin(),
+                           active_->memStructs.end());
+    }
+
+    void endTracking() { active_ = nullptr; }
+
+    void
+    observeBlockRegion(const emu::ExecInfo &info)
+    {
+        const Inst &inst = *info.inst;
+
+        // Use before definition must be covered by the claimed
+        // live-in set, or a CRB hit would validate against a stale
+        // input bank.
+        for (int i = 0; i < info.numSrcRegs; ++i) {
+            const Reg r = inst.regSource(i);
+            if (!defined_.count(r) && !liveIns_.count(r)) {
+                violation(
+                    "lint.dyn.livein",
+                    "region #" + std::to_string(active_->id) +
+                        ": execution read r" + std::to_string(r) +
+                        " before defining it, outside the claimed "
+                        "live-in set");
+            }
+        }
+
+        if (inst.isLoad())
+            checkLoad(info.memAddr);
+
+        if (inst.hasDst()) {
+            defined_.insert(inst.dst);
+            if (inst.ext.liveOut && !liveOuts_.count(inst.dst)) {
+                violation(
+                    "lint.dyn.liveout",
+                    "region #" + std::to_string(active_->id) +
+                        ": execution recorded r" +
+                        std::to_string(inst.dst) +
+                        " as an output (live-out marker) outside "
+                        "the claimed live-out set");
+            }
+        }
+
+        if (inst.ext.regionEnd || inst.ext.regionExit) {
+            endTracking();
+            return;
+        }
+        // Anything that leaves the region's control without a marker
+        // aborts the recording in hardware (calls, returns, halt);
+        // the static opcode rule reports those, so just stop.
+        if (inst.op == Opcode::Call || inst.op == Opcode::Ret ||
+            inst.op == Opcode::Halt) {
+            endTracking();
+        }
+    }
+
+    void
+    observeFunctionLevel(const emu::ExecInfo &info)
+    {
+        const Inst &inst = *info.inst;
+
+        // Loads are checked at every call depth: the whole callee
+        // tree is summarized by the region's memory set.
+        if (inst.isLoad())
+            checkLoad(info.memAddr);
+
+        if (callDepth_ == 0) {
+            if (inst.op == Opcode::Call && inst.ext.regionEnd) {
+                // Function-level inputs are the argument registers.
+                for (int i = 0; i < inst.numArgs; ++i) {
+                    const Reg r = inst.args[i];
+                    if (!liveIns_.count(r)) {
+                        violation(
+                            "lint.dyn.livein",
+                            "region #" +
+                                std::to_string(active_->id) +
+                                ": memoized call passed argument r" +
+                                std::to_string(r) +
+                                " outside the claimed live-in set");
+                    }
+                }
+                callDepth_ = 1;
+                return;
+            }
+            if (inst.op == Opcode::Call || inst.op == Opcode::Ret ||
+                inst.op == Opcode::Halt) {
+                endTracking();
+            }
+            return;
+        }
+
+        if (inst.op == Opcode::Call) {
+            ++callDepth_;
+        } else if (inst.op == Opcode::Ret) {
+            if (--callDepth_ == 0)
+                endTracking();
+        } else if (inst.op == Opcode::Halt) {
+            endTracking();
+        }
+    }
+
+    void
+    checkLoad(emu::Addr addr)
+    {
+        const GlobalId g = globals_.lookup(addr);
+        if (g == kNoGlobal) {
+            violation("lint.dyn.mem",
+                      "region #" + std::to_string(active_->id) +
+                          ": execution loaded from address outside "
+                          "every named global (heap or unknown "
+                          "memory; not invalidation-summarizable)");
+            return;
+        }
+        const auto &gl = mod_.global(g);
+        if (gl.isConst || memStructs_.count(g))
+            return;
+        violation("lint.dyn.mem",
+                  "region #" + std::to_string(active_->id) +
+                      ": execution loaded from global '" + gl.name +
+                      "' outside the claimed memory set");
+    }
+
+    void
+    violation(const char *rule, std::string msg)
+    {
+        if (!seen_.insert(msg).second)
+            return;
+        result_.diagnostics.push_back(ir::makeError(rule, msg));
+    }
+
+    const ir::Module &mod_;
+    const core::RegionTable &table_;
+    GlobalMap globals_;
+    CrossCheckResult &result_;
+
+    const core::ReuseRegion *active_ = nullptr;
+    std::set<Reg> defined_;
+    std::set<Reg> liveIns_;
+    std::set<Reg> liveOuts_;
+    std::set<GlobalId> memStructs_;
+    int callDepth_ = 0;
+    std::set<std::string> seen_;
+};
+
+} // namespace
+
+CrossCheckResult
+crossCheck(emu::Machine &machine, const core::RegionTable &table,
+           std::uint64_t max_insts)
+{
+    CrossCheckResult result;
+    CrossChecker checker(machine, table, result);
+    machine.addObserver(&checker);
+    result.instsExecuted = machine.run(max_insts);
+    machine.clearObservers();
+    return result;
+}
+
+} // namespace ccr::lint

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Dynamic cross-check (translation validation) for formed regions: replay
+ * a workload on the functional emulator with *no* reuse hardware attached
+ * and watch every region execution, flagging any behaviour that escapes
+ * the former's static claims — a register read before definition that is
+ * not a claimed live-in, a load outside the claimed memory structures, or
+ * a live-out-marked write outside the claimed live-out set. Any such
+ * escape means a CRB hit could replay stale or wrong state, so each one
+ * is an Error-severity diagnostic.
+ */
+
+#ifndef CCR_LINT_CROSSCHECK_HH
+#define CCR_LINT_CROSSCHECK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/region.hh"
+#include "emu/machine.hh"
+#include "ir/diagnostic.hh"
+
+namespace ccr::lint
+{
+
+struct CrossCheckResult
+{
+    std::vector<ir::Diagnostic> diagnostics;
+
+    /** Dynamic instructions replayed. */
+    std::uint64_t instsExecuted = 0;
+
+    /** Region executions (reuse instructions reaching their body)
+     *  observed during the replay. */
+    std::uint64_t regionEntries = 0;
+
+    bool ok() const { return !ir::hasErrors(diagnostics); }
+};
+
+/**
+ * Replay @p machine (already prepared with workload inputs, and with
+ * NO ReuseHandler installed, so every `reuse` falls through to the
+ * body) for up to @p max_insts instructions, mirroring the CRB's
+ * memoization-mode bookkeeping in a passive observer and checking each
+ * observed region execution against the claims in @p table.
+ *
+ * Violations are deduplicated per (rule, region, register/address
+ * class). The observer is attached for the duration of the run and
+ * detached before returning (machine.clearObservers() is called, so
+ * attach any profiling observers after, not before, this call).
+ */
+CrossCheckResult crossCheck(emu::Machine &machine,
+                            const core::RegionTable &table,
+                            std::uint64_t max_insts = 50'000'000);
+
+} // namespace ccr::lint
+
+#endif // CCR_LINT_CROSSCHECK_HH

@@ -1,0 +1,1090 @@
+#include "lint/lint.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/alias.hh"
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/liveness.hh"
+#include "analysis/loops.hh"
+
+namespace ccr::lint
+{
+
+namespace
+{
+
+using namespace ccr::ir;
+
+/** Successor blocks of a terminator, for region traversal. */
+std::vector<BlockId>
+termSuccs(const Inst &term)
+{
+    switch (term.op) {
+      case Opcode::Br:
+      case Opcode::Reuse:
+        if (term.target == term.target2)
+            return {term.target};
+        return {term.target, term.target2};
+      case Opcode::Jump:
+      case Opcode::Call:
+        return {term.target};
+      default:
+        return {};
+    }
+}
+
+/** Result of the region-body traversal from the body entry. */
+struct Traversal
+{
+    /** Blocks reachable from the body entry without crossing a
+     *  region-end/region-exit marker. */
+    std::set<BlockId> members;
+
+    /** Uids of the marked terminators that bound the region. */
+    std::set<InstUid> boundaryUids;
+
+    /** Back-edge heads found inside the member subgraph. */
+    std::vector<BlockId> backEdgeHeads;
+
+    /** Blocks whose unmarked terminator reaches the join directly. */
+    std::vector<BlockId> leakBlocks;
+
+    /** An empty/unterminated/out-of-range block was encountered. */
+    bool malformed = false;
+
+    bool cyclic() const { return !backEdgeHeads.empty(); }
+};
+
+Traversal
+traverseRegion(const ir::Function &func, BlockId body_entry, BlockId join)
+{
+    Traversal t;
+    const auto nblocks = static_cast<BlockId>(func.numBlocks());
+    if (body_entry >= nblocks || join >= nblocks) {
+        t.malformed = true;
+        return t;
+    }
+
+    enum : std::uint8_t { White, Gray, Black };
+    std::vector<std::uint8_t> color(func.numBlocks(), White);
+
+    struct Frame
+    {
+        BlockId block;
+        std::vector<BlockId> succs;
+        std::size_t next = 0;
+    };
+    std::vector<Frame> stack;
+
+    auto open = [&](BlockId b) {
+        color[b] = Gray;
+        t.members.insert(b);
+        Frame fr;
+        fr.block = b;
+        const auto &bb = func.block(b);
+        if (bb.empty() || !bb.isTerminated()) {
+            t.malformed = true;
+        } else {
+            const Inst &term = bb.terminator();
+            if (term.ext.regionEnd || term.ext.regionExit) {
+                t.boundaryUids.insert(term.uid);
+            } else {
+                for (const BlockId s : termSuccs(term)) {
+                    if (s >= nblocks) {
+                        t.malformed = true;
+                    } else if (s == join) {
+                        t.leakBlocks.push_back(b);
+                    } else {
+                        fr.succs.push_back(s);
+                    }
+                }
+            }
+        }
+        stack.push_back(std::move(fr));
+    };
+
+    open(body_entry);
+    while (!stack.empty()) {
+        Frame &fr = stack.back();
+        if (fr.next < fr.succs.size()) {
+            const BlockId s = fr.succs[fr.next++];
+            if (color[s] == White)
+                open(s);
+            else if (color[s] == Gray)
+                t.backEdgeHeads.push_back(s);
+        } else {
+            color[fr.block] = Black;
+            stack.pop_back();
+        }
+    }
+    return t;
+}
+
+std::set<Reg>
+regSet(const std::vector<Reg> &regs)
+{
+    return {regs.begin(), regs.end()};
+}
+
+/** Where a reuse instruction for a region id lives. */
+struct ReuseSite
+{
+    FuncId func = kNoFunc;
+    BlockId block = kNoBlock;
+    const Inst *inst = nullptr;
+};
+
+class Linter
+{
+  public:
+    Linter(const ir::Module &mod, const core::RegionTable &table,
+           const SourceMap *locs)
+        : mod_(mod), table_(table), locs_(locs), alias_(mod)
+    {}
+
+    LintResult
+    run()
+    {
+        scanModule();
+        checkIds();
+        for (const auto &r : table_.regions())
+            checkRegion(r);
+        checkStores();
+        checkOrphanMarkers();
+        return std::move(result_);
+    }
+
+  private:
+    /** Per-function analyses, built on first use. */
+    struct FuncAnalyses
+    {
+        explicit FuncAnalyses(const ir::Function &func)
+            : cfg(func), dom(cfg), live(cfg), loops(cfg, dom)
+        {}
+        analysis::Cfg cfg;
+        analysis::Dominators dom;
+        analysis::Liveness live;
+        analysis::LoopInfo loops;
+    };
+
+    const FuncAnalyses &
+    analyses(FuncId f)
+    {
+        auto it = fa_.find(f);
+        if (it == fa_.end()) {
+            it = fa_.emplace(f, std::make_unique<FuncAnalyses>(
+                                    mod_.function(f)))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    SourceLoc
+    locOf(FuncId f, InstUid uid) const
+    {
+        if (locs_ == nullptr || f == kNoFunc)
+            return {};
+        const auto fi = static_cast<std::size_t>(f);
+        if (fi >= locs_->size() || uid >= (*locs_)[fi].size())
+            return {};
+        return (*locs_)[fi][uid];
+    }
+
+    void
+    diag(Severity sev, const char *rule, std::string msg,
+         FuncId f = kNoFunc, InstUid uid = kNoUid)
+    {
+        result_.diagnostics.push_back(
+            {sev, rule, std::move(msg), locOf(f, uid)});
+    }
+
+    std::string
+    at(FuncId f, BlockId b) const
+    {
+        return mod_.function(f).name() + ":B" + std::to_string(b);
+    }
+
+    static std::string
+    rname(RegionId id)
+    {
+        return "region #" + std::to_string(id);
+    }
+
+    // ----- module scan ----------------------------------------------
+
+    void
+    scanModule()
+    {
+        for (std::size_t f = 0; f < mod_.numFunctions(); ++f) {
+            const auto fid = static_cast<FuncId>(f);
+            const auto &func = mod_.function(fid);
+            for (const auto &bb : func.blocks()) {
+                for (const auto &inst : bb.insts()) {
+                    if (inst.op == Opcode::Reuse) {
+                        reuseSites_[inst.regionId].push_back(
+                            {fid, bb.id(), &inst});
+                    } else if (inst.op == Opcode::Invalidate) {
+                        invalidateSites_[inst.regionId].push_back(
+                            {fid, bb.id(), &inst});
+                    }
+                }
+            }
+        }
+    }
+
+    void
+    checkIds()
+    {
+        for (const auto &[id, sites] : reuseSites_) {
+            if (table_.find(id) == nullptr) {
+                diag(Severity::Error, "lint.marker.unknown-region",
+                     at(sites.front().func, sites.front().block) +
+                         ": reuse names " + rname(id) +
+                         " which is not in the region table",
+                     sites.front().func, sites.front().inst->uid);
+            }
+            if (sites.size() > 1) {
+                diag(Severity::Error, "lint.marker.reuse-dup",
+                     rname(id) + ": " + std::to_string(sites.size()) +
+                         " reuse instructions share the region id "
+                         "(each region has exactly one inception "
+                         "point)",
+                     sites.front().func, sites.front().inst->uid);
+            }
+        }
+        for (const auto &[id, sites] : invalidateSites_) {
+            if (table_.find(id) == nullptr) {
+                diag(Severity::Warn, "lint.marker.unknown-region",
+                     at(sites.front().func, sites.front().block) +
+                         ": invalidate names " + rname(id) +
+                         " which is not in the region table",
+                     sites.front().func, sites.front().inst->uid);
+            }
+        }
+    }
+
+    // ----- per-region checks ----------------------------------------
+
+    void
+    checkRegion(const core::ReuseRegion &r)
+    {
+        // -- Shape: the reuse instruction must exist and agree with
+        // the claimed inception/body-entry/join geometry.
+        const auto it = reuseSites_.find(r.id);
+        if (it == reuseSites_.end()) {
+            diag(Severity::Error, "lint.region.shape",
+                 rname(r.id) + ": no reuse instruction in the module");
+            return;
+        }
+        const ReuseSite &site = it->second.front();
+        const Inst &reuse = *site.inst;
+        if (site.func != r.func || site.block != r.inception ||
+            reuse.target != r.join || reuse.target2 != r.bodyEntry) {
+            diag(Severity::Error, "lint.region.shape",
+                 rname(r.id) + ": reuse instruction at " +
+                     at(site.func, site.block) +
+                     " disagrees with the claimed geometry "
+                     "(inception/body-entry/join)",
+                 site.func, reuse.uid);
+            return;
+        }
+
+        const auto &func = mod_.function(r.func);
+        const Traversal t =
+            r.functionLevel
+                ? traverseFunctionLevel(r, func)
+                : traverseRegion(func, r.bodyEntry, r.join);
+        if (t.malformed) {
+            diag(Severity::Error, "lint.region.shape",
+                 rname(r.id) +
+                     ": region body contains an empty, unterminated, "
+                     "or out-of-range block");
+            return;
+        }
+        for (const auto u : t.boundaryUids)
+            boundaryUids_.insert({r.func, u});
+        for (const auto b : t.leakBlocks) {
+            diag(Severity::Error, "lint.region.leak",
+                 rname(r.id) + ": " + at(r.func, b) +
+                     " reaches the join without a region-end/"
+                     "region-exit marker (the recording would never "
+                     "commit or abort)",
+                 r.func, func.block(b).terminator().uid);
+        }
+
+        checkMemberClaims(r, t);
+        checkSingleEntry(r, t);
+        checkLoopStructure(r, t);
+        if (r.functionLevel) {
+            checkFunctionLevel(r, func);
+        } else {
+            checkOpcodes(r, t, func);
+            checkLiveIns(r, t, func);
+            checkLiveOuts(r, t, func);
+            checkMemory(r, t, func);
+        }
+    }
+
+    Traversal
+    traverseFunctionLevel(const core::ReuseRegion &r,
+                          const ir::Function &func)
+    {
+        Traversal t;
+        if (r.bodyEntry >= func.numBlocks()) {
+            t.malformed = true;
+            return t;
+        }
+        t.members.insert(r.bodyEntry);
+        const auto &bb = func.block(r.bodyEntry);
+        if (bb.empty() || !bb.isTerminated()) {
+            t.malformed = true;
+            return t;
+        }
+        const Inst &term = bb.terminator();
+        if (term.op != Opcode::Call || !term.ext.regionEnd) {
+            diag(Severity::Error, "lint.region.shape",
+                 rname(r.id) + ": function-level body at " +
+                     at(r.func, r.bodyEntry) +
+                     " is not a region-end-marked call",
+                 r.func, term.uid);
+            t.malformed = true;
+            return t;
+        }
+        t.boundaryUids.insert(term.uid);
+        return t;
+    }
+
+    void
+    checkMemberClaims(const core::ReuseRegion &r, const Traversal &t)
+    {
+        if (r.memberBlocks.empty())
+            return;
+        const std::set<BlockId> claimed(r.memberBlocks.begin(),
+                                        r.memberBlocks.end());
+        if (claimed == t.members)
+            return;
+        std::ostringstream os;
+        os << rname(r.id)
+           << ": claimed member blocks disagree with traversal from "
+              "the body entry (";
+        bool first = true;
+        for (const auto b : t.members) {
+            if (!claimed.count(b)) {
+                os << (first ? "" : ", ") << "unclaimed B" << b;
+                first = false;
+            }
+        }
+        for (const auto b : claimed) {
+            if (!t.members.count(b)) {
+                os << (first ? "" : ", ") << "unreached B" << b;
+                first = false;
+            }
+        }
+        os << ")";
+        diag(Severity::Error, "lint.region.members", os.str());
+    }
+
+    void
+    checkSingleEntry(const core::ReuseRegion &r, const Traversal &t)
+    {
+        const auto &fa = analyses(r.func);
+        if (!fa.cfg.reachable(r.inception)) {
+            diag(Severity::Warn, "lint.region.unreachable",
+                 rname(r.id) + ": inception block " +
+                     at(r.func, r.inception) +
+                     " is unreachable from the function entry");
+            return;
+        }
+        for (const auto b : t.members) {
+            if (!fa.cfg.reachable(b))
+                continue;
+            if (!fa.dom.dominates(r.inception, b)) {
+                diag(Severity::Error, "lint.region.multi-entry",
+                     rname(r.id) + ": " + at(r.func, b) +
+                         " is reachable without passing the reuse "
+                         "guard at " + at(r.func, r.inception) +
+                         " (region has a second entry)");
+            }
+        }
+    }
+
+    void
+    checkLoopStructure(const core::ReuseRegion &r, const Traversal &t)
+    {
+        if (r.functionLevel)
+            return;
+        if (!r.cyclic) {
+            if (t.cyclic()) {
+                diag(Severity::Error, "lint.region.acyclic-backedge",
+                     rname(r.id) + ": acyclic region contains a back "
+                                   "edge to " +
+                         at(r.func, t.backEdgeHeads.front()));
+            }
+            return;
+        }
+        if (!t.cyclic()) {
+            diag(Severity::Error, "lint.region.cyclic-mismatch",
+                 rname(r.id) + ": claimed cyclic but the body "
+                               "contains no back edge");
+            return;
+        }
+        for (const auto h : t.backEdgeHeads) {
+            if (h != r.bodyEntry) {
+                diag(Severity::Error, "lint.region.loop",
+                     rname(r.id) + ": back edge targets " +
+                         at(r.func, h) +
+                         " instead of the body entry (not a single-"
+                         "header natural loop)");
+            }
+        }
+        const auto &fa = analyses(r.func);
+        const analysis::Loop *loop = fa.loops.loopFor(r.bodyEntry);
+        if (loop == nullptr || loop->header != r.bodyEntry) {
+            diag(Severity::Error, "lint.region.loop",
+                 rname(r.id) + ": body entry " +
+                     at(r.func, r.bodyEntry) +
+                     " is not the header of a natural loop");
+        }
+    }
+
+    void
+    checkOpcodes(const core::ReuseRegion &r, const Traversal &t,
+                 const ir::Function &func)
+    {
+        for (const auto b : t.members) {
+            for (const auto &inst : func.block(b).insts()) {
+                switch (inst.op) {
+                  case Opcode::Store:
+                  case Opcode::Call:
+                  case Opcode::Alloc:
+                  case Opcode::Ret:
+                  case Opcode::Halt:
+                  case Opcode::Reuse:
+                  case Opcode::Invalidate:
+                    diag(Severity::Error, "lint.region.opcode",
+                         rname(r.id) + ": " + at(r.func, b) +
+                             ": opcode not permitted inside a region "
+                             "in '" + inst.toString() + "'",
+                         r.func, inst.uid);
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+
+    /** Region-restricted backward liveness: what the body actually
+     *  reads before defining, along region-internal paths only. */
+    analysis::RegSet
+    regionLiveIn(const core::ReuseRegion &r, const Traversal &t,
+                 const ir::Function &func)
+    {
+        const auto nregs = static_cast<std::size_t>(func.numRegs());
+        std::map<BlockId, analysis::RegSet> use, def, in;
+        for (const auto b : t.members) {
+            analysis::RegSet u(nregs), d(nregs);
+            for (const auto &inst : func.block(b).insts()) {
+                analysis::RegSet reads(nregs);
+                analysis::Liveness::addUses(inst, reads);
+                for (const auto reg : reads.toVector()) {
+                    if (!d.test(reg))
+                        u.set(reg);
+                }
+                if (inst.hasDst())
+                    d.set(inst.dst);
+            }
+            use.emplace(b, std::move(u));
+            def.emplace(b, std::move(d));
+            in.emplace(b, analysis::RegSet(nregs));
+        }
+
+        auto internalSuccs = [&](BlockId b) {
+            std::vector<BlockId> out;
+            const Inst &term = func.block(b).terminator();
+            if (term.ext.regionEnd || term.ext.regionExit)
+                return out;
+            for (const auto s : termSuccs(term)) {
+                if (t.members.count(s))
+                    out.push_back(s);
+            }
+            return out;
+        };
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const auto b : t.members) {
+                analysis::RegSet out(nregs);
+                for (const auto s : internalSuccs(b))
+                    out.unionWith(in.at(s));
+                out.subtract(def.at(b));
+                out.unionWith(use.at(b));
+                if (in.at(b) != out) {
+                    in.at(b) = std::move(out);
+                    changed = true;
+                }
+            }
+        }
+        return in.at(r.bodyEntry);
+    }
+
+    void
+    checkLiveIns(const core::ReuseRegion &r, const Traversal &t,
+                 const ir::Function &func)
+    {
+        const analysis::RegSet required = regionLiveIn(r, t, func);
+        const std::set<Reg> claimed = regSet(r.liveIns);
+        for (const auto reg : required.toVector()) {
+            if (!claimed.count(reg)) {
+                diag(Severity::Error, "lint.region.livein.missing",
+                     rname(r.id) + ": body reads r" +
+                         std::to_string(reg) +
+                         " before defining it, but the register is "
+                         "missing from the claimed live-in set");
+            }
+        }
+        for (const auto reg : claimed) {
+            if (static_cast<int>(reg) < func.numRegs() &&
+                !required.test(reg)) {
+                diag(Severity::Warn, "lint.region.livein.over",
+                     rname(r.id) + ": claimed live-in r" +
+                         std::to_string(reg) +
+                         " is never read before definition in the "
+                         "body (over-approximated claim)");
+            }
+        }
+    }
+
+    void
+    checkLiveOuts(const core::ReuseRegion &r, const Traversal &t,
+                  const ir::Function &func)
+    {
+        const auto &fa = analyses(r.func);
+        const auto nregs = static_cast<std::size_t>(func.numRegs());
+        analysis::RegSet defs(nregs);
+        for (const auto b : t.members) {
+            for (const auto &inst : func.block(b).insts()) {
+                if (inst.hasDst())
+                    defs.set(inst.dst);
+            }
+        }
+        analysis::RegSet required = fa.live.liveIn(r.join);
+        required.subtract([&] {
+            analysis::RegSet inv(nregs);
+            for (std::size_t i = 0; i < nregs; ++i) {
+                const auto reg = static_cast<Reg>(i);
+                if (!defs.test(reg))
+                    inv.set(reg);
+            }
+            return inv;
+        }());
+
+        const std::set<Reg> claimed = regSet(r.liveOuts);
+        for (const auto reg : required.toVector()) {
+            if (!claimed.count(reg)) {
+                diag(Severity::Error, "lint.region.liveout.missing",
+                     rname(r.id) + ": r" + std::to_string(reg) +
+                         " is defined in the body and live into the "
+                         "join, but missing from the claimed "
+                         "live-out set (a reuse hit would skip its "
+                         "definition)");
+            }
+        }
+        for (const auto reg : claimed) {
+            if (static_cast<int>(reg) < func.numRegs() &&
+                !required.test(reg)) {
+                diag(Severity::Warn, "lint.region.liveout.over",
+                     rname(r.id) + ": claimed live-out r" +
+                         std::to_string(reg) +
+                         " is not live across the region exit");
+            }
+        }
+
+        // Marker bits: the CI output bank records exactly the
+        // live-out-marked definitions.
+        for (const auto b : t.members) {
+            for (const auto &inst : func.block(b).insts()) {
+                if (!inst.hasDst())
+                    continue;
+                if (claimed.count(inst.dst) && !inst.ext.liveOut) {
+                    diag(Severity::Error,
+                         "lint.region.liveout.unmarked",
+                         rname(r.id) + ": " + at(r.func, b) +
+                             ": definition of claimed live-out r" +
+                             std::to_string(inst.dst) +
+                             " lacks the <live-out> marker in '" +
+                             inst.toString() +
+                             "' (the CRB would not record it)",
+                         r.func, inst.uid);
+                } else if (inst.ext.liveOut &&
+                           !claimed.count(inst.dst)) {
+                    diag(Severity::Warn, "lint.marker.liveout-extra",
+                         rname(r.id) + ": " + at(r.func, b) +
+                             ": <live-out> marker on r" +
+                             std::to_string(inst.dst) +
+                             " which is not a claimed live-out in '" +
+                             inst.toString() + "'",
+                         r.func, inst.uid);
+                }
+            }
+        }
+    }
+
+    void
+    checkMemory(const core::ReuseRegion &r, const Traversal &t,
+                const ir::Function &func)
+    {
+        const std::set<GlobalId> claimed(r.memStructs.begin(),
+                                         r.memStructs.end());
+        std::set<GlobalId> derived;
+        bool uses_memory = false;
+        for (const auto b : t.members) {
+            for (const auto &inst : func.block(b).insts()) {
+                if (!inst.isLoad())
+                    continue;
+                uses_memory = true;
+                const analysis::PtSet &pts =
+                    alias_.memAccess(r.func, inst);
+                if (!pts.onlyNamedGlobals()) {
+                    diag(Severity::Error,
+                         "lint.region.load.indeterminable",
+                         rname(r.id) + ": " + at(r.func, b) +
+                             ": load is not compile-time "
+                             "determinable (may access heap or "
+                             "unknown memory) in '" +
+                             inst.toString() + "'",
+                         r.func, inst.uid);
+                    continue;
+                }
+                if (!inst.ext.determinable) {
+                    diag(Severity::Warn, "lint.marker.det-missing",
+                         rname(r.id) + ": " + at(r.func, b) +
+                             ": determinable load lacks the <det> "
+                             "marker in '" + inst.toString() + "'",
+                         r.func, inst.uid);
+                }
+                for (const auto g : pts.globals) {
+                    if (mod_.global(g).isConst)
+                        continue;
+                    derived.insert(g);
+                    if (!claimed.count(g)) {
+                        diag(Severity::Error,
+                             "lint.region.mem.missing",
+                             rname(r.id) + ": " + at(r.func, b) +
+                                 ": load may read global '" +
+                                 mod_.global(g).name +
+                                 "' which is missing from the "
+                                 "claimed memory set (stores to it "
+                                 "would not invalidate this region)",
+                             r.func, inst.uid);
+                    }
+                }
+            }
+        }
+        for (const auto g : claimed) {
+            if (!derived.count(g)) {
+                diag(Severity::Warn, "lint.region.mem.over",
+                     rname(r.id) + ": claimed memory structure '" +
+                         mod_.global(g).name +
+                         "' is never read by a region load");
+            }
+        }
+        if (uses_memory != r.usesMemory) {
+            diag(Severity::Warn, "lint.region.uses-memory",
+                 rname(r.id) + ": usesMemory claim (" +
+                     (r.usesMemory ? "true" : "false") +
+                     ") disagrees with the body (" +
+                     (uses_memory ? "contains" : "contains no") +
+                     " loads)");
+        }
+    }
+
+    void
+    checkFunctionLevel(const core::ReuseRegion &r,
+                       const ir::Function &func)
+    {
+        const Inst &call = func.block(r.bodyEntry).terminator();
+        const FuncId callee = call.callee;
+
+        // Live-ins are the argument registers, by construction.
+        std::set<Reg> args;
+        for (int i = 0; i < call.numArgs; ++i)
+            args.insert(call.args[i]);
+        const std::set<Reg> claimed = regSet(r.liveIns);
+        for (const auto reg : args) {
+            if (!claimed.count(reg)) {
+                diag(Severity::Error, "lint.region.livein.missing",
+                     rname(r.id) + ": call argument r" +
+                         std::to_string(reg) +
+                         " is missing from the claimed live-in set");
+            }
+        }
+        for (const auto reg : claimed) {
+            if (!args.count(reg)) {
+                diag(Severity::Warn, "lint.region.livein.over",
+                     rname(r.id) + ": claimed live-in r" +
+                         std::to_string(reg) +
+                         " is not an argument of the memoized call");
+            }
+        }
+
+        // Live-out is the call result.
+        const std::set<Reg> lo = regSet(r.liveOuts);
+        if (call.dst != kNoReg) {
+            if (!lo.count(call.dst)) {
+                diag(Severity::Error, "lint.region.liveout.missing",
+                     rname(r.id) + ": call result r" +
+                         std::to_string(call.dst) +
+                         " is missing from the claimed live-out set");
+            }
+        } else if (!lo.empty()) {
+            diag(Severity::Warn, "lint.region.liveout.over",
+                 rname(r.id) + ": claimed live-outs on a call with "
+                               "no result register");
+        }
+
+        // Callee-side purity and memory summary (per alias.cc).
+        if (callee >= mod_.numFunctions())
+            return; // ir verifier territory
+        if (!alias_.funcPure(callee)) {
+            diag(Severity::Error, "lint.region.call.impure",
+                 rname(r.id) + ": memoized callee '" +
+                     mod_.function(callee).name() +
+                     "' is not pure (stores, allocates, or performs "
+                     "non-determinable loads)");
+            return;
+        }
+        const analysis::PtSet &reads = alias_.funcReads(callee);
+        if (!reads.empty() && !reads.onlyNamedGlobals()) {
+            diag(Severity::Error, "lint.region.load.indeterminable",
+                 rname(r.id) + ": memoized callee '" +
+                     mod_.function(callee).name() +
+                     "' reads memory that is not compile-time "
+                     "determinable");
+            return;
+        }
+        const std::set<GlobalId> claimed_mem(r.memStructs.begin(),
+                                             r.memStructs.end());
+        std::set<GlobalId> derived_mem;
+        for (const auto g : reads.globals) {
+            if (mod_.global(g).isConst)
+                continue;
+            derived_mem.insert(g);
+            if (!claimed_mem.count(g)) {
+                diag(Severity::Error, "lint.region.mem.missing",
+                     rname(r.id) + ": memoized callee may read "
+                                   "global '" +
+                         mod_.global(g).name +
+                         "' which is missing from the claimed "
+                         "memory set");
+            }
+        }
+        for (const auto g : claimed_mem) {
+            if (!derived_mem.count(g)) {
+                diag(Severity::Warn, "lint.region.mem.over",
+                     rname(r.id) + ": claimed memory structure '" +
+                         mod_.global(g).name +
+                         "' is never read by the memoized callee");
+            }
+        }
+    }
+
+    // ----- module-wide checks ---------------------------------------
+
+    /** Every store aliasing an MD region's memory set must be
+     *  followed by an invalidate for that region (the former's
+     *  placeInvalidations contract), or stale CIs would be reused. */
+    void
+    checkStores()
+    {
+        std::vector<const core::ReuseRegion *> md;
+        for (const auto &r : table_.regions()) {
+            if (!r.memStructs.empty())
+                md.push_back(&r);
+        }
+        if (md.empty())
+            return;
+
+        for (std::size_t f = 0; f < mod_.numFunctions(); ++f) {
+            const auto fid = static_cast<FuncId>(f);
+            const auto &func = mod_.function(fid);
+            for (const auto &bb : func.blocks()) {
+                const auto &insts = bb.insts();
+                for (std::size_t i = 0; i < insts.size(); ++i) {
+                    if (!insts[i].isStore())
+                        continue;
+                    const analysis::PtSet &pts =
+                        alias_.memAccess(fid, insts[i]);
+                    std::set<RegionId> following;
+                    for (std::size_t k = i + 1;
+                         k < insts.size() &&
+                         insts[k].op == Opcode::Invalidate;
+                         ++k) {
+                        following.insert(insts[k].regionId);
+                    }
+                    for (const auto *r : md) {
+                        bool aliases = pts.unknown;
+                        if (!aliases) {
+                            for (const auto g : r->memStructs) {
+                                if (pts.globals.count(g)) {
+                                    aliases = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if (aliases && !following.count(r->id)) {
+                            diag(Severity::Error,
+                                 "lint.region.store.unsummarized",
+                                 at(fid, bb.id()) +
+                                     ": store may write memory read "
+                                     "by " + rname(r->id) +
+                                     " but is not followed by "
+                                     "'invalidate #" +
+                                     std::to_string(r->id) +
+                                     "' in '" + insts[i].toString() +
+                                     "'",
+                                 fid, insts[i].uid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /** A region-end/region-exit marker the traversals never claimed
+     *  would commit or abort an unrelated recording at run time. */
+    void
+    checkOrphanMarkers()
+    {
+        for (std::size_t f = 0; f < mod_.numFunctions(); ++f) {
+            const auto fid = static_cast<FuncId>(f);
+            const auto &func = mod_.function(fid);
+            for (const auto &bb : func.blocks()) {
+                for (const auto &inst : bb.insts()) {
+                    if (!inst.ext.regionEnd && !inst.ext.regionExit)
+                        continue;
+                    if (boundaryUids_.count({fid, inst.uid}))
+                        continue;
+                    diag(Severity::Error, "lint.marker.orphan",
+                         at(fid, bb.id()) +
+                             ": region-end/region-exit marker does "
+                             "not bound any region in '" +
+                             inst.toString() + "'",
+                         fid, inst.uid);
+                }
+            }
+        }
+    }
+
+    const ir::Module &mod_;
+    const core::RegionTable &table_;
+    const SourceMap *locs_;
+    analysis::AliasAnalysis alias_;
+    LintResult result_;
+
+    std::map<RegionId, std::vector<ReuseSite>> reuseSites_;
+    std::map<RegionId, std::vector<ReuseSite>> invalidateSites_;
+    std::map<FuncId, std::unique_ptr<FuncAnalyses>> fa_;
+    std::set<std::pair<FuncId, InstUid>> boundaryUids_;
+};
+
+// ----- claims from `;! region` pragmas ------------------------------
+
+bool
+parseRegList(const ir::Module &mod, std::string_view text,
+             std::vector<Reg> &out, std::string &err)
+{
+    (void)mod;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = text.size();
+        const std::string_view item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        if (item[0] != 'r' || item.size() < 2) {
+            err = "expected register (rN), got '" + std::string(item) +
+                  "'";
+            return false;
+        }
+        std::uint64_t v = 0;
+        for (std::size_t i = 1; i < item.size(); ++i) {
+            if (item[i] < '0' || item[i] > '9') {
+                err = "expected register (rN), got '" +
+                      std::string(item) + "'";
+                return false;
+            }
+            v = v * 10 + static_cast<std::uint64_t>(item[i] - '0');
+        }
+        out.push_back(static_cast<Reg>(v));
+    }
+    return true;
+}
+
+bool
+parseGlobalList(const ir::Module &mod, std::string_view text,
+                std::vector<GlobalId> &out, std::string &err)
+{
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = text.size();
+        const std::string item(text.substr(pos, comma - pos));
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const Global *g = mod.findGlobal(item);
+        if (g == nullptr) {
+            err = "unknown global '" + item + "'";
+            return false;
+        }
+        out.push_back(g->id);
+    }
+    return true;
+}
+
+} // namespace
+
+LintResult
+lintModule(const ir::Module &mod, const core::RegionTable &table,
+           const SourceMap *locs)
+{
+    return Linter(mod, table, locs).run();
+}
+
+core::RegionTable
+regionsFromSource(const ir::Module &mod,
+                  const std::vector<text::Pragma> &pragmas,
+                  std::vector<ir::Diagnostic> &diags)
+{
+    core::RegionTable table;
+
+    // Region skeletons from the reuse instructions.
+    std::map<RegionId, core::ReuseRegion> regions;
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
+        const auto fid = static_cast<FuncId>(f);
+        const auto &func = mod.function(fid);
+        for (const auto &bb : func.blocks()) {
+            for (const auto &inst : bb.insts()) {
+                if (inst.op != Opcode::Reuse)
+                    continue;
+                if (regions.count(inst.regionId))
+                    continue; // duplicate: the lint reports it
+                core::ReuseRegion r;
+                r.id = inst.regionId;
+                r.func = fid;
+                r.inception = bb.id();
+                r.bodyEntry = inst.target2;
+                r.join = inst.target;
+                if (r.bodyEntry < func.numBlocks()) {
+                    const auto &body = func.block(r.bodyEntry);
+                    if (!body.empty() && body.isTerminated()) {
+                        const Inst &term = body.terminator();
+                        r.functionLevel = term.op == Opcode::Call &&
+                                          term.ext.regionEnd;
+                    }
+                    if (!r.functionLevel) {
+                        const Traversal t = traverseRegion(
+                            func, r.bodyEntry, r.join);
+                        r.cyclic = t.cyclic();
+                        for (const auto b : t.members) {
+                            for (const auto &bi :
+                                 func.block(b).insts()) {
+                                if (bi.isLoad())
+                                    r.usesMemory = true;
+                            }
+                        }
+                    }
+                }
+                regions.emplace(r.id, std::move(r));
+            }
+        }
+    }
+
+    // Claims from `;! region` pragmas.
+    std::set<RegionId> claimed_ids;
+    for (const auto &p : pragmas) {
+        if (text::directiveKey(p.text) != "region")
+            continue;
+        std::istringstream is{std::string(p.text)};
+        std::string kw, tok;
+        is >> kw; // "region"
+        RegionId id = kNoRegion;
+        if (!(is >> tok) ||
+            tok.find_first_not_of("0123456789") != std::string::npos) {
+            diags.push_back(ir::makeError(
+                "lint.claims.syntax",
+                "';! region' directive needs a numeric region id",
+                p.loc));
+            continue;
+        }
+        id = static_cast<RegionId>(std::stoul(tok));
+        const auto it = regions.find(id);
+        if (it == regions.end()) {
+            diags.push_back(ir::makeWarn(
+                "lint.claims.unused",
+                "';! region " + tok +
+                    "' names a region with no reuse instruction",
+                p.loc));
+            continue;
+        }
+        core::ReuseRegion &r = it->second;
+        claimed_ids.insert(id);
+        bool bad = false;
+        while (is >> tok) {
+            const std::size_t eq = tok.find('=');
+            const std::string key = tok.substr(0, eq);
+            const std::string val =
+                eq == std::string::npos ? "" : tok.substr(eq + 1);
+            std::string err;
+            bool ok = true;
+            if (key == "livein" && eq != std::string::npos) {
+                r.liveIns.clear();
+                ok = parseRegList(mod, val, r.liveIns, err);
+            } else if (key == "liveout" && eq != std::string::npos) {
+                r.liveOuts.clear();
+                ok = parseRegList(mod, val, r.liveOuts, err);
+            } else if (key == "mem" && eq != std::string::npos) {
+                r.memStructs.clear();
+                ok = parseGlobalList(mod, val, r.memStructs, err);
+            } else {
+                ok = false;
+                err = "unknown field '" + tok + "'";
+            }
+            if (!ok) {
+                diags.push_back(ir::makeError(
+                    "lint.claims.syntax",
+                    "';! region " + std::to_string(id) + "': " + err,
+                    p.loc));
+                bad = true;
+                break;
+            }
+        }
+        (void)bad;
+    }
+
+    for (auto &[id, r] : regions) {
+        if (!claimed_ids.count(id)) {
+            diags.push_back(ir::makeNote(
+                "lint.claims.default",
+                "region #" + std::to_string(id) +
+                    " has no ';! region' claim directive; assuming "
+                    "empty live-in/live-out/memory claims"));
+        }
+        table.add(std::move(r));
+    }
+    return table;
+}
+
+} // namespace ccr::lint

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Region lint: an independent re-derivation of every legality property
+ * the region former claims about a formed Reusable Computation Region
+ * (paper §4 region formation constraints), cross-checked against the
+ * RegionTable. The lint shares the structured Diagnostic type with
+ * ir::Verifier; every finding carries a stable "lint.*" rule id (see
+ * docs/STATIC_ANALYSIS.md for the full catalogue).
+ *
+ * The checks are deliberately implemented from scratch against
+ * ccr_analysis (dominators, liveness, loops, alias) rather than by
+ * calling into src/core/former*: a former bug that mis-states a live-in
+ * set or forgets an invalidation must show up here, not be re-derived
+ * the same wrong way.
+ */
+
+#ifndef CCR_LINT_LINT_HH
+#define CCR_LINT_LINT_HH
+
+#include <vector>
+
+#include "core/region.hh"
+#include "ir/diagnostic.hh"
+#include "ir/module.hh"
+#include "text/source.hh"
+
+namespace ccr::lint
+{
+
+/** Per-instruction source locations, addressable as
+ *  locs[funcId][inst.uid] (text::ParseResult::instLocs layout). */
+using SourceMap = std::vector<std::vector<ir::SourceLoc>>;
+
+struct LintResult
+{
+    std::vector<ir::Diagnostic> diagnostics;
+
+    bool ok() const { return !ir::hasErrors(diagnostics); }
+    std::size_t numErrors() const
+    {
+        return ir::countErrors(diagnostics);
+    }
+};
+
+/**
+ * Statically audit @p mod against the region claims in @p table:
+ * single-entry (every region block dominated by the inception guard),
+ * claimed live-ins == region-restricted liveness at the body entry,
+ * claimed live-outs cover all region definitions live across the
+ * exit, no unsummarized side effects (loads outside the determinable
+ * memory set, aliasing stores without invalidation), acyclic
+ * back-edge freedom / cyclic natural-loop well-formedness, and CCR
+ * marker-bit consistency (reuse/invalidate/region-end pairing).
+ *
+ * @p locs optionally anchors diagnostics to `.lc` source lines when
+ * the module came from text (text::ParseResult::instLocs).
+ */
+LintResult lintModule(const ir::Module &mod,
+                      const core::RegionTable &table,
+                      const SourceMap *locs = nullptr);
+
+/**
+ * Reconstruct a RegionTable for a module parsed from `.lc` text: the
+ * region skeletons come from the `reuse` instructions (inception =
+ * holding block, body entry = miss target, join = hit target;
+ * cyclic/function-level derived from the IR), the claim sets from
+ * `;! region` pragmas:
+ *
+ *     ;! region <id> [livein=r1,r2|livein=] [liveout=...] [mem=g,...]
+ *
+ * Claim-syntax problems append Error diagnostics; a pragma naming a
+ * region with no reuse instruction appends a Warn; a reuse
+ * instruction with no pragma gets empty claim sets plus a Note.
+ */
+core::RegionTable
+regionsFromSource(const ir::Module &mod,
+                  const std::vector<text::Pragma> &pragmas,
+                  std::vector<ir::Diagnostic> &diags);
+
+} // namespace ccr::lint
+
+#endif // CCR_LINT_LINT_HH

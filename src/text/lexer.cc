@@ -35,22 +35,25 @@ hexDigit(char c)
 
 } // namespace
 
-std::string
-formatDiagnostics(const std::vector<Diagnostic> &diags,
-                  std::string_view filename)
+std::string_view
+directiveKey(std::string_view pragma_text)
 {
-    std::string out;
-    for (const auto &d : diags) {
-        out += filename;
-        out += ':';
-        out += std::to_string(d.loc.line);
-        out += ':';
-        out += std::to_string(d.loc.col);
-        out += ": ";
-        out += d.message;
-        out += '\n';
-    }
-    return out;
+    std::size_t b = 0;
+    while (b < pragma_text.size() &&
+           std::isspace(static_cast<unsigned char>(pragma_text[b])))
+        ++b;
+    std::size_t e = b;
+    while (e < pragma_text.size() &&
+           !std::isspace(static_cast<unsigned char>(pragma_text[e])))
+        ++e;
+    return pragma_text.substr(b, e - b);
+}
+
+bool
+isKnownDirectiveKey(std::string_view key)
+{
+    return key == "workload" || key == "output" || key == "set" ||
+           key == "fill" || key == "region";
 }
 
 char

@@ -118,11 +118,13 @@ class Parser
             }
         }
         finalizeModule();
+        checkPragmas();
 
         ParseResult r;
         r.errors = std::move(errors_);
         r.pragmas = lex_.pragmas();
-        if (r.errors.empty())
+        r.instLocs = std::move(instLocs_);
+        if (!ir::hasErrors(r.errors))
             r.module = std::move(mod_);
         return r;
     }
@@ -176,12 +178,45 @@ class Parser
     {
         if (fatal_)
             return;
-        if (errors_.size() >= kMaxErrors) {
-            errors_.push_back({loc, "too many errors; giving up"});
+        if (numErrors_ >= kMaxErrors) {
+            errors_.push_back(makeError("parse.too-many-errors",
+                                        "too many errors; giving up",
+                                        loc));
+            ++numErrors_;
             fatal_ = true;
             return;
         }
-        errors_.push_back({loc, std::move(msg)});
+        errors_.push_back(
+            makeError("parse.syntax", std::move(msg), loc));
+        ++numErrors_;
+    }
+
+    void
+    warn(SourceLoc loc, std::string rule, std::string msg)
+    {
+        if (fatal_)
+            return;
+        errors_.push_back(
+            makeWarn(std::move(rule), std::move(msg), loc));
+    }
+
+    /** Unknown `;!` directive keys used to be silently accepted; warn
+     *  so typos ("outpt") don't quietly drop a workload directive. */
+    void
+    checkPragmas()
+    {
+        for (const auto &p : lex_.pragmas()) {
+            const std::string_view key = directiveKey(p.text);
+            if (key.empty()) {
+                warn(p.loc, "parse.pragma.empty",
+                     "empty ';!' directive");
+            } else if (!isKnownDirectiveKey(key)) {
+                warn(p.loc, "parse.pragma.unknown",
+                     "unknown ';!' directive key '" + std::string(key) +
+                         "' (known: workload, output, set, fill, "
+                         "region)");
+            }
+        }
     }
 
     /** End-of-statement: anything left on the line is an error. */
@@ -617,6 +652,7 @@ class Parser
             return;
         }
         inst.uid = fc.f->newUid();
+        recordLoc(fc, inst.uid, mnemonic.loc);
         auto &insts = fc.f->block(fc.cur).insts();
         insts.push_back(inst);
         if (inst.op == Opcode::Call)
@@ -838,11 +874,25 @@ class Parser
         SourceLoc loc;
     };
 
+    void
+    recordLoc(const FuncCtx &fc, std::uint32_t uid, SourceLoc loc)
+    {
+        const auto fid = static_cast<std::size_t>(fc.f->id());
+        if (instLocs_.size() <= fid)
+            instLocs_.resize(fid + 1);
+        auto &locs = instLocs_[fid];
+        if (locs.size() <= uid)
+            locs.resize(uid + 1);
+        locs[uid] = loc;
+    }
+
     Lexer lex_;
     Token tok_;
     bool suppress_ = false;
     bool fatal_ = false;
+    std::size_t numErrors_ = 0;
     std::vector<Diagnostic> errors_;
+    std::vector<std::vector<SourceLoc>> instLocs_;
     std::unique_ptr<Module> mod_;
 
     std::vector<CallFixup> callFixups_;
@@ -871,7 +921,8 @@ parseModuleFile(const std::string &path)
     std::ifstream in(path, std::ios::binary);
     if (!in.good()) {
         ParseResult r;
-        r.errors.push_back({{0, 0}, "cannot open file '" + path + "'"});
+        r.errors.push_back(
+            ir::makeError("parse.io", "cannot open file '" + path + "'"));
         return r;
     }
     std::ostringstream buf;

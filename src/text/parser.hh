@@ -28,9 +28,11 @@ namespace ccr::text
 
 struct ParseResult
 {
-    /** The parsed module; non-null iff there were no errors. The
-     *  module is syntactically well-formed but callers who need the
-     *  structural invariants must still run ir::verify. */
+    /** The parsed module; non-null iff there were no Error-severity
+     *  diagnostics (Warn/Note findings — e.g. an unknown `;!`
+     *  directive key — do not fail the parse). The module is
+     *  syntactically well-formed but callers who need the structural
+     *  invariants must still run ir::verifyModule. */
     std::unique_ptr<ir::Module> module;
 
     std::vector<Diagnostic> errors;
@@ -38,6 +40,16 @@ struct ParseResult
     /** All `;!` pragma lines, in source order (also collected on
      *  failed parses, up to the point parsing stopped). */
     std::vector<Pragma> pragmas;
+
+    /**
+     * Source location of each parsed instruction, addressable as
+     * instLocs[funcId][inst.uid] (the parser assigns uids densely per
+     * function, and Module::clone preserves them). Entries with
+     * line == 0 mean "no location" (e.g. compiler-inserted
+     * instructions in a transformed clone share the table of the
+     * original module and simply have no entry).
+     */
+    std::vector<std::vector<SourceLoc>> instLocs;
 
     bool ok() const { return module != nullptr; }
 };

@@ -1,7 +1,9 @@
 /**
  * @file
  * Source locations, diagnostics, and pragmas for the textual `.lc`
- * frontend.
+ * frontend. The location and diagnostic types are shared with the IR
+ * layer (ir/diagnostic.hh) so the verifier, the parser, and the
+ * region lint all speak the same structured-diagnostic language.
  */
 
 #ifndef CCR_TEXT_SOURCE_HH
@@ -11,30 +13,25 @@
 #include <string_view>
 #include <vector>
 
+#include "ir/diagnostic.hh"
+
 namespace ccr::text
 {
 
 /** A 1-based line/column position in a `.lc` source buffer. */
-struct SourceLoc
-{
-    int line = 0;
-    int col = 0;
+using SourceLoc = ir::SourceLoc;
 
-    bool operator==(const SourceLoc &) const = default;
-};
-
-/** One parse error, anchored to the token where it was detected. */
-struct Diagnostic
-{
-    SourceLoc loc;
-    std::string message;
-};
+/** One finding (parse errors use rule ids "parse.*"). */
+using Diagnostic = ir::Diagnostic;
+using Severity = ir::Severity;
 
 /**
- * A `;!` pragma line. The parser ignores pragmas entirely; the corpus
- * loader interprets them as workload directives (inputs, outputs —
- * see docs/WORKLOADS.md). `text` is the pragma body with the leading
- * `;!` and surrounding whitespace stripped.
+ * A `;!` pragma line. The parser checks the directive key against the
+ * known vocabulary (warning on unknown keys) but does not interpret
+ * the body; the corpus loader interprets workload directives (inputs,
+ * outputs — see docs/WORKLOADS.md) and the region lint interprets
+ * `region` claims. `text` is the pragma body with the leading `;!`
+ * and surrounding whitespace stripped.
  */
 struct Pragma
 {
@@ -42,9 +39,20 @@ struct Pragma
     std::string text;
 };
 
-/** Render diagnostics as "file:line:col: message" lines. */
-std::string formatDiagnostics(const std::vector<Diagnostic> &diags,
-                              std::string_view filename);
+/**
+ * The known `;!` directive keys: "workload", "output", "set", "fill"
+ * (corpus loader) and "region" (lint claims). Anything else draws a
+ * parse.pragma.unknown warning.
+ */
+bool isKnownDirectiveKey(std::string_view key);
+
+/** First whitespace-delimited token of a pragma body ("" if none). */
+std::string_view directiveKey(std::string_view pragma_text);
+
+/** Render diagnostics as "file:line:col: severity: [rule] message"
+ *  lines (shared ir formatter). */
+using ir::formatDiagnostic;
+using ir::formatDiagnostics;
 
 } // namespace ccr::text
 

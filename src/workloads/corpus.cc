@@ -228,6 +228,11 @@ class DirectiveReader
             readFill(p, words);
             return;
         }
+        if (kind == "region") {
+            // Region claim directives are consumed by the lint
+            // (lint::regionsFromSource), not the corpus loader.
+            return;
+        }
         error(p, "unknown directive '" + kind + "'");
     }
 
@@ -365,10 +370,10 @@ loadFile(const std::string &path, std::vector<std::string> &errors)
         return std::nullopt;
     }
 
-    const auto verifyErrors = ir::verify(*parsed.module);
-    if (!verifyErrors.empty()) {
-        for (const auto &e : verifyErrors)
-            errors.push_back(path + ": verify: " + e);
+    const auto verifyDiags = ir::verifyModule(*parsed.module);
+    if (ir::hasErrors(verifyDiags)) {
+        for (const auto &d : verifyDiags)
+            errors.push_back(path + ": verify: " + d.message);
         return std::nullopt;
     }
 

@@ -1,6 +1,8 @@
 #include "workloads/harness.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <iostream>
 
 #include "analysis/alias.hh"
 #include "ir/verifier.hh"
@@ -135,6 +137,34 @@ buildRunReport(RunResult &result, const std::string &workload_name,
     }
 }
 
+/**
+ * Translation-validation hook on the formation output: re-derive the
+ * regions' legality properties with ccr_lint and panic on any Error.
+ * On by default in debug builds; CCR_LINT=1 forces it on in release
+ * builds and CCR_LINT=0 forces it off.
+ */
+void
+maybeLintFormedRegions(const ir::Module &mod,
+                       const core::RegionTable &regions)
+{
+#ifdef NDEBUG
+    bool enabled = false;
+#else
+    bool enabled = true;
+#endif
+    if (const char *env = std::getenv("CCR_LINT"))
+        enabled = env[0] != '0';
+    if (!enabled)
+        return;
+    const lint::LintResult res = lint::lintModule(mod, regions);
+    for (const auto &d : res.diagnostics) {
+        if (d.severity == ir::Severity::Error)
+            std::cerr << ir::formatDiagnostic(d) << "\n";
+    }
+    ccr_assert(res.ok(), "region lint found ", res.numErrors(),
+               " error(s) in the former's output");
+}
+
 } // namespace
 
 void
@@ -158,6 +188,32 @@ profileWorkload(const Workload &workload, InputSet set,
     ccr_assert(machine.halted(),
                "workload did not halt within the instruction budget");
     return profiler.takeProfile();
+}
+
+WorkloadLintResult
+lintWorkload(const std::string &workload_name,
+             const core::ReusePolicy &policy, bool run_crosscheck,
+             std::uint64_t max_insts)
+{
+    WorkloadLintResult out;
+    const Workload w = buildWorkload(workload_name);
+    const profile::ProfileData prof =
+        profileWorkload(w, InputSet::Train, max_insts);
+
+    analysis::AliasAnalysis alias(*w.module);
+    alias.annotateDeterminableLoads(*w.module);
+    core::RegionFormer former(*w.module, prof, alias, policy);
+    out.regions = former.formAll();
+    out.formation = former.stats();
+    out.lint = lint::lintModule(*w.module, out.regions);
+
+    if (run_crosscheck) {
+        emu::Machine machine(*w.module);
+        w.prepare(machine, InputSet::Train);
+        out.cross = lint::crossCheck(machine, out.regions, max_insts);
+        out.ranCrossCheck = true;
+    }
+    return out;
 }
 
 profile::PotentialResult
@@ -249,6 +305,7 @@ runCcrExperiment(const std::string &workload_name,
                                   config.policy);
         result.regions = former.formAll();
         result.formation = former.stats();
+        maybeLintFormedRegions(*ccr.module, result.regions);
 
         // Timed CCR run.
         emu::Machine machine(*ccr.module);

@@ -15,6 +15,8 @@
 #include <memory>
 
 #include "core/former.hh"
+#include "lint/crosscheck.hh"
+#include "lint/lint.hh"
 #include "obs/report.hh"
 #include "obs/trace.hh"
 #include "profile/reuse_potential.hh"
@@ -119,6 +121,39 @@ RunResult runCcrExperiment(const std::string &workload_name,
 RunResult runCcrExperiment(const std::string &workload_name,
                            const RunConfig &config,
                            ExperimentCache *cache);
+
+/** Result of lintWorkload(): the formed regions plus the static
+ *  audit and (optionally) the dynamic replay cross-check. */
+struct WorkloadLintResult
+{
+    core::RegionTable regions;
+    core::FormationStats formation;
+    lint::LintResult lint;
+
+    /** Populated only when the cross-check ran. */
+    lint::CrossCheckResult cross;
+    bool ranCrossCheck = false;
+
+    bool
+    ok() const
+    {
+        return lint.ok() && (!ranCrossCheck || cross.ok());
+    }
+};
+
+/**
+ * Build + train-profile + form regions for @p workload_name (the same
+ * compilation flow as runCcrExperiment, minus the timed runs), then
+ * statically lint the transformed module against the former's claims.
+ * With @p run_crosscheck the workload is additionally replayed on the
+ * emulator with no reuse hardware, validating every observed region
+ * execution against the claims (lint::crossCheck).
+ */
+WorkloadLintResult lintWorkload(const std::string &workload_name,
+                                const core::ReusePolicy &policy = {},
+                                bool run_crosscheck = false,
+                                std::uint64_t max_insts
+                                = 200'000'000ULL);
 
 /** Profile-only helper: the RPS profile of a training run. */
 profile::ProfileData profileWorkload(const Workload &workload,

@@ -418,4 +418,80 @@ TEST(Alias, StoreThroughUnknownBaseIsUnknownWrite)
     EXPECT_TRUE(alias.funcWrites(f.id()).unknown);
 }
 
+TEST(Alias, AmbiguousStoreSummarizesBothGlobals)
+{
+    // A pointer merged from two global bases in a diamond: the store
+    // through it must be summarized as possibly hitting either global,
+    // without collapsing to an unknown write.
+    Module m("t");
+    const GlobalId g1 = m.addGlobal("g1", 8, false).id;
+    const GlobalId g2 = m.addGlobal("g2", 8, false).id;
+    Function &f = m.addFunction("main", 0);
+    IRBuilder b(f);
+    const BlockId b0 = b.newBlock();
+    const BlockId b1 = b.newBlock();
+    const BlockId b2 = b.newBlock();
+    const BlockId b3 = b.newBlock();
+    const Reg p = b.reg();
+    b.setInsertPoint(b0);
+    const Reg c = b.movI(1);
+    b.br(c, b1, b2);
+    b.setInsertPoint(b1);
+    b.movTo(p, b.movGA(g1));
+    b.jump(b3);
+    b.setInsertPoint(b2);
+    b.movTo(p, b.movGA(g2));
+    b.jump(b3);
+    b.setInsertPoint(b3);
+    const Reg v = b.movI(7);
+    b.store(p, 0, v);
+    b.halt();
+
+    analysis::AliasAnalysis alias(m);
+    const auto &pts = alias.memAccess(f.id(), f.block(b3).inst(1));
+    EXPECT_TRUE(pts.globals.count(g1));
+    EXPECT_TRUE(pts.globals.count(g2));
+    EXPECT_TRUE(pts.onlyNamedGlobals());
+    const auto &writes = alias.funcWrites(f.id());
+    EXPECT_TRUE(writes.globals.count(g1));
+    EXPECT_TRUE(writes.globals.count(g2));
+}
+
+TEST(Alias, CallWithUnknownSideEffectsPoisonsCaller)
+{
+    // The callee stores through a pointer of unknown provenance; the
+    // caller's write summary must inherit the unknown write and both
+    // functions must lose purity, so eligibility treats the call as
+    // an unsummarizable side effect.
+    Module m("t");
+    m.addGlobal("g", 8, false);
+    Function &callee = m.addFunction("blackbox", 0);
+    {
+        IRBuilder b(callee);
+        b.setInsertPoint(b.newBlock());
+        const Reg p = b.load(b.movI(0x5000), 0);
+        const Reg v = b.movI(1);
+        b.store(p, 0, v);
+        b.ret(v);
+    }
+    Function &f = m.addFunction("main", 0);
+    m.setEntryFunction(f.id());
+    {
+        IRBuilder b(f);
+        const BlockId b0 = b.newBlock();
+        const BlockId b1 = b.newBlock();
+        b.setInsertPoint(b0);
+        b.call(callee.id(), {}, b1);
+        b.setInsertPoint(b1);
+        b.halt();
+    }
+
+    analysis::AliasAnalysis alias(m);
+    EXPECT_FALSE(alias.funcPure(callee.id()));
+    EXPECT_FALSE(alias.funcPure(f.id()));
+    EXPECT_TRUE(alias.funcWrites(callee.id()).unknown);
+    EXPECT_TRUE(alias.funcWrites(f.id()).unknown);
+    EXPECT_TRUE(alias.funcWritesMemory(f.id()));
+}
+
 } // namespace

@@ -363,6 +363,68 @@ TEST(Former, StricterThresholdFormsFewerRegions)
     EXPECT_LE(t2.size(), t1.size());
 }
 
+TEST(Eligibility, NonDeterminableLoadRejectedBeforeProfile)
+{
+    // A load whose address cannot be resolved to named globals is
+    // rejected as NotDeterminable even with no profile data at all:
+    // determinability is a hard legality condition, not a heuristic.
+    Module m("t");
+    m.addGlobal("g", 8, false);
+    Function &f = m.addFunction("main", 0);
+    std::size_t heap_load_idx;
+    {
+        IRBuilder b(f);
+        b.setInsertPoint(b.newBlock());
+        const Reg hp = b.allocI(32);
+        const Reg lv = b.load(hp, 0);
+        (void)lv;
+        heap_load_idx = 1;
+        b.halt();
+    }
+    profile::ProfileData prof; // deliberately empty
+    analysis::AliasAnalysis alias(m);
+    core::Eligibility elig(m, prof, alias, {});
+    EXPECT_EQ(elig.classify(f.id(), f.block(0).inst(heap_load_idx)),
+              core::Ineligible::NotDeterminable);
+}
+
+TEST(Former, RegionsRespectMaxLiveInsBoundary)
+{
+    // The CRB input bank has a fixed number of register slots; the
+    // former must never emit a block region claiming more live-ins
+    // than policy.maxLiveIns (boundary checked in both the cyclic
+    // and acyclic growth paths).
+    for (const std::string name : {"gcc", "compress", "go"}) {
+        FormationFixture fx(name);
+        core::ReusePolicy policy;
+        core::RegionFormer former(*fx.w.module, fx.prof, *fx.alias,
+                                  policy);
+        const auto table = former.formAll();
+        for (const auto &r : table.regions()) {
+            if (r.functionLevel)
+                continue;
+            EXPECT_LE(static_cast<int>(r.liveIns.size()),
+                      policy.maxLiveIns)
+                << name << " region " << r.id;
+        }
+    }
+}
+
+TEST(Former, TightMaxLiveInsShrinksRegionInputs)
+{
+    FormationFixture fx("gcc");
+    core::ReusePolicy policy;
+    policy.maxLiveIns = 1;
+    core::RegionFormer former(*fx.w.module, fx.prof, *fx.alias,
+                              policy);
+    const auto table = former.formAll();
+    for (const auto &r : table.regions()) {
+        if (r.functionLevel)
+            continue;
+        EXPECT_LE(r.liveIns.size(), 1u) << "region " << r.id;
+    }
+}
+
 TEST(Eligibility, RejectsStoresAndCalls)
 {
     FormationFixture fx("espresso");

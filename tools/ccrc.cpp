@@ -14,18 +14,33 @@
  *     ccrc <file.lc> --measure ref    measure on the Ref input set
  *     ccrc <file.lc> --report out.json   write the SimReport JSON
  *
- * Exit codes: 0 success, 1 load/verify error or output mismatch,
+ * Region lint mode (see docs/STATIC_ANALYSIS.md):
+ *
+ *     ccrc lint <target>...           audit region legality claims
+ *     ccrc lint --json out.json ...   machine-readable findings
+ *     ccrc lint --run-crosscheck ...  also replay-validate dynamically
+ *
+ * A lint target is a workload name (built-in or corpus), a corpus
+ * `.lc` file (regions are then formed by the standard pipeline and
+ * audited), or a `.lc` file containing pre-formed regions — `reuse`
+ * instructions plus `;! region` claim directives — which are audited
+ * as written.
+ *
+ * Exit codes: 0 success, 1 load/verify/lint error or output mismatch,
  * 2 usage error.
  */
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "ir/printer.hh"
 #include "ir/verifier.hh"
+#include "lint/crosscheck.hh"
+#include "lint/lint.hh"
 #include "obs/report.hh"
 #include "support/table.hh"
 #include "text/parser.hh"
@@ -48,7 +63,13 @@ usage(std::ostream &os)
           "  --profile <set>    profiling input set (train|ref)\n"
           "  --measure <set>    measured input set (train|ref)\n"
           "  --max-insts <n>    emulated instruction cap per run\n"
-          "  --report <path>    write the SimReport JSON\n";
+          "  --report <path>    write the SimReport JSON\n"
+          "or: ccrc lint [options] <target>...\n"
+          "  <target>           workload name or .lc file\n"
+          "  --json <path>      write findings as JSON ('-' = stdout)\n"
+          "  --run-crosscheck   replay the workload and validate every\n"
+          "                     region execution against the claims\n"
+          "  --max-insts <n>    emulated instruction cap per run\n";
     return 2;
 }
 
@@ -74,10 +95,10 @@ printCanonical(const std::string &path)
         std::cerr << text::formatDiagnostics(parsed.errors, path);
         return 1;
     }
-    const auto errors = ir::verify(*parsed.module);
-    for (const auto &e : errors)
-        std::cerr << path << ": verify: " << e << "\n";
-    if (!errors.empty())
+    const auto diags = ir::verifyModule(*parsed.module);
+    if (!diags.empty())
+        std::cerr << ir::formatDiagnostics(diags, path);
+    if (ir::hasErrors(diags))
         return 1;
     std::cout << ir::moduleToString(*parsed.module);
     return 0;
@@ -121,11 +142,247 @@ runExperiment(const std::string &path, const std::string &name,
     return r.outputsMatch ? 0 : 1;
 }
 
+// ----- `ccrc lint` ---------------------------------------------------
+
+/** One lint target's findings. */
+struct LintTargetReport
+{
+    std::string target;
+    std::vector<ir::Diagnostic> diagnostics;
+    std::uint64_t regions = 0;
+    bool crossRan = false;
+    std::uint64_t crossInsts = 0;
+    std::uint64_t crossEntries = 0;
+};
+
+bool
+moduleHasReuse(const ir::Module &mod)
+{
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
+        for (const auto &bb : mod.function(f).blocks()) {
+            for (const auto &inst : bb.insts()) {
+                if (inst.op == ir::Opcode::Reuse)
+                    return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+isWorkloadName(const std::string &target)
+{
+    for (const auto &name : workloads::allWorkloadNames()) {
+        if (name == target)
+            return true;
+    }
+    return false;
+}
+
+/** Lint a workload by running the standard formation pipeline on it
+ *  (profile, form, audit), as the harness would. */
+void
+lintWorkloadTarget(const std::string &name, bool run_crosscheck,
+                   std::uint64_t max_insts, LintTargetReport &out)
+{
+    const auto r = workloads::lintWorkload(name, core::ReusePolicy{},
+                                           run_crosscheck, max_insts);
+    out.regions = r.regions.size();
+    out.diagnostics = r.lint.diagnostics;
+    if (r.ranCrossCheck) {
+        out.crossRan = true;
+        out.crossInsts = r.cross.instsExecuted;
+        out.crossEntries = r.cross.regionEntries;
+        out.diagnostics.insert(out.diagnostics.end(),
+                               r.cross.diagnostics.begin(),
+                               r.cross.diagnostics.end());
+    }
+}
+
+/** Lint a `.lc` file containing pre-formed regions: audit the module
+ *  exactly as written against its `;! region` claim directives. */
+void
+lintSourceTarget(const std::string &path, text::ParseResult &parsed,
+                 bool run_crosscheck, std::uint64_t max_insts,
+                 LintTargetReport &out)
+{
+    const ir::Module &mod = *parsed.module;
+    core::RegionTable table =
+        lint::regionsFromSource(mod, parsed.pragmas, out.diagnostics);
+    out.regions = table.size();
+
+    const auto res = lint::lintModule(mod, table, &parsed.instLocs);
+    out.diagnostics.insert(out.diagnostics.end(),
+                           res.diagnostics.begin(),
+                           res.diagnostics.end());
+
+    if (run_crosscheck && !ir::hasErrors(out.diagnostics)
+        && mod.entryFunction() != ir::kNoFunc) {
+        emu::Machine machine(mod);
+        const auto cross = lint::crossCheck(machine, table, max_insts);
+        out.crossRan = true;
+        out.crossInsts = cross.instsExecuted;
+        out.crossEntries = cross.regionEntries;
+        out.diagnostics.insert(out.diagnostics.end(),
+                               cross.diagnostics.begin(),
+                               cross.diagnostics.end());
+    }
+    (void)path;
+}
+
+LintTargetReport
+lintOneTarget(const std::string &target, bool run_crosscheck,
+              std::uint64_t max_insts)
+{
+    LintTargetReport out;
+    out.target = target;
+
+    if (isWorkloadName(target)) {
+        lintWorkloadTarget(target, run_crosscheck, max_insts, out);
+        return out;
+    }
+
+    if (!std::ifstream(target).good()) {
+        out.diagnostics.push_back(ir::makeError(
+            "lint.target",
+            "'" + target + "' is neither a workload name nor a "
+                           "readable .lc file"));
+        return out;
+    }
+
+    text::ParseResult parsed = text::parseModuleFile(target);
+    out.diagnostics.insert(out.diagnostics.end(),
+                           parsed.errors.begin(), parsed.errors.end());
+    if (!parsed.ok())
+        return out;
+
+    const auto verify_diags = ir::verifyModule(*parsed.module);
+    out.diagnostics.insert(out.diagnostics.end(), verify_diags.begin(),
+                           verify_diags.end());
+    if (ir::hasErrors(verify_diags))
+        return out;
+
+    if (moduleHasReuse(*parsed.module)) {
+        lintSourceTarget(target, parsed, run_crosscheck, max_insts,
+                         out);
+        return out;
+    }
+
+    // A region-free corpus file: register it as a workload and run
+    // the standard formation pipeline on it.
+    std::vector<std::string> errors;
+    const auto name = workloads::tryRegisterWorkloadFile(target, errors);
+    if (!name) {
+        for (const auto &e : errors)
+            out.diagnostics.push_back(ir::makeError("lint.target", e));
+        return out;
+    }
+    lintWorkloadTarget(*name, run_crosscheck, max_insts, out);
+    return out;
+}
+
+obs::Json
+lintReportJson(const std::vector<LintTargetReport> &reports)
+{
+    obs::Json arr = obs::Json::array();
+    for (const auto &r : reports) {
+        obs::Json o = obs::Json::object();
+        o["target"] = obs::Json(r.target);
+        o["regions"] = obs::Json(r.regions);
+        o["errors"] = obs::Json(static_cast<std::uint64_t>(
+            ir::countErrors(r.diagnostics)));
+        o["diagnostics"] = ir::diagnosticsToJson(r.diagnostics);
+        if (r.crossRan) {
+            obs::Json c = obs::Json::object();
+            c["instsExecuted"] = obs::Json(r.crossInsts);
+            c["regionEntries"] = obs::Json(r.crossEntries);
+            o["crosscheck"] = std::move(c);
+        }
+        arr.push(std::move(o));
+    }
+    return arr;
+}
+
+int
+runLint(const std::vector<std::string> &args)
+{
+    std::vector<std::string> targets;
+    std::string json_path;
+    bool run_crosscheck = false;
+    std::uint64_t max_insts = 200'000'000ULL;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--json" && i + 1 < args.size()) {
+            json_path = args[++i];
+        } else if (arg == "--run-crosscheck") {
+            run_crosscheck = true;
+        } else if (arg == "--max-insts" && i + 1 < args.size()) {
+            max_insts = std::strtoull(args[++i].c_str(), nullptr, 10);
+            if (max_insts == 0)
+                return usage(std::cerr);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "ccrc: unknown lint option '" << arg << "'\n";
+            return usage(std::cerr);
+        } else {
+            targets.push_back(arg);
+        }
+    }
+    if (targets.empty())
+        return usage(std::cerr);
+
+    std::vector<LintTargetReport> reports;
+    std::size_t total_errors = 0;
+    for (const auto &target : targets) {
+        reports.push_back(
+            lintOneTarget(target, run_crosscheck, max_insts));
+        const LintTargetReport &r = reports.back();
+
+        std::cerr << ir::formatDiagnostics(r.diagnostics, r.target);
+        const std::size_t errs = ir::countErrors(r.diagnostics);
+        total_errors += errs;
+        std::cout << r.target << ": " << r.regions << " region(s), "
+                  << errs << " error(s), "
+                  << (r.diagnostics.size() - errs)
+                  << " other finding(s)";
+        if (r.crossRan) {
+            std::cout << "; crosscheck: " << r.crossEntries
+                      << " region execution(s) over " << r.crossInsts
+                      << " insts";
+        }
+        std::cout << "\n";
+    }
+
+    if (!json_path.empty()) {
+        const obs::Json report = lintReportJson(reports);
+        if (json_path == "-") {
+            std::cout << report.dump(2) << "\n";
+        } else {
+            std::ofstream os(json_path);
+            if (!os) {
+                std::cerr << "ccrc: cannot write '" << json_path
+                          << "'\n";
+                return 1;
+            }
+            os << report.dump(2) << "\n";
+        }
+    }
+    return total_errors == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::string(argv[1]) == "lint") {
+        return runLint(
+            std::vector<std::string>(argv + 2, argv + argc));
+    }
+
     std::string path;
     std::string report_path;
     bool print_only = false;

@@ -17,8 +17,8 @@ ccrc="$build_dir/tools/ccrc"
 
 shopt -s nullglob
 files=(corpus/*.lc)
-[ ${#files[@]} -ge 5 ] || {
-    echo "corpus has ${#files[@]} files, expected >= 5"; exit 1; }
+[ ${#files[@]} -ge 8 ] || {
+    echo "corpus has ${#files[@]} files, expected >= 8"; exit 1; }
 
 for f in "${files[@]}"; do
     "$ccrc" "$f" --verify-only

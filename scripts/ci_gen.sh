@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Gate the generative workload engine: a fixed-seed 200-kernel sweep in
+# which every generated kernel must pass the full differential stack
+# (decoded-vs-reference lockstep, region lint + dynamic cross-check,
+# base-vs-CCR execution with memory-hash and counter-algebra
+# invariants). Any failure is shrunk to a minimal .lc repro in
+# <out-dir>/repros/ and fails the job. The sweep also fits the static
+# reuse-rate predictor on the measured per-region hit rates and writes
+# its fit report (train/holdout R^2, Spearman) into
+# <out-dir>/BENCH_gen.json for artifact upload.
+#
+# Usage: scripts/ci_gen.sh <build-dir> <out-dir>
+set -euo pipefail
+
+build_dir=${1:?usage: ci_gen.sh <build-dir> <out-dir>}
+out_dir=${2:?usage: ci_gen.sh <build-dir> <out-dir>}
+mkdir -p "$out_dir"
+
+ccrgen="$build_dir/tools/ccrgen"
+[ -x "$ccrgen" ] || { echo "missing $ccrgen (build first)"; exit 1; }
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+"$ccrgen" sweep --seed 1 --count 200 --jobs "$jobs" \
+    --bench "$out_dir/BENCH_gen.json" \
+    --repro-dir "$out_dir/repros"
+
+[ -s "$out_dir/BENCH_gen.json" ] || {
+    echo "BENCH_gen.json missing"; exit 1; }
+
+# The artifact must actually record the predictor experiment.
+grep -q '"holdoutSpearman"' "$out_dir/BENCH_gen.json" || {
+    echo "BENCH_gen.json lacks predictor fit"; exit 1; }
+
+echo "gen sweep: 200 kernels clean, bench in $out_dir/BENCH_gen.json"

@@ -283,6 +283,7 @@ RegionFormer::formCyclicRegions(ir::Function &func)
             exclude.resize(func.numBlocks(), false);
             exclude[inception] = true;
             redirectTarget(func, header, inception, &exclude);
+            table_.retargetJoins(fid, header, inception);
 
             {
                 ir::Inst r;

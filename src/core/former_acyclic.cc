@@ -317,6 +317,7 @@ RegionFormer::applyAcyclic(ir::Function &func, std::vector<Segment> segs)
     } else {
         body_entry = segs.front().block;
         redirectTarget(func, body_entry, inception);
+        table_.retargetJoins(fid, body_entry, inception);
     }
 
     // Phase B: isolate the join after the finish instruction.

@@ -107,6 +107,7 @@ RegionFormer::formFunctionLevelRegions(ir::Function &func)
         } else {
             body_entry = block_id;
             redirectTarget(func, body_entry, inception);
+            table_.retargetJoins(fid, body_entry, inception);
         }
 
         {

@@ -53,6 +53,16 @@ RegionTable::remapIds(
         r.id = remap.at(r.id);
 }
 
+void
+RegionTable::retargetJoins(ir::FuncId func, ir::BlockId old_join,
+                           ir::BlockId new_join)
+{
+    for (auto &r : regions_) {
+        if (r.func == func && r.join == old_join)
+            r.join = new_join;
+    }
+}
+
 const ReuseRegion *
 RegionTable::find(ir::RegionId id) const
 {

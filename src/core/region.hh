@@ -103,6 +103,17 @@ class RegionTable
     void remapIds(
         const std::unordered_map<ir::RegionId, ir::RegionId> &remap);
 
+    /**
+     * Re-point every region of @p func whose claimed join is
+     * @p old_join at @p new_join. Used by the former when a later
+     * formation redirects the predecessors of an existing region's
+     * join block into a freshly inserted inception block: the earlier
+     * region's hit edge and end trampolines are physically retargeted
+     * by that redirect, so its claim record must follow.
+     */
+    void retargetJoins(ir::FuncId func, ir::BlockId old_join,
+                       ir::BlockId new_join);
+
   private:
     std::vector<ReuseRegion> regions_;
 };

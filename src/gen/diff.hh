@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Differential-testing driver for generated `.lc` kernels.
+ *
+ * diffTestKernel() pushes one kernel through every verification layer
+ * the repo has and cross-checks them against each other:
+ *
+ *  1. load      — parse + verify + `;!` directive interpretation
+ *                 (workloads::buildWorkloadFromText);
+ *  2. lockstep  — the pre-decoded engine (emu::Machine) against the
+ *                 reference interpreter (emu::ReferenceMachine),
+ *                 comparing every ExecInfo field each step plus final
+ *                 halt state, instruction counts, output globals, and
+ *                 the full memory content hash;
+ *  3. lint      — profile-led region formation followed by the static
+ *                 region lint and the dynamic replay cross-check;
+ *  4. base/CCR  — the untransformed module against the region-formed
+ *                 module running with a live CRB, comparing output
+ *                 globals and final memory hashes on the ref input
+ *                 set, plus CRB counter-algebra invariants
+ *                 (hits + misses == queries, machine and CRB event
+ *                 counts in agreement).
+ *
+ * Each kernel also yields one RegionSample per formed region: the
+ * static features the reuse-rate predictor (predict.hh) fits over and
+ * the measured per-region query/hit counts it is validated against.
+ */
+
+#ifndef CCR_GEN_DIFF_HH
+#define CCR_GEN_DIFF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy.hh"
+#include "gen/gen.hh"
+#include "uarch/crb.hh"
+
+namespace ccr::gen
+{
+
+/** One formed region's static features + measured reuse behaviour. */
+struct RegionSample
+{
+    std::uint64_t regionId = 0;
+
+    // Static features (predictor inputs).
+    int staticInsts = 0;
+    bool cyclic = false;
+    bool functionLevel = false;
+    int liveIns = 0;
+    int memStructs = 0;
+
+    /** Natural-loop nesting depth of the region body's entry block
+     *  (0 = not in any loop). */
+    int loopDepth = 0;
+
+    // Measured behaviour (predictor target).
+    std::uint64_t queries = 0;
+    std::uint64_t hits = 0;
+
+    double
+    hitRate() const
+    {
+        return queries == 0
+                   ? 0.0
+                   : static_cast<double>(hits)
+                         / static_cast<double>(queries);
+    }
+};
+
+/** Everything configurable about one differential run. */
+struct DiffConfig
+{
+    core::ReusePolicy policy;
+    uarch::CrbParams crb;
+
+    /** Per-run dynamic instruction budget. Generated kernels are
+     *  budgeted to a few hundred thousand dynamic instructions; a
+     *  kernel hitting this cap fails the stage that hit it. */
+    std::uint64_t maxInsts = 20'000'000ULL;
+
+    /** Run the dynamic replay cross-check (lint::crossCheck). */
+    bool runCrossCheck = true;
+};
+
+/** Outcome of one kernel's differential run. */
+struct DiffResult
+{
+    std::string name;
+
+    bool loadOk = false;
+    bool lockstepOk = false;
+    bool lintOk = false;
+    bool crossOk = false;
+    bool baseVsCcrOk = false;
+    bool countersOk = false;
+
+    /** Human-readable description of the first failure, empty when
+     *  ok(). */
+    std::string failure;
+
+    /** Dynamic instructions of the base ref-input run. */
+    std::uint64_t dynInsts = 0;
+
+    std::size_t regionsFormed = 0;
+    std::uint64_t crbQueries = 0;
+    std::uint64_t crbHits = 0;
+    std::uint64_t crbInvalidates = 0;
+
+    /** One sample per formed region (measured on the ref input). */
+    std::vector<RegionSample> regions;
+
+    bool
+    ok() const
+    {
+        return loadOk && lockstepOk && lintOk && crossOk && baseVsCcrOk
+               && countersOk;
+    }
+};
+
+/** Run the full differential stack on one `.lc` source. @p display
+ *  names the kernel in diagnostics. */
+DiffResult diffTestSource(const std::string &lc_source,
+                          const std::string &display,
+                          const DiffConfig &config = {});
+
+/** Convenience overload for generator output. */
+DiffResult diffTestKernel(const GeneratedKernel &kernel,
+                          const DiffConfig &config = {});
+
+} // namespace ccr::gen
+
+#endif // CCR_GEN_DIFF_HH

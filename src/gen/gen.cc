@@ -1,0 +1,571 @@
+#include "gen/gen.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ir/builder.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "support/thread_pool.hh"
+#include "text/parser.hh"
+#include "workloads/support.hh"
+
+namespace ccr::gen
+{
+
+namespace
+{
+
+using namespace ccr::ir;
+
+/** ALU opcodes whose semantics are total on arbitrary operands (the
+ *  emulator's evalAlu handles /0 and shift-range deterministically). */
+const Opcode kChainOps[] = {
+    Opcode::Add, Opcode::Sub, Opcode::Mul,  Opcode::And,
+    Opcode::Or,  Opcode::Xor, Opcode::Shl,  Opcode::Shr,
+    Opcode::Sra, Opcode::Rem, Opcode::CmpLt, Opcode::CmpGe,
+};
+
+constexpr int kSharedWords = 64;
+constexpr int kTabWords = 256;
+
+/** Format a double for a `;!` directive: shortest stable form. */
+std::string
+fmtF(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+/** Sanitized copies of the knobs: every structural knob clamped into
+ *  the range the generator's grammar supports, so any caller-supplied
+ *  knob combination yields a legal kernel. */
+GenKnobs
+clampKnobs(const GenKnobs &in)
+{
+    GenKnobs k = in;
+    k.helpers = std::clamp(k.helpers, 1, 6);
+    k.callDepth = std::clamp(k.callDepth, 1, 4);
+    k.loopDepth = std::clamp(k.loopDepth, 1, 3);
+    k.regionMin = std::clamp(k.regionMin, 2, 96);
+    k.regionMax = std::clamp(k.regionMax, k.regionMin, 128);
+    k.streamLen = std::min<std::uint64_t>(k.streamLen, 1u << 16);
+    k.distinctValues = std::clamp<std::uint64_t>(k.distinctValues, 1, 512);
+    k.valueMax = std::clamp<std::int64_t>(k.valueMax, 1, 1u << 20);
+    k.zipfTheta = std::clamp(k.zipfTheta, 0.0, 3.0);
+    k.aliasDensity = std::clamp(k.aliasDensity, 0.0, 1.0);
+    k.constTableProb = std::clamp(k.constTableProb, 0.0, 1.0);
+    k.innerLoopProb = std::clamp(k.innerLoopProb, 0.0, 1.0);
+    k.floatProb = std::clamp(k.floatProb, 0.0, 1.0);
+    return k;
+}
+
+/**
+ * Builds one kernel module. All structural randomness comes from the
+ * single Rng, drawn in a fixed order — the module is a pure function
+ * of the clamped knobs.
+ */
+class KernelBuilder
+{
+  public:
+    KernelBuilder(const GenKnobs &knobs, Module &mod)
+        : knobs_(knobs), rng_(hashCombine(knobs.seed, 0x67656eULL)),
+          mod_(mod)
+    {}
+
+    /** Ids of the top-level helpers main folds over the stream. */
+    std::vector<FuncId> topHelpers;
+
+    void
+    build()
+    {
+        // Hold ids, not Global&: addGlobal may reallocate the vector.
+        tab_ = workloads::addConstTable64(mod_, "tab", tableValues()).id;
+        data_ = mod_.addGlobal("data", 8 * maxStream()).id;
+        nItems_ = mod_.addGlobal("n_items", 8).id;
+        shared_ = mod_.addGlobal("shared", kSharedWords * 8).id;
+        out_ = mod_.addGlobal("out", 16).id;
+
+        for (int i = 0; i < knobs_.helpers; ++i)
+            topHelpers.push_back(makeHelper(i, 1));
+        buildMain();
+    }
+
+    /** Largest stream either input set runs (ref is train + 1/4). */
+    std::uint64_t
+    maxStream() const
+    {
+        return knobs_.streamLen + knobs_.streamLen / 4;
+    }
+
+  private:
+    std::vector<std::int64_t>
+    tableValues()
+    {
+        std::vector<std::int64_t> vals(kTabWords);
+        for (auto &v : vals)
+            v = rng_.nextRange(-(1 << 20), 1 << 20);
+        return vals;
+    }
+
+    /** Append a pure ALU op over @p pool to the chain. */
+    Reg
+    chainStep(IRBuilder &b, std::vector<Reg> &pool)
+    {
+        const auto pick = [&] {
+            return pool[rng_.nextBelow(pool.size())];
+        };
+        if (rng_.nextBool(knobs_.floatProb)) {
+            // Float excursion: int -> float -> arithmetic -> int.
+            const Reg fa = b.i2f(pick());
+            const Reg fb = b.i2f(pick());
+            const Reg fs = b.binOp(rng_.nextBool(0.5) ? Opcode::FAdd
+                                                      : Opcode::FMul,
+                                   fa, fb);
+            return b.f2i(fs);
+        }
+        const Opcode op = kChainOps[rng_.nextBelow(
+            sizeof(kChainOps) / sizeof(kChainOps[0]))];
+        if (op == Opcode::Shl || op == Opcode::Shr || op == Opcode::Sra)
+            return b.binOpI(op, pick(),
+                            static_cast<std::int64_t>(rng_.nextBelow(24)));
+        if (rng_.nextBool(0.35))
+            return b.binOpI(op, pick(), rng_.nextRange(-4096, 4096));
+        return b.binOp(op, pick(), pick());
+    }
+
+    /** A const-table load keyed on @p x (memory-dependent input). */
+    Reg
+    tableLoad(IRBuilder &b, Reg x)
+    {
+        const Reg idx = b.andI(x, kTabWords - 1);
+        const Reg addr = b.add(b.movGA(tab_), b.shlI(idx, 3));
+        return b.load(addr, 0);
+    }
+
+    /** A load from the mutable shared array (invalidation target). */
+    Reg
+    sharedLoad(IRBuilder &b, Reg x)
+    {
+        const Reg idx = b.andI(x, kSharedWords - 1);
+        const Reg addr = b.add(b.movGA(shared_), b.shlI(idx, 3));
+        return b.load(addr, 0);
+    }
+
+    void
+    sharedStore(IRBuilder &b, Reg x, Reg val)
+    {
+        const Reg idx = b.andI(x, kSharedWords - 1);
+        const Reg addr = b.add(b.movGA(shared_), b.shlI(idx, 3));
+        b.store(addr, 0, val);
+    }
+
+    /**
+     * One helper function at call-graph @p level. Bodies are either a
+     * straight-line ALU chain (acyclic region material) or a bounded
+     * counted loop (cyclic region material); attribute draws decide
+     * const-table reads, shared-array reads/stores, and a tail call
+     * one level deeper.
+     */
+    FuncId
+    makeHelper(int index, int level)
+    {
+        const bool innerLoop = rng_.nextBool(knobs_.innerLoopProb);
+        const bool usesTable = rng_.nextBool(knobs_.constTableProb);
+        const bool readsShared = rng_.nextBool(knobs_.aliasDensity * 0.5);
+        const bool storesShared = rng_.nextBool(knobs_.aliasDensity);
+        const bool deeper =
+            level < knobs_.callDepth && rng_.nextBool(0.6);
+
+        // Create the callee first so the Call names an existing id.
+        FuncId calleeId = kNoFunc;
+        if (deeper)
+            calleeId = makeHelper(index, level + 1);
+
+        std::string name = "f" + std::to_string(index);
+        for (int l = 1; l < level; ++l)
+            name += "_d";
+        Function &f = mod_.addFunction(name, 1);
+        IRBuilder b(f);
+        const Reg x = 0;
+
+        const int chainLen =
+            knobs_.regionMin
+            + static_cast<int>(rng_.nextBelow(static_cast<std::uint64_t>(
+                knobs_.regionMax - knobs_.regionMin + 1)));
+
+        if (!innerLoop) {
+            const BlockId entry = b.newBlock();
+            f.setEntry(entry);
+            b.setInsertPoint(entry);
+            std::vector<Reg> pool{x};
+            for (int i = 0; i < 2; ++i)
+                pool.push_back(b.movI(rng_.nextRange(-512, 512)));
+            if (usesTable)
+                pool.push_back(tableLoad(b, x));
+            if (readsShared)
+                pool.push_back(sharedLoad(b, x));
+            Reg last = x;
+            for (int i = 0; i < chainLen; ++i) {
+                last = chainStep(b, pool);
+                pool.push_back(last);
+                if (pool.size() > 12)
+                    pool.erase(pool.begin() + 1);
+            }
+            if (deeper) {
+                const BlockId cont = b.newBlock();
+                const Reg sub = b.call(calleeId, {last}, cont);
+                b.setInsertPoint(cont);
+                last = b.xorR(last, sub);
+            }
+            if (storesShared) {
+                // Rare mutation, same rationale as main's store site.
+                const BlockId doStore = b.newBlock();
+                const BlockId after = b.newBlock();
+                const Reg t = b.xorI(b.andI(x, 15), 3);
+                b.br(t, after, doStore);
+                b.setInsertPoint(doStore);
+                sharedStore(b, x, last);
+                b.jump(after);
+                b.setInsertPoint(after);
+            }
+            b.ret(last);
+            return f.id();
+        }
+
+        // Counted inner loop: acc folds a short chain T times.
+        const std::int64_t trips =
+            3 + static_cast<std::int64_t>(rng_.nextBelow(10));
+        const BlockId entry = b.newBlock();
+        const BlockId header = b.newBlock();
+        const BlockId body = b.newBlock();
+        const BlockId exit = b.newBlock();
+        f.setEntry(entry);
+
+        const Reg acc = b.reg();
+        const Reg t = b.reg();
+        b.setInsertPoint(entry);
+        b.movTo(acc, x);
+        b.movITo(t, 0);
+        b.jump(header);
+
+        b.setInsertPoint(header);
+        const Reg c = b.cmpLtI(t, trips);
+        b.br(c, body, exit);
+
+        b.setInsertPoint(body);
+        std::vector<Reg> pool{x, acc};
+        if (usesTable)
+            pool.push_back(tableLoad(b, acc));
+        const int bodyLen = std::max(2, chainLen / 4);
+        Reg last = acc;
+        for (int i = 0; i < bodyLen; ++i) {
+            last = chainStep(b, pool);
+            pool.push_back(last);
+            if (pool.size() > 10)
+                pool.erase(pool.begin() + 2);
+        }
+        b.binOpTo(acc, Opcode::Xor, acc, last);
+        b.binOpITo(t, Opcode::Add, t, 1);
+        b.jump(header);
+
+        b.setInsertPoint(exit);
+        Reg result = acc;
+        if (deeper) {
+            const BlockId cont = b.newBlock();
+            const Reg sub = b.call(calleeId, {result}, cont);
+            b.setInsertPoint(cont);
+            result = b.add(result, sub);
+        }
+        if (storesShared) {
+            // Rare mutation, same rationale as main's store site.
+            const BlockId doStore = b.newBlock();
+            const BlockId after = b.newBlock();
+            const Reg cond = b.xorI(b.andI(x, 15), 3);
+            b.br(cond, after, doStore);
+            b.setInsertPoint(doStore);
+            sharedStore(b, x, result);
+            b.jump(after);
+            b.setInsertPoint(after);
+        }
+        b.ret(result);
+        return f.id();
+    }
+
+    /**
+     * The driver: a loop nest of depth knobs_.loopDepth whose
+     * innermost body draws data[i], perturbs it with the inner
+     * indices, folds every top-level helper into an accumulator, and
+     * (with aliasDensity) stores into the shared array under a
+     * data-dependent branch. A digest of the accumulator and the
+     * shared array lands in "out".
+     */
+    void
+    buildMain()
+    {
+        Function &f = mod_.addFunction("main", 0);
+        mod_.setEntryFunction(f.id());
+        IRBuilder b(f);
+
+        const BlockId entry = b.newBlock();
+        f.setEntry(entry);
+        b.setInsertPoint(entry);
+
+        const Reg dataBase = b.movGA(data_);
+        const Reg n = b.load(b.movGA(nItems_), 0);
+        const Reg acc = b.reg();
+        b.movITo(acc, static_cast<std::int64_t>(knobs_.seed & 0xffff));
+
+        // Loop-nest counters, outermost first. Level 0 runs to n;
+        // deeper levels have small constant trip counts.
+        const int depth = knobs_.loopDepth;
+        std::vector<Reg> ivs;
+        std::vector<std::int64_t> bounds;
+        for (int l = 0; l < depth; ++l) {
+            ivs.push_back(b.reg());
+            bounds.push_back(
+                l == 0 ? 0
+                       : 2 + static_cast<std::int64_t>(rng_.nextBelow(3)));
+        }
+
+        std::vector<BlockId> headers(static_cast<std::size_t>(depth));
+        std::vector<BlockId> bodies(static_cast<std::size_t>(depth));
+        std::vector<BlockId> latches(static_cast<std::size_t>(depth));
+        for (int l = 0; l < depth; ++l) {
+            headers[static_cast<std::size_t>(l)] = b.newBlock();
+            bodies[static_cast<std::size_t>(l)] = b.newBlock();
+            latches[static_cast<std::size_t>(l)] = b.newBlock();
+        }
+        const BlockId done = b.newBlock();
+
+        b.movITo(ivs[0], 0);
+        b.jump(headers[0]);
+
+        for (int l = 0; l < depth; ++l) {
+            const auto ul = static_cast<std::size_t>(l);
+            // Header: bounds test.
+            b.setInsertPoint(headers[ul]);
+            const Reg c = l == 0
+                              ? b.cmpLt(ivs[0], n)
+                              : b.cmpLtI(ivs[ul], bounds[ul]);
+            const BlockId onExit = l == 0 ? done : latches[ul - 1];
+            b.br(c, bodies[ul], onExit);
+
+            // Body prologue: init the next level counter, or fall
+            // through to the innermost work (emitted below).
+            b.setInsertPoint(bodies[ul]);
+            if (l + 1 < depth) {
+                b.movITo(ivs[ul + 1], 0);
+                b.jump(headers[ul + 1]);
+            }
+        }
+
+        // Innermost body work.
+        {
+            const auto inner = static_cast<std::size_t>(depth - 1);
+            b.setInsertPoint(bodies[inner]);
+            const Reg addr = b.add(dataBase, b.shlI(ivs[0], 3));
+            Reg x = b.load(addr, 0);
+            for (int l = 1; l < depth; ++l)
+                x = b.add(x, ivs[static_cast<std::size_t>(l)]);
+
+            for (const FuncId helper : topHelpers) {
+                const BlockId cont = b.newBlock();
+                const Reg r = b.call(helper, {x}, cont);
+                b.setInsertPoint(cont);
+                b.binOpTo(acc, rng_.nextBool(0.5) ? Opcode::Xor
+                                                  : Opcode::Add,
+                          acc, r);
+                if (rng_.nextBool(0.3))
+                    x = b.xorR(x, r);
+            }
+
+            if (rng_.nextBool(knobs_.aliasDensity)) {
+                // Rare data-dependent store into the shared array
+                // (~1/16 of iterations): frequent mutation would
+                // destroy the profiled invariance of every shared-
+                // reading candidate, leaving no MD regions to study —
+                // the interesting regime is quasi-invariant memory
+                // with occasional invalidations.
+                const BlockId doStore = b.newBlock();
+                const BlockId after = b.newBlock();
+                const Reg t = b.xorI(b.andI(x, 15), 7);
+                b.br(t, after, doStore);
+                b.setInsertPoint(doStore);
+                sharedStore(b, b.shrI(x, 1), acc);
+                b.jump(after);
+                b.setInsertPoint(after);
+            }
+            b.jump(latches[inner]);
+        }
+
+        // Latches, innermost outward.
+        for (int l = depth - 1; l >= 0; --l) {
+            const auto ul = static_cast<std::size_t>(l);
+            b.setInsertPoint(latches[ul]);
+            b.binOpITo(ivs[ul], Opcode::Add, ivs[ul], 1);
+            b.jump(headers[ul]);
+        }
+
+        // Epilogue: digest = acc ^ a few shared words; out[0] = digest,
+        // out[8] = acc.
+        b.setInsertPoint(done);
+        const Reg sharedBase = b.movGA(shared_);
+        Reg digest = acc;
+        for (const int w : {0, 17, 42}) {
+            const Reg v = b.load(sharedBase, 8 * w);
+            digest = b.xorR(digest, v);
+        }
+        const Reg outBase = b.movGA(out_);
+        b.store(outBase, 0, digest);
+        b.store(outBase, 8, acc);
+        b.halt();
+    }
+
+    const GenKnobs &knobs_;
+    Rng rng_;
+    Module &mod_;
+    GlobalId tab_ = kNoGlobal;
+    GlobalId data_ = kNoGlobal;
+    GlobalId nItems_ = kNoGlobal;
+    GlobalId shared_ = kNoGlobal;
+    GlobalId out_ = kNoGlobal;
+};
+
+/** The `;!` directive header for a kernel. */
+std::string
+directiveHeader(const std::string &name, const GenKnobs &k)
+{
+    const std::uint64_t trainN = k.streamLen;
+    const std::uint64_t refN = k.streamLen + k.streamLen / 4;
+    const std::uint64_t s1 = hashCombine(k.seed, 0x7261696eULL);
+    const std::uint64_t s2 = hashCombine(k.seed, 0x726566ULL);
+
+    std::string h;
+    h += ";! workload " + name + "\n";
+    h += ";! output out\n";
+    h += ";! set train n_items " + std::to_string(trainN) + "\n";
+    h += ";! set ref n_items " + std::to_string(refN) + "\n";
+
+    const auto fill = [&](const char *set, std::uint64_t seed,
+                          std::uint64_t n, std::uint64_t distinct,
+                          double theta) {
+        std::string line = ";! fill ";
+        line += set;
+        line += " data ";
+        if (theta > 0.0) {
+            line += "zipf seed=" + std::to_string(seed)
+                    + " n=" + std::to_string(n)
+                    + " distinct=" + std::to_string(std::max<std::uint64_t>(
+                          1, std::min(distinct, std::max<std::uint64_t>(
+                                                    n, 1))))
+                    + " theta=" + fmtF(theta);
+        } else {
+            line += "uniform seed=" + std::to_string(seed)
+                    + " n=" + std::to_string(n);
+        }
+        line += " max=" + std::to_string(k.valueMax) + "\n";
+        return line;
+    };
+
+    // Ref inputs differ in seed, pool size, and skew so profile-led
+    // decisions generalize imperfectly (as with the hand corpus).
+    h += fill("train", s1, trainN, k.distinctValues, k.zipfTheta);
+    h += fill("ref", s2, refN, k.distinctValues + k.distinctValues / 3 + 1,
+              k.zipfTheta > 0.0 ? k.zipfTheta * 0.8 : 0.0);
+    return h;
+}
+
+} // namespace
+
+GeneratedKernel
+generateKernel(const GenKnobs &raw)
+{
+    const GenKnobs knobs = clampKnobs(raw);
+
+    GeneratedKernel out;
+    out.knobs = knobs;
+    out.name = "gen_" + std::to_string(knobs.seed);
+
+    Module mod(out.name);
+    KernelBuilder builder(knobs, mod);
+    builder.build();
+
+    const std::string body = ir::moduleToString(mod);
+    out.text = directiveHeader(out.name, knobs) + body;
+
+    // The oracle: generated text must parse, verify, and reprint
+    // byte-identically. A failure here is a generator bug.
+    text::ParseResult parsed = text::parseModule(out.text);
+    ccr_assert(parsed.ok(), "generated kernel '", out.name,
+               "' does not parse: ",
+               text::formatDiagnostics(parsed.errors, out.name));
+    const auto diags = ir::verifyModule(*parsed.module);
+    ccr_assert(!ir::hasErrors(diags), "generated kernel '", out.name,
+               "' fails verification: ",
+               ir::formatDiagnostics(diags, out.name));
+    ccr_assert(ir::moduleToString(*parsed.module) == body,
+               "generated kernel '", out.name,
+               "' breaks the print/parse fixpoint");
+    return out;
+}
+
+GenKnobs
+populationKnobs(const GenKnobs &base, std::size_t index)
+{
+    GenKnobs k = base;
+    k.seed = hashCombine(base.seed, static_cast<std::uint64_t>(index));
+    Rng rng(hashCombine(k.seed, 0x706f70ULL));
+
+    static const double kThetas[] = {0.0, 0.0, 0.6, 1.0, 1.3, 1.6};
+    k.zipfTheta = kThetas[rng.nextBelow(6)];
+    k.distinctValues = 4 + rng.nextBelow(61);
+    k.valueMax = 255 + static_cast<std::int64_t>(rng.nextBelow(4096));
+    k.helpers = 1 + static_cast<int>(rng.nextBelow(4));
+    k.callDepth = 1 + static_cast<int>(rng.nextBelow(3));
+    k.loopDepth = rng.nextBool(0.2) ? 2 : 1;
+    k.regionMin = 4 + static_cast<int>(rng.nextBelow(12));
+    k.regionMax =
+        k.regionMin + 4 + static_cast<int>(rng.nextBelow(28));
+    static const double kAlias[] = {0.0, 0.0, 0.15, 0.4, 0.7};
+    k.aliasDensity = kAlias[rng.nextBelow(5)];
+    k.constTableProb = 0.25 * static_cast<double>(rng.nextBelow(4));
+    k.innerLoopProb = 0.2 + 0.2 * static_cast<double>(rng.nextBelow(3));
+    k.floatProb = rng.nextBool(0.3) ? 0.12 : 0.0;
+
+    // Stream length scales down with loop depth and helper count so
+    // every kernel stays within a small dynamic-instruction budget.
+    const std::uint64_t budget = 150 + rng.nextBelow(350);
+    k.streamLen = budget / static_cast<std::uint64_t>(
+                      k.loopDepth == 1 ? 1 : 3);
+    // A thin, deterministic slice of the population exercises the
+    // zero-iteration edge: the driver loop never runs.
+    if (index % 43 == 41)
+        k.streamLen = 0;
+    return k;
+}
+
+std::vector<GeneratedKernel>
+generatePopulation(const GenKnobs &base, std::size_t count, int jobs)
+{
+    std::vector<GeneratedKernel> out(count);
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = generateKernel(populationKnobs(base, i));
+        return out;
+    }
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < count; ++i) {
+        pool.submit([&out, &base, i] {
+            out[i] = generateKernel(populationKnobs(base, i));
+        });
+    }
+    pool.wait();
+    return out;
+}
+
+} // namespace ccr::gen

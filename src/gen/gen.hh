@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Seeded generative `.lc` workload engine (ccr_gen).
+ *
+ * generateKernel() synthesizes one complete, always-legal workload
+ * module by construction: code is built through the IRBuilder grammar
+ * (every block ends in exactly one control transfer, every operand is
+ * a defined register, all loops are bounded), rendered to canonical
+ * `.lc` text by ir::Printer, and prefixed with `;!` workload
+ * directives. The printer/parser fixpoint is the legality oracle —
+ * generation asserts that the emitted text parses back, verifies, and
+ * reprints byte-identically (see docs/GENERATOR.md).
+ *
+ * Knobs control the population properties the differential harness
+ * and the static hit-rate predictor sweep over: value locality
+ * (zipf/uniform operand streams), loop-nest depth, call-graph depth,
+ * global-array aliasing density, and the region-size distribution of
+ * the straight-line helper bodies.
+ *
+ * Determinism contract: the emitted text is a pure function of the
+ * knobs (including knobs.seed). Population generation derives one
+ * independent sub-seed per kernel index, so generating with any
+ * worker count yields byte-identical files.
+ */
+
+#ifndef CCR_GEN_GEN_HH
+#define CCR_GEN_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccr::gen
+{
+
+/** Everything that shapes one generated kernel. */
+struct GenKnobs
+{
+    /** Master seed; every structural and value decision flows from
+     *  it. */
+    std::uint64_t seed = 1;
+
+    // -- Value locality (the reuse signal) ---------------------------
+
+    /** Zipf skew of the train input stream; 0 emits a uniform fill
+     *  directive instead. */
+    double zipfTheta = 1.2;
+
+    /** Distinct values in the train stream's pool. */
+    std::uint64_t distinctValues = 16;
+
+    /** Train stream length (driver-loop iterations). 0 produces a
+     *  zero-iteration workload (the loop body never executes). */
+    std::uint64_t streamLen = 400;
+
+    /** Largest input value the fill directives may produce. */
+    std::int64_t valueMax = 4095;
+
+    // -- Structure ---------------------------------------------------
+
+    /** Helper ("kernel") functions main folds over the stream. */
+    int helpers = 2;
+
+    /** Maximum call-chain depth below main (1 = main calls leaves). */
+    int callDepth = 1;
+
+    /** Loop-nest depth of the driver loop in main (1..3). */
+    int loopDepth = 1;
+
+    /** Straight-line helper-body length bounds — the region-size
+     *  distribution. */
+    int regionMin = 6;
+    int regionMax = 28;
+
+    /** Probability a helper stores into a shared global array (and
+     *  main stores under a data-dependent branch) — the density of
+     *  aliasing/invalidation sites. */
+    double aliasDensity = 0.25;
+
+    /** Probability a helper reads the const lookup table (memory-
+     *  dependent region candidates). */
+    double constTableProb = 0.5;
+
+    /** Probability a helper body is a bounded inner loop (cyclic
+     *  region candidates) instead of straight-line code. */
+    double innerLoopProb = 0.25;
+
+    /** Probability an ALU chain mixes in float ops (I2F/FADD/F2I). */
+    double floatProb = 0.10;
+};
+
+/** One generated kernel: a complete `.lc` file (directives + module)
+ *  plus the identity that produced it. */
+struct GeneratedKernel
+{
+    /** Workload name carried by the `;! workload` directive
+     *  ("gen_<seed>"). */
+    std::string name;
+
+    /** Full `.lc` text: `;!` directives then the canonical module
+     *  form. Parse-verify-reprint clean by construction. */
+    std::string text;
+
+    GenKnobs knobs;
+};
+
+/** Generate one kernel. Panics (ccr_assert) if the emitted text ever
+ *  fails the parse/verify/fixpoint oracle — that is a generator bug,
+ *  never a caller error. */
+GeneratedKernel generateKernel(const GenKnobs &knobs);
+
+/**
+ * Derive the knobs for kernel @p index of a population: sub-seed plus
+ * a deterministic sweep over the knob space (locality, structure and
+ * aliasing vary per index so a population covers the feature space
+ * the predictor fits over). Pure function of (base, index).
+ */
+GenKnobs populationKnobs(const GenKnobs &base, std::size_t index);
+
+/** Generate kernels [0, count) of the population seeded by @p base.
+ *  @p jobs parallelizes generation; output is byte-identical for any
+ *  worker count. */
+std::vector<GeneratedKernel> generatePopulation(const GenKnobs &base,
+                                                std::size_t count,
+                                                int jobs = 1);
+
+} // namespace ccr::gen
+
+#endif // CCR_GEN_GEN_HH

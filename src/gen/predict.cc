@@ -1,0 +1,198 @@
+#include "gen/predict.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace ccr::gen
+{
+
+namespace
+{
+
+/** Usable samples: only queried regions carry a measured rate. */
+std::vector<const RegionSample *>
+usable(const std::vector<RegionSample> &samples)
+{
+    std::vector<const RegionSample *> out;
+    for (const auto &s : samples)
+        if (s.queries > 0)
+            out.push_back(&s);
+    return out;
+}
+
+/**
+ * Solve the symmetric system A x = b by Gaussian elimination with
+ * partial pivoting. A tiny ridge term keeps the system well-posed
+ * when a feature is constant across the population (e.g. no cyclic
+ * regions formed).
+ */
+std::array<double, kNumFeatures>
+solveNormal(std::array<std::array<double, kNumFeatures>, kNumFeatures> a,
+            std::array<double, kNumFeatures> b)
+{
+    constexpr double kRidge = 1e-6;
+    for (std::size_t i = 0; i < kNumFeatures; ++i)
+        a[i][i] += kRidge;
+
+    for (std::size_t col = 0; col < kNumFeatures; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < kNumFeatures; ++row)
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col]))
+                pivot = row;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        ccr_assert(std::fabs(a[col][col]) > 0.0,
+                   "singular normal equations despite ridge");
+        for (std::size_t row = col + 1; row < kNumFeatures; ++row) {
+            const double f = a[row][col] / a[col][col];
+            for (std::size_t k = col; k < kNumFeatures; ++k)
+                a[row][k] -= f * a[col][k];
+            b[row] -= f * b[col];
+        }
+    }
+    std::array<double, kNumFeatures> x{};
+    for (std::size_t i = kNumFeatures; i-- > 0;) {
+        double v = b[i];
+        for (std::size_t k = i + 1; k < kNumFeatures; ++k)
+            v -= a[i][k] * x[k];
+        x[i] = v / a[i][i];
+    }
+    return x;
+}
+
+/** Average ranks (ties share the mean rank). */
+std::vector<double>
+ranks(const std::vector<double> &values)
+{
+    const std::size_t n = values.size();
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return values[a] < values[b];
+    });
+    std::vector<double> rank(n);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && values[order[j + 1]] == values[order[i]])
+            ++j;
+        const double avg = 0.5 * (static_cast<double>(i)
+                                  + static_cast<double>(j));
+        for (std::size_t k = i; k <= j; ++k)
+            rank[order[k]] = avg;
+        i = j + 1;
+    }
+    return rank;
+}
+
+/** Pearson correlation of two equal-length vectors. */
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    const auto n = static_cast<double>(x.size());
+    double mx = 0, my = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= n;
+    my /= n;
+    double sxy = 0, sxx = 0, syy = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace
+
+std::array<double, kNumFeatures>
+regionFeatures(const RegionSample &s)
+{
+    return {1.0,
+            static_cast<double>(s.staticInsts),
+            s.cyclic ? 1.0 : 0.0,
+            static_cast<double>(s.liveIns),
+            static_cast<double>(s.memStructs),
+            static_cast<double>(s.loopDepth)};
+}
+
+double
+Predictor::predict(const RegionSample &s) const
+{
+    const auto f = regionFeatures(s);
+    double v = 0.0;
+    for (std::size_t i = 0; i < kNumFeatures; ++i)
+        v += weights[i] * f[i];
+    return std::clamp(v, 0.0, 1.0);
+}
+
+Predictor
+fitPredictor(const std::vector<RegionSample> &samples)
+{
+    const auto rows = usable(samples);
+    ccr_assert(rows.size() >= kNumFeatures,
+               "too few queried regions to fit the predictor: ",
+               rows.size());
+
+    std::array<std::array<double, kNumFeatures>, kNumFeatures> ata{};
+    std::array<double, kNumFeatures> atb{};
+    for (const auto *s : rows) {
+        const auto f = regionFeatures(*s);
+        const double y = s->hitRate();
+        for (std::size_t i = 0; i < kNumFeatures; ++i) {
+            atb[i] += f[i] * y;
+            for (std::size_t j = 0; j < kNumFeatures; ++j)
+                ata[i][j] += f[i] * f[j];
+        }
+    }
+    Predictor p;
+    p.weights = solveNormal(ata, atb);
+    return p;
+}
+
+FitReport
+evaluatePredictor(const Predictor &model,
+                  const std::vector<RegionSample> &samples)
+{
+    const auto rows = usable(samples);
+    FitReport rep;
+    rep.samples = rows.size();
+    if (rows.empty())
+        return rep;
+
+    std::vector<double> yTrue, yPred;
+    yTrue.reserve(rows.size());
+    yPred.reserve(rows.size());
+    double mean = 0.0;
+    for (const auto *s : rows) {
+        yTrue.push_back(s->hitRate());
+        yPred.push_back(model.predict(*s));
+        mean += yTrue.back();
+    }
+    mean /= static_cast<double>(rows.size());
+
+    double sse = 0.0, sst = 0.0, absErr = 0.0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const double e = yTrue[i] - yPred[i];
+        sse += e * e;
+        absErr += std::fabs(e);
+        const double d = yTrue[i] - mean;
+        sst += d * d;
+    }
+    rep.meanAbsError = absErr / static_cast<double>(rows.size());
+    rep.r2 = sst == 0.0 ? (sse == 0.0 ? 1.0 : 0.0) : 1.0 - sse / sst;
+    rep.spearman = pearson(ranks(yTrue), ranks(yPred));
+    return rep;
+}
+
+} // namespace ccr::gen

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Static reuse-rate predictor: a least-squares linear model of
+ * per-region CRB hit rate from compile-time features only (region
+ * size, cyclic flag, live-in count, memory-claim breadth, loop
+ * depth), fitted to measured per-region query/hit counts from the
+ * generated population and validated on held-out kernels.
+ *
+ * This is the experiment behind the static reuse-estimation
+ * hypothesis (ROADMAP; Razzak et al.): if region hit rates are
+ * predictable from static features alone, a compiler could rank
+ * candidate regions without a training run. The fit quality (R² and
+ * Spearman rank correlation on the holdout) is the reported result —
+ * a weak fit is a finding, not a failure.
+ */
+
+#ifndef CCR_GEN_PREDICT_HH
+#define CCR_GEN_PREDICT_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "gen/diff.hh"
+
+namespace ccr::gen
+{
+
+/** Feature vector of one region: [1, staticInsts, cyclic, liveIns,
+ *  memStructs, loopDepth]. */
+constexpr std::size_t kNumFeatures = 6;
+
+/** Extract the predictor features from a region sample. */
+std::array<double, kNumFeatures> regionFeatures(const RegionSample &s);
+
+/** A fitted linear model. */
+struct Predictor
+{
+    std::array<double, kNumFeatures> weights{};
+
+    /** Predicted hit rate, clamped to [0, 1]. */
+    double predict(const RegionSample &s) const;
+};
+
+/** Fit quality on one sample set. */
+struct FitReport
+{
+    std::size_t samples = 0;
+
+    /** Coefficient of determination (1 - SSE/SST; <= 1, can go
+     *  negative on a holdout worse than predicting the mean). */
+    double r2 = 0.0;
+
+    /** Spearman rank correlation between predicted and measured hit
+     *  rates (average-rank ties). */
+    double spearman = 0.0;
+
+    /** Mean absolute error in hit-rate units. */
+    double meanAbsError = 0.0;
+};
+
+/**
+ * Fit by ordinary least squares (normal equations with a small ridge
+ * term for singular feature sets). Samples with zero queries carry no
+ * measurement and are skipped. Requires at least kNumFeatures usable
+ * samples; ccr_assert otherwise.
+ */
+Predictor fitPredictor(const std::vector<RegionSample> &samples);
+
+/** Evaluate @p model on @p samples (zero-query samples skipped). */
+FitReport evaluatePredictor(const Predictor &model,
+                            const std::vector<RegionSample> &samples);
+
+} // namespace ccr::gen
+
+#endif // CCR_GEN_PREDICT_HH

@@ -1,0 +1,98 @@
+#include "gen/shrink.hh"
+
+#include <vector>
+
+namespace ccr::gen
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitLines(const std::string &s)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < s.size()) {
+        const auto nl = s.find('\n', start);
+        if (nl == std::string::npos) {
+            lines.push_back(s.substr(start));
+            break;
+        }
+        lines.push_back(s.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+std::string
+joinKept(const std::vector<std::string> &lines,
+         const std::vector<bool> &keep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (!keep[i])
+            continue;
+        out += lines[i];
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+shrinkSource(const std::string &source,
+             const FailurePredicate &still_fails, int max_probes)
+{
+    if (!still_fails(source))
+        return source;
+
+    const std::vector<std::string> lines = splitLines(source);
+    std::vector<bool> keep(lines.size(), true);
+    std::size_t kept = lines.size();
+    int probes = 0;
+
+    // ddmin: drop chunks of `chunk` consecutive kept lines at a time,
+    // halving the chunk size whenever a full pass removes nothing.
+    std::size_t chunk = kept / 2;
+    if (chunk == 0)
+        chunk = 1;
+    while (probes < max_probes) {
+        bool removedAny = false;
+        std::size_t i = 0;
+        while (i < lines.size() && probes < max_probes) {
+            if (!keep[i]) {
+                ++i;
+                continue;
+            }
+            // Collect the next `chunk` kept indices starting at i.
+            std::vector<std::size_t> idx;
+            for (std::size_t j = i; j < lines.size() && idx.size() < chunk;
+                 ++j)
+                if (keep[j])
+                    idx.push_back(j);
+            if (idx.empty())
+                break;
+            for (const auto j : idx)
+                keep[j] = false;
+            ++probes;
+            if (still_fails(joinKept(lines, keep))) {
+                kept -= idx.size();
+                removedAny = true;
+            } else {
+                for (const auto j : idx)
+                    keep[j] = true;
+            }
+            i = idx.back() + 1;
+        }
+        if (!removedAny) {
+            if (chunk == 1)
+                break;
+            chunk = chunk / 2;
+        }
+    }
+    return joinKept(lines, keep);
+}
+
+} // namespace ccr::gen

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Failure shrinking for `.lc` kernels: delta-debugging over source
+ * lines. Given a failing kernel and a predicate that re-runs the
+ * failure check, shrinkSource() searches for a minimal line subset
+ * that still fails. The parser is total, so invalid candidates simply
+ * fail the implicit "still parses and verifies" gate inside the
+ * predicate wrapper — no candidate can crash the shrinker.
+ */
+
+#ifndef CCR_GEN_SHRINK_HH
+#define CCR_GEN_SHRINK_HH
+
+#include <functional>
+#include <string>
+
+namespace ccr::gen
+{
+
+/** Returns true when @p candidate still reproduces the failure under
+ *  investigation. Candidates that fail to parse/verify/load must
+ *  return false (not reproduce). */
+using FailurePredicate = std::function<bool(const std::string &)>;
+
+/**
+ * ddmin-style minimization over source lines: repeatedly try removing
+ * chunks of lines (halving chunk size down to single lines) while the
+ * predicate keeps reproducing. Returns the smallest failing source
+ * found; returns @p source unchanged when the predicate does not hold
+ * on it. @p max_probes bounds total predicate invocations.
+ */
+std::string shrinkSource(const std::string &source,
+                         const FailurePredicate &still_fails,
+                         int max_probes = 2000);
+
+} // namespace ccr::gen
+
+#endif // CCR_GEN_SHRINK_HH

@@ -131,6 +131,7 @@ Crb::onReuse(ir::RegionId region, emu::Machine &machine)
     }
 
     ++cQueries_;
+    ++queriesByRegion_[region];
     emu::ReuseOutcome outcome;
 
     const std::size_t idx = entryFor(region);
@@ -434,6 +435,7 @@ Crb::reset()
     memo_ = MemoState{};
     lastOutcome_ = emu::ReuseOutcome{};
     hitsByRegion_.clear();
+    queriesByRegion_.clear();
     metrics_.reset();
 }
 

@@ -126,6 +126,15 @@ class Crb : public emu::ReuseHandler
         return hitsByRegion_;
     }
 
+    /** Per-region query counts; with hitsByRegion() this yields the
+     *  measured per-region hit rate the static predictor (ccr_gen)
+     *  validates against. */
+    const std::unordered_map<ir::RegionId, std::uint64_t> &
+    queriesByRegion() const
+    {
+        return queriesByRegion_;
+    }
+
     void reset();
 
     /** The CRB's metric registry ("crb.*" names) — the source of
@@ -174,6 +183,7 @@ class Crb : public emu::ReuseHandler
     MemoState memo_;
     emu::ReuseOutcome lastOutcome_;
     std::unordered_map<ir::RegionId, std::uint64_t> hitsByRegion_;
+    std::unordered_map<ir::RegionId, std::uint64_t> queriesByRegion_;
 
     obs::MetricRegistry metrics_;
     obs::TraceSink *trace_ = nullptr;

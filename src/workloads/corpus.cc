@@ -294,12 +294,14 @@ class DirectiveReader
                           : "uniform fill needs seed= n= max=");
             return;
         }
-        if (a.n == 0 || a.n > kMaxFillWords) {
-            error(p, "fill n out of range (1.." +
+        // n == 0 is a legal no-op fill: generated workloads with
+        // zero-iteration driver loops declare empty input streams.
+        if (a.n > kMaxFillWords) {
+            error(p, "fill n out of range (0.." +
                          std::to_string(kMaxFillWords) + ")");
             return;
         }
-        if (zipf && (a.distinct == 0 || a.distinct > a.n)) {
+        if (zipf && a.n != 0 && (a.distinct == 0 || a.distinct > a.n)) {
             error(p, "fill distinct must be in 1..n");
             return;
         }
@@ -331,6 +333,8 @@ applyAction(emu::Machine &machine, const Action &a)
         setGlobal64(machine, a.global, a.value);
         return;
       case Action::Kind::FillZipf: {
+        if (a.n == 0)
+            return; // declared-empty stream: nothing to write
         Rng rng(a.seed);
         const std::int64_t max = a.max;
         const auto values =
@@ -341,6 +345,8 @@ applyAction(emu::Machine &machine, const Action &a)
         return;
       }
       case Action::Kind::FillUniform: {
+        if (a.n == 0)
+            return; // declared-empty stream: nothing to write
         Rng rng(a.seed);
         std::vector<std::int64_t> values;
         values.reserve(a.n);
@@ -352,28 +358,22 @@ applyAction(emu::Machine &machine, const Action &a)
     }
 }
 
-/** Full load: parse, verify, interpret directives, build the
- *  Workload. Error strings carry the file-path prefix. */
+/**
+ * Shared back half of loading: verify a parsed module, interpret its
+ * directives, and assemble the Workload. @p display prefixes error
+ * strings (a file path, or a synthetic name for in-memory sources);
+ * @p fallback_name names the workload when no `;! workload` directive
+ * is present.
+ */
 std::optional<Workload>
-loadFile(const std::string &path, std::vector<std::string> &errors)
+fromParsed(text::ParseResult &&parsed, const std::string &display,
+           const std::string &fallback_name,
+           std::vector<std::string> &errors)
 {
-    auto parsed = text::parseModuleFile(path);
-    if (!parsed.ok()) {
-        const std::string formatted =
-            text::formatDiagnostics(parsed.errors, path);
-        std::size_t start = 0;
-        while (start < formatted.size()) {
-            const auto nl = formatted.find('\n', start);
-            errors.push_back(formatted.substr(start, nl - start));
-            start = nl == std::string::npos ? formatted.size() : nl + 1;
-        }
-        return std::nullopt;
-    }
-
     const auto verifyDiags = ir::verifyModule(*parsed.module);
     if (ir::hasErrors(verifyDiags)) {
         for (const auto &d : verifyDiags)
-            errors.push_back(path + ": verify: " + d.message);
+            errors.push_back(display + ": verify: " + d.message);
         return std::nullopt;
     }
 
@@ -381,25 +381,24 @@ loadFile(const std::string &path, std::vector<std::string> &errors)
     const std::size_t before = errors.size();
     reader.read(parsed.pragmas);
     for (std::size_t i = before; i < errors.size(); ++i)
-        errors[i] = path + ":" + errors[i];
+        errors[i] = display + ":" + errors[i];
     if (errors.size() != before)
         return std::nullopt;
 
     if (parsed.module->entryFunction() == ir::kNoFunc) {
-        errors.push_back(path + ": no entry function (add 'entry "
-                                "@\"main\"' to the module)");
+        errors.push_back(display + ": no entry function (add 'entry "
+                                   "@\"main\"' to the module)");
         return std::nullopt;
     }
     if (reader.outputs.empty()) {
-        errors.push_back(path + ": corpus workload declares no outputs "
-                                "(add ';! output <global>')");
+        errors.push_back(display + ": corpus workload declares no "
+                                   "outputs (add ';! output <global>')");
         return std::nullopt;
     }
 
     Workload w;
-    w.name = reader.workloadName.empty()
-                 ? std::filesystem::path(path).stem().string()
-                 : reader.workloadName;
+    w.name = reader.workloadName.empty() ? fallback_name
+                                         : reader.workloadName;
     w.module = std::shared_ptr<ir::Module>(std::move(parsed.module));
     w.outputGlobals = reader.outputs;
     w.prepare = [actions = reader.actions](emu::Machine &machine,
@@ -409,10 +408,42 @@ loadFile(const std::string &path, std::vector<std::string> &errors)
                 applyAction(machine, a);
     };
     if (!validName(w.name)) {
-        errors.push_back(path + ": invalid workload name '" + w.name + "'");
+        errors.push_back(display + ": invalid workload name '" + w.name +
+                         "'");
         return std::nullopt;
     }
     return w;
+}
+
+/** Split formatted diagnostics into one error string per line. */
+void
+appendDiagnosticLines(const text::ParseResult &parsed,
+                      const std::string &display,
+                      std::vector<std::string> &errors)
+{
+    const std::string formatted =
+        text::formatDiagnostics(parsed.errors, display);
+    std::size_t start = 0;
+    while (start < formatted.size()) {
+        const auto nl = formatted.find('\n', start);
+        errors.push_back(formatted.substr(start, nl - start));
+        start = nl == std::string::npos ? formatted.size() : nl + 1;
+    }
+}
+
+/** Full load: parse, verify, interpret directives, build the
+ *  Workload. Error strings carry the file-path prefix. */
+std::optional<Workload>
+loadFile(const std::string &path, std::vector<std::string> &errors)
+{
+    auto parsed = text::parseModuleFile(path);
+    if (!parsed.ok()) {
+        appendDiagnosticLines(parsed, path, errors);
+        return std::nullopt;
+    }
+    return fromParsed(std::move(parsed), path,
+                      std::filesystem::path(path).stem().string(),
+                      errors);
 }
 
 struct Registry
@@ -561,6 +592,19 @@ buildCorpusWorkload(const std::string &name)
         ccr_fatal(msg);
     }
     return std::move(*loaded);
+}
+
+std::optional<Workload>
+buildWorkloadFromText(const std::string &source,
+                      const std::string &display,
+                      std::vector<std::string> &errors)
+{
+    auto parsed = text::parseModule(source);
+    if (!parsed.ok()) {
+        appendDiagnosticLines(parsed, display, errors);
+        return std::nullopt;
+    }
+    return fromParsed(std::move(parsed), display, display, errors);
 }
 
 std::optional<std::string>

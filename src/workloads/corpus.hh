@@ -55,6 +55,19 @@ bool isCorpusWorkload(const std::string &name);
 Workload buildCorpusWorkload(const std::string &name);
 
 /**
+ * Build a workload from in-memory `.lc` source (directives included)
+ * without touching the global registry — the path used by the
+ * generative engine (ccr_gen), where thousands of kernels exist only
+ * as strings. @p display prefixes error strings and doubles as the
+ * fallback workload name when no `;! workload` directive is present.
+ * Returns std::nullopt after appending errors.
+ */
+std::optional<Workload>
+buildWorkloadFromText(const std::string &source,
+                      const std::string &display,
+                      std::vector<std::string> &errors);
+
+/**
  * Parse, verify, and directive-check one `.lc` file, then register it
  * under its workload name (the `;! workload` directive, defaulting to
  * the file stem). Returns the name, or std::nullopt after appending

@@ -14,6 +14,7 @@
 
 #include "ir/printer.hh"
 #include "ir/verifier.hh"
+#include "gen/gen.hh"
 #include "support/random.hh"
 #include "text/parser.hh"
 #include "workloads/corpus.hh"
@@ -324,6 +325,110 @@ TEST(Fuzz, MutatedInputNeverCrashesAndAlwaysLocatesErrors)
     // Most single-byte mutations of a large module break it; a few
     // land in comments or workload names and stay parseable.
     EXPECT_LT(parsed_ok, 300);
+}
+
+// -- Cross-breeding generated kernels ----------------------------------
+
+/** Split a module's text into its pre-function header (module/entry/
+ *  global lines) and one chunk per `func` definition. */
+void
+splitFunctions(const std::string &text, std::string &header,
+               std::vector<std::string> &funcs)
+{
+    std::size_t start = 0;
+    std::string *cur = &header;
+    while (start < text.size()) {
+        auto nl = text.find('\n', start);
+        if (nl == std::string::npos)
+            nl = text.size() - 1;
+        const std::string line = text.substr(start, nl - start + 1);
+        if (line.rfind("func ", 0) == 0) {
+            funcs.emplace_back();
+            cur = &funcs.back();
+        }
+        *cur += line;
+        start = nl + 1;
+    }
+}
+
+TEST(Fuzz, CrossBredGeneratedKernelsNeverCrashTheFrontend)
+{
+    // Splice whole functions between pairs of generated kernels. The
+    // hybrids are frequently ill-formed (dangling callees, duplicate
+    // names, missing entry) — the frontend must always either reject
+    // them with located diagnostics or accept a module that verifies
+    // and reprints as a fixpoint.
+    Rng rng(0x5eed5eedULL);
+    int accepted = 0;
+    for (int round = 0; round < 40; ++round) {
+        gen::GenKnobs ka, kb;
+        ka.seed = 10'000 + static_cast<std::uint64_t>(round);
+        kb.seed = 20'000 + static_cast<std::uint64_t>(round);
+        ka.helpers = 1 + static_cast<int>(rng.nextBelow(3));
+        kb.helpers = 1 + static_cast<int>(rng.nextBelow(3));
+        const auto a = gen::generateKernel(ka);
+        const auto b = gen::generateKernel(kb);
+
+        std::string headerA, headerB;
+        std::vector<std::string> funcsA, funcsB;
+        splitFunctions(a.text.substr(a.text.find("module ")), headerA,
+                       funcsA);
+        splitFunctions(b.text.substr(b.text.find("module ")), headerB,
+                       funcsB);
+        ASSERT_GE(funcsA.size(), 2u);
+        ASSERT_GE(funcsB.size(), 2u);
+
+        std::string hybrid = headerA;
+        if (round % 2 == 0) {
+            // Even rounds: graft B's same-named functions into A where
+            // the parents overlap — usually a well-formed hybrid.
+            for (const auto &fa : funcsA) {
+                const std::string name =
+                    fa.substr(0, fa.find(')') + 1);
+                const std::string bare =
+                    name.substr(0, name.find('('));
+                const auto *pick = &fa;
+                for (const auto &fb : funcsB) {
+                    if (fb.rfind(bare, 0) == 0 && rng.nextBelow(2)) {
+                        pick = &fb;
+                        break;
+                    }
+                }
+                hybrid += *pick;
+            }
+        } else {
+            // Odd rounds: random interleave drawing each slot from
+            // either parent (duplicate and dangling names likely).
+            const std::size_t slots =
+                std::max(funcsA.size(), funcsB.size());
+            for (std::size_t s = 0; s < slots; ++s) {
+                const auto &pool = rng.nextBelow(2) ? funcsA : funcsB;
+                hybrid += pool[rng.nextBelow(pool.size())];
+            }
+        }
+
+        const text::ParseResult p = text::parseModule(hybrid);
+        if (!p.ok()) {
+            ASSERT_FALSE(p.errors.empty());
+            for (const auto &d : p.errors) {
+                EXPECT_GE(d.loc.line, 1);
+                EXPECT_FALSE(d.message.empty());
+            }
+            continue;
+        }
+        ASSERT_NE(p.module, nullptr);
+        if (ir::hasErrors(ir::verifyModule(*p.module)))
+            continue;
+        ++accepted;
+        const std::string printed = ir::moduleToString(*p.module);
+        const text::ParseResult again = text::parseModule(printed);
+        ASSERT_TRUE(again.ok());
+        EXPECT_EQ(ir::moduleToString(*again.module), printed);
+    }
+    // Same-name grafts preserve the call graph, so a healthy share of
+    // hybrids must make it through parse + verify — the test must not
+    // pass vacuously.
+    EXPECT_GE(accepted, 10);
 }
 
 } // namespace

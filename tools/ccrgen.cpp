@@ -1,0 +1,450 @@
+/**
+ * @file
+ * ccrgen — generative workload engine driver.
+ *
+ * Subcommands:
+ *
+ *     ccrgen gen [options]            emit generated kernels as .lc
+ *       --seed <u64>                  population master seed (1)
+ *       --count <n>                   kernels to generate (1)
+ *       --index <i>                   emit only population member i
+ *       --out <dir>                   write <name>.lc files ('-' =
+ *                                     print to stdout, default)
+ *
+ *     ccrgen sweep [options]          differential-test a population
+ *       --seed <u64>                  population master seed (1)
+ *       --count <n>                   population size (200)
+ *       --jobs <n>                    worker threads (1)
+ *       --bench <path>                write the BENCH_gen.json
+ *                                     artifact (fit report included)
+ *       --repro-dir <dir>             write shrunken .lc repros for
+ *                                     any failing kernel
+ *       --max-insts <n>               per-run instruction cap
+ *
+ *     ccrgen shrink <file.lc>         minimize a failing kernel
+ *       --out <path>                  where to write the repro
+ *
+ * The sweep runs every kernel through decoded-vs-reference lockstep,
+ * region lint + dynamic cross-check, and base-vs-CCR differential
+ * execution, then fits the static reuse-rate predictor on the
+ * even-indexed kernels' regions and validates it on the odd-indexed
+ * holdout (see docs/GENERATOR.md).
+ *
+ * Exit codes: 0 success, 1 any kernel failed (sweep) / the input does
+ * not fail (shrink), 2 usage error.
+ */
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/diff.hh"
+#include "gen/gen.hh"
+#include "gen/predict.hh"
+#include "gen/shrink.hh"
+#include "obs/json.hh"
+#include "support/thread_pool.hh"
+
+namespace
+{
+
+using namespace ccr;
+
+int
+usage(std::ostream &os)
+{
+    os << "usage: ccrgen gen [--seed S] [--count N] [--index I] "
+          "[--out DIR|-]\n"
+          "   or: ccrgen sweep [--seed S] [--count N] [--jobs J]\n"
+          "              [--bench PATH] [--repro-dir DIR] "
+          "[--max-insts N]\n"
+          "   or: ccrgen shrink <file.lc> [--out PATH]\n";
+    return 2;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    const auto *first = s.data();
+    const auto *last = s.data() + s.size();
+    const auto r = std::from_chars(first, last, out);
+    return r.ec == std::errc{} && r.ptr == last;
+}
+
+/** Pull the value of --flag; false on missing value. */
+bool
+takeValue(const std::vector<std::string> &args, std::size_t &i,
+          std::string &out)
+{
+    if (i + 1 >= args.size())
+        return false;
+    out = args[++i];
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    os << contents;
+    return static_cast<bool>(os);
+}
+
+int
+cmdGen(const std::vector<std::string> &args)
+{
+    gen::GenKnobs base;
+    std::uint64_t count = 1;
+    std::int64_t index = -1;
+    std::string out = "-";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string v;
+        if (args[i] == "--seed" && takeValue(args, i, v)) {
+            if (!parseU64(v, base.seed))
+                return usage(std::cerr);
+        } else if (args[i] == "--count" && takeValue(args, i, v)) {
+            if (!parseU64(v, count))
+                return usage(std::cerr);
+        } else if (args[i] == "--index" && takeValue(args, i, v)) {
+            std::uint64_t u = 0;
+            if (!parseU64(v, u))
+                return usage(std::cerr);
+            index = static_cast<std::int64_t>(u);
+        } else if (args[i] == "--out" && takeValue(args, i, v)) {
+            out = v;
+        } else {
+            return usage(std::cerr);
+        }
+    }
+
+    std::vector<gen::GeneratedKernel> kernels;
+    if (index >= 0) {
+        kernels.push_back(gen::generateKernel(gen::populationKnobs(
+            base, static_cast<std::size_t>(index))));
+    } else {
+        kernels = gen::generatePopulation(
+            base, static_cast<std::size_t>(count));
+    }
+
+    if (out == "-") {
+        for (const auto &k : kernels)
+            std::cout << k.text;
+        return 0;
+    }
+    std::filesystem::create_directories(out);
+    for (const auto &k : kernels) {
+        const auto path =
+            (std::filesystem::path(out) / (k.name + ".lc")).string();
+        if (!writeFile(path, k.text)) {
+            std::cerr << "ccrgen: cannot write " << path << "\n";
+            return 1;
+        }
+    }
+    std::cout << "wrote " << kernels.size() << " kernel(s) to " << out
+              << "\n";
+    return 0;
+}
+
+/** The stage a differential run failed at ("" when it passed). A
+ *  shrink candidate must fail at the SAME stage as the original —
+ *  otherwise ddmin degenerates to "any unparseable fragment". */
+std::string
+failureStage(const gen::DiffResult &r)
+{
+    if (r.ok())
+        return "";
+    if (!r.loadOk)
+        return "load";
+    if (!r.lockstepOk)
+        return "lockstep";
+    if (!r.lintOk)
+        return "lint";
+    if (!r.crossOk)
+        return "crosscheck";
+    if (!r.baseVsCcrOk)
+        return "base-vs-ccr";
+    return "counters";
+}
+
+/** Failure message with digits removed, so diagnostics that embed
+ *  line/col positions still compare equal after lines are deleted. */
+std::string
+normalizedFailure(const gen::DiffResult &r)
+{
+    std::string s;
+    for (const char c : r.failure)
+        if (c < '0' || c > '9')
+            s += c;
+    return s;
+}
+
+/** The message to pin when shrinking a load-stage failure: the
+ *  original source's diagnostic re-derived under the display name
+ *  every shrink candidate runs with ("" for other stages). Deriving
+ *  it from the user-facing run would pin the file path the parser
+ *  embeds in its diagnostics, which no candidate can ever match. */
+std::string
+pinnedLoadFailure(const std::string &source, const std::string &stage,
+                  const gen::DiffConfig &config)
+{
+    if (stage != "load")
+        return {};
+    return normalizedFailure(
+        gen::diffTestSource(source, "shrink-candidate", config));
+}
+
+/** True when @p source reproduces the original failure. Every stage
+ *  is pinned; load failures additionally pin the diagnostic text —
+ *  otherwise ANY unloadable fragment (including the empty file)
+ *  "reproduces" a load failure and ddmin shrinks to nothing. Deeper
+ *  stages can't pin the message: it embeds counts and hashes that
+ *  legitimately change as the kernel shrinks. */
+bool
+reproducesFailure(const std::string &source, const std::string &stage,
+                  const std::string &load_failure,
+                  const gen::DiffConfig &config)
+{
+    const auto r = gen::diffTestSource(source, "shrink-candidate", config);
+    if (failureStage(r) != stage)
+        return false;
+    return stage != "load" || normalizedFailure(r) == load_failure;
+}
+
+int
+cmdSweep(const std::vector<std::string> &args)
+{
+    gen::GenKnobs base;
+    std::uint64_t count = 200;
+    std::uint64_t jobs = 1;
+    std::string benchPath, reproDir;
+    gen::DiffConfig config;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string v;
+        if (args[i] == "--seed" && takeValue(args, i, v)) {
+            if (!parseU64(v, base.seed))
+                return usage(std::cerr);
+        } else if (args[i] == "--count" && takeValue(args, i, v)) {
+            if (!parseU64(v, count))
+                return usage(std::cerr);
+        } else if (args[i] == "--jobs" && takeValue(args, i, v)) {
+            if (!parseU64(v, jobs) || jobs == 0)
+                return usage(std::cerr);
+        } else if (args[i] == "--bench" && takeValue(args, i, v)) {
+            benchPath = v;
+        } else if (args[i] == "--repro-dir" && takeValue(args, i, v)) {
+            reproDir = v;
+        } else if (args[i] == "--max-insts" && takeValue(args, i, v)) {
+            if (!parseU64(v, config.maxInsts))
+                return usage(std::cerr);
+        } else {
+            return usage(std::cerr);
+        }
+    }
+
+    const auto kernels = gen::generatePopulation(
+        base, static_cast<std::size_t>(count), static_cast<int>(jobs));
+
+    // Differential-test the population. Results commit by index, so
+    // the sweep is deterministic for any worker count.
+    std::vector<gen::DiffResult> results(kernels.size());
+    {
+        ThreadPool pool(static_cast<int>(jobs));
+        for (std::size_t i = 0; i < kernels.size(); ++i) {
+            pool.submit([&kernels, &results, &config, i] {
+                results[i] = gen::diffTestKernel(kernels[i], config);
+            });
+        }
+        pool.wait();
+    }
+
+    // Tally + collect predictor samples (train/holdout split by kernel
+    // index parity).
+    std::size_t failures = 0;
+    std::uint64_t totalInsts = 0, totalQueries = 0, totalHits = 0;
+    std::size_t totalRegions = 0, kernelsWithRegions = 0;
+    std::vector<gen::RegionSample> trainSamples, holdoutSamples;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        if (!r.ok()) {
+            ++failures;
+            std::cerr << "FAIL " << r.name << ": " << r.failure << "\n";
+            if (!reproDir.empty()) {
+                std::filesystem::create_directories(reproDir);
+                const std::string stage = failureStage(r);
+                const std::string loadMsg = pinnedLoadFailure(
+                    kernels[i].text, stage, config);
+                const std::string shrunk = gen::shrinkSource(
+                    kernels[i].text,
+                    [&config, &stage, &loadMsg](const std::string &s) {
+                        return reproducesFailure(s, stage, loadMsg,
+                                                 config);
+                    });
+                const auto path = (std::filesystem::path(reproDir)
+                                   / (r.name + "_repro.lc"))
+                                      .string();
+                writeFile(path, shrunk);
+                std::cerr << "  repro: " << path << "\n";
+            }
+            continue;
+        }
+        totalInsts += r.dynInsts;
+        totalQueries += r.crbQueries;
+        totalHits += r.crbHits;
+        totalRegions += r.regionsFormed;
+        if (r.regionsFormed > 0)
+            ++kernelsWithRegions;
+        auto &bucket = i % 2 == 0 ? trainSamples : holdoutSamples;
+        bucket.insert(bucket.end(), r.regions.begin(), r.regions.end());
+    }
+
+    std::cout << "sweep: " << results.size() - failures << "/"
+              << results.size() << " kernels passed, " << totalRegions
+              << " regions formed across " << kernelsWithRegions
+              << " kernels, " << totalHits << "/" << totalQueries
+              << " CRB hits/queries\n";
+
+    // Fit + validate the static reuse-rate predictor.
+    obs::Json bench = obs::Json::object();
+    bench["seed"] = obs::Json(base.seed);
+    bench["kernels"] = obs::Json(
+        static_cast<std::uint64_t>(results.size()));
+    bench["failures"] = obs::Json(static_cast<std::uint64_t>(failures));
+    bench["regions"] = obs::Json(
+        static_cast<std::uint64_t>(totalRegions));
+    bench["dynInsts"] = obs::Json(totalInsts);
+    bench["crbQueries"] = obs::Json(totalQueries);
+    bench["crbHits"] = obs::Json(totalHits);
+
+    const auto queried = [](const std::vector<gen::RegionSample> &v) {
+        std::size_t n = 0;
+        for (const auto &s : v)
+            if (s.queries > 0)
+                ++n;
+        return n;
+    };
+    const std::size_t trainable = queried(trainSamples);
+    bench["predictor"] = obs::Json::object();
+    obs::Json &pj = bench["predictor"];
+    pj["trainSamples"] = obs::Json(
+        static_cast<std::uint64_t>(trainable));
+    pj["holdoutSamples"] = obs::Json(
+        static_cast<std::uint64_t>(queried(holdoutSamples)));
+    if (trainable >= gen::kNumFeatures) {
+        const gen::Predictor model = gen::fitPredictor(trainSamples);
+        const gen::FitReport fitTrain =
+            gen::evaluatePredictor(model, trainSamples);
+        const gen::FitReport fitHoldout =
+            gen::evaluatePredictor(model, holdoutSamples);
+        obs::Json weights = obs::Json::array();
+        for (const double w : model.weights)
+            weights.push(obs::Json(w));
+        pj["weights"] = std::move(weights);
+        pj["features"] = obs::Json(
+            "intercept,staticInsts,cyclic,liveIns,memStructs,loopDepth");
+        pj["trainR2"] = obs::Json(fitTrain.r2);
+        pj["trainSpearman"] = obs::Json(fitTrain.spearman);
+        pj["holdoutR2"] = obs::Json(fitHoldout.r2);
+        pj["holdoutSpearman"] = obs::Json(fitHoldout.spearman);
+        pj["holdoutMeanAbsError"] = obs::Json(fitHoldout.meanAbsError);
+        std::cout << "predictor: train R2 " << fitTrain.r2
+                  << ", holdout R2 " << fitHoldout.r2
+                  << ", holdout Spearman " << fitHoldout.spearman
+                  << " (" << trainable << " train / "
+                  << queried(holdoutSamples) << " holdout regions)\n";
+    } else {
+        pj["skipped"] = obs::Json(
+            "too few queried regions to fit the predictor");
+    }
+
+    if (!benchPath.empty()) {
+        std::ofstream os(benchPath, std::ios::binary);
+        if (!os) {
+            std::cerr << "ccrgen: cannot write " << benchPath << "\n";
+            return 1;
+        }
+        bench.dump(os, 2);
+        os << "\n";
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int
+cmdShrink(const std::vector<std::string> &args)
+{
+    std::string file, out;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string v;
+        if (args[i] == "--out" && takeValue(args, i, v))
+            out = v;
+        else if (!args[i].empty() && args[i][0] != '-' && file.empty())
+            file = args[i];
+        else
+            return usage(std::cerr);
+    }
+    if (file.empty())
+        return usage(std::cerr);
+
+    std::ifstream is(file, std::ios::binary);
+    if (!is) {
+        std::cerr << "ccrgen: cannot read " << file << "\n";
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string source = buf.str();
+
+    const gen::DiffConfig config;
+    const auto original = gen::diffTestSource(source, file, config);
+    const std::string stage = failureStage(original);
+    if (stage.empty()) {
+        std::cerr << "ccrgen: " << file
+                  << " passes the differential stack; nothing to "
+                     "shrink\n";
+        return 1;
+    }
+    std::cerr << "shrinking " << file << " (stage: " << stage << ")\n";
+    const std::string loadMsg = pinnedLoadFailure(source, stage, config);
+    const std::string shrunk = gen::shrinkSource(
+        source, [&config, &stage, &loadMsg](const std::string &s) {
+            return reproducesFailure(s, stage, loadMsg, config);
+        });
+    if (out.empty()) {
+        std::cout << shrunk;
+        return 0;
+    }
+    if (!writeFile(out, shrunk)) {
+        std::cerr << "ccrgen: cannot write " << out << "\n";
+        return 1;
+    }
+    const auto lines = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), '\n');
+    };
+    std::cout << "shrunk " << lines(source) << " -> " << lines(shrunk)
+              << " lines: " << out << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage(std::cerr);
+    const std::string cmd = args.front();
+    args.erase(args.begin());
+    if (cmd == "gen")
+        return cmdGen(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
+    if (cmd == "shrink")
+        return cmdShrink(args);
+    return usage(std::cerr);
+}

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Scheme bake-off: every built-in workload, every on-disk corpus
+ * workload, and three fixed-seed generated kernels run under both
+ * reuse schemes (the compiler-directed CRB and the dynamic trace
+ * memoizer), in one parallel plan. The eliminated-instruction mass is
+ * decanted by instruction type (hits × the region's static mix) and
+ * by loop structure (cyclic / function-level / acyclic-in-loop /
+ * acyclic-straight), per scheme, and written to BENCH_bakeoff.json.
+ *
+ * `--golden <trimmed_sweep.csv>` additionally re-runs the CRB at each
+ * golden row's geometry and fails (exit 1) if any query/hit counter
+ * drifts from the pre-interface values — the CI guard that the
+ * ReuseScheme refactor stays behaviorally invisible.
+ */
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common.hh"
+#include "gen/gen.hh"
+#include "workloads/corpus.hh"
+
+namespace
+{
+
+using namespace ccr;
+using namespace ccr::bench;
+
+constexpr const char *kTypeNames[4] = {"intAlu", "mem", "fpAlu",
+                                       "branch"};
+constexpr const char *kStructNames[4] = {"cyclic", "functionLevel",
+                                         "acyclicLoop",
+                                         "acyclicStraight"};
+
+/** Eliminated-instruction mass decanted one way per axis. */
+struct Decant
+{
+    double speedup = 0.0;
+    std::uint64_t queries = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t eliminated = 0;
+    std::uint64_t byType[4] = {};
+    std::uint64_t byStruct[4] = {};
+
+    void
+    accumulate(const Decant &other)
+    {
+        queries += other.queries;
+        hits += other.hits;
+        eliminated += other.eliminated;
+        for (int t = 0; t < 4; ++t)
+            byType[t] += other.byType[t];
+        for (int s = 0; s < 4; ++s)
+            byStruct[s] += other.byStruct[s];
+    }
+};
+
+int
+structureBucket(const obs::Json &region)
+{
+    if (region.at("cyclic").asBool())
+        return 0;
+    if (region.at("functionLevel").asBool())
+        return 1;
+    return region.at("loopDepth").asUint() > 0 ? 2 : 3;
+}
+
+Decant
+decant(const workloads::RunResult &result, const std::string &scheme)
+{
+    Decant d;
+    d.speedup = result.speedup();
+    d.queries = result.report.metric(scheme + ".queries");
+    d.hits = result.report.metric(scheme + ".hits");
+    for (const obs::Json &region : result.report.regions.items()) {
+        const std::uint64_t hits = region.at("hits").asUint();
+        const int bucket = structureBucket(region);
+        for (int t = 0; t < 4; ++t) {
+            const std::uint64_t insts =
+                hits
+                * region.at(std::string("mix.") + kTypeNames[t]).asUint();
+            d.byType[t] += insts;
+            d.byStruct[bucket] += insts;
+            d.eliminated += insts;
+        }
+    }
+    return d;
+}
+
+obs::Json
+toJson(const Decant &d)
+{
+    obs::Json j = obs::Json::object();
+    j["speedup"] = obs::Json(d.speedup);
+    j["queries"] = obs::Json(d.queries);
+    j["hits"] = obs::Json(d.hits);
+    j["hitRate"] = obs::Json(obs::ratio(static_cast<double>(d.hits),
+                                        static_cast<double>(d.queries)));
+    j["eliminatedInsts"] = obs::Json(d.eliminated);
+    obs::Json by_type = obs::Json::object();
+    for (int t = 0; t < 4; ++t)
+        by_type[kTypeNames[t]] = obs::Json(d.byType[t]);
+    j["byType"] = std::move(by_type);
+    obs::Json by_struct = obs::Json::object();
+    for (int s = 0; s < 4; ++s)
+        by_struct[kStructNames[s]] = obs::Json(d.byStruct[s]);
+    j["byStructure"] = std::move(by_struct);
+    return j;
+}
+
+struct BakeoffOptions
+{
+    workloads::DriverOptions driver;
+    std::string outPath = "BENCH_bakeoff.json";
+    std::string goldenPath;
+    bool trim = false;
+};
+
+BakeoffOptions
+parseArgs(int argc, char **argv)
+{
+    BakeoffOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+            opts.driver.jobs = std::atoi(argv[++i]);
+            if (opts.driver.jobs < 1)
+                ccr_fatal("bad --jobs value '", argv[i], "'");
+        } else if (arg == "--out" && i + 1 < argc) {
+            opts.outPath = argv[++i];
+        } else if (arg == "--golden" && i + 1 < argc) {
+            opts.goldenPath = argv[++i];
+        } else if (arg == "--trim") {
+            opts.trim = true;
+        } else {
+            ccr_fatal("unknown argument '", arg,
+                      "' (expected --jobs N, --out <path>, "
+                      "--golden <csv>, or --trim)");
+        }
+    }
+    return opts;
+}
+
+/** One golden trimmed_sweep.csv row the CRB must still reproduce. */
+struct GoldenRow
+{
+    std::string workload;
+    int entries = 0;
+    int instances = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t hits = 0;
+};
+
+std::vector<GoldenRow>
+readGoldenCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        ccr_fatal("cannot read golden CSV '", path, "'");
+    std::string line;
+    if (!std::getline(in, line))
+        ccr_fatal("golden CSV '", path, "' is empty");
+    std::map<std::string, int> col;
+    {
+        std::stringstream header(line);
+        std::string field;
+        int index = 0;
+        while (std::getline(header, field, ','))
+            col[field] = index++;
+    }
+    for (const char *need :
+         {"workload", "entries", "instances", "crb_queries", "crb_hits"}) {
+        if (!col.count(need))
+            ccr_fatal("golden CSV '", path, "' lacks column '", need, "'");
+    }
+    std::vector<GoldenRow> rows;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> fields;
+        std::stringstream ss(line);
+        std::string field;
+        while (std::getline(ss, field, ','))
+            fields.push_back(field);
+        GoldenRow row;
+        row.workload = fields.at(col["workload"]);
+        row.entries = std::stoi(fields.at(col["entries"]));
+        row.instances = std::stoi(fields.at(col["instances"]));
+        row.queries = std::stoull(fields.at(col["crb_queries"]));
+        row.hits = std::stoull(fields.at(col["crb_hits"]));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/** Re-run the CRB at each golden geometry; returns mismatch count. */
+int
+checkGolden(const std::vector<GoldenRow> &rows,
+            const workloads::DriverOptions &opts, obs::Json &summary)
+{
+    workloads::RunPlan plan;
+    for (const auto &row : rows) {
+        workloads::RunConfig config;
+        config.scheme = reuse::SchemeKind::Crb;
+        config.crb.entries = row.entries;
+        config.crb.instances = row.instances;
+        plan.add(row.workload, config);
+    }
+    const auto results = workloads::runPlan(plan, opts);
+    int mismatches = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &row = rows[i];
+        const std::uint64_t queries =
+            results[i].report.metric("crb.queries");
+        const std::uint64_t hits = results[i].report.metric("crb.hits");
+        if (queries == row.queries && hits == row.hits)
+            continue;
+        ++mismatches;
+        std::cout << "GOLDEN MISMATCH " << row.workload << " e"
+                  << row.entries << " i" << row.instances << ": queries "
+                  << queries << " (want " << row.queries << "), hits "
+                  << hits << " (want " << row.hits << ")\n";
+    }
+    summary["rows"] = obs::Json(static_cast<std::uint64_t>(rows.size()));
+    summary["mismatches"] =
+        obs::Json(static_cast<std::uint64_t>(mismatches));
+    return mismatches;
+}
+
+std::string
+workloadKind(const std::string &name,
+             const std::set<std::string> &generated)
+{
+    if (generated.count(name))
+        return "generated";
+    const auto builtins = workloads::workloadNames();
+    if (std::find(builtins.begin(), builtins.end(), name)
+        != builtins.end())
+        return "builtin";
+    return "corpus";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const auto opts = parseArgs(argc, argv);
+    figureHeader("Scheme bake-off",
+                 "CRB vs dynamic trace memoization, per type and "
+                 "loop structure");
+
+    // Workload set: builtins + corpus + three fixed-seed generated
+    // kernels registered as in-memory corpus entries so the parallel
+    // driver builds them by name like everything else.
+    std::vector<std::string> names =
+        opts.trim ? std::vector<std::string>{"compress", "espresso",
+                                             "li", "mpeg2enc"}
+                  : workloads::workloadNames();
+    for (const auto &name : workloads::corpusWorkloadNames())
+        names.push_back(name);
+    gen::GenKnobs base;
+    base.seed = 0xBA6E0FFULL;
+    const std::size_t gen_count = opts.trim ? 2 : 3;
+    std::set<std::string> generated;
+    for (const auto &kernel : gen::generatePopulation(base, gen_count)) {
+        const auto name =
+            workloads::registerWorkloadText(kernel.text, kernel.name);
+        names.push_back(name);
+        generated.insert(name);
+    }
+
+    const std::vector<reuse::SchemeKind> schemes = {
+        reuse::SchemeKind::Crb, reuse::SchemeKind::Dtm};
+    workloads::RunPlan plan;
+    for (const auto &name : names) {
+        for (const auto scheme : schemes) {
+            workloads::RunConfig config;
+            config.scheme = scheme;
+            // Function-level regions populate the loop-structure
+            // decanting's functionLevel bucket (paper §6).
+            config.policy.enableFunctionLevel = true;
+            plan.add(name, config);
+        }
+    }
+    const auto results = runPlanTimed(plan, opts.driver);
+
+    obs::Json workloads_json = obs::Json::array();
+    Decant totals[2];
+    Table per_workload("per-workload");
+    per_workload.setHeader({"workload", "kind", "crb speedup",
+                            "dtm speedup", "crb hit rate",
+                            "dtm hit rate"});
+    std::vector<double> speedups[2];
+    std::size_t next = 0;
+    for (const auto &name : names) {
+        obs::Json entry = obs::Json::object();
+        entry["name"] = obs::Json(name);
+        entry["kind"] = obs::Json(workloadKind(name, generated));
+        Decant per_scheme[2];
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const auto &result = results[next++];
+            const std::string scheme_name =
+                reuse::schemeKindName(schemes[s]);
+            per_scheme[s] = decant(result, scheme_name);
+            totals[s].accumulate(per_scheme[s]);
+            speedups[s].push_back(per_scheme[s].speedup);
+            entry[scheme_name] = toJson(per_scheme[s]);
+        }
+        workloads_json.push(std::move(entry));
+        const auto rate = [](const Decant &d) {
+            return Table::pct(
+                obs::ratio(static_cast<double>(d.hits),
+                           static_cast<double>(d.queries)));
+        };
+        per_workload.addRow({name, workloadKind(name, generated),
+                             Table::fmt(per_scheme[0].speedup, 3),
+                             Table::fmt(per_scheme[1].speedup, 3),
+                             rate(per_scheme[0]), rate(per_scheme[1])});
+    }
+    for (std::size_t s = 0; s < schemes.size(); ++s)
+        totals[s].speedup = mean(speedups[s]); // arithmetic mean
+    per_workload.addRow({"average", "", Table::fmt(mean(speedups[0]), 3),
+                         Table::fmt(mean(speedups[1]), 3), "", ""});
+    per_workload.print(std::cout);
+
+    Table by_type("eliminated insts by type");
+    by_type.setHeader({"type", "crb", "dtm"});
+    for (int t = 0; t < 4; ++t)
+        by_type.addRow({kTypeNames[t],
+                        std::to_string(totals[0].byType[t]),
+                        std::to_string(totals[1].byType[t])});
+    by_type.print(std::cout);
+
+    Table by_struct("eliminated insts by loop structure");
+    by_struct.setHeader({"structure", "crb", "dtm"});
+    for (int s = 0; s < 4; ++s)
+        by_struct.addRow({kStructNames[s],
+                          std::to_string(totals[0].byStruct[s]),
+                          std::to_string(totals[1].byStruct[s])});
+    by_struct.print(std::cout);
+
+    obs::Json out = obs::Json::object();
+    out["schema"] = obs::Json(std::string("ccr.bakeoff"));
+    out["version"] = obs::Json(static_cast<std::uint64_t>(1));
+    obs::Json scheme_names = obs::Json::array();
+    for (const auto scheme : schemes)
+        scheme_names.push(
+            obs::Json(std::string(reuse::schemeKindName(scheme))));
+    out["schemes"] = std::move(scheme_names);
+    out["workloads"] = std::move(workloads_json);
+    obs::Json totals_json = obs::Json::object();
+    for (std::size_t s = 0; s < schemes.size(); ++s)
+        totals_json[reuse::schemeKindName(schemes[s])] =
+            toJson(totals[s]);
+    out["totals"] = std::move(totals_json);
+
+    int mismatches = 0;
+    if (!opts.goldenPath.empty()) {
+        obs::Json golden = obs::Json::object();
+        golden["path"] = obs::Json(opts.goldenPath);
+        mismatches = checkGolden(readGoldenCsv(opts.goldenPath),
+                                 opts.driver, golden);
+        out["golden"] = std::move(golden);
+        std::cout << "\ngolden check: "
+                  << (mismatches == 0 ? "ok" : "FAILED") << "\n";
+    }
+
+    {
+        std::ofstream file(opts.outPath);
+        if (!file)
+            ccr_fatal("cannot write '", opts.outPath, "'");
+        file << out.dump(2) << "\n";
+    }
+    std::cout << "\nbake-off: " << names.size() << " workloads x "
+              << schemes.size() << " schemes -> " << opts.outPath
+              << "\n";
+    return mismatches == 0 ? 0 : 1;
+}

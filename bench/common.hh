@@ -36,9 +36,12 @@ benchmarks()
  * overrides the worker count; the CCR_JOBS environment variable is
  * the fallback, then the hardware thread count. `--report <path>`
  * (or the CCR_REPORT environment variable) makes the harness write
- * the aggregated SimReport JSON after the sweep. Tables are
- * byte-identical for any job count and with or without a report —
- * only wall-clock and emitted files change.
+ * the aggregated SimReport JSON after the sweep.
+ * `--scheme crb|dtm|none` (or CCR_SCHEME) swaps the reuse mechanism
+ * under every plan point. Tables are byte-identical for any job count
+ * and with or without a report — only wall-clock and emitted files
+ * change; under the default `--scheme crb` they are also byte-
+ * identical to the pre-interface output.
  */
 inline workloads::DriverOptions
 parseDriverOptions(int argc, char **argv)
@@ -46,6 +49,15 @@ parseDriverOptions(int argc, char **argv)
     workloads::DriverOptions opts;
     if (const char *env = std::getenv("CCR_REPORT"); env && *env)
         opts.reportPath = env;
+    const auto parse_scheme = [&](const std::string &text) {
+        const auto kind = reuse::parseSchemeKind(text);
+        if (!kind)
+            ccr_fatal("bad --scheme value '", text,
+                      "' (expected crb, dtm, or none)");
+        opts.scheme = *kind;
+    };
+    if (const char *env = std::getenv("CCR_SCHEME"); env && *env)
+        parse_scheme(env);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
@@ -60,9 +72,14 @@ parseDriverOptions(int argc, char **argv)
             opts.reportPath = argv[++i];
         } else if (arg.rfind("--report=", 0) == 0) {
             opts.reportPath = arg.substr(9);
+        } else if (arg == "--scheme" && i + 1 < argc) {
+            parse_scheme(argv[++i]);
+        } else if (arg.rfind("--scheme=", 0) == 0) {
+            parse_scheme(arg.substr(9));
         } else {
             ccr_fatal("unknown argument '", arg,
-                      "' (expected --jobs N or --report <path>)");
+                      "' (expected --jobs N, --report <path>, or "
+                      "--scheme crb|dtm|none)");
         }
     }
     return opts;
@@ -121,12 +138,16 @@ runPlanTimed(const workloads::RunPlan &plan,
              const workloads::DriverOptions &opts)
 {
     WallTimer timer;
-    auto results = workloads::runPlan(plan, opts);
+    workloads::RunPlan selected = plan;
+    if (opts.scheme)
+        selected.setScheme(*opts.scheme);
+    auto results = workloads::runPlan(selected, opts);
     const int jobs = opts.jobs > 0 ? opts.jobs : workloads::defaultJobs();
     std::cerr << "sweep: " << plan.size() << " points in "
               << Table::fmt(timer.seconds(), 2) << "s (jobs="
               << jobs << ")\n";
-    maybeWriteReport(workloads::buildSimReport(plan, results), opts);
+    maybeWriteReport(workloads::buildSimReport(selected, results),
+                     opts);
     return results;
 }
 

@@ -38,20 +38,20 @@ BM_CrbQueryHit(benchmark::State &state)
 {
     auto mod = tinyModule();
     emu::Machine machine(*mod);
-    uarch::Crb crb{uarch::CrbParams{}};
+    const auto crb = uarch::makeCrbScheme();
 
     // Prime one CI for region 0 by simulating a memoization.
-    crb.onReuse(0, machine); // miss -> memo begins
+    crb->onReuse(0, machine); // miss -> memo begins
     Inst fake;
     fake.op = Opcode::Jump;
     fake.target = 0;
     fake.ext.regionEnd = true;
     emu::ExecInfo info;
     info.inst = &fake;
-    crb.observe(info); // commit an empty (always-matching) CI
+    crb->observe(info); // commit an empty (always-matching) CI
 
     for (auto _ : state) {
-        const auto outcome = crb.onReuse(0, machine);
+        const auto outcome = crb->onReuse(0, machine);
         benchmark::DoNotOptimize(outcome.hit);
     }
     state.SetItemsProcessed(state.iterations());
@@ -63,11 +63,11 @@ BM_CrbQueryMissAndAbort(benchmark::State &state)
 {
     auto mod = tinyModule();
     emu::Machine machine(*mod);
-    uarch::Crb crb{uarch::CrbParams{}};
+    const auto crb = uarch::makeCrbScheme();
     for (auto _ : state) {
         // Every query misses (no commit happens), and the next query
         // aborts the previous recording.
-        const auto outcome = crb.onReuse(1, machine);
+        const auto outcome = crb->onReuse(1, machine);
         benchmark::DoNotOptimize(outcome.hit);
     }
     state.SetItemsProcessed(state.iterations());
@@ -77,9 +77,9 @@ BENCHMARK(BM_CrbQueryMissAndAbort);
 void
 BM_CrbInvalidate(benchmark::State &state)
 {
-    uarch::Crb crb{uarch::CrbParams{}};
+    const auto crb = uarch::makeCrbScheme();
     for (auto _ : state)
-        crb.onInvalidate(3);
+        crb->onInvalidate(3);
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CrbInvalidate);

@@ -186,12 +186,12 @@ main()
     std::cout << "\n== module after CCR ==\n"
               << moduleToString(mod) << "\n";
 
-    // -- 5. Timed run with the CRB ---------------------------------------
+    // -- 5. Timed run with the CRB (behind the scheme interface) ---------
     emu::Machine machine(mod);
     prepare(machine);
-    uarch::Crb crb{uarch::CrbParams{}};
+    const auto crb = uarch::makeCrbScheme(uarch::CrbParams{});
     uarch::Pipeline pipe;
-    pipe.setCrb(&crb);
+    pipe.setScheme(crb.get());
     const auto ccr = pipe.run(machine);
     const auto ccr_out = machine.memory().read(
         machine.globalAddr(out), MemSize::Dword, false);
@@ -201,10 +201,10 @@ main()
               << static_cast<double>(base.cycles)
                      / static_cast<double>(ccr.cycles)
               << "x\n";
-    std::cout << "reuse hits " << crb.metrics().get("crb.hits")
-              << ", misses " << crb.metrics().get("crb.misses")
-              << ", invalidates " << crb.metrics().get("crb.invalidates")
-              << "\n";
+    std::cout << "reuse hits " << crb->metrics().get("crb.hits")
+              << ", misses " << crb->metrics().get("crb.misses")
+              << ", invalidates "
+              << crb->metrics().get("crb.invalidates") << "\n";
     std::cout << "outputs match: "
               << (base_out == ccr_out ? "yes" : "NO") << "\n";
     return base_out == ccr_out ? 0 : 1;

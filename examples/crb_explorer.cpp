@@ -55,6 +55,8 @@ main(int argc, char **argv)
             plan.add(name, config);
         }
     }
+    if (opts.scheme)
+        plan.setScheme(*opts.scheme);
     const auto results = workloads::runPlan(plan, opts);
 
     Table speedups("speedup (rows: entries, cols: instances)");

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Gate the reuse-scheme interface: run the trimmed scheme bake-off
+# (CRB vs dynamic trace memoization over builtins + corpus + fixed-seed
+# generated kernels) and cross-check the CRB's query/hit counters at
+# every tests/golden/trimmed_sweep.csv geometry. Any counter drift from
+# the pre-interface golden values fails the job — the refactor that
+# put the CRB behind reuse::ReuseScheme must stay behaviorally
+# invisible. The decanted per-type / per-loop-structure speedup report
+# lands in <out-dir>/BENCH_bakeoff.json for artifact upload.
+#
+# Usage: scripts/ci_bakeoff.sh <build-dir> <out-dir>
+set -euo pipefail
+
+build_dir=${1:?usage: ci_bakeoff.sh <build-dir> <out-dir>}
+out_dir=${2:?usage: ci_bakeoff.sh <build-dir> <out-dir>}
+mkdir -p "$out_dir"
+
+bakeoff="$build_dir/bench/bakeoff_schemes"
+[ -x "$bakeoff" ] || { echo "missing $bakeoff (build first)"; exit 1; }
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+golden="$repo_root/tests/golden/trimmed_sweep.csv"
+[ -r "$golden" ] || { echo "missing golden CSV $golden"; exit 1; }
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+"$bakeoff" --trim --jobs "$jobs" \
+    --golden "$golden" \
+    --out "$out_dir/BENCH_bakeoff.json"
+
+[ -s "$out_dir/BENCH_bakeoff.json" ] || {
+    echo "BENCH_bakeoff.json missing"; exit 1; }
+
+# The artifact must carry both schemes' decanted totals and a clean
+# golden cross-check.
+for key in '"crb"' '"dtm"' '"byType"' '"byStructure"'; do
+    grep -q "$key" "$out_dir/BENCH_bakeoff.json" || {
+        echo "BENCH_bakeoff.json lacks $key"; exit 1; }
+done
+grep -q '"mismatches": 0' "$out_dir/BENCH_bakeoff.json" || {
+    echo "BENCH_bakeoff.json records golden mismatches"; exit 1; }
+
+echo "scheme bake-off clean, bench in $out_dir/BENCH_bakeoff.json"

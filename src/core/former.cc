@@ -59,8 +59,68 @@ RegionFormer::formAll()
     }
     renumberByWeight();
     placeInvalidations();
+    annotateRegionStats();
     ir::verifyOrDie(mod_);
     return std::move(table_);
+}
+
+void
+RegionFormer::annotateRegionStats()
+{
+    const auto bucket = [](std::array<int, 4> &mix, ir::Opcode op) {
+        if (op == ir::Opcode::Reuse || op == ir::Opcode::Invalidate)
+            return;
+        const ir::FuClass cls = ir::fuClass(op);
+        if (cls == ir::FuClass::None)
+            return;
+        ++mix[static_cast<std::size_t>(cls)];
+    };
+
+    for (auto &region : table_.mutableRegions()) {
+        const ir::Function &func = mod_.function(region.func);
+        const analysis::Cfg cfg(func);
+        const analysis::Dominators dom(cfg);
+        const analysis::LoopInfo loops(cfg, dom);
+        // Depth of the region body, not the inception: the former
+        // places the inception block outside any loop it wraps.
+        region.loopDepth = 0;
+        if (const auto *loop = loops.loopFor(region.bodyEntry))
+            region.loopDepth = loop->depth;
+
+        region.instMix = {};
+        if (region.functionLevel) {
+            // The skipped execution spans the whole callee call tree
+            // of the marked call (mirrors the staticInsts convention).
+            const ir::BasicBlock &bb = func.block(region.bodyEntry);
+            for (const auto &inst : bb.insts()) {
+                if (inst.op != ir::Opcode::Call || !inst.ext.regionEnd)
+                    continue;
+                bucket(region.instMix, inst.op);
+                std::unordered_set<ir::FuncId> tree;
+                std::vector<ir::FuncId> work{inst.callee};
+                while (!work.empty()) {
+                    const ir::FuncId fid = work.back();
+                    work.pop_back();
+                    if (!tree.insert(fid).second)
+                        continue;
+                    const auto &callee = mod_.function(fid);
+                    for (const auto &cb : callee.blocks()) {
+                        for (const auto &ci : cb.insts()) {
+                            bucket(region.instMix, ci.op);
+                            if (ci.op == ir::Opcode::Call)
+                                work.push_back(ci.callee);
+                        }
+                    }
+                }
+                break;
+            }
+        } else {
+            for (const ir::BlockId b : region.memberBlocks) {
+                for (const auto &inst : func.block(b).insts())
+                    bucket(region.instMix, inst.op);
+            }
+        }
+    }
 }
 
 void

@@ -83,6 +83,11 @@ class RegionFormer
     void renumberByWeight();
     void placeInvalidations();
 
+    /** Stamp each formed region with its static instruction mix (by
+     *  FuClass) and the loop depth of its body entry — evaluation
+     *  metadata for per-type / per-structure decanting. */
+    void annotateRegionStats();
+
     /** Try to grow and apply one acyclic region in @p func.
      *  Returns true when a region was formed. */
     bool formOneAcyclic(ir::Function &func);

@@ -8,6 +8,7 @@
 #ifndef CCR_CORE_REGION_HH
 #define CCR_CORE_REGION_HH
 
+#include <array>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -68,6 +69,24 @@ struct ReuseRegion
     /** Static instruction count inside the region body. */
     int staticInsts = 0;
 
+    /**
+     * Static instruction mix of the region body, indexed by
+     * ir::FuClass (IntAlu, Mem, FpAlu, Branch); glue/marker opcodes
+     * with no functional unit are not counted. For function-level
+     * regions the mix spans the whole callee call tree. Annotated by
+     * RegionFormer::formAll (zero on tables built elsewhere); feeds
+     * the per-instruction-type decanting in the scheme bake-off.
+     */
+    std::array<int, 4> instMix{};
+
+    /**
+     * Loop-nesting depth of the region body's entry block within its
+     * function (0 = not inside any loop). For cyclic regions this is
+     * the depth of the memoized loop itself; annotated alongside
+     * instMix.
+     */
+    int loopDepth = 0;
+
     /** Profile-estimated dynamic weight (executions of the region). */
     std::uint64_t profileWeight = 0;
 
@@ -96,6 +115,10 @@ class RegionTable
     const ReuseRegion *find(ir::RegionId id) const;
 
     const std::vector<ReuseRegion> &regions() const { return regions_; }
+
+    /** Mutable view for post-formation annotation passes
+     *  (RegionFormer statistics stamping). */
+    std::vector<ReuseRegion> &mutableRegions() { return regions_; }
     std::size_t size() const { return regions_.size(); }
     bool empty() const { return regions_.empty(); }
 

@@ -87,6 +87,12 @@ struct ReuseOutcome
      *  modeling). */
     SmallVec<ir::Reg, 16> outputRegs;
 
+    /** Memory addresses the query re-read to validate (schemes with
+     *  SchemeTraits::validatesMemoryAtQuery; the timing model charges
+     *  each probe as a data-cache access). Empty for the CRB, whose
+     *  memory state is maintained by `invalidate` instructions. */
+    SmallVec<Addr, 16> memProbes;
+
     /** Number of distinct input registers validation read. */
     int numInputsRead() const
     {

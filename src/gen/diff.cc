@@ -3,9 +3,6 @@
 #include <sstream>
 
 #include "analysis/alias.hh"
-#include "analysis/cfg.hh"
-#include "analysis/dominators.hh"
-#include "analysis/loops.hh"
 #include "core/former.hh"
 #include "emu/machine.hh"
 #include "emu/reference.hh"
@@ -184,11 +181,11 @@ diffTestSource(const std::string &lc_source, const std::string &display,
         baseMemHash = base.memory().contentHash();
     }
 
-    uarch::Crb crb(config.crb);
+    const auto crb = uarch::makeCrbScheme(config.crb);
     {
         emu::Machine machine(*ccr.module);
         w.prepare(machine, InputSet::Ref);
-        machine.setReuseHandler(&crb);
+        machine.setReuseHandler(crb.get());
         machine.run(config.maxInsts);
         if (!machine.halted()) {
             r.failure = "CCR run did not halt within the budget";
@@ -206,7 +203,7 @@ diffTestSource(const std::string &lc_source, const std::string &display,
 
         // Counter-algebra invariants (the SimReport cross-registry
         // assertions, checked directly against the CRB and machine).
-        const auto &m = crb.metrics();
+        const auto &m = crb->metrics();
         r.crbQueries = m.get("crb.queries");
         r.crbHits = m.get("crb.hits");
         r.crbInvalidates = m.get("crb.invalidates");
@@ -221,9 +218,9 @@ diffTestSource(const std::string &lc_source, const std::string &display,
             return r;
         }
         std::uint64_t hitSum = 0, querySum = 0;
-        for (const auto &[id, n] : crb.hitsByRegion())
+        for (const auto &[id, n] : crb->hitsByRegion())
             hitSum += n;
-        for (const auto &[id, n] : crb.queriesByRegion())
+        for (const auto &[id, n] : crb->queriesByRegion())
             querySum += n;
         if (hitSum != r.crbHits || querySum != r.crbQueries) {
             r.failure = "per-region attribution does not sum to totals";
@@ -232,9 +229,41 @@ diffTestSource(const std::string &lc_source, const std::string &display,
     }
     r.countersOk = true;
 
+    // -- Stage 5: cross-scheme execution (DTM on the same module) ------
+    // A second, structurally different reuse scheme replaying the same
+    // regions: any divergence from the base run in output globals or
+    // the full memory hash flags a reuse soundness bug.
+    if (config.runCrossScheme) {
+        reuse::DynamicTraceMemo dtm(config.dtm);
+        emu::Machine machine(*ccr.module);
+        w.prepare(machine, InputSet::Ref);
+        machine.setReuseHandler(&dtm);
+        machine.run(config.maxInsts);
+        if (!machine.halted()) {
+            r.failure = "DTM run did not halt within the budget";
+            return r;
+        }
+        if (workloads::readOutputs(machine, ccr) != baseOutputs) {
+            r.failure = "base and DTM runs disagree on output globals";
+            return r;
+        }
+        if (machine.memory().contentHash() != baseMemHash) {
+            r.failure = "base and DTM runs disagree on final memory";
+            return r;
+        }
+        const auto &dm = dtm.metrics();
+        r.dtmQueries = dm.get("dtm.queries");
+        r.dtmHits = dm.get("dtm.hits");
+        if (r.dtmHits + dm.get("dtm.misses") != r.dtmQueries) {
+            r.failure = "DTM counter algebra: hits + misses != queries";
+            return r;
+        }
+    }
+    r.crossSchemeOk = true;
+
     // -- Region samples for the predictor ------------------------------
-    const auto &hitsBy = crb.hitsByRegion();
-    const auto &queriesBy = crb.queriesByRegion();
+    const auto &hitsBy = crb->hitsByRegion();
+    const auto &queriesBy = crb->queriesByRegion();
     for (const auto &region : regions.regions()) {
         RegionSample s;
         s.regionId = region.id;
@@ -244,14 +273,7 @@ diffTestSource(const std::string &lc_source, const std::string &display,
         s.liveIns = static_cast<int>(region.liveIns.size());
         s.memStructs = static_cast<int>(region.memStructs.size());
 
-        const ir::Function &f = ccr.module->function(region.func);
-        const analysis::Cfg cfg(f);
-        const analysis::Dominators dom(cfg);
-        const analysis::LoopInfo loops(cfg, dom);
-        // Depth of the region body, not the inception: the former
-        // places the inception block outside any loop it wraps.
-        if (const auto *loop = loops.loopFor(region.bodyEntry))
-            s.loopDepth = loop->depth;
+        s.loopDepth = region.loopDepth;
 
         if (const auto it = queriesBy.find(region.id);
             it != queriesBy.end())

@@ -19,7 +19,13 @@
  *                 globals and final memory hashes on the ref input
  *                 set, plus CRB counter-algebra invariants
  *                 (hits + misses == queries, machine and CRB event
- *                 counts in agreement).
+ *                 counts in agreement);
+ *  5. cross-scheme — the same formed module re-run under the dynamic
+ *                 trace-memoization scheme (reuse::DynamicTraceMemo):
+ *                 any output-global or final-memory-hash divergence
+ *                 from the base run flags a reuse soundness bug in
+ *                 whichever scheme replayed wrongly, and the DTM
+ *                 counter algebra is checked like the CRB's.
  *
  * Each kernel also yields one RegionSample per formed region: the
  * static features the reuse-rate predictor (predict.hh) fits over and
@@ -35,6 +41,7 @@
 
 #include "core/policy.hh"
 #include "gen/gen.hh"
+#include "reuse/dtm.hh"
 #include "uarch/crb.hh"
 
 namespace ccr::gen
@@ -75,6 +82,7 @@ struct DiffConfig
 {
     core::ReusePolicy policy;
     uarch::CrbParams crb;
+    reuse::DtmParams dtm;
 
     /** Per-run dynamic instruction budget. Generated kernels are
      *  budgeted to a few hundred thousand dynamic instructions; a
@@ -83,6 +91,10 @@ struct DiffConfig
 
     /** Run the dynamic replay cross-check (lint::crossCheck). */
     bool runCrossCheck = true;
+
+    /** Re-run the formed module under the DTM scheme and compare it
+     *  against the base run (stage 5). */
+    bool runCrossScheme = true;
 };
 
 /** Outcome of one kernel's differential run. */
@@ -96,6 +108,7 @@ struct DiffResult
     bool crossOk = false;
     bool baseVsCcrOk = false;
     bool countersOk = false;
+    bool crossSchemeOk = false;
 
     /** Human-readable description of the first failure, empty when
      *  ok(). */
@@ -108,6 +121,8 @@ struct DiffResult
     std::uint64_t crbQueries = 0;
     std::uint64_t crbHits = 0;
     std::uint64_t crbInvalidates = 0;
+    std::uint64_t dtmQueries = 0;
+    std::uint64_t dtmHits = 0;
 
     /** One sample per formed region (measured on the ref input). */
     std::vector<RegionSample> regions;
@@ -116,7 +131,7 @@ struct DiffResult
     ok() const
     {
         return loadOk && lockstepOk && lintOk && crossOk && baseVsCcrOk
-               && countersOk;
+               && countersOk && crossSchemeOk;
     }
 };
 

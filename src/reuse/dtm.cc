@@ -1,0 +1,394 @@
+#include "reuse/dtm.hh"
+
+#include "obs/report.hh"
+#include "support/logging.hh"
+
+namespace ccr::reuse
+{
+
+DynamicTraceMemo::DynamicTraceMemo(DtmParams params)
+    : params_(params),
+      cQueries_(metrics_.counter("dtm.queries")),
+      cHits_(metrics_.counter("dtm.hits")),
+      cMisses_(metrics_.counter("dtm.misses")),
+      cInvalidates_(metrics_.counter("dtm.invalidates")),
+      cMemoStarts_(metrics_.counter("dtm.memoStarts")),
+      cMemoCommits_(metrics_.counter("dtm.memoCommits")),
+      cMemoAborts_(metrics_.counter("dtm.memoAborts")),
+      cEvictions_(metrics_.counter("dtm.evictions"))
+{
+    ccr_assert(params_.maxTraces >= 1, "DTM needs >= 1 trace");
+    ccr_assert(params_.tracesPerRegion >= 1,
+               "DTM needs >= 1 trace per region");
+    ccr_assert(params_.maxRegInputs >= 1 && params_.maxOutputs >= 1,
+               "DTM bank capacities must be >= 1");
+    ccr_assert(params_.maxMemInputs >= 0,
+               "DTM load-signature capacity must be >= 0");
+}
+
+emu::ReuseOutcome
+DynamicTraceMemo::onReuse(ir::RegionId region, emu::Machine &machine)
+{
+    if (memo_.active) {
+        // Reaching another reuse point while recording means the
+        // region was left without a marked end; drop the recording.
+        abortMemo();
+    }
+
+    ++cQueries_;
+    ++queriesByRegion_[region];
+    emu::ReuseOutcome outcome;
+
+    auto it = traces_.find(region);
+    std::vector<DtmTrace> *candidates =
+        it == traces_.end() ? nullptr : &it->second;
+
+    // The register summary set — distinct use-before-def registers
+    // across all cached traces for this anchor — is what validation
+    // reads from the register file (interlock modeling, mirroring the
+    // CRB's summary-set contract).
+    if (candidates) {
+        for (const DtmTrace &t : *candidates) {
+            for (const auto &[reg, value] : t.regIns) {
+                (void)value;
+                bool dup = false;
+                for (std::size_t i = 0; i < outcome.inputRegs.size();
+                     ++i) {
+                    if (outcome.inputRegs[i] == reg) {
+                        dup = true;
+                        break;
+                    }
+                }
+                if (!dup)
+                    outcome.inputRegs.push_back(reg);
+            }
+        }
+    }
+
+    // Validate candidate traces in cache order: registers first, then
+    // the recorded loads re-probed against current memory in capture
+    // order. Every probe performed is reported in outcome.memProbes so
+    // the timing model can charge it as a data-cache access.
+    if (candidates) {
+        for (DtmTrace &t : *candidates) {
+            bool match = true;
+            for (const auto &[reg, value] : t.regIns) {
+                if (machine.readReg(reg) != value) {
+                    match = false;
+                    break;
+                }
+            }
+            if (!match)
+                continue;
+            for (const DtmMemInput &m : t.memIns) {
+                outcome.memProbes.push_back(m.addr);
+                if (machine.memory().read(m.addr, m.size,
+                                          m.unsignedLoad)
+                    != m.value) {
+                    match = false;
+                    break;
+                }
+            }
+            if (!match)
+                continue;
+
+            // Hit: commit the recorded outputs to architectural state.
+            for (const auto &[reg, value] : t.outs) {
+                machine.writeReg(reg, value);
+                outcome.outputRegs.push_back(reg);
+            }
+            outcome.hit = true;
+            t.lruStamp = ++stamp_;
+            ++cHits_;
+            ++hitsByRegion_[region];
+            if (trace_) {
+                trace_->emit(obs::TraceEventKind::ReuseHit, region,
+                             static_cast<std::uint64_t>(
+                                 outcome.numInputsRead()),
+                             static_cast<std::uint64_t>(t.outs.size()));
+            }
+            return outcome;
+        }
+    }
+
+    // Miss: begin trace capture for this anchor.
+    ++cMisses_;
+    if (trace_) {
+        trace_->emit(obs::TraceEventKind::ReuseMiss, region,
+                     static_cast<std::uint64_t>(
+                         outcome.numInputsRead()));
+    }
+    memo_.active = true;
+    memo_.region = region;
+    memo_.scratch = DtmTrace{};
+    memo_.defined.clear();
+    memo_.callDepth = 0;
+    memo_.fnRetDst = ir::kNoReg;
+    ++cMemoStarts_;
+
+    return outcome;
+}
+
+void
+DynamicTraceMemo::observe(const emu::ExecInfo &info)
+{
+    if (!memo_.active)
+        return;
+
+    const ir::Inst &inst = *info.inst;
+    DtmTrace &t = memo_.scratch;
+
+    auto recordLoad = [&]() -> bool {
+        if (static_cast<int>(t.memIns.size()) >= params_.maxMemInputs) {
+            abortMemo();
+            return false;
+        }
+        t.memIns.push_back(DtmMemInput{info.memAddr, inst.size,
+                                       inst.unsignedLoad, info.result});
+        return true;
+    };
+
+    // Inside a memoized call (function-level region): callee-frame
+    // registers are not architecturally visible, but the callee's
+    // loads join the trace signature — DTM re-validates them at query
+    // time instead of relying on `invalidate`.
+    if (memo_.callDepth > 0) {
+        if (inst.isLoad() && !recordLoad())
+            return;
+        if (inst.op == ir::Opcode::Call) {
+            ++memo_.callDepth;
+        } else if (inst.op == ir::Opcode::Ret) {
+            if (--memo_.callDepth == 0) {
+                // The memoized call returned: its result is the
+                // region's only live-out.
+                if (memo_.fnRetDst != ir::kNoReg)
+                    t.outs.emplace_back(memo_.fnRetDst, info.result);
+                commitMemo();
+            }
+        }
+        return;
+    }
+
+    // A region-end-marked call begins a function-level recording: the
+    // arguments are the register inputs, the return value the output.
+    if (inst.op == ir::Opcode::Call) {
+        if (!inst.ext.regionEnd) {
+            abortMemo();
+            return;
+        }
+        for (int i = 0; i < inst.numArgs; ++i) {
+            const ir::Reg r = inst.args[i];
+            if (memo_.defined.count(r))
+                continue;
+            bool present = false;
+            for (const auto &[reg, value] : t.regIns) {
+                (void)value;
+                if (reg == r) {
+                    present = true;
+                    break;
+                }
+            }
+            if (present)
+                continue;
+            if (static_cast<int>(t.regIns.size())
+                >= params_.maxRegInputs) {
+                abortMemo();
+                return;
+            }
+            t.regIns.emplace_back(
+                r, info.argVals[static_cast<std::size_t>(i)]);
+        }
+        memo_.fnRetDst = inst.dst;
+        memo_.callDepth = 1;
+        return;
+    }
+
+    // Use-before-def registers join the signature with the value they
+    // held at first read.
+    const int nsrc = info.numSrcRegs;
+    for (int s = 0; s < nsrc; ++s) {
+        const ir::Reg r = inst.regSource(s);
+        if (memo_.defined.count(r))
+            continue;
+        bool present = false;
+        for (const auto &[reg, value] : t.regIns) {
+            (void)value;
+            if (reg == r) {
+                present = true;
+                break;
+            }
+        }
+        if (present)
+            continue;
+        if (static_cast<int>(t.regIns.size()) >= params_.maxRegInputs) {
+            abortMemo();
+            return;
+        }
+        t.regIns.emplace_back(r,
+                              info.srcVals[static_cast<std::size_t>(s)]);
+    }
+
+    if (inst.isLoad() && !recordLoad())
+        return;
+
+    if (inst.hasDst()) {
+        memo_.defined.insert(inst.dst);
+        if (inst.ext.liveOut) {
+            // Record (or update) the output slot for this register
+            // with the latest defined value.
+            int slot = -1;
+            for (std::size_t i = 0; i < t.outs.size(); ++i) {
+                if (t.outs[i].first == inst.dst) {
+                    slot = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (slot < 0) {
+                if (static_cast<int>(t.outs.size())
+                    >= params_.maxOutputs) {
+                    abortMemo();
+                    return;
+                }
+                t.outs.emplace_back(inst.dst, info.result);
+            } else {
+                t.outs[static_cast<std::size_t>(slot)].second =
+                    info.result;
+            }
+        }
+    }
+
+    if (inst.isControlInst()) {
+        if (inst.ext.regionEnd)
+            commitMemo();
+        else if (inst.ext.regionExit)
+            abortMemo();
+    }
+}
+
+void
+DynamicTraceMemo::onInvalidate(ir::RegionId region)
+{
+    // Architectural no-op: DTM establishes memory freshness by
+    // re-probing load addresses at query time, so compiler-placed
+    // store notifications carry no state change. Counted for the
+    // record; an in-flight capture of the same region is still
+    // dropped (the store may precede the region end).
+    ++cInvalidates_;
+    if (trace_)
+        trace_->emit(obs::TraceEventKind::Invalidate, region);
+    if (memo_.active && memo_.region == region)
+        abortMemo();
+}
+
+void
+DynamicTraceMemo::commitMemo()
+{
+    ccr_assert(memo_.active, "commit without active memo");
+    const ir::RegionId region = memo_.region;
+    DtmTrace t = std::move(memo_.scratch);
+    memo_ = MemoState{};
+
+    t.lruStamp = ++stamp_;
+    std::vector<DtmTrace> &slot = traces_[region];
+    if (static_cast<int>(slot.size()) >= params_.tracesPerRegion) {
+        // Per-anchor associativity exhausted: replace the LRU trace.
+        std::size_t lru = 0;
+        for (std::size_t i = 1; i < slot.size(); ++i) {
+            if (slot[i].lruStamp < slot[lru].lruStamp)
+                lru = i;
+        }
+        slot[lru] = std::move(t);
+        ++cEvictions_;
+    } else {
+        if (static_cast<int>(totalTraces_) >= params_.maxTraces)
+            evictGlobalLru();
+        traces_[region].push_back(std::move(t));
+        ++totalTraces_;
+    }
+    ++cMemoCommits_;
+    if (trace_)
+        trace_->emit(obs::TraceEventKind::MemoCommit, region);
+}
+
+void
+DynamicTraceMemo::abortMemo()
+{
+    ccr_assert(memo_.active, "abort without active memo");
+    const ir::RegionId region = memo_.region;
+    memo_ = MemoState{};
+    ++cMemoAborts_;
+    if (trace_)
+        trace_->emit(obs::TraceEventKind::MemoAbort, region);
+}
+
+void
+DynamicTraceMemo::evictGlobalLru()
+{
+    // Stamps are unique and strictly increasing, so the global LRU
+    // trace is unique — eviction is deterministic regardless of
+    // unordered_map iteration order.
+    ir::RegionId victim_region = ir::kNoRegion;
+    std::size_t victim_index = 0;
+    std::uint64_t victim_stamp = UINT64_MAX;
+    for (auto &[region, slot] : traces_) {
+        for (std::size_t i = 0; i < slot.size(); ++i) {
+            if (slot[i].lruStamp < victim_stamp) {
+                victim_stamp = slot[i].lruStamp;
+                victim_region = region;
+                victim_index = i;
+            }
+        }
+    }
+    ccr_assert(victim_region != ir::kNoRegion,
+               "global eviction with no cached traces");
+    std::vector<DtmTrace> &slot = traces_[victim_region];
+    slot.erase(slot.begin()
+               + static_cast<std::ptrdiff_t>(victim_index));
+    if (slot.empty())
+        traces_.erase(victim_region);
+    --totalTraces_;
+    ++cEvictions_;
+    if (trace_) {
+        trace_->emit(obs::TraceEventKind::Evict,
+                     static_cast<std::uint32_t>(victim_region));
+    }
+}
+
+void
+DynamicTraceMemo::reset()
+{
+    traces_.clear();
+    totalTraces_ = 0;
+    stamp_ = 0;
+    memo_ = MemoState{};
+    hitsByRegion_.clear();
+    queriesByRegion_.clear();
+    metrics_.reset();
+}
+
+void
+DynamicTraceMemo::snapshotOccupancy()
+{
+    Histogram &per_region = metrics_.histogram(
+        "dtm.occupancy.tracesPerRegion", 0, params_.tracesPerRegion + 1,
+        static_cast<std::size_t>(params_.tracesPerRegion) + 1);
+    Histogram &reg_ins = metrics_.histogram(
+        "dtm.occupancy.regInputs", 0, params_.maxRegInputs + 1,
+        static_cast<std::size_t>(params_.maxRegInputs) + 1);
+    Histogram &mem_ins = metrics_.histogram(
+        "dtm.occupancy.memInputs", 0, params_.maxMemInputs + 1,
+        static_cast<std::size_t>(params_.maxMemInputs) + 1);
+    for (const auto &[region, slot] : traces_) {
+        (void)region;
+        per_region.record(static_cast<std::int64_t>(slot.size()));
+        for (const DtmTrace &t : slot) {
+            reg_ins.record(static_cast<std::int64_t>(t.regIns.size()));
+            mem_ins.record(static_cast<std::int64_t>(t.memIns.size()));
+        }
+    }
+    metrics_.gauge("dtm.occupancy.capacityFraction")
+        .set(obs::ratio(static_cast<double>(totalTraces_),
+                        static_cast<double>(params_.maxTraces)));
+}
+
+} // namespace ccr::reuse

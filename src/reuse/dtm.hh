@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Dynamic trace memoization (DTM): a second reuse scheme behind the
+ * ReuseScheme interface, after "Dynamic Trace Memoization" (da Costa,
+ * Franca & Chaves Filho, and the trace-decanting follow-up work named
+ * in PAPERS.md).
+ *
+ * Where the CRB keys a computation instance purely on an input
+ * *register* bank and relies on compiler-placed `invalidate`
+ * instructions to kill memory-dependent instances, DTM records a
+ * load-anchored *trace* of the region's execution over the decoded
+ * instruction stream: the use-before-def register values plus the
+ * ordered sequence of (address, size, signedness, value) tuples its
+ * loads observed. A query validates a candidate trace by re-reading
+ * the live registers and then re-probing each recorded load address
+ * against current memory contents, in capture order. Because formed
+ * regions are store-free (and function-level callees purity-checked),
+ * matching register inputs plus matching in-order load values imply
+ * the replay is deterministic and the recorded outputs are correct —
+ * by induction, load k's address is a function of the register inputs
+ * and loads 0..k-1.
+ *
+ * Timing consequences (SchemeTraits): queries charge validation reads
+ * AND one data-cache probe per recorded load (validatesMemoryAtQuery);
+ * `invalidate` instructions are architectural no-ops for DTM
+ * (usesInvalidate == false) — memory freshness is established at the
+ * query itself.
+ */
+
+#ifndef CCR_REUSE_DTM_HH
+#define CCR_REUSE_DTM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "reuse/scheme.hh"
+#include "support/stats.hh"
+
+namespace ccr::reuse
+{
+
+/** DTM capacity knobs. Defaults give a hardware budget comparable to
+ *  the default 128x8 CRB (512 traces, 4-way per region anchor). */
+struct DtmParams
+{
+    /** Total traces cached across all regions. */
+    int maxTraces = 512;
+
+    /** Traces retained per region anchor (per-anchor associativity). */
+    int tracesPerRegion = 4;
+
+    /** Register-input signature capacity; captures exceeding it
+     *  abort. */
+    int maxRegInputs = 8;
+
+    /** Load-tuple signature capacity; captures exceeding it abort.
+     *  Also bounds query-time memory probes per candidate trace. */
+    int maxMemInputs = 16;
+
+    /** Output-bank capacity; captures exceeding it abort. */
+    int maxOutputs = 8;
+};
+
+/** One recorded load: address, access shape, and observed value. */
+struct DtmMemInput
+{
+    emu::Addr addr = 0;
+    ir::MemSize size = ir::MemSize::Dword;
+    bool unsignedLoad = false;
+    ir::Value value = 0;
+};
+
+/** One memoized trace of a region execution. */
+struct DtmTrace
+{
+    std::vector<std::pair<ir::Reg, ir::Value>> regIns;
+    std::vector<DtmMemInput> memIns;
+    std::vector<std::pair<ir::Reg, ir::Value>> outs;
+    std::uint64_t lruStamp = 0;
+};
+
+class DynamicTraceMemo : public ReuseScheme
+{
+  public:
+    explicit DynamicTraceMemo(DtmParams params = {});
+
+    // -- emu::ReuseHandler --------------------------------------------
+    emu::ReuseOutcome onReuse(ir::RegionId region,
+                              emu::Machine &machine) override;
+    void observe(const emu::ExecInfo &info) override;
+    void onInvalidate(ir::RegionId region) override;
+    bool memoActive() const override { return memo_.active; }
+
+    // -- reuse::ReuseScheme -------------------------------------------
+    const char *name() const override { return "dtm"; }
+
+    /** DTM validates registers and memory at query time; a miss still
+     *  flushes into the region body; `invalidate` is ignored. */
+    SchemeTraits traits() const override
+    {
+        return SchemeTraits{/*chargesValidation=*/true,
+                            /*validatesMemoryAtQuery=*/true,
+                            /*chargesMissFlush=*/true,
+                            /*usesInvalidate=*/false};
+    }
+
+    void reset() override;
+
+    /** Histograms "dtm.occupancy.tracesPerRegion" / "...regInputs" /
+     *  "...memInputs" and the capacity-fraction gauge. */
+    void snapshotOccupancy() override;
+
+    const DtmParams &params() const { return params_; }
+
+    /** Traces currently cached (all regions). */
+    std::size_t traceCount() const { return totalTraces_; }
+
+  private:
+    /** Trace-capture controller state (miss-triggered recording). */
+    struct MemoState
+    {
+        bool active = false;
+        ir::RegionId region = ir::kNoRegion;
+        DtmTrace scratch;
+        std::unordered_set<ir::Reg> defined;
+
+        /** Function-level recording: >0 while inside the memoized
+         *  call; the matching return commits the trace. */
+        int callDepth = 0;
+        ir::Reg fnRetDst = ir::kNoReg;
+    };
+
+    DtmParams params_;
+    std::unordered_map<ir::RegionId, std::vector<DtmTrace>> traces_;
+    std::size_t totalTraces_ = 0;
+    std::uint64_t stamp_ = 0;
+    MemoState memo_;
+
+    Counter &cQueries_;
+    Counter &cHits_;
+    Counter &cMisses_;
+    Counter &cInvalidates_;
+    Counter &cMemoStarts_;
+    Counter &cMemoCommits_;
+    Counter &cMemoAborts_;
+    Counter &cEvictions_;
+
+    void commitMemo();
+    void abortMemo();
+    void evictGlobalLru();
+};
+
+} // namespace ccr::reuse
+
+#endif // CCR_REUSE_DTM_HH

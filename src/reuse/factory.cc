@@ -1,0 +1,48 @@
+#include "reuse/factory.hh"
+
+#include "support/logging.hh"
+
+namespace ccr::reuse
+{
+
+const char *
+schemeKindName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::Crb:
+        return "crb";
+      case SchemeKind::Dtm:
+        return "dtm";
+      case SchemeKind::None:
+        return "none";
+    }
+    return "?";
+}
+
+std::optional<SchemeKind>
+parseSchemeKind(std::string_view text)
+{
+    if (text == "crb")
+        return SchemeKind::Crb;
+    if (text == "dtm")
+        return SchemeKind::Dtm;
+    if (text == "none")
+        return SchemeKind::None;
+    return std::nullopt;
+}
+
+std::unique_ptr<ReuseScheme>
+makeScheme(const SchemeConfig &config)
+{
+    switch (config.kind) {
+      case SchemeKind::Crb:
+        return uarch::makeCrbScheme(config.crb);
+      case SchemeKind::Dtm:
+        return std::make_unique<DynamicTraceMemo>(config.dtm);
+      case SchemeKind::None:
+        return nullptr;
+    }
+    ccr_fatal("unknown scheme kind");
+}
+
+} // namespace ccr::reuse

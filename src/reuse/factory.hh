@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Scheme selection: the one place that knows every concrete
+ * ReuseScheme. RunConfig carries a SchemeConfig; the harness, benches
+ * (`--scheme crb|dtm|none`), and differential tester all construct
+ * schemes through makeScheme().
+ */
+
+#ifndef CCR_REUSE_FACTORY_HH
+#define CCR_REUSE_FACTORY_HH
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "reuse/dtm.hh"
+#include "reuse/scheme.hh"
+#include "uarch/crb.hh"
+
+namespace ccr::reuse
+{
+
+enum class SchemeKind
+{
+    /** The paper's Computation Reuse Buffer (default). */
+    Crb,
+
+    /** Dynamic trace memoization (reuse/dtm.hh). */
+    Dtm,
+
+    /** No reuse hardware: the module is left untransformed and the
+     *  run is cycle-identical to the base machine. */
+    None,
+};
+
+/** Lowercase identifier: "crb" / "dtm" / "none". */
+const char *schemeKindName(SchemeKind kind);
+
+/** Parse a --scheme value; nullopt if unrecognized. */
+std::optional<SchemeKind> parseSchemeKind(std::string_view text);
+
+/** Everything needed to build any scheme (only the selected kind's
+ *  params are read). */
+struct SchemeConfig
+{
+    SchemeKind kind = SchemeKind::Crb;
+    uarch::CrbParams crb;
+    DtmParams dtm;
+};
+
+/** Build the selected scheme; nullptr for SchemeKind::None. */
+std::unique_ptr<ReuseScheme> makeScheme(const SchemeConfig &config);
+
+} // namespace ccr::reuse
+
+#endif // CCR_REUSE_FACTORY_HH

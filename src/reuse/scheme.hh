@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The reuse-scheme interface: the seam between the timing model and
+ * any dynamic computation-reuse mechanism.
+ *
+ * A ReuseScheme is the architectural half of a reuse mechanism. It
+ * plugs into the emulator as an emu::ReuseHandler (query / memoize /
+ * invalidate lifecycle driven by the committed instruction stream) and
+ * into the timing model through two additions on top of that hook
+ * contract:
+ *
+ *  - the ReuseOutcome returned from onReuse() is the *complete*
+ *    architectural record of a query — which registers were read to
+ *    validate, which memory addresses were probed, and which registers
+ *    a hit wrote — so the pipeline can charge operand interlocks,
+ *    cache-port occupancy, and output-write bandwidth without knowing
+ *    the scheme's internals; and
+ *  - SchemeTraits capability flags tell the pipeline *which* of those
+ *    charges apply to this scheme at all.
+ *
+ * Schemes own their observability state: a MetricRegistry (all metric
+ * names prefixed "<name()>.", e.g. "crb.hits" / "dtm.hits"), an
+ * optional TraceSink for event telemetry, and per-region hit/query
+ * attribution maps. The lifecycle metric contract every scheme must
+ * keep is the counter algebra
+ *
+ *      <name>.hits + <name>.misses == <name>.queries
+ *
+ * and per-region sums equal to the totals; tests/test_properties.cc
+ * enforces it for every registered scheme. See docs/REUSE_SCHEMES.md
+ * for the full contract and a guide to adding a scheme.
+ */
+
+#ifndef CCR_REUSE_SCHEME_HH
+#define CCR_REUSE_SCHEME_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "emu/machine.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace ccr::reuse
+{
+
+/**
+ * Capability flags describing what the timing model must charge for
+ * this scheme. The pipeline reads these once at run start; everything
+ * else it learns per-query from the ReuseOutcome.
+ */
+struct SchemeTraits
+{
+    /** Queries read live registers before resolving: the pipeline
+     *  interlocks the reuse instruction on outcome.inputRegs and
+     *  charges the validation latency. */
+    bool chargesValidation = true;
+
+    /** Queries re-read memory to validate (outcome.memProbes): the
+     *  pipeline charges each probe as a data-cache access. */
+    bool validatesMemoryAtQuery = false;
+
+    /** A miss redirects fetch into the region body: charge the
+     *  reuse-fail flush penalty. */
+    bool chargesMissFlush = true;
+
+    /** The scheme consumes `invalidate` instructions (compiler-placed
+     *  store notifications). Schemes that validate memory at query
+     *  time can ignore them. */
+    bool usesInvalidate = true;
+};
+
+/**
+ * Abstract base for reuse mechanisms. Derives the emulator hook
+ * interface and owns the observability surface common to all schemes.
+ */
+class ReuseScheme : public emu::ReuseHandler
+{
+  public:
+    ~ReuseScheme() override = default;
+
+    /** Short lowercase identifier ("crb", "dtm"); used as the metric
+     *  prefix and in scheme-namespaced stall keys. */
+    virtual const char *name() const = 0;
+
+    /** Timing-model capability flags (constant per scheme). */
+    virtual SchemeTraits traits() const = 0;
+
+    /** Drop all cached computation state and zero all metrics. */
+    virtual void reset() = 0;
+
+    /**
+     * Record occupancy telemetry into the scheme registry (histograms
+     * and gauges under "<name>.occupancy.*"). Call at a sampling point
+     * (typically end of run); each call accumulates one sample per
+     * tracked structure.
+     */
+    virtual void snapshotOccupancy() = 0;
+
+    /** The scheme's metric registry ("<name>.*" keys) — the source of
+     *  truth for all scheme accounting. */
+    obs::MetricRegistry &metrics() { return metrics_; }
+    const obs::MetricRegistry &metrics() const { return metrics_; }
+
+    /** Export (merge) the scheme metrics into an aggregate registry. */
+    void exportMetrics(obs::MetricRegistry &into,
+                       const std::string &prefix = "") const
+    {
+        into.merge(metrics_, prefix);
+    }
+
+    /** Attach (or detach with nullptr) an event-trace sink; schemes
+     *  emit hit/miss/invalidate/evict/memo events into it. */
+    void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
+
+    /** Per-region hit counts (Figure 10 attribution). */
+    const std::unordered_map<ir::RegionId, std::uint64_t> &
+    hitsByRegion() const
+    {
+        return hitsByRegion_;
+    }
+
+    /** Per-region query counts; with hitsByRegion() this yields the
+     *  measured per-region hit rate the static predictor (ccr_gen)
+     *  validates against. */
+    const std::unordered_map<ir::RegionId, std::uint64_t> &
+    queriesByRegion() const
+    {
+        return queriesByRegion_;
+    }
+
+  protected:
+    obs::MetricRegistry metrics_;
+    obs::TraceSink *trace_ = nullptr;
+    std::unordered_map<ir::RegionId, std::uint64_t> hitsByRegion_;
+    std::unordered_map<ir::RegionId, std::uint64_t> queriesByRegion_;
+};
+
+} // namespace ccr::reuse
+
+#endif // CCR_REUSE_SCHEME_HH

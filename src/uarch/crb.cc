@@ -180,7 +180,6 @@ Crb::onReuse(ir::RegionId region, emu::Machine &machine)
                              outcome.numInputsRead()),
                          static_cast<std::uint64_t>(ci.numOutputs));
         }
-        lastOutcome_ = outcome;
         return outcome;
     }
 
@@ -210,7 +209,6 @@ Crb::onReuse(ir::RegionId region, emu::Machine &machine)
     memo_.defined.clear();
     ++cMemoStarts_;
 
-    lastOutcome_ = outcome;
     return outcome;
 }
 
@@ -433,7 +431,6 @@ Crb::reset()
     }
     stamp_ = 0;
     memo_ = MemoState{};
-    lastOutcome_ = emu::ReuseOutcome{};
     hitsByRegion_.clear();
     queriesByRegion_.clear();
     metrics_.reset();
@@ -470,6 +467,12 @@ Crb::snapshotOccupancy()
     metrics_.gauge("crb.occupancy.validEntryFraction")
         .set(obs::ratio(static_cast<double>(valid_entries),
                         static_cast<double>(entries_.size())));
+}
+
+std::unique_ptr<reuse::ReuseScheme>
+makeCrbScheme(CrbParams params)
+{
+    return std::make_unique<Crb>(params);
 }
 
 } // namespace ccr::uarch

@@ -23,13 +23,11 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
-#include "emu/machine.hh"
-#include "obs/metrics.hh"
-#include "obs/trace.hh"
+#include "reuse/scheme.hh"
 #include "support/stats.hh"
 
 namespace ccr::uarch
@@ -103,8 +101,8 @@ struct CompEntry
     bool summaryFresh = false;
 };
 
-/** The CRB, acting as the machine's ReuseHandler. */
-class Crb : public emu::ReuseHandler
+/** The CRB, implemented as one reuse::ReuseScheme. */
+class Crb : public reuse::ReuseScheme
 {
   public:
     explicit Crb(CrbParams params = {});
@@ -116,35 +114,21 @@ class Crb : public emu::ReuseHandler
     void onInvalidate(ir::RegionId region) override;
     bool memoActive() const override { return memo_.active; }
 
-    /** Outcome of the most recent onReuse (for the timing model). */
-    const emu::ReuseOutcome &lastOutcome() const { return lastOutcome_; }
+    // -- reuse::ReuseScheme -------------------------------------------
+    const char *name() const override { return "crb"; }
 
-    /** Per-region hit counts (Figure 10 attribution). */
-    const std::unordered_map<ir::RegionId, std::uint64_t> &
-    hitsByRegion() const
+    /** The CRB validates registers at query time (summary-set read),
+     *  never memory (memValid is maintained by `invalidate`), and a
+     *  miss redirects fetch into the region body. */
+    reuse::SchemeTraits traits() const override
     {
-        return hitsByRegion_;
+        return reuse::SchemeTraits{/*chargesValidation=*/true,
+                                   /*validatesMemoryAtQuery=*/false,
+                                   /*chargesMissFlush=*/true,
+                                   /*usesInvalidate=*/true};
     }
 
-    /** Per-region query counts; with hitsByRegion() this yields the
-     *  measured per-region hit rate the static predictor (ccr_gen)
-     *  validates against. */
-    const std::unordered_map<ir::RegionId, std::uint64_t> &
-    queriesByRegion() const
-    {
-        return queriesByRegion_;
-    }
-
-    void reset();
-
-    /** The CRB's metric registry ("crb.*" names) — the source of
-     *  truth for all CRB accounting. */
-    obs::MetricRegistry &metrics() { return metrics_; }
-    const obs::MetricRegistry &metrics() const { return metrics_; }
-
-    /** Attach (or detach with nullptr) an event-trace sink; the CRB
-     *  emits hit/miss/invalidate/evict/memo events into it. */
-    void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
+    void reset() override;
 
     /**
      * Record occupancy telemetry into the registry: a histogram of
@@ -154,7 +138,7 @@ class Crb : public emu::ReuseHandler
      * sampling point (typically end of run); each call accumulates
      * one sample per entry/CI.
      */
-    void snapshotOccupancy();
+    void snapshotOccupancy() override;
 
     const CrbParams &params() const { return params_; }
 
@@ -181,12 +165,6 @@ class Crb : public emu::ReuseHandler
     std::vector<CompEntry> entries_; // sets * assoc
     std::uint64_t stamp_ = 0;
     MemoState memo_;
-    emu::ReuseOutcome lastOutcome_;
-    std::unordered_map<ir::RegionId, std::uint64_t> hitsByRegion_;
-    std::unordered_map<ir::RegionId, std::uint64_t> queriesByRegion_;
-
-    obs::MetricRegistry metrics_;
-    obs::TraceSink *trace_ = nullptr;
 
     // Hot-path counters cached out of the registry (references stay
     // valid across reset()).
@@ -212,6 +190,13 @@ class Crb : public emu::ReuseHandler
     void abortMemo(const char *reason);
     void rebuildSummary(CompEntry &entry) const;
 };
+
+/**
+ * Factory for the CRB behind the scheme interface. Outside
+ * src/uarch/crb.* the CRB is accessed only as a reuse::ReuseScheme;
+ * this is the one construction point (reuse::makeScheme calls it).
+ */
+std::unique_ptr<reuse::ReuseScheme> makeCrbScheme(CrbParams params = {});
 
 } // namespace ccr::uarch
 

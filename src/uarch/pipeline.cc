@@ -1,6 +1,7 @@
 #include "uarch/pipeline.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "support/logging.hh"
 
@@ -87,7 +88,7 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
     stallOperands_ += earliest - afterFetch;
     const std::uint64_t afterOperands = earliest;
     bool speculated_hit = false;
-    if (inst.op == ir::Opcode::Reuse && crb_ != nullptr) {
+    if (inst.op == ir::Opcode::Reuse && scheme_ != nullptr) {
         if (params_.speculativeValidation) {
             // Value speculation (paper §6): a confident hit prediction
             // lets dependents consume the recorded outputs before
@@ -96,10 +97,10 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
             speculated_hit =
                 it != reuseConfidence_.end() && it->second >= 2;
         }
-        if (!speculated_hit) {
+        if (!speculated_hit && traits_.chargesValidation) {
             // Validation interlocks with in-flight producers of the
             // summary-set registers (paper §3.3).
-            const auto &outcome = crb_->lastOutcome();
+            const auto &outcome = tap_.last;
             const int n = outcome.numInputsRead();
             for (int i = 0; i < n; ++i) {
                 earliest = std::max(
@@ -183,16 +184,31 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
                 conf = static_cast<std::uint8_t>(
                     conf > 0 ? conf - 1 : 0);
         }
+        // Schemes that validate memory at query time (the traits flag)
+        // re-probe each recorded load address through a data-cache
+        // port; the slowest probe delays the query's resolution —
+        // whether that resolution is a hit or the discovery of a miss.
+        std::uint64_t probe_delay = 0;
+        if (scheme_ != nullptr && traits_.validatesMemoryAtQuery) {
+            const auto &outcome = tap_.last;
+            const std::size_t nprobes = outcome.memProbes.size();
+            for (std::size_t i = 0; i < nprobes; ++i) {
+                const int lat = dcache_.access(outcome.memProbes[i]);
+                probe_delay = std::max(
+                    probe_delay, static_cast<std::uint64_t>(lat));
+            }
+        }
         if (kind == emu::StepKind::ReuseHit) {
             ++tallyReuseHits_;
             const auto &outcome =
-                crb_ ? crb_->lastOutcome() : emu::ReuseOutcome{};
+                scheme_ ? tap_.last : emu::ReuseOutcome{};
             // A correctly speculated hit hides the validation latency.
             const std::uint64_t validate =
-                speculated_hit
-                    ? c
-                    : c + static_cast<std::uint64_t>(
-                          params_.reuseValidateLatency);
+                (speculated_hit
+                     ? c
+                     : c + static_cast<std::uint64_t>(
+                           params_.reuseValidateLatency))
+                + probe_delay;
             // Live-out updates retire several per cycle; they are the
             // only dataflow the skipped region leaves behind.
             const int outs = outcome.numOutputsWritten();
@@ -208,10 +224,13 @@ Pipeline::issueOne(const emu::ExecInfo &info, emu::StepKind kind,
             done = std::max(done, validate);
         } else {
             ++tallyReuseMisses_;
-            // Miss: flush and redirect fetch into the region body.
-            fetchReady_ = c + static_cast<std::uint64_t>(
+            if (traits_.chargesMissFlush) {
+                // Miss: flush and redirect fetch into the region body.
+                fetchReady_ = c + probe_delay
+                              + static_cast<std::uint64_t>(
                                   params_.reuseFailPenalty);
-            fetchStallReason_ = FetchStall::ReuseFlush;
+                fetchStallReason_ = FetchStall::ReuseFlush;
+            }
         }
         break;
       }
@@ -285,7 +304,7 @@ Pipeline::run(emu::Machine &machine, std::uint64_t max_insts)
             static_cast<std::size_t>(entry.numRegs()), 0);
     }
 
-    machine.setReuseHandler(crb_);
+    machine.setReuseHandler(scheme_ != nullptr ? &tap_ : nullptr);
 
     emu::ExecInfo info;
     std::uint64_t executed = 0;
@@ -316,12 +335,18 @@ Pipeline::run(emu::Machine &machine, std::uint64_t max_insts)
     metrics_.counter("pipe.stall.fetch.icache") += stallFetchIcache_;
     metrics_.counter("pipe.stall.fetch.mispredict") +=
         stallFetchMispredict_;
-    metrics_.counter("pipe.stall.fetch.reuseFlush") +=
-        stallFetchReuseFlush_;
+    // Reuse stalls are scheme-namespaced: the validation interlock and
+    // the miss flush are properties of the attached scheme, not of the
+    // pipeline ("none" when no scheme is attached).
+    const std::string scheme_name =
+        scheme_ != nullptr ? scheme_->name() : "none";
+    metrics_.counter("pipe.stall.fetch.reuse." + scheme_name
+                     + ".flush") += stallFetchReuseFlush_;
     metrics_.counter("pipe.stall.fetch.btbBubble") +=
         stallFetchBtbBubble_;
     metrics_.counter("pipe.stall.operands") += stallOperands_;
-    metrics_.counter("pipe.stall.reuseValidate") += stallReuseValidate_;
+    metrics_.counter("pipe.stall.reuse." + scheme_name + ".validate") +=
+        stallReuseValidate_;
     metrics_.counter("pipe.stall.issueWidth") += stallIssueWidth_;
     metrics_.counter("pipe.stall.fuBusy") += stallFuBusy_;
     metrics_.counter("reuse.hits") += tallyReuseHits_;

@@ -26,9 +26,9 @@
 #include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "obs/trace.hh"
+#include "reuse/scheme.hh"
 #include "uarch/branch_pred.hh"
 #include "uarch/cache.hh"
-#include "uarch/crb.hh"
 
 namespace ccr::uarch
 {
@@ -84,15 +84,25 @@ struct TimingResult
     double ipc() const { return obs::ipc(insts, cycles); }
 };
 
-/** The timing model. Construct, optionally attach a CRB, run. */
+/** The timing model. Construct, optionally attach a reuse scheme,
+ *  run. */
 class Pipeline
 {
   public:
     explicit Pipeline(PipelineParams params = {});
 
-    /** Attach a CRB: it is installed as the machine's reuse handler
-     *  for the duration of run(). May be nullptr (base machine). */
-    void setCrb(Crb *crb) { crb_ = crb; }
+    /**
+     * Attach a reuse scheme: it is installed (behind an
+     * outcome-recording tap) as the machine's reuse handler for the
+     * duration of run(), and its SchemeTraits select which timing
+     * charges apply. May be nullptr (base machine).
+     */
+    void setScheme(reuse::ReuseScheme *scheme)
+    {
+        scheme_ = scheme;
+        traits_ = scheme ? scheme->traits() : reuse::SchemeTraits{};
+        tap_.inner = scheme;
+    }
 
     /**
      * Run @p machine to completion (or @p max_insts) under this
@@ -112,8 +122,11 @@ class Pipeline
      * mispredicts ("pipe.branchMispredicts" — unlike
      * "bpred.mispredicts" this excludes BTB misses on unconditional
      * transfers), reuse counts ("reuse.hits"/"reuse.misses"), and
-     * cycles-by-stall-reason attribution ("pipe.stall.*"). Reset at
-     * the start of every run.
+     * cycles-by-stall-reason attribution ("pipe.stall.*"; the reuse
+     * stalls are scheme-namespaced:
+     * "pipe.stall.reuse.<scheme>.validate" and
+     * "pipe.stall.fetch.reuse.<scheme>.flush"). Reset at the start of
+     * every run.
      */
     const obs::MetricRegistry &metrics() const { return metrics_; }
     obs::MetricRegistry &metrics() { return metrics_; }
@@ -131,11 +144,42 @@ class Pipeline
     const PipelineParams &params() const { return params_; }
 
   private:
+    /**
+     * Forwarding reuse handler that records the outcome of the most
+     * recent query so the timing model can read it when the
+     * corresponding Reuse instruction issues (the by-return-value
+     * replacement for the old Crb::lastOutcome() handshake).
+     */
+    class OutcomeTap final : public emu::ReuseHandler
+    {
+      public:
+        emu::ReuseOutcome onReuse(ir::RegionId region,
+                                  emu::Machine &machine) override
+        {
+            last = inner->onReuse(region, machine);
+            return last;
+        }
+        void observe(const emu::ExecInfo &info) override
+        {
+            inner->observe(info);
+        }
+        void onInvalidate(ir::RegionId region) override
+        {
+            inner->onInvalidate(region);
+        }
+        bool memoActive() const override { return inner->memoActive(); }
+
+        emu::ReuseHandler *inner = nullptr;
+        emu::ReuseOutcome last;
+    };
+
     PipelineParams params_;
     Cache icache_;
     Cache dcache_;
     BranchPredictor bpred_;
-    Crb *crb_ = nullptr;
+    reuse::ReuseScheme *scheme_ = nullptr;
+    reuse::SchemeTraits traits_;
+    OutcomeTap tap_;
 
     obs::MetricRegistry metrics_;
     obs::TraceSink *trace_ = nullptr;

@@ -450,7 +450,8 @@ struct Registry
 {
     std::mutex mutex;
     bool scanned = false;
-    std::map<std::string, std::string> pathByName; // sorted names
+    std::map<std::string, std::string> pathByName;   // sorted names
+    std::map<std::string, std::string> sourceByName; // in-memory .lc
 };
 
 Registry &
@@ -494,6 +495,11 @@ registerLocked(Registry &reg, const std::string &path,
             return name; // idempotent re-registration
         errors.push_back(path + ": workload name '" + name +
                          "' already registered from " + it->second);
+        return std::nullopt;
+    }
+    if (reg.sourceByName.count(name)) {
+        errors.push_back(path + ": workload name '" + name +
+                         "' already registered from in-memory source");
         return std::nullopt;
     }
     reg.pathByName.emplace(name, canonical);
@@ -544,9 +550,12 @@ corpusWorkloadNames()
     std::lock_guard<std::mutex> lock(reg.mutex);
     scanLocked(reg);
     std::vector<std::string> names;
-    names.reserve(reg.pathByName.size());
+    names.reserve(reg.pathByName.size() + reg.sourceByName.size());
     for (const auto &[name, path] : reg.pathByName)
         names.push_back(name);
+    for (const auto &[name, source] : reg.sourceByName)
+        names.push_back(name);
+    std::sort(names.begin(), names.end());
     return names;
 }
 
@@ -565,26 +574,36 @@ isCorpusWorkload(const std::string &name)
     Registry &reg = registry();
     std::lock_guard<std::mutex> lock(reg.mutex);
     scanLocked(reg);
-    return reg.pathByName.count(name) != 0;
+    return reg.pathByName.count(name) != 0
+           || reg.sourceByName.count(name) != 0;
 }
 
 Workload
 buildCorpusWorkload(const std::string &name)
 {
     std::string path;
+    std::string source;
+    bool fromText = false;
     {
         Registry &reg = registry();
         std::lock_guard<std::mutex> lock(reg.mutex);
         scanLocked(reg);
         const auto it = reg.pathByName.find(name);
-        if (it == reg.pathByName.end())
-            ccr_fatal("unknown corpus workload '", name, "'");
-        path = it->second;
+        if (it != reg.pathByName.end()) {
+            path = it->second;
+        } else {
+            const auto st = reg.sourceByName.find(name);
+            if (st == reg.sourceByName.end())
+                ccr_fatal("unknown corpus workload '", name, "'");
+            source = st->second;
+            fromText = true;
+        }
     }
     // Re-parse outside the lock: parallel driver workers build
     // concurrently, and each experiment needs an independent module.
     std::vector<std::string> errors;
-    auto loaded = loadFile(path, errors);
+    auto loaded = fromText ? buildWorkloadFromText(source, name, errors)
+                           : loadFile(path, errors);
     if (!loaded) {
         std::string msg = "corpus workload '" + name + "' failed to load:\n";
         for (const auto &e : errors)
@@ -624,6 +643,58 @@ registerWorkloadFile(const std::string &path)
     const auto name = tryRegisterWorkloadFile(path, errors);
     if (!name) {
         std::string msg = "cannot register workload file:\n";
+        for (const auto &e : errors)
+            msg += "  " + e + "\n";
+        ccr_fatal(msg);
+    }
+    return *name;
+}
+
+std::optional<std::string>
+tryRegisterWorkloadText(const std::string &source,
+                        const std::string &display,
+                        std::vector<std::string> &errors)
+{
+    // Validate the full load path (parse, verify, directives) before
+    // touching the registry, and recover the workload name from it.
+    auto loaded = buildWorkloadFromText(source, display, errors);
+    if (!loaded)
+        return std::nullopt;
+    const std::string name = loaded->name;
+    if (isBuiltinName(name)) {
+        errors.push_back(display + ": workload name '" + name +
+                         "' collides with a built-in workload");
+        return std::nullopt;
+    }
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    scanLocked(reg);
+    const auto it = reg.pathByName.find(name);
+    if (it != reg.pathByName.end()) {
+        errors.push_back(display + ": workload name '" + name +
+                         "' already registered from " + it->second);
+        return std::nullopt;
+    }
+    const auto st = reg.sourceByName.find(name);
+    if (st != reg.sourceByName.end()) {
+        if (st->second == source)
+            return name; // idempotent re-registration
+        errors.push_back(display + ": workload name '" + name +
+                         "' already registered with different source");
+        return std::nullopt;
+    }
+    reg.sourceByName.emplace(name, source);
+    return name;
+}
+
+std::string
+registerWorkloadText(const std::string &source,
+                     const std::string &display)
+{
+    std::vector<std::string> errors;
+    const auto name = tryRegisterWorkloadText(source, display, errors);
+    if (!name) {
+        std::string msg = "cannot register workload text:\n";
         for (const auto &e : errors)
             msg += "  " + e + "\n";
         ccr_fatal(msg);

@@ -81,6 +81,23 @@ tryRegisterWorkloadFile(const std::string &path,
 /** Fatal-on-error convenience wrapper around tryRegisterWorkloadFile. */
 std::string registerWorkloadFile(const std::string &path);
 
+/**
+ * Register in-memory `.lc` source under its workload name, so callers
+ * that synthesize kernels (generator-driven benches) can run them
+ * through every name-keyed path — RunPlan, ExperimentCache, the
+ * parallel driver — without touching disk. Each buildCorpusWorkload
+ * re-parses the stored source, keeping module instances independent.
+ * Returns the name, or std::nullopt after appending errors.
+ */
+std::optional<std::string>
+tryRegisterWorkloadText(const std::string &source,
+                        const std::string &display,
+                        std::vector<std::string> &errors);
+
+/** Fatal-on-error convenience wrapper around tryRegisterWorkloadText. */
+std::string registerWorkloadText(const std::string &source,
+                                 const std::string &display);
+
 } // namespace ccr::workloads
 
 #endif // CCR_WORKLOADS_CORPUS_HH

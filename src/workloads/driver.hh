@@ -19,6 +19,7 @@
 #define CCR_WORKLOADS_DRIVER_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,16 @@ class RunPlan
     }
 
     const std::vector<Point> &points() const { return points_; }
+
+    /** Override the reuse scheme of every queued point (the benches'
+     *  `--scheme crb|dtm|none` switch). */
+    void
+    setScheme(reuse::SchemeKind kind)
+    {
+        for (auto &point : points_)
+            point.config.scheme = kind;
+    }
+
     std::size_t size() const { return points_.size(); }
     bool empty() const { return points_.empty(); }
 
@@ -86,6 +97,14 @@ struct DriverOptions
     /** Require every point's base and CCR outputs to match; a
      *  mismatch is fatal (the benches' historical behavior). */
     bool checkOutputs = true;
+
+    /**
+     * When set, bench harnesses override every plan point's reuse
+     * scheme before running (see bench/common.hh;
+     * `--scheme crb|dtm|none` / CCR_SCHEME). runPlan itself ignores
+     * it.
+     */
+    std::optional<reuse::SchemeKind> scheme;
 
     /**
      * When non-empty, bench harnesses write the aggregated SimReport

@@ -28,6 +28,14 @@ obs::Json
 configJson(const RunConfig &config)
 {
     obs::Json c = obs::Json::object();
+    c["scheme"] = obs::Json(reuse::schemeKindName(config.scheme));
+    if (config.scheme == reuse::SchemeKind::Dtm) {
+        c["dtm.maxTraces"] = obs::Json(config.dtm.maxTraces);
+        c["dtm.tracesPerRegion"] = obs::Json(config.dtm.tracesPerRegion);
+        c["dtm.maxRegInputs"] = obs::Json(config.dtm.maxRegInputs);
+        c["dtm.maxMemInputs"] = obs::Json(config.dtm.maxMemInputs);
+        c["dtm.maxOutputs"] = obs::Json(config.dtm.maxOutputs);
+    }
     c["crb.entries"] = obs::Json(config.crb.entries);
     c["crb.instances"] = obs::Json(config.crb.instances);
     c["crb.assoc"] = obs::Json(config.crb.assoc);
@@ -51,14 +59,16 @@ configJson(const RunConfig &config)
  * carries the timed CCR run's full registry (stall attribution,
  * caches, predictor); the base run contributes the counter snapshots
  * carried by @p base, which are identical whether or not the base
- * stage came from the experiment cache.
+ * stage came from the experiment cache. @p scheme may be null
+ * (SchemeKind::None): the report then carries no scheme counters.
  */
 void
 buildRunReport(RunResult &result, const std::string &workload_name,
                const RunConfig &config, const BaseRunData &base,
-               uarch::Crb &crb, uarch::Pipeline &ccr_pipe)
+               reuse::ReuseScheme *scheme, uarch::Pipeline &ccr_pipe)
 {
-    crb.snapshotOccupancy();
+    if (scheme != nullptr)
+        scheme->snapshotOccupancy();
 
     obs::MetricRegistry agg;
     agg.counter("base.pipe.cycles") += result.base.cycles;
@@ -67,7 +77,8 @@ buildRunReport(RunResult &result, const std::string &workload_name,
     agg.counter("base.dcache.misses") += base.dcacheMisses;
     agg.counter("base.bpred.mispredicts") += base.branchMispredicts;
     agg.merge(ccr_pipe.metrics(), "ccr");
-    agg.merge(crb.metrics(), "");
+    if (scheme != nullptr)
+        scheme->exportMetrics(agg);
     agg.counter("formation.cyclicFormed") += static_cast<std::uint64_t>(
         result.formation.cyclicFormed);
     agg.counter("formation.acyclicFormed") +=
@@ -83,16 +94,20 @@ buildRunReport(RunResult &result, const std::string &workload_name,
     agg.counter("regions.formed") +=
         static_cast<std::uint64_t>(result.regions.size());
 
-    // The CRB and the pipeline count reuse events independently; they
-    // must agree before the report is published.
-    const std::uint64_t crb_queries = agg.get("crb.queries");
-    const std::uint64_t crb_hits = agg.get("crb.hits");
+    // The scheme and the pipeline count reuse events independently;
+    // they must agree before the report is published.
+    const std::string prefix =
+        scheme != nullptr ? std::string(scheme->name()) + "." : "";
+    const std::uint64_t scheme_queries =
+        scheme != nullptr ? agg.get(prefix + "queries") : 0;
+    const std::uint64_t scheme_hits =
+        scheme != nullptr ? agg.get(prefix + "hits") : 0;
     const std::uint64_t pipe_hits = agg.get("ccr.reuse.hits");
     const std::uint64_t pipe_misses = agg.get("ccr.reuse.misses");
-    ccr_assert(crb_hits == pipe_hits
-                   && crb_queries == pipe_hits + pipe_misses,
-               "telemetry registries disagree: CRB counted ", crb_hits,
-               "/", crb_queries,
+    ccr_assert(scheme_hits == pipe_hits
+                   && scheme_queries == pipe_hits + pipe_misses,
+               "telemetry registries disagree: the scheme counted ",
+               scheme_hits, "/", scheme_queries,
                " hits/queries but the pipeline observed ", pipe_hits,
                " hits and ", pipe_misses, " misses");
 
@@ -107,13 +122,20 @@ buildRunReport(RunResult &result, const std::string &workload_name,
     report.derived["ccrIpc"] = obs::Json(result.ccr.ipc());
     report.derived["instsEliminated"] =
         obs::Json(result.instsEliminated());
-    report.derived["crbHitRate"] = obs::Json(
-        obs::ratio(static_cast<double>(crb_hits),
-                   static_cast<double>(crb_queries)));
+    const obs::Json hit_rate(
+        obs::ratio(static_cast<double>(scheme_hits),
+                   static_cast<double>(scheme_queries)));
+    // "crbHitRate" predates the scheme interface and is kept as an
+    // alias of "schemeHitRate" for one release.
+    report.derived["crbHitRate"] = hit_rate;
+    report.derived["schemeHitRate"] = hit_rate;
     report.derived["outputsMatch"] = obs::Json(result.outputsMatch);
 
     // Per-region attribution, sorted by region id for determinism.
-    const auto &hits_by_region = crb.hitsByRegion();
+    static const std::unordered_map<ir::RegionId, std::uint64_t>
+        kNoHits;
+    const auto &hits_by_region =
+        scheme != nullptr ? scheme->hitsByRegion() : kNoHits;
     std::vector<const core::ReuseRegion *> regions;
     regions.reserve(result.regions.size());
     for (const auto &region : result.regions.regions())
@@ -130,6 +152,11 @@ buildRunReport(RunResult &result, const std::string &workload_name,
         r["staticInsts"] = obs::Json(region->staticInsts);
         r["cyclic"] = obs::Json(region->cyclic);
         r["functionLevel"] = obs::Json(region->functionLevel);
+        r["loopDepth"] = obs::Json(region->loopDepth);
+        r["mix.intAlu"] = obs::Json(region->instMix[0]);
+        r["mix.mem"] = obs::Json(region->instMix[1]);
+        r["mix.fpAlu"] = obs::Json(region->instMix[2]);
+        r["mix.branch"] = obs::Json(region->instMix[3]);
         r["hits"] = obs::Json(hits);
         r["eliminatedInsts"] = obs::Json(
             hits * static_cast<std::uint64_t>(region->staticInsts));
@@ -266,7 +293,7 @@ runCcrExperiment(const std::string &workload_name,
     }
     result.base = base_data->timing;
 
-    // -- CCR machine: profile, form regions, run with the CRB ----------
+    // -- CCR machine: profile, form regions, run with the scheme -------
     {
         Workload ccr = cache
                            ? cache->workload(workload_name,
@@ -277,46 +304,58 @@ runCcrExperiment(const std::string &workload_name,
             ir::verifyOrDie(*ccr.module);
         }
 
-        // Training pass (RPS). Cached profiles come from a sibling
-        // clone of the same module template; instruction uids agree.
-        std::shared_ptr<const profile::ProfileData> cached_prof;
-        profile::ProfileData local_prof;
-        const profile::ProfileData *prof;
-        if (cache) {
-            cached_prof =
-                cache->profile(workload_name, config.optimizeBase,
-                               config.profileInput, config.maxInsts);
-            prof = cached_prof.get();
-        } else {
-            emu::Machine machine(*ccr.module);
-            ccr.prepare(machine, config.profileInput);
-            profile::ValueProfiler profiler(machine);
-            machine.addObserver(&profiler);
-            machine.run(config.maxInsts);
-            ccr_assert(machine.halted(), "profile run did not complete");
-            local_prof = profiler.takeProfile();
-            prof = &local_prof;
-        }
+        std::unique_ptr<reuse::ReuseScheme> scheme =
+            reuse::makeScheme(reuse::SchemeConfig{
+                config.scheme, config.crb, config.dtm});
 
-        // Compilation: alias analysis + region formation.
-        analysis::AliasAnalysis alias(*ccr.module);
-        alias.annotateDeterminableLoads(*ccr.module);
-        core::RegionFormer former(*ccr.module, *prof, alias,
-                                  config.policy);
-        result.regions = former.formAll();
-        result.formation = former.stats();
-        maybeLintFormedRegions(*ccr.module, result.regions);
+        // With no reuse hardware (SchemeKind::None) the compilation
+        // stages are skipped entirely: the module stays untransformed
+        // and the timed run below is cycle-identical to the base
+        // machine.
+        if (scheme != nullptr) {
+            // Training pass (RPS). Cached profiles come from a sibling
+            // clone of the same module template; instruction uids
+            // agree.
+            std::shared_ptr<const profile::ProfileData> cached_prof;
+            profile::ProfileData local_prof;
+            const profile::ProfileData *prof;
+            if (cache) {
+                cached_prof =
+                    cache->profile(workload_name, config.optimizeBase,
+                                   config.profileInput, config.maxInsts);
+                prof = cached_prof.get();
+            } else {
+                emu::Machine machine(*ccr.module);
+                ccr.prepare(machine, config.profileInput);
+                profile::ValueProfiler profiler(machine);
+                machine.addObserver(&profiler);
+                machine.run(config.maxInsts);
+                ccr_assert(machine.halted(),
+                           "profile run did not complete");
+                local_prof = profiler.takeProfile();
+                prof = &local_prof;
+            }
+
+            // Compilation: alias analysis + region formation.
+            analysis::AliasAnalysis alias(*ccr.module);
+            alias.annotateDeterminableLoads(*ccr.module);
+            core::RegionFormer former(*ccr.module, *prof, alias,
+                                      config.policy);
+            result.regions = former.formAll();
+            result.formation = former.stats();
+            maybeLintFormedRegions(*ccr.module, result.regions);
+        }
 
         // Timed CCR run.
         emu::Machine machine(*ccr.module);
         ccr.prepare(machine, config.measureInput);
-        uarch::Crb crb(config.crb);
         uarch::Pipeline pipe(config.pipe);
-        pipe.setCrb(&crb);
+        pipe.setScheme(scheme.get());
         if (config.telemetry.enabled) {
             result.trace = std::make_shared<obs::TraceSink>(
                 config.telemetry.traceCapacity);
-            crb.setTraceSink(result.trace.get());
+            if (scheme != nullptr)
+                scheme->setTraceSink(result.trace.get());
             pipe.setTelemetry(result.trace.get(),
                               config.telemetry.intervalInsts);
         }
@@ -326,8 +365,8 @@ runCcrExperiment(const std::string &workload_name,
         const auto ccr_outputs = readOutputs(machine, ccr);
         result.outputsMatch = ccr_outputs == base_data->outputs;
 
-        buildRunReport(result, workload_name, config, *base_data, crb,
-                       pipe);
+        buildRunReport(result, workload_name, config, *base_data,
+                       scheme.get(), pipe);
     }
 
     return result;

@@ -20,7 +20,7 @@
 #include "obs/report.hh"
 #include "obs/trace.hh"
 #include "profile/reuse_potential.hh"
-#include "uarch/crb.hh"
+#include "reuse/factory.hh"
 #include "uarch/pipeline.hh"
 #include "workloads/workload.hh"
 
@@ -33,6 +33,17 @@ struct RunConfig
     core::ReusePolicy policy;
     uarch::CrbParams crb;
     uarch::PipelineParams pipe;
+
+    /**
+     * Which reuse mechanism to attach to the timed CCR run (built via
+     * reuse::makeScheme). SchemeKind::None skips profiling and region
+     * formation entirely and runs the untransformed module with no
+     * handler — cycle-identical to the base machine.
+     */
+    reuse::SchemeKind scheme = reuse::SchemeKind::Crb;
+
+    /** DTM geometry (read only when scheme == SchemeKind::Dtm). */
+    reuse::DtmParams dtm;
 
     /** Input set used for the training/profiling pass. */
     InputSet profileInput = InputSet::Train;

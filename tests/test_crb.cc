@@ -110,7 +110,8 @@ struct CrbProgram
 
     /** Run with the given inputs; returns (machine out value). */
     std::int64_t
-    run(uarch::Crb &crb, const std::vector<std::int64_t> &vals)
+    run(emu::ReuseHandler &handler,
+        const std::vector<std::int64_t> &vals)
     {
         emu::Machine machine(m);
         machine.memory().write(machine.globalAddr(n_global),
@@ -120,7 +121,7 @@ struct CrbProgram
             machine.memory().write(machine.globalAddr(inputs) + 8 * k,
                                    MemSize::Dword, vals[k]);
         }
-        machine.setReuseHandler(&crb);
+        machine.setReuseHandler(&handler);
         machine.run();
         return machine.memory().read(machine.globalAddr(out),
                                      MemSize::Dword, false);
@@ -139,7 +140,8 @@ struct CrbProgram
 TEST(Crb, FirstUseMissesThenHits)
 {
     CrbProgram prog;
-    uarch::Crb crb{uarch::CrbParams{}};
+    const auto crb_owner = uarch::makeCrbScheme();
+    reuse::ReuseScheme &crb = *crb_owner;
     const std::vector<std::int64_t> vals{7, 7, 7, 7};
     EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
     EXPECT_EQ(crb.metrics().get("crb.queries"), 4u);
@@ -151,7 +153,8 @@ TEST(Crb, FirstUseMissesThenHits)
 TEST(Crb, DistinctInputsEachMissOnce)
 {
     CrbProgram prog;
-    uarch::Crb crb{uarch::CrbParams{}};
+    const auto crb_owner = uarch::makeCrbScheme();
+    reuse::ReuseScheme &crb = *crb_owner;
     const std::vector<std::int64_t> vals{1, 2, 3, 1, 2, 3, 1, 2, 3};
     EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
     EXPECT_EQ(crb.metrics().get("crb.misses"), 3u);
@@ -163,7 +166,8 @@ TEST(Crb, LruInstanceReplacement)
     CrbProgram prog;
     uarch::CrbParams params;
     params.instances = 2;
-    uarch::Crb crb(params);
+    const auto crb_owner = uarch::makeCrbScheme(params);
+    reuse::ReuseScheme &crb = *crb_owner;
     // Working set of 3 with 2 CIs: pattern 1,2,3 repeatedly evicts the
     // least recently used instance => every access misses.
     const std::vector<std::int64_t> vals{1, 2, 3, 1, 2, 3, 1, 2, 3};
@@ -177,7 +181,8 @@ TEST(Crb, LruKeepsHotInstance)
     CrbProgram prog;
     uarch::CrbParams params;
     params.instances = 2;
-    uarch::Crb crb(params);
+    const auto crb_owner = uarch::makeCrbScheme(params);
+    reuse::ReuseScheme &crb = *crb_owner;
     // 1 stays hot; 2 and 3 fight over the second CI.
     const std::vector<std::int64_t> vals{1, 2, 1, 3, 1, 2, 1, 3};
     EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
@@ -192,7 +197,8 @@ TEST(Crb, MoreInstancesMoreHits)
         CrbProgram prog;
         uarch::CrbParams params;
         params.instances = ci;
-        uarch::Crb crb(params);
+        const auto crb_owner = uarch::makeCrbScheme(params);
+    reuse::ReuseScheme &crb = *crb_owner;
         std::vector<std::int64_t> vals;
         for (int rep = 0; rep < 10; ++rep) {
             for (int v = 0; v < 6; ++v)
@@ -210,7 +216,8 @@ TEST(Crb, MoreInstancesMoreHits)
 TEST(Crb, InvalidateKillsMemoryInstances)
 {
     CrbProgram prog;
-    uarch::Crb crb{uarch::CrbParams{}};
+    const auto crb_owner = uarch::makeCrbScheme();
+    reuse::ReuseScheme &crb = *crb_owner;
     // Prime the CRB with value 5.
     prog.run(crb, {5, 5});
     EXPECT_EQ(crb.metrics().get("crb.hits"), 1u);
@@ -227,7 +234,8 @@ TEST(Crb, EntryConflictEvicts)
     CrbProgram prog;
     uarch::CrbParams params;
     params.entries = 1;
-    uarch::Crb crb(params);
+    const auto crb_owner = uarch::makeCrbScheme(params);
+    reuse::ReuseScheme &crb = *crb_owner;
     prog.run(crb, {4, 4});
     EXPECT_EQ(crb.metrics().get("crb.hits"), 1u);
     // Query a different region id: it maps to the same entry and
@@ -241,7 +249,8 @@ TEST(Crb, ReusedOutputsAreLatestValues)
 {
     // The CI must return the same outputs the region would compute.
     CrbProgram prog;
-    uarch::Crb crb{uarch::CrbParams{}};
+    const auto crb_owner = uarch::makeCrbScheme();
+    reuse::ReuseScheme &crb = *crb_owner;
     const std::vector<std::int64_t> vals{-3, -3, 100, -3, 100};
     EXPECT_EQ(prog.run(crb, vals), CrbProgram::expected(vals));
 }
@@ -253,7 +262,8 @@ TEST(Crb, NonuniformSmallEntriesHaveFewerInstances)
     params.instances = 8;
     params.nonuniformSplit = 0.5;
     params.nonuniformSmallInstances = 1;
-    uarch::Crb crb(params);
+    const auto crb_owner = uarch::makeCrbScheme(params);
+    reuse::ReuseScheme &crb = *crb_owner;
 
     // Region id 7 maps to entry 7 (>= split): only one CI.
     CrbProgram prog;
@@ -318,7 +328,8 @@ TEST(Crb, MemCapablePartitionDropsMemoryCommits)
 
     uarch::CrbParams params;
     params.memCapableFraction = 0.0;
-    uarch::Crb crb(params);
+    const auto crb_owner = uarch::makeCrbScheme(params);
+    reuse::ReuseScheme &crb = *crb_owner;
     emu::Machine machine(m);
     machine.setReuseHandler(&crb);
     machine.run();
@@ -326,17 +337,18 @@ TEST(Crb, MemCapablePartitionDropsMemoryCommits)
     EXPECT_EQ(crb.metrics().get("crb.memoDroppedNotMemCapable"), 6u);
 
     // Control: with uniform mem capability the same program hits.
-    uarch::Crb crb2{uarch::CrbParams{}};
+    const auto crb2 = uarch::makeCrbScheme();
     emu::Machine machine2(m);
-    machine2.setReuseHandler(&crb2);
+    machine2.setReuseHandler(crb2.get());
     machine2.run();
-    EXPECT_EQ(crb2.metrics().get("crb.hits"), 5u);
+    EXPECT_EQ(crb2->metrics().get("crb.hits"), 5u);
 }
 
 TEST(Crb, ResetClearsEverything)
 {
     CrbProgram prog;
-    uarch::Crb crb{uarch::CrbParams{}};
+    const auto crb_owner = uarch::makeCrbScheme();
+    reuse::ReuseScheme &crb = *crb_owner;
     prog.run(crb, {9, 9});
     EXPECT_GT(crb.metrics().get("crb.hits"), 0u);
     crb.reset();
@@ -349,7 +361,8 @@ TEST(Crb, ResetClearsEverything)
 TEST(Crb, HitsByRegionAttribution)
 {
     CrbProgram prog;
-    uarch::Crb crb{uarch::CrbParams{}};
+    const auto crb_owner = uarch::makeCrbScheme();
+    reuse::ReuseScheme &crb = *crb_owner;
     prog.run(crb, {1, 1, 1});
     const auto &by_region = crb.hitsByRegion();
     ASSERT_EQ(by_region.size(), 1u);
@@ -437,10 +450,10 @@ struct WideRegionProgram
     }
 
     std::int64_t
-    run(uarch::Crb &crb)
+    run(emu::ReuseHandler &handler)
     {
         emu::Machine machine(m);
-        machine.setReuseHandler(&crb);
+        machine.setReuseHandler(&handler);
         machine.run();
         return machine.memory().read(machine.globalAddr(out),
                                      MemSize::Dword, false);
@@ -458,6 +471,37 @@ struct WideRegionProgram
     }
 };
 
+/** Forwards every hook to a wrapped scheme and stashes the outcome of
+ *  the most recent query so tests can inspect it (the production
+ *  analogue is the pipeline's internal outcome tap). */
+struct OutcomeRecorder final : emu::ReuseHandler
+{
+    emu::ReuseHandler *inner = nullptr;
+    emu::ReuseOutcome last;
+
+    emu::ReuseOutcome
+    onReuse(RegionId region, emu::Machine &machine) override
+    {
+        last = inner->onReuse(region, machine);
+        return last;
+    }
+    void
+    observe(const emu::ExecInfo &info) override
+    {
+        inner->observe(info);
+    }
+    void
+    onInvalidate(RegionId region) override
+    {
+        inner->onInvalidate(region);
+    }
+    bool
+    memoActive() const override
+    {
+        return inner->memoActive();
+    }
+};
+
 TEST(Crb, WideBankCarriesAllRegistersInOutcome)
 {
     // Regression: with bankSize > 8, the ReuseOutcome used to truncate
@@ -466,13 +510,16 @@ TEST(Crb, WideBankCarriesAllRegistersInOutcome)
     WideRegionProgram prog;
     uarch::CrbParams params;
     params.bankSize = 12;
-    uarch::Crb crb(params);
-    EXPECT_EQ(prog.run(crb), WideRegionProgram::expected());
+    const auto crb_owner = uarch::makeCrbScheme(params);
+    reuse::ReuseScheme &crb = *crb_owner;
+    OutcomeRecorder recorder;
+    recorder.inner = &crb;
+    EXPECT_EQ(prog.run(recorder), WideRegionProgram::expected());
     EXPECT_EQ(crb.metrics().get("crb.misses"), 1u);
     EXPECT_EQ(crb.metrics().get("crb.hits"), 1u);
     EXPECT_EQ(crb.metrics().get("crb.memoCommits"), 1u);
 
-    const emu::ReuseOutcome &o = crb.lastOutcome();
+    const emu::ReuseOutcome &o = recorder.last;
     EXPECT_TRUE(o.hit);
     EXPECT_EQ(o.numInputsRead(), WideRegionProgram::kWidth);
     EXPECT_EQ(o.numOutputsWritten(), WideRegionProgram::kWidth);
@@ -497,7 +544,8 @@ TEST(Crb, InputBankOverflowNeverCommitsPartialInputs)
     WideRegionProgram prog;
     uarch::CrbParams params;
     params.bankSize = 4; // < kWidth inputs
-    uarch::Crb crb(params);
+    const auto crb_owner = uarch::makeCrbScheme(params);
+    reuse::ReuseScheme &crb = *crb_owner;
     EXPECT_EQ(prog.run(crb), WideRegionProgram::expected());
     // Both invocations miss; each attempted recording aborts on
     // overflow, and nothing is ever committed, so the second

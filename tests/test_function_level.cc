@@ -13,6 +13,7 @@
 #include "ir/builder.hh"
 #include "ir/verifier.hh"
 #include "profile/value_profiler.hh"
+#include "reuse/dtm.hh"
 #include "uarch/crb.hh"
 #include "workloads/harness.hh"
 
@@ -224,17 +225,70 @@ TEST(FnLevel, SemanticsPreservedWithAndWithoutCrb)
     // With a CRB:
     emu::Machine m2(fx.m);
     fx.prepare(m2, 500);
-    uarch::Crb crb{uarch::CrbParams{}};
-    m2.setReuseHandler(&crb);
+    const auto crb = uarch::makeCrbScheme();
+    m2.setReuseHandler(crb.get());
     m2.run();
     EXPECT_EQ(m2.memory().read(m2.globalAddr(fx.out), MemSize::Dword,
                                false),
               expect);
-    EXPECT_GT(crb.metrics().get("crb.hits"), 100u);
+    EXPECT_GT(crb->metrics().get("crb.hits"), 100u);
     // The mutator invalidates the table_sum region's instances.
-    EXPECT_GT(crb.metrics().get("crb.invalidates"), 0u);
+    EXPECT_GT(crb->metrics().get("crb.invalidates"), 0u);
     // Hits skip entire calls: far fewer dynamic instructions.
     EXPECT_LT(m2.instCount(), m1.instCount());
+}
+
+TEST(FnLevel, DtmRevalidatesCalleeLoadsAcrossMutation)
+{
+    // The same program under the dynamic trace-memoization scheme.
+    // DTM treats invalidate instructions as no-ops: a hit on the
+    // table_sum region is legal only because the query re-reads every
+    // recorded callee load address and compares values, so poke()'s
+    // table mutations must be caught by query-time validation instead.
+    FnFixture base;
+    emu::Machine bm(base.m);
+    base.prepare(bm, 500);
+    bm.run();
+    const auto expect = bm.memory().read(bm.globalAddr(base.out),
+                                         MemSize::Dword, false);
+
+    FnFixture fx;
+    profile::ProfileData prof;
+    {
+        emu::Machine machine(fx.m);
+        fx.prepare(machine, 500);
+        profile::ValueProfiler vp(machine);
+        machine.addObserver(&vp);
+        machine.run();
+        prof = vp.takeProfile();
+    }
+    analysis::AliasAnalysis alias(fx.m);
+    core::ReusePolicy policy;
+    policy.enableFunctionLevel = true;
+    core::RegionFormer former(fx.m, prof, alias, policy);
+    former.formAll();
+
+    // The stream recurs over 5 argument values; the default 4-way
+    // per-region trace cache would LRU-thrash on the cyclic pattern.
+    reuse::DtmParams params;
+    params.tracesPerRegion = 8;
+    reuse::DynamicTraceMemo dtm(params);
+    emu::Machine m2(fx.m);
+    fx.prepare(m2, 500);
+    m2.setReuseHandler(&dtm);
+    m2.run();
+    EXPECT_EQ(m2.memory().read(m2.globalAddr(fx.out), MemSize::Dword,
+                               false),
+              expect);
+    // Function-level traces replay: the pure square_plus site and the
+    // table-reading table_sum site both hit on recurring arguments.
+    EXPECT_GT(dtm.metrics().get("dtm.hits"), 100u);
+    // The invalidate instructions the former placed for poke() still
+    // execute; DTM counts and ignores them.
+    EXPECT_GT(dtm.metrics().get("dtm.invalidates"), 0u);
+    EXPECT_EQ(dtm.metrics().get("dtm.hits")
+                  + dtm.metrics().get("dtm.misses"),
+              dtm.metrics().get("dtm.queries"));
 }
 
 TEST(FnLevel, WholeSuiteCorrectAndNotSlower)

@@ -12,9 +12,11 @@
 
 #include "emu/machine.hh"
 #include "ir/builder.hh"
+#include "reuse/scheme.hh"
 #include "uarch/cache.hh"
 #include "uarch/branch_pred.hh"
 #include "uarch/pipeline.hh"
+#include "workloads/harness.hh"
 
 namespace
 {
@@ -305,6 +307,150 @@ TEST(Pipeline, IpcBoundedByWidth)
     });
     EXPECT_LE(r.ipc(), 6.0 + 1e-9);
     EXPECT_GT(r.ipc(), 2.5);
+}
+
+// ---------------------------------------------------------------------
+// ReuseScheme plumbing: a null (always-miss) scheme and the --scheme
+// none configuration must both be timing-neutral.
+// ---------------------------------------------------------------------
+
+/** Always-miss scheme that charges nothing: every query takes the miss
+ *  path and no timing trait is enabled beyond the legacy flush. */
+struct NullScheme final : reuse::ReuseScheme
+{
+    const char *name() const override { return "null"; }
+
+    reuse::SchemeTraits
+    traits() const override
+    {
+        reuse::SchemeTraits t;
+        t.chargesValidation = false;
+        t.validatesMemoryAtQuery = false;
+        t.chargesMissFlush = true; // same as running with no handler
+        t.usesInvalidate = false;
+        return t;
+    }
+
+    void reset() override { metrics_.reset(); }
+    void snapshotOccupancy() override {}
+
+    emu::ReuseOutcome
+    onReuse(RegionId, emu::Machine &) override
+    {
+        return {};
+    }
+    void observe(const emu::ExecInfo &) override {}
+    void onInvalidate(RegionId) override {}
+    bool memoActive() const override { return false; }
+};
+
+/** A module with one genuine reuse region (y = x*2+1 over a loop). */
+std::unique_ptr<Module>
+reuseRegionModule()
+{
+    auto m = std::make_unique<Module>("null_scheme");
+    const GlobalId out = m->addGlobal("out", 8).id;
+    const RegionId region = m->newRegionId();
+    Function &f = m->addFunction("main", 0);
+    IRBuilder b(f);
+    const BlockId entry = b.newBlock();
+    const BlockId header = b.newBlock();
+    const BlockId inception = b.newBlock();
+    const BlockId body = b.newBlock();
+    const BlockId join = b.newBlock();
+    const BlockId exit = b.newBlock();
+    const Reg i = b.reg();
+    const Reg x = b.reg();
+    const Reg y = b.reg();
+    const Reg acc = b.reg();
+
+    b.setInsertPoint(entry);
+    b.movITo(i, 0);
+    b.movITo(acc, 0);
+    b.jump(header);
+    b.setInsertPoint(header);
+    const Reg c = b.cmpLtI(i, 20);
+    b.br(c, inception, exit);
+    b.setInsertPoint(inception);
+    b.binOpTo(x, Opcode::And, i, b.movI(3));
+    b.reuse(region, join, body);
+    b.setInsertPoint(body);
+    {
+        Inst mul;
+        mul.op = Opcode::Mul;
+        mul.dst = b.reg();
+        mul.src1 = x;
+        mul.srcImm = true;
+        mul.imm = 2;
+        const Reg t = mul.dst;
+        b.emit(mul);
+        Inst add;
+        add.op = Opcode::Add;
+        add.dst = y;
+        add.src1 = t;
+        add.srcImm = true;
+        add.imm = 1;
+        add.ext.liveOut = true;
+        b.emit(add);
+        Inst j;
+        j.op = Opcode::Jump;
+        j.target = join;
+        j.ext.regionEnd = true;
+        b.emit(j);
+    }
+    b.setInsertPoint(join);
+    b.binOpTo(acc, Opcode::Add, acc, y);
+    b.binOpITo(i, Opcode::Add, i, 1);
+    b.jump(header);
+    b.setInsertPoint(exit);
+    b.store(b.movGA(out), 0, acc);
+    b.halt();
+    return m;
+}
+
+TEST(Pipeline, NullSchemeIsCycleIdenticalToNoScheme)
+{
+    // The pipeline charges nothing for a scheme that never hits and
+    // opts out of every timing trait: same module, same cycles as
+    // running with no scheme installed at all.
+    const auto mod = reuseRegionModule();
+
+    emu::Machine m1(*mod);
+    uarch::Pipeline p1;
+    const auto t1 = p1.run(m1);
+
+    NullScheme null_scheme;
+    emu::Machine m2(*mod);
+    uarch::Pipeline p2;
+    p2.setScheme(&null_scheme);
+    const auto t2 = p2.run(m2);
+
+    EXPECT_EQ(t1.cycles, t2.cycles);
+    EXPECT_EQ(t1.insts, t2.insts);
+    // Both runs miss on every query; the null scheme's misses land in
+    // its own stall namespace, the handler-less run's under "none".
+    EXPECT_EQ(p1.metrics().get("reuse.misses"),
+              p2.metrics().get("reuse.misses"));
+    EXPECT_EQ(p1.metrics().get("pipe.stall.fetch.reuse.none.flush"),
+              p2.metrics().get("pipe.stall.fetch.reuse.null.flush"));
+}
+
+TEST(Pipeline, SchemeNoneIsCycleIdenticalToBase)
+{
+    // --scheme none skips region formation entirely: the "CCR" run is
+    // the untransformed program and must cost exactly the base cycles.
+    workloads::RunConfig config;
+    config.scheme = reuse::SchemeKind::None;
+    const auto r = workloads::runCcrExperiment("compress", config);
+    EXPECT_TRUE(r.outputsMatch);
+    EXPECT_EQ(r.base.cycles, r.ccr.cycles);
+    EXPECT_EQ(r.base.insts, r.ccr.insts);
+    EXPECT_DOUBLE_EQ(r.speedup(), 1.0);
+    EXPECT_EQ(r.regions.size(), 0u);
+    // The counter algebra degenerates: no scheme, no queries.
+    EXPECT_EQ(r.report.metric("ccr.reuse.hits"), 0u);
+    EXPECT_EQ(r.report.metric("ccr.reuse.misses"), 0u);
+    EXPECT_EQ(r.report.config.at("scheme").asString(), "none");
 }
 
 } // namespace

@@ -13,12 +13,15 @@
 #include <optional>
 #include <set>
 
+#include "analysis/alias.hh"
+#include "core/former.hh"
 #include "core/reorder.hh"
 #include "emu/machine.hh"
 #include "emu/reference.hh"
 #include "ir/builder.hh"
 #include "ir/verifier.hh"
 #include "opt/passes.hh"
+#include "reuse/factory.hh"
 #include "uarch/crb.hh"
 #include "workloads/corpus.hh"
 #include "workloads/harness.hh"
@@ -554,7 +557,8 @@ TEST_P(CrbReferenceModel, RandomOpsMatchNaiveModel)
     uarch::CrbParams params;
     params.entries = entries;
     params.instances = instances;
-    uarch::Crb crb(params);
+    const auto crb_owner = uarch::makeCrbScheme(params);
+    reuse::ReuseScheme &crb = *crb_owner;
     RefCrb ref(entries, instances, params.bankSize);
 
     // Shadow register file: the model's view of machine state. All
@@ -783,5 +787,109 @@ TEST(LockstepEquivalence, EveryWorkloadMatchesReferenceInterpreter)
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Scheme-generic properties, parameterized over every real
+// ReuseScheme: the formed module run under the scheme must preserve
+// the base run's outputs and full memory image, the scheme must be
+// deterministic (two independent instances stay in per-instruction
+// lockstep), and its counter algebra must balance.
+// ---------------------------------------------------------------------
+
+class SchemeProperties
+    : public ::testing::TestWithParam<
+          std::tuple<reuse::SchemeKind, std::string>>
+{};
+
+TEST_P(SchemeProperties, FormedWorkloadMatchesBaseUnderScheme)
+{
+    const auto [kind, name] = GetParam();
+
+    // Base: the untransformed module on the ref input.
+    const auto base = workloads::buildWorkload(name);
+    emu::Machine bm(*base.module);
+    base.prepare(bm, workloads::InputSet::Ref);
+    bm.run();
+    const auto expect = workloads::readOutputs(bm, base);
+    const auto expectHash = bm.memory().contentHash();
+
+    // CCR: profile-led formation, then run under the scheme — twice,
+    // with independent scheme instances, in per-instruction lockstep.
+    auto ccrw = workloads::buildWorkload(name);
+    const auto prof =
+        workloads::profileWorkload(ccrw, workloads::InputSet::Train);
+    analysis::AliasAnalysis alias(*ccrw.module);
+    alias.annotateDeterminableLoads(*ccrw.module);
+    core::RegionFormer former(*ccrw.module, prof, alias, {});
+    former.formAll();
+
+    reuse::SchemeConfig sc;
+    sc.kind = kind;
+    const auto scheme = reuse::makeScheme(sc);
+    const auto scheme2 = reuse::makeScheme(sc);
+    ASSERT_NE(scheme, nullptr);
+
+    emu::Machine tm(*ccrw.module);
+    ccrw.prepare(tm, workloads::InputSet::Ref);
+    tm.setReuseHandler(scheme.get());
+    emu::Machine tm2(*ccrw.module);
+    ccrw.prepare(tm2, workloads::InputSet::Ref);
+    tm2.setReuseHandler(scheme2.get());
+
+    emu::ExecInfo a, b;
+    for (std::uint64_t n = 0;; ++n) {
+        const auto ka = tm.step(a);
+        const auto kb = tm2.step(b);
+        ASSERT_EQ(static_cast<int>(ka), static_cast<int>(kb))
+            << "scheme nondeterminism: step kind diverged at inst "
+            << n;
+        ASSERT_EQ(a.pc, b.pc)
+            << "scheme nondeterminism: pc diverged at inst " << n;
+        ASSERT_EQ(a.result, b.result)
+            << "scheme nondeterminism: result diverged at inst " << n;
+        if (ka == emu::StepKind::Halted)
+            break;
+    }
+
+    EXPECT_TRUE(tm.halted());
+    EXPECT_EQ(workloads::readOutputs(tm, ccrw), expect);
+    EXPECT_EQ(tm.memory().contentHash(), expectHash);
+    EXPECT_EQ(tm2.memory().contentHash(), expectHash);
+
+    // Counter algebra: hits + misses == queries, agreement with the
+    // machine's own event counts, and per-region attribution that
+    // sums back to the totals.
+    const std::string prefix = scheme->name();
+    const auto &m = scheme->metrics();
+    const auto queries = m.get(prefix + ".queries");
+    const auto hits = m.get(prefix + ".hits");
+    const auto misses = m.get(prefix + ".misses");
+    EXPECT_EQ(hits + misses, queries);
+    EXPECT_EQ(tm.stats().get("reuseHits"), hits);
+    EXPECT_EQ(tm.stats().get("reuseMisses"), misses);
+    std::uint64_t hitSum = 0, querySum = 0;
+    for (const auto &[id, n] : scheme->hitsByRegion())
+        hitSum += n;
+    for (const auto &[id, n] : scheme->queriesByRegion())
+        querySum += n;
+    EXPECT_EQ(hitSum, hits);
+    EXPECT_EQ(querySum, queries);
+    // Both instances saw the same event stream.
+    EXPECT_EQ(scheme2->metrics().get(prefix + ".hits"), hits);
+    EXPECT_EQ(scheme2->metrics().get(prefix + ".queries"), queries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, SchemeProperties,
+    ::testing::Combine(::testing::Values(reuse::SchemeKind::Crb,
+                                         reuse::SchemeKind::Dtm),
+                       ::testing::Values("compress", "li", "espresso",
+                                         "mpeg2enc")),
+    [](const ::testing::TestParamInfo<SchemeProperties::ParamType>
+           &info) {
+        return std::string(
+                   reuse::schemeKindName(std::get<0>(info.param)))
+               + "_" + std::get<1>(info.param);
+    });
 
 } // namespace

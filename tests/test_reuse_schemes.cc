@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Tests for the reuse-scheme layer: the scheme factory, the dynamic
+ * trace-memoization scheme's capture/validate/evict behaviour (register
+ * and memory input signatures, per-region and global LRU), harness
+ * integration of `--scheme dtm` / `--scheme none`, and the one-release
+ * stall-key compatibility shim in obs::RunReport::metric().
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "emu/machine.hh"
+#include "ir/builder.hh"
+#include "obs/report.hh"
+#include "reuse/factory.hh"
+#include "workloads/harness.hh"
+
+namespace
+{
+
+using namespace ccr;
+using namespace ccr::ir;
+
+// ---------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------
+
+TEST(SchemeFactory, ParsesKnownNamesAndRejectsUnknown)
+{
+    EXPECT_EQ(reuse::parseSchemeKind("crb"), reuse::SchemeKind::Crb);
+    EXPECT_EQ(reuse::parseSchemeKind("dtm"), reuse::SchemeKind::Dtm);
+    EXPECT_EQ(reuse::parseSchemeKind("none"), reuse::SchemeKind::None);
+    EXPECT_EQ(reuse::parseSchemeKind("CRB"), std::nullopt);
+    EXPECT_EQ(reuse::parseSchemeKind(""), std::nullopt);
+    EXPECT_EQ(reuse::parseSchemeKind("lru"), std::nullopt);
+}
+
+TEST(SchemeFactory, NameRoundTripsThroughMakeScheme)
+{
+    for (const auto kind :
+         {reuse::SchemeKind::Crb, reuse::SchemeKind::Dtm}) {
+        reuse::SchemeConfig config;
+        config.kind = kind;
+        const auto scheme = reuse::makeScheme(config);
+        ASSERT_NE(scheme, nullptr);
+        EXPECT_EQ(reuse::parseSchemeKind(scheme->name()), kind);
+        EXPECT_EQ(scheme->name(),
+                  std::string(reuse::schemeKindName(kind)));
+    }
+    reuse::SchemeConfig none;
+    none.kind = reuse::SchemeKind::None;
+    EXPECT_EQ(reuse::makeScheme(none), nullptr);
+}
+
+TEST(SchemeFactory, TraitsDistinguishTheSchemes)
+{
+    const auto crb = reuse::makeScheme({});
+    reuse::SchemeConfig dc;
+    dc.kind = reuse::SchemeKind::Dtm;
+    const auto dtm = reuse::makeScheme(dc);
+    // The CRB keeps memory state coherent via invalidate instructions;
+    // DTM ignores them and re-probes memory on every query.
+    EXPECT_TRUE(crb->traits().usesInvalidate);
+    EXPECT_FALSE(crb->traits().validatesMemoryAtQuery);
+    EXPECT_FALSE(dtm->traits().usesInvalidate);
+    EXPECT_TRUE(dtm->traits().validatesMemoryAtQuery);
+}
+
+// ---------------------------------------------------------------------
+// DTM unit behaviour on a hand-built region (y = x*2+1, x loaded from
+// an input array outside the region — a pure-ALU region with one
+// register input).
+// ---------------------------------------------------------------------
+
+struct RegionProgram
+{
+    Module m{"t"};
+    GlobalId inputs, n_global, out;
+    RegionId region;
+    Function *f = nullptr;
+
+    RegionProgram()
+    {
+        inputs = m.addGlobal("inputs", 256 * 8).id;
+        n_global = m.addGlobal("n", 8).id;
+        out = m.addGlobal("out", 8).id;
+        region = m.newRegionId();
+        f = &m.addFunction("main", 0);
+        IRBuilder b(*f);
+        const BlockId entry = b.newBlock();
+        const BlockId header = b.newBlock();
+        const BlockId fetch = b.newBlock();
+        const BlockId inception = b.newBlock();
+        const BlockId body = b.newBlock();
+        const BlockId join = b.newBlock();
+        const BlockId exit = b.newBlock();
+        const Reg i = b.reg();
+        const Reg x = b.reg();
+        const Reg y = b.reg();
+        const Reg acc = b.reg();
+
+        b.setInsertPoint(entry);
+        const Reg n = b.load(b.movGA(n_global), 0);
+        const Reg base = b.movGA(inputs);
+        b.movITo(i, 0);
+        b.movITo(acc, 0);
+        b.jump(header);
+
+        b.setInsertPoint(header);
+        const Reg c = b.cmpLt(i, n);
+        b.br(c, fetch, exit);
+
+        b.setInsertPoint(fetch);
+        b.loadTo(x, b.add(base, b.shlI(i, 3)), 0);
+        b.jump(inception);
+
+        b.setInsertPoint(inception);
+        b.reuse(region, join, body);
+
+        b.setInsertPoint(body);
+        {
+            Inst mul;
+            mul.op = Opcode::Mul;
+            mul.dst = b.reg();
+            mul.src1 = x;
+            mul.srcImm = true;
+            mul.imm = 2;
+            const Reg t = mul.dst;
+            b.emit(mul);
+            Inst add;
+            add.op = Opcode::Add;
+            add.dst = y;
+            add.src1 = t;
+            add.srcImm = true;
+            add.imm = 1;
+            add.ext.liveOut = true;
+            b.emit(add);
+            Inst j;
+            j.op = Opcode::Jump;
+            j.target = join;
+            j.ext.regionEnd = true;
+            b.emit(j);
+        }
+
+        b.setInsertPoint(join);
+        b.binOpTo(acc, Opcode::Add, acc, y);
+        b.binOpITo(i, Opcode::Add, i, 1);
+        b.jump(header);
+
+        b.setInsertPoint(exit);
+        b.store(b.movGA(out), 0, acc);
+        b.halt();
+    }
+
+    std::int64_t
+    run(emu::ReuseHandler &handler,
+        const std::vector<std::int64_t> &vals)
+    {
+        emu::Machine machine(m);
+        machine.memory().write(machine.globalAddr(n_global),
+                               MemSize::Dword,
+                               static_cast<ir::Value>(vals.size()));
+        for (std::size_t k = 0; k < vals.size(); ++k) {
+            machine.memory().write(machine.globalAddr(inputs) + 8 * k,
+                                   MemSize::Dword, vals[k]);
+        }
+        machine.setReuseHandler(&handler);
+        machine.run();
+        return machine.memory().read(machine.globalAddr(out),
+                                     MemSize::Dword, false);
+    }
+
+    static std::int64_t
+    expected(const std::vector<std::int64_t> &vals)
+    {
+        std::int64_t acc = 0;
+        for (const auto v : vals)
+            acc += v * 2 + 1;
+        return acc;
+    }
+};
+
+TEST(Dtm, FirstUseMissesThenHits)
+{
+    RegionProgram prog;
+    reuse::DynamicTraceMemo dtm;
+    const std::vector<std::int64_t> vals{7, 7, 7, 7};
+    EXPECT_EQ(prog.run(dtm, vals), RegionProgram::expected(vals));
+    EXPECT_EQ(dtm.metrics().get("dtm.queries"), 4u);
+    EXPECT_EQ(dtm.metrics().get("dtm.misses"), 1u);
+    EXPECT_EQ(dtm.metrics().get("dtm.hits"), 3u);
+    EXPECT_EQ(dtm.metrics().get("dtm.memoCommits"), 1u);
+    EXPECT_EQ(dtm.traceCount(), 1u);
+}
+
+TEST(Dtm, DistinctInputsCaptureDistinctTraces)
+{
+    RegionProgram prog;
+    reuse::DynamicTraceMemo dtm;
+    const std::vector<std::int64_t> vals{1, 2, 3, 1, 2, 3, 1, 2, 3};
+    EXPECT_EQ(prog.run(dtm, vals), RegionProgram::expected(vals));
+    EXPECT_EQ(dtm.metrics().get("dtm.misses"), 3u);
+    EXPECT_EQ(dtm.metrics().get("dtm.hits"), 6u);
+    EXPECT_EQ(dtm.traceCount(), 3u);
+    // Per-region attribution agrees with the totals.
+    EXPECT_EQ(dtm.hitsByRegion().at(prog.region), 6u);
+    EXPECT_EQ(dtm.queriesByRegion().at(prog.region), 9u);
+}
+
+TEST(Dtm, PerRegionLruEvictsColdTrace)
+{
+    RegionProgram prog;
+    reuse::DtmParams params;
+    params.tracesPerRegion = 1;
+    reuse::DynamicTraceMemo dtm(params);
+    // Working set of 2 against a 1-trace region: every query misses
+    // and every commit after the first replaces the resident trace.
+    const std::vector<std::int64_t> vals{1, 2, 1, 2};
+    EXPECT_EQ(prog.run(dtm, vals), RegionProgram::expected(vals));
+    EXPECT_EQ(dtm.metrics().get("dtm.hits"), 0u);
+    EXPECT_EQ(dtm.metrics().get("dtm.misses"), 4u);
+    EXPECT_EQ(dtm.metrics().get("dtm.evictions"), 3u);
+    EXPECT_EQ(dtm.traceCount(), 1u);
+}
+
+TEST(Dtm, GlobalCapacityEvictsLeastRecentTrace)
+{
+    RegionProgram prog;
+    reuse::DtmParams params;
+    params.maxTraces = 2;
+    reuse::DynamicTraceMemo dtm(params);
+    // Three distinct inputs against two global trace slots: the third
+    // commit evicts the stalest trace (input 1); input 2 survives and
+    // hits on the final query.
+    const std::vector<std::int64_t> vals{1, 2, 3, 2};
+    EXPECT_EQ(prog.run(dtm, vals), RegionProgram::expected(vals));
+    EXPECT_EQ(dtm.metrics().get("dtm.hits"), 1u);
+    EXPECT_EQ(dtm.metrics().get("dtm.evictions"), 1u);
+    EXPECT_EQ(dtm.traceCount(), 2u);
+}
+
+TEST(Dtm, ResetClearsTracesAndCounters)
+{
+    RegionProgram prog;
+    reuse::DynamicTraceMemo dtm;
+    prog.run(dtm, {9, 9});
+    EXPECT_GT(dtm.metrics().get("dtm.hits"), 0u);
+    dtm.reset();
+    EXPECT_EQ(dtm.metrics().get("dtm.hits"), 0u);
+    EXPECT_EQ(dtm.traceCount(), 0u);
+    EXPECT_TRUE(dtm.hitsByRegion().empty());
+    prog.run(dtm, {9});
+    EXPECT_EQ(dtm.metrics().get("dtm.misses"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// DTM memory sensitivity: a region that loads mutable memory must
+// re-validate the recorded load values at query time. The program
+// mutates the table between region invocations WITHOUT any invalidate
+// instruction — a scheme that trusted stale traces would replay wrong
+// values and corrupt the output.
+// ---------------------------------------------------------------------
+
+/** Loop of 6 region invocations; the region loads tab[0] (live-out);
+ *  when @p mutate, the join block increments tab[0] each iteration. */
+struct MemRegionProgram
+{
+    Module m{"memt"};
+    GlobalId tab, out;
+    RegionId region;
+
+    explicit MemRegionProgram(bool mutate)
+    {
+        tab = m.addGlobal("tab", 64, true).id;
+        out = m.addGlobal("out", 8).id;
+        region = m.newRegionId();
+        Function &f = m.addFunction("main", 0);
+        IRBuilder b(f);
+        const BlockId entry = b.newBlock();
+        const BlockId loop = b.newBlock();
+        const BlockId inception = b.newBlock();
+        const BlockId body = b.newBlock();
+        const BlockId join = b.newBlock();
+        const BlockId exit = b.newBlock();
+        const Reg i = b.reg();
+        const Reg y = b.reg();
+        const Reg acc = b.reg();
+
+        b.setInsertPoint(entry);
+        b.movITo(i, 0);
+        b.movITo(acc, 0);
+        b.jump(loop);
+        b.setInsertPoint(loop);
+        const Reg c = b.cmpLtI(i, 6);
+        b.br(c, inception, exit);
+        b.setInsertPoint(inception);
+        b.reuse(region, join, body);
+        b.setInsertPoint(body);
+        {
+            const Reg base = b.movGA(tab);
+            Inst ld;
+            ld.op = Opcode::Load;
+            ld.dst = y;
+            ld.src1 = base;
+            ld.imm = 0;
+            ld.ext.liveOut = true;
+            b.emit(ld);
+            Inst j;
+            j.op = Opcode::Jump;
+            j.target = join;
+            j.ext.regionEnd = true;
+            b.emit(j);
+        }
+        b.setInsertPoint(join);
+        b.binOpTo(acc, Opcode::Add, acc, y);
+        if (mutate) {
+            const Reg jb = b.movGA(tab);
+            const Reg cur = b.load(jb, 0);
+            b.store(jb, 0, b.addI(cur, 1));
+        }
+        b.binOpITo(i, Opcode::Add, i, 1);
+        b.jump(loop);
+        b.setInsertPoint(exit);
+        b.store(b.movGA(out), 0, acc);
+        b.halt();
+    }
+
+    std::int64_t
+    run(emu::ReuseHandler &handler)
+    {
+        emu::Machine machine(m);
+        machine.setReuseHandler(&handler);
+        machine.run();
+        return machine.memory().read(machine.globalAddr(out),
+                                     MemSize::Dword, false);
+    }
+};
+
+TEST(Dtm, StableMemoryHitsAfterFirstCapture)
+{
+    MemRegionProgram prog(/*mutate=*/false);
+    reuse::DynamicTraceMemo dtm;
+    // tab[0] is 0 throughout; acc = 6 * 0.
+    EXPECT_EQ(prog.run(dtm), 0);
+    EXPECT_EQ(dtm.metrics().get("dtm.misses"), 1u);
+    EXPECT_EQ(dtm.metrics().get("dtm.hits"), 5u);
+}
+
+TEST(Dtm, MutatedMemoryMissesOnEveryQuery)
+{
+    MemRegionProgram prog(/*mutate=*/true);
+    reuse::DynamicTraceMemo dtm;
+    // tab[0] walks 0..5; acc = 0+1+2+3+4+5. A stale replay of the
+    // first trace would produce 0.
+    EXPECT_EQ(prog.run(dtm), 15);
+    EXPECT_EQ(dtm.metrics().get("dtm.hits"), 0u);
+    EXPECT_EQ(dtm.metrics().get("dtm.misses"), 6u);
+    EXPECT_EQ(dtm.metrics().get("dtm.memoCommits"), 6u);
+}
+
+// ---------------------------------------------------------------------
+// Harness integration: the full experiment pipeline under each
+// configured scheme kind.
+// ---------------------------------------------------------------------
+
+TEST(SchemeHarness, DtmExperimentEndToEnd)
+{
+    workloads::RunConfig config;
+    config.scheme = reuse::SchemeKind::Dtm;
+    const auto r = workloads::runCcrExperiment("li", config);
+    EXPECT_TRUE(r.outputsMatch);
+    EXPECT_GT(r.report.metric("dtm.hits"), 0u);
+    EXPECT_EQ(r.report.metric("dtm.hits")
+                  + r.report.metric("dtm.misses"),
+              r.report.metric("dtm.queries"));
+    EXPECT_EQ(r.report.metric("ccr.reuse.hits"),
+              r.report.metric("dtm.hits"));
+    EXPECT_EQ(r.report.config.at("scheme").asString(), "dtm");
+    EXPECT_TRUE(r.report.config.at("dtm.maxTraces").isNumber());
+    EXPECT_TRUE(r.report.derived.at("schemeHitRate").isNumber());
+    // DTM stall charges land in the dtm namespace; the crb namespace
+    // is absent from this run.
+    EXPECT_TRUE(r.report.metrics
+                    .at("ccr.pipe.stall.reuse.dtm.validate")
+                    .isNumber());
+    EXPECT_TRUE(r.report.metrics.at("ccr.pipe.stall.reuse.crb.validate")
+                    .isNull());
+    // Reuse must not slow the workload down badly even though every
+    // query re-probes the data cache.
+    EXPECT_GT(r.speedup(), 0.9);
+}
+
+TEST(SchemeHarness, DtmOccupancySnapshotExported)
+{
+    workloads::RunConfig config;
+    config.scheme = reuse::SchemeKind::Dtm;
+    const auto r = workloads::runCcrExperiment("compress", config);
+    EXPECT_TRUE(r.outputsMatch);
+    EXPECT_TRUE(r.report.metrics.at("dtm.occupancy.capacityFraction")
+                    .isNumber());
+}
+
+TEST(SchemeHarness, NoneSchemeReportsNoReuseActivity)
+{
+    workloads::RunConfig config;
+    config.scheme = reuse::SchemeKind::None;
+    const auto r = workloads::runCcrExperiment("compress", config);
+    EXPECT_TRUE(r.outputsMatch);
+    EXPECT_DOUBLE_EQ(r.speedup(), 1.0);
+    EXPECT_EQ(r.report.config.at("scheme").asString(), "none");
+    EXPECT_TRUE(r.report.metrics.at("crb.queries").isNull());
+    EXPECT_TRUE(r.report.metrics.at("dtm.queries").isNull());
+}
+
+// ---------------------------------------------------------------------
+// Stall-key compatibility shim
+// ---------------------------------------------------------------------
+
+TEST(MetricShim, OldStallKeysResolveToSchemeNamespacedSuccessors)
+{
+    obs::RunReport run;
+    run.metrics["ccr.pipe.stall.reuse.crb.validate"] =
+        obs::Json(std::uint64_t{11});
+    run.metrics["ccr.pipe.stall.reuse.dtm.validate"] =
+        obs::Json(std::uint64_t{7});
+    run.metrics["ccr.pipe.stall.fetch.reuse.crb.flush"] =
+        obs::Json(std::uint64_t{5});
+    // Old-style lookups sum every scheme namespace present.
+    EXPECT_EQ(run.metric("ccr.pipe.stall.reuseValidate"), 18u);
+    EXPECT_EQ(run.metric("ccr.pipe.stall.fetch.reuseFlush"), 5u);
+    // New-style lookups hit the keys directly.
+    EXPECT_EQ(run.metric("ccr.pipe.stall.reuse.crb.validate"), 11u);
+    EXPECT_EQ(run.metric("ccr.pipe.stall.reuse.dtm.validate"), 7u);
+    // Unknown keys are 0, as before.
+    EXPECT_EQ(run.metric("ccr.pipe.stall.nonsense"), 0u);
+    // The shim works under the base-run prefix too.
+    obs::RunReport base;
+    base.metrics["base.pipe.stall.fetch.reuse.none.flush"] =
+        obs::Json(std::uint64_t{3});
+    EXPECT_EQ(base.metric("base.pipe.stall.fetch.reuseFlush"), 3u);
+}
+
+} // namespace

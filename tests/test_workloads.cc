@@ -110,10 +110,10 @@ TEST_P(WorkloadSuite, TransformPreservesSemanticsWithCrb)
             uarch::CrbParams params;
             params.entries = entries;
             params.instances = instances;
-            uarch::Crb crb(params);
+            const auto crb = uarch::makeCrbScheme(params);
             emu::Machine tm(*ccrw.module);
             ccrw.prepare(tm, workloads::InputSet::Ref);
-            tm.setReuseHandler(&crb);
+            tm.setReuseHandler(crb.get());
             tm.run();
             EXPECT_EQ(workloads::readOutputs(tm, ccrw), expect)
                 << GetParam() << " with " << entries << "x"

@@ -169,7 +169,9 @@ failureStage(const gen::DiffResult &r)
         return "crosscheck";
     if (!r.baseVsCcrOk)
         return "base-vs-ccr";
-    return "counters";
+    if (!r.countersOk)
+        return "counters";
+    return "cross-scheme";
 }
 
 /** Failure message with digits removed, so diagnostics that embed
@@ -267,6 +269,7 @@ cmdSweep(const std::vector<std::string> &args)
     // index parity).
     std::size_t failures = 0;
     std::uint64_t totalInsts = 0, totalQueries = 0, totalHits = 0;
+    std::uint64_t totalDtmQueries = 0, totalDtmHits = 0;
     std::size_t totalRegions = 0, kernelsWithRegions = 0;
     std::vector<gen::RegionSample> trainSamples, holdoutSamples;
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -296,6 +299,8 @@ cmdSweep(const std::vector<std::string> &args)
         totalInsts += r.dynInsts;
         totalQueries += r.crbQueries;
         totalHits += r.crbHits;
+        totalDtmQueries += r.dtmQueries;
+        totalDtmHits += r.dtmHits;
         totalRegions += r.regionsFormed;
         if (r.regionsFormed > 0)
             ++kernelsWithRegions;
@@ -307,7 +312,8 @@ cmdSweep(const std::vector<std::string> &args)
               << results.size() << " kernels passed, " << totalRegions
               << " regions formed across " << kernelsWithRegions
               << " kernels, " << totalHits << "/" << totalQueries
-              << " CRB hits/queries\n";
+              << " CRB hits/queries, " << totalDtmHits << "/"
+              << totalDtmQueries << " DTM hits/queries\n";
 
     // Fit + validate the static reuse-rate predictor.
     obs::Json bench = obs::Json::object();
@@ -320,6 +326,8 @@ cmdSweep(const std::vector<std::string> &args)
     bench["dynInsts"] = obs::Json(totalInsts);
     bench["crbQueries"] = obs::Json(totalQueries);
     bench["crbHits"] = obs::Json(totalHits);
+    bench["dtmQueries"] = obs::Json(totalDtmQueries);
+    bench["dtmHits"] = obs::Json(totalDtmHits);
 
     const auto queried = [](const std::vector<gen::RegionSample> &v) {
         std::size_t n = 0;

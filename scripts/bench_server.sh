@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Load-test the ccrd simulation server: start a throughput-tuned ccrd
+# (admission quotas raised so the token bucket does not throttle the
+# closed loop — quota conformance is ci_server.sh's job), drive it
+# with ccrload for a fixed wall-clock window, and write the
+# latency/throughput report (p50/p95/p99 per scheme plus a per-second
+# trajectory) to BENCH_server.json. See docs/SERVER.md.
+#
+# Usage: scripts/bench_server.sh <build-dir> [out-json]
+# Env:   CCR_SERVER_SECONDS      bench window (default 10)
+#        CCR_SERVER_CONNECTIONS  closed-loop clients (default 8)
+#        CCR_SERVER_SHARDS       ccrd worker shards (default 4)
+#        CCR_SERVER_JOBS         driver jobs per shard (default 2)
+set -euo pipefail
+
+build_dir=${1:?usage: bench_server.sh <build-dir> [out-json]}
+out=${2:-BENCH_server.json}
+seconds=${CCR_SERVER_SECONDS:-10}
+connections=${CCR_SERVER_CONNECTIONS:-8}
+shards=${CCR_SERVER_SHARDS:-4}
+jobs=${CCR_SERVER_JOBS:-2}
+
+ccrd="$build_dir/tools/ccrd"
+ccrload="$build_dir/tools/ccrload"
+[ -x "$ccrd" ] || { echo "not built: $ccrd" >&2; exit 1; }
+[ -x "$ccrload" ] || { echo "not built: $ccrload" >&2; exit 1; }
+
+port_file=$(mktemp)
+rm -f "$port_file"
+"$ccrd" --port-file "$port_file" --shards "$shards" --jobs "$jobs" \
+    --quota-rate 1000000 --quota-burst 1000000 &
+ccrd_pid=$!
+trap 'kill "$ccrd_pid" 2>/dev/null || true; rm -f "$port_file"' EXIT
+
+for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && break
+    kill -0 "$ccrd_pid" 2>/dev/null || { echo "ccrd died" >&2; exit 1; }
+    sleep 0.1
+done
+[ -s "$port_file" ] || { echo "ccrd wrote no port file" >&2; exit 1; }
+
+"$ccrload" --port-file "$port_file" --connections "$connections" \
+    --duration "$seconds" --schemes crb,dtm,none \
+    --out "$out" --shutdown
+
+wait "$ccrd_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$port_file"
+echo "bench_server: report in $out"

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Gate the ccrd simulation server. Two phases against two server
+# configurations:
+#
+#   1. Conformance — a default-quota ccrd takes a short smoke load
+#      plus the ccrload probe suite: inline admission accept, lint
+#      reject (pre-formed regions), parse reject, unknown-name
+#      reject, and a quota burst from a throwaway tenant that must
+#      trip the token bucket. Any admission bypass fails the build,
+#      and so does a quota probe that never gets throttled.
+#
+#   2. Throughput — a quota-raised ccrd takes the full closed-loop
+#      bench (scripts/bench_server.sh) and must sustain at least
+#      CCR_SERVER_MIN_RPS successful runs per second (default 1000).
+#      The report lands in <out-dir>/BENCH_server.json for artifact
+#      upload.
+#
+# Usage: scripts/ci_server.sh <build-dir> <out-dir>
+# Env:   CCR_SERVER_MIN_RPS        ok-RPS floor (default 1000)
+#        CCR_SERVER_BENCH_SECONDS  throughput window (default 10)
+set -euo pipefail
+
+build_dir=${1:?usage: ci_server.sh <build-dir> <out-dir>}
+out_dir=${2:?usage: ci_server.sh <build-dir> <out-dir>}
+min_rps=${CCR_SERVER_MIN_RPS:-1000}
+mkdir -p "$out_dir"
+
+ccrd="$build_dir/tools/ccrd"
+ccrload="$build_dir/tools/ccrload"
+[ -x "$ccrd" ] || { echo "not built: $ccrd" >&2; exit 1; }
+[ -x "$ccrload" ] || { echo "not built: $ccrload" >&2; exit 1; }
+
+# Flat scalar at nesting depth 2 of the (deterministic, 2-space
+# indented) report JSON: '    "key": value,'
+report_scalar() { # <json> <key>
+    sed -n "s/^    \"$2\": \([0-9.]*\).*/\1/p" "$1" | head -1
+}
+
+wait_port_file() { # <port-file> <pid>
+    for _ in $(seq 1 100); do
+        [ -s "$1" ] && return 0
+        kill -0 "$2" 2>/dev/null || { echo "ccrd died" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "ccrd wrote no port file" >&2
+    return 1
+}
+
+# -- phase 1: conformance against default admission limits ------------
+port_file="$out_dir/.ccrd_port"
+rm -f "$port_file"
+"$ccrd" --port-file "$port_file" --shards 2 --jobs 2 &
+ccrd_pid=$!
+trap 'kill "$ccrd_pid" 2>/dev/null || true; rm -f "$port_file"' EXIT
+wait_port_file "$port_file" "$ccrd_pid"
+
+conformance="$out_dir/server_conformance.json"
+"$ccrload" --port-file "$port_file" --connections 2 --requests 200 \
+    --check-admission --check-quota 600 --shutdown \
+    --out "$conformance"
+wait "$ccrd_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$port_file"
+
+bypasses=$(report_scalar "$conformance" "bypasses")
+quota_rejects=$(report_scalar "$conformance" "quota-rejects")
+[ "${bypasses:-1}" = 0 ] || {
+    echo "FAIL: $bypasses admission bypasses (see $conformance)" >&2
+    exit 1
+}
+[ "${quota_rejects:-0}" -gt 0 ] || {
+    echo "FAIL: quota burst was never throttled" >&2
+    exit 1
+}
+echo "ci_server: conformance OK (0 bypasses, $quota_rejects quota rejects)"
+
+# -- phase 2: sustained throughput ------------------------------------
+bench="$out_dir/BENCH_server.json"
+scripts/bench_server.sh "$build_dir" "$bench"
+
+ok_rps=$(report_scalar "$bench" "okRps")
+[ -n "$ok_rps" ] || { echo "no okRps in $bench" >&2; exit 1; }
+if awk -v a="$ok_rps" -v m="$min_rps" 'BEGIN { exit !(a < m) }'; then
+    echo "FAIL: $ok_rps ok-RPS is below the $min_rps floor" >&2
+    exit 1
+fi
+echo "ci_server: throughput OK ($ok_rps ok-RPS >= $min_rps)"

@@ -11,42 +11,7 @@ std::uint64_t
 RunReport::metric(const std::string &name) const
 {
     const Json &v = metrics.at(name);
-    if (v.isNumber())
-        return v.asUint();
-
-    // One-release compatibility shim: old CRB-era stall keys resolve
-    // to the scheme-namespaced keys that replaced them. Works under
-    // any prefix ("ccr.pipe.stall.reuseValidate" etc.); sums across
-    // every scheme namespace present so callers need not know which
-    // scheme ran.
-    static const char *kSchemes[] = {"crb", "dtm", "none"};
-    const auto suffix_match = [&](const std::string &suffix,
-                                  std::string *head) {
-        if (name.size() < suffix.size()
-            || name.compare(name.size() - suffix.size(), suffix.size(),
-                            suffix)
-                   != 0)
-            return false;
-        *head = name.substr(0, name.size() - suffix.size());
-        return true;
-    };
-    std::string head;
-    std::string stem;
-    if (suffix_match("pipe.stall.reuseValidate", &head))
-        stem = "pipe.stall.reuse.";
-    else if (suffix_match("pipe.stall.fetch.reuseFlush", &head))
-        stem = "pipe.stall.fetch.reuse.";
-    else
-        return 0;
-    const std::string leaf =
-        stem == "pipe.stall.reuse." ? ".validate" : ".flush";
-    std::uint64_t total = 0;
-    for (const char *scheme : kSchemes) {
-        const Json &nv = metrics.at(head + stem + scheme + leaf);
-        if (nv.isNumber())
-            total += nv.asUint();
-    }
-    return total;
+    return v.isNumber() ? v.asUint() : 0;
 }
 
 Json

@@ -91,18 +91,8 @@ struct RunReport
     /** Per-region attribution: array of objects sorted by region id. */
     Json regions = Json::array();
 
-    /**
-     * Scalar metric lookup: `metrics[name]` as uint64, 0 when the
-     * key is absent or not a number.
-     *
-     * Compatibility shim (one release): the pre-scheme stall keys
-     * `...pipe.stall.reuseValidate` and
-     * `...pipe.stall.fetch.reuseFlush` resolve to their
-     * scheme-namespaced successors
-     * (`...pipe.stall.reuse.<scheme>.validate` /
-     * `...pipe.stall.fetch.reuse.<scheme>.flush`, summed across
-     * schemes present).
-     */
+    /** Scalar metric lookup: `metrics[name]` as uint64, 0 when the
+     *  key is absent or not a number. */
     std::uint64_t metric(const std::string &name) const;
 
     /** Hits attributed to region @p id in the per-region array; 0

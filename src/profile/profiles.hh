@@ -138,6 +138,13 @@ struct ProfileData
     /** Total dynamic instructions in the profiled run. */
     std::uint64_t totalDynamicInsts = 0;
 
+    /** False when the profiled run was cut off by its instruction
+     *  budget before halting (the profile is then partial). Callers
+     *  that need a complete training pass must check this —
+     *  the experiment harness turns it into a fatal error or a
+     *  structured incomplete result per RunConfig::budgetFatal. */
+    bool completed = true;
+
     const InstProfile *
     instProfile(ir::FuncId f, ir::InstUid uid) const
     {

@@ -1,0 +1,199 @@
+#include "server/admission.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "ir/module.hh"
+#include "lint/lint.hh"
+#include "text/parser.hh"
+#include "workloads/corpus.hh"
+#include "workloads/harness.hh"
+
+namespace ccr::server
+{
+
+namespace
+{
+
+double
+monotonicSeconds()
+{
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::uint64_t
+fnv1a(std::string_view bytes)
+{
+    std::uint64_t hash = 0xcbf2'9ce4'8422'2325ULL;
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 0x100'0000'01b3ULL;
+    }
+    return hash;
+}
+
+bool
+moduleHasReuse(const ir::Module &mod)
+{
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
+        for (const auto &bb : mod.function(f).blocks()) {
+            for (const auto &inst : bb.insts()) {
+                if (inst.op == ir::Opcode::Reuse)
+                    return true;
+            }
+        }
+    }
+    return false;
+}
+
+AdmissionResult
+reject(std::string reason, std::vector<ir::Diagnostic> diags)
+{
+    AdmissionResult r;
+    r.admitted = false;
+    r.reason = std::move(reason);
+    r.diagnostics = std::move(diags);
+    return r;
+}
+
+} // namespace
+
+AdmissionController::AdmissionController(AdmissionLimits limits,
+                                         Clock clock)
+    : limits_(limits),
+      clock_(clock ? std::move(clock) : Clock(monotonicSeconds))
+{
+}
+
+bool
+AdmissionController::admitQuota(const std::string &tenant,
+                                double tokens,
+                                std::vector<ir::Diagnostic> &diags)
+{
+    const double now = clock_();
+    std::lock_guard lock(mutex_);
+    Bucket &bucket = buckets_[tenant];
+    if (!bucket.initialized) {
+        bucket.tokens = limits_.quotaBurst;
+        bucket.lastRefill = now;
+        bucket.initialized = true;
+    }
+    const double elapsed = std::max(0.0, now - bucket.lastRefill);
+    bucket.tokens = std::min(limits_.quotaBurst,
+                             bucket.tokens
+                                 + elapsed * limits_.quotaRatePerSec);
+    bucket.lastRefill = now;
+    if (bucket.tokens + 1e-9 < tokens) {
+        diags.push_back(ir::makeError(
+            "server.quota.exceeded",
+            "tenant \"" + tenant + "\" is over its run quota ("
+                + std::to_string(tokens) + " requested)"));
+        return false;
+    }
+    bucket.tokens -= tokens;
+    return true;
+}
+
+AdmissionResult
+AdmissionController::admitInline(const std::string &source,
+                                 const std::string &display)
+{
+    if (source.size() > limits_.maxSourceBytes) {
+        return reject(
+            "server.admission.source",
+            {ir::makeError("server.admission.source",
+                           display + ": inline source too large ("
+                               + std::to_string(source.size())
+                               + " bytes > "
+                               + std::to_string(
+                                   limits_.maxSourceBytes)
+                               + ")")});
+    }
+
+    text::ParseResult parsed = text::parseModule(source);
+    if (!parsed.ok())
+        return reject("server.admission.parse",
+                      std::move(parsed.errors));
+
+    if (moduleHasReuse(*parsed.module)) {
+        // Untrusted clients don't get to assert region claims; the
+        // lint audits whatever they submitted and its findings ride
+        // along in the rejection.
+        std::vector<ir::Diagnostic> diags;
+        diags.push_back(ir::makeError(
+            "server.admission.preformed",
+            display
+                + ": inline submissions must not carry preformed "
+                  "reuse regions (the server derives its own)"));
+        std::vector<ir::Diagnostic> region_diags;
+        core::RegionTable table = lint::regionsFromSource(
+            *parsed.module, parsed.pragmas, region_diags);
+        for (auto &d : region_diags)
+            diags.push_back(std::move(d));
+        lint::LintResult audit = lint::lintModule(
+            *parsed.module, table, &parsed.instLocs);
+        for (auto &d : audit.diagnostics)
+            diags.push_back(std::move(d));
+        return reject("server.admission.preformed",
+                      std::move(diags));
+    }
+
+    std::vector<std::string> build_errors;
+    auto workload =
+        workloads::buildWorkloadFromText(source, display,
+                                         build_errors);
+    if (!workload) {
+        std::vector<ir::Diagnostic> diags;
+        for (auto &e : build_errors)
+            diags.push_back(
+                ir::makeError("server.admission.workload",
+                              std::move(e)));
+        return reject("server.admission.workload",
+                      std::move(diags));
+    }
+
+    const std::uint64_t content = fnv1a(source);
+    {
+        std::lock_guard lock(mutex_);
+        if (admitted_.count({workload->name, content})) {
+            AdmissionResult r;
+            r.admitted = true;
+            r.name = workload->name;
+            return r;
+        }
+    }
+
+    // Full audit: compile + profile + form + lint on a throwaway
+    // build, under the reduced admission budget.
+    workloads::WorkloadLintResult audit = workloads::lintWorkload(
+        *workload, {}, /*run_crosscheck=*/false,
+        limits_.lintMaxInsts);
+    if (!audit.ok())
+        return reject("server.admission.lint",
+                      std::move(audit.lint.diagnostics));
+
+    workloads::RegisterTextResult reg =
+        workloads::registerWorkloadTextStructured(source, display);
+    if (!reg.ok())
+        return reject("server.admission.workload",
+                      std::move(reg.diagnostics));
+
+    AdmissionResult r;
+    r.admitted = true;
+    r.name = reg.name;
+    std::lock_guard lock(mutex_);
+    admitted_.insert({r.name, content});
+    admittedNames_.insert(r.name);
+    return r;
+}
+
+bool
+AdmissionController::isAdmitted(const std::string &name) const
+{
+    std::lock_guard lock(mutex_);
+    return admittedNames_.count(name) > 0;
+}
+
+} // namespace ccr::server

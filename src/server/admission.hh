@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Admission control for the `ccrd` server: everything that stands
+ * between an untrusted request and the simulation core.
+ *
+ * Three gates, applied in order:
+ *
+ *  1. **Quota** — a per-tenant token bucket (rate + burst) charged one
+ *     token per requested run. Tenants over budget get a structured
+ *     "server.quota.exceeded" rejection before any parsing or
+ *     simulation work happens on their behalf.
+ *
+ *  2. **Budget** — every run's `maxInsts` is clamped to the server's
+ *     instruction-budget cap, sandboxing runaway kernels; the clamp is
+ *     visible in the returned report's config snapshot.
+ *
+ *  3. **Inline audit** — inline `.lc` source must parse, must not
+ *     carry preformed `reuse` regions (region claims are the server's
+ *     to derive, not the client's to assert — a submitted claim is
+ *     audited with the lint and rejected), must build into a runnable
+ *     workload, and must pass the full compile + profile + region-form
+ *     + lint pipeline (`workloads::lintWorkload`) under a reduced
+ *     instruction budget before it is registered and runnable.
+ *
+ * Admission is the only path by which a name becomes runnable: the
+ * server starts from a snapshot of the built-in corpus and extends it
+ * solely through admitInline, so a rejected submission can never be
+ * reached by a later named request (zero-bypass property; see
+ * docs/SERVER.md).
+ */
+
+#ifndef CCR_SERVER_ADMISSION_HH
+#define CCR_SERVER_ADMISSION_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/diagnostic.hh"
+
+namespace ccr::server
+{
+
+/** Tunable admission limits (ccrd flags map onto these). */
+struct AdmissionLimits
+{
+    /** Hard per-run instruction-budget ceiling; requested maxInsts is
+     *  clamped to this. */
+    std::uint64_t maxInstsCap = 50'000'000ULL;
+
+    /** Token-bucket refill rate, runs/second/tenant. */
+    double quotaRatePerSec = 200.0;
+
+    /** Token-bucket capacity (burst), runs/tenant. */
+    double quotaBurst = 400.0;
+
+    /** Largest accepted inline `.lc` submission. */
+    std::size_t maxSourceBytes = 256u << 10;
+
+    /** Instruction budget for the admission-time audit runs (profile
+     *  + lint cross-checks) of an inline submission. */
+    std::uint64_t lintMaxInsts = 20'000'000ULL;
+};
+
+/** Outcome of an inline-source admission check. */
+struct AdmissionResult
+{
+    bool admitted = false;
+
+    /** Registered workload name (valid when admitted). */
+    std::string name;
+
+    /** Rejection reason id mirrored into the response "reason"
+     *  field: server.admission.{source,parse,preformed,workload,lint}
+     */
+    std::string reason;
+
+    std::vector<ir::Diagnostic> diagnostics;
+};
+
+/**
+ * The admission gatekeeper. Thread-safe: connection handlers on many
+ * threads consult one shared instance.
+ */
+class AdmissionController
+{
+  public:
+    /** Monotonic-seconds clock; injectable so quota tests don't
+     *  sleep. */
+    using Clock = std::function<double()>;
+
+    explicit AdmissionController(AdmissionLimits limits,
+                                 Clock clock = {});
+
+    const AdmissionLimits &limits() const { return limits_; }
+
+    /**
+     * Charge @p tokens runs against @p tenant's bucket. False (with a
+     * "server.quota.exceeded" diagnostic) when the bucket cannot
+     * cover them; partial charges never happen.
+     */
+    bool admitQuota(const std::string &tenant, double tokens,
+                    std::vector<ir::Diagnostic> &diags);
+
+    /** Clamp a requested per-run instruction budget to the cap. */
+    std::uint64_t
+    clampBudget(std::uint64_t requested) const
+    {
+        return requested == 0 ? limits_.maxInstsCap
+                              : std::min(requested,
+                                         limits_.maxInstsCap);
+    }
+
+    /**
+     * Full inline-source gate (size, parse, preformed-region audit,
+     * build, lint, register). Idempotent: resubmitting an
+     * already-admitted (name, source) pair succeeds without
+     * re-linting.
+     */
+    AdmissionResult admitInline(const std::string &source,
+                                const std::string &display);
+
+    /** True when @p name was admitted through admitInline. */
+    bool isAdmitted(const std::string &name) const;
+
+  private:
+    AdmissionLimits limits_;
+    Clock clock_;
+
+    struct Bucket
+    {
+        double tokens = 0.0;
+        double lastRefill = 0.0;
+        bool initialized = false;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Bucket> buckets_;
+
+    /** (name, content-hash) pairs that already cleared the gate. */
+    std::set<std::pair<std::string, std::uint64_t>> admitted_;
+    std::set<std::string> admittedNames_;
+};
+
+} // namespace ccr::server
+
+#endif // CCR_SERVER_ADMISSION_HH

@@ -1,0 +1,139 @@
+#include "server/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace ccr::server
+{
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), status_(other.status_)
+{
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        status_ = other.status_;
+    }
+    return *this;
+}
+
+bool
+Client::connectTo(std::uint16_t port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        close();
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    status_ = FrameStatus::Ok;
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::sendJson(const obs::Json &json)
+{
+    return connected() && writeFrame(fd_, json.dump());
+}
+
+bool
+Client::sendRaw(std::string_view bytes)
+{
+    if (!connected())
+        return false;
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::send(fd_, bytes.data() + off,
+                           bytes.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::optional<obs::Json>
+Client::readJson()
+{
+    if (!connected())
+        return std::nullopt;
+    std::string payload;
+    status_ = readFrame(fd_, kDefaultMaxFrameBytes, payload);
+    if (status_ != FrameStatus::Ok)
+        return std::nullopt;
+    return obs::Json::parse(payload);
+}
+
+std::vector<obs::Json>
+Client::call(const obs::Json &request, std::size_t max_frames)
+{
+    std::vector<obs::Json> frames;
+    if (!sendJson(request))
+        return frames;
+    const bool streaming =
+        request.at("type").asString() == "run";
+    while (frames.size() < max_frames) {
+        auto frame = readJson();
+        if (!frame)
+            break;
+        const std::string type = frame->at("type").asString();
+        frames.push_back(std::move(*frame));
+        if (!streaming || type == "done" || type == "error")
+            break;
+    }
+    return frames;
+}
+
+obs::Json
+Client::makeRequest(std::string_view type, std::string_view tenant)
+{
+    obs::Json schema = obs::Json::object();
+    schema["name"] = kRequestSchemaName;
+    schema["version"] = kProtocolVersion;
+    obs::Json out = obs::Json::object();
+    out["schema"] = std::move(schema);
+    out["type"] = std::string(type);
+    if (!tenant.empty())
+        out["tenant"] = std::string(tenant);
+    return out;
+}
+
+} // namespace ccr::server

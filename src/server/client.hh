@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal blocking client for the `ccrd` protocol, shared by the
+ * `ccrload` bench harness and the server tests. One Client is one
+ * TCP connection; it is not thread-safe — closed-loop load drivers
+ * use one Client per connection thread.
+ */
+
+#ifndef CCR_SERVER_CLIENT_HH
+#define CCR_SERVER_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hh"
+#include "server/protocol.hh"
+
+namespace ccr::server
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+
+    /** Connect to 127.0.0.1:@p port. False on failure. */
+    bool connectTo(std::uint16_t port);
+
+    void close();
+    bool connected() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Frame and send one JSON request. */
+    bool sendJson(const obs::Json &json);
+
+    /** Send raw bytes verbatim — protocol-abuse tests forge bad
+     *  frames with this. */
+    bool sendRaw(std::string_view bytes);
+
+    /** Read one response frame; nullopt on close/error/bad JSON
+     *  (status() says which). */
+    std::optional<obs::Json> readJson();
+
+    FrameStatus status() const { return status_; }
+
+    /**
+     * Send @p request and collect response frames until the request
+     * terminates: a "done" or "error" frame for run requests, any
+     * frame for the single-response verbs. Returns every frame in
+     * arrival order; empty on transport failure.
+     */
+    std::vector<obs::Json> call(const obs::Json &request,
+                                std::size_t max_frames = 4096);
+
+    /** Build the common {"schema": ..., "type": ...} request
+     *  skeleton. */
+    static obs::Json makeRequest(std::string_view type,
+                                 std::string_view tenant = {});
+
+  private:
+    int fd_ = -1;
+    FrameStatus status_ = FrameStatus::Ok;
+};
+
+} // namespace ccr::server
+
+#endif // CCR_SERVER_CLIENT_HH

@@ -1,0 +1,592 @@
+#include "server/protocol.hh"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "reuse/factory.hh"
+
+namespace ccr::server
+{
+
+namespace
+{
+
+/** Receive exactly @p len bytes; false on EOF or error (errno set by
+ *  recv on error, 0 on clean EOF). */
+bool
+recvAll(int fd, void *buf, std::size_t len)
+{
+    auto *p = static_cast<char *>(buf);
+    while (len > 0) {
+        ssize_t n = ::recv(fd, p, len, 0);
+        if (n == 0) {
+            errno = 0;
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+sendAll(int fd, const void *buf, std::size_t len)
+{
+    const auto *p = static_cast<const char *>(buf);
+    while (len > 0) {
+        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+ir::Diagnostic
+protoError(std::string rule, std::string message)
+{
+    return ir::makeError(std::move(rule), std::move(message));
+}
+
+/** Strict field reader: every request key must be consumed exactly
+ *  once; leftovers are "proto.request.unknown-key" errors. */
+class FieldReader
+{
+  public:
+    FieldReader(const obs::Json &obj, std::string context,
+                std::vector<ir::Diagnostic> &diags)
+        : obj_(obj), context_(std::move(context)), diags_(diags)
+    {
+    }
+
+    const obs::Json *
+    take(const std::string &key)
+    {
+        seen_.push_back(key);
+        auto it = obj_.fields().find(key);
+        return it == obj_.fields().end() ? nullptr : &it->second;
+    }
+
+    bool
+    string(const std::string &key, std::string &out)
+    {
+        const obs::Json *v = take(key);
+        if (!v)
+            return true;
+        if (!v->isString()) {
+            typeError(key, "a string");
+            return false;
+        }
+        out = v->asString();
+        return true;
+    }
+
+    bool
+    boolean(const std::string &key, bool &out)
+    {
+        const obs::Json *v = take(key);
+        if (!v)
+            return true;
+        if (!v->isBool()) {
+            typeError(key, "a bool");
+            return false;
+        }
+        out = v->asBool();
+        return true;
+    }
+
+    bool
+    uint64(const std::string &key, std::uint64_t &out)
+    {
+        const obs::Json *v = take(key);
+        if (!v)
+            return true;
+        if (!v->isNumber() || v->asDouble() < 0) {
+            typeError(key, "a non-negative integer");
+            return false;
+        }
+        out = v->asUint();
+        return true;
+    }
+
+    bool
+    intPositive(const std::string &key, int &out)
+    {
+        const obs::Json *v = take(key);
+        if (!v)
+            return true;
+        if (!v->isNumber() || v->asInt() <= 0) {
+            typeError(key, "a positive integer");
+            return false;
+        }
+        out = static_cast<int>(v->asInt());
+        return true;
+    }
+
+    bool
+    fraction(const std::string &key, double &out)
+    {
+        const obs::Json *v = take(key);
+        if (!v)
+            return true;
+        if (!v->isNumber() || v->asDouble() < 0.0
+            || v->asDouble() > 1.0) {
+            typeError(key, "a number in [0, 1]");
+            return false;
+        }
+        out = v->asDouble();
+        return true;
+    }
+
+    /** Call last: flags every key not consumed by a take()/typed
+     *  reader. */
+    bool
+    finish()
+    {
+        bool ok = true;
+        for (const auto &[key, value] : obj_.fields()) {
+            (void)value;
+            bool known = false;
+            for (const auto &s : seen_)
+                if (s == key)
+                    known = true;
+            if (!known) {
+                diags_.push_back(protoError(
+                    "proto.request.unknown-key",
+                    context_ + ": unknown key \"" + key + "\""));
+                ok = false;
+            }
+        }
+        return ok;
+    }
+
+  private:
+    void
+    typeError(const std::string &key, const char *expected)
+    {
+        diags_.push_back(protoError("proto.request.bad-type",
+                                    context_ + ": \"" + key
+                                        + "\" must be "
+                                        + expected));
+    }
+
+    const obs::Json &obj_;
+    std::string context_;
+    std::vector<ir::Diagnostic> &diags_;
+    std::vector<std::string> seen_;
+};
+
+bool
+parseInputSet(const std::string &text, workloads::InputSet &out)
+{
+    if (text == "train") {
+        out = workloads::InputSet::Train;
+        return true;
+    }
+    if (text == "ref") {
+        out = workloads::InputSet::Ref;
+        return true;
+    }
+    return false;
+}
+
+const char *
+inputSetName(workloads::InputSet set)
+{
+    return set == workloads::InputSet::Ref ? "ref" : "train";
+}
+
+bool
+parseRunSpec(const obs::Json &json, std::size_t index, RunSpec &out,
+             std::vector<ir::Diagnostic> &diags)
+{
+    std::ostringstream ctx;
+    ctx << "runs[" << index << "]";
+    const std::string context = ctx.str();
+
+    if (!json.isObject()) {
+        diags.push_back(protoError("proto.request.bad-type",
+                                   context + " must be an object"));
+        return false;
+    }
+
+    FieldReader r(json, context, diags);
+    bool ok = true;
+    ok &= r.string("workload", out.workload);
+    ok &= r.string("source", out.source);
+    ok &= r.string("display", out.display);
+
+    std::string scheme_text;
+    ok &= r.string("scheme", scheme_text);
+    if (!scheme_text.empty()) {
+        auto kind = reuse::parseSchemeKind(scheme_text);
+        if (!kind) {
+            diags.push_back(protoError(
+                "proto.request.bad-scheme",
+                context + ": unknown scheme \"" + scheme_text
+                    + "\" (want crb|dtm|none)"));
+            ok = false;
+        } else {
+            out.config.scheme = *kind;
+        }
+    }
+
+    const std::pair<const char *, workloads::InputSet *> inputs[] = {
+        {"profileInput", &out.config.profileInput},
+        {"measureInput", &out.config.measureInput},
+    };
+    for (const auto &[key, member] : inputs) {
+        std::string text;
+        ok &= r.string(key, text);
+        if (!text.empty() && !parseInputSet(text, *member)) {
+            diags.push_back(protoError(
+                "proto.request.bad-input-set",
+                context + ": \"" + key + "\" must be train|ref"));
+            ok = false;
+        }
+    }
+
+    ok &= r.boolean("optimizeBase", out.config.optimizeBase);
+    ok &= r.uint64("maxInsts", out.config.maxInsts);
+
+    if (const obs::Json *crb = r.take("crb")) {
+        if (!crb->isObject()) {
+            diags.push_back(protoError("proto.request.bad-type",
+                                       context
+                                           + ": \"crb\" must be an "
+                                             "object"));
+            ok = false;
+        } else {
+            FieldReader c(*crb, context + ".crb", diags);
+            ok &= c.intPositive("entries", out.config.crb.entries);
+            ok &= c.intPositive("instances",
+                                out.config.crb.instances);
+            ok &= c.intPositive("assoc", out.config.crb.assoc);
+            ok &= c.intPositive("bankSize", out.config.crb.bankSize);
+            ok &= c.fraction("memCapableFraction",
+                             out.config.crb.memCapableFraction);
+            ok &= c.fraction("nonuniformSplit",
+                             out.config.crb.nonuniformSplit);
+            ok &= c.intPositive(
+                "nonuniformSmallInstances",
+                out.config.crb.nonuniformSmallInstances);
+            ok &= c.finish();
+        }
+    }
+
+    if (const obs::Json *dtm = r.take("dtm")) {
+        if (!dtm->isObject()) {
+            diags.push_back(protoError("proto.request.bad-type",
+                                       context
+                                           + ": \"dtm\" must be an "
+                                             "object"));
+            ok = false;
+        } else {
+            FieldReader d(*dtm, context + ".dtm", diags);
+            ok &= d.intPositive("maxTraces",
+                                out.config.dtm.maxTraces);
+            ok &= d.intPositive("tracesPerRegion",
+                                out.config.dtm.tracesPerRegion);
+            ok &= d.intPositive("maxRegInputs",
+                                out.config.dtm.maxRegInputs);
+            ok &= d.intPositive("maxMemInputs",
+                                out.config.dtm.maxMemInputs);
+            ok &= d.intPositive("maxOutputs",
+                                out.config.dtm.maxOutputs);
+            ok &= d.finish();
+        }
+    }
+
+    ok &= r.finish();
+
+    const bool named = !out.workload.empty();
+    const bool inline_src = !out.source.empty();
+    if (named == inline_src) {
+        diags.push_back(protoError(
+            "proto.request.workload",
+            context
+                + ": exactly one of \"workload\" and \"source\" is "
+                  "required"));
+        ok = false;
+    }
+    if (out.display.empty())
+        out.display = named ? out.workload : "<inline>";
+    return ok;
+}
+
+} // namespace
+
+const char *
+frameStatusName(FrameStatus status)
+{
+    switch (status) {
+    case FrameStatus::Ok:
+        return "ok";
+    case FrameStatus::Closed:
+        return "closed";
+    case FrameStatus::Truncated:
+        return "truncated";
+    case FrameStatus::Oversized:
+        return "oversized";
+    case FrameStatus::BadLength:
+        return "bad-length";
+    case FrameStatus::IoError:
+        return "io-error";
+    }
+    return "unknown";
+}
+
+FrameStatus
+readFrame(int fd, std::size_t max_bytes, std::string &payload)
+{
+    unsigned char header[4];
+    ssize_t n = ::recv(fd, header, 1, 0);
+    if (n == 0)
+        return FrameStatus::Closed;
+    if (n < 0)
+        return errno == EINTR ? readFrame(fd, max_bytes, payload)
+                              : FrameStatus::IoError;
+    if (!recvAll(fd, header + 1, 3))
+        return errno == 0 ? FrameStatus::Truncated
+                          : FrameStatus::IoError;
+
+    std::uint32_t len = (std::uint32_t(header[0]) << 24)
+                        | (std::uint32_t(header[1]) << 16)
+                        | (std::uint32_t(header[2]) << 8)
+                        | std::uint32_t(header[3]);
+    if (len == 0)
+        return FrameStatus::BadLength;
+    if (len > max_bytes)
+        return FrameStatus::Oversized;
+
+    payload.resize(len);
+    if (!recvAll(fd, payload.data(), len))
+        return errno == 0 ? FrameStatus::Truncated
+                          : FrameStatus::IoError;
+    return FrameStatus::Ok;
+}
+
+bool
+writeFrame(int fd, std::string_view payload)
+{
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(payload.size());
+    // One buffer, one send: keeps a frame in a single segment on
+    // loopback and avoids a Nagle stall between header and payload.
+    std::string buf;
+    buf.reserve(payload.size() + 4);
+    buf.push_back(static_cast<char>(len >> 24));
+    buf.push_back(static_cast<char>(len >> 16));
+    buf.push_back(static_cast<char>(len >> 8));
+    buf.push_back(static_cast<char>(len));
+    buf.append(payload);
+    return sendAll(fd, buf.data(), buf.size());
+}
+
+bool
+parseRequest(const obs::Json &json, std::size_t max_runs,
+             Request &out, std::vector<ir::Diagnostic> &diags)
+{
+    if (!json.isObject()) {
+        diags.push_back(protoError("proto.request.bad-type",
+                                   "request must be an object"));
+        return false;
+    }
+
+    FieldReader r(json, "request", diags);
+
+    const obs::Json *schema = r.take("schema");
+    if (!schema || !schema->isObject()) {
+        diags.push_back(
+            protoError("proto.schema.missing",
+                       "request needs a \"schema\" object"));
+        return false;
+    }
+    if (schema->at("name").asString() != kRequestSchemaName) {
+        diags.push_back(protoError(
+            "proto.schema.name",
+            "schema name must be \"" + std::string(kRequestSchemaName)
+                + "\""));
+        return false;
+    }
+    const obs::Json &version = schema->at("version");
+    if (!version.isNumber()
+        || version.asInt() != kProtocolVersion) {
+        std::ostringstream msg;
+        msg << "unsupported schema version (server speaks "
+            << kProtocolVersion << ")";
+        diags.push_back(
+            protoError("proto.schema.version", msg.str()));
+        return false;
+    }
+
+    std::string type_text = "run";
+    if (!r.string("type", type_text))
+        return false;
+    if (type_text == "run")
+        out.type = RequestType::Run;
+    else if (type_text == "list")
+        out.type = RequestType::List;
+    else if (type_text == "metrics")
+        out.type = RequestType::Metrics;
+    else if (type_text == "shutdown")
+        out.type = RequestType::Shutdown;
+    else {
+        diags.push_back(protoError("proto.request.type",
+                                   "unknown request type \""
+                                       + type_text + "\""));
+        return false;
+    }
+
+    if (!r.string("tenant", out.tenant))
+        return false;
+    if (out.tenant.empty()) {
+        diags.push_back(protoError("proto.request.tenant",
+                                   "tenant must be non-empty"));
+        return false;
+    }
+
+    bool ok = true;
+    const obs::Json *runs = r.take("runs");
+    if (out.type == RequestType::Run) {
+        if (!runs || !runs->isArray() || runs->items().empty()) {
+            diags.push_back(protoError(
+                "proto.request.runs",
+                "\"run\" request needs a non-empty \"runs\" array"));
+            return false;
+        }
+        if (runs->items().size() > max_runs) {
+            std::ostringstream msg;
+            msg << "too many runs in one request ("
+                << runs->items().size() << " > " << max_runs << ")";
+            diags.push_back(
+                protoError("proto.request.runs", msg.str()));
+            return false;
+        }
+        out.runs.resize(runs->items().size());
+        for (std::size_t i = 0; i < runs->items().size(); ++i)
+            ok &= parseRunSpec(runs->items()[i], i, out.runs[i],
+                               diags);
+    } else if (runs) {
+        diags.push_back(protoError(
+            "proto.request.runs",
+            "\"runs\" is only valid on \"run\" requests"));
+        ok = false;
+    }
+
+    ok &= r.finish();
+    return ok;
+}
+
+obs::Json
+responseHeader(std::string_view type)
+{
+    obs::Json schema = obs::Json::object();
+    schema["name"] = kResponseSchemaName;
+    schema["version"] = kProtocolVersion;
+    obs::Json out = obs::Json::object();
+    out["schema"] = std::move(schema);
+    out["type"] = std::string(type);
+    return out;
+}
+
+obs::Json
+errorResponse(std::string_view reason,
+              const std::vector<ir::Diagnostic> &diags)
+{
+    obs::Json out = responseHeader("error");
+    out["reason"] = std::string(reason);
+    out["diagnostics"] = ir::diagnosticsToJson(diags);
+    return out;
+}
+
+obs::Json
+runResponse(std::size_t index, const std::string &workload,
+            bool cached, double server_millis, obs::Json run_report)
+{
+    obs::Json out = responseHeader("run");
+    out["index"] = static_cast<std::uint64_t>(index);
+    out["workload"] = workload;
+    out["cached"] = cached;
+    out["serverMillis"] = server_millis;
+    out["run"] = std::move(run_report);
+    return out;
+}
+
+obs::Json
+runErrorResponse(std::size_t index, const std::string &workload,
+                 std::string_view reason,
+                 const std::vector<ir::Diagnostic> &diags)
+{
+    obs::Json error = obs::Json::object();
+    error["reason"] = std::string(reason);
+    error["diagnostics"] = ir::diagnosticsToJson(diags);
+
+    obs::Json out = responseHeader("run");
+    out["index"] = static_cast<std::uint64_t>(index);
+    out["workload"] = workload;
+    out["error"] = std::move(error);
+    return out;
+}
+
+obs::Json
+doneResponse(std::size_t requested, std::size_t completed,
+             std::size_t rejected, double millis)
+{
+    obs::Json out = responseHeader("done");
+    out["requested"] = static_cast<std::uint64_t>(requested);
+    out["completed"] = static_cast<std::uint64_t>(completed);
+    out["rejected"] = static_cast<std::uint64_t>(rejected);
+    out["millis"] = millis;
+    return out;
+}
+
+std::string
+runSignature(const std::string &workload,
+             const workloads::RunConfig &config)
+{
+    std::ostringstream os;
+    os << workload << '|'
+       << reuse::schemeKindName(config.scheme) << '|'
+       << inputSetName(config.profileInput) << '|'
+       << inputSetName(config.measureInput) << '|'
+       << (config.optimizeBase ? 1 : 0) << '|' << config.maxInsts
+       << "|crb:" << config.crb.entries << ','
+       << config.crb.instances << ',' << config.crb.assoc << ','
+       << config.crb.bankSize << ','
+       << config.crb.memCapableFraction << ','
+       << config.crb.nonuniformSplit << ','
+       << config.crb.nonuniformSmallInstances
+       << "|dtm:" << config.dtm.maxTraces << ','
+       << config.dtm.tracesPerRegion << ','
+       << config.dtm.maxRegInputs << ',' << config.dtm.maxMemInputs
+       << ',' << config.dtm.maxOutputs;
+    return os.str();
+}
+
+std::string
+batchKey(const std::string &workload,
+         const workloads::RunConfig &config)
+{
+    std::ostringstream os;
+    os << workload << '|' << (config.optimizeBase ? 1 : 0) << '|'
+       << inputSetName(config.profileInput) << '|'
+       << inputSetName(config.measureInput) << '|'
+       << config.maxInsts;
+    return os.str();
+}
+
+} // namespace ccr::server

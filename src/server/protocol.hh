@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Wire protocol of the `ccrd` simulation server: length-prefixed JSON
+ * frames over a stream socket, schema-versioned in both directions
+ * (see docs/SERVER.md for the full grammar).
+ *
+ * A frame is a 4-byte big-endian payload length followed by that many
+ * bytes of UTF-8 JSON. Frames the peer declares longer than the
+ * receiver's limit are rejected before any payload is read, so a
+ * hostile length prefix cannot force an allocation.
+ *
+ * A request ("ccr.request" v1) is either an admin verb (`list`,
+ * `metrics`, `shutdown`) or a `run` batch: up to maxRunsPerRequest
+ * run specs, each naming a registered workload or carrying inline
+ * `.lc` source, plus run parameters (scheme, CRB/DTM geometry,
+ * input sets, `maxInsts` cap). Responses ("ccr.response" v1) stream
+ * back one frame per completed or rejected run — in completion
+ * order, tagged with the request-local `index` — followed by one
+ * `done` frame. Protocol-level failures produce a single `error`
+ * frame carrying structured ir::Diagnostic JSON.
+ */
+
+#ifndef CCR_SERVER_PROTOCOL_HH
+#define CCR_SERVER_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/diagnostic.hh"
+#include "obs/json.hh"
+#include "workloads/harness.hh"
+
+namespace ccr::server
+{
+
+constexpr const char *kRequestSchemaName = "ccr.request";
+constexpr const char *kResponseSchemaName = "ccr.response";
+constexpr int kProtocolVersion = 1;
+
+/** Default cap on a single frame's payload (inline `.lc` sources are
+ *  the big case; 4 MiB is ~40x the largest corpus kernel). */
+constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
+
+// -- Framing ----------------------------------------------------------
+
+enum class FrameStatus
+{
+    Ok,        ///< payload read completely
+    Closed,    ///< peer closed cleanly at a frame boundary
+    Truncated, ///< peer closed mid-header or mid-payload
+    Oversized, ///< declared length exceeds the receiver's limit
+    BadLength, ///< declared length is zero
+    IoError,   ///< recv/send failed
+};
+
+const char *frameStatusName(FrameStatus status);
+
+/** Read one frame from @p fd (blocking). On Ok, @p payload holds the
+ *  JSON text. Oversized/BadLength return before reading any payload
+ *  byte — the stream position is then unrecoverable and the
+ *  connection must be dropped after an optional error frame. */
+FrameStatus readFrame(int fd, std::size_t max_bytes,
+                      std::string &payload);
+
+/** Write one frame (blocking, SIGPIPE-safe). False when the peer is
+ *  gone or the write fails. */
+bool writeFrame(int fd, std::string_view payload);
+
+// -- Requests ---------------------------------------------------------
+
+enum class RequestType
+{
+    Run,      ///< execute a batch of run specs
+    List,     ///< report the runnable workload names
+    Metrics,  ///< report the server metric registry
+    Shutdown, ///< ask the server to stop (when enabled)
+};
+
+/** One requested experiment run: a registered workload name XOR
+ *  inline `.lc` source, plus the run parameters the protocol
+ *  exposes. */
+struct RunSpec
+{
+    std::string workload; ///< registered name ("" for inline runs)
+    std::string source;   ///< inline `.lc` text ("" for named runs)
+    std::string display;  ///< diagnostic label for inline source
+
+    /** Parsed run parameters; fields the protocol does not expose
+     *  (policy, telemetry) keep their defaults. */
+    workloads::RunConfig config;
+};
+
+struct Request
+{
+    RequestType type = RequestType::Run;
+    std::string tenant = "anonymous";
+    std::vector<RunSpec> runs;
+};
+
+/**
+ * Parse and validate one request payload. Strict: unknown keys,
+ * wrong types, a missing/foreign schema object, or a version newer
+ * than kProtocolVersion all fail with "proto.*" diagnostics (never an
+ * exception). @p max_runs bounds the run batch.
+ */
+bool parseRequest(const obs::Json &json, std::size_t max_runs,
+                  Request &out, std::vector<ir::Diagnostic> &diags);
+
+// -- Responses --------------------------------------------------------
+
+/** {"schema": {...}, "type": <type>} — the base of every response. */
+obs::Json responseHeader(std::string_view type);
+
+/** Whole-request failure: protocol error, quota reject, shutdown. */
+obs::Json errorResponse(std::string_view reason,
+                        const std::vector<ir::Diagnostic> &diags);
+
+/** Per-run success. @p run_report is RunReport JSON; the server-side
+ *  timing lives only in the envelope ("serverMillis"), so the report
+ *  stays byte-identical to an offline driver run. */
+obs::Json runResponse(std::size_t index, const std::string &workload,
+                      bool cached, double server_millis,
+                      obs::Json run_report);
+
+/** Per-run rejection (admission, unknown workload, shutdown race). */
+obs::Json runErrorResponse(std::size_t index,
+                           const std::string &workload,
+                           std::string_view reason,
+                           const std::vector<ir::Diagnostic> &diags);
+
+/** End-of-request marker. */
+obs::Json doneResponse(std::size_t requested, std::size_t completed,
+                       std::size_t rejected, double millis);
+
+// -- Run identity -----------------------------------------------------
+
+/**
+ * Canonical signature of one run: the workload name plus every
+ * protocol-visible config field, in fixed order. Two runs with equal
+ * signatures are the same deterministic computation — the key of the
+ * server's single-flight result cache.
+ */
+std::string runSignature(const std::string &workload,
+                         const workloads::RunConfig &config);
+
+/**
+ * Compatibility key for batching: runs with equal batch keys share
+ * their module build, RPS profile, and base timed run (the
+ * ExperimentCache stages), so the server folds them into one RunPlan.
+ */
+std::string batchKey(const std::string &workload,
+                     const workloads::RunConfig &config);
+
+} // namespace ccr::server
+
+#endif // CCR_SERVER_PROTOCOL_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * `ccrd`: a long-lived, sharded, multi-tenant CCR simulation server.
+ *
+ * Architecture (docs/SERVER.md has the full picture):
+ *
+ *  - One acceptor thread owns the listening socket; each accepted
+ *    connection gets a handler thread that reads length-prefixed JSON
+ *    request frames (server/protocol.hh) and streams response frames
+ *    back as runs complete.
+ *
+ *  - Run jobs are routed to one of N **shards** by the content hash
+ *    of their workload (workloads::workloadContentKey), so all runs
+ *    of one module land on the same shard and share that shard's
+ *    private ExperimentCache (module build, RPS profile, base timed
+ *    run) without cross-shard lock traffic.
+ *
+ *  - Each shard's dispatcher drains its queue, groups compatible
+ *    jobs — same workload, optimization flag, input sets, and budget
+ *    (protocol batchKey) — into one workloads::RunPlan, and executes
+ *    it on the shard's worker pool with the streaming runPlan
+ *    overload, delivering every result frame the moment its point
+ *    finishes.
+ *
+ *  - A server-wide single-flight **result cache** keyed by the full
+ *    run signature collapses duplicate in-flight and repeated runs:
+ *    followers attach to the leader's entry and receive the same
+ *    RunReport JSON with "cached": true. Simulation determinism
+ *    (driver.hh) is what makes this sound — equal signatures mean
+ *    byte-equal reports.
+ *
+ *  - Every request passes the AdmissionController first: per-tenant
+ *    token-bucket quotas, instruction-budget clamping, and the full
+ *    lint gate for inline `.lc` submissions. Named runs are checked
+ *    against the built-in corpus snapshot plus the admitted set, so
+ *    nothing that skipped the gate can run.
+ */
+
+#ifndef CCR_SERVER_SERVER_HH
+#define CCR_SERVER_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "server/admission.hh"
+#include "server/protocol.hh"
+
+namespace ccr::server
+{
+
+struct ServerOptions
+{
+    /** TCP port to bind on 127.0.0.1; 0 picks an ephemeral port
+     *  (read it back from Server::port()). */
+    std::uint16_t port = 0;
+
+    /** Worker-pool shards; workloads hash-route to one shard. */
+    int shards = 4;
+
+    /** Parallel plan-execution jobs per shard. */
+    int jobsPerShard = 2;
+
+    /** Largest accepted request frame. */
+    std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+
+    /** Largest run batch in one request. */
+    std::size_t maxRunsPerRequest = 64;
+
+    /** Retain completed run reports in the single-flight result
+     *  cache (off: entries are dropped once delivered, duplicate
+     *  in-flight runs still collapse). */
+    bool resultCache = true;
+
+    /** Honor "shutdown" requests from clients (ccrload/CI use this;
+     *  a hardened deployment would turn it off). */
+    bool allowRemoteShutdown = true;
+
+    /** Base seed for the shard worker pools. */
+    std::uint64_t seed = 0x5EED'0001ULL;
+
+    AdmissionLimits limits;
+
+    /** Injectable quota clock (tests); default is the monotonic
+     *  clock. */
+    AdmissionController::Clock clock;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen, and start the acceptor and shard dispatchers.
+     * Returns the bound port. Fatal if the socket can't be bound.
+     */
+    std::uint16_t start();
+
+    /** Stop accepting, fail queued jobs, unblock every connection,
+     *  and join all threads. Idempotent. */
+    void stop();
+
+    std::uint16_t port() const { return port_; }
+    bool running() const { return running_.load(); }
+
+    /** Set once a (permitted) shutdown request arrives; the host
+     *  process polls this to decide when to stop(). */
+    bool shutdownRequested() const
+    {
+        return shutdownRequested_.load();
+    }
+
+    /** Snapshot of the server metric registry plus per-shard
+     *  experiment-cache hit/miss counters. */
+    obs::Json metricsJson();
+
+    const AdmissionController &admission() const
+    {
+        return admission_;
+    }
+
+  private:
+    struct Connection;
+    struct RequestSync;
+    struct Job;
+    struct CachedRun;
+    struct Shard;
+
+    void acceptLoop();
+    void handleConnection(std::shared_ptr<Connection> conn);
+    void handleRequest(const std::shared_ptr<Connection> &conn,
+                       const Request &request);
+    void handleRunRequest(const std::shared_ptr<Connection> &conn,
+                          const Request &request);
+    void dispatchLoop(Shard &shard);
+    void runBatch(Shard &shard, std::vector<Job> jobs);
+    void deliverRun(const Job &job, bool cached,
+                    double server_millis, const obs::Json &report);
+    void deliverRunError(const Job &job, std::string_view reason,
+                         const std::vector<ir::Diagnostic> &diags);
+    /** Fail a leader job without running it: resolve its cache entry,
+     *  drain any attached waiters, and error them all (shutdown
+     *  path — otherwise waiters would block their handlers
+     *  forever). */
+    void failLeader(const Job &job, std::string_view reason,
+                    const std::vector<ir::Diagnostic> &diags);
+    bool workloadAllowed(const std::string &name) const;
+    void bumpCounter(const std::string &name,
+                     std::uint64_t delta = 1);
+
+    ServerOptions options_;
+    AdmissionController admission_;
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shutdownRequested_{false};
+
+    /** Names runnable without inline admission: the corpus snapshot
+     *  taken at start(). */
+    std::set<std::string> builtinNames_;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    std::mutex connMutex_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+    std::thread acceptor_;
+
+    /** Single-flight result cache (run signature -> entry). */
+    std::mutex cacheMutex_;
+    std::map<std::string, std::shared_ptr<CachedRun>> resultCache_;
+
+    /** MetricRegistry is not thread-safe; all access goes through
+     *  this mutex. */
+    std::mutex metricsMutex_;
+    obs::MetricRegistry metrics_;
+};
+
+} // namespace ccr::server
+
+#endif // CCR_SERVER_SERVER_HH

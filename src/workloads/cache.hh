@@ -59,6 +59,11 @@ struct BaseRunData
     std::uint64_t branchMispredicts = 0;
 
     std::vector<ir::Value> outputs;
+
+    /** False when the run hit its instruction budget before halting;
+     *  outputs are then unset and the timing is partial. The harness
+     *  decides whether that is fatal (RunConfig::budgetFatal). */
+    bool completed = true;
 };
 
 /** Fill a BaseRunData's counter snapshots from a just-finished base

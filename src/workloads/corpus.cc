@@ -5,8 +5,10 @@
 #include <charconv>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <mutex>
+#include <sstream>
 
 #include "ir/verifier.hh"
 #include "support/logging.hh"
@@ -452,7 +454,19 @@ struct Registry
     bool scanned = false;
     std::map<std::string, std::string> pathByName;   // sorted names
     std::map<std::string, std::string> sourceByName; // in-memory .lc
+    std::map<std::string, std::uint64_t> contentKeys; // memoized hashes
 };
+
+std::uint64_t
+fnv1a(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf2'9ce4'8422'2325ULL; // FNV offset basis
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100'0000'01b3ULL; // FNV prime
+    }
+    return h;
+}
 
 Registry &
 registry()
@@ -650,41 +664,137 @@ registerWorkloadFile(const std::string &path)
     return *name;
 }
 
-std::optional<std::string>
-tryRegisterWorkloadText(const std::string &source,
-                        const std::string &display,
-                        std::vector<std::string> &errors)
+const char *
+registerStatusName(RegisterStatus status)
 {
-    // Validate the full load path (parse, verify, directives) before
-    // touching the registry, and recover the workload name from it.
-    auto loaded = buildWorkloadFromText(source, display, errors);
-    if (!loaded)
-        return std::nullopt;
+    switch (status) {
+      case RegisterStatus::Registered:
+        return "registered";
+      case RegisterStatus::AlreadyRegistered:
+        return "already-registered";
+      case RegisterStatus::Invalid:
+        return "invalid";
+      case RegisterStatus::Conflict:
+        return "conflict";
+    }
+    return "invalid";
+}
+
+RegisterTextResult
+registerWorkloadTextStructured(const std::string &source,
+                               const std::string &display)
+{
+    RegisterTextResult out;
+
+    // Validate the full load path (parse, verify, directives) outside
+    // the registry lock — building is the expensive part, and holding
+    // the lock across it would serialize every concurrent submitter.
+    auto parsed = text::parseModule(source);
+    if (!parsed.ok()) {
+        out.status = RegisterStatus::Invalid;
+        out.diagnostics = parsed.errors;
+        return out;
+    }
+    std::vector<std::string> errors;
+    auto loaded = fromParsed(std::move(parsed), display, display, errors);
+    if (!loaded) {
+        out.status = RegisterStatus::Invalid;
+        for (const auto &e : errors)
+            out.diagnostics.push_back(ir::makeError("workload.load", e));
+        return out;
+    }
     const std::string name = loaded->name;
     if (isBuiltinName(name)) {
-        errors.push_back(display + ": workload name '" + name +
-                         "' collides with a built-in workload");
-        return std::nullopt;
+        out.status = RegisterStatus::Conflict;
+        out.diagnostics.push_back(ir::makeError(
+            "workload.register.builtin",
+            "workload name '" + name +
+                "' collides with a built-in workload"));
+        return out;
     }
+
+    // Publish atomically. Whichever thread wins a same-(name, source)
+    // race registers; every loser takes the AlreadyRegistered branch.
     Registry &reg = registry();
     std::lock_guard<std::mutex> lock(reg.mutex);
     scanLocked(reg);
     const auto it = reg.pathByName.find(name);
     if (it != reg.pathByName.end()) {
-        errors.push_back(display + ": workload name '" + name +
-                         "' already registered from " + it->second);
-        return std::nullopt;
+        out.status = RegisterStatus::Conflict;
+        out.diagnostics.push_back(ir::makeError(
+            "workload.register.conflict",
+            "workload name '" + name + "' already registered from " +
+                it->second));
+        return out;
     }
     const auto st = reg.sourceByName.find(name);
     if (st != reg.sourceByName.end()) {
-        if (st->second == source)
-            return name; // idempotent re-registration
-        errors.push_back(display + ": workload name '" + name +
-                         "' already registered with different source");
-        return std::nullopt;
+        if (st->second == source) {
+            out.status = RegisterStatus::AlreadyRegistered;
+            out.name = name;
+            return out;
+        }
+        out.status = RegisterStatus::Conflict;
+        out.diagnostics.push_back(ir::makeError(
+            "workload.register.conflict",
+            "workload name '" + name +
+                "' already registered with different source"));
+        return out;
     }
     reg.sourceByName.emplace(name, source);
-    return name;
+    out.status = RegisterStatus::Registered;
+    out.name = name;
+    return out;
+}
+
+std::optional<std::string>
+tryRegisterWorkloadText(const std::string &source,
+                        const std::string &display,
+                        std::vector<std::string> &errors)
+{
+    const auto res = registerWorkloadTextStructured(source, display);
+    if (res.ok())
+        return res.name;
+    for (const auto &d : res.diagnostics) {
+        // "workload.load" messages already carry the display prefix
+        // (they come from the string-based loader); everything else
+        // is formatted with it.
+        if (d.rule == "workload.load")
+            errors.push_back(d.message);
+        else
+            errors.push_back(ir::formatDiagnostic(d, display));
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+workloadContentKey(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    scanLocked(reg);
+    const auto cached = reg.contentKeys.find(name);
+    if (cached != reg.contentKeys.end())
+        return cached->second;
+
+    std::uint64_t key = 0;
+    const auto st = reg.sourceByName.find(name);
+    if (st != reg.sourceByName.end()) {
+        key = fnv1a(st->second);
+    } else if (const auto it = reg.pathByName.find(name);
+               it != reg.pathByName.end()) {
+        std::ifstream is(it->second, std::ios::binary);
+        std::ostringstream bytes;
+        bytes << is.rdbuf();
+        key = fnv1a(bytes.str());
+    } else {
+        // Built-in (or unknown — resolution fails later with the
+        // usual unknown-workload error): the name identifies the
+        // compiled-in builder.
+        key = fnv1a(name);
+    }
+    reg.contentKeys.emplace(name, key);
+    return key;
 }
 
 std::string

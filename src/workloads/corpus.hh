@@ -24,10 +24,12 @@
 #ifndef CCR_WORKLOADS_CORPUS_HH
 #define CCR_WORKLOADS_CORPUS_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "ir/diagnostic.hh"
 #include "workloads/workload.hh"
 
 namespace ccr::workloads
@@ -97,6 +99,75 @@ tryRegisterWorkloadText(const std::string &source,
 /** Fatal-on-error convenience wrapper around tryRegisterWorkloadText. */
 std::string registerWorkloadText(const std::string &source,
                                  const std::string &display);
+
+/** Outcome kinds of a structured in-memory registration attempt. */
+enum class RegisterStatus
+{
+    /** The source was validated and registered under `name`. */
+    Registered,
+
+    /** `name` was already registered with byte-identical source; the
+     *  call is an idempotent no-op (the multi-tenant case: many
+     *  clients submitting the same kernel). */
+    AlreadyRegistered,
+
+    /** The source failed to parse, verify, or directive-check. */
+    Invalid,
+
+    /** The name is taken by a built-in, an on-disk corpus file, or an
+     *  in-memory registration with different source. */
+    Conflict,
+};
+
+/** "registered" / "already-registered" / "invalid" / "conflict". */
+const char *registerStatusName(RegisterStatus status);
+
+/** Structured result of registerWorkloadTextStructured(). */
+struct RegisterTextResult
+{
+    RegisterStatus status = RegisterStatus::Invalid;
+
+    /** Set when ok(): the registered workload name. */
+    std::string name;
+
+    /** Findings explaining an Invalid/Conflict outcome: parser and
+     *  verifier diagnostics keep their own rule ids ("parse.*",
+     *  "ir.*"); loader and registry findings use "workload.load" /
+     *  "workload.register.*". */
+    std::vector<ir::Diagnostic> diagnostics;
+
+    bool
+    ok() const
+    {
+        return status == RegisterStatus::Registered
+               || status == RegisterStatus::AlreadyRegistered;
+    }
+};
+
+/**
+ * Structured-diagnostic form of tryRegisterWorkloadText, and the
+ * primary implementation behind it. Safe under concurrent
+ * registration of the same name from many threads: validation runs
+ * outside the registry lock, the publish step is atomic under it, and
+ * identical (name, source) pairs are idempotent whichever thread wins
+ * the race — losers observe AlreadyRegistered, never a partial entry.
+ * Conflicting source under a taken name yields Conflict with a
+ * "workload.register.conflict" diagnostic.
+ */
+RegisterTextResult
+registerWorkloadTextStructured(const std::string &source,
+                               const std::string &display);
+
+/**
+ * Stable 64-bit content key for shard routing (the `ccrd` server
+ * hashes this to pick a worker shard, so identical kernels land on
+ * the same single-flight cache). Corpus workloads hash their `.lc`
+ * source bytes (on-disk file or registered in-memory text); built-ins
+ * hash their name, which uniquely identifies the compiled-in builder.
+ * Unknown names hash the name too — resolution fails later with the
+ * usual unknown-workload error.
+ */
+std::uint64_t workloadContentKey(const std::string &name);
 
 } // namespace ccr::workloads
 

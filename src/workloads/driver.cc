@@ -15,6 +15,9 @@ runPoint(const RunPlan::Point &point, ExperimentCache *cache,
          bool check_outputs)
 {
     RunResult r = runCcrExperiment(point.workload, point.config, cache);
+    if (check_outputs && !r.completed)
+        ccr_fatal(point.workload, ": ", r.incompleteStage,
+                  " run did not complete within its budget");
     if (check_outputs && !r.outputsMatch)
         ccr_fatal("output mismatch for ", point.workload);
     return r;
@@ -24,6 +27,13 @@ runPoint(const RunPlan::Point &point, ExperimentCache *cache,
 
 std::vector<RunResult>
 runPlan(const RunPlan &plan, const DriverOptions &options)
+{
+    return runPlan(plan, options, PointCallback{});
+}
+
+std::vector<RunResult>
+runPlan(const RunPlan &plan, const DriverOptions &options,
+        const PointCallback &on_point)
 {
     ExperimentCache *cache =
         options.useCache
@@ -44,6 +54,8 @@ runPlan(const RunPlan &plan, const DriverOptions &options)
         for (std::size_t i = 0; i < plan.size(); ++i) {
             results[i] = runPoint(plan.points()[i], cache,
                                   options.checkOutputs);
+            if (on_point)
+                on_point(i, results[i]);
         }
         return results;
     }
@@ -53,6 +65,8 @@ runPlan(const RunPlan &plan, const DriverOptions &options)
         pool.submit([&, i] {
             results[i] = runPoint(plan.points()[i], cache,
                                   options.checkOutputs);
+            if (on_point)
+                on_point(i, results[i]);
         });
     }
     pool.wait();

@@ -19,6 +19,7 @@
 #define CCR_WORKLOADS_DRIVER_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -120,6 +121,24 @@ struct DriverOptions
  */
 std::vector<RunResult> runPlan(const RunPlan &plan,
                                const DriverOptions &options = {});
+
+/**
+ * Per-point completion hook for the streaming overload below:
+ * invoked once per plan point, as soon as that point's result is
+ * ready — possibly concurrently from several worker threads and in
+ * arbitrary completion order (the index identifies the point). The
+ * `ccrd` server streams each run's SimReport frame to its client
+ * from here instead of waiting for the whole batch.
+ */
+using PointCallback =
+    std::function<void(std::size_t index, const RunResult &result)>;
+
+/** Streaming variant: like runPlan, plus @p on_point fires per
+ *  completed point. The returned vector is identical to the
+ *  non-streaming overload's. */
+std::vector<RunResult> runPlan(const RunPlan &plan,
+                               const DriverOptions &options,
+                               const PointCallback &on_point);
 
 /**
  * Aggregate the per-point RunReports of a completed plan into one

@@ -55,6 +55,32 @@ configJson(const RunConfig &config)
 }
 
 /**
+ * A stage ran out of instruction budget before halting. Fatal under
+ * the offline driver's strict default; otherwise a structured
+ * incomplete result with a minimal (but schema-shaped) report, so
+ * servers running untrusted budgets can report the containment
+ * instead of dying.
+ */
+RunResult
+incompleteResult(RunResult result, const std::string &workload_name,
+                 const RunConfig &config, const char *stage)
+{
+    if (config.budgetFatal)
+        ccr_fatal(workload_name, ": ", stage,
+                  " run did not halt within maxInsts=",
+                  config.maxInsts);
+    result.completed = false;
+    result.incompleteStage = stage;
+    result.outputsMatch = false;
+    result.report.workload = workload_name;
+    result.report.config = configJson(config);
+    result.report.metrics = obs::Json::object();
+    result.report.metrics["run.completed"] =
+        obs::Json(std::uint64_t{0});
+    return result;
+}
+
+/**
  * Assemble the RunReport from the run's registries. @p ccr_pipe
  * carries the timed CCR run's full registry (stall attribution,
  * caches, predictor); the base run contributes the counter snapshots
@@ -212,9 +238,9 @@ profileWorkload(const Workload &workload, InputSet set,
     profile::ValueProfiler profiler(machine);
     machine.addObserver(&profiler);
     machine.run(max_insts);
-    ccr_assert(machine.halted(),
-               "workload did not halt within the instruction budget");
-    return profiler.takeProfile();
+    profile::ProfileData prof = profiler.takeProfile();
+    prof.completed = machine.halted();
+    return prof;
 }
 
 WorkloadLintResult
@@ -222,10 +248,29 @@ lintWorkload(const std::string &workload_name,
              const core::ReusePolicy &policy, bool run_crosscheck,
              std::uint64_t max_insts)
 {
+    return lintWorkload(buildWorkload(workload_name), policy,
+                        run_crosscheck, max_insts);
+}
+
+WorkloadLintResult
+lintWorkload(const Workload &w, const core::ReusePolicy &policy,
+             bool run_crosscheck, std::uint64_t max_insts)
+{
     WorkloadLintResult out;
-    const Workload w = buildWorkload(workload_name);
     const profile::ProfileData prof =
         profileWorkload(w, InputSet::Train, max_insts);
+    if (!prof.completed) {
+        // A workload that can't finish its training run inside the
+        // budget is unauditable; report it as a lint error rather
+        // than forming regions from a partial profile.
+        out.lint.diagnostics.push_back(ir::makeError(
+            "lint.budget.exhausted",
+            w.name
+                + ": training run did not halt within the "
+                  "instruction budget ("
+                + std::to_string(max_insts) + " insts)"));
+        return out;
+    }
 
     analysis::AliasAnalysis alias(*w.module);
     alias.annotateDeterminableLoads(*w.module);
@@ -286,12 +331,16 @@ runCcrExperiment(const std::string &workload_name,
         uarch::Pipeline pipe(config.pipe);
         auto data = std::make_shared<BaseRunData>();
         data->timing = pipe.run(machine, config.maxInsts);
-        ccr_assert(machine.halted(), "base run did not complete");
+        data->completed = machine.halted();
         snapshotBaseCounters(*data, pipe);
-        data->outputs = readOutputs(machine, base);
+        if (data->completed)
+            data->outputs = readOutputs(machine, base);
         base_data = std::move(data);
     }
     result.base = base_data->timing;
+    if (!base_data->completed)
+        return incompleteResult(std::move(result), workload_name,
+                                config, "base");
 
     // -- CCR machine: profile, form regions, run with the scheme -------
     {
@@ -330,11 +379,14 @@ runCcrExperiment(const std::string &workload_name,
                 profile::ValueProfiler profiler(machine);
                 machine.addObserver(&profiler);
                 machine.run(config.maxInsts);
-                ccr_assert(machine.halted(),
-                           "profile run did not complete");
                 local_prof = profiler.takeProfile();
+                local_prof.completed = machine.halted();
                 prof = &local_prof;
             }
+            if (!prof->completed)
+                return incompleteResult(std::move(result),
+                                        workload_name, config,
+                                        "profile");
 
             // Compilation: alias analysis + region formation.
             analysis::AliasAnalysis alias(*ccr.module);
@@ -360,7 +412,9 @@ runCcrExperiment(const std::string &workload_name,
                               config.telemetry.intervalInsts);
         }
         result.ccr = pipe.run(machine, config.maxInsts);
-        ccr_assert(machine.halted(), "CCR run did not complete");
+        if (!machine.halted())
+            return incompleteResult(std::move(result),
+                                    workload_name, config, "ccr");
 
         const auto ccr_outputs = readOutputs(machine, ccr);
         result.outputsMatch = ccr_outputs == base_data->outputs;

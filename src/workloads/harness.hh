@@ -60,6 +60,17 @@ struct RunConfig
     std::uint64_t maxInsts = 200'000'000ULL;
 
     /**
+     * What happens when a run exhausts maxInsts before halting:
+     * fatal (the offline driver's historical behavior — a bench
+     * sweep with too small a budget should stop loudly) or, when
+     * false, a structured result with RunResult::completed == false
+     * and the offending stage named. The `ccrd` server runs
+     * untrusted budgets and always turns this off: budget
+     * exhaustion there is sandbox containment, not operator error.
+     */
+    bool budgetFatal = true;
+
+    /**
      * Observability knob: when enabled, the CCR run carries an
      * event-trace ring buffer (CRB hit/miss/invalidate/evict/memo
      * events plus pipeline interval snapshots) exposed via
@@ -98,6 +109,16 @@ struct RunResult
     std::shared_ptr<obs::TraceSink> trace;
 
     bool outputsMatch = false;
+
+    /** False when a stage ran out of instruction budget before
+     *  halting (only possible with RunConfig::budgetFatal off).
+     *  The timed numbers and report are then partial and
+     *  outputsMatch is meaningless. */
+    bool completed = true;
+
+    /** Which stage hit the budget: "base", "profile", or "ccr"
+     *  (empty when completed). */
+    std::string incompleteStage;
 
     /** Delegates to the obs derived-metric conventions (0 when the
      *  CCR run recorded no cycles). */
@@ -161,6 +182,19 @@ struct WorkloadLintResult
  * execution against the claims (lint::crossCheck).
  */
 WorkloadLintResult lintWorkload(const std::string &workload_name,
+                                const core::ReusePolicy &policy = {},
+                                bool run_crosscheck = false,
+                                std::uint64_t max_insts
+                                = 200'000'000ULL);
+
+/**
+ * Instance form of lintWorkload, for workloads that exist only in
+ * memory and must be audited *before* they are registered anywhere —
+ * the `ccrd` server's admission gate for untrusted inline `.lc`
+ * submissions. @p workload's module is profiled and transformed in
+ * place; pass a throwaway build.
+ */
+WorkloadLintResult lintWorkload(const Workload &workload,
                                 const core::ReusePolicy &policy = {},
                                 bool run_crosscheck = false,
                                 std::uint64_t max_insts

@@ -3,8 +3,8 @@
  * Tests for the reuse-scheme layer: the scheme factory, the dynamic
  * trace-memoization scheme's capture/validate/evict behaviour (register
  * and memory input signatures, per-region and global LRU), harness
- * integration of `--scheme dtm` / `--scheme none`, and the one-release
- * stall-key compatibility shim in obs::RunReport::metric().
+ * integration of `--scheme dtm` / `--scheme none`, and the
+ * scheme-namespaced stall-key lookups through obs::RunReport::metric().
  */
 
 #include <gtest/gtest.h>
@@ -415,10 +415,10 @@ TEST(SchemeHarness, NoneSchemeReportsNoReuseActivity)
 }
 
 // ---------------------------------------------------------------------
-// Stall-key compatibility shim
+// Scheme-namespaced stall keys
 // ---------------------------------------------------------------------
 
-TEST(MetricShim, OldStallKeysResolveToSchemeNamespacedSuccessors)
+TEST(MetricKeys, SchemeNamespacedStallKeysResolveDirectly)
 {
     obs::RunReport run;
     run.metrics["ccr.pipe.stall.reuse.crb.validate"] =
@@ -427,19 +427,13 @@ TEST(MetricShim, OldStallKeysResolveToSchemeNamespacedSuccessors)
         obs::Json(std::uint64_t{7});
     run.metrics["ccr.pipe.stall.fetch.reuse.crb.flush"] =
         obs::Json(std::uint64_t{5});
-    // Old-style lookups sum every scheme namespace present.
-    EXPECT_EQ(run.metric("ccr.pipe.stall.reuseValidate"), 18u);
-    EXPECT_EQ(run.metric("ccr.pipe.stall.fetch.reuseFlush"), 5u);
-    // New-style lookups hit the keys directly.
     EXPECT_EQ(run.metric("ccr.pipe.stall.reuse.crb.validate"), 11u);
     EXPECT_EQ(run.metric("ccr.pipe.stall.reuse.dtm.validate"), 7u);
-    // Unknown keys are 0, as before.
+    EXPECT_EQ(run.metric("ccr.pipe.stall.fetch.reuse.crb.flush"), 5u);
+    // Unknown keys are 0, including the removed pre-scheme spellings.
     EXPECT_EQ(run.metric("ccr.pipe.stall.nonsense"), 0u);
-    // The shim works under the base-run prefix too.
-    obs::RunReport base;
-    base.metrics["base.pipe.stall.fetch.reuse.none.flush"] =
-        obs::Json(std::uint64_t{3});
-    EXPECT_EQ(base.metric("base.pipe.stall.fetch.reuseFlush"), 3u);
+    EXPECT_EQ(run.metric("ccr.pipe.stall.reuseValidate"), 0u);
+    EXPECT_EQ(run.metric("ccr.pipe.stall.fetch.reuseFlush"), 0u);
 }
 
 } // namespace

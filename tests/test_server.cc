@@ -1,0 +1,595 @@
+// ccrd server tests: protocol framing edge cases (truncated,
+// oversized, malformed, wrong schema), admission control (quota
+// buckets with an injected clock, inline lint gate, zero-bypass),
+// budget sandboxing, result-cache semantics, mid-stream disconnects,
+// and the socket-vs-offline SimReport determinism contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/admission.hh"
+#include "server/client.hh"
+#include "server/server.hh"
+#include "workloads/cache.hh"
+#include "workloads/driver.hh"
+
+namespace
+{
+
+using ccr::obs::Json;
+using namespace ccr::server;
+
+// A legal kernel with 8 distinct reuse inputs; parses, lints, and
+// runs in well under a million instructions.
+const char *kGoodKernel = R"(;! workload test_server_inline
+;! output out
+;! set train n 48
+;! set ref n 64
+
+module "test_server_inline"
+entry @"main"
+global @"n" [8 bytes]
+global @"out" [8 bytes]
+
+func @"mix"(1 params, 6 regs) entry=B0
+  B0:
+    mul r1, r0, 2654435761
+    shr r2, r1, 15
+    xor r3, r1, r2
+    and r4, r3, 4095
+    ret r4
+
+func @"main"(0 params, 10 regs) entry=B0
+  B0:
+    movga r0, @"n"
+    load8 r1, [r0 + 0]
+    movi r2, 0
+    movi r3, 0
+    jump B1
+  B1:
+    cmplt r4, r2, r1
+    br r4, B2, B4
+  B2:
+    and r5, r2, 7
+    call r6, @"mix"(r5) -> B3
+  B3:
+    add r3, r3, r6
+    add r2, r2, 1
+    jump B1
+  B4:
+    movga r7, @"out"
+    store8 [r7 + 0], r3
+    halt
+)";
+
+// Preformed region whose live-in claim omits r2: the admission gate
+// must reject it and surface the lint audit.
+const char *kPreformedKernel = R"(;! workload test_server_preformed
+;! region 1 livein=r1 liveout=r4
+
+module "test_server_preformed"
+entry @"main"
+
+func @"main"(0 params, 8 regs) entry=B0
+  B0:
+    movi r1, 5
+    movi r2, 7
+    jump B1
+  B1:
+    reuse #1, hit=B3, miss=B2
+  B2:
+    add r3, r1, r2
+    add r4, r3, 1 <live-out>
+    jump B3 <region-end>
+  B3:
+    add r5, r4, 0
+    halt
+)";
+
+// An infinite loop: parses and lints clean (no regions form from a
+// profile that never completes... it never halts at all), so it can
+// only be stopped by the instruction-budget sandbox.
+const char *kSpinKernel = R"(;! workload test_server_spin
+;! output out
+
+module "test_server_spin"
+entry @"main"
+global @"out" [8 bytes]
+
+func @"main"(0 params, 4 regs) entry=B0
+  B0:
+    movi r1, 0
+    jump B1
+  B1:
+    add r1, r1, 1
+    jump B1
+)";
+
+Json
+runSpecFor(const std::string &workload, const std::string &scheme)
+{
+    Json spec = Json::object();
+    spec["workload"] = workload;
+    spec["scheme"] = scheme;
+    return spec;
+}
+
+Json
+runRequest(std::vector<Json> specs,
+           const std::string &tenant = "test")
+{
+    Json req = Client::makeRequest("run", tenant);
+    Json runs = Json::array();
+    for (auto &spec : specs)
+        runs.push(std::move(spec));
+    req["runs"] = std::move(runs);
+    return req;
+}
+
+/** Find the terminal frame of a run-request exchange. */
+const Json *
+findFrame(const std::vector<Json> &frames, const std::string &type)
+{
+    for (const auto &f : frames)
+        if (f.at("type").asString() == type)
+            return &f;
+    return nullptr;
+}
+
+bool
+hasRule(const Json &diags, const std::string &rule)
+{
+    for (const auto &d : diags.items())
+        if (d.at("rule").asString() == rule)
+            return true;
+    return false;
+}
+
+class ServerTest : public ::testing::Test
+{
+  protected:
+    ServerOptions
+    baseOptions()
+    {
+        ServerOptions o;
+        o.shards = 2;
+        o.jobsPerShard = 2;
+        // Keep test runs fast; corpus workloads finish well under
+        // this.
+        o.limits.maxInstsCap = 20'000'000ULL;
+        o.limits.lintMaxInsts = 5'000'000ULL;
+        return o;
+    }
+
+    void
+    startServer(const ServerOptions &o)
+    {
+        server_ = std::make_unique<Server>(o);
+        port_ = server_->start();
+    }
+
+    Client
+    client()
+    {
+        Client c;
+        EXPECT_TRUE(c.connectTo(port_));
+        return c;
+    }
+
+    std::unique_ptr<Server> server_;
+    std::uint16_t port_ = 0;
+};
+
+// -- protocol framing -------------------------------------------------
+
+TEST_F(ServerTest, OversizedLengthPrefixRejectedBeforeAllocation)
+{
+    auto o = baseOptions();
+    o.maxFrameBytes = 1024;
+    startServer(o);
+    Client c = client();
+
+    // Declared length 0x40000000 (1 GiB) with no payload behind it.
+    ASSERT_TRUE(c.sendRaw(std::string("\x40\x00\x00\x00", 4)));
+    auto frame = c.readJson();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->at("type").asString(), "error");
+    EXPECT_TRUE(hasRule(frame->at("diagnostics"),
+                        "proto.frame.oversized"));
+    // The connection is dropped afterwards.
+    EXPECT_FALSE(c.readJson().has_value());
+    EXPECT_EQ(c.status(), FrameStatus::Closed);
+}
+
+TEST_F(ServerTest, ZeroLengthPrefixRejected)
+{
+    startServer(baseOptions());
+    Client c = client();
+    ASSERT_TRUE(c.sendRaw(std::string(4, '\0')));
+    auto frame = c.readJson();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(hasRule(frame->at("diagnostics"),
+                        "proto.frame.bad-length"));
+}
+
+TEST_F(ServerTest, TruncatedFrameThenDisconnectLeavesServerAlive)
+{
+    startServer(baseOptions());
+    {
+        Client c = client();
+        // Header promises 100 bytes; send 3 and hang up.
+        ASSERT_TRUE(c.sendRaw(std::string("\x00\x00\x00\x64", 4)));
+        ASSERT_TRUE(c.sendRaw("{\"a"));
+    } // dtor closes mid-frame
+
+    // A fresh connection still gets full service.
+    Client c2 = client();
+    auto frames = c2.call(Client::makeRequest("list"));
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].at("type").asString(), "list");
+    EXPECT_GT(frames[0].at("workloads").items().size(), 0u);
+}
+
+TEST_F(ServerTest, MalformedJsonGetsErrorAndConnectionSurvives)
+{
+    startServer(baseOptions());
+    Client c = client();
+    const std::string bad = "{not json]";
+    std::string framed;
+    framed.push_back(0);
+    framed.push_back(0);
+    framed.push_back(0);
+    framed.push_back(static_cast<char>(bad.size()));
+    framed += bad;
+    ASSERT_TRUE(c.sendRaw(framed));
+    auto frame = c.readJson();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->at("type").asString(), "error");
+    EXPECT_TRUE(hasRule(frame->at("diagnostics"), "proto.json"));
+
+    // Same connection keeps working: frame boundaries were intact.
+    auto frames = c.call(Client::makeRequest("list"));
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].at("type").asString(), "list");
+}
+
+TEST_F(ServerTest, UnknownSchemaVersionRejected)
+{
+    startServer(baseOptions());
+    Client c = client();
+    Json req = Client::makeRequest("list");
+    req["schema"]["version"] = 999;
+    auto frames = c.call(req);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].at("type").asString(), "error");
+    EXPECT_TRUE(hasRule(frames[0].at("diagnostics"),
+                        "proto.schema.version"));
+}
+
+TEST_F(ServerTest, UnknownRequestKeysRejected)
+{
+    startServer(baseOptions());
+    Client c = client();
+    Json req = runRequest({runSpecFor("crc32", "crb")});
+    req["surprise"] = true;
+    auto frames = c.call(req);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_TRUE(hasRule(frames[0].at("diagnostics"),
+                        "proto.request.unknown-key"));
+}
+
+// -- admission --------------------------------------------------------
+
+TEST_F(ServerTest, QuotaBucketExhaustsAndRefills)
+{
+    auto o = baseOptions();
+    o.limits.quotaBurst = 2.0;
+    o.limits.quotaRatePerSec = 1.0;
+    double fakeNow = 1000.0;
+    o.clock = [&fakeNow] { return fakeNow; };
+    startServer(o);
+    Client c = client();
+
+    auto ok1 = c.call(runRequest({runSpecFor("crc32", "none")}));
+    EXPECT_NE(findFrame(ok1, "done"), nullptr);
+    auto ok2 = c.call(runRequest({runSpecFor("crc32", "none")}));
+    EXPECT_NE(findFrame(ok2, "done"), nullptr);
+
+    // Bucket is empty now.
+    auto rejected =
+        c.call(runRequest({runSpecFor("crc32", "none")}));
+    const Json *err = findFrame(rejected, "error");
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->at("reason").asString(),
+              "server.quota.exceeded");
+
+    // One second of refill buys exactly one more run.
+    fakeNow += 1.0;
+    auto ok3 = c.call(runRequest({runSpecFor("crc32", "none")}));
+    EXPECT_NE(findFrame(ok3, "done"), nullptr);
+
+    // Other tenants are unaffected.
+    auto other = c.call(
+        runRequest({runSpecFor("crc32", "none")}, "tenant-b"));
+    EXPECT_NE(findFrame(other, "done"), nullptr);
+}
+
+TEST_F(ServerTest, InlineSourcePassesAdmissionAndRuns)
+{
+    startServer(baseOptions());
+    Client c = client();
+    Json spec = Json::object();
+    spec["source"] = std::string(kGoodKernel);
+    spec["display"] = "good.lc";
+    spec["scheme"] = "crb";
+    auto frames = c.call(runRequest({std::move(spec)}));
+    const Json *run = findFrame(frames, "run");
+    ASSERT_NE(run, nullptr);
+    ASSERT_TRUE(run->at("run").isObject());
+    EXPECT_EQ(run->at("workload").asString(),
+              "test_server_inline");
+    EXPECT_GT(run->at("run")
+                  .at("metrics")
+                  .at("base.pipe.insts")
+                  .asUint(),
+              0u);
+    const Json *done = findFrame(frames, "done");
+    ASSERT_NE(done, nullptr);
+    EXPECT_EQ(done->at("completed").asUint(), 1u);
+    EXPECT_EQ(done->at("rejected").asUint(), 0u);
+}
+
+TEST_F(ServerTest, PreformedRegionsRejectedWithLintAudit)
+{
+    startServer(baseOptions());
+    Client c = client();
+    Json spec = Json::object();
+    spec["source"] = std::string(kPreformedKernel);
+    spec["display"] = "preformed.lc";
+    auto frames = c.call(runRequest({std::move(spec)}));
+    const Json *run = findFrame(frames, "run");
+    ASSERT_NE(run, nullptr);
+    ASSERT_TRUE(run->at("error").isObject());
+    EXPECT_EQ(run->at("error").at("reason").asString(),
+              "server.admission.preformed");
+    // The lint audited the submitted claims and found the missing
+    // live-in.
+    EXPECT_TRUE(hasRule(run->at("error").at("diagnostics"),
+                        "lint.region.livein.missing"));
+
+    // Zero-bypass: the name mentioned by the rejected submission is
+    // still not runnable.
+    auto named = c.call(
+        runRequest({runSpecFor("test_server_preformed", "crb")}));
+    const Json *named_run = findFrame(named, "run");
+    ASSERT_NE(named_run, nullptr);
+    EXPECT_TRUE(named_run->at("error").isObject());
+    EXPECT_EQ(named_run->at("error").at("reason").asString(),
+              "server.admission.workload");
+}
+
+TEST_F(ServerTest, GarbageSourceRejectedAtParse)
+{
+    startServer(baseOptions());
+    Client c = client();
+    Json spec = Json::object();
+    spec["source"] = "entirely not a module";
+    auto frames = c.call(runRequest({std::move(spec)}));
+    const Json *run = findFrame(frames, "run");
+    ASSERT_NE(run, nullptr);
+    ASSERT_TRUE(run->at("error").isObject());
+    EXPECT_EQ(run->at("error").at("reason").asString(),
+              "server.admission.parse");
+}
+
+TEST_F(ServerTest, BudgetClampIsVisibleInReportConfig)
+{
+    auto o = baseOptions();
+    o.limits.maxInstsCap = 1'000'000ULL;
+    startServer(o);
+    Client c = client();
+    Json spec = runSpecFor("crc32", "none");
+    spec["maxInsts"] = std::uint64_t{500'000'000ULL};
+    auto frames = c.call(runRequest({std::move(spec)}));
+    const Json *run = findFrame(frames, "run");
+    ASSERT_NE(run, nullptr);
+    if (run->at("run").isObject()) {
+        EXPECT_EQ(run->at("run")
+                      .at("config")
+                      .at("maxInsts")
+                      .asUint(),
+                  1'000'000ULL);
+    } else {
+        // crc32 may legitimately need more than the tiny cap — then
+        // the sandbox must have reported exhaustion, not crashed.
+        EXPECT_EQ(run->at("error").at("reason").asString(),
+                  "server.budget.exhausted");
+    }
+}
+
+TEST_F(ServerTest, RunawayKernelIsContainedByBudgetSandbox)
+{
+    startServer(baseOptions());
+    Client c = client();
+    Json spec = Json::object();
+    spec["source"] = std::string(kSpinKernel);
+    spec["display"] = "spin.lc";
+    spec["scheme"] = "none";
+    auto frames = c.call(runRequest({std::move(spec)}));
+    const Json *run = findFrame(frames, "run");
+    ASSERT_NE(run, nullptr);
+    // The spin kernel cannot finish its admission-time training run:
+    // the lint gate reports budget exhaustion instead of hanging or
+    // killing the server.
+    ASSERT_TRUE(run->at("error").isObject());
+    EXPECT_TRUE(hasRule(run->at("error").at("diagnostics"),
+                        "lint.budget.exhausted"));
+
+    // Server is still healthy.
+    auto frames2 =
+        c.call(runRequest({runSpecFor("crc32", "none")}));
+    EXPECT_NE(findFrame(frames2, "done"), nullptr);
+}
+
+// -- result cache and batching ---------------------------------------
+
+TEST_F(ServerTest, RepeatedRunIsServedFromResultCache)
+{
+    startServer(baseOptions());
+    Client c = client();
+    auto first = c.call(runRequest({runSpecFor("crc32", "crb")}));
+    const Json *run1 = findFrame(first, "run");
+    ASSERT_NE(run1, nullptr);
+    ASSERT_TRUE(run1->at("run").isObject());
+    EXPECT_FALSE(run1->at("cached").asBool());
+
+    auto second = c.call(runRequest({runSpecFor("crc32", "crb")}));
+    const Json *run2 = findFrame(second, "run");
+    ASSERT_NE(run2, nullptr);
+    EXPECT_TRUE(run2->at("cached").asBool());
+    // Byte-identical report either way.
+    EXPECT_EQ(run1->at("run").dump(), run2->at("run").dump());
+}
+
+TEST_F(ServerTest, BatchedRequestCompletesEveryIndexedRun)
+{
+    startServer(baseOptions());
+    Client c = client();
+    auto frames = c.call(runRequest({
+        runSpecFor("crc32", "crb"),
+        runSpecFor("crc32", "dtm"),
+        runSpecFor("crc32", "none"),
+        runSpecFor("strhash", "crb"),
+    }));
+    const Json *done = findFrame(frames, "done");
+    ASSERT_NE(done, nullptr);
+    EXPECT_EQ(done->at("completed").asUint(), 4u);
+    std::vector<bool> seen(4, false);
+    for (const auto &f : frames)
+        if (f.at("type").asString() == "run")
+            seen[f.at("index").asUint()] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+// -- determinism ------------------------------------------------------
+
+TEST_F(ServerTest, SocketRunsMatchOfflineRunPlanByteForByte)
+{
+    startServer(baseOptions());
+
+    const std::vector<std::string> workloads = {"crc32",
+                                                "strhash"};
+    const std::vector<std::string> schemes = {"crb", "dtm",
+                                              "none"};
+
+    // Offline: the same points through the plain driver.
+    ccr::workloads::RunPlan plan;
+    for (const auto &w : workloads) {
+        for (const auto &s : schemes) {
+            ccr::workloads::RunConfig config;
+            config.scheme =
+                *ccr::reuse::parseSchemeKind(s);
+            // The server clamps the (defaulted) budget to its
+            // admission cap, and maxInsts is part of the report's
+            // config snapshot — mirror the clamp here.
+            config.maxInsts = baseOptions().limits.maxInstsCap;
+            plan.add(w, config);
+        }
+    }
+    ccr::workloads::ExperimentCache offline_cache;
+    ccr::workloads::DriverOptions opts;
+    opts.jobs = 2;
+    opts.cache = &offline_cache;
+    auto results = ccr::workloads::runPlan(plan, opts);
+    const Json offline =
+        ccr::workloads::buildSimReport(plan, results).toJson();
+
+    // Over the socket, one request per point, in the same order.
+    Client c = client();
+    Json actual = offline; // same envelope; runs replaced below
+    Json runs = Json::array();
+    for (const auto &w : workloads) {
+        for (const auto &s : schemes) {
+            auto frames = c.call(runRequest({runSpecFor(w, s)}));
+            const Json *run = findFrame(frames, "run");
+            ASSERT_NE(run, nullptr) << w << "/" << s;
+            ASSERT_TRUE(run->at("run").isObject()) << w << "/" << s;
+            runs.push(run->at("run"));
+        }
+    }
+    actual["runs"] = std::move(runs);
+
+    // Server timing lives only in the frame envelope, so the
+    // assembled SimReport is byte-identical to the offline one.
+    EXPECT_EQ(actual.dump(2), offline.dump(2));
+}
+
+// -- lifecycle --------------------------------------------------------
+
+TEST_F(ServerTest, MidStreamDisconnectDoesNotLeakOrWedge)
+{
+    startServer(baseOptions());
+    {
+        Client c = client();
+        // Fire a real request and vanish without reading responses.
+        ASSERT_TRUE(c.sendJson(
+            runRequest({runSpecFor("crc32", "crb"),
+                        runSpecFor("strhash", "crb")})));
+    } // socket closed with the runs still in flight
+
+    // The server keeps serving other clients...
+    Client c2 = client();
+    auto frames = c2.call(runRequest({runSpecFor("crc32", "crb")}));
+    EXPECT_NE(findFrame(frames, "done"), nullptr);
+
+    // ...and stop() drains everything without hanging (the test
+    // itself would time out if a worker leaked).
+    server_->stop();
+    EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServerTest, ListMetricsAndShutdownVerbs)
+{
+    startServer(baseOptions());
+    Client c = client();
+
+    auto list = c.call(Client::makeRequest("list"));
+    ASSERT_EQ(list.size(), 1u);
+    bool has_crc32 = false;
+    for (const auto &name : list[0].at("workloads").items())
+        has_crc32 |= name.asString() == "crc32";
+    EXPECT_TRUE(has_crc32);
+
+    (void)c.call(runRequest({runSpecFor("crc32", "none")}));
+    auto metrics = c.call(Client::makeRequest("metrics"));
+    ASSERT_EQ(metrics.size(), 1u);
+    EXPECT_GE(metrics[0]
+                  .at("metrics")
+                  .at("server.runs.completed")
+                  .asUint(),
+              1u);
+
+    auto ack = c.call(Client::makeRequest("shutdown"));
+    ASSERT_EQ(ack.size(), 1u);
+    EXPECT_EQ(ack[0].at("type").asString(), "shutdown-ack");
+    EXPECT_TRUE(server_->shutdownRequested());
+}
+
+TEST_F(ServerTest, RemoteShutdownCanBeDisabled)
+{
+    auto o = baseOptions();
+    o.allowRemoteShutdown = false;
+    startServer(o);
+    Client c = client();
+    auto frames = c.call(Client::makeRequest("shutdown"));
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].at("type").asString(), "error");
+    EXPECT_FALSE(server_->shutdownRequested());
+}
+
+} // namespace

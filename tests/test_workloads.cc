@@ -8,10 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "analysis/alias.hh"
 #include "core/former.hh"
 #include "ir/verifier.hh"
 #include "uarch/crb.hh"
+#include "workloads/corpus.hh"
 #include "workloads/harness.hh"
 #include "workloads/workload.hh"
 
@@ -155,6 +159,92 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<std::string> &info) {
         return info.param;
     });
+
+std::string
+registrationKernel(const std::string &name, std::uint64_t value)
+{
+    return ";! workload " + name + "\n;! output out\n\n"
+           "module \"" + name + "\"\n"
+           "entry @\"main\"\n"
+           "global @\"out\" [8 bytes]\n\n"
+           "func @\"main\"(0 params, 4 regs) entry=B0\n"
+           "  B0:\n"
+           "    movi r1, " + std::to_string(value) + "\n"
+           "    movga r2, @\"out\"\n"
+           "    store8 [r2 + 0], r1\n"
+           "    halt\n";
+}
+
+TEST(Workloads, ConcurrentIdenticalRegistrationIsIdempotent)
+{
+    const std::string source =
+        registrationKernel("test_reg_race_same", 7);
+    constexpr int kThreads = 8;
+    std::atomic<int> registered{0}, already{0}, other{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            const auto r = workloads::registerWorkloadTextStructured(
+                source, "race.lc");
+            ASSERT_TRUE(r.ok());
+            EXPECT_EQ(r.name, "test_reg_race_same");
+            if (r.status == workloads::RegisterStatus::Registered)
+                ++registered;
+            else if (r.status
+                     == workloads::RegisterStatus::AlreadyRegistered)
+                ++already;
+            else
+                ++other;
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    // Exactly one thread wins the publish; every loser sees the
+    // idempotent outcome, never a conflict or a partial entry.
+    EXPECT_EQ(registered.load(), 1);
+    EXPECT_EQ(already.load(), kThreads - 1);
+    EXPECT_EQ(other.load(), 0);
+
+    // The registered workload is buildable afterwards.
+    const auto w = workloads::buildWorkload("test_reg_race_same");
+    EXPECT_EQ(w.name, "test_reg_race_same");
+}
+
+TEST(Workloads, ConflictingSourceUnderTakenNameIsStructuredError)
+{
+    const auto first = workloads::registerWorkloadTextStructured(
+        registrationKernel("test_reg_conflict", 1), "first.lc");
+    ASSERT_TRUE(first.ok());
+
+    const auto second = workloads::registerWorkloadTextStructured(
+        registrationKernel("test_reg_conflict", 2), "second.lc");
+    EXPECT_EQ(second.status, workloads::RegisterStatus::Conflict);
+    ASSERT_FALSE(second.diagnostics.empty());
+    bool has_rule = false;
+    for (const auto &d : second.diagnostics)
+        has_rule |= d.rule == "workload.register.conflict";
+    EXPECT_TRUE(has_rule);
+
+    // The original registration is untouched by the failed attempt.
+    emu::Machine machine(
+        *workloads::buildWorkload("test_reg_conflict").module);
+    machine.run(1'000);
+    ASSERT_TRUE(machine.halted());
+}
+
+TEST(Workloads, ContentKeyIsStableAndSourceSensitive)
+{
+    const auto a = workloads::registerWorkloadTextStructured(
+        registrationKernel("test_reg_key_a", 3), "a.lc");
+    const auto b = workloads::registerWorkloadTextStructured(
+        registrationKernel("test_reg_key_b", 4), "b.lc");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(workloads::workloadContentKey("test_reg_key_a"),
+              workloads::workloadContentKey("test_reg_key_a"));
+    EXPECT_NE(workloads::workloadContentKey("test_reg_key_a"),
+              workloads::workloadContentKey("test_reg_key_b"));
+}
 
 TEST(Workloads, NamesAreUniqueAndBuildable)
 {

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * `ccrd` — the CCR simulation daemon. Binds a loopback TCP port,
+ * serves the length-prefixed JSON protocol of server/protocol.hh,
+ * and runs until SIGINT/SIGTERM or a client "shutdown" request.
+ *
+ *   ccrd [--port N] [--port-file PATH] [--shards N] [--jobs N]
+ *        [--max-insts-cap N] [--quota-rate R] [--quota-burst B]
+ *        [--max-frame-bytes N] [--no-result-cache]
+ *        [--no-remote-shutdown] [--seed N]
+ *
+ * With --port 0 (the default) an ephemeral port is chosen and
+ * printed; --port-file additionally writes it to a file so scripts
+ * can rendezvous without parsing stdout.
+ */
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "server/server.hh"
+
+namespace
+{
+
+volatile std::sig_atomic_t g_signaled = 0;
+
+void
+onSignal(int)
+{
+    g_signaled = 1;
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [--port N] [--port-file PATH] [--shards N] [--jobs N]\n"
+           "       [--max-insts-cap N] [--quota-rate R] "
+           "[--quota-burst B]\n"
+           "       [--max-frame-bytes N] [--no-result-cache]\n"
+           "       [--no-remote-shutdown] [--seed N]\n";
+    std::exit(2);
+}
+
+const char *
+argValue(int argc, char **argv, int &i, const char *argv0)
+{
+    if (i + 1 >= argc)
+        usage(argv0);
+    return argv[++i];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ccr::server::ServerOptions options;
+    std::string port_file;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--port")
+            options.port = static_cast<std::uint16_t>(
+                std::stoi(argValue(argc, argv, i, argv[0])));
+        else if (arg == "--port-file")
+            port_file = argValue(argc, argv, i, argv[0]);
+        else if (arg == "--shards")
+            options.shards =
+                std::stoi(argValue(argc, argv, i, argv[0]));
+        else if (arg == "--jobs")
+            options.jobsPerShard =
+                std::stoi(argValue(argc, argv, i, argv[0]));
+        else if (arg == "--max-insts-cap")
+            options.limits.maxInstsCap =
+                std::stoull(argValue(argc, argv, i, argv[0]));
+        else if (arg == "--quota-rate")
+            options.limits.quotaRatePerSec =
+                std::stod(argValue(argc, argv, i, argv[0]));
+        else if (arg == "--quota-burst")
+            options.limits.quotaBurst =
+                std::stod(argValue(argc, argv, i, argv[0]));
+        else if (arg == "--max-frame-bytes")
+            options.maxFrameBytes =
+                std::stoull(argValue(argc, argv, i, argv[0]));
+        else if (arg == "--no-result-cache")
+            options.resultCache = false;
+        else if (arg == "--no-remote-shutdown")
+            options.allowRemoteShutdown = false;
+        else if (arg == "--seed")
+            options.seed =
+                std::stoull(argValue(argc, argv, i, argv[0]));
+        else if (arg == "--help" || arg == "-h")
+            usage(argv[0]);
+        else {
+            std::cerr << "ccrd: unknown flag " << arg << "\n";
+            usage(argv[0]);
+        }
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    ccr::server::Server server(options);
+    const std::uint16_t port = server.start();
+    std::cout << "ccrd: listening on 127.0.0.1:" << port
+              << std::endl;
+    if (!port_file.empty()) {
+        std::ofstream out(port_file);
+        out << port << "\n";
+    }
+
+    while (!g_signaled && !server.shutdownRequested())
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(50));
+
+    std::cout << "ccrd: shutting down" << std::endl;
+    server.stop();
+    return 0;
+}

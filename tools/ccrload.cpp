@@ -1,0 +1,607 @@
+/**
+ * @file
+ * `ccrload` — closed-loop load-test bench for `ccrd`.
+ *
+ * Spawns N connection threads, each driving one TCP connection with
+ * back-to-back single-run requests round-robined over
+ * (corpus workload x scheme), and reports RPS plus p50/p95/p99
+ * latency — overall, per scheme, and as a per-second trajectory —
+ * into a BENCH_server.json artifact.
+ *
+ *   ccrload [--port N | --port-file PATH] [--connections N]
+ *           [--duration SECONDS | --requests N]
+ *           [--schemes crb,dtm,none] [--tenant NAME]
+ *           [--max-insts N] [--inline-every N] [--out PATH]
+ *           [--check-admission] [--check-quota N] [--shutdown]
+ *
+ * --check-admission runs the admission conformance probes (inline
+ * accept, preformed-region/lint reject, parse reject, unknown-name
+ * reject) and counts **bypasses** — cases where a request that must
+ * be rejected produced a run report. The bench exits nonzero on any
+ * bypass; CI holds this at zero.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hh"
+
+namespace
+{
+
+using ccr::obs::Json;
+using ccr::server::Client;
+
+/** Minimal legal workload with high reuse (8 distinct mix() inputs):
+ *  the inline-accept probe and the --inline-every mixed load. */
+const char *kInlineKernel = R"(;! workload ccrload_inline
+;! output out
+;! set train n 48
+;! set ref n 64
+
+module "ccrload_inline"
+entry @"main"
+global @"n" [8 bytes]
+global @"out" [8 bytes]
+
+func @"mix"(1 params, 6 regs) entry=B0
+  B0:
+    mul r1, r0, 2654435761
+    shr r2, r1, 15
+    xor r3, r1, r2
+    and r4, r3, 4095
+    ret r4
+
+func @"main"(0 params, 10 regs) entry=B0
+  B0:
+    movga r0, @"n"
+    load8 r1, [r0 + 0]
+    movi r2, 0
+    movi r3, 0
+    jump B1
+  B1:
+    cmplt r4, r2, r1
+    br r4, B2, B4
+  B2:
+    and r5, r2, 7
+    call r6, @"mix"(r5) -> B3
+  B3:
+    add r3, r3, r6
+    add r2, r2, 1
+    jump B1
+  B4:
+    movga r7, @"out"
+    store8 [r7 + 0], r3
+    halt
+)";
+
+/** Carries a preformed region whose live-in claim omits r2 — the
+ *  admission gate must reject it (preformed + lint findings). */
+const char *kPreformedKernel = R"(;! workload ccrload_preformed
+;! region 1 livein=r1 liveout=r4
+
+module "ccrload_preformed"
+entry @"main"
+
+func @"main"(0 params, 8 regs) entry=B0
+  B0:
+    movi r1, 5
+    movi r2, 7
+    jump B1
+  B1:
+    reuse #1, hit=B3, miss=B2
+  B2:
+    add r3, r1, r2
+    add r4, r3, 1 <live-out>
+    jump B3 <region-end>
+  B3:
+    add r5, r4, 0
+    halt
+)";
+
+struct Sample
+{
+    double millis = 0.0;
+    int schemeIdx = 0;
+    int second = 0; ///< seconds since bench start
+    bool ok = false;
+};
+
+struct Flags
+{
+    std::uint16_t port = 0;
+    std::string portFile;
+    int connections = 4;
+    double durationSec = 10.0;
+    std::uint64_t requests = 0; ///< 0 = duration-bounded
+    std::vector<std::string> schemes = {"crb", "dtm", "none"};
+    std::string tenant = "ccrload";
+    std::uint64_t maxInsts = 5'000'000ULL;
+    std::uint64_t inlineEvery = 0; ///< 0 = never
+    std::string out = "BENCH_server.json";
+    bool checkAdmission = false;
+    std::uint64_t checkQuota = 0;
+    bool shutdownAfter = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage: ccrload [--port N | --port-file PATH] "
+                 "[--connections N]\n"
+                 "  [--duration SEC | --requests N] "
+                 "[--schemes a,b] [--tenant NAME]\n"
+                 "  [--max-insts N] [--inline-every N] "
+                 "[--out PATH]\n"
+                 "  [--check-admission] [--check-quota N] "
+                 "[--shutdown]\n";
+    std::exit(2);
+}
+
+double
+nowSec()
+{
+    using namespace std::chrono;
+    return duration<double>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        if (comma > start)
+            out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p * (sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - lo;
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Json
+latencySummary(std::vector<double> millis)
+{
+    std::sort(millis.begin(), millis.end());
+    double sum = 0.0;
+    for (double m : millis)
+        sum += m;
+    Json out = Json::object();
+    out["requests"] =
+        static_cast<std::uint64_t>(millis.size());
+    out["meanMs"] =
+        millis.empty() ? 0.0 : sum / millis.size();
+    out["p50Ms"] = percentile(millis, 0.50);
+    out["p95Ms"] = percentile(millis, 0.95);
+    out["p99Ms"] = percentile(millis, 0.99);
+    return out;
+}
+
+Json
+makeRunSpec(const Flags &flags, const std::string &workload,
+            const std::string &scheme)
+{
+    Json spec = Json::object();
+    spec["workload"] = workload;
+    spec["scheme"] = scheme;
+    if (flags.maxInsts > 0)
+        spec["maxInsts"] = flags.maxInsts;
+    return spec;
+}
+
+Json
+makeRunRequest(const Flags &flags, Json spec)
+{
+    Json req = Client::makeRequest("run", flags.tenant);
+    Json runs = Json::array();
+    runs.push(std::move(spec));
+    req["runs"] = std::move(runs);
+    return req;
+}
+
+/** True when the terminal frames contain a successful run report. */
+bool
+sawRunReport(const std::vector<Json> &frames)
+{
+    for (const auto &f : frames)
+        if (f.at("type").asString() == "run"
+            && f.at("run").isObject())
+            return true;
+    return false;
+}
+
+bool
+sawRunError(const std::vector<Json> &frames,
+            const std::string &reason)
+{
+    for (const auto &f : frames) {
+        const Json &err = f.at("error");
+        if (f.at("type").asString() == "run" && err.isObject()
+            && err.at("reason").asString() == reason)
+            return true;
+    }
+    return false;
+}
+
+/** One admission conformance probe; prints a PASS/BYPASS line and
+ *  returns the number of bypasses (0 or 1). */
+int
+probe(Client &client, const std::string &label,
+      const Json &request, bool expect_ok,
+      const std::string &expect_reason, Json &details)
+{
+    auto frames = client.call(request);
+    bool ok;
+    if (expect_ok)
+        ok = sawRunReport(frames);
+    else
+        ok = !sawRunReport(frames)
+             && (expect_reason.empty()
+                 || sawRunError(frames, expect_reason));
+    std::cout << "ccrload: admission probe " << label << ": "
+              << (ok ? "pass" : "BYPASS/FAIL") << "\n";
+    details[label] = ok ? "pass" : "bypass";
+    return ok ? 0 : 1;
+}
+
+int
+runAdmissionChecks(const Flags &flags, Json &details)
+{
+    Client client;
+    if (!client.connectTo(flags.port)) {
+        std::cerr << "ccrload: cannot connect for admission "
+                     "checks\n";
+        return 1;
+    }
+    int bypasses = 0;
+
+    Json inline_spec = Json::object();
+    inline_spec["source"] = std::string(kInlineKernel);
+    inline_spec["display"] = "ccrload_inline.lc";
+    inline_spec["scheme"] = "crb";
+    inline_spec["maxInsts"] = flags.maxInsts;
+    bypasses += probe(client, "inline-accept",
+                      makeRunRequest(flags, inline_spec), true,
+                      "", details);
+
+    Json preformed_spec = Json::object();
+    preformed_spec["source"] = std::string(kPreformedKernel);
+    preformed_spec["display"] = "ccrload_preformed.lc";
+    bypasses += probe(client, "lint-reject",
+                      makeRunRequest(flags, preformed_spec),
+                      false, "server.admission.preformed",
+                      details);
+
+    Json parse_spec = Json::object();
+    parse_spec["source"] = "this is not an lc module";
+    parse_spec["display"] = "garbage.lc";
+    bypasses += probe(client, "parse-reject",
+                      makeRunRequest(flags, parse_spec), false,
+                      "server.admission.parse", details);
+
+    // A name the admission gate never saw must not run, even though
+    // the rejected submissions above mentioned names.
+    Json unknown_spec = Json::object();
+    unknown_spec["workload"] = "ccrload_preformed";
+    bypasses += probe(client, "unknown-name-reject",
+                      makeRunRequest(flags, unknown_spec), false,
+                      "server.admission.workload", details);
+    return bypasses;
+}
+
+std::uint64_t
+runQuotaCheck(const Flags &flags, Json &details)
+{
+    Client client;
+    if (!client.connectTo(flags.port))
+        return 0;
+    std::uint64_t rejects = 0;
+    for (std::uint64_t i = 0; i < flags.checkQuota; ++i) {
+        Json req = Client::makeRequest("run", "quota-probe");
+        Json runs = Json::array();
+        runs.push(makeRunSpec(flags, "crc32",
+                              flags.schemes.front()));
+        req["runs"] = std::move(runs);
+        auto frames = client.call(req);
+        for (const auto &f : frames)
+            if (f.at("type").asString() == "error"
+                && f.at("reason").asString()
+                       == "server.quota.exceeded")
+                ++rejects;
+    }
+    std::cout << "ccrload: quota probe: " << rejects << "/"
+              << flags.checkQuota << " rejected\n";
+    details["quota-rejects"] = rejects;
+    return rejects;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--port")
+            flags.port =
+                static_cast<std::uint16_t>(std::stoi(value()));
+        else if (arg == "--port-file")
+            flags.portFile = value();
+        else if (arg == "--connections")
+            flags.connections = std::stoi(value());
+        else if (arg == "--duration")
+            flags.durationSec = std::stod(value());
+        else if (arg == "--requests")
+            flags.requests = std::stoull(value());
+        else if (arg == "--schemes")
+            flags.schemes = splitCommas(value());
+        else if (arg == "--tenant")
+            flags.tenant = value();
+        else if (arg == "--max-insts")
+            flags.maxInsts = std::stoull(value());
+        else if (arg == "--inline-every")
+            flags.inlineEvery = std::stoull(value());
+        else if (arg == "--out")
+            flags.out = value();
+        else if (arg == "--check-admission")
+            flags.checkAdmission = true;
+        else if (arg == "--check-quota")
+            flags.checkQuota = std::stoull(value());
+        else if (arg == "--shutdown")
+            flags.shutdownAfter = true;
+        else if (arg == "--help" || arg == "-h")
+            usage();
+        else {
+            std::cerr << "ccrload: unknown flag " << arg << "\n";
+            usage();
+        }
+    }
+    if (flags.port == 0 && !flags.portFile.empty()) {
+        std::ifstream in(flags.portFile);
+        int port = 0;
+        in >> port;
+        flags.port = static_cast<std::uint16_t>(port);
+    }
+    if (flags.port == 0) {
+        std::cerr << "ccrload: need --port or --port-file\n";
+        return 2;
+    }
+    if (flags.connections < 1)
+        flags.connections = 1;
+    if (flags.schemes.empty())
+        flags.schemes = {"crb"};
+
+    // Discover the corpus suite from the server.
+    std::vector<std::string> workloads;
+    {
+        Client client;
+        if (!client.connectTo(flags.port)) {
+            std::cerr << "ccrload: cannot connect to 127.0.0.1:"
+                      << flags.port << "\n";
+            return 1;
+        }
+        auto frames = client.call(Client::makeRequest("list"));
+        if (frames.empty()
+            || frames[0].at("type").asString() != "list") {
+            std::cerr << "ccrload: list request failed\n";
+            return 1;
+        }
+        for (const auto &name :
+             frames[0].at("workloads").items())
+            workloads.push_back(name.asString());
+    }
+    if (workloads.empty()) {
+        std::cerr << "ccrload: server reports no workloads\n";
+        return 1;
+    }
+
+    std::cout << "ccrload: " << flags.connections
+              << " connections, " << workloads.size()
+              << " workloads x " << flags.schemes.size()
+              << " schemes @ 127.0.0.1:" << flags.port << "\n";
+
+    std::atomic<std::uint64_t> issued{0};
+    std::mutex samplesMu;
+    std::vector<Sample> samples;
+    const double t0 = nowSec();
+
+    auto worker = [&](int worker_id) {
+        Client client;
+        if (!client.connectTo(flags.port))
+            return;
+        std::vector<Sample> local;
+        for (;;) {
+            const std::uint64_t seq =
+                issued.fetch_add(1, std::memory_order_relaxed);
+            if (flags.requests > 0 && seq >= flags.requests)
+                break;
+            if (flags.requests == 0
+                && nowSec() - t0 >= flags.durationSec)
+                break;
+
+            const int scheme_idx = static_cast<int>(
+                seq % flags.schemes.size());
+            Json spec;
+            if (flags.inlineEvery > 0
+                && seq % flags.inlineEvery == 0) {
+                spec = Json::object();
+                spec["source"] = std::string(kInlineKernel);
+                spec["display"] = "ccrload_inline.lc";
+                spec["scheme"] = flags.schemes[scheme_idx];
+                spec["maxInsts"] = flags.maxInsts;
+            } else {
+                spec = makeRunSpec(
+                    flags,
+                    workloads[(seq / flags.schemes.size())
+                              % workloads.size()],
+                    flags.schemes[scheme_idx]);
+            }
+
+            const double start = nowSec();
+            auto frames =
+                client.call(makeRunRequest(flags, spec));
+            const double end = nowSec();
+            if (frames.empty()) {
+                // Transport failure: reconnect and continue.
+                if (!client.connectTo(flags.port))
+                    break;
+                continue;
+            }
+            Sample s;
+            s.millis = (end - start) * 1e3;
+            s.schemeIdx = scheme_idx;
+            s.second = static_cast<int>(start - t0);
+            s.ok = sawRunReport(frames);
+            local.push_back(s);
+        }
+        (void)worker_id;
+        std::lock_guard lock(samplesMu);
+        samples.insert(samples.end(), local.begin(),
+                       local.end());
+    };
+
+    std::vector<std::thread> threads;
+    for (int c = 0; c < flags.connections; ++c)
+        threads.emplace_back(worker, c);
+    for (auto &t : threads)
+        t.join();
+    const double elapsed = nowSec() - t0;
+
+    // -- aggregate ----------------------------------------------------
+    std::vector<double> all;
+    std::vector<double> okMillis;
+    std::vector<std::vector<double>> perScheme(
+        flags.schemes.size());
+    std::map<int, std::vector<double>> perSecond;
+    std::uint64_t okCount = 0;
+    for (const auto &s : samples) {
+        all.push_back(s.millis);
+        perScheme[static_cast<std::size_t>(s.schemeIdx)]
+            .push_back(s.millis);
+        perSecond[s.second].push_back(s.millis);
+        if (s.ok) {
+            okMillis.push_back(s.millis);
+            ++okCount;
+        }
+    }
+
+    Json report = Json::object();
+    Json schema = Json::object();
+    schema["name"] = "ccr.benchserver";
+    schema["version"] = 1;
+    report["schema"] = std::move(schema);
+
+    Json config = Json::object();
+    config["connections"] =
+        static_cast<std::uint64_t>(flags.connections);
+    config["schemes"] = [&] {
+        Json a = Json::array();
+        for (const auto &s : flags.schemes)
+            a.push(s);
+        return a;
+    }();
+    config["workloads"] =
+        static_cast<std::uint64_t>(workloads.size());
+    config["maxInsts"] = flags.maxInsts;
+    config["tenant"] = flags.tenant;
+    report["config"] = std::move(config);
+
+    Json overall = latencySummary(all);
+    overall["ok"] = okCount;
+    overall["errors"] =
+        static_cast<std::uint64_t>(samples.size()) - okCount;
+    overall["durationSec"] = elapsed;
+    overall["rps"] =
+        elapsed > 0.0 ? samples.size() / elapsed : 0.0;
+    // Successful run reports only — the acceptance metric; rejects
+    // (e.g. a throttling quota) are cheap and would flatter "rps".
+    overall["okRps"] =
+        elapsed > 0.0 ? okCount / elapsed : 0.0;
+    const double rps = overall.at("rps").asDouble();
+    const double ok_rps = overall.at("okRps").asDouble();
+    report["overall"] = std::move(overall);
+    report["okLatency"] = latencySummary(std::move(okMillis));
+
+    Json per_scheme = Json::object();
+    for (std::size_t i = 0; i < flags.schemes.size(); ++i)
+        per_scheme[flags.schemes[i]] =
+            latencySummary(perScheme[i]);
+    report["perScheme"] = std::move(per_scheme);
+
+    Json trajectory = Json::array();
+    for (auto &[second, millis] : perSecond) {
+        Json bucket = latencySummary(std::move(millis));
+        bucket["sec"] = static_cast<std::uint64_t>(
+            static_cast<unsigned>(second));
+        trajectory.push(std::move(bucket));
+    }
+    report["trajectory"] = std::move(trajectory);
+
+    // -- conformance probes -------------------------------------------
+    int bypasses = 0;
+    Json admission = Json::object();
+    if (flags.checkAdmission)
+        bypasses = runAdmissionChecks(flags, admission);
+    admission["bypasses"] =
+        static_cast<std::uint64_t>(static_cast<unsigned>(
+            bypasses < 0 ? 0 : bypasses));
+    std::uint64_t quotaRejects = 0;
+    if (flags.checkQuota > 0)
+        quotaRejects = runQuotaCheck(flags, admission);
+    report["admission"] = std::move(admission);
+
+    // -- server-side metrics snapshot ---------------------------------
+    {
+        Client client;
+        if (client.connectTo(flags.port)) {
+            auto frames =
+                client.call(Client::makeRequest("metrics"));
+            if (!frames.empty()
+                && frames[0].at("type").asString() == "metrics")
+                report["server"] = frames[0].at("metrics");
+            if (flags.shutdownAfter)
+                client.call(Client::makeRequest("shutdown"));
+        }
+    }
+
+    std::ofstream out(flags.out);
+    out << report.dump(2) << "\n";
+    std::cout << "ccrload: " << samples.size() << " requests in "
+              << elapsed << "s (" << rps << " RPS, " << ok_rps
+              << " ok-RPS), " << bypasses
+              << " admission bypasses, " << quotaRejects
+              << " quota rejects -> " << flags.out << "\n";
+    return bypasses == 0 ? 0 : 1;
+}

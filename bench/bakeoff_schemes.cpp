@@ -34,6 +34,8 @@ constexpr const char *kTypeNames[4] = {"intAlu", "mem", "fpAlu",
 constexpr const char *kStructNames[4] = {"cyclic", "functionLevel",
                                          "acyclicLoop",
                                          "acyclicStraight"};
+constexpr const char *kRangeNames[2] = {"wholeStruct",
+                                        "rangeNarrowed"};
 
 /** Eliminated-instruction mass decanted one way per axis. */
 struct Decant
@@ -44,6 +46,7 @@ struct Decant
     std::uint64_t eliminated = 0;
     std::uint64_t byType[4] = {};
     std::uint64_t byStruct[4] = {};
+    std::uint64_t byRange[2] = {};
 
     void
     accumulate(const Decant &other)
@@ -55,6 +58,8 @@ struct Decant
             byType[t] += other.byType[t];
         for (int s = 0; s < 4; ++s)
             byStruct[s] += other.byStruct[s];
+        for (int r = 0; r < 2; ++r)
+            byRange[r] += other.byRange[r];
     }
 };
 
@@ -78,12 +83,17 @@ decant(const workloads::RunResult &result, const std::string &scheme)
     for (const obs::Json &region : result.report.regions.items()) {
         const std::uint64_t hits = region.at("hits").asUint();
         const int bucket = structureBucket(region);
+        // "memRanged" is emitted only when the former narrowed at
+        // least one claim to a byte range (absent = whole-struct).
+        const int rbucket =
+            region.at("memRanged").asBool() ? 1 : 0;
         for (int t = 0; t < 4; ++t) {
             const std::uint64_t insts =
                 hits
                 * region.at(std::string("mix.") + kTypeNames[t]).asUint();
             d.byType[t] += insts;
             d.byStruct[bucket] += insts;
+            d.byRange[rbucket] += insts;
             d.eliminated += insts;
         }
     }
@@ -108,6 +118,10 @@ toJson(const Decant &d)
     for (int s = 0; s < 4; ++s)
         by_struct[kStructNames[s]] = obs::Json(d.byStruct[s]);
     j["byStructure"] = std::move(by_struct);
+    obs::Json by_range = obs::Json::object();
+    for (int r = 0; r < 2; ++r)
+        by_range[kRangeNames[r]] = obs::Json(d.byRange[r]);
+    j["byRangeClaims"] = std::move(by_range);
     return j;
 }
 
@@ -343,6 +357,14 @@ main(int argc, char **argv)
                           std::to_string(totals[0].byStruct[s]),
                           std::to_string(totals[1].byStruct[s])});
     by_struct.print(std::cout);
+
+    Table by_range("eliminated insts by memory-claim form");
+    by_range.setHeader({"claims", "crb", "dtm"});
+    for (int r = 0; r < 2; ++r)
+        by_range.addRow({kRangeNames[r],
+                         std::to_string(totals[0].byRange[r]),
+                         std::to_string(totals[1].byRange[r])});
+    by_range.print(std::cout);
 
     obs::Json out = obs::Json::object();
     out["schema"] = obs::Json(std::string("ccr.bakeoff"));

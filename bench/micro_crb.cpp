@@ -79,7 +79,7 @@ BM_CrbInvalidate(benchmark::State &state)
 {
     const auto crb = uarch::makeCrbScheme();
     for (auto _ : state)
-        crb->onInvalidate(3);
+        crb->onInvalidate(3, 0, 0);
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CrbInvalidate);

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Gate region legality: run the independent region lint (ccrc lint)
-# over every built-in workload and every corpus/*.lc file. The lint
-# re-derives live-in/live-out/memory/structure claims from scratch and
-# cross-checks the former's output, then replay-validates every claim
-# dynamically (--run-crosscheck). Any Error-severity finding fails the
-# job. The machine-readable findings are written into <out-dir> for
-# artifact upload.
+# over every built-in workload, every corpus/*.lc file, and a trio of
+# fixed-seed generated kernels. The lint re-derives
+# live-in/live-out/memory/structure claims (including narrowed
+# mem=g[lo..hi] range claims) from scratch and cross-checks the
+# former's output, then replay-validates every claim dynamically
+# (--run-crosscheck). Any Error-severity finding fails the job. The
+# machine-readable findings land in <out-dir>/lint.json — the audit
+# artifact CI uploads.
 #
 # Usage: scripts/ci_lint.sh <build-dir> <out-dir>
 set -euo pipefail
@@ -15,7 +17,9 @@ out_dir=${2:?usage: ci_lint.sh <build-dir> <out-dir>}
 mkdir -p "$out_dir"
 
 ccrc="$build_dir/tools/ccrc"
+ccrgen="$build_dir/tools/ccrgen"
 [ -x "$ccrc" ] || { echo "missing $ccrc (build first)"; exit 1; }
+[ -x "$ccrgen" ] || { echo "missing $ccrgen (build first)"; exit 1; }
 
 builtins=(espresso sc go m88ksim gcc compress li ijpeg vortex
           lex yacc mpeg2enc pgpencode)
@@ -25,10 +29,28 @@ corpus=(corpus/*.lc)
 [ ${#corpus[@]} -ge 5 ] || {
     echo "corpus has ${#corpus[@]} files, expected >= 5"; exit 1; }
 
+# Fixed-seed generated kernels: same master seed as the ci_gen.sh
+# sweep, three population members spread across the knob space. The
+# sweep lints them too, but re-linting here pins the range-claim
+# crosscheck on fresh formation output even when ci_gen.sh is skipped.
+gen_dir="$out_dir/gen_kernels"
+mkdir -p "$gen_dir"
+gen_indices=(11 42 137)
+gen_files=()
+for idx in "${gen_indices[@]}"; do
+    "$ccrgen" gen --seed 1 --index "$idx" --out "$gen_dir"
+done
+gen_files=("$gen_dir"/*.lc)
+[ ${#gen_files[@]} -eq ${#gen_indices[@]} ] || {
+    echo "expected ${#gen_indices[@]} generated kernels,"\
+         "got ${#gen_files[@]}"; exit 1; }
+
 "$ccrc" lint --run-crosscheck --json "$out_dir/lint.json" \
-    "${builtins[@]}" "${corpus[@]}" | tee "$out_dir/lint.txt"
+    "${builtins[@]}" "${corpus[@]}" "${gen_files[@]}" \
+    | tee "$out_dir/lint.txt"
 
 [ -s "$out_dir/lint.json" ] || { echo "lint report missing"; exit 1; }
 
-echo "lint: ${#builtins[@]} builtins + ${#corpus[@]} corpus files clean,"\
-     "reports in $out_dir"
+echo "lint: ${#builtins[@]} builtins + ${#corpus[@]} corpus files +"\
+     "${#gen_files[@]} generated kernels clean, audit artifact at"\
+     "$out_dir/lint.json"

@@ -1,0 +1,320 @@
+#include "analysis/ranges.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "ir/inst.hh"
+
+namespace ccr::analysis
+{
+
+namespace
+{
+
+using ir::Opcode;
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+std::int64_t
+satAdd(std::int64_t a, std::int64_t b)
+{
+    std::int64_t r;
+    if (__builtin_add_overflow(a, b, &r))
+        return b > 0 ? kMax : kMin;
+    return r;
+}
+
+std::int64_t
+satSub(std::int64_t a, std::int64_t b)
+{
+    std::int64_t r;
+    if (__builtin_sub_overflow(a, b, &r))
+        return b < 0 ? kMax : kMin;
+    return r;
+}
+
+std::int64_t
+satMul(std::int64_t a, std::int64_t b)
+{
+    std::int64_t r;
+    if (__builtin_mul_overflow(a, b, &r))
+        return (a > 0) == (b > 0) ? kMax : kMin;
+    return r;
+}
+
+RangeValue
+mulIntervals(const RangeValue &a, const RangeValue &b)
+{
+    const std::int64_t c[4] = {satMul(a.lo, b.lo), satMul(a.lo, b.hi),
+                               satMul(a.hi, b.lo), satMul(a.hi, b.hi)};
+    return RangeValue::interval(*std::min_element(c, c + 4),
+                                *std::max_element(c, c + 4));
+}
+
+/** Left shift is exact (no wrap) only when the operand fits. */
+RangeValue
+shlInterval(const RangeValue &a, std::int64_t k)
+{
+    if (k < 0 || k > 62 || a.lo < 0)
+        return RangeValue::top();
+    if (a.hi > (kMax >> k))
+        return RangeValue::top();
+    return RangeValue::interval(a.lo << k, a.hi << k);
+}
+
+} // namespace
+
+bool
+RangeValue::join(const RangeValue &other, bool widen)
+{
+    if (other.kind == Kind::Bottom)
+        return false;
+    if (kind == Kind::Bottom) {
+        *this = other;
+        return true;
+    }
+    if (kind == Kind::Top)
+        return false;
+    if (other.kind == Kind::Top || kind != other.kind
+        || (kind == Kind::GlobalPtr && global != other.global)) {
+        *this = top();
+        return true;
+    }
+    // Same kind (Interval or same-global GlobalPtr): widen the bounds.
+    if (other.lo >= lo && other.hi <= hi)
+        return false;
+    if (widen) {
+        *this = top();
+        return true;
+    }
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    return true;
+}
+
+RangeValue
+RangeAnalysis::eval(const ir::Module &mod, const ir::Inst &inst,
+                    const std::vector<RangeValue> &regs)
+{
+    const auto src = [&](ir::Reg r) -> const RangeValue & {
+        return regs[r];
+    };
+    const auto rhs = [&]() -> RangeValue {
+        return inst.srcImm ? RangeValue::interval(inst.imm, inst.imm)
+                           : src(inst.src2);
+    };
+
+    switch (inst.op) {
+      case Opcode::MovI:
+        return RangeValue::interval(inst.imm, inst.imm);
+      case Opcode::Mov:
+        return src(inst.src1);
+      case Opcode::MovGA:
+        return RangeValue::globalPtr(inst.globalId, 0, 0);
+      case Opcode::Add: {
+        const RangeValue &a = src(inst.src1);
+        const RangeValue b = rhs();
+        if (a.isInterval() && b.isInterval()) {
+            return RangeValue::interval(satAdd(a.lo, b.lo),
+                                        satAdd(a.hi, b.hi));
+        }
+        if (a.isGlobalPtr() && b.isInterval()) {
+            return RangeValue::globalPtr(a.global, satAdd(a.lo, b.lo),
+                                         satAdd(a.hi, b.hi));
+        }
+        if (a.isInterval() && b.isGlobalPtr()) {
+            return RangeValue::globalPtr(b.global, satAdd(a.lo, b.lo),
+                                         satAdd(a.hi, b.hi));
+        }
+        return RangeValue::top();
+      }
+      case Opcode::Sub: {
+        const RangeValue &a = src(inst.src1);
+        const RangeValue b = rhs();
+        if (a.isInterval() && b.isInterval()) {
+            return RangeValue::interval(satSub(a.lo, b.hi),
+                                        satSub(a.hi, b.lo));
+        }
+        if (a.isGlobalPtr() && b.isInterval()) {
+            return RangeValue::globalPtr(a.global, satSub(a.lo, b.hi),
+                                         satSub(a.hi, b.lo));
+        }
+        return RangeValue::top();
+      }
+      case Opcode::Mul: {
+        const RangeValue &a = src(inst.src1);
+        const RangeValue b = rhs();
+        if (a.isInterval() && b.isInterval())
+            return mulIntervals(a, b);
+        return RangeValue::top();
+      }
+      case Opcode::Shl: {
+        const RangeValue &a = src(inst.src1);
+        const RangeValue b = rhs();
+        if (a.isInterval() && b.isConst())
+            return shlInterval(a, b.lo);
+        return RangeValue::top();
+      }
+      case Opcode::Shr: {
+        // Logical shift: exact only for non-negative operands.
+        const RangeValue &a = src(inst.src1);
+        const RangeValue b = rhs();
+        if (a.isInterval() && a.lo >= 0 && b.isConst() && b.lo >= 0
+            && b.lo <= 63) {
+            return RangeValue::interval(a.lo >> b.lo, a.hi >> b.lo);
+        }
+        return RangeValue::top();
+      }
+      case Opcode::Sra: {
+        const RangeValue &a = src(inst.src1);
+        const RangeValue b = rhs();
+        if (a.isInterval() && b.isConst() && b.lo >= 0 && b.lo <= 63)
+            return RangeValue::interval(a.lo >> b.lo, a.hi >> b.lo);
+        return RangeValue::top();
+      }
+      case Opcode::And: {
+        // A non-negative constant mask bounds the result to [0, mask]
+        // whatever the other operand holds — including ⊤, which is how
+        // masked table indices stay inferable inside loops.
+        const RangeValue &a = src(inst.src1);
+        const RangeValue b = rhs();
+        if (b.isConst() && b.lo >= 0)
+            return RangeValue::interval(0, b.lo);
+        if (a.isConst() && a.lo >= 0)
+            return RangeValue::interval(0, a.lo);
+        if (a.isInterval() && b.isInterval() && a.lo >= 0 && b.lo >= 0) {
+            return RangeValue::interval(0, std::min(a.hi, b.hi));
+        }
+        return RangeValue::top();
+      }
+      case Opcode::Or:
+      case Opcode::Xor: {
+        // For non-negative operands both are bounded by the sum.
+        const RangeValue &a = src(inst.src1);
+        const RangeValue b = rhs();
+        if (a.isInterval() && b.isInterval() && a.lo >= 0 && b.lo >= 0)
+            return RangeValue::interval(0, satAdd(a.hi, b.hi));
+        return RangeValue::top();
+      }
+      case Opcode::Div: {
+        const RangeValue &a = src(inst.src1);
+        const RangeValue b = rhs();
+        if (a.isInterval() && b.isConst() && b.lo > 0)
+            return RangeValue::interval(a.lo / b.lo, a.hi / b.lo);
+        return RangeValue::top();
+      }
+      case Opcode::Rem: {
+        const RangeValue &a = src(inst.src1);
+        const RangeValue b = rhs();
+        if (b.isConst() && b.lo > 0) {
+            if (a.isInterval() && a.lo >= 0)
+                return RangeValue::interval(0, b.lo - 1);
+            return RangeValue::interval(-(b.lo - 1), b.lo - 1);
+        }
+        return RangeValue::top();
+      }
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+      case Opcode::CmpGt:
+      case Opcode::CmpGe:
+      case Opcode::CmpLtU:
+      case Opcode::CmpGeU:
+      case Opcode::FCmpLt:
+        return RangeValue::interval(0, 1);
+      default:
+        // Load, Alloc, Call results, float arithmetic, conversions.
+        return RangeValue::top();
+    }
+    (void)mod;
+}
+
+RangeAnalysis::RangeAnalysis(const ir::Module &mod,
+                             const ir::Function &func)
+{
+    const auto nregs = static_cast<std::size_t>(func.numRegs());
+    const std::size_t nblocks = func.numBlocks();
+
+    // In-state per block. The entry block starts with parameters at ⊤
+    // and every other register at 0 (frames are zero-initialized).
+    std::vector<std::vector<RangeValue>> in(
+        nblocks, std::vector<RangeValue>(nregs));
+    std::vector<RangeValue> &entry = in[func.entry()];
+    for (std::size_t r = 0; r < nregs; ++r) {
+        entry[r] = static_cast<int>(r) < func.numParams()
+                       ? RangeValue::top()
+                       : RangeValue::interval(0, 0);
+    }
+
+    // Round-robin to fixpoint with widening after a few passes; the
+    // widen-to-⊤ acceleration plus the monotone transfers bound the
+    // pass count tightly in practice.
+    constexpr int kWidenAfterPass = 3;
+    constexpr int kMaxPasses = 64;
+    std::vector<RangeValue> state(nregs);
+    bool changed = true;
+    for (int pass = 0; changed && pass < kMaxPasses; ++pass) {
+        changed = false;
+        const bool widen = pass >= kWidenAfterPass;
+        for (const auto &bb : func.blocks()) {
+            if (!bb.isTerminated())
+                continue;
+            state = in[bb.id()];
+            for (const auto &inst : bb.insts()) {
+                if (inst.hasDst())
+                    state[inst.dst] = eval(mod, inst, state);
+            }
+            for (const ir::BlockId s : bb.successors()) {
+                if (s >= nblocks)
+                    continue;
+                std::vector<RangeValue> &target = in[s];
+                for (std::size_t r = 0; r < nregs; ++r) {
+                    if (target[r].join(state[r], widen))
+                        changed = true;
+                }
+            }
+        }
+    }
+    if (changed) {
+        // Did not converge inside the cap (should not happen with the
+        // widening); everything becomes ⊤ so the results stay sound.
+        for (auto &block_in : in)
+            block_in.assign(nregs, RangeValue::top());
+    }
+
+    // Final pass: resolve every Load/Store address against the fixed
+    // point. Out-of-bounds offsets clamp into the global (the
+    // system-wide convention: a g-based access is attributed to g).
+    for (const auto &bb : func.blocks()) {
+        state = in[bb.id()];
+        for (const auto &inst : bb.insts()) {
+            if (inst.isLoad() || inst.isStore()) {
+                const RangeValue &base = state[inst.src1];
+                if (base.isGlobalPtr()) {
+                    const ir::Global &g = mod.global(base.global);
+                    const std::int64_t bytes = static_cast<std::int64_t>(
+                        ir::memSizeBytes(inst.size));
+                    std::int64_t lo = satAdd(base.lo, inst.imm);
+                    std::int64_t hi = satAdd(satAdd(base.hi, inst.imm),
+                                             bytes - 1);
+                    const auto last = static_cast<std::int64_t>(
+                        g.sizeBytes == 0 ? 0 : g.sizeBytes - 1);
+                    lo = std::clamp<std::int64_t>(lo, 0, last);
+                    hi = std::clamp<std::int64_t>(hi, lo, last);
+                    AccessRange ar;
+                    ar.known = true;
+                    ar.global = base.global;
+                    ar.lo = static_cast<std::uint64_t>(lo);
+                    ar.hi = static_cast<std::uint64_t>(hi);
+                    access_.emplace(inst.uid, ar);
+                }
+            }
+            if (inst.hasDst())
+                state[inst.dst] = eval(mod, inst, state);
+        }
+    }
+}
+
+} // namespace ccr::analysis

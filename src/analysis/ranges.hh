@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Symbolic access-range inference over the Lcode IR (the DawnCC
+ * `PtrRangeAnalysis` direction, adapted to named globals).
+ *
+ * For every Load/Store of one function the analysis tries to bound the
+ * effective address as a single global plus a byte-offset interval:
+ * `g[lo..hi]`. Addresses are tracked through a small abstract domain —
+ * constant intervals, global-base pointers with offset intervals, and
+ * ⊤ — with saturating interval arithmetic and widening to ⊤ at join
+ * points that keep growing. Masked indices (`and` with a non-negative
+ * constant) re-bound even ⊤ operands, which is what makes bounded
+ * table lookups inside loops inferable without loop-trip information.
+ *
+ * The former uses the result two ways: a memory-dependent region can
+ * claim `reads g[lo..hi]` instead of forfeiting precision to the whole
+ * structure, and an `invalidate` after a store whose written range
+ * provably misses every claimed range can be elided entirely.
+ * Conservative fallback everywhere: an unknown address simply keeps
+ * the pre-range (whole-structure) behavior.
+ */
+
+#ifndef CCR_ANALYSIS_RANGES_HH
+#define CCR_ANALYSIS_RANGES_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace ccr::analysis
+{
+
+/** Abstract value of one register at one program point. */
+struct RangeValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Bottom,    ///< unreachable / uninitialized
+        Interval,  ///< integer in [lo, hi]
+        GlobalPtr, ///< addressOf(global) + offset, offset in [lo, hi]
+        Top        ///< anything
+    };
+
+    Kind kind = Kind::Bottom;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    ir::GlobalId global = ir::kNoGlobal;
+
+    static RangeValue top() { return {Kind::Top, 0, 0, ir::kNoGlobal}; }
+
+    static RangeValue
+    interval(std::int64_t lo, std::int64_t hi)
+    {
+        return {Kind::Interval, lo, hi, ir::kNoGlobal};
+    }
+
+    static RangeValue
+    globalPtr(ir::GlobalId g, std::int64_t lo, std::int64_t hi)
+    {
+        return {Kind::GlobalPtr, lo, hi, g};
+    }
+
+    bool isInterval() const { return kind == Kind::Interval; }
+    bool isGlobalPtr() const { return kind == Kind::GlobalPtr; }
+
+    /** True when this is an Interval holding exactly one value. */
+    bool
+    isConst() const
+    {
+        return kind == Kind::Interval && lo == hi;
+    }
+
+    /** Least upper bound with @p other; returns true when changed.
+     *  @p widen forces any growing bound straight to ⊤. */
+    bool join(const RangeValue &other, bool widen);
+
+    bool operator==(const RangeValue &) const = default;
+};
+
+/** Byte range of one memory access, resolved to a single global. */
+struct AccessRange
+{
+    /** When false the access could not be bounded (⊤ base, multiple
+     *  possible globals, or interval base): callers must fall back to
+     *  whole-structure behavior. */
+    bool known = false;
+
+    ir::GlobalId global = ir::kNoGlobal;
+
+    /** First/last byte offset touched within the global, inclusive,
+     *  clamped into [0, sizeBytes). */
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    /** True when [lo..hi] covers every byte of the global. */
+    bool coversWhole(const ir::Global &g) const
+    {
+        return lo == 0 && g.sizeBytes != 0 && hi == g.sizeBytes - 1;
+    }
+};
+
+/**
+ * Per-function forward dataflow over RangeValue register states.
+ * Parameters enter as ⊤ (callers are unknown); all other registers
+ * start at 0, matching the emulator's zero-initialized frames.
+ */
+class RangeAnalysis
+{
+  public:
+    RangeAnalysis(const ir::Module &mod, const ir::Function &func);
+
+    /**
+     * Access range of @p inst, a Load or Store of the analyzed
+     * function. `known == false` when the address could not be pinned
+     * to one global with bounded offsets.
+     */
+    AccessRange
+    accessRange(const ir::Inst &inst) const
+    {
+        const auto it = access_.find(inst.uid);
+        return it == access_.end() ? AccessRange{} : it->second;
+    }
+
+    /** Abstract transfer of one instruction over @p regs (exposed for
+     *  the unit tests; @p mod is the module the function belongs to). */
+    static RangeValue eval(const ir::Module &mod, const ir::Inst &inst,
+                           const std::vector<RangeValue> &regs);
+
+  private:
+    std::unordered_map<ir::InstUid, AccessRange> access_;
+};
+
+/** Union of two byte ranges ([min lo, max hi]). */
+inline void
+unionRange(std::uint64_t &lo, std::uint64_t &hi, std::uint64_t add_lo,
+           std::uint64_t add_hi)
+{
+    if (add_lo < lo)
+        lo = add_lo;
+    if (add_hi > hi)
+        hi = add_hi;
+}
+
+} // namespace ccr::analysis
+
+#endif // CCR_ANALYSIS_RANGES_HH

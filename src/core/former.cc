@@ -58,6 +58,7 @@ RegionFormer::formAll()
             formAcyclicRegions(func);
     }
     renumberByWeight();
+    annotateMemRanges();
     placeInvalidations();
     annotateRegionStats();
     ir::verifyOrDie(mod_);
@@ -502,6 +503,138 @@ RegionFormer::planLiveOuts(const ir::Function &func,
     return outs;
 }
 
+const analysis::RangeAnalysis &
+RegionFormer::rangesFor(ir::FuncId f)
+{
+    auto it = rangeCache_.find(f);
+    if (it == rangeCache_.end()) {
+        it = rangeCache_
+                 .emplace(f, std::make_unique<analysis::RangeAnalysis>(
+                                 mod_, mod_.function(f)))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+RegionFormer::annotateMemRanges()
+{
+    if (!policy_.rangeMemClaims)
+        return;
+
+    // Per-struct accumulator while sweeping the region's loads.
+    struct Acc
+    {
+        bool touched = false;
+        bool whole = false;
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+    };
+
+    for (auto &region : table_.mutableRegions()) {
+        if (region.memStructs.empty())
+            continue;
+        const std::size_t n = region.memStructs.size();
+        std::vector<Acc> acc(n);
+
+        const auto indexOf = [&](ir::GlobalId g) -> int {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (region.memStructs[i] == g)
+                    return static_cast<int>(i);
+            }
+            return -1;
+        };
+        const auto feedLoad = [&](ir::FuncId f, const ir::Inst &inst) {
+            if (!inst.isLoad())
+                return;
+            const analysis::AccessRange ar =
+                rangesFor(f).accessRange(inst);
+            if (ar.known) {
+                // The address is pinned to one global: only that
+                // struct's claim grows, by exactly the inferred bytes.
+                const int idx = indexOf(ar.global);
+                if (idx < 0)
+                    return; // const table or struct outside the claim
+                Acc &a = acc[static_cast<std::size_t>(idx)];
+                if (!a.touched) {
+                    a.touched = true;
+                    a.lo = ar.lo;
+                    a.hi = ar.hi;
+                } else {
+                    analysis::unionRange(a.lo, a.hi, ar.lo, ar.hi);
+                }
+            } else {
+                // Unbounded address: every struct Andersen allows for
+                // this load must stay claimed whole.
+                for (const auto g : alias_.memAccess(f, inst).globals) {
+                    const int idx = indexOf(g);
+                    if (idx >= 0) {
+                        acc[static_cast<std::size_t>(idx)].touched =
+                            true;
+                        acc[static_cast<std::size_t>(idx)].whole = true;
+                    }
+                }
+            }
+        };
+
+        if (region.functionLevel) {
+            // The claimed reads live in the callee call tree of the
+            // region-end-marked call.
+            const ir::Function &func = mod_.function(region.func);
+            std::unordered_set<ir::FuncId> tree;
+            std::vector<ir::FuncId> work;
+            for (const auto &inst :
+                 func.block(region.bodyEntry).insts()) {
+                if (inst.op == ir::Opcode::Call && inst.ext.regionEnd)
+                    work.push_back(inst.callee);
+            }
+            while (!work.empty()) {
+                const ir::FuncId cfid = work.back();
+                work.pop_back();
+                if (!tree.insert(cfid).second)
+                    continue;
+                for (const auto &cb : mod_.function(cfid).blocks()) {
+                    for (const auto &inst : cb.insts()) {
+                        feedLoad(cfid, inst);
+                        if (inst.op == ir::Opcode::Call)
+                            work.push_back(inst.callee);
+                    }
+                }
+            }
+        } else {
+            const ir::Function &func = mod_.function(region.func);
+            for (const ir::BlockId b : region.memberBlocks) {
+                for (const auto &inst : func.block(b).insts())
+                    feedLoad(region.func, inst);
+            }
+        }
+
+        region.memRanges.clear();
+        region.memRanges.reserve(n);
+        bool any_narrow = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            MemRange mr; // whole by default
+            const Acc &a = acc[i];
+            const ir::Global &g = mod_.global(region.memStructs[i]);
+            // An untouched struct (no region load resolves into it)
+            // stays claimed whole: membership is Andersen's claim and
+            // remains authoritative. A ranged claim that happens to
+            // span the whole struct also stays in the compact form.
+            if (a.touched && !a.whole
+                && !(a.lo == 0 && g.sizeBytes != 0
+                     && a.hi == g.sizeBytes - 1)) {
+                mr.whole = false;
+                mr.lo = a.lo;
+                mr.hi = a.hi;
+                any_narrow = true;
+            }
+            region.memRanges.push_back(mr);
+        }
+        if (!any_narrow)
+            region.memRanges.clear();
+    }
+}
+
 void
 RegionFormer::placeInvalidations()
 {
@@ -523,16 +656,38 @@ RegionFormer::placeInvalidations()
                     continue;
                 const analysis::PtSet &t =
                     alias_.memAccess(fid, insts[i]);
+                analysis::AccessRange sr;
+                if (policy_.rangeMemClaims)
+                    sr = rangesFor(fid).accessRange(insts[i]);
                 std::vector<ir::RegionId> affected;
                 for (const auto *r : md) {
-                    bool hit = t.unknown;
-                    if (!hit) {
+                    bool andersen_hit = t.unknown;
+                    if (!andersen_hit) {
                         for (const auto g : r->memStructs) {
                             if (t.globals.count(g)) {
+                                andersen_hit = true;
+                                break;
+                            }
+                        }
+                    }
+                    bool hit = andersen_hit;
+                    if (sr.known) {
+                        // The store's address is pinned to one global:
+                        // it needs an invalidation only for regions
+                        // whose claimed range of that global overlaps
+                        // the written bytes.
+                        hit = false;
+                        for (std::size_t gi = 0;
+                             gi < r->memStructs.size(); ++gi) {
+                            if (r->memStructs[gi] == sr.global
+                                && r->memRange(gi).overlaps(sr.lo,
+                                                            sr.hi)) {
                                 hit = true;
                                 break;
                             }
                         }
+                        if (andersen_hit && !hit)
+                            ++stats_.invalidationsElided;
                     }
                     if (hit)
                         affected.push_back(r->id);

@@ -14,10 +14,13 @@
 #ifndef CCR_CORE_FORMER_HH
 #define CCR_CORE_FORMER_HH
 
+#include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "analysis/alias.hh"
+#include "analysis/ranges.hh"
 #include "core/eligibility.hh"
 #include "core/policy.hh"
 #include "core/region.hh"
@@ -35,6 +38,11 @@ struct FormationStats
     int functionLevelFormed = 0;
     int seedsRejected = 0;
     int invalidationsPlaced = 0;
+
+    /** Invalidations the Andersen path would have placed but the
+     *  range claims proved unnecessary (store misses every claimed
+     *  byte range). */
+    int invalidationsElided = 0;
     int blocksReordered = 0;
 };
 
@@ -82,6 +90,25 @@ class RegionFormer
     void formFunctionLevelRegions(ir::Function &func);
     void renumberByWeight();
     void placeInvalidations();
+
+    /**
+     * Refine each memory-dependent region's claims from whole
+     * structures to `g[lo..hi]` byte ranges using the access-range
+     * inference (policy.rangeMemClaims). Runs after formation (the
+     * CFG is final) and before placeInvalidations, which consumes the
+     * ranges to elide provably non-overlapping invalidations. Struct
+     * *membership* stays exactly Andersen's answer; only the claimed
+     * extent within each struct narrows.
+     */
+    void annotateMemRanges();
+
+    /** Lazily built per-function access-range analysis over the
+     *  post-formation IR (cache valid because placeInvalidations only
+     *  inserts register-free Invalidate instructions). */
+    const analysis::RangeAnalysis &rangesFor(ir::FuncId f);
+    std::unordered_map<ir::FuncId,
+                       std::unique_ptr<analysis::RangeAnalysis>>
+        rangeCache_;
 
     /** Stamp each formed region with its static instruction mix (by
      *  FuClass) and the loop depth of its body entry — evaluation

@@ -87,6 +87,16 @@ struct ReusePolicy
      * default to match the paper's evaluated configuration.
      */
     bool enableFunctionLevel = false;
+
+    /**
+     * Use symbolic access-range inference (analysis/ranges.hh) to
+     * refine memory-dependent claims to `g[lo..hi]` byte ranges:
+     * stores provably outside every claimed range elide their
+     * invalidation statically, and the reuse schemes skip invalidates
+     * whose store misses the claims dynamically. Off reverts to
+     * whole-structure claims everywhere.
+     */
+    bool rangeMemClaims = true;
 };
 
 } // namespace ccr::core

@@ -25,6 +25,28 @@ enum class RegionClass : std::uint8_t
     MemoryDependent  ///< MD: reads compile-time-determinable memory
 };
 
+/**
+ * Byte range claimed within one memory structure: offsets [lo, hi]
+ * inclusive, or the whole structure when `whole` is set (in which case
+ * lo/hi are ignored). Produced by the range-inference pass
+ * (analysis/ranges.hh); `reads g[lo..hi]` in the region-claim grammar.
+ */
+struct MemRange
+{
+    bool whole = true;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    /** True when this claim overlaps byte range [lo, hi] inclusive. */
+    bool
+    overlaps(std::uint64_t other_lo, std::uint64_t other_hi) const
+    {
+        return whole || (lo <= other_hi && other_lo <= hi);
+    }
+
+    bool operator==(const MemRange &) const = default;
+};
+
 /** One formed reusable computation region. */
 struct ReuseRegion
 {
@@ -52,6 +74,23 @@ struct ReuseRegion
 
     /** Non-const memory structures the region reads; empty => SL. */
     std::vector<ir::GlobalId> memStructs;
+
+    /**
+     * Claimed byte range within the matching memStructs entry
+     * (index-aligned with memStructs). `whole` means the claim covers
+     * the entire structure — the pre-range behavior. An empty vector
+     * means every claim is whole; tables built outside RegionFormer
+     * (tests, text reconstruction without range suffixes) stay valid
+     * without change.
+     */
+    std::vector<MemRange> memRanges;
+
+    /** Claimed range of memStructs[i]; whole when memRanges is empty. */
+    MemRange
+    memRange(std::size_t i) const
+    {
+        return i < memRanges.size() ? memRanges[i] : MemRange{};
+    }
 
     /**
      * Every block claimed to belong to the region body (body blocks

@@ -28,6 +28,10 @@ DecodedProgram::DecodedProgram(const ir::Module &mod,
         for (const auto &bb : func.blocks()) {
             df.blockStart[bb.id()] =
                 static_cast<std::uint32_t>(df.insts.size());
+            // Tracks whether the preceding instruction chain (through
+            // other Invalidates only) ends in a Store, so an
+            // Invalidate can be tagged with the store that caused it.
+            bool after_store = false;
             for (std::size_t i = 0; i < bb.size(); ++i) {
                 const ir::Inst &inst = bb.inst(i);
                 DecodedInst di;
@@ -50,6 +54,10 @@ DecodedProgram::DecodedProgram(const ir::Module &mod,
                 di.callee = inst.callee;
                 di.globalId = inst.globalId;
                 di.regionId = inst.regionId;
+                if (inst.op == ir::Opcode::Invalidate)
+                    di.afterStore = after_store;
+                else
+                    after_store = inst.isStore();
                 df.insts.push_back(di);
             }
         }

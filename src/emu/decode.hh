@@ -54,6 +54,14 @@ struct DecodedInst
     ir::FuncId callee = ir::kNoFunc;
     ir::GlobalId globalId = ir::kNoGlobal;
     ir::RegionId regionId = ir::kNoRegion;
+
+    /** Invalidate only: statically preceded (through nothing but other
+     *  Invalidates) by a Store in the same block, i.e. placed by the
+     *  former as that store's invalidation. The machine then forwards
+     *  the store's address/size to ReuseHandler::onInvalidate so
+     *  range-claiming schemes can skip non-overlapping kills. False
+     *  for hand-written invalidates with no adjacent store. */
+    bool afterStore = false;
 };
 
 /** One function, flattened. */

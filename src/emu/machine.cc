@@ -138,6 +138,8 @@ Machine::restart()
     halted_ = false;
     instCount_ = 0;
     heapNext_ = kHeapBase;
+    lastStoreAddr_ = 0;
+    lastStoreSize_ = 0;
 
     const auto entry = mod_.entryFunction();
     ccr_assert(entry != ir::kNoFunc, "module has no entry function");
@@ -235,6 +237,9 @@ Machine::step(ExecInfo &info)
         info.memAddr = static_cast<Addr>(info.srcVals[0])
                        + static_cast<Addr>(di.imm);
         mem_.write(info.memAddr, di.size, info.srcVals[1]);
+        lastStoreAddr_ = info.memAddr;
+        lastStoreSize_ =
+            static_cast<unsigned>(ir::memSizeBytes(di.size));
         ++cStores_;
         break;
       }
@@ -313,8 +318,17 @@ Machine::step(ExecInfo &info)
         break;
       }
       case Opcode::Invalidate:
-        if (reuse_)
-            reuse_->onInvalidate(di.regionId);
+        // Forward the triggering store only when the decode proved
+        // this invalidate sits right after one; hand-written
+        // invalidates stay unconditional (size 0).
+        if (reuse_) {
+            if (di.afterStore) {
+                reuse_->onInvalidate(di.regionId, lastStoreAddr_,
+                                     lastStoreSize_);
+            } else {
+                reuse_->onInvalidate(di.regionId, 0, 0);
+            }
+        }
         ++cInvalidates_;
         break;
       default:

@@ -128,8 +128,16 @@ class ReuseHandler
      *  ext.regionExit bits to finish recording. */
     virtual void observe(const ExecInfo &info) = 0;
 
-    /** An `invalidate` instruction executed. */
-    virtual void onInvalidate(ir::RegionId region) = 0;
+    /** An `invalidate` instruction executed. @p store_addr /
+     *  @p store_size describe the store that triggered it when the
+     *  invalidate statically follows one in its block (store_size > 0);
+     *  a size of 0 means the triggering store is unknown and the
+     *  handler must invalidate unconditionally. Handlers holding range
+     *  claims (ReuseScheme::setMemClaims) may skip the kill when the
+     *  store provably misses every claimed range. */
+    virtual void onInvalidate(ir::RegionId region, Addr store_addr,
+                              unsigned store_size)
+        = 0;
 
     /** True while memoization mode is active (machine forwards every
      *  instruction through observe() only in that case). */
@@ -266,6 +274,12 @@ class Machine
     std::vector<Frame> frames_;
     bool halted_ = false;
     std::uint64_t instCount_ = 0;
+
+    /** Address/size of the last committed Store, handed to
+     *  ReuseHandler::onInvalidate when the invalidate is statically
+     *  tied to a store (DecodedInst::afterStore). Size 0 = none yet. */
+    Addr lastStoreAddr_ = 0;
+    unsigned lastStoreSize_ = 0;
 
     ReuseHandler *reuse_ = nullptr;
     std::vector<Observer *> observers_;

@@ -1,6 +1,7 @@
 #include "lint/crosscheck.hh"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -46,6 +47,17 @@ class GlobalMap
         return addr < it->hi ? it->gid : kNoGlobal;
     }
 
+    /** Byte offset of @p addr inside @p g (addr must be inside). */
+    emu::Addr
+    offsetIn(GlobalId g, emu::Addr addr) const
+    {
+        for (const Span &s : spans_) {
+            if (s.gid == g)
+                return addr - s.lo;
+        }
+        return addr;
+    }
+
   private:
     struct Span
     {
@@ -70,12 +82,46 @@ class CrossChecker : public emu::Observer
                  CrossCheckResult &result)
         : mod_(machine.module()), table_(table), globals_(machine),
           result_(result)
-    {}
+    {
+        // Absolute byte spans claimed by each memory-dependent
+        // region, for the store/invalidate pairing watch.
+        for (const auto &r : table_.regions()) {
+            if (r.memStructs.empty())
+                continue;
+            RegionClaims rc;
+            rc.id = r.id;
+            for (std::size_t i = 0; i < r.memStructs.size(); ++i) {
+                const auto &gl = mod_.global(r.memStructs[i]);
+                const emu::Addr base =
+                    machine.globalAddr(r.memStructs[i]);
+                const core::MemRange mr = r.memRange(i);
+                if (mr.whole)
+                    rc.spans.push_back(
+                        {base, base + gl.sizeBytes - 1});
+                else
+                    rc.spans.push_back({base + mr.lo, base + mr.hi});
+            }
+            mdClaims_.push_back(std::move(rc));
+        }
+    }
 
     void
     onInst(const emu::ExecInfo &info) override
     {
         const Inst &inst = *info.inst;
+
+        // Store/invalidate pairing: a store overlapping a region's
+        // claimed byte spans must be chased by `invalidate #id`
+        // before anything else executes, or the region could replay
+        // stale CIs. This dynamically audits the former's
+        // range-based invalidation elision.
+        if (inst.op == Opcode::Invalidate) {
+            pendingInv_.erase(inst.regionId);
+        } else {
+            flushPendingInvalidates();
+            if (inst.isStore())
+                watchStore(info);
+        }
 
         if (inst.op == Opcode::Reuse) {
             if (active_ != nullptr) {
@@ -121,6 +167,10 @@ class CrossChecker : public emu::Observer
         memStructs_.clear();
         memStructs_.insert(active_->memStructs.begin(),
                            active_->memStructs.end());
+        memRanges_.clear();
+        for (std::size_t i = 0; i < active_->memStructs.size(); ++i)
+            memRanges_.emplace(active_->memStructs[i],
+                               active_->memRange(i));
     }
 
     void endTracking() { active_ = nullptr; }
@@ -146,7 +196,7 @@ class CrossChecker : public emu::Observer
         }
 
         if (inst.isLoad())
-            checkLoad(info.memAddr);
+            checkLoad(info.memAddr, inst);
 
         if (inst.hasDst()) {
             defined_.insert(inst.dst);
@@ -182,7 +232,7 @@ class CrossChecker : public emu::Observer
         // Loads are checked at every call depth: the whole callee
         // tree is summarized by the region's memory set.
         if (inst.isLoad())
-            checkLoad(info.memAddr);
+            checkLoad(info.memAddr, inst);
 
         if (callDepth_ == 0) {
             if (inst.op == Opcode::Call && inst.ext.regionEnd) {
@@ -220,7 +270,7 @@ class CrossChecker : public emu::Observer
     }
 
     void
-    checkLoad(emu::Addr addr)
+    checkLoad(emu::Addr addr, const Inst &inst)
     {
         const GlobalId g = globals_.lookup(addr);
         if (g == kNoGlobal) {
@@ -232,33 +282,118 @@ class CrossChecker : public emu::Observer
             return;
         }
         const auto &gl = mod_.global(g);
-        if (gl.isConst || memStructs_.count(g))
+        if (gl.isConst)
             return;
-        violation("lint.dyn.mem",
+        if (!memStructs_.count(g)) {
+            violation("lint.dyn.mem",
+                      "region #" + std::to_string(active_->id) +
+                          ": execution loaded from global '" +
+                          gl.name +
+                          "' outside the claimed memory set");
+            return;
+        }
+
+        // Narrowed claim: the loaded bytes must fall inside the
+        // claimed range, or a store elsewhere in the structure could
+        // skip invalidation while this load goes stale.
+        const auto it = memRanges_.find(g);
+        if (it == memRanges_.end() || it->second.whole)
+            return;
+        const emu::Addr off = globals_.offsetIn(g, addr);
+        const emu::Addr last =
+            off + ir::memSizeBytes(inst.size) - 1;
+        if (off >= it->second.lo && last <= it->second.hi)
+            return;
+        violation("lint.dyn.mem.range",
                   "region #" + std::to_string(active_->id) +
-                      ": execution loaded from global '" + gl.name +
-                      "' outside the claimed memory set");
+                      ": execution loaded '" + gl.name + "[" +
+                      std::to_string(off) + ".." +
+                      std::to_string(last) +
+                      "]' outside the claimed range [" +
+                      std::to_string(it->second.lo) + ".." +
+                      std::to_string(it->second.hi) + "]",
+                  "range|" + std::to_string(active_->id) + "|" +
+                      std::to_string(g));
+    }
+
+    /** Record which MD regions the just-executed store obligates to
+     *  invalidate (claimed spans overlapping the stored bytes). */
+    void
+    watchStore(const emu::ExecInfo &info)
+    {
+        const emu::Addr lo = info.memAddr;
+        const emu::Addr hi =
+            lo + ir::memSizeBytes(info.inst->size) - 1;
+        for (const RegionClaims &rc : mdClaims_) {
+            bool overlap = false;
+            for (const auto &[clo, chi] : rc.spans) {
+                if (clo <= hi && lo <= chi) {
+                    overlap = true;
+                    break;
+                }
+            }
+            if (!overlap)
+                continue;
+            const GlobalId g = globals_.lookup(lo);
+            const std::string where =
+                g == kNoGlobal
+                    ? "an unnamed address"
+                    : "'" + mod_.global(g).name + "[" +
+                          std::to_string(globals_.offsetIn(g, lo)) +
+                          "]'";
+            pendingInv_[rc.id] =
+                "store to " + where + " overlaps the claimed byte "
+                "ranges of region #" + std::to_string(rc.id) +
+                " but no 'invalidate #" + std::to_string(rc.id) +
+                "' followed before the next instruction";
+        }
     }
 
     void
-    violation(const char *rule, std::string msg)
+    flushPendingInvalidates()
     {
-        if (!seen_.insert(msg).second)
+        if (pendingInv_.empty())
             return;
-        result_.diagnostics.push_back(ir::makeError(rule, msg));
+        for (auto &[id, msg] : pendingInv_) {
+            violation("lint.dyn.store.missed-invalidate",
+                      std::move(msg),
+                      "inv|" + std::to_string(id));
+        }
+        pendingInv_.clear();
     }
+
+    void
+    violation(const char *rule, std::string msg, std::string key = "")
+    {
+        const std::string dedup =
+            key.empty() ? msg : std::string(rule) + "|" + key;
+        if (!seen_.insert(dedup).second)
+            return;
+        result_.diagnostics.push_back(
+            ir::makeError(rule, std::move(msg)));
+    }
+
+    /** One MD region's claimed byte spans, in absolute addresses. */
+    struct RegionClaims
+    {
+        RegionId id = kNoRegion;
+        std::vector<std::pair<emu::Addr, emu::Addr>> spans;
+    };
 
     const ir::Module &mod_;
     const core::RegionTable &table_;
     GlobalMap globals_;
     CrossCheckResult &result_;
+    std::vector<RegionClaims> mdClaims_;
 
     const core::ReuseRegion *active_ = nullptr;
     std::set<Reg> defined_;
     std::set<Reg> liveIns_;
     std::set<Reg> liveOuts_;
     std::set<GlobalId> memStructs_;
+    std::map<GlobalId, core::MemRange> memRanges_;
     int callDepth_ = 0;
+    std::map<RegionId, std::string> pendingInv_;
     std::set<std::string> seen_;
 };
 

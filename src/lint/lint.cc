@@ -13,6 +13,7 @@
 #include "analysis/dominators.hh"
 #include "analysis/liveness.hh"
 #include "analysis/loops.hh"
+#include "analysis/ranges.hh"
 
 namespace ccr::lint
 {
@@ -181,6 +182,22 @@ class Linter
         if (it == fa_.end()) {
             it = fa_.emplace(f, std::make_unique<FuncAnalyses>(
                                     mod_.function(f)))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    /** Per-function access-range inference, built on first use. Like
+     *  the rest of the lint this is an independent derivation — it
+     *  never consults the former's cached analysis. */
+    const analysis::RangeAnalysis &
+    ranges(FuncId f)
+    {
+        auto it = ra_.find(f);
+        if (it == ra_.end()) {
+            it = ra_.emplace(
+                        f, std::make_unique<analysis::RangeAnalysis>(
+                               mod_, mod_.function(f)))
                      .first;
         }
         return *it->second;
@@ -687,6 +704,8 @@ class Linter
                              r.func, inst.uid);
                     }
                 }
+                if (!r.memRanges.empty())
+                    checkClaimRanges(r, r.func, b, inst);
             }
         }
         for (const auto g : claimed) {
@@ -704,6 +723,55 @@ class Linter
                      ") disagrees with the body (" +
                      (uses_memory ? "contains" : "contains no") +
                      " loads)");
+        }
+    }
+
+    /**
+     * Range-claim coverage: when a claim is narrowed to
+     * `g[lo..hi]`, every load that may touch @p g must have an
+     * inferred access range that fits inside the claimed bytes — a
+     * store outside the range is allowed to skip invalidation, so an
+     * uncovered load would read stale CIs.
+     */
+    void
+    checkClaimRanges(const core::ReuseRegion &r, FuncId f, BlockId b,
+                     const Inst &inst)
+    {
+        const analysis::AccessRange ar = ranges(f).accessRange(inst);
+        for (std::size_t i = 0; i < r.memStructs.size(); ++i) {
+            const core::MemRange mr = r.memRange(i);
+            if (mr.whole)
+                continue;
+            const GlobalId g = r.memStructs[i];
+            if (ar.known) {
+                if (ar.global != g)
+                    continue; // provably a different structure
+                if (ar.lo >= mr.lo && ar.hi <= mr.hi)
+                    continue;
+                diag(Severity::Error, "lint.region.mem.range",
+                     rname(r.id) + ": " + at(f, b) +
+                         ": load reads '" + mod_.global(g).name +
+                         "[" + std::to_string(ar.lo) + ".." +
+                         std::to_string(ar.hi) +
+                         "]' outside the claimed range [" +
+                         std::to_string(mr.lo) + ".." +
+                         std::to_string(mr.hi) + "] in '" +
+                         inst.toString() + "'",
+                     f, inst.uid);
+                continue;
+            }
+            const analysis::PtSet &pts = alias_.memAccess(f, inst);
+            if (!pts.unknown && !pts.globals.count(g))
+                continue;
+            diag(Severity::Error, "lint.region.mem.range",
+                 rname(r.id) + ": " + at(f, b) + ": load into '" +
+                     mod_.global(g).name +
+                     "' has no statically bounded access range but "
+                     "the claim is narrowed to [" +
+                     std::to_string(mr.lo) + ".." +
+                     std::to_string(mr.hi) + "] in '" +
+                     inst.toString() + "'",
+                 f, inst.uid);
         }
     }
 
@@ -795,6 +863,29 @@ class Linter
                          "' is never read by the memoized callee");
             }
         }
+
+        // Narrowed claims: every load anywhere in the callee tree
+        // must fit inside the claimed byte ranges.
+        if (!r.memRanges.empty()) {
+            std::vector<FuncId> work{callee};
+            std::set<FuncId> seen{callee};
+            while (!work.empty()) {
+                const FuncId cf = work.back();
+                work.pop_back();
+                const auto &cfn = mod_.function(cf);
+                for (const auto &bb : cfn.blocks()) {
+                    for (const auto &inst : bb.insts()) {
+                        if (inst.op == Opcode::Call &&
+                            inst.callee < mod_.numFunctions() &&
+                            seen.insert(inst.callee).second) {
+                            work.push_back(inst.callee);
+                        }
+                        if (inst.isLoad())
+                            checkClaimRanges(r, cf, bb.id(), inst);
+                    }
+                }
+            }
+        }
     }
 
     // ----- module-wide checks ---------------------------------------
@@ -841,6 +932,29 @@ class Linter
                             }
                         }
                         if (aliases && !following.count(r->id)) {
+                            // Range-based proof: a store whose
+                            // inferred byte range misses every
+                            // claimed range of the region cannot
+                            // stale its CIs, so the former is
+                            // allowed to elide the invalidation.
+                            const analysis::AccessRange sr =
+                                ranges(fid).accessRange(insts[i]);
+                            if (sr.known) {
+                                bool hit = false;
+                                for (std::size_t gi = 0;
+                                     gi < r->memStructs.size();
+                                     ++gi) {
+                                    if (r->memStructs[gi] ==
+                                            sr.global &&
+                                        r->memRange(gi).overlaps(
+                                            sr.lo, sr.hi)) {
+                                        hit = true;
+                                        break;
+                                    }
+                                }
+                                if (!hit)
+                                    continue;
+                            }
                             diag(Severity::Error,
                                  "lint.region.store.unsummarized",
                                  at(fid, bb.id()) +
@@ -893,6 +1007,7 @@ class Linter
     std::map<RegionId, std::vector<ReuseSite>> reuseSites_;
     std::map<RegionId, std::vector<ReuseSite>> invalidateSites_;
     std::map<FuncId, std::unique_ptr<FuncAnalyses>> fa_;
+    std::map<FuncId, std::unique_ptr<analysis::RangeAnalysis>> ra_;
     std::set<std::pair<FuncId, InstUid>> boundaryUids_;
 };
 
@@ -931,26 +1046,87 @@ parseRegList(const ir::Module &mod, std::string_view text,
     return true;
 }
 
+/** Parse the "[lo..hi]" byte-range suffix of a mem= claim item. */
+bool
+parseByteRange(std::string_view spec, std::uint64_t &lo,
+               std::uint64_t &hi)
+{
+    if (spec.size() < 5 || spec.front() != '[' || spec.back() != ']')
+        return false;
+    spec = spec.substr(1, spec.size() - 2);
+    const std::size_t dots = spec.find("..");
+    if (dots == std::string_view::npos)
+        return false;
+    auto num = [](std::string_view s, std::uint64_t &v) {
+        if (s.empty())
+            return false;
+        v = 0;
+        for (const char c : s) {
+            if (c < '0' || c > '9')
+                return false;
+            v = v * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        return true;
+    };
+    return num(spec.substr(0, dots), lo) &&
+           num(spec.substr(dots + 2), hi);
+}
+
 bool
 parseGlobalList(const ir::Module &mod, std::string_view text,
-                std::vector<GlobalId> &out, std::string &err)
+                std::vector<GlobalId> &out,
+                std::vector<core::MemRange> &ranges, std::string &err)
 {
+    bool any_narrow = false;
     std::size_t pos = 0;
     while (pos < text.size()) {
         std::size_t comma = text.find(',', pos);
         if (comma == std::string_view::npos)
             comma = text.size();
-        const std::string item(text.substr(pos, comma - pos));
+        std::string item(text.substr(pos, comma - pos));
         pos = comma + 1;
         if (item.empty())
             continue;
+        core::MemRange mr;
+        const std::size_t br = item.find('[');
+        if (br != std::string::npos) {
+            const std::string spec = item.substr(br);
+            item.resize(br);
+            if (!parseByteRange(spec, mr.lo, mr.hi)) {
+                err = "malformed byte range '" + spec +
+                      "' (expected [lo..hi])";
+                return false;
+            }
+            mr.whole = false;
+        }
         const Global *g = mod.findGlobal(item);
         if (g == nullptr) {
             err = "unknown global '" + item + "'";
             return false;
         }
+        if (!mr.whole) {
+            if (mr.lo > mr.hi) {
+                err = "empty byte range [" + std::to_string(mr.lo) +
+                      ".." + std::to_string(mr.hi) + "] on '" + item +
+                      "'";
+                return false;
+            }
+            if (mr.hi >= g->sizeBytes) {
+                err = "byte range [" + std::to_string(mr.lo) + ".." +
+                      std::to_string(mr.hi) + "] exceeds '" + item +
+                      "' (" + std::to_string(g->sizeBytes) +
+                      " bytes)";
+                return false;
+            }
+        }
         out.push_back(g->id);
+        ranges.push_back(mr);
+        any_narrow |= !mr.whole;
     }
+    // Compact form: all-whole claims carry no range vector (matches
+    // the former's representation and the report surface).
+    if (!any_narrow)
+        ranges.clear();
     return true;
 }
 
@@ -1057,7 +1233,9 @@ regionsFromSource(const ir::Module &mod,
                 ok = parseRegList(mod, val, r.liveOuts, err);
             } else if (key == "mem" && eq != std::string::npos) {
                 r.memStructs.clear();
-                ok = parseGlobalList(mod, val, r.memStructs, err);
+                r.memRanges.clear();
+                ok = parseGlobalList(mod, val, r.memStructs,
+                                     r.memRanges, err);
             } else {
                 ok = false;
                 err = "unknown field '" + tok + "'";

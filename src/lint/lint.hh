@@ -66,7 +66,16 @@ LintResult lintModule(const ir::Module &mod,
  * cyclic/function-level derived from the IR), the claim sets from
  * `;! region` pragmas:
  *
- *     ;! region <id> [livein=r1,r2|livein=] [liveout=...] [mem=g,...]
+ *     ;! region <id> [livein=r1,r2|livein=] [liveout=...]
+ *                    [mem=g,g2[lo..hi],...]
+ *
+ * A mem= item may carry a `[lo..hi]` byte-range suffix narrowing the
+ * claim from the whole structure to that inclusive range: only stores
+ * overlapping the claimed bytes must invalidate the region, and every
+ * region load into the structure must provably fit inside the range
+ * (rule lint.region.mem.range). Items without a suffix claim the
+ * whole structure. Ranges must be non-empty and within the global's
+ * size.
  *
  * Claim-syntax problems append Error diagnostics; a pragma naming a
  * region with no reuse instruction appends a Warn; a reuse

@@ -266,13 +266,14 @@ DynamicTraceMemo::observe(const emu::ExecInfo &info)
 }
 
 void
-DynamicTraceMemo::onInvalidate(ir::RegionId region)
+DynamicTraceMemo::onInvalidate(ir::RegionId region, emu::Addr /*store_addr*/,
+                               unsigned /*store_size*/)
 {
     // Architectural no-op: DTM establishes memory freshness by
     // re-probing load addresses at query time, so compiler-placed
-    // store notifications carry no state change. Counted for the
-    // record; an in-flight capture of the same region is still
-    // dropped (the store may precede the region end).
+    // store notifications (and their range refinements) carry no state
+    // change. Counted for the record; an in-flight capture of the same
+    // region is still dropped (the store may precede the region end).
     ++cInvalidates_;
     if (trace_)
         trace_->emit(obs::TraceEventKind::Invalidate, region);

@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "emu/machine.hh"
 #include "obs/metrics.hh"
@@ -43,6 +44,18 @@
 
 namespace ccr::reuse
 {
+
+/**
+ * One absolute byte range [lo, hi] (inclusive) a region claims to
+ * read. The harness resolves the former's per-global `g[lo..hi]`
+ * claims against the machine's global layout before a run, so schemes
+ * compare raw addresses without knowing about globals.
+ */
+struct MemClaim
+{
+    emu::Addr lo = 0;
+    emu::Addr hi = 0;
+};
 
 /**
  * Capability flags describing what the timing model must charge for
@@ -129,11 +142,54 @@ class ReuseScheme : public emu::ReuseHandler
         return queriesByRegion_;
     }
 
+    /**
+     * Register the byte ranges region @p region claims to read.
+     * A scheme receiving an invalidate whose triggering store misses
+     * every claim of the region may keep the entry alive
+     * (claimsDisjoint()). Regions without registered claims always
+     * invalidate — claims are an opt-in refinement, absence means
+     * "reads the whole structure" exactly as before.
+     */
+    void
+    setMemClaims(ir::RegionId region, std::vector<MemClaim> claims)
+    {
+        memClaims_[region] = std::move(claims);
+    }
+
+    /** Drop all registered claims (scheme reset / module swap). */
+    void clearMemClaims() { memClaims_.clear(); }
+
   protected:
+    /**
+     * True when region @p region has registered claims and the store
+     * of @p size bytes at @p addr overlaps none of them — the
+     * invalidate may be skipped. size == 0 (unknown store) or an
+     * unregistered region always returns false: invalidate.
+     */
+    bool
+    claimsDisjoint(ir::RegionId region, emu::Addr addr,
+                   unsigned size) const
+    {
+        if (size == 0)
+            return false;
+        const auto it = memClaims_.find(region);
+        if (it == memClaims_.end())
+            return false;
+        const emu::Addr last = addr + size - 1;
+        for (const MemClaim &c : it->second) {
+            if (c.lo <= last && addr <= c.hi)
+                return false;
+        }
+        return true;
+    }
+
     obs::MetricRegistry metrics_;
     obs::TraceSink *trace_ = nullptr;
     std::unordered_map<ir::RegionId, std::uint64_t> hitsByRegion_;
     std::unordered_map<ir::RegionId, std::uint64_t> queriesByRegion_;
+
+  private:
+    std::unordered_map<ir::RegionId, std::vector<MemClaim>> memClaims_;
 };
 
 } // namespace ccr::reuse

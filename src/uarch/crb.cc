@@ -397,9 +397,23 @@ Crb::abortMemo(const char *reason)
 }
 
 void
-Crb::onInvalidate(ir::RegionId region)
+Crb::onInvalidate(ir::RegionId region, emu::Addr store_addr,
+                  unsigned store_size)
 {
     ++cInvalidates_;
+
+    // Range filter: when the triggering store is known and misses
+    // every byte range the region claims to read, the cached CIs are
+    // still coherent — keep them (and any in-flight recording, whose
+    // loads the store equally cannot have affected).
+    if (claimsDisjoint(region, store_addr, store_size)) {
+        // Lazily created so the metric key only exists on schemes and
+        // workloads where the filter actually fires (report-key
+        // stability for pre-range golden figures).
+        ++metrics_.counter("crb.invalidatesIgnored");
+        return;
+    }
+
     if (trace_)
         trace_->emit(obs::TraceEventKind::Invalidate, region);
     const std::size_t set = region % numSets_;
@@ -413,6 +427,21 @@ Crb::onInvalidate(ir::RegionId region)
             if (ci.valid && ci.accessesMemory)
                 ci.memValid = false;
         }
+#ifndef NDEBUG
+        // The summary cache is deliberately not dirtied here (it spans
+        // valid CIs regardless of memValid), which makes this the one
+        // mutation path with no freshness handshake. Differentially
+        // check the cache against a from-scratch rebuild so any future
+        // change that lets invalidation alter CI validity (rather than
+        // just memValid) cannot silently serve a stale summary.
+        if (e.summaryFresh) {
+            CompEntry scratch;
+            scratch.instances = e.instances;
+            rebuildSummary(scratch);
+            ccr_assert(scratch.summary == e.summary,
+                       "CRB summary cache stale after invalidate");
+        }
+#endif
     }
     // An in-flight recording of the same region keeps running: its
     // loads happened before this invalidate only if the store preceded

@@ -111,7 +111,8 @@ class Crb : public reuse::ReuseScheme
     emu::ReuseOutcome onReuse(ir::RegionId region,
                               emu::Machine &machine) override;
     void observe(const emu::ExecInfo &info) override;
-    void onInvalidate(ir::RegionId region) override;
+    void onInvalidate(ir::RegionId region, emu::Addr store_addr,
+                      unsigned store_size) override;
     bool memoActive() const override { return memo_.active; }
 
     // -- reuse::ReuseScheme -------------------------------------------

@@ -163,9 +163,10 @@ class Pipeline
         {
             inner->observe(info);
         }
-        void onInvalidate(ir::RegionId region) override
+        void onInvalidate(ir::RegionId region, emu::Addr store_addr,
+                          unsigned store_size) override
         {
-            inner->onInvalidate(region);
+            inner->onInvalidate(region, store_addr, store_size);
         }
         bool memoActive() const override { return inner->memoActive(); }
 

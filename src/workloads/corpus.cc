@@ -268,6 +268,13 @@ class DirectiveReader
             }
             const std::string key = words[i].substr(0, eq);
             const std::string val = words[i].substr(eq + 1);
+            for (std::size_t j = 4; j < i; ++j) {
+                if (words[j].compare(0, eq + 1, key + "=") == 0) {
+                    error(p, "duplicate fill key '" + key + "' ('" +
+                                 words[j] + "' vs '" + words[i] + "')");
+                    return;
+                }
+            }
             bool ok = true;
             if (key == "seed")
                 ok = parseU64(val, a.seed), haveSeed = ok;
@@ -290,6 +297,13 @@ class DirectiveReader
         }
 
         const bool zipf = a.kind == Action::Kind::FillZipf;
+        if (!zipf && (haveDistinct || haveTheta)) {
+            error(p, std::string("uniform fill does not take '") +
+                         (haveDistinct ? "distinct" : "theta") +
+                         "=' (zipf-only key contradicts the "
+                         "distribution)");
+            return;
+        }
         if (!haveSeed || !haveN || !haveMax ||
             (zipf && (!haveDistinct || !haveTheta))) {
             error(p, zipf ? "zipf fill needs seed= n= distinct= theta= max="

@@ -115,6 +115,14 @@ buildRunReport(RunResult &result, const std::string &workload_name,
         static_cast<std::uint64_t>(result.formation.seedsRejected);
     agg.counter("formation.invalidationsPlaced") +=
         static_cast<std::uint64_t>(result.formation.invalidationsPlaced);
+    // Emitted only when nonzero: the key appears exactly on workloads
+    // where range claims elided an invalidation, keeping pre-range
+    // reports byte-identical.
+    if (result.formation.invalidationsElided != 0) {
+        agg.counter("formation.invalidationsElided") +=
+            static_cast<std::uint64_t>(
+                result.formation.invalidationsElided);
+    }
     agg.counter("formation.blocksReordered") +=
         static_cast<std::uint64_t>(result.formation.blocksReordered);
     agg.counter("regions.formed") +=
@@ -186,6 +194,10 @@ buildRunReport(RunResult &result, const std::string &workload_name,
         r["hits"] = obs::Json(hits);
         r["eliminatedInsts"] = obs::Json(
             hits * static_cast<std::uint64_t>(region->staticInsts));
+        // Key present only on regions whose memory claims narrowed to
+        // byte ranges (report stability for whole-structure regions).
+        if (!region->memRanges.empty())
+            r["memRanged"] = obs::Json(true);
         report.regions.push(std::move(r));
     }
 }
@@ -403,6 +415,37 @@ runCcrExperiment(const std::string &workload_name,
         ccr.prepare(machine, config.measureInput);
         uarch::Pipeline pipe(config.pipe);
         pipe.setScheme(scheme.get());
+
+        // Resolve the former's per-global range claims against this
+        // machine's data layout and register them with the scheme:
+        // invalidates whose store misses every claimed byte range are
+        // then skipped dynamically.
+        if (scheme != nullptr && config.policy.rangeMemClaims) {
+            for (const auto &region : result.regions.regions()) {
+                if (region.memStructs.empty())
+                    continue;
+                std::vector<reuse::MemClaim> claims;
+                claims.reserve(region.memStructs.size());
+                for (std::size_t i = 0; i < region.memStructs.size();
+                     ++i) {
+                    const ir::GlobalId g = region.memStructs[i];
+                    const emu::Addr base = machine.globalAddr(g);
+                    const core::MemRange mr = region.memRange(i);
+                    const std::uint64_t size =
+                        ccr.module->global(g).sizeBytes;
+                    reuse::MemClaim c;
+                    if (mr.whole) {
+                        c.lo = base;
+                        c.hi = base + (size != 0 ? size - 1 : 0);
+                    } else {
+                        c.lo = base + mr.lo;
+                        c.hi = base + mr.hi;
+                    }
+                    claims.push_back(c);
+                }
+                scheme->setMemClaims(region.id, std::move(claims));
+            }
+        }
         if (config.telemetry.enabled) {
             result.trace = std::make_shared<obs::TraceSink>(
                 config.telemetry.traceCapacity);

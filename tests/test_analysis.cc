@@ -11,6 +11,7 @@
 #include "analysis/dominators.hh"
 #include "analysis/liveness.hh"
 #include "analysis/loops.hh"
+#include "analysis/ranges.hh"
 #include "ir/builder.hh"
 
 namespace
@@ -492,6 +493,138 @@ TEST(Alias, CallWithUnknownSideEffectsPoisonsCaller)
     EXPECT_TRUE(alias.funcWrites(callee.id()).unknown);
     EXPECT_TRUE(alias.funcWrites(f.id()).unknown);
     EXPECT_TRUE(alias.funcWritesMemory(f.id()));
+}
+
+// ----- symbolic access ranges ----------------------------------------
+
+TEST(Ranges, MaskedTableIndexBoundsLoadFromTopParam)
+{
+    // The classic bounded-table-lookup shape: the index arrives as a
+    // function parameter (⊤ to the analysis), but masking with a
+    // non-negative constant re-bounds even ⊤, so the load pins to
+    // g[0..127] — mask 15, times 8 bytes per entry, 8-byte access.
+    Module m("t");
+    const GlobalId g = m.addGlobal("tab", 16384, false).id;
+    Function &f = m.addFunction("kern", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg idx = b.andI(0, 15);
+    const Reg off = b.shlI(idx, 3);
+    const Reg base = b.movGA(g);
+    const Reg addr = b.add(base, off);
+    const Reg v = b.load(addr, 0);
+    b.ret(v);
+
+    analysis::RangeAnalysis ra(m, f);
+    const auto &bb = f.block(0);
+    const auto ar = ra.accessRange(bb.inst(4));
+    ASSERT_TRUE(ar.known);
+    EXPECT_EQ(ar.global, g);
+    EXPECT_EQ(ar.lo, 0u);
+    EXPECT_EQ(ar.hi, 127u);
+    EXPECT_FALSE(ar.coversWhole(m.global(g)));
+}
+
+TEST(Ranges, UnmaskedParamIndexStaysUnknown)
+{
+    // Without the mask the offset is ⊤ and the access must fall back
+    // to whole-structure behavior (known == false).
+    Module m("t");
+    const GlobalId g = m.addGlobal("tab", 16384, false).id;
+    Function &f = m.addFunction("kern", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg off = b.shlI(0, 3);
+    const Reg base = b.movGA(g);
+    const Reg addr = b.add(base, off);
+    const Reg v = b.load(addr, 0);
+    b.ret(v);
+
+    analysis::RangeAnalysis ra(m, f);
+    EXPECT_FALSE(ra.accessRange(f.block(0).inst(3)).known);
+}
+
+TEST(Ranges, StoreImmediateOffsetShiftsAndClampsRange)
+{
+    // store8 [base + (i&1023)*8 + 8192]: the immediate shifts the
+    // masked interval into the journal half, and the access size
+    // widens hi by size-1 — exactly [8192..16383] of a 16 KiB global.
+    Module m("t");
+    const GlobalId g = m.addGlobal("tab", 16384, false).id;
+    Function &f = m.addFunction("kern", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg idx = b.andI(0, 1023);
+    const Reg off = b.shlI(idx, 3);
+    const Reg base = b.movGA(g);
+    const Reg addr = b.add(base, off);
+    const Reg v = b.movI(7);
+    b.store(addr, 8192, v);
+    b.ret(v);
+
+    analysis::RangeAnalysis ra(m, f);
+    const auto ar = ra.accessRange(f.block(0).inst(5));
+    ASSERT_TRUE(ar.known);
+    EXPECT_EQ(ar.global, g);
+    EXPECT_EQ(ar.lo, 8192u);
+    EXPECT_EQ(ar.hi, 16383u);
+}
+
+TEST(Ranges, LoopCarriedIndexWidensToUnknown)
+{
+    // i grows by 8 every iteration with no bounding mask: the join at
+    // the loop header must widen to ⊤ rather than iterate forever, and
+    // the load falls back to unknown.
+    Module m("t");
+    const GlobalId g = m.addGlobal("tab", 16384, false).id;
+    Function &f = m.addFunction("kern", 1);
+    IRBuilder b(f);
+    const BlockId b0 = b.newBlock();
+    const BlockId b1 = b.newBlock();
+    const BlockId b2 = b.newBlock();
+    b.setInsertPoint(b0);
+    const Reg i = b.movI(0);
+    b.jump(b1);
+    b.setInsertPoint(b1);
+    const Reg base = b.movGA(g);
+    const Reg addr = b.add(base, i);
+    const Reg v = b.load(addr, 0);
+    b.binOpITo(i, Opcode::Add, i, 8);
+    const Reg cond = b.cmpLtI(i, 4096);
+    b.br(cond, b1, b2);
+    b.setInsertPoint(b2);
+    b.ret(v);
+
+    analysis::RangeAnalysis ra(m, f);
+    EXPECT_FALSE(ra.accessRange(f.block(b1).inst(2)).known);
+}
+
+TEST(Ranges, EvalTransfersReboundTopOperands)
+{
+    // Direct transfer-function checks: And with a non-negative mask
+    // and Rem by a positive constant both re-bound ⊤; Or of ⊤ does
+    // not.
+    Module m("t");
+    Function &f = m.addFunction("kern", 1);
+    IRBuilder b(f);
+    b.setInsertPoint(b.newBlock());
+    const Reg masked = b.andI(0, 255);
+    const Reg remmed = b.remI(0, 1024);
+    const Reg ored = b.orI(0, 255);
+    b.ret(masked);
+
+    std::vector<analysis::RangeValue> regs(
+        static_cast<std::size_t>(f.numRegs()),
+        analysis::RangeValue::top());
+    const auto &bb = f.block(0);
+    const auto and_v = analysis::RangeAnalysis::eval(m, bb.inst(0), regs);
+    EXPECT_EQ(and_v, analysis::RangeValue::interval(0, 255));
+    const auto rem_v = analysis::RangeAnalysis::eval(m, bb.inst(1), regs);
+    EXPECT_EQ(rem_v, analysis::RangeValue::interval(-1023, 1023));
+    const auto or_v = analysis::RangeAnalysis::eval(m, bb.inst(2), regs);
+    EXPECT_EQ(or_v.kind, analysis::RangeValue::Kind::Top);
+    (void)remmed;
+    (void)ored;
 }
 
 } // namespace

@@ -223,7 +223,7 @@ TEST(Crb, InvalidateKillsMemoryInstances)
     EXPECT_EQ(crb.metrics().get("crb.hits"), 1u);
 
     // The region has no loads, so invalidation must NOT affect it.
-    crb.onInvalidate(prog.region);
+    crb.onInvalidate(prog.region, 0, 0);
     prog.run(crb, {5});
     EXPECT_EQ(crb.metrics().get("crb.hits"), 2u);
 }
@@ -491,9 +491,10 @@ struct OutcomeRecorder final : emu::ReuseHandler
         inner->observe(info);
     }
     void
-    onInvalidate(RegionId region) override
+    onInvalidate(RegionId region, emu::Addr store_addr,
+                 unsigned store_size) override
     {
-        inner->onInvalidate(region);
+        inner->onInvalidate(region, store_addr, store_size);
     }
     bool
     memoActive() const override

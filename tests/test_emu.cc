@@ -462,7 +462,7 @@ class AlwaysHit : public emu::ReuseHandler
         return o;
     }
     void observe(const emu::ExecInfo &) override {}
-    void onInvalidate(RegionId) override {}
+    void onInvalidate(RegionId, emu::Addr, unsigned) override {}
     bool memoActive() const override { return false; }
 };
 

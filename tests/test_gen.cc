@@ -450,10 +450,34 @@ TEST(Corpus, MalformedFillAndSetDirectivesAreRejected)
     directiveErrors(";! fill train data uniform seed=1");
 }
 
+TEST(Corpus, ContradictoryFillKeysAreRejected)
+{
+    // Zipf-only keys on a uniform fill and repeated keys with
+    // conflicting values must be rejected with a diagnostic that names
+    // the offending key, not silently ignored.
+    auto errs =
+        directiveErrors(";! fill train data uniform seed=1 n=4 "
+                        "theta=1.2 max=5");
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs.front().find("theta"), std::string::npos)
+        << errs.front();
+    errs = directiveErrors(";! fill train data uniform seed=1 n=4 "
+                           "distinct=2 max=5");
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs.front().find("distinct"), std::string::npos)
+        << errs.front();
+    errs = directiveErrors(";! fill train data zipf seed=1 seed=2 n=4 "
+                           "distinct=2 theta=1 max=5");
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs.front().find("duplicate"), std::string::npos)
+        << errs.front();
+}
+
 TEST(Corpus, NegativeDirectiveFixturesFailToRegister)
 {
     for (const auto *name :
-         {"bad_fill_overflow.lc", "bad_set_unknown_global.lc"}) {
+         {"bad_fill_overflow.lc", "bad_set_unknown_global.lc",
+          "bad_fill_contradictory_keys.lc"}) {
         const std::string path =
             std::string(CCR_FIXTURE_DIR) + "/" + name;
         std::vector<std::string> errors;

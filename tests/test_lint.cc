@@ -284,6 +284,133 @@ TEST(RegionsFromSource, UnmatchedPragmaWarnsAndBadFieldErrors)
         << dump(diags);
 }
 
+// ----- range-suffixed memory claims ----------------------------------
+
+constexpr const char *kRangedRegion =
+    R"(;! region 1 livein= liveout=r4 mem=tab[0..31]
+module "ranged"
+entry @"main"
+global @"tab" [64 bytes]
+
+func @"main"(0 params, 8 regs) entry=B0
+  B0:
+    movga r0, @"tab"
+    movi r1, 42
+    store8 [r0 + 32], r1
+    jump B1
+  B1:
+    reuse #1, hit=B3, miss=B2
+  B2:
+    movga r3, @"tab"
+    load8 r4, [r3 + 0] <live-out> <det>
+    jump B3 <region-end>
+  B3:
+    add r5, r4, 0
+    halt
+)";
+
+TEST(RangedClaims, SuffixParsesAndDisjointStoreNeedsNoInvalidate)
+{
+    // mem=tab[0..31] narrows the claim; the load reads tab[0..7] (in
+    // range) and the store writes tab[32..39] — provably outside the
+    // claim, so the missing `invalidate #1` after it is legal. The
+    // whole buffer must lint clean.
+    const auto p = parseOk(kRangedRegion);
+    std::vector<ir::Diagnostic> diags;
+    const auto table =
+        lint::regionsFromSource(*p.module, p.pragmas, diags);
+    ASSERT_EQ(table.size(), 1u);
+    const auto &r = table.regions().front();
+    ASSERT_EQ(r.memStructs.size(), 1u);
+    ASSERT_EQ(r.memRanges.size(), 1u);
+    EXPECT_FALSE(r.memRange(0).whole);
+    EXPECT_EQ(r.memRange(0).lo, 0u);
+    EXPECT_EQ(r.memRange(0).hi, 31u);
+
+    const auto res = lintSource(p);
+    EXPECT_TRUE(res.ok()) << dump(res.diagnostics);
+    EXPECT_TRUE(res.diagnostics.empty()) << dump(res.diagnostics);
+}
+
+TEST(RangedClaims, OverlappingStoreStillNeedsInvalidate)
+{
+    // Move the store inside the claimed bytes: the range proof no
+    // longer applies and the unsummarized-store audit must fire.
+    std::string src = kRangedRegion;
+    src.replace(src.find("[r0 + 32]"), 9, "[r0 + 8]");
+    const auto p = parseOk(src);
+    const auto res = lintSource(p);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(
+        countRule(res.diagnostics, "lint.region.store.unsummarized"),
+        1u)
+        << dump(res.diagnostics);
+}
+
+TEST(RangedClaims, LoadOutsideClaimedRangeIsRejected)
+{
+    // Narrow the claim past the load: tab[8..15] cannot cover the
+    // load of tab[0..7].
+    std::string src = kRangedRegion;
+    src.replace(src.find("mem=tab[0..31]"), 14, "mem=tab[8..15]");
+    const auto p = parseOk(src);
+    const auto res = lintSource(p);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(countRule(res.diagnostics, "lint.region.mem.range"), 1u)
+        << dump(res.diagnostics);
+}
+
+TEST(RangedClaims, UnboundableLoadRejectsNarrowedClaim)
+{
+    // The load's offset comes from memory (⊤ to the range analysis):
+    // a narrowed claim cannot be proven to cover it and must be
+    // rejected — only a whole-structure claim is sound here.
+    constexpr const char *src =
+        R"(;! region 1 livein=r1 liveout=r4 mem=tab[0..31]
+module "ranged_unbounded"
+entry @"main"
+global @"tab" [64 bytes]
+global @"n" [8 bytes]
+
+func @"main"(0 params, 8 regs) entry=B0
+  B0:
+    movga r0, @"n"
+    load8 r1, [r0 + 0]
+    jump B1
+  B1:
+    reuse #1, hit=B3, miss=B2
+  B2:
+    movga r3, @"tab"
+    add r6, r3, r1
+    load8 r4, [r6 + 0] <live-out>
+    jump B3 <region-end>
+  B3:
+    add r5, r4, 0
+    halt
+)";
+    const auto p = parseOk(src);
+    const auto res = lintSource(p);
+    EXPECT_FALSE(res.ok());
+    EXPECT_GE(countRule(res.diagnostics, "lint.region.mem.range"), 1u)
+        << dump(res.diagnostics);
+}
+
+TEST(RangedClaims, MalformedOrOutOfBoundsSuffixErrors)
+{
+    // lo > hi, hi past the end of the global, and non-numeric bounds
+    // are all claim-syntax errors.
+    for (const char *range : {"[8..4]", "[0..64]", "[0..x]"}) {
+        std::string src = kRangedRegion;
+        src.replace(src.find("[0..31]"), 7, range);
+        const auto p = parseOk(src);
+        std::vector<ir::Diagnostic> diags;
+        lint::regionsFromSource(*p.module, p.pragmas, diags);
+        EXPECT_GE(countRule(diags, "lint.claims.syntax"), 1u)
+            << range << "\n"
+            << dump(diags);
+    }
+}
+
 // ----- negative fixtures --------------------------------------------
 
 lint::LintResult
@@ -527,6 +654,111 @@ TEST(CrossCheck, DetectsDroppedMemoryClaims)
     const auto res = lint::crossCheck(machine, tampered);
     EXPECT_FALSE(res.ok());
     EXPECT_GE(countRule(res.diagnostics, "lint.dyn.mem"), 1u)
+        << dump(res.diagnostics);
+}
+
+// ----- dynamic validation of range-narrowed claims -------------------
+
+/** formWorkload with an explicit policy (the range tests need
+ *  function-level formation, which the default policy disables). */
+Formed
+formWorkloadWith(const std::string &name,
+                 const core::ReusePolicy &policy)
+{
+    Formed f;
+    f.workload = workloads::buildWorkload(name);
+    const auto prof = workloads::profileWorkload(
+        f.workload, workloads::InputSet::Train);
+    analysis::AliasAnalysis alias(*f.workload.module);
+    alias.annotateDeterminableLoads(*f.workload.module);
+    core::RegionFormer former(*f.workload.module, prof, alias, policy);
+    f.table = former.formAll();
+    return f;
+}
+
+core::ReusePolicy
+functionLevelPolicy()
+{
+    core::ReusePolicy p;
+    p.enableFunctionLevel = true;
+    return p;
+}
+
+TEST(CrossCheck, RangeClaimedCorpusWorkloadsReplayClean)
+{
+    // The array-kernel corpus forms function-level regions with
+    // narrowed arena claims and elided journal invalidations; the
+    // dynamic replay must confirm every load stays inside the claimed
+    // bytes and every overlapping store is chased by its invalidate.
+    for (const std::string name : {"adpcm", "quantize", "crc32"}) {
+        const auto r = workloads::lintWorkload(
+            name, functionLevelPolicy(), /*run_crosscheck=*/true);
+        ASSERT_TRUE(r.ranCrossCheck);
+        EXPECT_TRUE(r.ok()) << name << ":\n"
+                            << dump(r.lint.diagnostics) << "\n"
+                            << dump(r.cross.diagnostics);
+        bool narrowed = false;
+        for (const auto &region : r.regions.regions())
+            narrowed |= !region.memRanges.empty();
+        EXPECT_TRUE(narrowed)
+            << name << ": no region carries a narrowed range claim";
+    }
+}
+
+TEST(CrossCheck, DetectsLoadOutsideTamperedRangeClaim)
+{
+    // Shrink every narrowed claim to a single byte: the replayed
+    // region loads must then land outside it.
+    const Formed f = formWorkloadWith("quantize", functionLevelPolicy());
+    core::RegionTable tampered;
+    bool shrunk = false;
+    for (const auto &r : f.table.regions()) {
+        core::ReuseRegion copy = r;
+        for (auto &mr : copy.memRanges) {
+            if (!mr.whole) {
+                mr.lo = 0;
+                mr.hi = 0;
+                shrunk = true;
+            }
+        }
+        tampered.add(std::move(copy));
+    }
+    ASSERT_TRUE(shrunk) << "no narrowed range claim formed";
+
+    emu::Machine machine(*f.workload.module);
+    f.workload.prepare(machine, workloads::InputSet::Train);
+    const auto res = lint::crossCheck(machine, tampered);
+    EXPECT_FALSE(res.ok());
+    EXPECT_GE(countRule(res.diagnostics, "lint.dyn.mem.range"), 1u)
+        << dump(res.diagnostics);
+}
+
+TEST(CrossCheck, DetectsStoreMissedInvalidateOnWidenedClaim)
+{
+    // Widen every narrowed claim back to the whole structure while
+    // keeping the module's elided invalidations: the journal stores
+    // now overlap the claims with no invalidate following — the
+    // replay must flag the missing notifications.
+    const Formed f = formWorkloadWith("quantize", functionLevelPolicy());
+    core::RegionTable tampered;
+    bool widened = false;
+    for (const auto &r : f.table.regions()) {
+        core::ReuseRegion copy = r;
+        if (!copy.memRanges.empty()) {
+            copy.memRanges.clear();
+            widened = true;
+        }
+        tampered.add(std::move(copy));
+    }
+    ASSERT_TRUE(widened) << "no narrowed range claim formed";
+
+    emu::Machine machine(*f.workload.module);
+    f.workload.prepare(machine, workloads::InputSet::Train);
+    const auto res = lint::crossCheck(machine, tampered);
+    EXPECT_FALSE(res.ok());
+    EXPECT_GE(countRule(res.diagnostics,
+                        "lint.dyn.store.missed-invalidate"),
+              1u)
         << dump(res.diagnostics);
 }
 

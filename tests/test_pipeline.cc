@@ -340,7 +340,7 @@ struct NullScheme final : reuse::ReuseScheme
         return {};
     }
     void observe(const emu::ExecInfo &) override {}
-    void onInvalidate(RegionId) override {}
+    void onInvalidate(RegionId, emu::Addr, unsigned) override {}
     bool memoActive() const override { return false; }
 };
 

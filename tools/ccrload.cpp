@@ -517,6 +517,23 @@ main(int argc, char **argv)
         }
     }
 
+    // -- degenerate-run guards ----------------------------------------
+    // A run with zero ok responses, or a duration-bounded run whose
+    // wall-clock window collapsed below a second, has empty or
+    // near-empty latency buckets: every percentile would read as 0
+    // and the RPS figures would be noise. Write the report anyway
+    // (it is the debugging artifact) but refuse to bless it.
+    std::string degenerate;
+    if (samples.empty())
+        degenerate = "no responses were collected";
+    else if (okCount == 0)
+        degenerate = "zero ok responses (all " +
+                     std::to_string(samples.size()) +
+                     " requests failed)";
+    else if (flags.requests == 0 && elapsed < 1.0)
+        degenerate = "duration-bounded run lasted only " +
+                     std::to_string(elapsed) + "s (< 1s)";
+
     Json report = Json::object();
     Json schema = Json::object();
     schema["name"] = "ccr.benchserver";
@@ -596,8 +613,16 @@ main(int argc, char **argv)
         }
     }
 
+    if (!degenerate.empty())
+        report["degenerate"] = degenerate;
     std::ofstream out(flags.out);
     out << report.dump(2) << "\n";
+    if (!degenerate.empty()) {
+        std::cerr << "ccrload: degenerate run: " << degenerate
+                  << "; the latency and RPS figures in " << flags.out
+                  << " are not meaningful\n";
+        return 2;
+    }
     std::cout << "ccrload: " << samples.size() << " requests in "
               << elapsed << "s (" << rps << " RPS, " << ok_rps
               << " ok-RPS), " << bypasses
